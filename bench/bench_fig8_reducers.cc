@@ -1,0 +1,66 @@
+/// \file bench_fig8_reducers.cc
+/// Regenerates Figure 8: parallel CRH running time as a function of the
+/// number of reducer nodes, at a fixed 4e8-observation input.
+///
+/// Expected shape: non-monotone — too few reducers serialize the reduce
+/// phase, too many pay shuffle/connection overhead; the optimum sits near
+/// 10 reducers, and 25 reducers is slower than 10 (the paper's
+/// observation). The series comes from the calibrated cluster cost model;
+/// a real-engine sweep at laptop scale is printed for validation of the
+/// engine's reducer-count invariance (results identical, wall time
+/// changing only mildly on a single machine).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/noise.h"
+#include "datagen/uci_like.h"
+#include "mapreduce/parallel_crh.h"
+
+using namespace crh;
+using namespace crh::bench;
+
+int main() {
+  const double scale = EnvDouble("CRH_SCALE", 1.0);
+  const uint64_t seed = static_cast<uint64_t>(EnvInt("CRH_SEED", 7));
+  ClusterCostModel model;
+  const double n = 4e8;
+
+  std::printf("=== Figure 8: running time vs number of reducers (4e8 observations) ===\n");
+  std::printf("%-12s %14s\n", "# Reducers", "Time (s)");
+  int best_r = 0;
+  double best_t = 1e300;
+  for (int r : {2, 4, 6, 8, 10, 12, 15, 20, 25}) {
+    const double t = model.EstimateFusionSeconds(n, r);
+    if (t < best_t) {
+      best_t = t;
+      best_r = r;
+    }
+    std::printf("%-12d %14.0f\n", r, t);
+  }
+  std::printf("optimum: %d reducers (%.0f s)\n", best_r, best_t);
+
+  // Real engine sweep: correctness must be reducer-invariant.
+  std::printf("\n--- validation: real engine, reducer sweep ---\n");
+  UciLikeOptions uci;
+  uci.num_records = static_cast<size_t>(2000 * scale);
+  uci.seed = seed;
+  NoiseOptions noise;
+  noise.gammas = PaperSimulationGammas();
+  noise.seed = seed + 1;
+  auto noisy = MakeNoisyDataset(MakeAdultGroundTruth(uci), noise);
+  if (!noisy.ok()) return 1;
+  std::printf("%-12s %12s %12s\n", "# Reducers", "Wall (s)", "ErrorRate");
+  for (int r : {1, 2, 5, 10, 25}) {
+    ParallelCrhOptions options;
+    options.max_iterations = 3;
+    options.convergence_tolerance = 0.0;
+    options.mr.num_reducers = r;
+    auto result = RunParallelCrh(*noisy, options);
+    if (!result.ok()) return 1;
+    auto eval = Evaluate(*noisy, result->truths);
+    std::printf("%-12d %12.3f %12.4f\n", r, result->wall_seconds,
+                eval.ok() ? eval->error_rate : -1.0);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+/// \file bench_table4_simulated.cc
+/// Regenerates Table 3 (simulated dataset statistics) and Table 4 (Error
+/// Rate + MNAD of all methods on the noisy multi-source simulations built
+/// from the UCI Adult and Bank schemas).
+///
+/// Protocol (Section 3.2.2): the generated records are the ground truth;
+/// eight conflicting sources are derived by injecting noise with gamma in
+/// {0.1, 0.4, 0.7, 1, 1.3, 1.6, 1.9, 2}. Expected shape: CRH recovers the
+/// categorical truths essentially perfectly and posts the lowest MNAD,
+/// with PooledInvestment/AccuSim the strongest baselines.
+///
+/// CRH_SCALE scales the record counts (1.0 = the UCI-faithful 32,561 /
+/// 45,211 records).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/noise.h"
+#include "datagen/uci_like.h"
+
+using namespace crh;
+using namespace crh::bench;
+
+int main() {
+  const double scale = EnvDouble("CRH_SCALE", 0.1);
+  const uint64_t seed = static_cast<uint64_t>(EnvInt("CRH_SEED", 7));
+  std::printf("=== Table 3 + Table 4: simulated data sets (CRH_SCALE=%.2f) ===\n", scale);
+
+  const auto run = [&](const char* name, Dataset truth_data) {
+    NoiseOptions noise;
+    noise.gammas = PaperSimulationGammas();
+    noise.seed = seed + 1;
+    auto noisy = MakeNoisyDataset(truth_data, noise);
+    if (!noisy.ok()) {
+      std::fprintf(stderr, "%s generation failed: %s\n", name,
+                   noisy.status().ToString().c_str());
+      return;
+    }
+    PrintDatasetStats(name, *noisy);
+    PrintComparisonTable(std::string("Table 4 — ") + name, RunAllMethods(*noisy));
+  };
+
+  UciLikeOptions adult;
+  adult.num_records = std::max<size_t>(500, static_cast<size_t>(32561 * scale));
+  adult.seed = seed;
+  run("Adult", MakeAdultGroundTruth(adult));
+
+  UciLikeOptions bank;
+  bank.num_records = std::max<size_t>(500, static_cast<size_t>(45211 * scale));
+  bank.seed = seed;
+  run("Bank", MakeBankGroundTruth(bank));
+  return 0;
+}

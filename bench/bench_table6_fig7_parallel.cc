@@ -1,0 +1,137 @@
+/// \file bench_table6_fig7_parallel.cc
+/// Regenerates Table 6 (parallel CRH running time vs number of
+/// observations, 1e4 .. 4e8, plus the Pearson correlation the paper
+/// reports) and Figure 7 (running time growing linearly in the number of
+/// entries and in the number of sources).
+///
+/// Two layers (see DESIGN.md, "Substitutions"):
+///  * simulated cluster seconds come from the calibrated ClusterCostModel
+///    standing in for the paper's Hadoop cluster — this is the Table 6 /
+///    Fig 7 series;
+///  * the real in-process MapReduce engine executes parallel CRH end to end
+///    at laptop-feasible scales and its wall-clock is printed alongside to
+///    validate that execution time is indeed linear in the observations.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/noise.h"
+#include "datagen/uci_like.h"
+#include "mapreduce/parallel_crh.h"
+
+using namespace crh;
+using namespace crh::bench;
+
+namespace {
+
+/// Adult-derived noisy dataset with approximately `target_obs` observations.
+Dataset MakeScaledDataset(double target_obs, uint64_t seed, int num_sources = 8) {
+  // observations ~= records * 14 properties * sources.
+  UciLikeOptions uci;
+  uci.num_records =
+      std::max<size_t>(20, static_cast<size_t>(target_obs / (14.0 * num_sources)));
+  uci.seed = seed;
+  NoiseOptions noise;
+  for (int k = 0; k < num_sources; ++k) {
+    noise.gammas.push_back(PaperSimulationGammas()[static_cast<size_t>(k) % 8]);
+  }
+  noise.seed = seed + 1;
+  auto noisy = MakeNoisyDataset(MakeAdultGroundTruth(uci), noise);
+  return std::move(noisy).ValueOrDie();
+}
+
+}  // namespace
+
+int main() {
+  const double scale = EnvDouble("CRH_SCALE", 1.0);
+  const uint64_t seed = static_cast<uint64_t>(EnvInt("CRH_SEED", 7));
+  const int reducers = static_cast<int>(EnvInt("CRH_REDUCERS", 10));
+  ClusterCostModel model;
+
+  std::printf("=== Table 6: running time on the (simulated) Hadoop cluster ===\n");
+  std::printf("%-16s %18s\n", "# Observations", "Time (s)");
+  std::vector<double> obs_series = {1e4, 1e5, 1e6, 1e7, 1e8, 4e8};
+  std::vector<double> time_series;
+  for (double n : obs_series) {
+    const double t = model.EstimateFusionSeconds(n, reducers);
+    time_series.push_back(t);
+    std::printf("%-16.0e %18.0f\n", n, t);
+  }
+  std::printf("Pearson correlation (obs vs time): %.4f  (paper: 0.9811)\n",
+              PearsonCorrelation(obs_series, time_series));
+
+  // Validation: execute the real engine at laptop scales and confirm the
+  // wall-clock grows linearly with the observation count.
+  std::printf("\n--- validation: real in-process MapReduce engine ---\n");
+  std::printf("%-16s %12s %12s %14s %12s\n", "# Observations", "Wall (s)", "Sim (s)",
+              "Iterations", "ErrorRate");
+  std::vector<double> real_obs, real_secs;
+  for (double target : {1e4 * scale, 3e4 * scale, 1e5 * scale, 3e5 * scale, 1e6 * scale}) {
+    Dataset data = MakeScaledDataset(target, seed);
+    ParallelCrhOptions options;
+    options.max_iterations = 5;
+    options.convergence_tolerance = 0.0;
+    options.mr.num_reducers = reducers;
+    auto result = RunParallelCrh(data, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "parallel CRH failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    auto eval = Evaluate(data, result->truths);
+    real_obs.push_back(static_cast<double>(data.num_observations()));
+    real_secs.push_back(result->wall_seconds);
+    std::printf("%-16zu %12.3f %12.1f %14d %12.4f\n", data.num_observations(),
+                result->wall_seconds, result->simulated_cluster_seconds,
+                result->iterations, eval.ok() ? eval->error_rate : -1.0);
+  }
+  std::printf("Pearson correlation (real engine, obs vs wall seconds): %.4f\n",
+              PearsonCorrelation(real_obs, real_secs));
+
+  // --- Figure 7: linear growth in entries and in sources (cost model).
+  {
+    std::vector<std::string> columns;
+    std::vector<std::vector<double>> values(1);
+    for (double entries : {1e6, 2e6, 4e6, 8e6, 16e6, 32e6}) {
+      columns.push_back("");
+      // 10 sources fixed; observations = entries * sources.
+      values[0].push_back(model.EstimateFusionSeconds(entries * 10, reducers));
+    }
+    for (size_t c = 0; c < columns.size(); ++c) {
+      columns[c] = std::to_string(1 << c) + "M";
+    }
+    PrintSeries("Fig 7a — simulated time (s) vs #entries (10 sources fixed)",
+                {"Time (s)"}, columns, values);
+  }
+  {
+    std::vector<std::string> columns;
+    std::vector<std::vector<double>> values(1);
+    for (int sources : {5, 10, 20, 40, 80}) {
+      columns.push_back(std::to_string(sources));
+      // 4e6 entries fixed.
+      values[0].push_back(model.EstimateFusionSeconds(4e6 * sources, reducers));
+    }
+    PrintSeries("Fig 7b — simulated time (s) vs #sources (4M entries fixed)",
+                {"Time (s)"}, columns, values);
+  }
+
+  // Real-engine version of Fig 7b at laptop scale.
+  {
+    std::vector<std::string> columns;
+    std::vector<std::vector<double>> values(1);
+    for (int sources : {4, 8, 16, 32}) {
+      Dataset data = MakeScaledDataset(3e4 * scale * sources / 8.0, seed, sources);
+      ParallelCrhOptions options;
+      options.max_iterations = 5;
+      options.convergence_tolerance = 0.0;
+      options.mr.num_reducers = reducers;
+      auto result = RunParallelCrh(data, options);
+      if (!result.ok()) return 1;
+      columns.push_back(std::to_string(sources));
+      values[0].push_back(result->wall_seconds);
+    }
+    PrintSeries("Fig 7b (real engine) — wall seconds vs #sources", {"Wall (s)"}, columns,
+                values);
+  }
+  return 0;
+}

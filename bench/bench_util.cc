@@ -1,0 +1,110 @@
+#include "bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stopwatch.h"
+
+namespace crh::bench {
+
+double EnvDouble(const char* name, double default_value) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : default_value;
+}
+
+int64_t EnvInt(const char* name, int64_t default_value) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoll(value) : default_value;
+}
+
+MethodResult RunCrhMethod(const Dataset& data) {
+  MethodResult row;
+  row.name = "CRH";
+  row.has_categorical = true;
+  row.has_continuous = true;
+  Stopwatch watch;
+  auto result = RunCrh(data);
+  row.seconds = watch.ElapsedSeconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "CRH failed: %s\n", result.status().ToString().c_str());
+    return row;
+  }
+  auto eval = Evaluate(data, result->truths);
+  if (eval.ok()) {
+    row.error_rate = eval->error_rate;
+    row.mnad = eval->mnad;
+  }
+  row.source_scores = result->source_weights;
+  return row;
+}
+
+std::vector<MethodResult> RunAllMethods(const Dataset& data) {
+  std::vector<MethodResult> rows;
+  rows.push_back(RunCrhMethod(data));
+  for (const auto& method : MakeAllBaselines()) {
+    MethodResult row;
+    row.name = method->name();
+    row.has_categorical = method->handles_categorical();
+    row.has_continuous = method->handles_continuous();
+    Stopwatch watch;
+    auto out = method->Run(data);
+    row.seconds = watch.ElapsedSeconds();
+    if (!out.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", method->name(),
+                   out.status().ToString().c_str());
+      continue;
+    }
+    auto eval = Evaluate(data, out->truths);
+    if (eval.ok()) {
+      row.error_rate = eval->error_rate;
+      row.mnad = eval->mnad;
+    }
+    row.source_scores = out->source_scores;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void PrintDatasetStats(const std::string& name, const Dataset& data) {
+  std::printf("%s: %zu observations, %zu entries, %zu ground truths, %zu sources, %zu properties\n",
+              name.c_str(), data.num_observations(), data.num_entries(),
+              data.num_ground_truths(), data.num_sources(), data.num_properties());
+}
+
+void PrintComparisonTable(const std::string& title,
+                          const std::vector<MethodResult>& results) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-18s %12s %12s %10s\n", "Method", "Error Rate", "MNAD", "Time (s)");
+  std::printf("%-18s %12s %12s %10s\n", "------", "----------", "----", "--------");
+  for (const MethodResult& row : results) {
+    char err[32], mnad[32];
+    if (row.has_categorical && !std::isnan(row.error_rate)) {
+      std::snprintf(err, sizeof(err), "%.4f", row.error_rate);
+    } else {
+      std::snprintf(err, sizeof(err), "NA");
+    }
+    if (row.has_continuous && !std::isnan(row.mnad)) {
+      std::snprintf(mnad, sizeof(mnad), "%.4f", row.mnad);
+    } else {
+      std::snprintf(mnad, sizeof(mnad), "NA");
+    }
+    std::printf("%-18s %12s %12s %10.3f\n", row.name.c_str(), err, mnad, row.seconds);
+  }
+}
+
+void PrintSeries(const std::string& title, const std::vector<std::string>& row_labels,
+                 const std::vector<std::string>& column_labels,
+                 const std::vector<std::vector<double>>& values) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-22s", "");
+  for (const std::string& col : column_labels) std::printf(" %10s", col.c_str());
+  std::printf("\n");
+  for (size_t r = 0; r < row_labels.size(); ++r) {
+    std::printf("%-22s", row_labels[r].c_str());
+    for (double v : values[r]) std::printf(" %10.4f", v);
+    std::printf("\n");
+  }
+}
+
+}  // namespace crh::bench

@@ -1,0 +1,64 @@
+#ifndef CRH_BENCH_BENCH_UTIL_H_
+#define CRH_BENCH_BENCH_UTIL_H_
+
+/// \file bench_util.h
+/// Shared harness code for the per-table/per-figure benchmark binaries.
+///
+/// Every binary regenerates one table or figure of the paper and prints the
+/// same rows/series the paper reports. Scales can be adjusted without
+/// recompiling:
+///
+///   CRH_SCALE=1.0   — multiplier on dataset sizes (default varies per bench)
+///   CRH_SEED=...    — RNG seed for dataset generation
+
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "core/crh.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+
+namespace crh::bench {
+
+/// Reads a double from the environment, with default.
+double EnvDouble(const char* name, double default_value);
+
+/// Reads an integer from the environment, with default.
+int64_t EnvInt(const char* name, int64_t default_value);
+
+/// One method's row in a comparison table.
+struct MethodResult {
+  std::string name;
+  bool has_categorical = false;
+  bool has_continuous = false;
+  double error_rate = 0.0;
+  double mnad = 0.0;
+  double seconds = 0.0;
+  /// Raw reliability scores, for the Fig 1 style comparisons.
+  std::vector<double> source_scores;
+};
+
+/// Runs CRH (paper configuration) followed by the ten baselines of Section
+/// 3.1.2 on the dataset and evaluates each against the ground truth.
+std::vector<MethodResult> RunAllMethods(const Dataset& data);
+
+/// Runs only CRH and returns its row (plus weights in source_scores).
+MethodResult RunCrhMethod(const Dataset& data);
+
+/// Prints the Table 1 style dataset statistics block.
+void PrintDatasetStats(const std::string& name, const Dataset& data);
+
+/// Prints a Table 2/4 style comparison: Method | Error Rate | MNAD (NA for
+/// property types a method does not handle).
+void PrintComparisonTable(const std::string& title,
+                          const std::vector<MethodResult>& results);
+
+/// Prints a labeled numeric series (figure data) as aligned columns.
+void PrintSeries(const std::string& title, const std::vector<std::string>& row_labels,
+                 const std::vector<std::string>& column_labels,
+                 const std::vector<std::vector<double>>& values);
+
+}  // namespace crh::bench
+
+#endif  // CRH_BENCH_BENCH_UTIL_H_

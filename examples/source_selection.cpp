@@ -1,0 +1,61 @@
+/// \file source_selection.cpp
+/// Source selection with the framework's alternative regularization
+/// functions (Section 2.3): instead of weighting all sources, select the
+/// single most reliable source (Lp-norm constraint, Eq 6) or the best j
+/// sources (integer constraint, Eq 7) — e.g. when each consulted source
+/// costs money per query.
+///
+///   $ ./examples/source_selection
+
+#include <cstdio>
+
+#include "core/crh.h"
+#include "datagen/real_world.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace crh;
+
+  FlightOptions options;
+  options.num_flights = 200;
+  options.num_days = 15;
+  options.truth_label_rate = 0.5;
+  Dataset flights = MakeFlightDataset(options);
+  std::printf("flight dataset: %zu sources, %zu observations\n", flights.num_sources(),
+              flights.num_observations());
+
+  const auto report = [&](const char* label, const CrhOptions& crh_options) {
+    auto result = RunCrh(flights, crh_options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed\n", label);
+      return;
+    }
+    auto eval = Evaluate(flights, result->truths);
+    if (!eval.ok()) return;
+    int selected = 0;
+    for (double w : result->source_weights) selected += w > 0 ? 1 : 0;
+    std::printf("%-34s error=%.4f  mnad=%.4f  sources used=%d\n", label,
+                eval->error_rate, eval->mnad, selected);
+  };
+
+  CrhOptions all;
+  report("weighted combination (default)", all);
+
+  CrhOptions best;
+  best.weight_scheme.kind = WeightSchemeKind::kBestSourceLp;
+  report("single best source (Eq 6)", best);
+
+  for (int j : {3, 5, 10}) {
+    CrhOptions topj;
+    topj.weight_scheme.kind = WeightSchemeKind::kTopJ;
+    topj.weight_scheme.top_j = j;
+    char label[64];
+    std::snprintf(label, sizeof(label), "top-%d source selection (Eq 7)", j);
+    report(label, topj);
+  }
+
+  std::printf(
+      "\nTakeaway: a handful of well-chosen sources gets close to the full\n"
+      "weighted combination — the 'less is more' effect the paper cites.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// \file weather_fusion.cpp
+/// The paper's motivating scenario: fuse the forecasts of three weather
+/// platforms (each crawled at three forecast lead days, so nine sources)
+/// into a single trusted forecast per city and day.
+///
+/// Demonstrates: the weather dataset generator, CRH vs plain
+/// voting/median, per-source reliability readout, and CSV export of the
+/// claim tuples for external tools.
+///
+///   $ ./examples/weather_fusion [output.csv]
+
+#include <cstdio>
+
+#include "baselines/baselines.h"
+#include "core/crh.h"
+#include "data/csv.h"
+#include "datagen/real_world.h"
+#include "eval/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace crh;
+
+  WeatherOptions options;
+  options.num_cities = 20;
+  options.num_days = 32;
+  Dataset weather = MakeWeatherDataset(options);
+  std::printf("weather dataset: %zu cities x days, %zu sources, %zu observations\n",
+              weather.num_objects(), weather.num_sources(), weather.num_observations());
+
+  auto crh = RunCrh(weather);
+  if (!crh.ok()) {
+    std::fprintf(stderr, "CRH failed: %s\n", crh.status().ToString().c_str());
+    return 1;
+  }
+
+  // Compare against the naive per-type aggregations.
+  auto voting = VotingResolver().Run(weather);
+  auto median = MedianResolver().Run(weather);
+  auto crh_eval = Evaluate(weather, crh->truths);
+  auto voting_eval = Evaluate(weather, voting->truths);
+  auto median_eval = Evaluate(weather, median->truths);
+  if (!crh_eval.ok() || !voting_eval.ok() || !median_eval.ok()) return 1;
+  std::printf("\ncondition error rate : CRH %.4f  vs  majority voting %.4f\n",
+              crh_eval->error_rate, voting_eval->error_rate);
+  std::printf("temperature MNAD     : CRH %.4f  vs  plain median   %.4f\n",
+              crh_eval->mnad, median_eval->mnad);
+
+  // Which platforms does CRH trust? Day-1 forecasts should outrank day-3.
+  std::printf("\nestimated source reliability (normalized):\n");
+  const auto weights = NormalizeScores(crh->source_weights);
+  const auto truth = NormalizeScores(TrueSourceReliability(weather));
+  for (size_t k = 0; k < weather.num_sources(); ++k) {
+    std::printf("  %-16s estimated %.2f   (true %.2f)\n", weather.source_id(k).c_str(),
+                weights[k], truth[k]);
+  }
+
+  // A few fused forecasts.
+  std::printf("\nfused forecasts (first 5 objects):\n");
+  for (size_t i = 0; i < 5; ++i) {
+    const Value& high = crh->truths.Get(i, 0);
+    const Value& low = crh->truths.Get(i, 1);
+    const Value& cond = crh->truths.Get(i, 2);
+    std::printf("  %-14s high %3.0fF  low %3.0fF  %s\n", weather.object_id(i).c_str(),
+                high.is_missing() ? -99.0 : high.continuous(),
+                low.is_missing() ? -99.0 : low.continuous(),
+                cond.is_missing() ? "?" : weather.dict(2).label(cond.category()).c_str());
+  }
+
+  // Optional CSV export of the raw multi-source claims.
+  if (argc > 1) {
+    Status st = WriteObservationsCsv(weather, argv[1]);
+    if (!st.ok()) {
+      std::fprintf(stderr, "csv export failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote claim tuples to %s\n", argv[1]);
+  }
+  return 0;
+}

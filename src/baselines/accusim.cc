@@ -1,0 +1,91 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baselines/baselines.h"
+
+namespace crh {
+
+/// AccuSim (Dong, Berti-Equille & Srivastava, VLDB 2009): the ACCU Bayesian
+/// accuracy model with the similarity adjustment of TruthFinder.
+///
+///   C(f)   = sum_{s in S(f)} ln(n * A(s) / (1 - A(s)))   (vote count)
+///   C*(f)  = C(f) + rho * sum_{f' != f} C(f') * sim(f', f)
+///   P(f)   = exp(C*(f)) / sum_{f' in entry} exp(C*(f'))  (Bayesian posterior;
+///            the softmax encodes the complement votes of 2-Estimates)
+///   A(s)   = mean of P(f) over s's claims
+///
+/// where n is the assumed number of false values per entry.
+Result<ResolverOutput> AccuSimResolver::Run(const Dataset& data) const {
+  const size_t k_sources = data.num_sources();
+  const std::vector<EntryFacts> facts = BuildEntryFacts(data);
+  const EntryStats stats = ComputeEntryStats(data);
+
+  std::vector<size_t> claims_per_source(k_sources, 0);
+  for (const EntryFacts& entry : facts) {
+    for (const auto& voters : entry.voters) {
+      for (uint32_t s : voters) ++claims_per_source[s];
+    }
+  }
+
+  std::vector<double> accuracy(k_sources, options_.initial_accuracy);
+  std::vector<std::vector<double>> probability(facts.size());
+  for (size_t e = 0; e < facts.size(); ++e) {
+    probability[e].assign(facts[e].values.size(), 0.0);
+  }
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    std::vector<double> vote_score(k_sources);
+    for (size_t s = 0; s < k_sources; ++s) {
+      const double a = std::clamp(accuracy[s], 1e-6, 1.0 - 1e-6);
+      vote_score[s] = std::log(options_.false_value_count * a / (1.0 - a));
+    }
+
+    std::vector<double> new_accuracy(k_sources, 0.0);
+    for (size_t e = 0; e < facts.size(); ++e) {
+      const EntryFacts& entry = facts[e];
+      const size_t num_facts = entry.values.size();
+      const double scale = stats.scale_at(entry.object, entry.property);
+      std::vector<double> count(num_facts, 0.0);
+      for (size_t f = 0; f < num_facts; ++f) {
+        for (uint32_t s : entry.voters[f]) count[f] += vote_score[s];
+      }
+      std::vector<double> adjusted(num_facts, 0.0);
+      for (size_t f = 0; f < num_facts; ++f) {
+        adjusted[f] = count[f];
+        for (size_t f2 = 0; f2 < num_facts; ++f2) {
+          if (f2 == f) continue;
+          adjusted[f] += options_.similarity_weight * count[f2] *
+                         FactSimilarity(entry.values[f2], entry.values[f], scale);
+        }
+      }
+      // Softmax with max subtraction for numerical stability.
+      const double peak = *std::max_element(adjusted.begin(), adjusted.end());
+      double norm = 0.0;
+      for (size_t f = 0; f < num_facts; ++f) {
+        probability[e][f] = std::exp(adjusted[f] - peak);
+        norm += probability[e][f];
+      }
+      for (size_t f = 0; f < num_facts; ++f) {
+        probability[e][f] /= norm;
+        for (uint32_t s : entry.voters[f]) new_accuracy[s] += probability[e][f];
+      }
+    }
+    double max_change = 0.0;
+    for (size_t s = 0; s < k_sources; ++s) {
+      const double a = claims_per_source[s] > 0
+                           ? new_accuracy[s] / static_cast<double>(claims_per_source[s])
+                           : options_.initial_accuracy;
+      max_change = std::max(max_change, std::abs(a - accuracy[s]));
+      accuracy[s] = a;
+    }
+    if (max_change < options_.tolerance) break;
+  }
+
+  ResolverOutput out;
+  out.truths = FactsToTruths(data, facts, probability);
+  out.source_scores = accuracy;
+  return out;
+}
+
+}  // namespace crh

@@ -1,0 +1,59 @@
+#include "baselines/baseline.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace crh {
+
+std::vector<EntryFacts> BuildEntryFacts(const Dataset& data) {
+  std::vector<EntryFacts> facts;
+  facts.reserve(data.num_entries());
+  std::unordered_map<Value, size_t, ValueHash> index;
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    for (size_t m = 0; m < data.num_properties(); ++m) {
+      EntryFacts entry;
+      entry.object = static_cast<uint32_t>(i);
+      entry.property = static_cast<uint32_t>(m);
+      index.clear();
+      for (size_t k = 0; k < data.num_sources(); ++k) {
+        const Value& v = data.observations(k).Get(i, m);
+        if (v.is_missing()) continue;
+        auto [it, added] = index.emplace(v, entry.values.size());
+        if (added) {
+          entry.values.push_back(v);
+          entry.voters.emplace_back();
+        }
+        entry.voters[it->second].push_back(static_cast<uint32_t>(k));
+        ++entry.total_votes;
+      }
+      if (!entry.values.empty()) facts.push_back(std::move(entry));
+    }
+  }
+  return facts;
+}
+
+ValueTable FactsToTruths(const Dataset& data, const std::vector<EntryFacts>& facts,
+                         const std::vector<std::vector<double>>& fact_scores) {
+  ValueTable truths(data.num_objects(), data.num_properties());
+  for (size_t e = 0; e < facts.size(); ++e) {
+    const EntryFacts& entry = facts[e];
+    const std::vector<double>& scores = fact_scores[e];
+    size_t best = 0;
+    for (size_t f = 1; f < entry.values.size(); ++f) {
+      if (scores[f] > scores[best]) best = f;
+    }
+    truths.Set(entry.object, entry.property, entry.values[best]);
+  }
+  return truths;
+}
+
+double FactSimilarity(const Value& a, const Value& b, double scale) {
+  if (a == b) return 1.0;
+  if (a.is_continuous() && b.is_continuous()) {
+    const double s = scale > 1e-12 ? scale : 1.0;
+    return std::exp(-std::abs(a.continuous() - b.continuous()) / s);
+  }
+  return 0.0;
+}
+
+}  // namespace crh

@@ -1,0 +1,83 @@
+#ifndef CRH_BASELINES_BASELINE_H_
+#define CRH_BASELINES_BASELINE_H_
+
+/// \file baseline.h
+/// Common interface for the conflict-resolution baselines the paper
+/// compares CRH against (Section 3.1.2), plus the shared fact-graph
+/// structure the truth-discovery baselines operate on.
+///
+/// The truth-discovery baselines (Investment, PooledInvestment,
+/// 2-Estimates, 3-Estimates, TruthFinder, AccuSim) were designed for
+/// categorical "facts"; following the paper, they handle heterogeneous
+/// data by treating each distinct continuous claim as a fact too.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/stats.h"
+#include "data/table.h"
+
+namespace crh {
+
+/// Output of a conflict-resolution baseline.
+struct ResolverOutput {
+  /// Estimated truths; entries of property types the method does not
+  /// handle stay missing.
+  ValueTable truths;
+  /// Per-source reliability scores, higher = more reliable. Scales are
+  /// method-specific; normalize before comparing across methods.
+  std::vector<double> source_scores;
+};
+
+/// A conflict-resolution algorithm.
+class ConflictResolver {
+ public:
+  virtual ~ConflictResolver() = default;
+
+  /// Display name used in benchmark tables ("Voting", "TruthFinder", ...).
+  virtual const char* name() const = 0;
+
+  /// Whether the method produces truths for categorical properties.
+  virtual bool handles_categorical() const { return true; }
+  /// Whether the method produces truths for continuous properties.
+  virtual bool handles_continuous() const { return true; }
+
+  /// Resolves conflicts over the dataset. Ground truth, if present, must
+  /// not be consulted.
+  virtual Result<ResolverOutput> Run(const Dataset& data) const = 0;
+};
+
+/// The distinct claimed values ("facts") on one entry together with the
+/// sources supporting each. The shared substrate of all fact-based
+/// truth-discovery baselines.
+struct EntryFacts {
+  uint32_t object = 0;
+  uint32_t property = 0;
+  /// Distinct claimed values, in first-seen order.
+  std::vector<Value> values;
+  /// voters[f] lists the source indices claiming values[f].
+  std::vector<std::vector<uint32_t>> voters;
+  /// Total number of claims on this entry (sum of voter list sizes).
+  size_t total_votes = 0;
+};
+
+/// Builds the fact graph of a dataset: one EntryFacts per entry with at
+/// least one claim.
+std::vector<EntryFacts> BuildEntryFacts(const Dataset& data);
+
+/// Writes each entry's argmax-score fact into an N x M truth table.
+/// \p fact_scores must parallel \p facts (one score per distinct value).
+ValueTable FactsToTruths(const Dataset& data, const std::vector<EntryFacts>& facts,
+                         const std::vector<std::vector<double>>& fact_scores);
+
+/// Similarity between two facts on the same entry, in [0, 1]: exact match
+/// is 1; continuous facts decay as exp(-|a-b| / scale); differing
+/// categorical facts are 0. Used by TruthFinder and AccuSim.
+double FactSimilarity(const Value& a, const Value& b, double scale);
+
+}  // namespace crh
+
+#endif  // CRH_BASELINES_BASELINE_H_

@@ -1,0 +1,202 @@
+#ifndef CRH_BASELINES_BASELINES_H_
+#define CRH_BASELINES_BASELINES_H_
+
+/// \file baselines.h
+/// The ten conflict-resolution baselines of Section 3.1.2, implemented from
+/// scratch against the papers cited there:
+///
+///  Continuous-only:  Mean, Median, GTM (Zhao & Han 2012).
+///  Categorical-only: Voting.
+///  Fact-based truth discovery (handle both types by treating continuous
+///  claims as facts): Investment, PooledInvestment (Pasternack & Roth
+///  2010/2011), 2-Estimates, 3-Estimates (Galland et al. 2010),
+///  TruthFinder (Yin et al. 2007), AccuSim (Dong et al. 2009).
+
+#include <memory>
+#include <vector>
+
+#include "baselines/baseline.h"
+
+namespace crh {
+
+/// Unweighted per-entry mean of continuous claims; ignores categorical data.
+class MeanResolver final : public ConflictResolver {
+ public:
+  const char* name() const override { return "Mean"; }
+  bool handles_categorical() const override { return false; }
+  Result<ResolverOutput> Run(const Dataset& data) const override;
+};
+
+/// Unweighted per-entry median of continuous claims; ignores categorical data.
+class MedianResolver final : public ConflictResolver {
+ public:
+  const char* name() const override { return "Median"; }
+  bool handles_categorical() const override { return false; }
+  Result<ResolverOutput> Run(const Dataset& data) const override;
+};
+
+/// Majority voting over categorical claims; ignores continuous data.
+class VotingResolver final : public ConflictResolver {
+ public:
+  const char* name() const override { return "Voting"; }
+  bool handles_continuous() const override { return false; }
+  Result<ResolverOutput> Run(const Dataset& data) const override;
+};
+
+/// Gaussian Truth Model (Zhao & Han 2012): Bayesian truth discovery for
+/// continuous data. Claims are standardized per entry; truths and
+/// per-source variances are inferred by coordinate ascent under an
+/// inverse-Gamma prior on each source's error variance. Source score is the
+/// estimated precision 1/sigma_k^2.
+class GtmResolver final : public ConflictResolver {
+ public:
+  struct Options {
+    int max_iterations = 20;
+    /// Inverse-Gamma prior on source variances.
+    double alpha = 10.0;
+    double beta = 10.0;
+    /// Prior variance of the truth around the per-entry claim mean.
+    double truth_prior_variance = 1.0;
+  };
+  GtmResolver() {}
+  explicit GtmResolver(Options options) : options_(options) {}
+  const char* name() const override { return "GTM"; }
+  bool handles_categorical() const override { return false; }
+  Result<ResolverOutput> Run(const Dataset& data) const override;
+
+ private:
+  Options options_;
+};
+
+/// Investment (Pasternack & Roth 2010): sources invest their trust
+/// uniformly across their claims; fact belief grows as G(x) = x^1.2 of the
+/// invested total, and trust returns proportionally to each investor's
+/// share.
+class InvestmentResolver final : public ConflictResolver {
+ public:
+  struct Options {
+    int iterations = 20;
+    double exponent = 1.2;
+  };
+  InvestmentResolver() {}
+  explicit InvestmentResolver(Options options) : options_(options) {}
+  const char* name() const override { return "Investment"; }
+  Result<ResolverOutput> Run(const Dataset& data) const override;
+
+ private:
+  Options options_;
+};
+
+/// PooledInvestment (Pasternack & Roth 2010): like Investment, but fact
+/// beliefs are linearly pooled within each entry: B(f) = H(f) * G(H(f)) /
+/// sum_{f'} G(H(f')), with G(x) = x^1.4.
+class PooledInvestmentResolver final : public ConflictResolver {
+ public:
+  struct Options {
+    int iterations = 20;
+    double exponent = 1.4;
+  };
+  PooledInvestmentResolver() {}
+  explicit PooledInvestmentResolver(Options options) : options_(options) {}
+  const char* name() const override { return "PooledInvestment"; }
+  Result<ResolverOutput> Run(const Dataset& data) const override;
+
+ private:
+  Options options_;
+};
+
+/// 2-Estimates (Galland et al. 2010): alternates estimates of fact truth
+/// probabilities and source error rates with complement votes (a source
+/// claiming a different value on an entry votes against the other facts),
+/// followed by the paper's linear renormalization onto [0, 1] each round.
+class TwoEstimatesResolver final : public ConflictResolver {
+ public:
+  struct Options {
+    int iterations = 20;
+  };
+  TwoEstimatesResolver() {}
+  explicit TwoEstimatesResolver(Options options) : options_(options) {}
+  const char* name() const override { return "2-Estimates"; }
+  Result<ResolverOutput> Run(const Dataset& data) const override;
+
+ private:
+  Options options_;
+};
+
+/// 3-Estimates (Galland et al. 2010): extends 2-Estimates with a per-fact
+/// difficulty estimate so hard entries do not drag down the error estimate
+/// of sources that get them wrong.
+class ThreeEstimatesResolver final : public ConflictResolver {
+ public:
+  struct Options {
+    int iterations = 20;
+  };
+  ThreeEstimatesResolver() {}
+  explicit ThreeEstimatesResolver(Options options) : options_(options) {}
+  const char* name() const override { return "3-Estimates"; }
+  Result<ResolverOutput> Run(const Dataset& data) const override;
+
+ private:
+  Options options_;
+};
+
+/// TruthFinder (Yin et al. 2007): Bayesian confidence propagation. Source
+/// trustworthiness t(s) maps to score tau(s) = -ln(1 - t(s)); a fact's
+/// confidence sums its claimers' scores, is adjusted by the implication
+/// from similar facts on the same entry, and passes through a dampened
+/// sigmoid; trust is the average confidence of claimed facts.
+class TruthFinderResolver final : public ConflictResolver {
+ public:
+  struct Options {
+    int max_iterations = 20;
+    double initial_trust = 0.9;
+    /// Dampening factor gamma in the sigmoid.
+    double dampening = 0.3;
+    /// Weight rho of the similarity adjustment.
+    double similarity_weight = 0.5;
+    /// Base similarity subtracted so dissimilar facts imply negatively.
+    double base_similarity = 0.5;
+    /// Stop when the max trust change falls below this.
+    double tolerance = 1e-4;
+  };
+  TruthFinderResolver() {}
+  explicit TruthFinderResolver(Options options) : options_(options) {}
+  const char* name() const override { return "TruthFinder"; }
+  Result<ResolverOutput> Run(const Dataset& data) const override;
+
+ private:
+  Options options_;
+};
+
+/// AccuSim (Dong et al. 2009): Bayesian source-accuracy model with
+/// complement votes (the vote count of a fact uses ln(n A / (1-A)) per
+/// supporter) and the same similarity adjustment as TruthFinder; fact
+/// probabilities are the softmax of adjusted vote counts within an entry
+/// and source accuracy is the mean probability of its claims.
+class AccuSimResolver final : public ConflictResolver {
+ public:
+  struct Options {
+    int max_iterations = 20;
+    double initial_accuracy = 0.8;
+    /// Assumed number of false values per entry (n in the paper).
+    double false_value_count = 10.0;
+    double similarity_weight = 0.5;
+    double tolerance = 1e-4;
+  };
+  AccuSimResolver() {}
+  explicit AccuSimResolver(Options options) : options_(options) {}
+  const char* name() const override { return "AccuSim"; }
+  Result<ResolverOutput> Run(const Dataset& data) const override;
+
+ private:
+  Options options_;
+};
+
+/// All ten baselines in the order of Table 2 (Mean, Median, GTM, Voting,
+/// Investment, PooledInvestment, 2-Estimates, 3-Estimates, TruthFinder,
+/// AccuSim).
+std::vector<std::unique_ptr<ConflictResolver>> MakeAllBaselines();
+
+}  // namespace crh
+
+#endif  // CRH_BASELINES_BASELINES_H_

@@ -1,0 +1,156 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baselines/baselines.h"
+
+namespace crh {
+
+namespace {
+
+/// Galland et al.'s linear renormalization onto [0, 1]; a constant series
+/// collapses to 0.5.
+void Renormalize(std::vector<double>* xs) {
+  if (xs->empty()) return;
+  const auto [lo_it, hi_it] = std::minmax_element(xs->begin(), xs->end());
+  const double lo = *lo_it, hi = *hi_it;
+  if (hi - lo < 1e-12) {
+    std::fill(xs->begin(), xs->end(), 0.5);
+    return;
+  }
+  for (double& x : *xs) x = (x - lo) / (hi - lo);
+}
+
+void RenormalizeNested(std::vector<std::vector<double>>* xss) {
+  double lo = 1e300, hi = -1e300;
+  for (const auto& xs : *xss) {
+    for (double x : xs) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+  }
+  if (hi - lo < 1e-12) {
+    for (auto& xs : *xss) std::fill(xs.begin(), xs.end(), 0.5);
+    return;
+  }
+  for (auto& xs : *xss) {
+    for (double& x : xs) x = (x - lo) / (hi - lo);
+  }
+}
+
+constexpr double kClip = 1e-3;
+
+double Clip01(double x) { return std::clamp(x, kClip, 1.0 - kClip); }
+
+/// Shared engine for 2-Estimates and 3-Estimates (Galland et al., WSDM
+/// 2010). Sources cast a positive vote for the fact they claim and an
+/// implicit negative (complement) vote against every other fact on the
+/// same entry. 3-Estimates additionally estimates a per-fact difficulty
+/// delta_f, postulating P(source s wrong about f) = eps_s * delta_f.
+ResolverOutput RunEstimates(const Dataset& data, int iterations, bool with_difficulty) {
+  const size_t k_sources = data.num_sources();
+  const std::vector<EntryFacts> facts = BuildEntryFacts(data);
+
+  std::vector<double> error(k_sources, 0.2);
+  std::vector<std::vector<double>> theta(facts.size());     // fact truth estimates
+  std::vector<std::vector<double>> difficulty(facts.size());
+  for (size_t e = 0; e < facts.size(); ++e) {
+    theta[e].assign(facts[e].values.size(), 0.5);
+    difficulty[e].assign(facts[e].values.size(), 0.5);
+  }
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    // --- Theta step: truth estimate per fact from voter errors.
+    for (size_t e = 0; e < facts.size(); ++e) {
+      const EntryFacts& entry = facts[e];
+      const size_t num_facts = entry.values.size();
+      // Every voter on the entry votes on every fact (positively on its
+      // claim, negatively otherwise), so the denominator is total_votes.
+      double total_error = 0.0;
+      for (size_t f = 0; f < num_facts; ++f) {
+        for (uint32_t s : entry.voters[f]) total_error += error[s];
+      }
+      for (size_t f = 0; f < num_facts; ++f) {
+        const double d = with_difficulty ? Clip01(difficulty[e][f]) : 1.0;
+        double supporter_error = 0.0;
+        for (uint32_t s : entry.voters[f]) supporter_error += error[s];
+        const double supporters = static_cast<double>(entry.voters[f].size());
+        // Positive votes contribute 1 - eps*delta; negative votes eps*delta.
+        const double numerator = supporters - supporter_error * d +
+                                 (total_error - supporter_error) * d;
+        theta[e][f] = numerator / static_cast<double>(entry.total_votes);
+      }
+    }
+    RenormalizeNested(&theta);
+
+    // --- Difficulty step (3-Estimates only). A positive vote on f is
+    // wrong with probability 1 - theta_f, a negative vote with theta_f;
+    // each wrong vote by source s is evidence of difficulty target/eps_s.
+    if (with_difficulty) {
+      for (size_t e = 0; e < facts.size(); ++e) {
+        const EntryFacts& entry = facts[e];
+        const size_t num_facts = entry.values.size();
+        // inv_eps[f] = sum over f's voters of 1/eps_s.
+        std::vector<double> inv_eps(num_facts, 0.0);
+        double inv_eps_total = 0.0;
+        for (size_t f = 0; f < num_facts; ++f) {
+          for (uint32_t s : entry.voters[f]) inv_eps[f] += 1.0 / Clip01(error[s]);
+          inv_eps_total += inv_eps[f];
+        }
+        for (size_t f = 0; f < num_facts; ++f) {
+          const double total = (1.0 - theta[e][f]) * inv_eps[f] +
+                               theta[e][f] * (inv_eps_total - inv_eps[f]);
+          difficulty[e][f] =
+              entry.total_votes > 0 ? total / static_cast<double>(entry.total_votes) : 0.5;
+        }
+      }
+      RenormalizeNested(&difficulty);
+    }
+
+    // --- Error step: per-source error from the facts it voted on. A
+    // positive vote on f contributes (1 - theta_f)/delta_f, the implicit
+    // negative votes on the entry's other facts contribute theta_f2/delta_f2.
+    std::vector<double> total(k_sources, 0.0);
+    std::vector<size_t> votes(k_sources, 0);
+    for (size_t e = 0; e < facts.size(); ++e) {
+      const EntryFacts& entry = facts[e];
+      const size_t num_facts = entry.values.size();
+      double theta_over_delta_total = 0.0;
+      for (size_t f = 0; f < num_facts; ++f) {
+        const double d = with_difficulty ? Clip01(difficulty[e][f]) : 1.0;
+        theta_over_delta_total += theta[e][f] / d;
+      }
+      for (size_t f = 0; f < num_facts; ++f) {
+        const double d = with_difficulty ? Clip01(difficulty[e][f]) : 1.0;
+        const double own = (1.0 - theta[e][f]) / d;
+        const double others = theta_over_delta_total - theta[e][f] / d;
+        for (uint32_t s : entry.voters[f]) {
+          total[s] += own + others;
+          votes[s] += num_facts;
+        }
+      }
+    }
+    for (size_t s = 0; s < k_sources; ++s) {
+      error[s] = votes[s] > 0 ? total[s] / static_cast<double>(votes[s]) : 0.5;
+    }
+    Renormalize(&error);
+  }
+
+  ResolverOutput out;
+  out.truths = FactsToTruths(data, facts, theta);
+  out.source_scores.resize(k_sources);
+  for (size_t s = 0; s < k_sources; ++s) out.source_scores[s] = 1.0 - error[s];
+  return out;
+}
+
+}  // namespace
+
+Result<ResolverOutput> TwoEstimatesResolver::Run(const Dataset& data) const {
+  return RunEstimates(data, options_.iterations, /*with_difficulty=*/false);
+}
+
+Result<ResolverOutput> ThreeEstimatesResolver::Run(const Dataset& data) const {
+  return RunEstimates(data, options_.iterations, /*with_difficulty=*/true);
+}
+
+}  // namespace crh

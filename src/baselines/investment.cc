@@ -1,0 +1,94 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baselines/baselines.h"
+
+namespace crh {
+
+namespace {
+
+/// Shared engine for Investment and PooledInvestment (Pasternack & Roth,
+/// COLING 2010). Per round:
+///
+///   inv(s, f) = T(s) / |claims(s)|                  (uniform investment)
+///   H(f)      = sum_{s in S(f)} inv(s, f)
+///   B(f)      = pooled ? H(f) * H(f)^g / sum_{f' in entry} H(f')^g
+///                      : H(f)^g
+///   T(s)      = sum_{f in claims(s)} B(f) * inv(s, f) / H(f)
+///
+/// followed by rescaling T to max 1 to keep the iteration bounded.
+ResolverOutput RunInvestment(const Dataset& data, int iterations, double exponent,
+                             bool pooled) {
+  const size_t k_sources = data.num_sources();
+  const std::vector<EntryFacts> facts = BuildEntryFacts(data);
+
+  std::vector<size_t> claims_per_source(k_sources, 0);
+  for (const EntryFacts& entry : facts) {
+    for (const auto& voters : entry.voters) {
+      for (uint32_t s : voters) ++claims_per_source[s];
+    }
+  }
+
+  std::vector<double> trust(k_sources, 1.0);
+  std::vector<std::vector<double>> belief(facts.size());
+  for (size_t e = 0; e < facts.size(); ++e) belief[e].assign(facts[e].values.size(), 0.0);
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::vector<double> new_trust(k_sources, 0.0);
+    for (size_t e = 0; e < facts.size(); ++e) {
+      const EntryFacts& entry = facts[e];
+      const size_t num_facts = entry.values.size();
+      std::vector<double> invested(num_facts, 0.0);
+      for (size_t f = 0; f < num_facts; ++f) {
+        for (uint32_t s : entry.voters[f]) {
+          invested[f] += trust[s] / static_cast<double>(std::max<size_t>(claims_per_source[s], 1));
+        }
+      }
+      double pool_norm = 0.0;
+      if (pooled) {
+        for (size_t f = 0; f < num_facts; ++f) pool_norm += std::pow(invested[f], exponent);
+      }
+      for (size_t f = 0; f < num_facts; ++f) {
+        double b;
+        if (pooled) {
+          b = pool_norm > 0 ? invested[f] * std::pow(invested[f], exponent) / pool_norm : 0.0;
+        } else {
+          b = std::pow(invested[f], exponent);
+        }
+        belief[e][f] = b;
+        if (invested[f] > 0) {
+          for (uint32_t s : entry.voters[f]) {
+            const double share =
+                trust[s] / static_cast<double>(std::max<size_t>(claims_per_source[s], 1));
+            new_trust[s] += b * share / invested[f];
+          }
+        }
+      }
+    }
+    const double max_trust = *std::max_element(new_trust.begin(), new_trust.end());
+    if (max_trust > 0) {
+      for (double& t : new_trust) t /= max_trust;
+    } else {
+      std::fill(new_trust.begin(), new_trust.end(), 1.0);
+    }
+    trust = std::move(new_trust);
+  }
+
+  ResolverOutput out;
+  out.truths = FactsToTruths(data, facts, belief);
+  out.source_scores = trust;
+  return out;
+}
+
+}  // namespace
+
+Result<ResolverOutput> InvestmentResolver::Run(const Dataset& data) const {
+  return RunInvestment(data, options_.iterations, options_.exponent, /*pooled=*/false);
+}
+
+Result<ResolverOutput> PooledInvestmentResolver::Run(const Dataset& data) const {
+  return RunInvestment(data, options_.iterations, options_.exponent, /*pooled=*/true);
+}
+
+}  // namespace crh

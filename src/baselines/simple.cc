@@ -1,0 +1,73 @@
+#include <algorithm>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "core/resolvers.h"
+
+namespace crh {
+
+namespace {
+
+/// Applies an unweighted per-entry aggregate to one property type.
+template <typename Aggregate>
+ResolverOutput AggregateByType(const Dataset& data, PropertyType type, Aggregate aggregate) {
+  ResolverOutput out;
+  out.truths = ValueTable(data.num_objects(), data.num_properties());
+  out.source_scores.assign(data.num_sources(), 1.0);
+  std::vector<Value> claims;
+  for (size_t m = 0; m < data.num_properties(); ++m) {
+    if (data.schema().property(m).type != type) continue;
+    for (size_t i = 0; i < data.num_objects(); ++i) {
+      claims.clear();
+      for (size_t k = 0; k < data.num_sources(); ++k) {
+        const Value& v = data.observations(k).Get(i, m);
+        if (!v.is_missing()) claims.push_back(v);
+      }
+      if (!claims.empty()) out.truths.Set(i, m, aggregate(claims));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ResolverOutput> MeanResolver::Run(const Dataset& data) const {
+  return AggregateByType(data, PropertyType::kContinuous, [](const std::vector<Value>& claims) {
+    double total = 0;
+    for (const Value& v : claims) total += v.continuous();
+    return Value::Continuous(total / static_cast<double>(claims.size()));
+  });
+}
+
+Result<ResolverOutput> MedianResolver::Run(const Dataset& data) const {
+  return AggregateByType(data, PropertyType::kContinuous, [](const std::vector<Value>& claims) {
+    std::vector<double> values;
+    values.reserve(claims.size());
+    for (const Value& v : claims) values.push_back(v.continuous());
+    return Value::Continuous(
+        WeightedMedian(std::move(values), std::vector<double>(claims.size(), 1.0)));
+  });
+}
+
+Result<ResolverOutput> VotingResolver::Run(const Dataset& data) const {
+  return AggregateByType(data, PropertyType::kCategorical, [](const std::vector<Value>& claims) {
+    return WeightedVote(claims, std::vector<double>(claims.size(), 1.0));
+  });
+}
+
+std::vector<std::unique_ptr<ConflictResolver>> MakeAllBaselines() {
+  std::vector<std::unique_ptr<ConflictResolver>> out;
+  out.push_back(std::make_unique<MeanResolver>());
+  out.push_back(std::make_unique<MedianResolver>());
+  out.push_back(std::make_unique<GtmResolver>());
+  out.push_back(std::make_unique<VotingResolver>());
+  out.push_back(std::make_unique<InvestmentResolver>());
+  out.push_back(std::make_unique<PooledInvestmentResolver>());
+  out.push_back(std::make_unique<TwoEstimatesResolver>());
+  out.push_back(std::make_unique<ThreeEstimatesResolver>());
+  out.push_back(std::make_unique<TruthFinderResolver>());
+  out.push_back(std::make_unique<AccuSimResolver>());
+  return out;
+}
+
+}  // namespace crh

@@ -1,0 +1,84 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baselines/baselines.h"
+
+namespace crh {
+
+/// TruthFinder (Yin, Han & Yu, KDD 2007).
+///
+/// Iterates between source trustworthiness t(s) and fact confidence s(f):
+///
+///   tau(s)     = -ln(1 - t(s))
+///   sigma(f)   = sum_{s in S(f)} tau(s)
+///   sigma*(f)  = sigma(f) + rho * sum_{f' != f} sigma(f') * imp(f' -> f)
+///   s(f)       = 1 / (1 + exp(-gamma * sigma*(f)))        (dampened)
+///   t(s)       = mean of s(f) over s's claims
+///
+/// where imp(f' -> f) = similarity(f', f) - base_similarity, so that a
+/// similar fact lends support while a conflicting one detracts.
+Result<ResolverOutput> TruthFinderResolver::Run(const Dataset& data) const {
+  const size_t k_sources = data.num_sources();
+  const std::vector<EntryFacts> facts = BuildEntryFacts(data);
+  const EntryStats stats = ComputeEntryStats(data);
+
+  std::vector<size_t> claims_per_source(k_sources, 0);
+  for (const EntryFacts& entry : facts) {
+    for (const auto& voters : entry.voters) {
+      for (uint32_t s : voters) ++claims_per_source[s];
+    }
+  }
+
+  std::vector<double> trust(k_sources, options_.initial_trust);
+  std::vector<std::vector<double>> confidence(facts.size());
+  for (size_t e = 0; e < facts.size(); ++e) confidence[e].assign(facts[e].values.size(), 0.0);
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    std::vector<double> tau(k_sources);
+    for (size_t s = 0; s < k_sources; ++s) {
+      tau[s] = -std::log(std::max(1.0 - trust[s], 1e-9));
+    }
+
+    std::vector<double> new_trust(k_sources, 0.0);
+    for (size_t e = 0; e < facts.size(); ++e) {
+      const EntryFacts& entry = facts[e];
+      const size_t num_facts = entry.values.size();
+      const double scale =
+          stats.scale_at(entry.object, entry.property);
+      std::vector<double> sigma(num_facts, 0.0);
+      for (size_t f = 0; f < num_facts; ++f) {
+        for (uint32_t s : entry.voters[f]) sigma[f] += tau[s];
+      }
+      for (size_t f = 0; f < num_facts; ++f) {
+        double adjusted = sigma[f];
+        for (size_t f2 = 0; f2 < num_facts; ++f2) {
+          if (f2 == f) continue;
+          const double implication =
+              FactSimilarity(entry.values[f2], entry.values[f], scale) -
+              options_.base_similarity;
+          adjusted += options_.similarity_weight * sigma[f2] * implication;
+        }
+        const double conf = 1.0 / (1.0 + std::exp(-options_.dampening * adjusted));
+        confidence[e][f] = conf;
+        for (uint32_t s : entry.voters[f]) new_trust[s] += conf;
+      }
+    }
+    double max_change = 0.0;
+    for (size_t s = 0; s < k_sources; ++s) {
+      const double t = claims_per_source[s] > 0
+                           ? new_trust[s] / static_cast<double>(claims_per_source[s])
+                           : options_.initial_trust;
+      max_change = std::max(max_change, std::abs(t - trust[s]));
+      trust[s] = std::min(t, 1.0 - 1e-9);
+    }
+    if (max_change < options_.tolerance) break;
+  }
+
+  ResolverOutput out;
+  out.truths = FactsToTruths(data, facts, confidence);
+  out.source_scores = trust;
+  return out;
+}
+
+}  // namespace crh

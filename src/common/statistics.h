@@ -1,0 +1,25 @@
+#ifndef CRH_COMMON_STATISTICS_H_
+#define CRH_COMMON_STATISTICS_H_
+
+/// \file statistics.h
+/// Small statistical functions needed by the confidence-aware extension
+/// (core/catd.h): the standard normal inverse CDF and a chi-squared
+/// quantile. Self-contained implementations — no external math library.
+
+namespace crh {
+
+/// Inverse CDF of the standard normal distribution (the probit function),
+/// via Acklam's rational approximation (relative error < 1.15e-9 over the
+/// open unit interval). Returns +/-infinity at p = 1 / p = 0 and NaN
+/// outside [0, 1].
+double InverseNormalCdf(double p);
+
+/// The p-quantile of the chi-squared distribution with `dof` degrees of
+/// freedom, via the Wilson-Hilferty cube approximation (accurate to a few
+/// tenths of a percent for dof >= 3, adequate for confidence weighting).
+/// Requires p in (0, 1) and dof > 0.
+double ChiSquaredQuantile(double p, double dof);
+
+}  // namespace crh
+
+#endif  // CRH_COMMON_STATISTICS_H_

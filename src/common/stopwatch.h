@@ -1,0 +1,34 @@
+#ifndef CRH_COMMON_STOPWATCH_H_
+#define CRH_COMMON_STOPWATCH_H_
+
+/// \file stopwatch.h
+/// Wall-clock timing used by the benchmark harnesses (Table 5 etc.).
+
+#include <chrono>
+
+namespace crh {
+
+/// Measures elapsed wall-clock time. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace crh
+
+#endif  // CRH_COMMON_STOPWATCH_H_

@@ -1,0 +1,34 @@
+#include "common/value.h"
+
+#include <cstdio>
+
+namespace crh {
+
+const char* PropertyTypeToString(PropertyType type) {
+  switch (type) {
+    case PropertyType::kContinuous:
+      return "continuous";
+    case PropertyType::kCategorical:
+      return "categorical";
+    case PropertyType::kText:
+      return "text";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kMissing:
+      return "missing";
+    case Kind::kContinuous: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", continuous_);
+      return buf;
+    }
+    case Kind::kCategorical:
+      return "#" + std::to_string(category_);
+  }
+  return "?";
+}
+
+}  // namespace crh

@@ -1,0 +1,83 @@
+#include "core/catd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/statistics.h"
+#include "data/stats.h"
+
+namespace crh {
+
+Result<CatdResult> RunCatd(const Dataset& data, const CatdOptions& options) {
+  if (data.num_sources() == 0) {
+    return Status::InvalidArgument("dataset has no sources");
+  }
+  if (data.num_entries() == 0) {
+    return Status::InvalidArgument("dataset has no entries");
+  }
+  if (!(options.alpha > 0.0 && options.alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  if (options.max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+
+  const size_t k_sources = data.num_sources();
+  const EntryStats stats = ComputeEntryStats(data);
+
+  // The chi-squared numerator already encodes each source's claim count;
+  // do not divide the losses by it again.
+  CrhOptions loss_options = options.base;
+  loss_options.normalize_by_observation_count = false;
+
+  // Claims per source (n_k, the degrees of freedom).
+  std::vector<double> claim_count(k_sources, 0.0);
+  for (size_t k = 0; k < k_sources; ++k) {
+    claim_count[k] = static_cast<double>(data.observations(k).CountPresent());
+  }
+  std::vector<double> quantile(k_sources, 0.0);
+  for (size_t k = 0; k < k_sources; ++k) {
+    quantile[k] =
+        claim_count[k] > 0 ? ChiSquaredQuantile(options.alpha / 2.0, claim_count[k]) : 0.0;
+  }
+
+  CatdResult result;
+  std::vector<double> weights(k_sources, 1.0);
+  result.truths = ComputeTruthsGivenWeights(data, weights, loss_options);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Confidence-aware weight update.
+    const std::vector<double> losses =
+        ComputeSourceDeviations(data, result.truths, stats, loss_options);
+    double max_weight = 0.0;
+    std::vector<double> new_weights(k_sources, 0.0);
+    for (size_t k = 0; k < k_sources; ++k) {
+      const double denom = std::max(losses[k], 1e-9);
+      new_weights[k] = quantile[k] / denom;
+      max_weight = std::max(max_weight, new_weights[k]);
+    }
+    // Normalize to max 1 (truth updates are scale-invariant; this keeps the
+    // convergence check meaningful).
+    if (max_weight > 0) {
+      for (double& w : new_weights) w /= max_weight;
+    } else {
+      std::fill(new_weights.begin(), new_weights.end(), 1.0);
+    }
+
+    double max_change = 0.0;
+    for (size_t k = 0; k < k_sources; ++k) {
+      max_change = std::max(max_change, std::abs(new_weights[k] - weights[k]));
+    }
+    weights = std::move(new_weights);
+    result.truths = ComputeTruthsGivenWeights(data, weights, loss_options);
+    result.iterations = iter + 1;
+    if (max_change < options.convergence_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.source_weights = std::move(weights);
+  return result;
+}
+
+}  // namespace crh

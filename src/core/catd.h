@@ -1,0 +1,59 @@
+#ifndef CRH_CORE_CATD_H_
+#define CRH_CORE_CATD_H_
+
+/// \file catd.h
+/// CATD — Confidence-Aware Truth Discovery for long-tail data.
+///
+/// The CRH weight update treats a source's aggregated deviation as a point
+/// estimate of its (un)reliability. On *long-tail* data — where most
+/// sources contribute only a handful of claims — that point estimate is
+/// itself highly uncertain: a source that was right on its only two claims
+/// may just have been lucky. The paper's follow-up (Li et al., "A
+/// Confidence-Aware Approach for Truth Discovery on Long-Tail Data", VLDB
+/// 2015, the paper's reference [23]) replaces the point estimate with the
+/// upper bound of a chi-squared confidence interval on the source's error
+/// variance:
+///
+///   w_k = chi2_{alpha/2, n_k} / sum_i d(v*_i, v_i^k)
+///
+/// where n_k is the number of claims source k made. Because the chi-squared
+/// quantile grows (roughly linearly) with n_k, two sources with the same
+/// *average* error get different weights: the one observed on more claims
+/// is trusted more. The truth update is unchanged from CRH.
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/crh.h"
+#include "data/dataset.h"
+
+namespace crh {
+
+/// Configuration for RunCatd.
+struct CatdOptions {
+  /// Truth models and normalization config shared with CRH. The weight
+  /// scheme inside is ignored (CATD has its own update); per-observation
+  /// normalization is also ignored because the chi-squared numerator
+  /// already accounts for claim counts.
+  CrhOptions base;
+  /// Significance level of the confidence interval; the weight uses the
+  /// alpha/2 lower quantile of chi-squared with n_k degrees of freedom.
+  double alpha = 0.05;
+  int max_iterations = 20;
+  double convergence_tolerance = 1e-9;
+};
+
+/// Output of RunCatd (same shape as CrhResult, minus soft distributions).
+struct CatdResult {
+  ValueTable truths;
+  std::vector<double> source_weights;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Runs confidence-aware truth discovery on the dataset.
+Result<CatdResult> RunCatd(const Dataset& data, const CatdOptions& options = {});
+
+}  // namespace crh
+
+#endif  // CRH_CORE_CATD_H_

@@ -1,0 +1,390 @@
+#include "core/crh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/resolvers.h"
+#include "losses/loss.h"
+#include "losses/text_distance.h"
+
+namespace crh {
+
+namespace {
+
+/// Mutable solver state: hard truths plus, for the soft categorical model,
+/// per-entry label distributions.
+struct SolverState {
+  ValueTable truths;
+  // soft[m] is empty unless property m is categorical and the soft model is
+  // active; otherwise an N x L_m row-major probability matrix.
+  std::vector<std::vector<double>> soft;
+  std::vector<size_t> num_labels;  // L_m per property (0 for continuous)
+};
+
+/// Property -> weight-group mapping for the configured granularity.
+/// Returns the group of each property; sets *num_groups.
+std::vector<size_t> BuildPropertyGroups(const Schema& schema, WeightGranularity granularity,
+                                        size_t* num_groups) {
+  const size_t m_props = schema.num_properties();
+  std::vector<size_t> group(m_props, 0);
+  switch (granularity) {
+    case WeightGranularity::kGlobal:
+      *num_groups = 1;
+      return group;
+    case WeightGranularity::kPerType: {
+      // Dense group ids over the types actually present, in first-seen order.
+      std::vector<int> type_group(3, -1);
+      size_t next = 0;
+      for (size_t m = 0; m < m_props; ++m) {
+        const size_t type = static_cast<size_t>(schema.property(m).type);
+        if (type_group[type] < 0) type_group[type] = static_cast<int>(next++);
+        group[m] = static_cast<size_t>(type_group[type]);
+      }
+      *num_groups = next;
+      return group;
+    }
+    case WeightGranularity::kPerProperty:
+      for (size_t m = 0; m < m_props; ++m) group[m] = m;
+      *num_groups = m_props;
+      return group;
+  }
+  *num_groups = 1;
+  return group;
+}
+
+/// Gathers the non-missing claims of all sources on entry (i, m).
+void GatherClaims(const Dataset& data, size_t i, size_t m, std::vector<Value>* values,
+                  std::vector<double>* weights, const std::vector<double>& w) {
+  values->clear();
+  weights->clear();
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    const Value& v = data.observations(k).Get(i, m);
+    if (v.is_missing()) continue;
+    values->push_back(v);
+    weights->push_back(w[k]);
+  }
+}
+
+/// Updates the truth (and soft distribution) of every entry given per-group
+/// source weights; supervised cells are clamped to their labels.
+void UpdateTruths(const Dataset& data, const std::vector<std::vector<double>>& group_weights,
+                  const std::vector<size_t>& property_group, const CrhOptions& options,
+                  SolverState* state) {
+  const size_t n = data.num_objects();
+  const size_t m_props = data.num_properties();
+  std::vector<Value> claim_values;
+  std::vector<double> claim_weights;
+  std::vector<double> cont_values;
+  std::vector<CategoryId> labels;
+
+  for (size_t m = 0; m < m_props; ++m) {
+    const PropertyType type = data.schema().property(m).type;
+    const bool categorical = type == PropertyType::kCategorical;
+    const bool soft = categorical && options.categorical_model == CategoricalModel::kSoftProbability;
+    const std::vector<double>& weights = group_weights[property_group[m]];
+    // Text truths: the claim minimizing the weighted total normalized edit
+    // distance to all claims (the medoid induced by the text loss).
+    const auto text_distance = [&data, m](const Value& a, const Value& b) {
+      return NormalizedEditDistance(data.dict(m).label(a.category()),
+                                    data.dict(m).label(b.category()));
+    };
+    for (size_t i = 0; i < n; ++i) {
+      if (options.supervision != nullptr) {
+        const Value& label = options.supervision->Get(i, m);
+        if (!label.is_missing()) {
+          state->truths.Set(i, m, label);
+          continue;
+        }
+      }
+      GatherClaims(data, i, m, &claim_values, &claim_weights, weights);
+      if (claim_values.empty()) {
+        state->truths.Set(i, m, Value::Missing());
+        continue;
+      }
+      if (type == PropertyType::kText) {
+        state->truths.Set(i, m, WeightedMedoid(claim_values, claim_weights, text_distance));
+      } else if (categorical) {
+        if (soft) {
+          labels.clear();
+          for (const Value& v : claim_values) labels.push_back(v.category());
+          std::vector<double> dist =
+              WeightedLabelDistribution(labels, claim_weights, state->num_labels[m]);
+          const CategoryId mode = static_cast<CategoryId>(ArgMax(dist));
+          std::copy(dist.begin(), dist.end(),
+                    state->soft[m].begin() + static_cast<long>(i * state->num_labels[m]));
+          state->truths.Set(i, m, Value::Categorical(mode));
+        } else {
+          state->truths.Set(i, m, WeightedVote(claim_values, claim_weights));
+        }
+      } else {
+        cont_values.clear();
+        for (const Value& v : claim_values) cont_values.push_back(v.continuous());
+        double truth;
+        if (options.continuous_model == ContinuousModel::kMedian) {
+          truth = WeightedMedian(cont_values, claim_weights);
+        } else {
+          truth = WeightedMean(cont_values, claim_weights);
+          if (std::isnan(truth)) {
+            truth = WeightedMedian(cont_values, std::vector<double>(cont_values.size(), 1.0));
+          }
+        }
+        state->truths.Set(i, m, Value::Continuous(truth));
+      }
+    }
+  }
+}
+
+/// The per-claim loss of source k's claim on entry (i, m) under the
+/// configured models, given the current state.
+double ClaimLoss(const Dataset& data, const SolverState& state, const EntryStats& stats,
+                 const CrhOptions& options, size_t i, size_t m, const Value& obs) {
+  const PropertyType type = data.schema().property(m).type;
+  if (type == PropertyType::kText) {
+    const Value& truth = state.truths.Get(i, m);
+    return NormalizedEditDistance(data.dict(m).label(truth.category()),
+                                  data.dict(m).label(obs.category()));
+  }
+  if (type == PropertyType::kCategorical) {
+    if (options.categorical_model == CategoricalModel::kSoftProbability) {
+      const std::vector<double>& block = state.soft[m];
+      const size_t l_m = state.num_labels[m];
+      // View of the entry's distribution inside the property block.
+      std::vector<double> dist(block.begin() + static_cast<long>(i * l_m),
+                               block.begin() + static_cast<long>((i + 1) * l_m));
+      return ProbVectorSquaredLoss(dist, obs.category());
+    }
+    return state.truths.Get(i, m) == obs ? 0.0 : 1.0;
+  }
+  const double diff = state.truths.Get(i, m).continuous() - obs.continuous();
+  const double scale = stats.scale_at(i, m);
+  if (options.continuous_model == ContinuousModel::kMedian) {
+    return std::abs(diff) / scale;
+  }
+  return diff * diff / scale;
+}
+
+/// Computes the K x M matrix of per-source per-property losses with the
+/// configured observation-count and per-property normalizations applied.
+std::vector<std::vector<double>> NormalizedLossMatrix(const Dataset& data,
+                                                      const SolverState& state,
+                                                      const EntryStats& stats,
+                                                      const CrhOptions& options) {
+  const size_t k_sources = data.num_sources();
+  const size_t m_props = data.num_properties();
+  const size_t n = data.num_objects();
+
+  std::vector<std::vector<double>> loss(k_sources, std::vector<double>(m_props, 0.0));
+  std::vector<std::vector<size_t>> count(k_sources, std::vector<size_t>(m_props, 0));
+  for (size_t k = 0; k < k_sources; ++k) {
+    const ValueTable& table = data.observations(k);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t m = 0; m < m_props; ++m) {
+        const Value& obs = table.Get(i, m);
+        if (obs.is_missing() || state.truths.Get(i, m).is_missing()) continue;
+        loss[k][m] += ClaimLoss(data, state, stats, options, i, m, obs);
+        ++count[k][m];
+      }
+    }
+  }
+
+  if (options.normalize_by_observation_count) {
+    for (size_t k = 0; k < k_sources; ++k) {
+      for (size_t m = 0; m < m_props; ++m) {
+        if (count[k][m] > 0) loss[k][m] /= static_cast<double>(count[k][m]);
+      }
+    }
+  }
+
+  if (options.property_normalization != PropertyLossNormalization::kNone) {
+    for (size_t m = 0; m < m_props; ++m) {
+      double norm = 0.0;
+      for (size_t k = 0; k < k_sources; ++k) {
+        if (options.property_normalization == PropertyLossNormalization::kSum) {
+          norm += loss[k][m];
+        } else {
+          norm = std::max(norm, loss[k][m]);
+        }
+      }
+      if (norm > 0) {
+        for (size_t k = 0; k < k_sources; ++k) loss[k][m] /= norm;
+      }
+    }
+  }
+  return loss;
+}
+
+/// Sums the normalized loss matrix over all properties (the global
+/// per-source deviations feeding the weight update).
+std::vector<double> AggregateSourceLosses(const Dataset& data, const SolverState& state,
+                                          const EntryStats& stats, const CrhOptions& options) {
+  const auto loss = NormalizedLossMatrix(data, state, stats, options);
+  std::vector<double> totals(data.num_sources(), 0.0);
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    for (size_t m = 0; m < data.num_properties(); ++m) totals[k] += loss[k][m];
+  }
+  return totals;
+}
+
+}  // namespace
+
+ValueTable ComputeTruthsGivenWeights(const Dataset& data, const std::vector<double>& weights,
+                                     const CrhOptions& options) {
+  SolverState state;
+  state.truths = ValueTable(data.num_objects(), data.num_properties());
+  state.num_labels.assign(data.num_properties(), 0);
+  state.soft.assign(data.num_properties(), {});
+  CrhOptions hard = options;
+  hard.categorical_model = CategoricalModel::kVoting;
+  const std::vector<size_t> groups(data.num_properties(), 0);
+  UpdateTruths(data, {weights}, groups, hard, &state);
+  return std::move(state.truths);
+}
+
+std::vector<double> ComputeSourceDeviations(const Dataset& data, const ValueTable& truths,
+                                            const EntryStats& stats, const CrhOptions& options) {
+  SolverState state;
+  state.truths = truths;
+  CrhOptions hard = options;
+  hard.categorical_model = CategoricalModel::kVoting;
+  return AggregateSourceLosses(data, state, stats, hard);
+}
+
+double CrhObjective(const Dataset& data, const ValueTable& truths,
+                    const std::vector<double>& weights, const EntryStats& stats,
+                    const CrhOptions& options) {
+  // The raw objective uses hard truths; under the soft model this is the
+  // 0-1 surrogate evaluated at the mode, which is what the history reports.
+  SolverState state;
+  state.truths = truths;
+  CrhOptions hard = options;
+  hard.categorical_model = CategoricalModel::kVoting;
+
+  double objective = 0.0;
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    double source_total = 0.0;
+    const ValueTable& table = data.observations(k);
+    for (size_t i = 0; i < data.num_objects(); ++i) {
+      for (size_t m = 0; m < data.num_properties(); ++m) {
+        const Value& obs = table.Get(i, m);
+        if (obs.is_missing() || truths.Get(i, m).is_missing()) continue;
+        source_total += ClaimLoss(data, state, stats, hard, i, m, obs);
+      }
+    }
+    objective += weights[k] * source_total;
+  }
+  return objective;
+}
+
+Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options) {
+  if (data.num_sources() == 0) {
+    return Status::InvalidArgument("dataset has no sources");
+  }
+  if (data.num_entries() == 0) {
+    return Status::InvalidArgument("dataset has no entries");
+  }
+  if (options.max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  if (options.supervision != nullptr &&
+      (options.supervision->num_objects() != data.num_objects() ||
+       options.supervision->num_properties() != data.num_properties())) {
+    return Status::InvalidArgument("supervision table shape does not match dataset");
+  }
+
+  const size_t k_sources = data.num_sources();
+  const EntryStats stats = ComputeEntryStats(data);
+
+  size_t num_groups = 1;
+  const std::vector<size_t> property_group =
+      BuildPropertyGroups(data.schema(), options.weight_granularity, &num_groups);
+
+  SolverState state;
+  state.truths = ValueTable(data.num_objects(), data.num_properties());
+  state.num_labels.assign(data.num_properties(), 0);
+  state.soft.assign(data.num_properties(), {});
+  for (size_t m = 0; m < data.num_properties(); ++m) {
+    if (data.schema().is_categorical(m)) {
+      // Every interned label is a possible truth; guarantee at least one
+      // slot so distributions stay well-formed on empty dictionaries.
+      state.num_labels[m] = std::max<size_t>(data.dict(m).size(), 1);
+      if (options.categorical_model == CategoricalModel::kSoftProbability) {
+        state.soft[m].assign(data.num_objects() * state.num_labels[m], 0.0);
+      }
+    }
+  }
+
+  // Step 0: initialize truths with uniform weights (Voting / Median / Mean).
+  std::vector<std::vector<double>> group_weights(num_groups,
+                                                 std::vector<double>(k_sources, 1.0));
+  UpdateTruths(data, group_weights, property_group, options, &state);
+
+  CrhResult result;
+  double prev_objective = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Step I: source weight update (Eq 2 / Eq 5), one update per group.
+    const auto loss_matrix = NormalizedLossMatrix(data, state, stats, options);
+    for (size_t g = 0; g < num_groups; ++g) {
+      std::vector<double> totals(k_sources, 0.0);
+      for (size_t k = 0; k < k_sources; ++k) {
+        for (size_t m = 0; m < data.num_properties(); ++m) {
+          if (property_group[m] == g) totals[k] += loss_matrix[k][m];
+        }
+      }
+      auto weights_result = ComputeSourceWeights(totals, options.weight_scheme);
+      if (!weights_result.ok()) return weights_result.status();
+      group_weights[g] = std::move(weights_result).ValueOrDie();
+    }
+
+    // Step II: truth update (Eq 3).
+    UpdateTruths(data, group_weights, property_group, options, &state);
+
+    // Convergence is judged on the mean-across-groups weights via the raw
+    // objective (Eq 1).
+    std::vector<double> mean_weights(k_sources, 0.0);
+    for (size_t k = 0; k < k_sources; ++k) {
+      for (size_t g = 0; g < num_groups; ++g) mean_weights[k] += group_weights[g][k];
+      mean_weights[k] /= static_cast<double>(num_groups);
+    }
+    result.iterations = iter + 1;
+    const double objective = CrhObjective(data, state.truths, mean_weights, stats, options);
+    result.objective_history.push_back(objective);
+    const double denom = std::max(std::abs(prev_objective), 1.0);
+    if (std::isfinite(prev_objective) &&
+        std::abs(prev_objective - objective) / denom < options.convergence_tolerance) {
+      result.converged = true;
+      break;
+    }
+    prev_objective = objective;
+  }
+
+  result.truths = std::move(state.truths);
+  result.property_group = property_group;
+  result.source_weights.assign(k_sources, 0.0);
+  for (size_t k = 0; k < k_sources; ++k) {
+    for (size_t g = 0; g < num_groups; ++g) result.source_weights[k] += group_weights[g][k];
+    result.source_weights[k] /= static_cast<double>(num_groups);
+  }
+  if (options.weight_granularity != WeightGranularity::kGlobal) {
+    // fine_grained_weights is K x G.
+    result.fine_grained_weights.assign(k_sources, std::vector<double>(num_groups, 0.0));
+    for (size_t k = 0; k < k_sources; ++k) {
+      for (size_t g = 0; g < num_groups; ++g) {
+        result.fine_grained_weights[k][g] = group_weights[g][k];
+      }
+    }
+  }
+  if (options.categorical_model == CategoricalModel::kSoftProbability) {
+    for (size_t m = 0; m < data.num_properties(); ++m) {
+      if (!data.schema().is_categorical(m)) continue;
+      SoftDistributions block;
+      block.property = m;
+      block.num_labels = state.num_labels[m];
+      block.probabilities = std::move(state.soft[m]);
+      result.soft_distributions.push_back(std::move(block));
+    }
+  }
+  return result;
+}
+
+}  // namespace crh

@@ -1,0 +1,187 @@
+#ifndef CRH_CORE_CRH_H_
+#define CRH_CORE_CRH_H_
+
+/// \file crh.h
+/// The CRH framework (Algorithm 1 of the paper): joint truth discovery and
+/// source-reliability estimation on heterogeneous data.
+///
+/// CRH solves
+///
+///   min_{X*, W}  sum_k w_k * sum_{i,m} d_m(v*_im, v^k_im)
+///   s.t.         delta(W) = 1
+///
+/// by block coordinate descent, alternating a closed-form source-weight
+/// update (Eq 2 / Eq 5) with per-entry truth updates (Eq 3) until the
+/// objective stops decreasing. Categorical and continuous properties use
+/// different loss functions but contribute to a single joint weight
+/// estimate — the paper's central idea.
+///
+/// Typical use:
+///
+///   crh::CrhOptions options;                       // paper defaults
+///   auto result = crh::RunCrh(dataset, options);
+///   if (!result.ok()) { ... }
+///   const crh::ValueTable& truths = result->truths;
+///   const std::vector<double>& weights = result->source_weights;
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/stats.h"
+#include "data/table.h"
+#include "weights/weight_scheme.h"
+
+namespace crh {
+
+/// Truth model for categorical properties.
+enum class CategoricalModel {
+  /// 0-1 loss (Eq 8) with weighted-vote truth update (Eq 9). The paper's
+  /// default: fast and memory-light.
+  kVoting,
+  /// Probability-vector squared loss (Eq 11) with weighted-mean
+  /// distribution update (Eq 12); the reported truth is the mode. Soft
+  /// decisions at the cost of O(L_m) memory per entry.
+  kSoftProbability,
+};
+
+/// Truth model for continuous properties.
+enum class ContinuousModel {
+  /// Normalized absolute loss (Eq 15) with weighted-median truth update
+  /// (Eq 16). The paper's default: robust to outliers.
+  kMedian,
+  /// Normalized squared loss (Eq 13) with weighted-mean truth update
+  /// (Eq 14). Sensitive to outliers.
+  kMean,
+};
+
+/// How per-property loss totals are normalized across sources before they
+/// are summed into a per-source deviation (Section 2.5, "Normalization").
+/// Without it, a property whose loss has a larger range would dominate the
+/// weight estimate.
+enum class PropertyLossNormalization {
+  kNone,
+  /// Divide each property's per-source losses by their sum over sources.
+  kSum,
+  /// Divide each property's per-source losses by their max over sources.
+  kMax,
+};
+
+/// Granularity of the source-reliability estimate (Section 2.5, "Source
+/// weight consistency"). CRH normally assumes one reliability degree per
+/// source; when that assumption is violated — a sensor with a precise
+/// thermometer but a broken status register — w_k can be split into
+/// fine-grained weights over subsets of properties.
+enum class WeightGranularity {
+  /// One weight per source (the paper's default assumption).
+  kGlobal,
+  /// One weight per source per property *type* (continuous / categorical /
+  /// text).
+  kPerType,
+  /// One weight per source per property.
+  kPerProperty,
+};
+
+/// Configuration for RunCrh. The defaults reproduce the configuration the
+/// paper evaluates: weighted voting for categorical data, weighted median
+/// for continuous data, and log weights with max normalization (see
+/// weights/weight_scheme.h for the trade-off between the max and sum
+/// normalizations).
+struct CrhOptions {
+  CategoricalModel categorical_model = CategoricalModel::kVoting;
+  ContinuousModel continuous_model = ContinuousModel::kMedian;
+  WeightSchemeOptions weight_scheme = {};
+  PropertyLossNormalization property_normalization = PropertyLossNormalization::kSum;
+  /// Divide each source's per-property loss by the number of observations
+  /// that source made on that property, so sparsely reporting sources are
+  /// not judged on volume (Section 2.5, "Missing values").
+  bool normalize_by_observation_count = true;
+  /// Iteration cap for the block coordinate descent.
+  int max_iterations = 100;
+  /// Stop when the relative decrease of the objective falls below this.
+  double convergence_tolerance = 1e-9;
+  /// How finely source reliability is resolved. Non-global granularities
+  /// relax the source-weight-consistency assumption at the cost of less
+  /// evidence per weight (each weight is then estimated from a subset of
+  /// the properties only).
+  WeightGranularity weight_granularity = WeightGranularity::kGlobal;
+  /// Optional supervision: a table of known truths (semi-supervised truth
+  /// discovery). Non-missing cells are clamped during every truth update,
+  /// so source weights are estimated against verified values where
+  /// available. Must outlive the RunCrh call and match the dataset shape.
+  const ValueTable* supervision = nullptr;
+};
+
+/// Per-categorical-property soft truth distributions (filled only under
+/// CategoricalModel::kSoftProbability).
+struct SoftDistributions {
+  /// Property index this block belongs to.
+  size_t property = 0;
+  /// Number of labels L_m.
+  size_t num_labels = 0;
+  /// Row-major N x L_m probabilities.
+  std::vector<double> probabilities;
+
+  /// The probability of label l for object i.
+  double at(size_t i, CategoryId l) const {
+    return probabilities[i * num_labels + static_cast<size_t>(l)];
+  }
+};
+
+/// Output of RunCrh.
+struct CrhResult {
+  /// The estimated truth table X^(*). Entries no source observed stay missing.
+  ValueTable truths;
+  /// Estimated source weights W (reliability degrees). Under a non-global
+  /// weight granularity this is each source's mean weight across groups;
+  /// the per-group weights are in fine_grained_weights.
+  std::vector<double> source_weights;
+  /// Per-group weights, K x num_groups (only filled for non-global
+  /// granularity). Group g covers the properties with property_group == g.
+  std::vector<std::vector<double>> fine_grained_weights;
+  /// Property -> weight-group index (size M; all zeros for kGlobal).
+  std::vector<size_t> property_group;
+  /// Soft label distributions per categorical property (kSoftProbability only).
+  std::vector<SoftDistributions> soft_distributions;
+  /// Objective value after each iteration (raw weighted loss, Eq 1).
+  std::vector<double> objective_history;
+  /// Iterations executed.
+  int iterations = 0;
+  /// Whether the convergence tolerance was met before max_iterations.
+  bool converged = false;
+};
+
+/// Runs CRH (Algorithm 1) on a multi-source dataset.
+///
+/// Truths are initialized by unweighted voting (categorical) and the
+/// unweighted median/mean (continuous, per the configured model), then the
+/// weight and truth updates alternate until convergence. Missing
+/// observations are skipped everywhere.
+Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options = {});
+
+/// One truth-update pass (Eq 3): computes per-entry truths from fixed
+/// source weights, using the loss models configured in \p options. Soft
+/// categorical distributions are not materialized here; the categorical
+/// truth is the weighted vote (the mode). Used by the incremental and
+/// parallel CRH variants, which interleave the two steps differently.
+ValueTable ComputeTruthsGivenWeights(const Dataset& data, const std::vector<double>& weights,
+                                     const CrhOptions& options);
+
+/// One weight-aggregation pass: each source's total deviation between its
+/// observations and \p truths, with the per-observation-count and
+/// per-property normalizations configured in \p options applied. Feed the
+/// result to ComputeSourceWeights to finish the weight update (Eq 2).
+std::vector<double> ComputeSourceDeviations(const Dataset& data, const ValueTable& truths,
+                                            const EntryStats& stats, const CrhOptions& options);
+
+/// Computes the raw CRH objective (Eq 1) of a candidate solution: the
+/// weighted sum over sources of per-entry losses between \p truths and the
+/// observations, using the losses implied by \p options and entry scales
+/// from \p stats. Exposed for tests and diagnostics.
+double CrhObjective(const Dataset& data, const ValueTable& truths,
+                    const std::vector<double>& weights, const EntryStats& stats,
+                    const CrhOptions& options);
+
+}  // namespace crh
+
+#endif  // CRH_CORE_CRH_H_

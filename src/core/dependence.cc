@@ -1,0 +1,181 @@
+#include "core/dependence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace crh {
+
+namespace {
+
+/// Per-source accuracy against the estimated truths (exact match over all
+/// claimed entries with a non-missing truth), clamped away from 0/1.
+std::vector<double> AccuracyAgainstTruths(const Dataset& data, const ValueTable& truths) {
+  std::vector<double> accuracy(data.num_sources(), 0.5);
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    size_t total = 0, correct = 0;
+    const ValueTable& table = data.observations(k);
+    for (size_t i = 0; i < data.num_objects(); ++i) {
+      for (size_t m = 0; m < data.num_properties(); ++m) {
+        const Value& obs = table.Get(i, m);
+        const Value& truth = truths.Get(i, m);
+        if (obs.is_missing() || truth.is_missing()) continue;
+        ++total;
+        if (obs == truth) ++correct;
+      }
+    }
+    if (total > 0) {
+      accuracy[k] =
+          std::clamp(static_cast<double>(correct) / static_cast<double>(total), 0.05, 0.95);
+    }
+  }
+  return accuracy;
+}
+
+}  // namespace
+
+Result<DependenceResult> DetectSourceDependence(const Dataset& data,
+                                                const ValueTable& truths,
+                                                const DependenceOptions& options) {
+  if (truths.num_objects() != data.num_objects() ||
+      truths.num_properties() != data.num_properties()) {
+    return Status::InvalidArgument("truths shape does not match dataset");
+  }
+  if (!(options.prior > 0.0 && options.prior < 1.0)) {
+    return Status::InvalidArgument("prior must be in (0, 1)");
+  }
+  if (!(options.copy_rate > 0.0 && options.copy_rate < 1.0)) {
+    return Status::InvalidArgument("copy_rate must be in (0, 1)");
+  }
+  if (options.false_value_count < 1.0) {
+    return Status::InvalidArgument("false_value_count must be >= 1");
+  }
+
+  const size_t k_sources = data.num_sources();
+  const std::vector<double> accuracy = AccuracyAgainstTruths(data, truths);
+
+  DependenceResult result;
+  result.copy_probability.assign(k_sources, std::vector<double>(k_sources, 0.0));
+  result.independence.assign(k_sources, 1.0);
+
+  const double n_false = options.false_value_count;
+  const double c = options.copy_rate;
+  const double log_prior_odds = std::log(options.prior / (1.0 - options.prior));
+
+  for (size_t a = 0; a < k_sources; ++a) {
+    for (size_t b = a + 1; b < k_sources; ++b) {
+      // Count agreement patterns over the entries both sources claim.
+      size_t agree_true = 0, agree_false = 0, disagree = 0;
+      for (size_t i = 0; i < data.num_objects(); ++i) {
+        for (size_t m = 0; m < data.num_properties(); ++m) {
+          const Value& va = data.observations(a).Get(i, m);
+          const Value& vb = data.observations(b).Get(i, m);
+          if (va.is_missing() || vb.is_missing()) continue;
+          const Value& truth = truths.Get(i, m);
+          if (truth.is_missing()) continue;
+          if (va == vb) {
+            if (va == truth) {
+              ++agree_true;
+            } else {
+              ++agree_false;
+            }
+          } else {
+            ++disagree;
+          }
+        }
+      }
+      const size_t shared = agree_true + agree_false + disagree;
+      if (shared < options.min_shared_entries) continue;
+
+      // Likelihoods per Dong et al.: under independence the two sources
+      // agree on the truth w.p. a1*a2 and on any particular false value
+      // w.p. (1-a1)(1-a2)/n; under dependence a fraction c of claims is
+      // copied verbatim (and therefore agrees), the rest behaves
+      // independently.
+      const double a1 = accuracy[a], a2 = accuracy[b];
+      const double pt_ind = a1 * a2;
+      const double pf_ind = (1.0 - a1) * (1.0 - a2) / n_false;
+      const double pd_ind = std::max(1.0 - pt_ind - pf_ind, 1e-12);
+
+      // Mean accuracy of a copied claim: the original's accuracy.
+      const double pt_dep = c * std::max(a1, a2) + (1.0 - c) * pt_ind;
+      const double pf_dep = c * (1.0 - std::max(a1, a2)) + (1.0 - c) * pf_ind;
+      const double pd_dep = std::max(1.0 - pt_dep - pf_dep, 1e-12);
+
+      double log_odds = log_prior_odds;
+      log_odds += static_cast<double>(agree_true) * std::log(pt_dep / pt_ind);
+      log_odds += static_cast<double>(agree_false) * std::log(pf_dep / pf_ind);
+      log_odds += static_cast<double>(disagree) * std::log(pd_dep / pd_ind);
+
+      // Posterior from the clamped log odds (avoids overflow).
+      const double clamped = std::clamp(log_odds, -50.0, 50.0);
+      const double posterior = 1.0 / (1.0 + std::exp(-clamped));
+      result.copy_probability[a][b] = posterior;
+      result.copy_probability[b][a] = posterior;
+    }
+  }
+
+  // Cluster mutually dependent sources (union-find over pairs with
+  // posterior > 0.5). Within each cluster the most accurate member is kept
+  // as the representative at full weight; every other member — the likely
+  // copiers, including copiers-of-copiers that look pairwise dependent on
+  // each other — is discounted by its strongest dependence link.
+  std::vector<size_t> parent(k_sources);
+  for (size_t k = 0; k < k_sources; ++k) parent[k] = k;
+  const std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (size_t a = 0; a < k_sources; ++a) {
+    for (size_t b = a + 1; b < k_sources; ++b) {
+      if (result.copy_probability[a][b] > 0.5) parent[find(a)] = find(b);
+    }
+  }
+  std::vector<size_t> representative(k_sources);
+  for (size_t k = 0; k < k_sources; ++k) representative[k] = k;
+  for (size_t k = 0; k < k_sources; ++k) {
+    const size_t root = find(k);
+    if (accuracy[k] > accuracy[representative[root]]) representative[root] = k;
+  }
+  for (size_t k = 0; k < k_sources; ++k) {
+    const size_t root = find(k);
+    if (representative[root] == k) continue;  // cluster representative
+    double strongest = 0.0;
+    for (size_t j = 0; j < k_sources; ++j) {
+      if (find(j) == root && j != k) {
+        strongest = std::max(strongest, result.copy_probability[k][j]);
+      }
+    }
+    result.independence[k] *= 1.0 - c * strongest;
+  }
+  return result;
+}
+
+Result<DependenceAwareResult> RunDependenceAwareCrh(
+    const Dataset& data, const CrhOptions& crh_options,
+    const DependenceOptions& dependence_options) {
+  auto crh = RunCrh(data, crh_options);
+  if (!crh.ok()) return crh.status();
+
+  // Iterate detection and discounting: each round's cleaner truths expose
+  // more of the copiers' shared false values (Dong et al. interleave the
+  // same three estimates). Two extra rounds suffice in practice.
+  DependenceAwareResult result;
+  result.truths = crh->truths;
+  result.adjusted_weights = crh->source_weights;
+  for (int round = 0; round < 3; ++round) {
+    auto dependence = DetectSourceDependence(data, result.truths, dependence_options);
+    if (!dependence.ok()) return dependence.status();
+    for (size_t k = 0; k < data.num_sources(); ++k) {
+      result.adjusted_weights[k] = crh->source_weights[k] * dependence->independence[k];
+    }
+    result.truths = ComputeTruthsGivenWeights(data, result.adjusted_weights, crh_options);
+    result.dependence = std::move(dependence).ValueOrDie();
+  }
+  return result;
+}
+
+}  // namespace crh

@@ -1,0 +1,207 @@
+#include "core/resolvers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+
+namespace crh {
+
+namespace {
+
+/// Deterministic "smaller" ordering across Values of the same type, used
+/// only for tie-breaking in WeightedVote.
+bool ValueLess(const Value& a, const Value& b) {
+  if (a.is_categorical() && b.is_categorical()) return a.category() < b.category();
+  if (a.is_continuous() && b.is_continuous()) return a.continuous() < b.continuous();
+  // Mixed types (should not happen within one property): categorical first.
+  return a.is_categorical() && !b.is_categorical();
+}
+
+}  // namespace
+
+Value WeightedVote(const std::vector<Value>& values, const std::vector<double>& weights) {
+  std::unordered_map<Value, double, ValueHash> tally;
+  for (size_t k = 0; k < values.size(); ++k) {
+    if (values[k].is_missing()) continue;
+    tally[values[k]] += weights[k];
+  }
+  if (tally.empty()) return Value::Missing();
+  Value best = Value::Missing();
+  double best_weight = -std::numeric_limits<double>::infinity();
+  for (const auto& [value, weight] : tally) {
+    if (weight > best_weight ||
+        (weight == best_weight && ValueLess(value, best))) {
+      best = value;
+      best_weight = weight;
+    }
+  }
+  return best;
+}
+
+double WeightedMean(const std::vector<double>& values, const std::vector<double>& weights) {
+  double total_weight = 0.0, total = 0.0;
+  for (size_t k = 0; k < values.size(); ++k) {
+    total += weights[k] * values[k];
+    total_weight += weights[k];
+  }
+  if (total_weight <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return total / total_weight;
+}
+
+double WeightedMedian(std::vector<double> values, std::vector<double> weights) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  // Drop non-positive weights; fall back to uniform if nothing remains.
+  double total = 0.0;
+  for (double w : weights) total += std::max(w, 0.0);
+  if (total <= 0.0) {
+    std::fill(weights.begin(), weights.end(), 1.0);
+    total = static_cast<double>(values.size());
+  }
+
+  std::vector<size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+
+  // Walk the sorted claims grouped by equal value; pick the first group
+  // whose strictly-below weight is < total/2 and strictly-above weight is
+  // <= total/2 (Eq 16).
+  const double half = total / 2.0;
+  double below = 0.0;
+  size_t pos = 0;
+  while (pos < order.size()) {
+    const double v = values[order[pos]];
+    double group = 0.0;
+    size_t end = pos;
+    while (end < order.size() && values[order[end]] == v) {
+      group += std::max(weights[order[end]], 0.0);
+      ++end;
+    }
+    const double above = total - below - group;
+    if (below < half && above <= half) return v;
+    below += group;
+    pos = end;
+  }
+  // Numerically unreachable, but return the largest claim as a safe answer.
+  return values[order.back()];
+}
+
+double WeightedMedianLinear(std::vector<double> values, std::vector<double> weights) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double total = 0.0;
+  for (double w : weights) total += std::max(w, 0.0);
+  if (total <= 0.0) {
+    std::fill(weights.begin(), weights.end(), 1.0);
+    total = static_cast<double>(values.size());
+  }
+  // The weighted (lower) median is the smallest claim v whose cumulative
+  // weight over {claims <= v} reaches total/2 — equivalent to Eq (16).
+  const double target = total / 2.0;
+
+  std::vector<std::pair<double, double>> pool;
+  pool.reserve(values.size());
+  for (size_t k = 0; k < values.size(); ++k) {
+    pool.emplace_back(values[k], std::max(weights[k], 0.0));
+  }
+
+  double below = 0.0;  // total weight already discarded to the left
+  std::vector<std::pair<double, double>> less, greater;
+  while (true) {
+    if (pool.size() == 1) return pool[0].first;
+    // Deterministic median-of-three pivot.
+    const double a = pool.front().first;
+    const double b = pool[pool.size() / 2].first;
+    const double c = pool.back().first;
+    const double pivot = std::max(std::min(a, b), std::min(std::max(a, b), c));
+
+    less.clear();
+    greater.clear();
+    double weight_less = 0.0, weight_equal = 0.0;
+    for (const auto& [v, w] : pool) {
+      if (v < pivot) {
+        less.emplace_back(v, w);
+        weight_less += w;
+      } else if (v > pivot) {
+        greater.emplace_back(v, w);
+      } else {
+        weight_equal += w;
+      }
+    }
+    if (below + weight_less >= target) {
+      pool.swap(less);
+    } else if (below + weight_less + weight_equal >= target) {
+      return pivot;
+    } else {
+      below += weight_less + weight_equal;
+      pool.swap(greater);
+    }
+  }
+}
+
+std::vector<double> WeightedLabelDistribution(const std::vector<CategoryId>& labels,
+                                              const std::vector<double>& weights,
+                                              size_t num_labels) {
+  std::vector<double> dist(num_labels, 0.0);
+  double total = 0.0;
+  for (size_t k = 0; k < labels.size(); ++k) {
+    dist[static_cast<size_t>(labels[k])] += weights[k];
+    total += weights[k];
+  }
+  if (total <= 0.0) {
+    const double uniform = num_labels > 0 ? 1.0 / static_cast<double>(num_labels) : 0.0;
+    std::fill(dist.begin(), dist.end(), uniform);
+    return dist;
+  }
+  for (double& p : dist) p /= total;
+  return dist;
+}
+
+Value WeightedMedoid(const std::vector<Value>& values, const std::vector<double>& weights,
+                     const std::function<double(const Value&, const Value&)>& distance) {
+  // Group duplicate claims so distances are evaluated once per distinct
+  // pair; the medoid is always one of the claimed values.
+  std::vector<Value> distinct;
+  std::vector<double> mass;
+  for (size_t k = 0; k < values.size(); ++k) {
+    if (values[k].is_missing()) continue;
+    bool found = false;
+    for (size_t d = 0; d < distinct.size(); ++d) {
+      if (distinct[d] == values[k]) {
+        mass[d] += weights[k];
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      distinct.push_back(values[k]);
+      mass.push_back(weights[k]);
+    }
+  }
+  if (distinct.empty()) return Value::Missing();
+
+  Value best = distinct[0];
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < distinct.size(); ++c) {
+    double cost = 0.0;
+    for (size_t d = 0; d < distinct.size(); ++d) {
+      if (d != c) cost += mass[d] * distance(distinct[c], distinct[d]);
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = distinct[c];
+    }
+  }
+  return best;
+}
+
+size_t ArgMax(const std::vector<double>& xs) {
+  size_t best = 0;
+  for (size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] > xs[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace crh

@@ -1,0 +1,70 @@
+#ifndef CRH_CORE_RESOLVERS_H_
+#define CRH_CORE_RESOLVERS_H_
+
+/// \file resolvers.h
+/// Per-entry truth computation primitives (Section 2.4 of the paper).
+///
+/// Each loss function induces a closed-form (or efficiently computable)
+/// minimizer for the truth-update step (Eq 3):
+///
+///  * 0-1 loss            -> weighted vote        (Eq 9)
+///  * prob-vector sq loss -> weighted distribution (Eq 12), truth = argmax
+///  * normalized squared  -> weighted mean        (Eq 14)
+///  * normalized absolute -> weighted median      (Eq 16)
+///
+/// All functions skip nothing: callers pass only the non-missing claims on
+/// an entry. Tie-breaking is deterministic (smallest value / label id) so
+/// runs are reproducible.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/value.h"
+
+namespace crh {
+
+/// Eq (9): the value with the largest total weight among the claims.
+/// Ties break toward the smallest value (category id, then continuous
+/// magnitude). Returns Value::Missing() when there are no claims.
+Value WeightedVote(const std::vector<Value>& values, const std::vector<double>& weights);
+
+/// Eq (14): weighted arithmetic mean of the claims. Returns NaN when the
+/// total weight is zero (callers fall back to the unweighted mean).
+double WeightedMean(const std::vector<double>& values, const std::vector<double>& weights);
+
+/// Eq (16): weighted median. Given claims v^k with weights w_k, returns the
+/// claim v^j such that the total weight strictly below it is < W/2 and the
+/// total weight strictly above it is <= W/2, where W is the total weight.
+/// With uniform weights this is the classical (lower) median. Claims with
+/// non-positive weight are ignored; if all weights are non-positive the
+/// unweighted median of the claims is returned.
+double WeightedMedian(std::vector<double> values, std::vector<double> weights);
+
+/// Expected-linear-time weighted median via quickselect-style partitioning
+/// (the CLRS chapter-9 algorithm the paper cites). Produces exactly the
+/// same result as WeightedMedian; preferable when entries have many claims.
+double WeightedMedianLinear(std::vector<double> values, std::vector<double> weights);
+
+/// Eq (12): the weighted mean of one-hot claim vectors, i.e. the truth
+/// probability distribution over the num_labels labels of a categorical
+/// property. Claims are CategoryIds; the result sums to 1 when the total
+/// weight is positive (uniform otherwise).
+std::vector<double> WeightedLabelDistribution(const std::vector<CategoryId>& labels,
+                                              const std::vector<double>& weights,
+                                              size_t num_labels);
+
+/// Weighted medoid: the claim minimizing the weighted total distance to
+/// all claims — the truth update induced by an arbitrary metric loss (used
+/// for text properties with edit distance). Ties break toward the claim
+/// with the smaller index. O(n^2) distance evaluations over the distinct
+/// claims. Returns Missing on no claims.
+Value WeightedMedoid(const std::vector<Value>& values, const std::vector<double>& weights,
+                     const std::function<double(const Value&, const Value&)>& distance);
+
+/// Index of the largest element, smallest index on ties.
+size_t ArgMax(const std::vector<double>& xs);
+
+}  // namespace crh
+
+#endif  // CRH_CORE_RESOLVERS_H_

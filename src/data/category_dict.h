@@ -1,0 +1,56 @@
+#ifndef CRH_DATA_CATEGORY_DICT_H_
+#define CRH_DATA_CATEGORY_DICT_H_
+
+/// \file category_dict.h
+/// String-label interning for categorical properties.
+///
+/// Categorical observations are stored as dense CategoryIds local to their
+/// property. The CategoryDict maps labels <-> ids; keeping ids dense lets
+/// the solver represent probability vectors (Eq 11-12 of the paper) as
+/// plain arrays indexed by CategoryId.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+
+namespace crh {
+
+/// Bidirectional label <-> CategoryId map for one categorical property.
+class CategoryDict {
+ public:
+  /// Returns the id of \p label, interning it if new.
+  CategoryId GetOrAdd(const std::string& label) {
+    auto it = index_.find(label);
+    if (it != index_.end()) return it->second;
+    CategoryId id = static_cast<CategoryId>(labels_.size());
+    index_.emplace(label, id);
+    labels_.push_back(label);
+    return id;
+  }
+
+  /// Returns the id of \p label, or kInvalidCategory if not interned.
+  CategoryId Find(const std::string& label) const {
+    auto it = index_.find(label);
+    return it == index_.end() ? kInvalidCategory : it->second;
+  }
+
+  /// The label for an interned id. Precondition: 0 <= id < size().
+  const std::string& label(CategoryId id) const {
+    return labels_[static_cast<size_t>(id)];
+  }
+
+  /// Number of distinct labels (L_m in the paper).
+  size_t size() const { return labels_.size(); }
+
+  bool empty() const { return labels_.empty(); }
+
+ private:
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, CategoryId> index_;
+};
+
+}  // namespace crh
+
+#endif  // CRH_DATA_CATEGORY_DICT_H_

@@ -1,0 +1,164 @@
+#include "data/csv.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace crh {
+
+namespace {
+
+/// Splits one CSV line on commas. Fields in this format never contain
+/// commas or quotes, so no quoting logic is required.
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, ',')) fields.push_back(field);
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+std::string FormatValue(const Dataset& data, size_t m, const Value& v) {
+  if (v.is_continuous()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v.continuous());
+    return buf;
+  }
+  return data.dict(m).label(v.category());
+}
+
+Result<Value> ParseValue(Dataset* data, size_t m, const std::string& text) {
+  if (data->schema().is_discrete(m)) {
+    return data->InternCategorical(m, text);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || errno == ERANGE) {
+    return Status::IOError("cannot parse continuous value '" + text + "'");
+  }
+  return Value::Continuous(parsed);
+}
+
+}  // namespace
+
+Status WriteObservationsCsv(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << "object_id,property,source_id,value\n";
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    for (size_t i = 0; i < data.num_objects(); ++i) {
+      for (size_t m = 0; m < data.num_properties(); ++m) {
+        const Value& v = data.observations(k).Get(i, m);
+        if (v.is_missing()) continue;
+        out << data.object_id(i) << ',' << data.schema().property(m).name << ','
+            << data.source_id(k) << ',' << FormatValue(data, m, v) << '\n';
+      }
+    }
+  }
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Status WriteGroundTruthCsv(const Dataset& data, const std::string& path) {
+  if (!data.has_ground_truth()) {
+    return Status::FailedPrecondition("dataset has no ground truth");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << "object_id,property,value\n";
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    for (size_t m = 0; m < data.num_properties(); ++m) {
+      const Value& v = data.ground_truth().Get(i, m);
+      if (v.is_missing()) continue;
+      out << data.object_id(i) << ',' << data.schema().property(m).name << ','
+          << FormatValue(data, m, v) << '\n';
+    }
+  }
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Dataset> ReadObservationsCsv(const Schema& schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+
+  struct Claim {
+    size_t object, property, source;
+    std::string value;
+  };
+  std::vector<Claim> claims;
+  std::vector<std::string> objects, sources;
+  std::unordered_map<std::string, size_t> object_index, source_index;
+
+  std::string line;
+  if (!std::getline(in, line)) return Status::IOError("empty file '" + path + "'");
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != 4) {
+      return Status::IOError("line " + std::to_string(line_no) + ": expected 4 fields");
+    }
+    const int m = schema.FindProperty(fields[1]);
+    if (m < 0) {
+      return Status::IOError("line " + std::to_string(line_no) + ": unknown property '" +
+                             fields[1] + "'");
+    }
+    auto [obj_it, obj_new] = object_index.emplace(fields[0], objects.size());
+    if (obj_new) objects.push_back(fields[0]);
+    auto [src_it, src_new] = source_index.emplace(fields[2], sources.size());
+    if (src_new) sources.push_back(fields[2]);
+    claims.push_back({obj_it->second, static_cast<size_t>(m), src_it->second, fields[3]});
+  }
+
+  Dataset data(schema, std::move(objects), std::move(sources));
+  for (const Claim& c : claims) {
+    Result<Value> v = ParseValue(&data, c.property, c.value);
+    if (!v.ok()) return v.status();
+    data.SetObservation(c.source, c.object, c.property, *v);
+  }
+  return data;
+}
+
+Status ReadGroundTruthCsv(const std::string& path, Dataset* data) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+
+  std::unordered_map<std::string, size_t> object_index;
+  for (size_t i = 0; i < data->num_objects(); ++i) object_index.emplace(data->object_id(i), i);
+
+  ValueTable truth(data->num_objects(), data->num_properties());
+  std::string line;
+  if (!std::getline(in, line)) return Status::IOError("empty file '" + path + "'");
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != 3) {
+      return Status::IOError("line " + std::to_string(line_no) + ": expected 3 fields");
+    }
+    const auto obj_it = object_index.find(fields[0]);
+    if (obj_it == object_index.end()) {
+      return Status::IOError("line " + std::to_string(line_no) + ": unknown object '" +
+                             fields[0] + "'");
+    }
+    const int m = data->schema().FindProperty(fields[1]);
+    if (m < 0) {
+      return Status::IOError("line " + std::to_string(line_no) + ": unknown property '" +
+                             fields[1] + "'");
+    }
+    Result<Value> v = ParseValue(data, static_cast<size_t>(m), fields[2]);
+    if (!v.ok()) return v.status();
+    truth.Set(obj_it->second, static_cast<size_t>(m), *v);
+  }
+  data->set_ground_truth(std::move(truth));
+  return Status::OK();
+}
+
+}  // namespace crh

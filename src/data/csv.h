@@ -1,0 +1,41 @@
+#ifndef CRH_DATA_CSV_H_
+#define CRH_DATA_CSV_H_
+
+/// \file csv.h
+/// CSV import/export of multi-source observation tuples.
+///
+/// The on-disk format mirrors the tuple stream the paper's parallel CRH
+/// consumes (Section 2.7.1): one claim per row,
+///
+///   object_id,property,source_id,value
+///
+/// with a header row. Continuous values are decimal literals; categorical
+/// values are labels interned into the dataset's per-property dictionary.
+/// Ground truth uses the same format minus the source_id column.
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace crh {
+
+/// Writes all non-missing observations of \p data as claim tuples.
+Status WriteObservationsCsv(const Dataset& data, const std::string& path);
+
+/// Writes the labeled ground-truth entries of \p data (requires ground truth).
+Status WriteGroundTruthCsv(const Dataset& data, const std::string& path);
+
+/// Reads claim tuples into a new Dataset with the given schema. Objects and
+/// sources are created in order of first appearance; categorical labels are
+/// interned per property. Rows naming a property absent from the schema are
+/// an error.
+Result<Dataset> ReadObservationsCsv(const Schema& schema, const std::string& path);
+
+/// Reads ground-truth rows (object_id,property,value) into \p data. Objects
+/// named here must already exist in the dataset.
+Status ReadGroundTruthCsv(const std::string& path, Dataset* data);
+
+}  // namespace crh
+
+#endif  // CRH_DATA_CSV_H_

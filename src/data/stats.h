@@ -1,0 +1,41 @@
+#ifndef CRH_DATA_STATS_H_
+#define CRH_DATA_STATS_H_
+
+/// \file stats.h
+/// Per-entry dispersion statistics across sources.
+///
+/// The paper's continuous loss functions (Eq 13 and Eq 15) and the MNAD
+/// metric normalize each entry's deviation by the standard deviation of
+/// the K sources' claims on that entry, so that properties measured on
+/// different scales (temperatures vs trading volumes) contribute
+/// comparably to the weight update (Section 2.5, "Normalization").
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace crh {
+
+/// Per-entry normalization scales, row-major over (object, property).
+struct EntryStats {
+  size_t num_properties = 0;
+  /// scale[i*M + m] is the standard deviation of the non-missing claims on
+  /// entry (i, m) for continuous properties. Entries with no dispersion of
+  /// their own (fewer than two claims, or all sources agreeing) fall back
+  /// to the property's mean claim dispersion — otherwise a lone glitched
+  /// claim would be charged in raw units and dominate every aggregate.
+  /// Categorical entries get scale 1.
+  std::vector<double> scale;
+  /// count[i*M + m] is the number of sources with a claim on entry (i, m).
+  std::vector<int> count;
+
+  double scale_at(size_t i, size_t m) const { return scale[i * num_properties + m]; }
+  int count_at(size_t i, size_t m) const { return count[i * num_properties + m]; }
+};
+
+/// Computes per-entry scales and observation counts for a dataset.
+EntryStats ComputeEntryStats(const Dataset& data);
+
+}  // namespace crh
+
+#endif  // CRH_DATA_STATS_H_

@@ -1,0 +1,62 @@
+#ifndef CRH_DATA_TABLE_H_
+#define CRH_DATA_TABLE_H_
+
+/// \file table.h
+/// Dense N x M value tables with missing cells.
+///
+/// One ValueTable holds either the observations of a single source over all
+/// objects and properties (X^(k) in the paper) or a truth table (X^(*)).
+/// Missing observations are first-class: a cell defaults to Value::Missing()
+/// and all downstream computations skip missing cells.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/value.h"
+
+namespace crh {
+
+/// A dense table of Values over (object, property) cells.
+class ValueTable {
+ public:
+  ValueTable() = default;
+
+  /// Creates a table of num_objects x num_properties missing cells.
+  ValueTable(size_t num_objects, size_t num_properties)
+      : num_objects_(num_objects),
+        num_properties_(num_properties),
+        cells_(num_objects * num_properties) {}
+
+  /// Number of objects (rows, N).
+  size_t num_objects() const { return num_objects_; }
+  /// Number of properties (columns, M).
+  size_t num_properties() const { return num_properties_; }
+
+  /// The cell for object i, property m.
+  const Value& Get(size_t i, size_t m) const { return cells_[i * num_properties_ + m]; }
+
+  /// Sets the cell for object i, property m.
+  void Set(size_t i, size_t m, Value v) { cells_[i * num_properties_ + m] = v; }
+
+  /// Marks the cell missing.
+  void Clear(size_t i, size_t m) { cells_[i * num_properties_ + m] = Value::Missing(); }
+
+  /// Number of non-missing cells (observations this table contributes).
+  size_t CountPresent() const {
+    size_t n = 0;
+    for (const Value& v : cells_) n += v.is_missing() ? 0 : 1;
+    return n;
+  }
+
+  /// Flat row-major cell storage, for bulk scans.
+  const std::vector<Value>& cells() const { return cells_; }
+
+ private:
+  size_t num_objects_ = 0;
+  size_t num_properties_ = 0;
+  std::vector<Value> cells_;
+};
+
+}  // namespace crh
+
+#endif  // CRH_DATA_TABLE_H_

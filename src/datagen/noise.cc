@@ -1,0 +1,187 @@
+#include "datagen/noise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace crh {
+
+std::vector<double> PaperSimulationGammas() {
+  return {0.1, 0.4, 0.7, 1.0, 1.3, 1.6, 1.9, 2.0};
+}
+
+double CategoricalFlipProbability(double gamma, const NoiseOptions& options) {
+  return std::min(options.categorical_flip_cap,
+                  options.categorical_flip_coefficient *
+                      std::pow(gamma, options.categorical_flip_exponent));
+}
+
+namespace {
+
+/// Rounds to the nearest multiple of unit (no-op when unit <= 0).
+double RoundToUnit(double v, double unit) {
+  if (unit <= 0) return v;
+  return std::round(v / unit) * unit;
+}
+
+/// Standard deviation of the non-missing ground truths of property m.
+double PropertyStd(const Dataset& data, size_t m) {
+  const ValueTable& truth = data.ground_truth();
+  double sum = 0.0, sum_sq = 0.0;
+  size_t count = 0;
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    const Value& v = truth.Get(i, m);
+    if (v.is_missing()) continue;
+    sum += v.continuous();
+    sum_sq += v.continuous() * v.continuous();
+    ++count;
+  }
+  if (count < 2) return 1.0;
+  const double mean = sum / count;
+  double var = sum_sq / count - mean * mean;
+  if (var < 0) var = 0;
+  const double sd = std::sqrt(var);
+  return sd > 1e-12 ? sd : 1.0;
+}
+
+}  // namespace
+
+Result<Dataset> MakeNoisyDataset(const Dataset& truth_data, const NoiseOptions& options) {
+  if (!truth_data.has_ground_truth()) {
+    return Status::FailedPrecondition("truth_data must carry a ground-truth table");
+  }
+  if (options.gammas.empty()) {
+    return Status::InvalidArgument("at least one source gamma is required");
+  }
+  for (double g : options.gammas) {
+    if (!(g >= 0)) return Status::InvalidArgument("gammas must be non-negative");
+  }
+  if (options.missing_rate < 0 || options.missing_rate >= 1) {
+    return Status::InvalidArgument("missing_rate must be in [0, 1)");
+  }
+
+  const size_t k_sources = options.gammas.size();
+  std::vector<std::string> source_ids;
+  source_ids.reserve(k_sources);
+  for (size_t k = 0; k < k_sources; ++k) source_ids.push_back("source_" + std::to_string(k));
+
+  std::vector<std::string> object_ids;
+  object_ids.reserve(truth_data.num_objects());
+  for (size_t i = 0; i < truth_data.num_objects(); ++i) {
+    object_ids.push_back(truth_data.object_id(i));
+  }
+
+  Dataset out(truth_data.schema(), std::move(object_ids), std::move(source_ids));
+  for (size_t m = 0; m < truth_data.num_properties(); ++m) {
+    out.mutable_dict(m) = truth_data.dict(m);
+  }
+  out.set_ground_truth(truth_data.ground_truth());
+  if (truth_data.has_timestamps()) {
+    std::vector<int64_t> ts;
+    ts.reserve(truth_data.num_objects());
+    for (size_t i = 0; i < truth_data.num_objects(); ++i) ts.push_back(truth_data.timestamp(i));
+    CRH_RETURN_NOT_OK(out.set_timestamps(std::move(ts)));
+  }
+
+  // Per-property dispersion of the truths drives the continuous noise scale.
+  const size_t m_props = truth_data.num_properties();
+  std::vector<double> prop_std(m_props, 1.0);
+  for (size_t m = 0; m < m_props; ++m) {
+    if (truth_data.schema().is_continuous(m)) prop_std[m] = PropertyStd(truth_data, m);
+  }
+
+  // Per-entry decoy labels: the plausible-but-wrong value that correlated
+  // source errors gravitate to. Drawn once so all sources share it.
+  const size_t n_objects = truth_data.num_objects();
+  std::vector<CategoryId> decoy(n_objects * m_props, kInvalidCategory);
+  Rng master(options.seed);
+  {
+    Rng decoy_rng = master.Fork();
+    const ValueTable& truth_table = truth_data.ground_truth();
+    for (size_t i = 0; i < n_objects; ++i) {
+      for (size_t m = 0; m < m_props; ++m) {
+        if (truth_data.schema().is_continuous(m)) continue;
+        const Value& t = truth_table.Get(i, m);
+        const size_t labels = truth_data.dict(m).size();
+        if (t.is_missing() || labels < 2) continue;
+        CategoryId d = static_cast<CategoryId>(
+            decoy_rng.UniformInt(0, static_cast<int64_t>(labels) - 2));
+        if (d >= t.category()) ++d;
+        decoy[i * m_props + m] = d;
+      }
+    }
+  }
+
+  const ValueTable& truth = truth_data.ground_truth();
+  for (size_t k = 0; k < k_sources; ++k) {
+    Rng rng = master.Fork();
+    const double gamma = options.gammas[k];
+    const double flip_p = CategoricalFlipProbability(gamma, options);
+    for (size_t i = 0; i < truth_data.num_objects(); ++i) {
+      for (size_t m = 0; m < m_props; ++m) {
+        const Value& t = truth.Get(i, m);
+        if (t.is_missing()) continue;
+        if (options.missing_rate > 0 && rng.Bernoulli(options.missing_rate)) continue;
+        if (truth_data.schema().is_categorical(m)) {
+          const size_t labels = truth_data.dict(m).size();
+          Value claim = t;
+          if (labels >= 2 && rng.Bernoulli(flip_p)) {
+            const CategoryId d = decoy[i * m_props + m];
+            if (d != kInvalidCategory && rng.Bernoulli(options.decoy_probability)) {
+              claim = Value::Categorical(d);
+            } else {
+              // Uniform over the other labels.
+              CategoryId alt = static_cast<CategoryId>(
+                  rng.UniformInt(0, static_cast<int64_t>(labels) - 2));
+              if (alt >= t.category()) ++alt;
+              claim = Value::Categorical(alt);
+            }
+          }
+          out.SetObservation(k, i, m, claim);
+        } else if (!truth_data.schema().is_continuous(m)) {
+          // Text property: with probability theta(gamma), corrupt the label
+          // with one or two character-level typos (substitution, deletion
+          // or insertion) and intern the result.
+          Value claim = t;
+          if (rng.Bernoulli(flip_p)) {
+            std::string label = truth_data.dict(m).label(t.category());
+            const int edits = rng.Bernoulli(0.5) ? 1 : 2;
+            for (int e = 0; e < edits && !label.empty(); ++e) {
+              const size_t pos = static_cast<size_t>(
+                  rng.UniformInt(0, static_cast<int64_t>(label.size()) - 1));
+              const char c = static_cast<char>('a' + rng.UniformInt(0, 25));
+              switch (rng.UniformInt(0, 2)) {
+                case 0:
+                  label[pos] = c;  // substitution
+                  break;
+                case 1:
+                  label.erase(pos, 1);  // deletion
+                  break;
+                default:
+                  label.insert(pos, 1, c);  // insertion
+                  break;
+              }
+            }
+            if (!label.empty()) claim = out.InternCategorical(m, label);
+          }
+          out.SetObservation(k, i, m, claim);
+        } else {
+          const double sigma = gamma * options.continuous_sigma_factor * prop_std[m];
+          double v = t.continuous();
+          if (sigma > 0) v = rng.Gaussian(v, sigma);
+          if (options.outlier_rate > 0 && rng.Bernoulli(options.outlier_rate)) {
+            // Gross recording glitch, independent of source quality.
+            const double sign = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+            v += sign * rng.Uniform(0.5, 1.5) * options.outlier_magnitude * prop_std[m];
+          }
+          v = RoundToUnit(v, truth_data.schema().property(m).rounding_unit);
+          out.SetObservation(k, i, m, Value::Continuous(v));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace crh

@@ -1,0 +1,81 @@
+#ifndef CRH_DATAGEN_NOISE_H_
+#define CRH_DATAGEN_NOISE_H_
+
+/// \file noise.h
+/// Multi-source noise injection (Section 3.2.2 of the paper).
+///
+/// Given a ground-truth dataset, builds a conflicting multi-source dataset
+/// by perturbing the truths independently per source:
+///
+///  * continuous properties get Gaussian noise whose standard deviation is
+///    proportional to the source's unreliability parameter gamma and to the
+///    property's own dispersion, then are rounded to the property's
+///    physical resolution ("we round the continuous type data based on
+///    their physical meaning");
+///  * categorical properties are flipped to a uniformly random other label
+///    with probability theta(gamma).
+///
+/// A lower gamma means a more reliable source. The paper's simulated
+/// experiments use eight sources with gamma in {0.1, 0.4, 0.7, 1, 1.3,
+/// 1.6, 1.9, 2}.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace crh {
+
+/// Controls for MakeNoisyDataset.
+struct NoiseOptions {
+  /// Unreliability parameter per source; size determines K.
+  std::vector<double> gammas;
+  /// Probability that a source simply does not report an entry.
+  double missing_rate = 0.0;
+  /// Continuous noise: sigma = gamma * factor * std(property truths).
+  double continuous_sigma_factor = 0.5;
+  /// Categorical flip probability: theta = min(cap, coeff * gamma^exponent).
+  /// The default quadratic curve makes gamma = 0.1 sources essentially
+  /// perfect (theta ~ 0.002) while gamma = 2 sources are mostly wrong
+  /// (theta = 0.9) — the regime in which the paper's reported results
+  /// (near-zero CRH error, ~0.1 voting error) are self-consistent.
+  double categorical_flip_coefficient = 0.225;
+  double categorical_flip_exponent = 2.0;
+  /// Upper bound on the flip probability.
+  double categorical_flip_cap = 0.9;
+  /// Probability that a flipped categorical claim lands on the entry's
+  /// "decoy" label (a fixed plausible-but-wrong value per entry) instead
+  /// of a uniformly random other label. Correlated wrong values model
+  /// copying/staleness. Defaults to 0 — the paper's simulated experiments
+  /// flip uniformly, and a nonzero decoy share creates a self-consistent
+  /// wrong-majority basin that changes the Figs 2-3 recovery behavior.
+  /// (The real-world generators model correlated errors directly.)
+  double decoy_probability = 0.0;
+  /// Probability that a continuous claim is a gross recording glitch
+  /// (affects every source equally, like the transmission errors the
+  /// paper's introduction describes). Glitches are what starve
+  /// continuous-only reliability estimation (GTM) of signal, motivating
+  /// the joint heterogeneous estimation.
+  double outlier_rate = 0.03;
+  /// Glitch magnitude in units of the property's truth dispersion.
+  double outlier_magnitude = 8.0;
+  /// RNG seed; runs are deterministic given the seed.
+  uint64_t seed = 42;
+};
+
+/// The paper's eight simulated-source gammas.
+std::vector<double> PaperSimulationGammas();
+
+/// The categorical flip probability theta(gamma) under the given options.
+double CategoricalFlipProbability(double gamma, const NoiseOptions& options);
+
+/// Builds a K-source conflicting dataset from \p truth_data, which must
+/// carry a ground-truth table (its schema, objects, dictionaries and
+/// timestamps are copied; its ground truth is retained for evaluation).
+/// Sources are named "source_0" ... "source_{K-1}" in gamma order.
+Result<Dataset> MakeNoisyDataset(const Dataset& truth_data, const NoiseOptions& options);
+
+}  // namespace crh
+
+#endif  // CRH_DATAGEN_NOISE_H_

@@ -1,0 +1,491 @@
+#include "datagen/real_world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace crh {
+
+namespace {
+
+/// Formats a number as a price-like fact label ("123.45").
+std::string PriceLabel(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+/// Blanks ground-truth entries uniformly so only `rate` of them stay
+/// labeled, mirroring the partially labeled real datasets (Table 1).
+void MaskTruthEntries(ValueTable* truth, double rate, Rng* rng) {
+  if (rate >= 1.0) return;
+  for (size_t i = 0; i < truth->num_objects(); ++i) {
+    for (size_t m = 0; m < truth->num_properties(); ++m) {
+      if (!truth->Get(i, m).is_missing() && !rng->Bernoulli(rate)) truth->Clear(i, m);
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Weather
+// ---------------------------------------------------------------------------
+
+Dataset MakeWeatherDataset(const WeatherOptions& options) {
+  const int num_cities = options.num_cities;
+  const int num_days = options.num_days;
+  const size_t num_objects = static_cast<size_t>(num_cities) * num_days;
+
+  Schema schema;
+  // Sources report tenth-of-a-degree temperatures, so claims almost never
+  // match exactly; methods that treat continuous values as atomic facts
+  // lose the temperature signal entirely, while distance-based losses
+  // (CRH, GTM) keep it.
+  (void)schema.AddContinuous("high_temperature", /*rounding_unit=*/0.1);
+  (void)schema.AddContinuous("low_temperature", /*rounding_unit=*/0.1);
+  (void)schema.AddCategorical("condition");
+
+  // 3 platforms x 3 forecast lead days = 9 sources (paper Section 3.2.1).
+  std::vector<std::string> source_ids;
+  for (int p = 0; p < 3; ++p) {
+    for (int d = 1; d <= 3; ++d) {
+      source_ids.push_back("platform" + std::to_string(p) + "_day" + std::to_string(d));
+    }
+  }
+
+  std::vector<std::string> object_ids;
+  std::vector<int64_t> timestamps;
+  object_ids.reserve(num_objects);
+  for (int day = 0; day < num_days; ++day) {
+    for (int c = 0; c < num_cities; ++c) {
+      object_ids.push_back("city" + std::to_string(c) + "_day" + std::to_string(day));
+      // Hour-resolution timestamps: the crawler visits cities throughout
+      // the day, so streaming windows can be narrower than a day (Fig 5
+      // sweeps the window size in hours; 24 hours = one day).
+      timestamps.push_back(static_cast<int64_t>(day) * 24 + (c * 24) / num_cities);
+    }
+  }
+
+  Dataset data(std::move(schema), std::move(object_ids), std::move(source_ids));
+  (void)data.set_timestamps(std::move(timestamps));
+
+  const std::vector<std::string> conditions = {"sunny",        "partly_cloudy", "cloudy",
+                                               "rain",         "thunderstorm",  "snow",
+                                               "fog",          "windy"};
+  for (const std::string& c : conditions) data.mutable_dict(2).GetOrAdd(c);
+  const size_t num_conditions = conditions.size();
+
+  Rng rng(options.seed);
+
+  // Per-city climate: a base temperature and a condition propensity.
+  std::vector<double> city_base(num_cities);
+  for (int c = 0; c < num_cities; ++c) city_base[static_cast<size_t>(c)] = rng.Uniform(45, 95);
+
+  // Truths plus a per-object "climatology guess" — a plausible wrong
+  // condition that unreliable forecasters gravitate to, which correlates
+  // their errors and is what defeats unweighted voting on this data.
+  ValueTable truth(num_objects, 3);
+  std::vector<CategoryId> popular_wrong(num_objects);
+  for (int day = 0; day < num_days; ++day) {
+    for (int c = 0; c < num_cities; ++c) {
+      const size_t i = static_cast<size_t>(day) * num_cities + c;
+      const double high =
+          std::round(city_base[static_cast<size_t>(c)] + rng.Gaussian(0, 6.0));
+      const double low = std::round(high - rng.Uniform(8, 22));
+      truth.Set(i, 0, Value::Continuous(high));
+      truth.Set(i, 1, Value::Continuous(low));
+      const CategoryId cond =
+          static_cast<CategoryId>(rng.UniformInt(0, static_cast<int64_t>(num_conditions) - 1));
+      truth.Set(i, 2, Value::Categorical(cond));
+      CategoryId wrong = static_cast<CategoryId>(
+          rng.UniformInt(0, static_cast<int64_t>(num_conditions) - 2));
+      if (wrong >= cond) ++wrong;
+      popular_wrong[i] = wrong;
+    }
+  }
+
+  // Platform quality and forecast-lead degradation.
+  const double platform_sigma[3] = {0.9, 2.6, 4.2};   // temperature noise, deg F
+  const double platform_bias[3] = {0.2, -1.4, 2.3};   // systematic temp bias
+  const double platform_acc[3] = {0.74, 0.58, 0.44};  // condition accuracy
+  const double lead_sigma_mult[3] = {1.0, 1.45, 2.0};
+  const double lead_acc_penalty[3] = {0.0, 0.10, 0.20};
+
+  for (int p = 0; p < 3; ++p) {
+    for (int d = 0; d < 3; ++d) {
+      const size_t k = static_cast<size_t>(p) * 3 + static_cast<size_t>(d);
+      Rng source_rng = rng.Fork();
+      const double sigma = platform_sigma[p] * lead_sigma_mult[d];
+      const double acc = std::max(0.05, platform_acc[p] - lead_acc_penalty[d]);
+      for (size_t i = 0; i < num_objects; ++i) {
+        for (size_t m = 0; m < 3; ++m) {
+          if (source_rng.Bernoulli(options.missing_rate)) continue;
+          if (m < 2) {
+            const double t = truth.Get(i, m).continuous();
+            double v = t + platform_bias[p] + source_rng.Gaussian(0, sigma);
+            // Occasional gross forecast glitch (wrong city / unit mix-up);
+            // affects every platform. These are what make the plain mean —
+            // and GTM's precision-weighted mean — trail the robust
+            // weighted median on this data.
+            if (source_rng.Bernoulli(0.03)) {
+              v += (source_rng.Bernoulli(0.5) ? 1 : -1) * source_rng.Uniform(10, 25);
+            }
+            data.SetObservation(k, i, m, Value::Continuous(std::round(v * 10) / 10));
+          } else {
+            const CategoryId t = truth.Get(i, 2).category();
+            CategoryId claim = t;
+            if (!source_rng.Bernoulli(acc)) {
+              if (source_rng.Bernoulli(0.95)) {
+                claim = popular_wrong[i];
+              } else {
+                claim = static_cast<CategoryId>(source_rng.UniformInt(
+                    0, static_cast<int64_t>(num_conditions) - 2));
+                if (claim >= t) ++claim;
+              }
+            }
+            data.SetObservation(k, i, 2, Value::Categorical(claim));
+          }
+        }
+      }
+    }
+  }
+
+  MaskTruthEntries(&truth, options.truth_label_rate, &rng);
+  data.set_ground_truth(std::move(truth));
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// Stock
+// ---------------------------------------------------------------------------
+
+Dataset MakeStockDataset(const StockOptions& options) {
+  const int num_symbols = options.num_symbols;
+  const int num_days = options.num_days;
+  const int k_sources = options.num_sources;
+  const size_t num_objects = static_cast<size_t>(num_symbols) * num_days;
+
+  // 16 properties; the paper treats volume, shares_outstanding and
+  // market_cap as continuous and the 13 price-like ones as categorical
+  // facts.
+  Schema schema;
+  const std::vector<std::string> fact_props = {
+      "last_price",  "open_price",  "close_price",  "high_price", "low_price",
+      "change_abs",  "change_pct",  "bid",          "ask",        "eps",
+      "pe_ratio",    "yield",       "dividend"};
+  for (const std::string& p : fact_props) (void)schema.AddCategorical(p);
+  (void)schema.AddContinuous("volume", /*rounding_unit=*/100.0);
+  (void)schema.AddContinuous("shares_outstanding", /*rounding_unit=*/1000.0);
+  (void)schema.AddContinuous("market_cap", /*rounding_unit=*/1e4);
+  const size_t m_props = schema.num_properties();
+  const size_t num_facts = fact_props.size();
+
+  std::vector<std::string> source_ids;
+  for (int k = 0; k < k_sources; ++k) source_ids.push_back("quote_site_" + std::to_string(k));
+
+  std::vector<std::string> object_ids;
+  std::vector<int64_t> timestamps;
+  object_ids.reserve(num_objects);
+  for (int day = 0; day < num_days; ++day) {
+    for (int s = 0; s < num_symbols; ++s) {
+      object_ids.push_back("sym" + std::to_string(s) + "_day" + std::to_string(day));
+      timestamps.push_back(day);
+    }
+  }
+
+  Dataset data(std::move(schema), std::move(object_ids), std::move(source_ids));
+  (void)data.set_timestamps(std::move(timestamps));
+
+  Rng rng(options.seed);
+
+  // Per-symbol fundamentals and a per-day price path.
+  std::vector<double> base_price(static_cast<size_t>(num_symbols));
+  std::vector<double> shares(static_cast<size_t>(num_symbols));
+  for (int s = 0; s < num_symbols; ++s) {
+    base_price[static_cast<size_t>(s)] = std::exp(rng.Gaussian(3.7, 0.8));  // ~ $40 median
+    shares[static_cast<size_t>(s)] = std::exp(rng.Gaussian(18.0, 1.0));     // ~ 65M median
+  }
+
+  // truth_facts[i][f]: numeric value behind each categorical fact.
+  // prev_facts: the previous trading day's value, which stale sources
+  // re-report — the correlated error that defeats voting on this data.
+  ValueTable truth(num_objects, m_props);
+  std::vector<std::vector<double>> fact_numbers(num_objects,
+                                                std::vector<double>(num_facts, 0.0));
+  std::vector<double> price(static_cast<size_t>(num_symbols));
+  for (int s = 0; s < num_symbols; ++s) price[static_cast<size_t>(s)] = base_price[static_cast<size_t>(s)];
+
+  for (int day = 0; day < num_days; ++day) {
+    for (int s = 0; s < num_symbols; ++s) {
+      const size_t i = static_cast<size_t>(day) * num_symbols + s;
+      const double prev = price[static_cast<size_t>(s)];
+      const double ret = rng.Gaussian(0.0, 0.02);
+      const double close = std::max(0.5, prev * (1.0 + ret));
+      price[static_cast<size_t>(s)] = close;
+      const double open = prev * (1.0 + rng.Gaussian(0, 0.005));
+      const double high = std::max({open, close}) * (1.0 + std::abs(rng.Gaussian(0, 0.008)));
+      const double low = std::min({open, close}) * (1.0 - std::abs(rng.Gaussian(0, 0.008)));
+      const double eps = base_price[static_cast<size_t>(s)] / rng.Uniform(8, 30);
+      std::vector<double>& f = fact_numbers[i];
+      f[0] = close;                         // last_price
+      f[1] = open;                          // open_price
+      f[2] = close;                         // close_price
+      f[3] = high;                          // high_price
+      f[4] = low;                           // low_price
+      f[5] = close - prev;                  // change_abs
+      f[6] = 100.0 * (close - prev) / prev; // change_pct
+      f[7] = close - 0.01;                  // bid
+      f[8] = close + 0.01;                  // ask
+      f[9] = eps;                           // eps
+      f[10] = close / std::max(eps, 0.01);  // pe_ratio
+      f[11] = rng.Uniform(0, 5);            // yield
+      f[12] = eps * rng.Uniform(0, 0.8);    // dividend
+
+      for (size_t m = 0; m < num_facts; ++m) {
+        truth.Set(i, m, data.InternCategorical(m, PriceLabel(f[m])));
+      }
+      const double volume = std::exp(rng.Gaussian(13.0, 1.2));
+      truth.Set(i, num_facts + 0, Value::Continuous(std::round(volume / 100.0) * 100.0));
+      truth.Set(i, num_facts + 1,
+                Value::Continuous(std::round(shares[static_cast<size_t>(s)] / 1000.0) * 1000.0));
+      truth.Set(i, num_facts + 2,
+                Value::Continuous(std::round(close * shares[static_cast<size_t>(s)] / 1e4) * 1e4));
+    }
+  }
+
+  // Source reliability profile: a good tier, a mediocre tier, and a bad
+  // tier (the deep-web quote-site study found exactly this spread).
+  std::vector<double> acc(static_cast<size_t>(k_sources));
+  for (int k = 0; k < k_sources; ++k) {
+    const double u = rng.Uniform();
+    if (u < 0.35) {
+      acc[static_cast<size_t>(k)] = rng.Uniform(0.75, 0.95);
+    } else if (u < 0.70) {
+      acc[static_cast<size_t>(k)] = rng.Uniform(0.45, 0.75);
+    } else {
+      acc[static_cast<size_t>(k)] = rng.Uniform(0.15, 0.45);
+    }
+  }
+
+  // "Hard" objects: a late intraday update most sites have not picked up,
+  // so the majority republishes yesterday's numbers. These are where
+  // voting fails and source weighting pays off.
+  std::vector<bool> hard(num_objects, false);
+  for (size_t i = 0; i < num_objects; ++i) hard[i] = rng.Bernoulli(0.12);
+
+  for (int k = 0; k < k_sources; ++k) {
+    Rng source_rng = rng.Fork();
+    const double a = acc[static_cast<size_t>(k)];
+    const double rel_sigma = (1.0 - a) * 0.30;  // relative noise on continuous props
+    const double stale_p = 0.85;                // wrong fact = stale value w.p. 0.85
+    // Freshness on hard objects correlates with overall quality: good
+    // sources pick up the update quickly, bad ones almost never.
+    const double hard_stale_p = std::clamp(1.0 - 0.75 * a, 0.05, 0.95);
+    for (size_t i = 0; i < num_objects; ++i) {
+      if (source_rng.Bernoulli(options.missing_rate)) continue;  // drops whole row
+      const int day = static_cast<int>(i) / num_symbols;
+      const size_t prev_i = day > 0 ? i - static_cast<size_t>(num_symbols) : i;
+      for (size_t m = 0; m < m_props; ++m) {
+        if (source_rng.Bernoulli(0.04)) continue;  // additional per-cell dropout
+        if (m < num_facts) {
+          double v = fact_numbers[i][m];
+          if (hard[i] && day > 0) {
+            if (source_rng.Bernoulli(hard_stale_p)) v = fact_numbers[prev_i][m];
+          } else if (!source_rng.Bernoulli(a)) {
+            if (source_rng.Bernoulli(stale_p)) {
+              v = fact_numbers[prev_i][m];  // stale quote
+            } else {
+              v += 0.01 * static_cast<double>(source_rng.UniformInt(1, 5)) *
+                   (source_rng.Bernoulli(0.5) ? 1 : -1);  // off-by-ticks typo
+            }
+          }
+          data.SetObservation(static_cast<size_t>(k), i, m,
+                              data.InternCategorical(m, PriceLabel(v)));
+        } else {
+          double v = truth.Get(i, m).continuous();
+          if (rel_sigma > 0) v *= 1.0 + source_rng.Gaussian(0, rel_sigma);
+          // Unit mix-ups (thousands vs units) — gross non-Gaussian errors
+          // that defeat Gaussian models like GTM on this data.
+          if (source_rng.Bernoulli(0.03)) {
+            v *= source_rng.Bernoulli(0.5) ? 1e3 : 1e-3;
+          }
+          const double unit = data.schema().property(m).rounding_unit;
+          v = std::max(0.0, std::round(v / unit) * unit);
+          data.SetObservation(static_cast<size_t>(k), i, m, Value::Continuous(v));
+        }
+      }
+    }
+  }
+
+  // Ground truth covers the first `labeled_symbols` symbols (the paper uses
+  // the NASDAQ-100 subset for labeling).
+  const int labeled = std::min(options.labeled_symbols, num_symbols);
+  for (int day = 0; day < num_days; ++day) {
+    for (int s = labeled; s < num_symbols; ++s) {
+      const size_t i = static_cast<size_t>(day) * num_symbols + s;
+      for (size_t m = 0; m < m_props; ++m) truth.Clear(i, m);
+    }
+  }
+  data.set_ground_truth(std::move(truth));
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// Flight
+// ---------------------------------------------------------------------------
+
+Dataset MakeFlightDataset(const FlightOptions& options) {
+  const int num_flights = options.num_flights;
+  const int num_days = options.num_days;
+  const int k_sources = options.num_sources;
+  const size_t num_objects = static_cast<size_t>(num_flights) * num_days;
+
+  Schema schema;
+  (void)schema.AddContinuous("scheduled_departure", /*rounding_unit=*/1.0);
+  (void)schema.AddContinuous("actual_departure", /*rounding_unit=*/1.0);
+  (void)schema.AddCategorical("departure_gate");
+  (void)schema.AddContinuous("scheduled_arrival", /*rounding_unit=*/1.0);
+  (void)schema.AddContinuous("actual_arrival", /*rounding_unit=*/1.0);
+  (void)schema.AddCategorical("arrival_gate");
+
+  std::vector<std::string> source_ids;
+  for (int k = 0; k < k_sources; ++k) source_ids.push_back("flight_site_" + std::to_string(k));
+
+  std::vector<std::string> object_ids;
+  std::vector<int64_t> timestamps;
+  object_ids.reserve(num_objects);
+  for (int day = 0; day < num_days; ++day) {
+    for (int f = 0; f < num_flights; ++f) {
+      object_ids.push_back("fl" + std::to_string(f) + "_day" + std::to_string(day));
+      timestamps.push_back(day);
+    }
+  }
+
+  Dataset data(std::move(schema), std::move(object_ids), std::move(source_ids));
+  (void)data.set_timestamps(std::move(timestamps));
+
+  // Gate pools shared across flights (terminal letter + number).
+  const int num_gates = 60;
+  for (int g = 0; g < num_gates; ++g) {
+    const std::string gate = std::string(1, static_cast<char>('A' + g / 10)) +
+                             std::to_string(g % 10 + 1);
+    data.mutable_dict(2).GetOrAdd(gate);
+    data.mutable_dict(5).GetOrAdd(gate);
+  }
+
+  Rng rng(options.seed);
+
+  std::vector<double> sched_dep(static_cast<size_t>(num_flights));
+  std::vector<double> duration(static_cast<size_t>(num_flights));
+  std::vector<CategoryId> home_dep_gate(static_cast<size_t>(num_flights));
+  std::vector<CategoryId> home_arr_gate(static_cast<size_t>(num_flights));
+  for (int f = 0; f < num_flights; ++f) {
+    sched_dep[static_cast<size_t>(f)] = std::round(rng.Uniform(300, 1380));
+    duration[static_cast<size_t>(f)] = std::round(rng.Uniform(60, 360));
+    home_dep_gate[static_cast<size_t>(f)] =
+        static_cast<CategoryId>(rng.UniformInt(0, num_gates - 1));
+    home_arr_gate[static_cast<size_t>(f)] =
+        static_cast<CategoryId>(rng.UniformInt(0, num_gates - 1));
+  }
+
+  ValueTable truth(num_objects, 6);
+  for (int day = 0; day < num_days; ++day) {
+    for (int f = 0; f < num_flights; ++f) {
+      const size_t i = static_cast<size_t>(day) * num_flights + f;
+      const double sd = sched_dep[static_cast<size_t>(f)];
+      const double sa = sd + duration[static_cast<size_t>(f)];
+      // Delay: mostly small, occasionally large (heavy tail).
+      double delay = std::max(0.0, rng.Gaussian(8, 18));
+      if (rng.Bernoulli(0.05)) delay += rng.Exponential(1.0 / 90.0);
+      const double ad = std::round(sd + delay);
+      const double aa = std::round(sa + delay * 0.9 + rng.Gaussian(0, 6));
+      // Gate changes happen on ~10% of days.
+      CategoryId dg = home_dep_gate[static_cast<size_t>(f)];
+      CategoryId ag = home_arr_gate[static_cast<size_t>(f)];
+      if (rng.Bernoulli(0.14)) dg = static_cast<CategoryId>(rng.UniformInt(0, num_gates - 1));
+      if (rng.Bernoulli(0.14)) ag = static_cast<CategoryId>(rng.UniformInt(0, num_gates - 1));
+      truth.Set(i, 0, Value::Continuous(sd));
+      truth.Set(i, 1, Value::Continuous(ad));
+      truth.Set(i, 2, Value::Categorical(dg));
+      truth.Set(i, 3, Value::Continuous(sa));
+      truth.Set(i, 4, Value::Continuous(aa));
+      truth.Set(i, 5, Value::Categorical(ag));
+    }
+  }
+
+  // Source profile: accuracy plus a staleness tendency (stale sources
+  // report the schedule as the actual time — the dominant correlated error
+  // in the original flight study).
+  for (int k = 0; k < k_sources; ++k) {
+    Rng source_rng = rng.Fork();
+    const double u = rng.Uniform();
+    double a;
+    if (u < 0.45) {
+      a = rng.Uniform(0.88, 0.99);
+    } else if (u < 0.8) {
+      a = rng.Uniform(0.65, 0.88);
+    } else {
+      a = rng.Uniform(0.30, 0.65);
+    }
+    // Even good sites sometimes echo the schedule as the "actual" time;
+    // bad ones do so for most flights. This is the dominant correlated
+    // error the original flight study reported, and it is what drags the
+    // unweighted median and mean down.
+    const double stale_p = std::clamp(0.25 + (1.0 - a) * 0.6, 0.0, 0.9);
+    // Probability of still showing the flight's usual gate after a gate
+    // change (fresh sites update, stale ones do not).
+    const double gate_stale_p = std::clamp(1.0 - 0.55 * a, 0.05, 0.95);
+    const double gate_typo_p = (1.0 - a) * 0.08;
+    const double time_sigma = (1.0 - a) * 12.0;
+    for (size_t i = 0; i < num_objects; ++i) {
+      if (source_rng.Bernoulli(options.missing_rate)) continue;
+      for (size_t m = 0; m < 6; ++m) {
+        if (source_rng.Bernoulli(0.05)) continue;
+        const Value& t = truth.Get(i, m);
+        if (m == 2 || m == 5) {
+          const CategoryId home = (m == 2) ? home_dep_gate[i % static_cast<size_t>(num_flights)]
+                                           : home_arr_gate[i % static_cast<size_t>(num_flights)];
+          CategoryId g = t.category();
+          if (g != home && source_rng.Bernoulli(gate_stale_p)) {
+            g = home;  // missed the gate change, shows the usual gate
+          } else if (source_rng.Bernoulli(gate_typo_p)) {
+            g = static_cast<CategoryId>(source_rng.UniformInt(0, num_gates - 1));
+          }
+          data.SetObservation(static_cast<size_t>(k), i, m, Value::Categorical(g));
+        } else if (m == 1 || m == 4) {
+          // Actual times: stale sources echo the schedule.
+          double v;
+          if (source_rng.Bernoulli(stale_p)) {
+            v = truth.Get(i, m - 1).continuous();
+          } else {
+            v = t.continuous() + source_rng.Gaussian(0, std::max(0.5, time_sigma));
+          }
+          data.SetObservation(static_cast<size_t>(k), i, m,
+                              Value::Continuous(std::round(v)));
+        } else {
+          // Schedules are mostly copied correctly; rare typos.
+          double v = t.continuous();
+          if (source_rng.Bernoulli((1.0 - a) * 0.1)) v += source_rng.Bernoulli(0.5) ? 60 : -60;
+          data.SetObservation(static_cast<size_t>(k), i, m, Value::Continuous(v));
+        }
+      }
+    }
+  }
+
+  // Label a fraction of objects end-to-end (the paper grounds 16,572 of
+  // 204,422 entries).
+  for (size_t i = 0; i < num_objects; ++i) {
+    if (!rng.Bernoulli(options.truth_label_rate)) {
+      for (size_t m = 0; m < 6; ++m) truth.Clear(i, m);
+    }
+  }
+  data.set_ground_truth(std::move(truth));
+  return data;
+}
+
+}  // namespace crh

@@ -1,0 +1,73 @@
+#ifndef CRH_DATAGEN_REAL_WORLD_H_
+#define CRH_DATAGEN_REAL_WORLD_H_
+
+/// \file real_world.h
+/// Synthetic stand-ins for the paper's crawled real-world datasets.
+///
+/// The weather (2013 crawl of three forecast platforms), stock (July 2011
+/// deep-web crawl, 55 sources) and flight (Dec 2011 crawl, 38 sources)
+/// datasets are not available offline. These generators reproduce their
+/// published *structure* — source counts, property mix, missing-value
+/// density, entry/ground-truth counts (Table 1) — and their *failure
+/// modes*: per-source reliability spreads, forecasts degrading with lead
+/// time, correlated "popular wrong value" errors (stale or copied claims)
+/// that defeat plain voting, and outliers that defeat plain averaging.
+/// See DESIGN.md, "Substitutions".
+///
+/// All generators return a Dataset with observations, a partially labeled
+/// ground-truth table, and per-object day timestamps (for the streaming
+/// experiments).
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace crh {
+
+/// Weather forecast integration: 3 platforms x 3 forecast lead days = 9
+/// sources; properties high_temperature & low_temperature (continuous,
+/// degrees F) and condition (categorical). Objects are (city, day) pairs.
+struct WeatherOptions {
+  int num_cities = 20;
+  int num_days = 32;
+  /// Probability a source omits an entry.
+  double missing_rate = 0.07;
+  /// Fraction of entries with ground-truth labels (paper: 1740/1920).
+  double truth_label_rate = 0.906;
+  uint64_t seed = 101;
+};
+Dataset MakeWeatherDataset(const WeatherOptions& options = {});
+
+/// Stock quotes: 55 sources over (symbol, trading day) objects with 16
+/// properties — volume, shares_outstanding and market_cap continuous, the
+/// 13 price-like ones treated as categorical facts as in the paper's
+/// heterogeneous task setting.
+struct StockOptions {
+  int num_symbols = 1000;
+  int num_days = 21;
+  int num_sources = 55;
+  double missing_rate = 0.35;
+  /// Ground truth covers this many symbols (paper: the NASDAQ-100 subset).
+  int labeled_symbols = 100;
+  uint64_t seed = 202;
+};
+Dataset MakeStockDataset(const StockOptions& options = {});
+
+/// Flight status: 38 sources over (flight, day) objects with 6 properties —
+/// scheduled/actual departure/arrival times in minutes (continuous) and
+/// departure/arrival gates (categorical). Stale sources report the
+/// scheduled time as the actual one, a correlated error pattern.
+struct FlightOptions {
+  int num_flights = 1200;
+  int num_days = 30;
+  int num_sources = 38;
+  double missing_rate = 0.60;
+  /// Fraction of objects with ground-truth labels.
+  double truth_label_rate = 0.08;
+  uint64_t seed = 303;
+};
+Dataset MakeFlightDataset(const FlightOptions& options = {});
+
+}  // namespace crh
+
+#endif  // CRH_DATAGEN_REAL_WORLD_H_

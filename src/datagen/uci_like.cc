@@ -1,0 +1,185 @@
+#include "datagen/uci_like.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace crh {
+
+namespace {
+
+/// Declarative spec of one property for the record generators.
+struct PropertySpec {
+  enum class Kind { kContinuous, kCategorical };
+  std::string name;
+  Kind kind;
+  // Continuous: truncated Gaussian with rounding.
+  double mean = 0, stddev = 1, lo = 0, hi = 1, rounding = 1;
+  // Probability mass of a spike at `lo` (models zero-inflated properties
+  // like capital_gain where most records are exactly 0).
+  double spike_at_lo = 0;
+  // Categorical: labels with Zipf-like popularity (weight 1/(rank+1)^skew).
+  std::vector<std::string> labels;
+  double skew = 1.0;
+};
+
+double DrawContinuous(const PropertySpec& spec, Rng* rng) {
+  if (spec.spike_at_lo > 0 && rng->Bernoulli(spec.spike_at_lo)) return spec.lo;
+  double v = rng->Gaussian(spec.mean, spec.stddev);
+  v = std::clamp(v, spec.lo, spec.hi);
+  if (spec.rounding > 0) v = std::round(v / spec.rounding) * spec.rounding;
+  return v;
+}
+
+Dataset BuildFromSpecs(const std::string& prefix, const std::vector<PropertySpec>& specs,
+                       size_t num_records, uint64_t seed) {
+  Schema schema;
+  for (const PropertySpec& spec : specs) {
+    if (spec.kind == PropertySpec::Kind::kContinuous) {
+      (void)schema.AddContinuous(spec.name, spec.rounding);
+    } else {
+      (void)schema.AddCategorical(spec.name);
+    }
+  }
+
+  std::vector<std::string> object_ids;
+  object_ids.reserve(num_records);
+  for (size_t i = 0; i < num_records; ++i) {
+    object_ids.push_back(prefix + "_" + std::to_string(i));
+  }
+
+  Dataset data(std::move(schema), std::move(object_ids), /*source_ids=*/{});
+
+  // Pre-intern labels and build per-property sampling weights.
+  std::vector<std::vector<double>> label_weights(specs.size());
+  for (size_t m = 0; m < specs.size(); ++m) {
+    const PropertySpec& spec = specs[m];
+    if (spec.kind != PropertySpec::Kind::kCategorical) continue;
+    for (const std::string& label : spec.labels) data.mutable_dict(m).GetOrAdd(label);
+    std::vector<double>& weights = label_weights[m];
+    weights.reserve(spec.labels.size());
+    for (size_t rank = 0; rank < spec.labels.size(); ++rank) {
+      weights.push_back(1.0 / std::pow(static_cast<double>(rank + 1), spec.skew));
+    }
+  }
+
+  Rng rng(seed);
+  ValueTable truth(num_records, specs.size());
+  for (size_t i = 0; i < num_records; ++i) {
+    for (size_t m = 0; m < specs.size(); ++m) {
+      const PropertySpec& spec = specs[m];
+      if (spec.kind == PropertySpec::Kind::kContinuous) {
+        truth.Set(i, m, Value::Continuous(DrawContinuous(spec, &rng)));
+      } else {
+        const size_t label = rng.Categorical(label_weights[m]);
+        truth.Set(i, m, Value::Categorical(static_cast<CategoryId>(label)));
+      }
+    }
+  }
+  data.set_ground_truth(std::move(truth));
+  return data;
+}
+
+
+/// Factory helpers keeping the spec lists readable and fully initialized.
+PropertySpec Cont(std::string name, double mean, double stddev, double lo, double hi,
+                  double rounding, double spike_at_lo = 0.0) {
+  PropertySpec spec;
+  spec.name = std::move(name);
+  spec.kind = PropertySpec::Kind::kContinuous;
+  spec.mean = mean;
+  spec.stddev = stddev;
+  spec.lo = lo;
+  spec.hi = hi;
+  spec.rounding = rounding;
+  spec.spike_at_lo = spike_at_lo;
+  return spec;
+}
+
+PropertySpec Cat(std::string name, std::vector<std::string> labels, double skew) {
+  PropertySpec spec;
+  spec.name = std::move(name);
+  spec.kind = PropertySpec::Kind::kCategorical;
+  spec.labels = std::move(labels);
+  spec.skew = skew;
+  return spec;
+}
+
+std::vector<std::string> NumberedLabels(const std::string& stem, size_t count) {
+  std::vector<std::string> labels;
+  labels.reserve(count);
+  for (size_t i = 0; i < count; ++i) labels.push_back(stem + "_" + std::to_string(i));
+  return labels;
+}
+
+}  // namespace
+
+Dataset MakeAdultGroundTruth(const UciLikeOptions& options) {
+  const size_t n = options.num_records > 0 ? options.num_records : 32561;
+  std::vector<PropertySpec> specs;
+  specs.push_back(Cont("age", 38.6, 13.6, 17, 90, 1));
+  specs.push_back(Cat("workclass",
+                  std::vector<std::string>{"private", "self_emp_not_inc", "local_gov", "state_gov", "self_emp_inc",
+                    "federal_gov", "without_pay", "never_worked"}, 1.6));
+  specs.push_back(Cont("fnlwgt", 189778, 105550, 12285, 1484705, 1));
+  specs.push_back(Cat("education",
+                  NumberedLabels("edu", 16), 1.1));
+  specs.push_back(Cont("education_num", 10.1, 2.6, 1, 16, 1));
+  specs.push_back(Cat("marital_status",
+                  std::vector<std::string>{"married_civ", "never_married", "divorced", "separated", "widowed",
+                    "spouse_absent", "married_af"}, 1.3));
+  specs.push_back(Cat("occupation",
+                  NumberedLabels("occ", 14), 0.7));
+  specs.push_back(Cat("relationship",
+                  std::vector<std::string>{"husband", "not_in_family", "own_child", "unmarried", "wife",
+                    "other_relative"}, 1.0));
+  specs.push_back(Cat("race",
+                  std::vector<std::string>{"white", "black", "asian_pac", "amer_indian", "other"}, 2.4));
+  specs.push_back(Cat("sex",
+                  std::vector<std::string>{"male", "female"}, 0.6));
+  specs.push_back(Cont("capital_gain", 4000, 8000, 0, 99999, 1, 0.92));
+  specs.push_back(Cont("capital_loss", 1800, 700, 0, 4356, 1, 0.95));
+  specs.push_back(Cont("hours_per_week", 40.4, 12.3, 1, 99, 1));
+  specs.push_back(Cat("native_country",
+                  NumberedLabels("country", 41), 2.8));
+  return BuildFromSpecs("adult", specs, n, options.seed);
+}
+
+Dataset MakeBankGroundTruth(const UciLikeOptions& options) {
+  const size_t n = options.num_records > 0 ? options.num_records : 45211;
+  std::vector<PropertySpec> specs;
+  specs.push_back(Cont("age", 40.9, 10.6, 18, 95, 1));
+  specs.push_back(Cat("job",
+                  std::vector<std::string>{"blue_collar", "management", "technician", "admin", "services",
+                    "retired", "self_employed", "entrepreneur", "unemployed", "housemaid",
+                    "student", "unknown"}, 0.9));
+  specs.push_back(Cat("marital",
+                  std::vector<std::string>{"married", "single", "divorced"}, 1.2));
+  specs.push_back(Cat("education",
+                  std::vector<std::string>{"secondary", "tertiary", "primary", "unknown"}, 1.3));
+  specs.push_back(Cat("default",
+                  std::vector<std::string>{"no", "yes"}, 5.5));
+  specs.push_back(Cont("balance", 1362, 3044, -8019, 102127, 1));
+  specs.push_back(Cat("housing",
+                  std::vector<std::string>{"yes", "no"}, 0.3));
+  specs.push_back(Cat("loan",
+                  std::vector<std::string>{"no", "yes"}, 2.4));
+  specs.push_back(Cat("contact",
+                  std::vector<std::string>{"cellular", "unknown", "telephone"}, 1.5));
+  specs.push_back(Cont("day", 15.8, 8.3, 1, 31, 1));
+  specs.push_back(Cat("month",
+                  std::vector<std::string>{"may", "jul", "aug", "jun", "nov", "apr", "feb", "jan", "oct", "sep",
+                    "mar", "dec"}, 1.1));
+  specs.push_back(Cont("duration", 258, 257, 0, 4918, 1));
+  specs.push_back(Cont("campaign", 2.8, 3.1, 1, 63, 1));
+  specs.push_back(Cont("pdays", 224, 115, 1, 871, 1, 0.0));
+  specs.push_back(Cont("previous", 0.6, 2.3, 0, 275, 1, 0.8));
+  specs.push_back(Cat("poutcome",
+                  std::vector<std::string>{"unknown", "failure", "other", "success"}, 2.2));
+  return BuildFromSpecs("bank", specs, n, options.seed);
+}
+
+}  // namespace crh

@@ -1,0 +1,188 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "data/stats.h"
+
+namespace crh {
+
+Result<EvaluationResult> Evaluate(const Dataset& data, const ValueTable& estimate) {
+  if (!data.has_ground_truth()) {
+    return Status::FailedPrecondition("dataset has no ground truth attached");
+  }
+  if (estimate.num_objects() != data.num_objects() ||
+      estimate.num_properties() != data.num_properties()) {
+    return Status::InvalidArgument("estimate shape does not match dataset");
+  }
+
+  const ValueTable& truth = data.ground_truth();
+  const EntryStats stats = ComputeEntryStats(data);
+
+  EvaluationResult out;
+  double nad_total = 0.0;
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    for (size_t m = 0; m < data.num_properties(); ++m) {
+      const Value& gt = truth.Get(i, m);
+      if (gt.is_missing()) continue;
+      const Value& est = estimate.Get(i, m);
+      if (data.schema().is_discrete(m)) {
+        ++out.categorical_evaluated;
+        if (est.is_missing() || est != gt) ++out.categorical_errors;
+      } else {
+        ++out.continuous_evaluated;
+        const double scale = stats.scale_at(i, m);
+        if (est.is_missing()) {
+          // An abstention is charged one claim-dispersion unit.
+          nad_total += 1.0;
+        } else {
+          nad_total += std::abs(est.continuous() - gt.continuous()) / scale;
+        }
+      }
+    }
+  }
+  out.error_rate = out.categorical_evaluated > 0
+                       ? static_cast<double>(out.categorical_errors) /
+                             static_cast<double>(out.categorical_evaluated)
+                       : std::numeric_limits<double>::quiet_NaN();
+  out.mnad = out.continuous_evaluated > 0
+                 ? nad_total / static_cast<double>(out.continuous_evaluated)
+                 : std::numeric_limits<double>::quiet_NaN();
+  return out;
+}
+
+Result<std::vector<PropertyEvaluation>> EvaluateByProperty(const Dataset& data,
+                                                           const ValueTable& estimate) {
+  if (!data.has_ground_truth()) {
+    return Status::FailedPrecondition("dataset has no ground truth attached");
+  }
+  if (estimate.num_objects() != data.num_objects() ||
+      estimate.num_properties() != data.num_properties()) {
+    return Status::InvalidArgument("estimate shape does not match dataset");
+  }
+
+  const ValueTable& truth = data.ground_truth();
+  const EntryStats stats = ComputeEntryStats(data);
+  std::vector<PropertyEvaluation> rows(data.num_properties());
+  for (size_t m = 0; m < data.num_properties(); ++m) {
+    PropertyEvaluation& row = rows[m];
+    row.property = data.schema().property(m).name;
+    row.type = data.schema().property(m).type;
+    double total = 0.0;
+    for (size_t i = 0; i < data.num_objects(); ++i) {
+      const Value& gt = truth.Get(i, m);
+      if (gt.is_missing()) continue;
+      ++row.evaluated;
+      const Value& est = estimate.Get(i, m);
+      if (data.schema().is_discrete(m)) {
+        total += (est.is_missing() || est != gt) ? 1.0 : 0.0;
+      } else if (est.is_missing()) {
+        total += 1.0;
+      } else {
+        total += std::abs(est.continuous() - gt.continuous()) / stats.scale_at(i, m);
+      }
+    }
+    row.score = row.evaluated > 0 ? total / static_cast<double>(row.evaluated)
+                                  : std::numeric_limits<double>::quiet_NaN();
+  }
+  return rows;
+}
+
+std::vector<double> TrueSourceReliability(const Dataset& data) {
+  const size_t k_sources = data.num_sources();
+  std::vector<double> reliability(k_sources, 0.0);
+  if (!data.has_ground_truth()) return reliability;
+
+  const ValueTable& truth = data.ground_truth();
+  const EntryStats stats = ComputeEntryStats(data);
+
+  for (size_t k = 0; k < k_sources; ++k) {
+    size_t cat_total = 0, cat_correct = 0;
+    size_t cont_total = 0;
+    double nad_total = 0.0;
+    const ValueTable& table = data.observations(k);
+    for (size_t i = 0; i < data.num_objects(); ++i) {
+      for (size_t m = 0; m < data.num_properties(); ++m) {
+        const Value& gt = truth.Get(i, m);
+        const Value& obs = table.Get(i, m);
+        if (gt.is_missing() || obs.is_missing()) continue;
+        if (data.schema().is_discrete(m)) {
+          ++cat_total;
+          if (obs == gt) ++cat_correct;
+        } else {
+          ++cont_total;
+          nad_total += std::abs(obs.continuous() - gt.continuous()) / stats.scale_at(i, m);
+        }
+      }
+    }
+    double score = 0.0;
+    int parts = 0;
+    if (cat_total > 0) {
+      score += static_cast<double>(cat_correct) / static_cast<double>(cat_total);
+      ++parts;
+    }
+    if (cont_total > 0) {
+      score += std::exp(-nad_total / static_cast<double>(cont_total));
+      ++parts;
+    }
+    reliability[k] = parts > 0 ? score / parts : 0.0;
+  }
+  return reliability;
+}
+
+std::vector<double> NormalizeScores(std::vector<double> scores) {
+  if (scores.empty()) return scores;
+  const auto [lo_it, hi_it] = std::minmax_element(scores.begin(), scores.end());
+  const double lo = *lo_it, hi = *hi_it;
+  if (hi - lo < 1e-15) {
+    std::fill(scores.begin(), scores.end(), 1.0);
+    return scores;
+  }
+  for (double& s : scores) s = (s - lo) / (hi - lo);
+  return scores;
+}
+
+double PearsonCorrelation(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n < 2) return std::numeric_limits<double>::quiet_NaN();
+  const double mean_a = std::accumulate(a.begin(), a.begin() + n, 0.0) / n;
+  const double mean_b = std::accumulate(b.begin(), b.begin() + n, 0.0) / n;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a < 1e-30 || var_b < 1e-30) return std::numeric_limits<double>::quiet_NaN();
+  return cov / std::sqrt(var_a * var_b);
+}
+
+namespace {
+
+std::vector<double> Ranks(const std::vector<double>& xs) {
+  std::vector<size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(xs.size(), 0.0);
+  size_t pos = 0;
+  while (pos < order.size()) {
+    size_t end = pos;
+    while (end < order.size() && xs[order[end]] == xs[order[pos]]) ++end;
+    const double rank = (static_cast<double>(pos) + static_cast<double>(end - 1)) / 2.0;
+    for (size_t j = pos; j < end; ++j) ranks[order[j]] = rank;
+    pos = end;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& a, const std::vector<double>& b) {
+  return PearsonCorrelation(Ranks(a), Ranks(b));
+}
+
+}  // namespace crh

@@ -1,0 +1,81 @@
+#ifndef CRH_EVAL_METRICS_H_
+#define CRH_EVAL_METRICS_H_
+
+/// \file metrics.h
+/// Evaluation measures from Section 3.1.1 of the paper.
+///
+///  * Error Rate — fraction of categorical outputs differing from the
+///    ground truth, over labeled categorical entries.
+///  * MNAD (Mean Normalized Absolute Distance) — per labeled continuous
+///    entry, |estimate - truth| normalized by the dispersion of claims on
+///    that entry, averaged.
+///
+/// Lower is better for both. Also provides the ground-truth source
+/// reliability used for Figure 1 and correlation helpers for comparing
+/// estimated weights against it.
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/table.h"
+
+namespace crh {
+
+/// Error Rate + MNAD of an estimated truth table against ground truth.
+struct EvaluationResult {
+  /// Fraction of labeled categorical entries answered incorrectly (or left
+  /// missing). NaN if no labeled categorical entry exists.
+  double error_rate = 0.0;
+  /// Number of labeled categorical entries evaluated.
+  size_t categorical_evaluated = 0;
+  /// Number of categorical mismatches.
+  size_t categorical_errors = 0;
+  /// Mean normalized absolute distance over labeled continuous entries.
+  /// NaN if no labeled continuous entry exists.
+  double mnad = 0.0;
+  /// Number of labeled continuous entries evaluated.
+  size_t continuous_evaluated = 0;
+};
+
+/// Evaluates \p estimate against the dataset's ground truth. Entries whose
+/// ground truth is missing are skipped; entries the estimate leaves missing
+/// count as errors (categorical) or contribute the per-entry claim scale
+/// (continuous), so methods cannot win by abstaining.
+Result<EvaluationResult> Evaluate(const Dataset& data, const ValueTable& estimate);
+
+/// One property's evaluation row in a per-property breakdown.
+struct PropertyEvaluation {
+  std::string property;
+  PropertyType type = PropertyType::kContinuous;
+  /// Labeled entries evaluated for this property.
+  size_t evaluated = 0;
+  /// Error rate (discrete properties) or MNAD (continuous); NaN when no
+  /// labeled entry exists.
+  double score = 0.0;
+};
+
+/// Per-property breakdown of Evaluate — which properties a method gets
+/// right and which drag it down. Same conventions as Evaluate.
+Result<std::vector<PropertyEvaluation>> EvaluateByProperty(const Dataset& data,
+                                                           const ValueTable& estimate);
+
+/// Ground-truth reliability of each source (used for Fig 1): the
+/// probability of a correct claim on labeled categorical entries, combined
+/// with a closeness score exp(-MNAD_k) on labeled continuous entries; the
+/// two parts are averaged when both exist.
+std::vector<double> TrueSourceReliability(const Dataset& data);
+
+/// Min-max normalizes scores into [0, 1] (constant vectors map to all 1s),
+/// as the paper does before plotting reliability degrees.
+std::vector<double> NormalizeScores(std::vector<double> scores);
+
+/// Pearson linear correlation; NaN when either side is constant.
+double PearsonCorrelation(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Spearman rank correlation; NaN when either side is constant.
+double SpearmanCorrelation(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace crh
+
+#endif  // CRH_EVAL_METRICS_H_

@@ -1,0 +1,19 @@
+#include "losses/loss.h"
+
+namespace crh {
+
+double ProbVectorSquaredLoss(const std::vector<double>& truth_dist, CategoryId obs) {
+  double norm_sq = 0.0;
+  for (double p : truth_dist) norm_sq += p * p;
+  const double p_obs = truth_dist[static_cast<size_t>(obs)];
+  return norm_sq - 2.0 * p_obs + 1.0;
+}
+
+std::unique_ptr<LossFunction> DefaultLossForType(PropertyType type) {
+  if (type == PropertyType::kCategorical) {
+    return std::make_unique<ZeroOneLoss>();
+  }
+  return std::make_unique<NormalizedAbsoluteLoss>();
+}
+
+}  // namespace crh

@@ -1,0 +1,30 @@
+#ifndef CRH_LOSSES_TEXT_DISTANCE_H_
+#define CRH_LOSSES_TEXT_DISTANCE_H_
+
+/// \file text_distance.h
+/// Edit-distance losses for text properties.
+///
+/// Section 2.4 of the paper notes that the framework "can take any loss
+/// function that is selected based on data types and distributions", naming
+/// edit distance for text data. A text property stores interned strings;
+/// its loss is the Levenshtein distance normalized by the longer string's
+/// length, so values lie in [0, 1] like the 0-1 loss. The induced truth
+/// update (Eq 3) is the weighted medoid: the claimed string minimizing the
+/// weighted total edit distance to all claims (see core/resolvers.h).
+
+#include <cstddef>
+#include <string>
+
+namespace crh {
+
+/// Levenshtein (unit-cost insert/delete/substitute) distance.
+size_t LevenshteinDistance(const std::string& a, const std::string& b);
+
+/// LevenshteinDistance normalized by the longer string's length; 0 for
+/// equal strings, 1 for completely disjoint ones. Two empty strings have
+/// distance 0.
+double NormalizedEditDistance(const std::string& a, const std::string& b);
+
+}  // namespace crh
+
+#endif  // CRH_LOSSES_TEXT_DISTANCE_H_

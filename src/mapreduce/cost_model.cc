@@ -1,0 +1,32 @@
+#include "mapreduce/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crh {
+
+double ClusterCostModel::NumSplits(double num_observations) const {
+  return std::max(1.0, std::ceil(num_observations / records_per_split));
+}
+
+double ClusterCostModel::MapParallelism(double num_observations) const {
+  return std::min(static_cast<double>(map_slots), NumSplits(num_observations));
+}
+
+double ClusterCostModel::EstimatePassSeconds(double num_observations,
+                                             int num_reducers) const {
+  const double r = std::max(1, num_reducers);
+  const double map_seconds =
+      num_observations * map_cost_per_record / MapParallelism(num_observations);
+  const double reduce_seconds = num_observations * reduce_cost_per_record / r;
+  const double shuffle_seconds = NumSplits(num_observations) * r * connection_cost;
+  return map_seconds + reduce_seconds + shuffle_seconds;
+}
+
+double ClusterCostModel::EstimateFusionSeconds(double num_observations, int num_reducers,
+                                               int num_passes) const {
+  return job_setup_seconds +
+         num_passes * EstimatePassSeconds(num_observations, num_reducers);
+}
+
+}  // namespace crh

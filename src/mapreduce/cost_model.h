@@ -1,0 +1,60 @@
+#ifndef CRH_MAPREDUCE_COST_MODEL_H_
+#define CRH_MAPREDUCE_COST_MODEL_H_
+
+/// \file cost_model.h
+/// Calibrated Hadoop-cluster cost model.
+///
+/// The paper's parallel experiments (Table 6, Figs 7-8) ran on a Dell
+/// Hadoop cluster that is not available here, so wall-clock behaviour is
+/// reproduced by an analytical cost model layered over the in-process
+/// MapReduce engine (see DESIGN.md, "Substitutions"). The model captures
+/// the regimes the paper reports:
+///
+///  * a fixed job-scheduling overhead that dominates small inputs
+///    (Table 6: 1e4..1e6 observations all take ~95 s);
+///  * map work that scales linearly once the input outgrows the mapper
+///    slots (Fig 7's linear growth in entries and sources);
+///  * a reduce phase whose work shrinks with more reducers while its
+///    shuffle/connection overhead grows linearly with them, producing the
+///    non-monotone curve of Fig 8 with an optimum near 10 reducers.
+
+#include <cstddef>
+
+namespace crh {
+
+/// Analytical running-time model for one CRH fusion on the cluster.
+struct ClusterCostModel {
+  /// Fixed scheduling/JVM-startup overhead of the whole fusion job chain.
+  double job_setup_seconds = 93.0;
+  /// Records per input split (~64 MB of claim tuples).
+  double records_per_split = 4e6;
+  /// Concurrent map slots on the cluster.
+  int map_slots = 6;
+  /// Per-record map-side cost (scan, emit, combiner, spill), seconds.
+  double map_cost_per_record = 2e-5;
+  /// Per-record reduce-side cost (merge, truth/weight computation), seconds.
+  double reduce_cost_per_record = 2e-6;
+  /// Per (reducer x split) shuffle-connection overhead, seconds.
+  double connection_cost = 0.08;
+
+  /// Number of input splits for a given observation count.
+  double NumSplits(double num_observations) const;
+
+  /// Effective map parallelism: min(map_slots, #splits).
+  double MapParallelism(double num_observations) const;
+
+  /// Estimated seconds for one map+reduce pass over the observations.
+  double EstimatePassSeconds(double num_observations, int num_reducers) const;
+
+  /// Estimated seconds for a full CRH fusion: setup plus `num_passes`
+  /// map/reduce passes (the paper's wrapper runs a truth job and a weight
+  /// job per iteration; their per-record costs are baked into the
+  /// calibrated constants for a standard iteration budget, so the default
+  /// single pass reproduces Table 6).
+  double EstimateFusionSeconds(double num_observations, int num_reducers,
+                               int num_passes = 1) const;
+};
+
+}  // namespace crh
+
+#endif  // CRH_MAPREDUCE_COST_MODEL_H_

@@ -1,0 +1,62 @@
+#include "mapreduce/engine.h"
+
+namespace crh {
+
+Status ValidateMapReduceConfig(const MapReduceConfig& config) {
+  if (config.fault_injection_rate < 0.0 || config.fault_injection_rate > 1.0) {
+    return Status::InvalidArgument("fault_injection_rate must be in [0, 1]");
+  }
+  if (config.max_attempts < 1) {
+    return Status::InvalidArgument("max_attempts must be >= 1");
+  }
+  if (config.num_mappers < 1) {
+    return Status::InvalidArgument("num_mappers must be >= 1");
+  }
+  if (config.num_reducers < 1) {
+    return Status::InvalidArgument("num_reducers must be >= 1");
+  }
+  if (config.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
+  return Status::OK();
+}
+
+namespace internal {
+
+bool InjectFault(size_t phase, size_t task, int attempt, double rate) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  // SplitMix64 over the (phase, task, attempt) triple: deterministic,
+  // well-mixed, independent across attempts.
+  uint64_t x = phase * 0x9e3779b97f4a7c15ull + task * 0xbf58476d1ce4e5b9ull +
+               static_cast<uint64_t>(attempt) * 0x94d049bb133111ebull + 0x2545f4914f6cdd1dull;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) / 9007199254740992.0 < rate;
+}
+
+void RunOnThreads(std::vector<std::function<void()>> tasks, int num_threads) {
+  size_t workers = num_threads > 0 ? static_cast<size_t>(num_threads)
+                                   : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, tasks.size());
+  if (workers <= 1) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  // Static round-robin assignment: task t runs on thread t % workers.
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&tasks, w, workers]() {
+      for (size_t t = w; t < tasks.size(); t += workers) tasks[t]();
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace internal
+
+}  // namespace crh

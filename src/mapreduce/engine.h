@@ -1,0 +1,237 @@
+#ifndef CRH_MAPREDUCE_ENGINE_H_
+#define CRH_MAPREDUCE_ENGINE_H_
+
+/// \file engine.h
+/// An in-process MapReduce engine (the substrate standing in for the
+/// paper's Hadoop cluster; Section 2.7).
+///
+/// The engine executes real map / combine / shuffle / reduce semantics on a
+/// thread pool:
+///
+///  1. the input is cut into splits, one mapper task per split;
+///  2. each mapper applies the map function and, if a combiner is given,
+///     pre-aggregates its local output by key (Section 2.7.3's Combiner);
+///  3. intermediate pairs are hash-partitioned across reducers;
+///  4. each reducer groups its partition by key (keys processed in sorted
+///     order, like Hadoop's sort phase) and applies the reduce function.
+///
+/// Wall-clock on this machine is measured, and the calibrated
+/// ClusterCostModel translates the record counts into simulated cluster
+/// seconds for the scalability experiments.
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "mapreduce/cost_model.h"
+
+namespace crh {
+
+/// Engine configuration.
+struct MapReduceConfig {
+  /// Concurrent mapper tasks (split count is derived from this unless
+  /// records_per_split is set).
+  int num_mappers = 4;
+  /// Reducer tasks (= output partitions).
+  int num_reducers = 4;
+  /// Records per split; 0 divides the input evenly over num_mappers.
+  size_t records_per_split = 0;
+  /// Number of OS threads running tasks; 0 = hardware concurrency.
+  int num_threads = 0;
+  /// Fault injection for testing the engine's retry path: probability that
+  /// any task attempt is killed before committing its output (a simulated
+  /// worker crash). Decisions are deterministic in (task, attempt).
+  double fault_injection_rate = 0.0;
+  /// Attempts per task before the whole job fails, as in Hadoop's
+  /// mapred.map.max.attempts.
+  int max_attempts = 3;
+};
+
+/// Validates a MapReduceConfig.
+Status ValidateMapReduceConfig(const MapReduceConfig& config);
+
+/// Counters of one executed job.
+struct JobStats {
+  size_t input_records = 0;
+  /// Task attempts that were killed and retried (both phases).
+  size_t task_retries = 0;
+  size_t map_output_records = 0;
+  /// Records after the (optional) combiner; equals map_output_records
+  /// when no combiner is installed.
+  size_t shuffle_records = 0;
+  size_t reduce_groups = 0;
+  size_t output_records = 0;
+  size_t num_splits = 0;
+  /// Measured wall-clock on this machine.
+  double wall_seconds = 0.0;
+};
+
+/// Output of RunMapReduce.
+template <typename Out>
+struct MapReduceOutput {
+  std::vector<Out> records;
+  JobStats stats;
+};
+
+/// The three user functions of a job. K must be hashable and ordered; the
+/// combiner is optional (nullptr) and must be associative/commutative in V.
+template <typename In, typename K, typename V, typename Out>
+struct MapReduceSpec {
+  /// Emits zero or more (key, value) pairs per input record.
+  std::function<void(const In&, std::vector<std::pair<K, V>>*)> map;
+  /// Folds a key's local values into one; applied mapper-side.
+  std::function<V(const K&, std::vector<V>&&)> combine;
+  /// Consumes one key group and appends output records.
+  std::function<void(const K&, std::vector<V>&&, std::vector<Out>*)> reduce;
+};
+
+namespace internal {
+
+/// Runs `tasks` callables on up to `num_threads` OS threads (all tasks run
+/// concurrently in waves; exceptions must not escape the callables).
+void RunOnThreads(std::vector<std::function<void()>> tasks, int num_threads);
+
+/// Deterministic fault-injection decision for (task, attempt).
+bool InjectFault(size_t phase, size_t task, int attempt, double rate);
+
+}  // namespace internal
+
+/// Executes one MapReduce job over `input`.
+template <typename In, typename K, typename V, typename Out>
+Result<MapReduceOutput<Out>> RunMapReduce(const std::vector<In>& input,
+                                          const MapReduceSpec<In, K, V, Out>& spec,
+                                          const MapReduceConfig& config = {}) {
+  CRH_RETURN_NOT_OK(ValidateMapReduceConfig(config));
+  if (!spec.map || !spec.reduce) {
+    return Status::InvalidArgument("map and reduce functions are required");
+  }
+
+  // Task attempt wrapper: runs `body` into fresh buffers, discarding them
+  // on an injected worker crash and retrying, like Hadoop's task retry.
+  std::atomic<size_t> total_retries{0};
+  std::atomic<bool> task_failed{false};
+  const auto run_with_retries = [&](size_t phase, size_t task,
+                                    const std::function<void()>& body) {
+    for (int attempt = 0; attempt < config.max_attempts; ++attempt) {
+      if (internal::InjectFault(phase, task, attempt, config.fault_injection_rate)) {
+        ++total_retries;
+        continue;
+      }
+      body();
+      return;
+    }
+    task_failed = true;
+  };
+
+  Stopwatch watch;
+  MapReduceOutput<Out> out;
+  out.stats.input_records = input.size();
+
+  // --- Split the input.
+  const size_t split_size =
+      config.records_per_split > 0
+          ? config.records_per_split
+          : std::max<size_t>(1, (input.size() + config.num_mappers - 1) /
+                                    static_cast<size_t>(config.num_mappers));
+  const size_t num_splits = input.empty() ? 0 : (input.size() + split_size - 1) / split_size;
+  out.stats.num_splits = num_splits;
+
+  const size_t r = static_cast<size_t>(config.num_reducers);
+
+  // --- Map (+ combine) phase: each mapper partitions its output by
+  // reducer so the shuffle is a simple concatenation.
+  // partitioned[mapper][reducer] -> pairs.
+  std::vector<std::vector<std::vector<std::pair<K, V>>>> partitioned(
+      num_splits, std::vector<std::vector<std::pair<K, V>>>(r));
+  std::vector<size_t> map_counts(num_splits, 0);
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(num_splits);
+    for (size_t split = 0; split < num_splits; ++split) {
+      tasks.push_back([&, split]() {
+        run_with_retries(/*phase=*/0, split, [&]() {
+          const size_t begin = split * split_size;
+          const size_t end = std::min(input.size(), begin + split_size);
+          std::vector<std::pair<K, V>> buffer;
+          for (size_t idx = begin; idx < end; ++idx) spec.map(input[idx], &buffer);
+          map_counts[split] = buffer.size();
+          if (spec.combine) {
+            // Mapper-side pre-aggregation by key.
+            std::map<K, std::vector<V>> groups;
+            for (auto& [key, value] : buffer) groups[key].push_back(std::move(value));
+            buffer.clear();
+            for (auto& [key, values] : groups) {
+              buffer.emplace_back(key, spec.combine(key, std::move(values)));
+            }
+          }
+          for (size_t part = 0; part < r; ++part) partitioned[split][part].clear();
+          for (auto& [key, value] : buffer) {
+            const size_t part = std::hash<K>{}(key) % r;
+            partitioned[split][part].emplace_back(std::move(key), std::move(value));
+          }
+        });
+      });
+    }
+    internal::RunOnThreads(std::move(tasks), config.num_threads);
+    if (task_failed) {
+      return Status::Internal("a map task exhausted its attempts");
+    }
+  }
+  for (size_t split = 0; split < num_splits; ++split) {
+    out.stats.map_output_records += map_counts[split];
+    for (size_t part = 0; part < r; ++part) {
+      out.stats.shuffle_records += partitioned[split][part].size();
+    }
+  }
+
+  // --- Reduce phase: each reducer merges its partitions, groups by key in
+  // sorted order, and reduces each group.
+  std::vector<std::vector<Out>> reducer_outputs(r);
+  std::vector<size_t> group_counts(r, 0);
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(r);
+    for (size_t part = 0; part < r; ++part) {
+      tasks.push_back([&, part]() {
+        run_with_retries(/*phase=*/1, part, [&]() {
+          std::map<K, std::vector<V>> groups;  // ordered, like Hadoop's sort
+          for (size_t split = 0; split < num_splits; ++split) {
+            // Copy (not move): the shuffle output must survive for retries.
+            for (const auto& [key, value] : partitioned[split][part]) {
+              groups[key].push_back(value);
+            }
+          }
+          group_counts[part] = groups.size();
+          reducer_outputs[part].clear();
+          for (auto& [key, values] : groups) {
+            spec.reduce(key, std::move(values), &reducer_outputs[part]);
+          }
+        });
+      });
+    }
+    internal::RunOnThreads(std::move(tasks), config.num_threads);
+    if (task_failed) {
+      return Status::Internal("a reduce task exhausted its attempts");
+    }
+  }
+  for (size_t part = 0; part < r; ++part) {
+    out.stats.reduce_groups += group_counts[part];
+    out.records.insert(out.records.end(),
+                       std::make_move_iterator(reducer_outputs[part].begin()),
+                       std::make_move_iterator(reducer_outputs[part].end()));
+  }
+  out.stats.output_records = out.records.size();
+  out.stats.task_retries = total_retries.load();
+  out.stats.wall_seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace crh
+
+#endif  // CRH_MAPREDUCE_ENGINE_H_

@@ -1,0 +1,275 @@
+#include "mapreduce/parallel_crh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+#include "core/resolvers.h"
+#include "losses/text_distance.h"
+#include "weights/weight_scheme.h"
+
+namespace crh {
+
+std::vector<ObservationTuple> DatasetToTuples(const Dataset& data) {
+  std::vector<ObservationTuple> tuples;
+  tuples.reserve(data.num_observations());
+  const uint64_t m_props = data.num_properties();
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    const ValueTable& table = data.observations(k);
+    for (size_t i = 0; i < data.num_objects(); ++i) {
+      for (size_t m = 0; m < m_props; ++m) {
+        const Value& v = table.Get(i, m);
+        if (v.is_missing()) continue;
+        tuples.push_back({static_cast<uint64_t>(i) * m_props + m,
+                          static_cast<uint32_t>(k), v});
+      }
+    }
+  }
+  return tuples;
+}
+
+namespace {
+
+/// The "external files" all tasks can read (Section 2.7.2): source weights
+/// and, after each truth job, the current truths plus entry scales.
+struct DistributedCache {
+  std::vector<double> weights;
+  std::unordered_map<uint64_t, Value> truths;
+  std::unordered_map<uint64_t, double> scales;  // continuous entries only
+};
+
+double CacheScale(const DistributedCache& cache, uint64_t entry_id) {
+  const auto it = cache.scales.find(entry_id);
+  return it == cache.scales.end() ? 1.0 : it->second;
+}
+
+}  // namespace
+
+Result<ParallelCrhResult> RunParallelCrh(const Dataset& data,
+                                         const ParallelCrhOptions& options) {
+  if (options.base.categorical_model == CategoricalModel::kSoftProbability) {
+    return Status::NotImplemented(
+        "the soft categorical model is not supported by parallel CRH");
+  }
+  if (data.num_sources() == 0) {
+    return Status::InvalidArgument("dataset has no sources");
+  }
+  CRH_RETURN_NOT_OK(ValidateMapReduceConfig(options.mr));
+
+  Stopwatch watch;
+  const size_t k_sources = data.num_sources();
+  const uint64_t m_props = data.num_properties();
+  const std::vector<ObservationTuple> tuples = DatasetToTuples(data);
+
+  ParallelCrhResult result;
+  DistributedCache cache;
+  cache.weights.assign(k_sources, 1.0 / static_cast<double>(k_sources));
+
+  const auto property_type = [&](uint64_t entry_id) {
+    return data.schema().property(static_cast<size_t>(entry_id % m_props)).type;
+  };
+  const auto is_categorical = [&](uint64_t entry_id) {
+    return property_type(entry_id) == PropertyType::kCategorical;
+  };
+  const auto text_distance = [&](uint64_t entry_id, const Value& a, const Value& b) {
+    const size_t m = static_cast<size_t>(entry_id % m_props);
+    return NormalizedEditDistance(data.dict(m).label(a.category()),
+                                  data.dict(m).label(b.category()));
+  };
+
+  // --- Statistics job: per-entry claim dispersion for continuous losses.
+  {
+    MapReduceSpec<ObservationTuple, uint64_t, double, std::pair<uint64_t, double>> spec;
+    spec.map = [&](const ObservationTuple& t,
+                   std::vector<std::pair<uint64_t, double>>* out) {
+      if (property_type(t.entry_id) == PropertyType::kContinuous) {
+        out->emplace_back(t.entry_id, t.value.continuous());
+      }
+    };
+    spec.reduce = [](const uint64_t& entry, std::vector<double>&& values,
+                     std::vector<std::pair<uint64_t, double>>* out) {
+      if (values.size() < 2) return;
+      double sum = 0, sum_sq = 0;
+      for (double v : values) {
+        sum += v;
+        sum_sq += v * v;
+      }
+      const double mean = sum / static_cast<double>(values.size());
+      double var = sum_sq / static_cast<double>(values.size()) - mean * mean;
+      if (var < 0) var = 0;
+      const double sd = std::sqrt(var);
+      if (sd > 1e-12) out->emplace_back(entry, sd);
+    };
+    auto job = RunMapReduce(tuples, spec, options.mr);
+    if (!job.ok()) return job.status();
+    for (const auto& [entry, scale] : job->records) cache.scales.emplace(entry, scale);
+    result.job_stats.push_back(job->stats);
+  }
+
+  // --- Per-iteration jobs.
+  const auto run_truth_job = [&]() -> Status {
+    MapReduceSpec<ObservationTuple, uint64_t, std::pair<uint32_t, Value>,
+                  std::pair<uint64_t, Value>> spec;
+    spec.map = [](const ObservationTuple& t,
+                  std::vector<std::pair<uint64_t, std::pair<uint32_t, Value>>>* out) {
+      out->emplace_back(t.entry_id, std::make_pair(t.source_id, t.value));
+    };
+    spec.reduce = [&](const uint64_t& entry, std::vector<std::pair<uint32_t, Value>>&& claims,
+                      std::vector<std::pair<uint64_t, Value>>* out) {
+      std::vector<double> weights;
+      weights.reserve(claims.size());
+      for (const auto& [source, value] : claims) weights.push_back(cache.weights[source]);
+      Value truth;
+      if (is_categorical(entry)) {
+        std::vector<Value> values;
+        values.reserve(claims.size());
+        for (const auto& [source, value] : claims) values.push_back(value);
+        truth = WeightedVote(values, weights);
+      } else if (property_type(entry) == PropertyType::kText) {
+        std::vector<Value> values;
+        values.reserve(claims.size());
+        for (const auto& [source, value] : claims) values.push_back(value);
+        truth = WeightedMedoid(values, weights, [&](const Value& a, const Value& b) {
+          return text_distance(entry, a, b);
+        });
+      } else {
+        std::vector<double> values;
+        values.reserve(claims.size());
+        for (const auto& [source, value] : claims) values.push_back(value.continuous());
+        if (options.base.continuous_model == ContinuousModel::kMedian) {
+          truth = Value::Continuous(WeightedMedian(std::move(values), std::move(weights)));
+        } else {
+          double v = WeightedMean(values, weights);
+          if (std::isnan(v)) {
+            v = WeightedMedian(std::move(values), std::vector<double>(claims.size(), 1.0));
+          }
+          truth = Value::Continuous(v);
+        }
+      }
+      out->emplace_back(entry, truth);
+    };
+    auto job = RunMapReduce(tuples, spec, options.mr);
+    if (!job.ok()) return job.status();
+    cache.truths.clear();
+    for (const auto& [entry, truth] : job->records) cache.truths.emplace(entry, truth);
+    result.job_stats.push_back(job->stats);
+    return Status::OK();
+  };
+
+  const auto run_weight_job = [&]() -> Result<std::vector<double>> {
+    // Key: source * M + property, so the wrapper can apply the per-property
+    // normalization of Section 2.5. Value: (partial error, claim count).
+    using ErrAndCount = std::pair<double, uint64_t>;
+    MapReduceSpec<ObservationTuple, uint64_t, ErrAndCount, std::pair<uint64_t, ErrAndCount>>
+        spec;
+    spec.map = [&](const ObservationTuple& t,
+                   std::vector<std::pair<uint64_t, ErrAndCount>>* out) {
+      const auto truth_it = cache.truths.find(t.entry_id);
+      if (truth_it == cache.truths.end()) return;
+      const Value& truth = truth_it->second;
+      double loss;
+      if (is_categorical(t.entry_id)) {
+        loss = truth == t.value ? 0.0 : 1.0;
+      } else if (property_type(t.entry_id) == PropertyType::kText) {
+        loss = text_distance(t.entry_id, truth, t.value);
+      } else {
+        const double d = truth.continuous() - t.value.continuous();
+        const double scale = CacheScale(cache, t.entry_id);
+        loss = options.base.continuous_model == ContinuousModel::kMedian
+                   ? std::abs(d) / scale
+                   : d * d / scale;
+      }
+      out->emplace_back(t.source_id * m_props + t.entry_id % m_props,
+                        std::make_pair(loss, uint64_t{1}));
+    };
+    spec.combine = [](const uint64_t&, std::vector<ErrAndCount>&& values) {
+      ErrAndCount total{0.0, 0};
+      for (const ErrAndCount& v : values) {
+        total.first += v.first;
+        total.second += v.second;
+      }
+      return total;
+    };
+    spec.reduce = [](const uint64_t& key, std::vector<ErrAndCount>&& values,
+                     std::vector<std::pair<uint64_t, ErrAndCount>>* out) {
+      ErrAndCount total{0.0, 0};
+      for (const ErrAndCount& v : values) {
+        total.first += v.first;
+        total.second += v.second;
+      }
+      out->emplace_back(key, total);
+    };
+    auto job = RunMapReduce(tuples, spec, options.mr);
+    if (!job.ok()) return job.status();
+    result.job_stats.push_back(job->stats);
+
+    // Wrapper: normalize per observation count and per property, then
+    // convert deviations to weights — mirroring serial CRH exactly.
+    std::vector<std::vector<double>> loss(k_sources, std::vector<double>(m_props, 0.0));
+    for (const auto& [key, err_count] : job->records) {
+      const size_t k = static_cast<size_t>(key / m_props);
+      const size_t m = static_cast<size_t>(key % m_props);
+      double value = err_count.first;
+      if (options.base.normalize_by_observation_count && err_count.second > 0) {
+        value /= static_cast<double>(err_count.second);
+      }
+      loss[k][m] = value;
+    }
+    if (options.base.property_normalization != PropertyLossNormalization::kNone) {
+      for (size_t m = 0; m < m_props; ++m) {
+        double norm = 0.0;
+        for (size_t k = 0; k < k_sources; ++k) {
+          if (options.base.property_normalization == PropertyLossNormalization::kSum) {
+            norm += loss[k][m];
+          } else {
+            norm = std::max(norm, loss[k][m]);
+          }
+        }
+        if (norm > 0) {
+          for (size_t k = 0; k < k_sources; ++k) loss[k][m] /= norm;
+        }
+      }
+    }
+    std::vector<double> totals(k_sources, 0.0);
+    for (size_t k = 0; k < k_sources; ++k) {
+      for (size_t m = 0; m < m_props; ++m) totals[k] += loss[k][m];
+    }
+    return ComputeSourceWeights(totals, options.base.weight_scheme);
+  };
+
+  // --- Wrapper: iterate truth + weight jobs until the weights settle.
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    CRH_RETURN_NOT_OK(run_truth_job());
+    auto weights = run_weight_job();
+    if (!weights.ok()) return weights.status();
+    double max_change = 0.0;
+    for (size_t k = 0; k < k_sources; ++k) {
+      max_change = std::max(max_change, std::abs((*weights)[k] - cache.weights[k]));
+    }
+    cache.weights = std::move(*weights);
+    result.iterations = iter + 1;
+    if (max_change < options.convergence_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  // Final truth job so the reported truths reflect the final weights.
+  CRH_RETURN_NOT_OK(run_truth_job());
+
+  result.truths = ValueTable(data.num_objects(), data.num_properties());
+  for (const auto& [entry, truth] : cache.truths) {
+    result.truths.Set(static_cast<size_t>(entry / m_props),
+                      static_cast<size_t>(entry % m_props), truth);
+  }
+  result.source_weights = cache.weights;
+  result.wall_seconds = watch.ElapsedSeconds();
+  result.simulated_cluster_seconds = options.cost_model.job_setup_seconds;
+  for (const JobStats& stats : result.job_stats) {
+    result.simulated_cluster_seconds += options.cost_model.EstimatePassSeconds(
+        static_cast<double>(stats.input_records), options.mr.num_reducers);
+  }
+  return result;
+}
+
+}  // namespace crh

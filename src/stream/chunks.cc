@@ -1,0 +1,69 @@
+#include "stream/chunks.h"
+
+#include <algorithm>
+#include <map>
+
+namespace crh {
+
+Result<std::vector<DataChunk>> SplitByWindow(const Dataset& data, int64_t window_size) {
+  if (!data.has_timestamps()) {
+    return Status::FailedPrecondition("dataset has no timestamps to split on");
+  }
+  if (window_size < 1) {
+    return Status::InvalidArgument("window_size must be >= 1");
+  }
+
+  int64_t min_ts = data.timestamp(0);
+  for (size_t i = 1; i < data.num_objects(); ++i) min_ts = std::min(min_ts, data.timestamp(i));
+
+  // Window index -> parent object indices, in time order.
+  std::map<int64_t, std::vector<size_t>> windows;
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    windows[(data.timestamp(i) - min_ts) / window_size].push_back(i);
+  }
+
+  std::vector<std::string> source_ids;
+  for (size_t k = 0; k < data.num_sources(); ++k) source_ids.push_back(data.source_id(k));
+
+  std::vector<DataChunk> chunks;
+  chunks.reserve(windows.size());
+  for (const auto& [window, members] : windows) {
+    DataChunk chunk;
+    chunk.window_start = min_ts + window * window_size;
+    chunk.parent_object = members;
+
+    std::vector<std::string> object_ids;
+    std::vector<int64_t> timestamps;
+    object_ids.reserve(members.size());
+    for (size_t i : members) {
+      object_ids.push_back(data.object_id(i));
+      timestamps.push_back(data.timestamp(i));
+    }
+    chunk.data = Dataset(data.schema(), std::move(object_ids), source_ids);
+    for (size_t m = 0; m < data.num_properties(); ++m) {
+      chunk.data.mutable_dict(m) = data.dict(m);
+    }
+    CRH_RETURN_NOT_OK(chunk.data.set_timestamps(std::move(timestamps)));
+
+    for (size_t k = 0; k < data.num_sources(); ++k) {
+      for (size_t local = 0; local < members.size(); ++local) {
+        for (size_t m = 0; m < data.num_properties(); ++m) {
+          chunk.data.SetObservation(k, local, m, data.observations(k).Get(members[local], m));
+        }
+      }
+    }
+    if (data.has_ground_truth()) {
+      ValueTable truth(members.size(), data.num_properties());
+      for (size_t local = 0; local < members.size(); ++local) {
+        for (size_t m = 0; m < data.num_properties(); ++m) {
+          truth.Set(local, m, data.ground_truth().Get(members[local], m));
+        }
+      }
+      chunk.data.set_ground_truth(std::move(truth));
+    }
+    chunks.push_back(std::move(chunk));
+  }
+  return chunks;
+}
+
+}  // namespace crh

@@ -1,0 +1,38 @@
+#ifndef CRH_STREAM_CHUNKS_H_
+#define CRH_STREAM_CHUNKS_H_
+
+/// \file chunks.h
+/// Slicing a timestamped dataset into the sequential chunks the streaming
+/// scenario of Section 2.6 consumes.
+///
+/// Each chunk covers a time window of `window_size` consecutive timestamps
+/// and contains the objects (with their observations and ground truths)
+/// falling in that window. The chunk remembers each object's index in the
+/// parent dataset so per-chunk truths can be scattered back.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace crh {
+
+/// One time window of a streaming dataset.
+struct DataChunk {
+  /// The sub-dataset (same schema, sources and dictionaries as the parent).
+  Dataset data;
+  /// parent_object[i] is the parent-dataset index of the chunk's object i.
+  std::vector<size_t> parent_object;
+  /// First timestamp of the window (inclusive).
+  int64_t window_start = 0;
+};
+
+/// Splits \p data into chunks of `window_size` consecutive timestamps.
+/// Requires timestamps on the dataset. Windows are aligned to the minimum
+/// timestamp; empty windows are skipped. Chunks are returned in time order.
+Result<std::vector<DataChunk>> SplitByWindow(const Dataset& data, int64_t window_size);
+
+}  // namespace crh
+
+#endif  // CRH_STREAM_CHUNKS_H_

@@ -1,0 +1,63 @@
+#include "stream/incremental_crh.h"
+
+#include <utility>
+
+#include "data/stats.h"
+#include "weights/weight_scheme.h"
+
+namespace crh {
+
+IncrementalCrhProcessor::IncrementalCrhProcessor(size_t num_sources,
+                                                 IncrementalCrhOptions options)
+    : options_(std::move(options)),
+      weights_(num_sources, 1.0),
+      accumulated_(num_sources, 0.0) {}
+
+Result<ValueTable> IncrementalCrhProcessor::ProcessChunk(const Dataset& chunk) {
+  if (chunk.num_sources() != weights_.size()) {
+    return Status::InvalidArgument("chunk source count does not match processor");
+  }
+  // Step (i): truths for the current chunk from the historical weights.
+  ValueTable truths = ComputeTruthsGivenWeights(chunk, weights_, options_.base);
+
+  // Step (ii): decay the accumulated deviations and fold in this chunk's.
+  const EntryStats stats = ComputeEntryStats(chunk);
+  const std::vector<double> chunk_dev =
+      ComputeSourceDeviations(chunk, truths, stats, options_.base);
+  for (size_t k = 0; k < weights_.size(); ++k) {
+    accumulated_[k] = accumulated_[k] * options_.decay + chunk_dev[k];
+  }
+  auto weights = ComputeSourceWeights(accumulated_, options_.base.weight_scheme);
+  if (!weights.ok()) return weights.status();
+  weights_ = std::move(weights).ValueOrDie();
+  ++chunks_processed_;
+  return truths;
+}
+
+Result<IncrementalCrhResult> RunIncrementalCrh(const Dataset& data,
+                                               const IncrementalCrhOptions& options) {
+  if (options.decay < 0 || options.decay > 1) {
+    return Status::InvalidArgument("decay must be in [0, 1]");
+  }
+  auto chunks = SplitByWindow(data, options.window_size);
+  if (!chunks.ok()) return chunks.status();
+
+  IncrementalCrhProcessor processor(data.num_sources(), options);
+  IncrementalCrhResult result;
+  result.truths = ValueTable(data.num_objects(), data.num_properties());
+  for (const DataChunk& chunk : *chunks) {
+    auto truths = processor.ProcessChunk(chunk.data);
+    if (!truths.ok()) return truths.status();
+    for (size_t local = 0; local < chunk.parent_object.size(); ++local) {
+      for (size_t m = 0; m < data.num_properties(); ++m) {
+        result.truths.Set(chunk.parent_object[local], m, truths->Get(local, m));
+      }
+    }
+    result.weight_history.push_back(processor.source_weights());
+    result.chunk_starts.push_back(chunk.window_start);
+  }
+  result.source_weights = processor.source_weights();
+  return result;
+}
+
+}  // namespace crh

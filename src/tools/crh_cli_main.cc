@@ -1,0 +1,29 @@
+/// \file crh_cli_main.cc
+/// Thin entry point for the crh_cli tool; all logic is in tools/cli.h.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (const std::string& arg : args) {
+    if (arg == "--help" || arg == "-h") {
+      std::cout << crh::cli::UsageString();
+      return 0;
+    }
+  }
+  auto options = crh::cli::ParseCliArgs(args);
+  if (!options.ok()) {
+    std::cerr << options.status().message() << "\n";
+    return 2;
+  }
+  const crh::Status status = crh::cli::RunCli(*options, std::cout);
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}

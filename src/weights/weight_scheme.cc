@@ -1,0 +1,82 @@
+#include "weights/weight_scheme.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace crh {
+
+const char* WeightSchemeKindToString(WeightSchemeKind kind) {
+  switch (kind) {
+    case WeightSchemeKind::kLogSum:
+      return "log_sum";
+    case WeightSchemeKind::kLogMax:
+      return "log_max";
+    case WeightSchemeKind::kBestSourceLp:
+      return "best_source_lp";
+    case WeightSchemeKind::kTopJ:
+      return "top_j";
+  }
+  return "unknown";
+}
+
+Result<std::vector<double>> ComputeSourceWeights(const std::vector<double>& losses,
+                                                 const WeightSchemeOptions& options) {
+  const size_t k_sources = losses.size();
+  if (k_sources == 0) {
+    return Status::InvalidArgument("at least one source is required");
+  }
+  for (double loss : losses) {
+    if (!std::isfinite(loss) || loss < 0) {
+      return Status::InvalidArgument("losses must be finite and non-negative");
+    }
+  }
+
+  std::vector<double> weights(k_sources, 0.0);
+  switch (options.kind) {
+    case WeightSchemeKind::kLogSum:
+    case WeightSchemeKind::kLogMax: {
+      double norm = 0.0;
+      if (options.kind == WeightSchemeKind::kLogSum) {
+        norm = std::accumulate(losses.begin(), losses.end(), 0.0);
+      } else {
+        norm = *std::max_element(losses.begin(), losses.end());
+      }
+      if (norm <= 0) {
+        // Every source matches the truths exactly: all equally reliable.
+        std::fill(weights.begin(), weights.end(), 1.0);
+        return weights;
+      }
+      const double floor = options.epsilon_ratio * norm;
+      for (size_t k = 0; k < k_sources; ++k) {
+        weights[k] = -std::log(std::max(losses[k], floor) / norm);
+      }
+      // Under max normalization the worst source gets weight exactly 0.
+      return weights;
+    }
+    case WeightSchemeKind::kBestSourceLp: {
+      // The optimum of Eq (1) under the Lp-norm constraint (Eq 6) puts all
+      // mass on the source with the smallest deviation.
+      const size_t best = static_cast<size_t>(
+          std::min_element(losses.begin(), losses.end()) - losses.begin());
+      weights[best] = 1.0;
+      return weights;
+    }
+    case WeightSchemeKind::kTopJ: {
+      if (options.top_j < 1 || static_cast<size_t>(options.top_j) > k_sources) {
+        return Status::InvalidArgument("top_j must be in [1, num_sources]");
+      }
+      // Given fixed truths the integer program (Eq 7) decomposes per source,
+      // so picking the j smallest-deviation sources is optimal.
+      std::vector<size_t> order(k_sources);
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](size_t a, size_t b) { return losses[a] < losses[b]; });
+      for (int j = 0; j < options.top_j; ++j) weights[order[static_cast<size_t>(j)]] = 1.0;
+      return weights;
+    }
+  }
+  return Status::Internal("unhandled weight scheme");
+}
+
+}  // namespace crh

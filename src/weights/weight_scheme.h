@@ -1,0 +1,76 @@
+#ifndef CRH_WEIGHTS_WEIGHT_SCHEME_H_
+#define CRH_WEIGHTS_WEIGHT_SCHEME_H_
+
+/// \file weight_scheme.h
+/// Source-weight assignment schemes (Section 2.3 of the paper).
+///
+/// Given each source's aggregated deviation from the current truths, a
+/// weight scheme produces the source weights W that solve the weight-update
+/// subproblem (Eq 2) under a chosen regularization function δ(W):
+///
+///  * kLogSum — δ(W) = Σ exp(-w_k) (Eq 4); closed form Eq (5):
+///      w_k = -log(loss_k / Σ_k' loss_k').
+///    Keeps every weight positive and bounded, so equally reliable sources
+///    keep near-equal influence; the safe choice when source qualities are
+///    known to be close.
+///  * kLogMax — the paper's preferred variant (Section 2.3) and the
+///    default here: normalize by the *maximum* deviation instead of the
+///    sum, spreading weights further so reliable sources dominate truth
+///    computation. The sharpening is self-reinforcing: iterated with the
+///    truth update it concentrates weight on the empirically best sources
+///    (the worst source gets weight exactly 0 every round). That is what
+///    lets CRH recover the truth even when only one of eight sources is
+///    reliable (paper Figs 2-3), at the price of degrading to
+///    best-single-source accuracy when sources are in fact
+///    indistinguishable. The weight-scheme ablation benchmark quantifies
+///    this trade-off.
+///  * kBestSourceLp — δ(W) = Lp-norm constraint (Eq 6); the optimum selects
+///    the single source with the smallest deviation (weight 1, others 0).
+///  * kTopJ — integer constraint (Eq 7); selects the j sources with the
+///    smallest deviations, each with weight 1.
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace crh {
+
+/// Which regularization function drives the weight update.
+enum class WeightSchemeKind {
+  kLogSum,
+  kLogMax,
+  kBestSourceLp,
+  kTopJ,
+};
+
+/// Returns a short stable name ("log_sum", "log_max", ...).
+const char* WeightSchemeKindToString(WeightSchemeKind kind);
+
+/// Options for ComputeSourceWeights.
+struct WeightSchemeOptions {
+  WeightSchemeKind kind = WeightSchemeKind::kLogMax;
+  /// Number of sources selected under kTopJ.
+  int top_j = 1;
+  /// Losses are clamped below at (epsilon_ratio * normalizer) before the
+  /// logarithm, which caps any single source's weight at -log(epsilon_ratio)
+  /// (~3.0 by default). Besides keeping a perfect source's weight finite,
+  /// the cap is what stabilizes the block coordinate descent: without it, a
+  /// source that comes to dominate the truth update has exactly zero loss,
+  /// receives unbounded weight, and locks the iteration onto its claims.
+  double epsilon_ratio = 0.05;
+};
+
+/// Computes source weights from per-source aggregated losses.
+///
+/// \p losses must have one non-negative finite entry per source (the sum of
+/// that source's per-entry deviations, already normalized per property and
+/// per observation count as configured by the caller).
+///
+/// Returns a weight per source. Weights are non-negative; under the log
+/// schemes a smaller loss maps to a larger weight.
+Result<std::vector<double>> ComputeSourceWeights(const std::vector<double>& losses,
+                                                 const WeightSchemeOptions& options = {});
+
+}  // namespace crh
+
+#endif  // CRH_WEIGHTS_WEIGHT_SCHEME_H_

@@ -1,0 +1,325 @@
+#include "baselines/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "datagen/noise.h"
+#include "eval/metrics.h"
+
+namespace crh {
+namespace {
+
+Dataset MakeMixedTruth(size_t n, uint64_t seed) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddContinuous("x", 0.0).ok());
+  EXPECT_TRUE(schema.AddCategorical("y").ok());
+  std::vector<std::string> objects;
+  for (size_t i = 0; i < n; ++i) objects.push_back("o" + std::to_string(i));
+  Dataset data(std::move(schema), std::move(objects), {});
+  for (const char* l : {"a", "b", "c", "d"}) data.mutable_dict(1).GetOrAdd(l);
+  Rng rng(seed);
+  ValueTable truth(n, 2);
+  for (size_t i = 0; i < n; ++i) {
+    truth.Set(i, 0, Value::Continuous(std::round(rng.Uniform(0, 100))));
+    truth.Set(i, 1, Value::Categorical(static_cast<CategoryId>(rng.UniformInt(0, 3))));
+  }
+  data.set_ground_truth(std::move(truth));
+  return data;
+}
+
+Dataset MakeSkewedDataset(size_t n = 300, uint64_t seed = 21) {
+  NoiseOptions noise;
+  noise.gammas = {0.1, 0.4, 1.2, 1.8, 1.8};
+  noise.seed = seed;
+  auto noisy = MakeNoisyDataset(MakeMixedTruth(n, seed), noise);
+  EXPECT_TRUE(noisy.ok());
+  return std::move(noisy).ValueOrDie();
+}
+
+// ---------------------------------------------------------------------------
+// Fact graph
+// ---------------------------------------------------------------------------
+
+TEST(EntryFactsTest, GroupsDistinctValuesWithVoters) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddCategorical("y").ok());
+  Dataset data(schema, {"o"}, {"s1", "s2", "s3"});
+  data.SetObservation(0, 0, 0, Value::Categorical(0));
+  data.SetObservation(1, 0, 0, Value::Categorical(1));
+  data.SetObservation(2, 0, 0, Value::Categorical(0));
+  const auto facts = BuildEntryFacts(data);
+  ASSERT_EQ(facts.size(), 1u);
+  EXPECT_EQ(facts[0].values.size(), 2u);
+  EXPECT_EQ(facts[0].total_votes, 3u);
+  // First-seen order: value 0 first with voters {0, 2}.
+  EXPECT_EQ(facts[0].values[0], Value::Categorical(0));
+  EXPECT_EQ(facts[0].voters[0], (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(facts[0].voters[1], (std::vector<uint32_t>{1}));
+}
+
+TEST(EntryFactsTest, SkipsEmptyEntries) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddCategorical("y").ok());
+  Dataset data(schema, {"o1", "o2"}, {"s1"});
+  data.SetObservation(0, 1, 0, Value::Categorical(0));
+  const auto facts = BuildEntryFacts(data);
+  ASSERT_EQ(facts.size(), 1u);
+  EXPECT_EQ(facts[0].object, 1u);
+}
+
+TEST(EntryFactsTest, ContinuousClaimsAreFactsToo) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  Dataset data(schema, {"o"}, {"s1", "s2", "s3"});
+  data.SetObservation(0, 0, 0, Value::Continuous(5.0));
+  data.SetObservation(1, 0, 0, Value::Continuous(5.0));
+  data.SetObservation(2, 0, 0, Value::Continuous(6.0));
+  const auto facts = BuildEntryFacts(data);
+  ASSERT_EQ(facts.size(), 1u);
+  EXPECT_EQ(facts[0].values.size(), 2u);  // 5.0 and 6.0
+}
+
+TEST(FactSimilarityTest, ExactMatchIsOne) {
+  EXPECT_DOUBLE_EQ(FactSimilarity(Value::Continuous(3), Value::Continuous(3), 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(FactSimilarity(Value::Categorical(2), Value::Categorical(2), 1.0), 1.0);
+}
+
+TEST(FactSimilarityTest, ContinuousDecaysWithDistance) {
+  const double near = FactSimilarity(Value::Continuous(10), Value::Continuous(10.5), 1.0);
+  const double far = FactSimilarity(Value::Continuous(10), Value::Continuous(15), 1.0);
+  EXPECT_GT(near, far);
+  EXPECT_NEAR(near, std::exp(-0.5), 1e-12);
+}
+
+TEST(FactSimilarityTest, DifferentCategoriesAreZero) {
+  EXPECT_DOUBLE_EQ(FactSimilarity(Value::Categorical(0), Value::Categorical(1), 1.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Simple baselines
+// ---------------------------------------------------------------------------
+
+TEST(SimpleBaselinesTest, MeanAveragesContinuousOnly) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  ASSERT_TRUE(schema.AddCategorical("y").ok());
+  Dataset data(schema, {"o"}, {"s1", "s2"});
+  data.SetObservation(0, 0, 0, Value::Continuous(10));
+  data.SetObservation(1, 0, 0, Value::Continuous(20));
+  data.SetObservation(0, 0, 1, Value::Categorical(0));
+  auto out = MeanResolver().Run(data);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->truths.Get(0, 0).continuous(), 15.0);
+  EXPECT_TRUE(out->truths.Get(0, 1).is_missing());  // categorical ignored
+}
+
+TEST(SimpleBaselinesTest, MedianPicksMiddle) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  Dataset data(schema, {"o"}, {"s1", "s2", "s3"});
+  data.SetObservation(0, 0, 0, Value::Continuous(1));
+  data.SetObservation(1, 0, 0, Value::Continuous(100));
+  data.SetObservation(2, 0, 0, Value::Continuous(3));
+  auto out = MedianResolver().Run(data);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->truths.Get(0, 0).continuous(), 3.0);
+}
+
+TEST(SimpleBaselinesTest, VotingPicksMajorityCategoricalOnly) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  ASSERT_TRUE(schema.AddCategorical("y").ok());
+  Dataset data(schema, {"o"}, {"s1", "s2", "s3"});
+  data.SetObservation(0, 0, 0, Value::Continuous(1));
+  data.SetObservation(0, 0, 1, Value::Categorical(1));
+  data.SetObservation(1, 0, 1, Value::Categorical(1));
+  data.SetObservation(2, 0, 1, Value::Categorical(0));
+  auto out = VotingResolver().Run(data);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->truths.Get(0, 1), Value::Categorical(1));
+  EXPECT_TRUE(out->truths.Get(0, 0).is_missing());  // continuous ignored
+}
+
+TEST(SimpleBaselinesTest, CapabilityFlags) {
+  EXPECT_FALSE(MeanResolver().handles_categorical());
+  EXPECT_TRUE(MeanResolver().handles_continuous());
+  EXPECT_FALSE(VotingResolver().handles_continuous());
+  EXPECT_TRUE(TruthFinderResolver().handles_continuous());
+  EXPECT_TRUE(TruthFinderResolver().handles_categorical());
+}
+
+// ---------------------------------------------------------------------------
+// Per-algorithm sanity on the skewed dataset
+// ---------------------------------------------------------------------------
+
+/// Every truth-discovery baseline must (a) run, (b) fill every claimed
+/// entry of the types it handles, and (c) beat a coin flip on this easy
+/// dataset.
+class BaselineSanity : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BaselineSanity, ProducesReasonableOutput) {
+  const auto baselines = MakeAllBaselines();
+  const ConflictResolver& method = *baselines[GetParam()];
+  Dataset data = MakeSkewedDataset();
+  auto out = method.Run(data);
+  ASSERT_TRUE(out.ok()) << method.name();
+  EXPECT_EQ(out->source_scores.size(), data.num_sources());
+  for (double s : out->source_scores) EXPECT_TRUE(std::isfinite(s)) << method.name();
+
+  auto eval = Evaluate(data, out->truths);
+  ASSERT_TRUE(eval.ok());
+  if (method.handles_categorical()) {
+    EXPECT_LT(eval->error_rate, 0.5) << method.name();
+  }
+  if (method.handles_continuous()) {
+    EXPECT_TRUE(std::isfinite(eval->mnad)) << method.name();
+    EXPECT_LT(eval->mnad, 2.0) << method.name();
+  }
+  // Truths only for handled types; no stray values for unhandled ones.
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    if (!method.handles_continuous()) {
+      EXPECT_TRUE(out->truths.Get(i, 0).is_missing());
+    }
+    if (!method.handles_categorical()) {
+      EXPECT_TRUE(out->truths.Get(i, 1).is_missing());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineSanity, ::testing::Range<size_t>(0, 10));
+
+TEST(BaselinesTest, MakeAllBaselinesOrderMatchesTable2) {
+  const auto baselines = MakeAllBaselines();
+  ASSERT_EQ(baselines.size(), 10u);
+  EXPECT_STREQ(baselines[0]->name(), "Mean");
+  EXPECT_STREQ(baselines[1]->name(), "Median");
+  EXPECT_STREQ(baselines[2]->name(), "GTM");
+  EXPECT_STREQ(baselines[3]->name(), "Voting");
+  EXPECT_STREQ(baselines[4]->name(), "Investment");
+  EXPECT_STREQ(baselines[5]->name(), "PooledInvestment");
+  EXPECT_STREQ(baselines[6]->name(), "2-Estimates");
+  EXPECT_STREQ(baselines[7]->name(), "3-Estimates");
+  EXPECT_STREQ(baselines[8]->name(), "TruthFinder");
+  EXPECT_STREQ(baselines[9]->name(), "AccuSim");
+}
+
+TEST(GtmTest, TracksReliableSourceOnContinuousData) {
+  Dataset data = MakeSkewedDataset(500, 33);
+  auto out = GtmResolver().Run(data);
+  ASSERT_TRUE(out.ok());
+  // Precision of the gamma=0.1 source should exceed the gamma=1.8 ones.
+  EXPECT_GT(out->source_scores[0], out->source_scores[3]);
+  EXPECT_GT(out->source_scores[0], out->source_scores[4]);
+  auto eval = Evaluate(data, out->truths);
+  ASSERT_TRUE(eval.ok());
+  // GTM must beat the plain mean on skewed reliability.
+  auto mean_out = MeanResolver().Run(data);
+  ASSERT_TRUE(mean_out.ok());
+  auto mean_eval = Evaluate(data, mean_out->truths);
+  ASSERT_TRUE(mean_eval.ok());
+  EXPECT_LT(eval->mnad, mean_eval->mnad);
+}
+
+TEST(InvestmentTest, TrustsReliableSourceMore) {
+  Dataset data = MakeSkewedDataset(400, 34);
+  auto out = InvestmentResolver().Run(data);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out->source_scores[0], out->source_scores[4]);
+}
+
+TEST(PooledInvestmentTest, BeliefsStayBoundedViaPooling) {
+  Dataset data = MakeSkewedDataset(200, 35);
+  auto out = PooledInvestmentResolver().Run(data);
+  ASSERT_TRUE(out.ok());
+  for (double s : out->source_scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0 + 1e-9);
+  }
+}
+
+TEST(TwoEstimatesTest, ScoresInUnitInterval) {
+  Dataset data = MakeSkewedDataset(200, 36);
+  auto out = TwoEstimatesResolver().Run(data);
+  ASSERT_TRUE(out.ok());
+  for (double s : out->source_scores) {
+    EXPECT_GE(s, -1e-9);
+    EXPECT_LE(s, 1.0 + 1e-9);
+  }
+  EXPECT_GT(out->source_scores[0], out->source_scores[4]);
+}
+
+TEST(ThreeEstimatesTest, MatchesTwoEstimatesOrdering) {
+  Dataset data = MakeSkewedDataset(300, 37);
+  auto two = TwoEstimatesResolver().Run(data);
+  auto three = ThreeEstimatesResolver().Run(data);
+  ASSERT_TRUE(two.ok());
+  ASSERT_TRUE(three.ok());
+  // Both should rank the best source above the worst.
+  EXPECT_GT(two->source_scores[0], two->source_scores[4]);
+  EXPECT_GT(three->source_scores[0], three->source_scores[4]);
+}
+
+TEST(TruthFinderTest, TrustStaysInUnitInterval) {
+  Dataset data = MakeSkewedDataset(250, 38);
+  auto out = TruthFinderResolver().Run(data);
+  ASSERT_TRUE(out.ok());
+  for (double t : out->source_scores) {
+    EXPECT_GT(t, 0.0);
+    EXPECT_LT(t, 1.0);
+  }
+  EXPECT_GT(out->source_scores[0], out->source_scores[4]);
+}
+
+TEST(AccuSimTest, AccuracyTracksTrueReliability) {
+  Dataset data = MakeSkewedDataset(400, 39);
+  auto out = AccuSimResolver().Run(data);
+  ASSERT_TRUE(out.ok());
+  const std::vector<double> truth = TrueSourceReliability(data);
+  EXPECT_GT(SpearmanCorrelation(out->source_scores, truth), 0.7);
+}
+
+TEST(BaselinesTest, AllDeterministicAcrossRuns) {
+  Dataset data = MakeSkewedDataset(150, 40);
+  for (const auto& method : MakeAllBaselines()) {
+    auto a = method->Run(data);
+    auto b = method->Run(data);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    for (size_t k = 0; k < data.num_sources(); ++k) {
+      EXPECT_DOUBLE_EQ(a->source_scores[k], b->source_scores[k]) << method->name();
+    }
+    for (size_t i = 0; i < data.num_objects(); ++i) {
+      for (size_t m = 0; m < data.num_properties(); ++m) {
+        EXPECT_EQ(a->truths.Get(i, m), b->truths.Get(i, m)) << method->name();
+      }
+    }
+  }
+}
+
+TEST(BaselinesTest, SingleSourceDegenerate) {
+  // With one source every method that handles a type must echo its claims.
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  ASSERT_TRUE(schema.AddCategorical("y").ok());
+  Dataset data(schema, {"o1", "o2"}, {"only"});
+  (void)data.mutable_dict(1).GetOrAdd("a");
+  data.SetObservation(0, 0, 0, Value::Continuous(42));
+  data.SetObservation(0, 0, 1, Value::Categorical(0));
+  data.SetObservation(0, 1, 0, Value::Continuous(7));
+  for (const auto& method : MakeAllBaselines()) {
+    auto out = method->Run(data);
+    ASSERT_TRUE(out.ok()) << method->name();
+    if (method->handles_continuous()) {
+      EXPECT_EQ(out->truths.Get(0, 0), Value::Continuous(42)) << method->name();
+      EXPECT_EQ(out->truths.Get(1, 0), Value::Continuous(7)) << method->name();
+    }
+    if (method->handles_categorical()) {
+      EXPECT_EQ(out->truths.Get(0, 1), Value::Categorical(0)) << method->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crh

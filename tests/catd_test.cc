@@ -1,0 +1,236 @@
+#include "core/catd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "datagen/noise.h"
+#include "eval/metrics.h"
+
+namespace crh {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Statistical primitives
+// ---------------------------------------------------------------------------
+
+TEST(InverseNormalCdfTest, KnownQuantiles) {
+  EXPECT_NEAR(InverseNormalCdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(InverseNormalCdf(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(InverseNormalCdf(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(InverseNormalCdf(0.84134474), 1.0, 1e-5);
+  EXPECT_NEAR(InverseNormalCdf(0.99865), 3.0, 1e-3);
+}
+
+TEST(InverseNormalCdfTest, TailBehavior) {
+  EXPECT_TRUE(std::isinf(InverseNormalCdf(0.0)));
+  EXPECT_TRUE(std::isinf(InverseNormalCdf(1.0)));
+  EXPECT_LT(InverseNormalCdf(0.0), 0);
+  EXPECT_GT(InverseNormalCdf(1.0), 0);
+  EXPECT_TRUE(std::isnan(InverseNormalCdf(-0.1)));
+  EXPECT_TRUE(std::isnan(InverseNormalCdf(1.1)));
+}
+
+TEST(InverseNormalCdfTest, SymmetricAroundHalf) {
+  for (double p : {0.01, 0.1, 0.3, 0.45}) {
+    EXPECT_NEAR(InverseNormalCdf(p), -InverseNormalCdf(1 - p), 1e-9);
+  }
+}
+
+TEST(ChiSquaredQuantileTest, KnownValues) {
+  // Reference values from standard chi-squared tables; Wilson-Hilferty is
+  // accurate to a fraction of a percent at moderate dof.
+  EXPECT_NEAR(ChiSquaredQuantile(0.95, 10), 18.307, 0.15);
+  EXPECT_NEAR(ChiSquaredQuantile(0.05, 10), 3.940, 0.1);
+  EXPECT_NEAR(ChiSquaredQuantile(0.5, 20), 19.337, 0.1);
+  EXPECT_NEAR(ChiSquaredQuantile(0.975, 100), 129.561, 0.5);
+}
+
+TEST(ChiSquaredQuantileTest, MonotoneInP) {
+  for (double dof : {3.0, 10.0, 50.0}) {
+    double prev = 0;
+    for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+      const double q = ChiSquaredQuantile(p, dof);
+      EXPECT_GT(q, prev);
+      prev = q;
+    }
+  }
+}
+
+TEST(ChiSquaredQuantileTest, GrowsWithDof) {
+  // The CATD numerator: more claims (dof) -> larger quantile -> more trust
+  // at equal total error.
+  double prev = 0;
+  for (double dof : {2.0, 5.0, 20.0, 100.0, 1000.0}) {
+    const double q = ChiSquaredQuantile(0.025, dof);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(ChiSquaredQuantileTest, InvalidInputs) {
+  EXPECT_TRUE(std::isnan(ChiSquaredQuantile(0.0, 5)));
+  EXPECT_TRUE(std::isnan(ChiSquaredQuantile(1.0, 5)));
+  EXPECT_TRUE(std::isnan(ChiSquaredQuantile(0.5, 0)));
+}
+
+// ---------------------------------------------------------------------------
+// CATD
+// ---------------------------------------------------------------------------
+
+/// A long-tail dataset: two "head" sources claim everything; many "tail"
+/// sources claim only a few entries each. One tail source happens to be
+/// perfect on its few claims.
+Dataset MakeLongTailDataset(size_t n = 400, uint64_t seed = 47, size_t tail_claims = 4) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddCategorical("y").ok());
+  EXPECT_TRUE(schema.AddContinuous("x").ok());
+  std::vector<std::string> objects;
+  for (size_t i = 0; i < n; ++i) objects.push_back("o" + std::to_string(i));
+  std::vector<std::string> sources = {"head_good", "head_ok"};
+  for (int t = 0; t < 12; ++t) sources.push_back("tail_" + std::to_string(t));
+  Dataset data(schema, objects, sources);
+  for (const char* l : {"a", "b", "c", "d"}) data.mutable_dict(0).GetOrAdd(l);
+
+  Rng rng(seed);
+  ValueTable truth(n, 2);
+  for (size_t i = 0; i < n; ++i) {
+    truth.Set(i, 0, Value::Categorical(static_cast<CategoryId>(rng.UniformInt(0, 3))));
+    truth.Set(i, 1, Value::Continuous(std::round(rng.Uniform(0, 100))));
+  }
+
+  const auto claim = [&](double acc, const Value& t, size_t m) -> Value {
+    if (m == 0) {
+      if (rng.Bernoulli(acc)) return t;
+      CategoryId alt = static_cast<CategoryId>(rng.UniformInt(0, 2));
+      if (alt >= t.category()) ++alt;
+      return Value::Categorical(alt);
+    }
+    const double sigma = (1.0 - acc) * 15.0 + 0.2;
+    return Value::Continuous(t.continuous() + rng.Gaussian(0, sigma));
+  };
+
+  // Head sources: every entry. head_good 90%, head_ok 65%.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t m = 0; m < 2; ++m) {
+      data.SetObservation(0, i, m, claim(0.90, truth.Get(i, m), m));
+      data.SetObservation(1, i, m, claim(0.65, truth.Get(i, m), m));
+    }
+  }
+  // Tail sources: `tail_claims` entries each, 55% accurate — but by luck
+  // some of them will be perfect on their few claims.
+  for (size_t t = 0; t < 12; ++t) {
+    for (size_t c = 0; c < tail_claims; ++c) {
+      const size_t i = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+      for (size_t m = 0; m < 2; ++m) {
+        data.SetObservation(2 + t, i, m, claim(0.55, truth.Get(i, m), m));
+      }
+    }
+  }
+  data.set_ground_truth(std::move(truth));
+  return data;
+}
+
+TEST(CatdTest, ValidatesOptions) {
+  Dataset data = MakeLongTailDataset(20);
+  CatdOptions options;
+  options.alpha = 0.0;
+  EXPECT_FALSE(RunCatd(data, options).ok());
+  options = {};
+  options.max_iterations = 0;
+  EXPECT_FALSE(RunCatd(data, options).ok());
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  Dataset empty(schema, {"o"}, {});
+  EXPECT_FALSE(RunCatd(empty, {}).ok());
+}
+
+TEST(CatdTest, RunsAndConverges) {
+  Dataset data = MakeLongTailDataset();
+  auto result = RunCatd(data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->source_weights.size(), data.num_sources());
+  EXPECT_TRUE(result->converged);
+  for (double w : result->source_weights) {
+    EXPECT_TRUE(std::isfinite(w));
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, 1.0 + 1e-12);
+  }
+}
+
+TEST(CatdTest, HeadSourcesOutweighLuckyTailSources) {
+  // The discriminating behavior: a tail source with zero observed error on
+  // 4 claims must NOT outrank a head source that is right 90% of the time
+  // on 400 claims. CRH's point-estimate weights get this wrong by
+  // construction; CATD's confidence interval gets it right.
+  Dataset data = MakeLongTailDataset();
+  auto catd = RunCatd(data);
+  ASSERT_TRUE(catd.ok());
+  double best_tail = 0;
+  for (size_t k = 2; k < data.num_sources(); ++k) {
+    best_tail = std::max(best_tail, catd->source_weights[k]);
+  }
+  EXPECT_GT(catd->source_weights[0], best_tail);
+}
+
+TEST(CatdTest, EqualAverageErrorMoreClaimsMoreTrust) {
+  // Two sources with identical per-claim accuracy but different claim
+  // counts: the one with more evidence gets the higher confidence weight.
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  const size_t n = 300;
+  std::vector<std::string> objects;
+  for (size_t i = 0; i < n; ++i) objects.push_back("o" + std::to_string(i));
+  Dataset data(schema, objects, {"large", "small", "filler1", "filler2"});
+  Rng rng(51);
+  ValueTable truth(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    const double t = rng.Uniform(0, 100);
+    truth.Set(i, 0, Value::Continuous(t));
+    data.SetObservation(0, i, 0, Value::Continuous(t + rng.Gaussian(0, 1.0)));
+    if (i < 10) data.SetObservation(1, i, 0, Value::Continuous(t + rng.Gaussian(0, 1.0)));
+    data.SetObservation(2, i, 0, Value::Continuous(t + rng.Gaussian(0, 8.0)));
+    data.SetObservation(3, i, 0, Value::Continuous(t + rng.Gaussian(0, 8.0)));
+  }
+  data.set_ground_truth(std::move(truth));
+  auto result = RunCatd(data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->source_weights[0], result->source_weights[1]);
+  EXPECT_GT(result->source_weights[1], result->source_weights[2]);
+}
+
+TEST(CatdTest, BeatsCrhOnLongTailData) {
+  // Aggregated over the labeled entries: confidence weighting should not
+  // lose to point-estimate weighting where lucky tail sources abound.
+  double catd_err = 0, crh_err = 0;
+  for (uint64_t seed : {47u, 48u, 49u}) {
+    Dataset data = MakeLongTailDataset(400, seed);
+    auto catd = RunCatd(data);
+    auto crh = RunCrh(data);
+    ASSERT_TRUE(catd.ok());
+    ASSERT_TRUE(crh.ok());
+    auto catd_eval = Evaluate(data, catd->truths);
+    auto crh_eval = Evaluate(data, crh->truths);
+    ASSERT_TRUE(catd_eval.ok());
+    ASSERT_TRUE(crh_eval.ok());
+    catd_err += catd_eval->error_rate;
+    crh_err += crh_eval->error_rate;
+  }
+  EXPECT_LE(catd_err, crh_err + 0.02);
+}
+
+TEST(CatdTest, DeterministicAcrossRuns) {
+  Dataset data = MakeLongTailDataset(100);
+  auto a = RunCatd(data);
+  auto b = RunCatd(data);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    EXPECT_DOUBLE_EQ(a->source_weights[k], b->source_weights[k]);
+  }
+}
+
+}  // namespace
+}  // namespace crh

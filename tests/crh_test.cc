@@ -1,0 +1,447 @@
+#include "core/crh.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "datagen/noise.h"
+#include "eval/metrics.h"
+
+namespace crh {
+namespace {
+
+/// A small mixed-type ground truth: `num_objects` objects with one
+/// continuous and one categorical property.
+Dataset MakeMixedTruth(size_t num_objects, uint64_t seed) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddContinuous("reading", 0.0).ok());
+  EXPECT_TRUE(schema.AddCategorical("label").ok());
+  std::vector<std::string> objects;
+  for (size_t i = 0; i < num_objects; ++i) objects.push_back("o" + std::to_string(i));
+  Dataset data(std::move(schema), std::move(objects), {});
+  for (const char* label : {"a", "b", "c", "d"}) data.mutable_dict(1).GetOrAdd(label);
+  Rng rng(seed);
+  ValueTable truth(num_objects, 2);
+  for (size_t i = 0; i < num_objects; ++i) {
+    truth.Set(i, 0, Value::Continuous(std::round(rng.Uniform(0, 100))));
+    truth.Set(i, 1, Value::Categorical(static_cast<CategoryId>(rng.UniformInt(0, 3))));
+  }
+  data.set_ground_truth(std::move(truth));
+  return data;
+}
+
+/// Mixed dataset with one very reliable source and several unreliable ones.
+Dataset MakeSkewedDataset(size_t num_objects = 200, uint64_t seed = 5) {
+  NoiseOptions noise;
+  noise.gammas = {0.05, 1.8, 1.8, 1.8, 1.8};
+  noise.seed = seed;
+  auto noisy = MakeNoisyDataset(MakeMixedTruth(num_objects, seed), noise);
+  EXPECT_TRUE(noisy.ok());
+  return std::move(noisy).ValueOrDie();
+}
+
+TEST(CrhTest, RejectsEmptyDataset) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  Dataset no_sources(schema, {"o"}, {});
+  EXPECT_FALSE(RunCrh(no_sources).ok());
+  Dataset no_objects(schema, {}, {"s"});
+  EXPECT_FALSE(RunCrh(no_objects).ok());
+}
+
+TEST(CrhTest, RejectsBadIterationCount) {
+  Dataset data = MakeSkewedDataset(10);
+  CrhOptions options;
+  options.max_iterations = 0;
+  EXPECT_FALSE(RunCrh(data, options).ok());
+}
+
+TEST(CrhTest, OutputShapesMatchDataset) {
+  Dataset data = MakeSkewedDataset(30);
+  auto result = RunCrh(data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->truths.num_objects(), data.num_objects());
+  EXPECT_EQ(result->truths.num_properties(), data.num_properties());
+  EXPECT_EQ(result->source_weights.size(), data.num_sources());
+  EXPECT_GE(result->iterations, 1);
+  EXPECT_EQ(result->objective_history.size(), static_cast<size_t>(result->iterations));
+}
+
+TEST(CrhTest, RecoversTruthsFromOneReliableSource) {
+  // 1 reliable source among 4 bad ones: unweighted voting often fails,
+  // CRH should still recover nearly everything (paper Figs 2-3, point 2).
+  Dataset data = MakeSkewedDataset(400);
+  auto result = RunCrh(data);
+  ASSERT_TRUE(result.ok());
+  auto eval = Evaluate(data, result->truths);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_LT(eval->error_rate, 0.05);
+  EXPECT_LT(eval->mnad, 0.3);
+}
+
+TEST(CrhTest, ReliableSourceGetsHighestWeight) {
+  Dataset data = MakeSkewedDataset(300);
+  auto result = RunCrh(data);
+  ASSERT_TRUE(result.ok());
+  for (size_t k = 1; k < data.num_sources(); ++k) {
+    EXPECT_GT(result->source_weights[0], result->source_weights[k]);
+  }
+}
+
+TEST(CrhTest, ObjectiveDecreasesMonotonically) {
+  // Block coordinate descent with the exact Eq(5) weight update (log-sum
+  // regularization, no re-normalizations) must never increase Eq(1).
+  Dataset data = MakeSkewedDataset(200);
+  CrhOptions options;
+  options.weight_scheme.kind = WeightSchemeKind::kLogSum;
+  options.property_normalization = PropertyLossNormalization::kNone;
+  options.normalize_by_observation_count = false;
+  options.convergence_tolerance = 0.0;  // run all iterations
+  options.max_iterations = 15;
+  auto result = RunCrh(data, options);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->objective_history.size(); ++i) {
+    EXPECT_LE(result->objective_history[i], result->objective_history[i - 1] + 1e-6)
+        << "objective increased at iteration " << i;
+  }
+}
+
+TEST(CrhTest, ConvergesWellBeforeIterationCap) {
+  Dataset data = MakeSkewedDataset(200);
+  CrhOptions options;
+  options.max_iterations = 100;
+  options.convergence_tolerance = 1e-8;
+  auto result = RunCrh(data, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_LT(result->iterations, 30);
+}
+
+TEST(CrhTest, EquallyReliableSourcesBehaveLikeVotingUnderLogSum) {
+  // When all sources are equally reliable, CRH with the log-sum weight
+  // scheme (the exact Eq 4/5 solution) keeps weights near-uniform and
+  // matches the unweighted voting / median answers (paper Figs 2-3,
+  // point 1). The max normalization intentionally sharpens weight
+  // differences and is covered by the next test.
+  NoiseOptions noise;
+  noise.gammas = {1.0, 1.0, 1.0, 1.0, 1.0};
+  noise.seed = 77;
+  auto noisy = MakeNoisyDataset(MakeMixedTruth(150, 77), noise);
+  ASSERT_TRUE(noisy.ok());
+  CrhOptions options;
+  options.weight_scheme.kind = WeightSchemeKind::kLogSum;
+  auto result = RunCrh(*noisy, options);
+  ASSERT_TRUE(result.ok());
+
+  // Recompute the unweighted answers.
+  std::vector<double> uniform(noisy->num_sources(), 1.0);
+  ValueTable unweighted = ComputeTruthsGivenWeights(*noisy, uniform, options);
+  auto crh_eval = Evaluate(*noisy, result->truths);
+  auto ref_eval = Evaluate(*noisy, unweighted);
+  ASSERT_TRUE(crh_eval.ok());
+  ASSERT_TRUE(ref_eval.ok());
+  EXPECT_NEAR(crh_eval->error_rate, ref_eval->error_rate, 0.05);
+  EXPECT_NEAR(crh_eval->mnad, ref_eval->mnad, 0.1);
+}
+
+TEST(CrhTest, LogMaxConcentratesWeightWhenSourcesAreIndistinguishable) {
+  // Documented behavior of the max normalization: with genuinely equal
+  // sources it concentrates weight on the empirically best one (the worst
+  // source gets weight exactly 0), so the result degrades gracefully to
+  // single-source accuracy rather than to voting accuracy.
+  NoiseOptions noise;
+  noise.gammas = {1.0, 1.0, 1.0, 1.0, 1.0};
+  noise.seed = 77;
+  auto noisy = MakeNoisyDataset(MakeMixedTruth(150, 77), noise);
+  ASSERT_TRUE(noisy.ok());
+  CrhOptions options;
+  options.weight_scheme.kind = WeightSchemeKind::kLogMax;
+  auto result = RunCrh(*noisy, options);
+  ASSERT_TRUE(result.ok());
+  // Structural property of max normalization: the empirically worst source
+  // is zeroed out entirely, and the spread between best and worst is wider
+  // than under sum normalization.
+  const auto [min_it, max_it] = std::minmax_element(result->source_weights.begin(),
+                                                    result->source_weights.end());
+  EXPECT_DOUBLE_EQ(*min_it, 0.0);
+  CrhOptions sum_options;
+  sum_options.weight_scheme.kind = WeightSchemeKind::kLogSum;
+  auto sum_result = RunCrh(*noisy, sum_options);
+  ASSERT_TRUE(sum_result.ok());
+  const auto [smin_it, smax_it] = std::minmax_element(sum_result->source_weights.begin(),
+                                                      sum_result->source_weights.end());
+  EXPECT_GT(*max_it - *min_it + 1e-12, *smax_it - *smin_it);
+  auto eval = Evaluate(*noisy, result->truths);
+  ASSERT_TRUE(eval.ok());
+  // Never worse than a single gamma = 1 source (flip rate ~0.22).
+  EXPECT_LT(eval->error_rate, 0.3);
+}
+
+TEST(CrhTest, AllSourcesReliableGivesLowError) {
+  NoiseOptions noise;
+  noise.gammas = {0.1, 0.1, 0.1, 0.1, 0.1};
+  noise.seed = 78;
+  auto noisy = MakeNoisyDataset(MakeMixedTruth(300, 78), noise);
+  ASSERT_TRUE(noisy.ok());
+  auto result = RunCrh(*noisy);
+  ASSERT_TRUE(result.ok());
+  auto eval = Evaluate(*noisy, result->truths);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_LT(eval->error_rate, 0.08);
+}
+
+TEST(CrhTest, HandlesMissingObservations) {
+  NoiseOptions noise;
+  noise.gammas = {0.1, 1.5, 1.5, 1.5};
+  noise.missing_rate = 0.4;
+  noise.seed = 9;
+  auto noisy = MakeNoisyDataset(MakeMixedTruth(300, 9), noise);
+  ASSERT_TRUE(noisy.ok());
+  auto result = RunCrh(*noisy);
+  ASSERT_TRUE(result.ok());
+  auto eval = Evaluate(*noisy, result->truths);
+  ASSERT_TRUE(eval.ok());
+
+  // Relative claim: weighting must beat unweighted voting on this data
+  // (the reliable source is missing on 40% of entries, so some error is
+  // unavoidable).
+  std::vector<double> uniform(noisy->num_sources(), 1.0);
+  CrhOptions plain;
+  ValueTable unweighted = ComputeTruthsGivenWeights(*noisy, uniform, plain);
+  auto ref_eval = Evaluate(*noisy, unweighted);
+  ASSERT_TRUE(ref_eval.ok());
+  EXPECT_LT(eval->error_rate, ref_eval->error_rate);
+  EXPECT_LE(eval->mnad, ref_eval->mnad + 1e-9);
+  EXPECT_LT(eval->error_rate, 0.45);
+}
+
+TEST(CrhTest, EntryWithNoClaimsStaysMissing) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  Dataset data(schema, {"o1", "o2"}, {"s1", "s2"});
+  data.SetObservation(0, 0, 0, Value::Continuous(1));
+  data.SetObservation(1, 0, 0, Value::Continuous(2));
+  // Object o2 has no claims at all.
+  auto result = RunCrh(data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->truths.Get(0, 0).is_missing());
+  EXPECT_TRUE(result->truths.Get(1, 0).is_missing());
+}
+
+TEST(CrhTest, MeanModelMatchesWeightedMeanOnSingleEntry) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  Dataset data(schema, {"o"}, {"s1", "s2"});
+  data.SetObservation(0, 0, 0, Value::Continuous(10));
+  data.SetObservation(1, 0, 0, Value::Continuous(20));
+  CrhOptions options;
+  options.continuous_model = ContinuousModel::kMean;
+  options.max_iterations = 1;
+  auto result = RunCrh(data, options);
+  ASSERT_TRUE(result.ok());
+  const double truth = result->truths.Get(0, 0).continuous();
+  EXPECT_GE(truth, 10.0);
+  EXPECT_LE(truth, 20.0);
+}
+
+TEST(CrhTest, MedianModelIsRobustToOutlierSource) {
+  // One source emits absurd readings; the median model should shrug while
+  // the mean model gets dragged (paper Section 2.4.2).
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  std::vector<std::string> objects;
+  for (int i = 0; i < 50; ++i) objects.push_back("o" + std::to_string(i));
+  Dataset data(schema, objects, {"good1", "good2", "good3", "outlier"});
+  ValueTable truth(50, 1);
+  Rng rng(31);
+  for (size_t i = 0; i < 50; ++i) {
+    const double t = rng.Uniform(0, 10);
+    truth.Set(i, 0, Value::Continuous(t));
+    data.SetObservation(0, i, 0, Value::Continuous(t + rng.Gaussian(0, 0.1)));
+    data.SetObservation(1, i, 0, Value::Continuous(t + rng.Gaussian(0, 0.1)));
+    data.SetObservation(2, i, 0, Value::Continuous(t + rng.Gaussian(0, 0.1)));
+    data.SetObservation(3, i, 0, Value::Continuous(t + 1e5));
+  }
+  data.set_ground_truth(std::move(truth));
+
+  CrhOptions median_opts;
+  median_opts.continuous_model = ContinuousModel::kMedian;
+  auto median_result = RunCrh(data, median_opts);
+  ASSERT_TRUE(median_result.ok());
+  auto median_eval = Evaluate(data, median_result->truths);
+  ASSERT_TRUE(median_eval.ok());
+  EXPECT_LT(median_eval->mnad, 0.05);
+}
+
+TEST(CrhTest, SoftModelProducesValidDistributions) {
+  Dataset data = MakeSkewedDataset(100);
+  CrhOptions options;
+  options.categorical_model = CategoricalModel::kSoftProbability;
+  auto result = RunCrh(data, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->soft_distributions.size(), 1u);
+  const SoftDistributions& soft = result->soft_distributions[0];
+  EXPECT_EQ(soft.property, 1u);
+  EXPECT_EQ(soft.num_labels, data.dict(1).size());
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    double total = 0;
+    double max_p = -1;
+    CategoryId mode = 0;
+    for (size_t l = 0; l < soft.num_labels; ++l) {
+      const double p = soft.at(i, static_cast<CategoryId>(l));
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0 + 1e-12);
+      total += p;
+      if (p > max_p) {
+        max_p = p;
+        mode = static_cast<CategoryId>(l);
+      }
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // The hard truth reported is the mode of the distribution.
+    EXPECT_EQ(result->truths.Get(i, 1), Value::Categorical(mode));
+  }
+}
+
+TEST(CrhTest, SoftModelAccuracyComparableToVotingModel) {
+  Dataset data = MakeSkewedDataset(300);
+  CrhOptions hard, soft;
+  soft.categorical_model = CategoricalModel::kSoftProbability;
+  auto hard_result = RunCrh(data, hard);
+  auto soft_result = RunCrh(data, soft);
+  ASSERT_TRUE(hard_result.ok());
+  ASSERT_TRUE(soft_result.ok());
+  auto hard_eval = Evaluate(data, hard_result->truths);
+  auto soft_eval = Evaluate(data, soft_result->truths);
+  ASSERT_TRUE(hard_eval.ok());
+  ASSERT_TRUE(soft_eval.ok());
+  EXPECT_NEAR(soft_eval->error_rate, hard_eval->error_rate, 0.05);
+}
+
+TEST(CrhTest, DeterministicAcrossRuns) {
+  Dataset data = MakeSkewedDataset(120);
+  auto a = RunCrh(data);
+  auto b = RunCrh(data);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->iterations, b->iterations);
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    EXPECT_DOUBLE_EQ(a->source_weights[k], b->source_weights[k]);
+  }
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    for (size_t m = 0; m < data.num_properties(); ++m) {
+      EXPECT_EQ(a->truths.Get(i, m), b->truths.Get(i, m));
+    }
+  }
+}
+
+TEST(CrhTest, TopJSelectionUsesOnlySelectedSources) {
+  Dataset data = MakeSkewedDataset(200);
+  CrhOptions options;
+  options.weight_scheme.kind = WeightSchemeKind::kTopJ;
+  options.weight_scheme.top_j = 2;
+  auto result = RunCrh(data, options);
+  ASSERT_TRUE(result.ok());
+  int selected = 0;
+  for (double w : result->source_weights) {
+    EXPECT_TRUE(w == 0.0 || w == 1.0);
+    selected += w == 1.0 ? 1 : 0;
+  }
+  EXPECT_EQ(selected, 2);
+  // The reliable source must be among the selected.
+  EXPECT_DOUBLE_EQ(result->source_weights[0], 1.0);
+}
+
+TEST(CrhTest, BestSourceSelectionPicksReliableSource) {
+  Dataset data = MakeSkewedDataset(200);
+  CrhOptions options;
+  options.weight_scheme.kind = WeightSchemeKind::kBestSourceLp;
+  auto result = RunCrh(data, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->source_weights[0], 1.0);
+  for (size_t k = 1; k < data.num_sources(); ++k) {
+    EXPECT_DOUBLE_EQ(result->source_weights[k], 0.0);
+  }
+}
+
+TEST(CrhTest, StepFunctionsComposeLikeSolver) {
+  // One manual weight->truth round must equal what the solver's first
+  // iteration produces.
+  Dataset data = MakeSkewedDataset(80);
+  CrhOptions options;
+  options.max_iterations = 1;
+  auto solver = RunCrh(data, options);
+  ASSERT_TRUE(solver.ok());
+
+  const EntryStats stats = ComputeEntryStats(data);
+  std::vector<double> uniform(data.num_sources(), 1.0);
+  ValueTable init = ComputeTruthsGivenWeights(data, uniform, options);
+  auto weights =
+      ComputeSourceWeights(ComputeSourceDeviations(data, init, stats, options),
+                           options.weight_scheme);
+  ASSERT_TRUE(weights.ok());
+  ValueTable truths = ComputeTruthsGivenWeights(data, *weights, options);
+
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    EXPECT_DOUBLE_EQ(solver->source_weights[k], (*weights)[k]);
+  }
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    for (size_t m = 0; m < data.num_properties(); ++m) {
+      EXPECT_EQ(solver->truths.Get(i, m), truths.Get(i, m));
+    }
+  }
+}
+
+/// Parameterized sweep: CRH beats or matches unweighted aggregation across
+/// configurations of models and weight schemes whenever reliability varies.
+struct CrhConfig {
+  CategoricalModel categorical;
+  ContinuousModel continuous;
+  WeightSchemeKind weights;
+};
+
+class CrhConfigProperty : public ::testing::TestWithParam<CrhConfig> {};
+
+TEST_P(CrhConfigProperty, BeatsUnweightedAggregation) {
+  const CrhConfig& config = GetParam();
+  Dataset data = MakeSkewedDataset(350, /*seed=*/123);
+  CrhOptions options;
+  options.categorical_model = config.categorical;
+  options.continuous_model = config.continuous;
+  options.weight_scheme.kind = config.weights;
+  auto result = RunCrh(data, options);
+  ASSERT_TRUE(result.ok());
+  auto crh_eval = Evaluate(data, result->truths);
+  ASSERT_TRUE(crh_eval.ok());
+
+  std::vector<double> uniform(data.num_sources(), 1.0);
+  CrhOptions plain;
+  plain.continuous_model = config.continuous;
+  ValueTable unweighted = ComputeTruthsGivenWeights(data, uniform, plain);
+  auto ref_eval = Evaluate(data, unweighted);
+  ASSERT_TRUE(ref_eval.ok());
+
+  EXPECT_LE(crh_eval->error_rate, ref_eval->error_rate + 1e-9);
+  EXPECT_LE(crh_eval->mnad, ref_eval->mnad + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, CrhConfigProperty,
+    ::testing::Values(
+        CrhConfig{CategoricalModel::kVoting, ContinuousModel::kMedian,
+                  WeightSchemeKind::kLogMax},
+        CrhConfig{CategoricalModel::kVoting, ContinuousModel::kMedian,
+                  WeightSchemeKind::kLogSum},
+        CrhConfig{CategoricalModel::kVoting, ContinuousModel::kMean,
+                  WeightSchemeKind::kLogMax},
+        CrhConfig{CategoricalModel::kSoftProbability, ContinuousModel::kMedian,
+                  WeightSchemeKind::kLogMax},
+        CrhConfig{CategoricalModel::kSoftProbability, ContinuousModel::kMean,
+                  WeightSchemeKind::kLogSum},
+        CrhConfig{CategoricalModel::kVoting, ContinuousModel::kMedian,
+                  WeightSchemeKind::kBestSourceLp}));
+
+}  // namespace
+}  // namespace crh

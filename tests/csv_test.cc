@@ -1,0 +1,150 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace crh {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/crh_csv_" + name;
+  }
+
+  Dataset MakeSample() {
+    Schema schema;
+    EXPECT_TRUE(schema.AddContinuous("temp").ok());
+    EXPECT_TRUE(schema.AddCategorical("cond").ok());
+    Dataset data(schema, {"nyc_d1", "nyc_d2"}, {"siteA", "siteB"});
+    data.SetObservation(0, 0, 0, Value::Continuous(71.5));
+    data.SetObservation(0, 0, 1, data.InternCategorical(1, "sunny"));
+    data.SetObservation(1, 0, 0, Value::Continuous(69));
+    data.SetObservation(1, 1, 1, data.InternCategorical(1, "rain"));
+    ValueTable truth(2, 2);
+    truth.Set(0, 0, Value::Continuous(70));
+    truth.Set(0, 1, data.InternCategorical(1, "sunny"));
+    data.set_ground_truth(std::move(truth));
+    return data;
+  }
+};
+
+TEST_F(CsvTest, RoundTripObservations) {
+  Dataset data = MakeSample();
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteObservationsCsv(data, path).ok());
+
+  auto loaded = ReadObservationsCsv(data.schema(), path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_objects(), 2u);
+  EXPECT_EQ(loaded->num_sources(), 2u);
+  EXPECT_EQ(loaded->num_observations(), data.num_observations());
+
+  // Object/source order follows first appearance in the file; look up by id.
+  int o1 = -1, o2 = -1;
+  for (size_t i = 0; i < loaded->num_objects(); ++i) {
+    if (loaded->object_id(i) == "nyc_d1") o1 = static_cast<int>(i);
+    if (loaded->object_id(i) == "nyc_d2") o2 = static_cast<int>(i);
+  }
+  ASSERT_GE(o1, 0);
+  ASSERT_GE(o2, 0);
+  int sa = loaded->source_id(0) == "siteA" ? 0 : 1;
+  EXPECT_DOUBLE_EQ(loaded->observations(static_cast<size_t>(sa))
+                       .Get(static_cast<size_t>(o1), 0)
+                       .continuous(),
+                   71.5);
+  const Value cond = loaded->observations(static_cast<size_t>(1 - sa))
+                         .Get(static_cast<size_t>(o2), 1);
+  ASSERT_TRUE(cond.is_categorical());
+  EXPECT_EQ(loaded->dict(1).label(cond.category()), "rain");
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, RoundTripGroundTruth) {
+  Dataset data = MakeSample();
+  const std::string obs_path = TempPath("obs.csv");
+  const std::string truth_path = TempPath("truth.csv");
+  ASSERT_TRUE(WriteObservationsCsv(data, obs_path).ok());
+  ASSERT_TRUE(WriteGroundTruthCsv(data, truth_path).ok());
+
+  auto loaded = ReadObservationsCsv(data.schema(), obs_path);
+  ASSERT_TRUE(loaded.ok());
+  Dataset dataset = std::move(loaded).ValueOrDie();
+  ASSERT_TRUE(ReadGroundTruthCsv(truth_path, &dataset).ok());
+  ASSERT_TRUE(dataset.has_ground_truth());
+  EXPECT_EQ(dataset.num_ground_truths(), 2u);
+  std::remove(obs_path.c_str());
+  std::remove(truth_path.c_str());
+}
+
+TEST_F(CsvTest, WriteGroundTruthRequiresGroundTruth) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  Dataset data(schema, {"o"}, {"s"});
+  EXPECT_EQ(WriteGroundTruthCsv(data, TempPath("none.csv")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CsvTest, ReadRejectsMissingFile) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  EXPECT_EQ(ReadObservationsCsv(schema, "/nonexistent/nope.csv").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(CsvTest, ReadRejectsUnknownProperty) {
+  const std::string path = TempPath("unknown_prop.csv");
+  std::ofstream(path) << "object_id,property,source_id,value\no,bogus,s,1\n";
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  auto r = ReadObservationsCsv(schema, path);
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, ReadRejectsMalformedRow) {
+  const std::string path = TempPath("malformed.csv");
+  std::ofstream(path) << "object_id,property,source_id,value\no,x,s\n";
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  EXPECT_FALSE(ReadObservationsCsv(schema, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, ReadRejectsUnparsableContinuousValue) {
+  const std::string path = TempPath("badvalue.csv");
+  std::ofstream(path) << "object_id,property,source_id,value\no,x,s,notanumber\n";
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  EXPECT_FALSE(ReadObservationsCsv(schema, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, GroundTruthRejectsUnknownObject) {
+  const std::string path = TempPath("badobj.csv");
+  std::ofstream(path) << "object_id,property,value\nghost,x,1\n";
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  Dataset data(schema, {"o"}, {"s"});
+  EXPECT_FALSE(ReadGroundTruthCsv(path, &data).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, ContinuousValuesPreservedExactly) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  Dataset data(schema, {"o"}, {"s"});
+  const double value = 1234.5678901234567;
+  data.SetObservation(0, 0, 0, Value::Continuous(value));
+  const std::string path = TempPath("precision.csv");
+  ASSERT_TRUE(WriteObservationsCsv(data, path).ok());
+  auto loaded = ReadObservationsCsv(schema, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->observations(0).Get(0, 0).continuous(), value);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace crh

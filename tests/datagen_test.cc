@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/real_world.h"
+#include "datagen/uci_like.h"
+#include "eval/metrics.h"
+
+namespace crh {
+namespace {
+
+// ---------------------------------------------------------------------------
+// UCI-like generators
+// ---------------------------------------------------------------------------
+
+TEST(UciLikeTest, AdultSchemaMatchesPaper) {
+  UciLikeOptions options;
+  options.num_records = 50;
+  Dataset data = MakeAdultGroundTruth(options);
+  EXPECT_EQ(data.num_properties(), 14u);  // Table 3: 455,854 / 32,561 = 14
+  EXPECT_EQ(data.num_objects(), 50u);
+  EXPECT_EQ(data.num_sources(), 0u);
+  EXPECT_TRUE(data.has_ground_truth());
+  EXPECT_EQ(data.num_ground_truths(), 50u * 14u);  // fully labeled
+  EXPECT_TRUE(data.Validate().ok());
+  EXPECT_EQ(data.schema().FindProperty("age"), 0);
+  EXPECT_GE(data.schema().FindProperty("native_country"), 0);
+  EXPECT_EQ(data.schema().PropertiesOfType(PropertyType::kContinuous).size(), 6u);
+  EXPECT_EQ(data.schema().PropertiesOfType(PropertyType::kCategorical).size(), 8u);
+}
+
+TEST(UciLikeTest, AdultDefaultsToPaperScale) {
+  Dataset data = MakeAdultGroundTruth({/*num_records=*/0, /*seed=*/1});
+  EXPECT_EQ(data.num_objects(), 32561u);
+  EXPECT_EQ(data.num_entries(), 455854u);  // Table 3 entry count
+}
+
+TEST(UciLikeTest, BankSchemaMatchesPaper) {
+  UciLikeOptions options;
+  options.num_records = 50;
+  Dataset data = MakeBankGroundTruth(options);
+  EXPECT_EQ(data.num_properties(), 16u);  // Table 3: 723,376 / 45,211 = 16
+  EXPECT_EQ(data.schema().PropertiesOfType(PropertyType::kContinuous).size(), 7u);
+  EXPECT_EQ(data.schema().PropertiesOfType(PropertyType::kCategorical).size(), 9u);
+  EXPECT_TRUE(data.Validate().ok());
+}
+
+TEST(UciLikeTest, BankDefaultsToPaperScale) {
+  Dataset data = MakeBankGroundTruth({/*num_records=*/0, /*seed=*/1});
+  EXPECT_EQ(data.num_objects(), 45211u);
+  EXPECT_EQ(data.num_entries(), 723376u);
+}
+
+TEST(UciLikeTest, AdultValuesWithinPhysicalRanges) {
+  UciLikeOptions options;
+  options.num_records = 500;
+  Dataset data = MakeAdultGroundTruth(options);
+  const int age = data.schema().FindProperty("age");
+  const int hours = data.schema().FindProperty("hours_per_week");
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    const double a = data.ground_truth().Get(i, static_cast<size_t>(age)).continuous();
+    EXPECT_GE(a, 17);
+    EXPECT_LE(a, 90);
+    EXPECT_DOUBLE_EQ(a, std::round(a));  // integer-rounded
+    const double h = data.ground_truth().Get(i, static_cast<size_t>(hours)).continuous();
+    EXPECT_GE(h, 1);
+    EXPECT_LE(h, 99);
+  }
+}
+
+TEST(UciLikeTest, ZeroInflatedCapitalGain) {
+  UciLikeOptions options;
+  options.num_records = 2000;
+  Dataset data = MakeAdultGroundTruth(options);
+  const int m = data.schema().FindProperty("capital_gain");
+  size_t zeros = 0;
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    if (data.ground_truth().Get(i, static_cast<size_t>(m)).continuous() == 0.0) ++zeros;
+  }
+  // ~92% of records have no capital gain.
+  EXPECT_GT(static_cast<double>(zeros) / 2000.0, 0.85);
+}
+
+TEST(UciLikeTest, CategoricalMarginalsAreSkewed) {
+  UciLikeOptions options;
+  options.num_records = 3000;
+  Dataset data = MakeBankGroundTruth(options);
+  const int m = data.schema().FindProperty("default");
+  size_t first = 0;
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    if (data.ground_truth().Get(i, static_cast<size_t>(m)).category() == 0) ++first;
+  }
+  // "no" should strongly dominate "yes" for credit default.
+  EXPECT_GT(static_cast<double>(first) / 3000.0, 0.9);
+}
+
+TEST(UciLikeTest, DeterministicGivenSeed) {
+  UciLikeOptions options;
+  options.num_records = 100;
+  options.seed = 44;
+  Dataset a = MakeAdultGroundTruth(options);
+  Dataset b = MakeAdultGroundTruth(options);
+  for (size_t i = 0; i < 100; ++i) {
+    for (size_t m = 0; m < a.num_properties(); ++m) {
+      EXPECT_EQ(a.ground_truth().Get(i, m), b.ground_truth().Get(i, m));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Weather
+// ---------------------------------------------------------------------------
+
+TEST(WeatherTest, StructureMatchesTable1) {
+  WeatherOptions options;  // paper defaults
+  Dataset data = MakeWeatherDataset(options);
+  EXPECT_EQ(data.num_sources(), 9u);  // 3 platforms x 3 lead days
+  EXPECT_EQ(data.num_objects(), 640u);
+  EXPECT_EQ(data.num_entries(), 1920u);  // Table 1
+  EXPECT_EQ(data.num_properties(), 3u);
+  EXPECT_TRUE(data.Validate().ok());
+  // Table 1: 16,038 observations, 1,740 ground truths; allow sampling slack.
+  EXPECT_NEAR(static_cast<double>(data.num_observations()), 16038.0, 500.0);
+  EXPECT_NEAR(static_cast<double>(data.num_ground_truths()), 1740.0, 80.0);
+  EXPECT_TRUE(data.has_timestamps());
+}
+
+TEST(WeatherTest, HighTempAboveLowTemp) {
+  WeatherOptions options;
+  options.num_cities = 5;
+  options.num_days = 10;
+  Dataset data = MakeWeatherDataset(options);
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    const Value& high = data.ground_truth().Get(i, 0);
+    const Value& low = data.ground_truth().Get(i, 1);
+    if (high.is_missing() || low.is_missing()) continue;
+    EXPECT_GT(high.continuous(), low.continuous());
+  }
+}
+
+TEST(WeatherTest, ForecastQualityDegradesWithLeadDay) {
+  Dataset data = MakeWeatherDataset({});
+  const std::vector<double> reliability = TrueSourceReliability(data);
+  // Within each platform, day-1 forecasts beat day-3 forecasts.
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_GT(reliability[static_cast<size_t>(p) * 3], reliability[static_cast<size_t>(p) * 3 + 2])
+        << "platform " << p;
+  }
+}
+
+TEST(WeatherTest, PlatformsDifferInQuality) {
+  Dataset data = MakeWeatherDataset({});
+  const std::vector<double> reliability = TrueSourceReliability(data);
+  EXPECT_GT(reliability[0], reliability[6]);  // platform0 day1 vs platform2 day1
+}
+
+// ---------------------------------------------------------------------------
+// Stock
+// ---------------------------------------------------------------------------
+
+TEST(StockTest, StructureMatchesPaperShape) {
+  StockOptions options;
+  options.num_symbols = 60;
+  options.num_days = 5;
+  options.labeled_symbols = 10;
+  Dataset data = MakeStockDataset(options);
+  EXPECT_EQ(data.num_sources(), 55u);
+  EXPECT_EQ(data.num_properties(), 16u);
+  EXPECT_EQ(data.num_objects(), 300u);
+  EXPECT_TRUE(data.Validate().ok());
+  EXPECT_EQ(data.schema().PropertiesOfType(PropertyType::kContinuous).size(), 3u);
+  EXPECT_EQ(data.schema().PropertiesOfType(PropertyType::kCategorical).size(), 13u);
+  // Ground truth restricted to labeled symbols: 10 symbols x 5 days x 16.
+  EXPECT_EQ(data.num_ground_truths(), 10u * 5u * 16u);
+}
+
+TEST(StockTest, MissingRateApproximatelyHonored) {
+  StockOptions options;
+  options.num_symbols = 40;
+  options.num_days = 5;
+  Dataset data = MakeStockDataset(options);
+  const double density = static_cast<double>(data.num_observations()) /
+                         (static_cast<double>(data.num_entries()) * 55.0);
+  // missing_rate 0.35 on rows plus 4% cell dropout -> ~0.62 density.
+  EXPECT_NEAR(density, 0.65 * 0.96, 0.05);
+}
+
+TEST(StockTest, SourceReliabilitySpreadIsWide) {
+  StockOptions options;
+  options.num_symbols = 50;
+  options.num_days = 5;
+  options.labeled_symbols = 50;
+  Dataset data = MakeStockDataset(options);
+  const std::vector<double> reliability = TrueSourceReliability(data);
+  const auto [lo, hi] = std::minmax_element(reliability.begin(), reliability.end());
+  EXPECT_GT(*hi - *lo, 0.2);
+}
+
+// ---------------------------------------------------------------------------
+// Flight
+// ---------------------------------------------------------------------------
+
+TEST(FlightTest, StructureMatchesPaperShape) {
+  FlightOptions options;
+  options.num_flights = 50;
+  options.num_days = 6;
+  Dataset data = MakeFlightDataset(options);
+  EXPECT_EQ(data.num_sources(), 38u);
+  EXPECT_EQ(data.num_properties(), 6u);
+  EXPECT_EQ(data.num_objects(), 300u);
+  EXPECT_TRUE(data.Validate().ok());
+  EXPECT_TRUE(data.has_timestamps());
+}
+
+TEST(FlightTest, ActualTimesAtOrAfterSchedule) {
+  FlightOptions options;
+  options.num_flights = 40;
+  options.num_days = 4;
+  Dataset data = MakeFlightDataset(options);
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    const Value& sched = data.ground_truth().Get(i, 0);
+    const Value& actual = data.ground_truth().Get(i, 1);
+    if (sched.is_missing() || actual.is_missing()) continue;
+    EXPECT_GE(actual.continuous(), sched.continuous());
+  }
+}
+
+TEST(FlightTest, GroundTruthLabelsWholeObjects) {
+  FlightOptions options;
+  options.num_flights = 60;
+  options.num_days = 5;
+  options.truth_label_rate = 0.3;
+  Dataset data = MakeFlightDataset(options);
+  size_t labeled_objects = 0;
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    size_t labeled = 0;
+    for (size_t m = 0; m < 6; ++m) {
+      if (!data.ground_truth().Get(i, m).is_missing()) ++labeled;
+    }
+    EXPECT_TRUE(labeled == 0 || labeled == 6u);
+    labeled_objects += labeled == 6u ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(labeled_objects) / static_cast<double>(data.num_objects()),
+              0.3, 0.08);
+}
+
+TEST(FlightTest, ReliabilitySpreadIsWide) {
+  FlightOptions options;
+  options.num_flights = 60;
+  options.num_days = 5;
+  options.truth_label_rate = 1.0;
+  Dataset data = MakeFlightDataset(options);
+  const std::vector<double> reliability = TrueSourceReliability(data);
+  const auto [lo, hi] = std::minmax_element(reliability.begin(), reliability.end());
+  EXPECT_GT(*hi - *lo, 0.15);
+}
+
+}  // namespace
+}  // namespace crh

@@ -1,0 +1,192 @@
+#include "core/dependence.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+
+namespace crh {
+namespace {
+
+/// Dataset with one honest good source, one mediocre "original", and
+/// `num_copiers` sources that copy the original's claims (including its
+/// mistakes) with high probability.
+Dataset MakeCopierDataset(int num_copiers, size_t n = 400, uint64_t seed = 81,
+                          double copy_prob = 0.95) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddCategorical("y").ok());
+  std::vector<std::string> objects;
+  for (size_t i = 0; i < n; ++i) objects.push_back("o" + std::to_string(i));
+  std::vector<std::string> sources;
+  for (int g = 0; g < 4; ++g) sources.push_back("good" + std::to_string(g));
+  sources.push_back("original");
+  for (int cidx = 0; cidx < num_copiers; ++cidx) {
+    sources.push_back("copier" + std::to_string(cidx));
+  }
+  Dataset data(schema, objects, sources);
+  for (const char* l : {"a", "b", "c", "d", "e", "f"}) data.mutable_dict(0).GetOrAdd(l);
+
+  Rng rng(seed);
+  ValueTable truth(n, 1);
+  const auto noisy_claim = [&](double acc, CategoryId t) {
+    if (rng.Bernoulli(acc)) return t;
+    CategoryId alt = static_cast<CategoryId>(rng.UniformInt(0, 4));
+    if (alt >= t) ++alt;
+    return alt;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const CategoryId t = static_cast<CategoryId>(rng.UniformInt(0, 5));
+    truth.Set(i, 0, Value::Categorical(t));
+    for (size_t g = 0; g < 4; ++g) {
+      data.SetObservation(g, i, 0, Value::Categorical(noisy_claim(0.85, t)));
+    }
+    const CategoryId original_claim = noisy_claim(0.55, t);
+    data.SetObservation(4, i, 0, Value::Categorical(original_claim));
+    for (int cidx = 0; cidx < num_copiers; ++cidx) {
+      const CategoryId copied =
+          rng.Bernoulli(copy_prob) ? original_claim : noisy_claim(0.55, t);
+      data.SetObservation(5 + static_cast<size_t>(cidx), i, 0, Value::Categorical(copied));
+    }
+  }
+  data.set_ground_truth(std::move(truth));
+  return data;
+}
+
+TEST(DependenceTest, ValidatesInputs) {
+  Dataset data = MakeCopierDataset(1, 20);
+  EXPECT_FALSE(DetectSourceDependence(data, ValueTable(3, 1)).ok());  // shape
+  DependenceOptions bad;
+  bad.prior = 0.0;
+  EXPECT_FALSE(DetectSourceDependence(data, data.ground_truth(), bad).ok());
+  bad = {};
+  bad.copy_rate = 1.0;
+  EXPECT_FALSE(DetectSourceDependence(data, data.ground_truth(), bad).ok());
+  bad = {};
+  bad.false_value_count = 0.5;
+  EXPECT_FALSE(DetectSourceDependence(data, data.ground_truth(), bad).ok());
+}
+
+TEST(DependenceTest, FlagsCopierPairsOnly) {
+  Dataset data = MakeCopierDataset(2);
+  auto result = DetectSourceDependence(data, data.ground_truth());
+  ASSERT_TRUE(result.ok());
+  // original <-> copiers: strongly dependent.
+  EXPECT_GT(result->copy_probability[4][5], 0.95);
+  EXPECT_GT(result->copy_probability[4][6], 0.95);
+  EXPECT_GT(result->copy_probability[5][6], 0.95);  // copiers share the source
+  // good <-> anyone: independent (agreements happen mostly on the truth).
+  EXPECT_LT(result->copy_probability[0][4], 0.4);
+  EXPECT_LT(result->copy_probability[0][5], 0.4);
+  EXPECT_LT(result->copy_probability[0][1], 0.4);  // two honest good sources
+  // Symmetry and empty diagonal.
+  EXPECT_DOUBLE_EQ(result->copy_probability[4][5], result->copy_probability[5][4]);
+  EXPECT_DOUBLE_EQ(result->copy_probability[4][4], 0.0);
+}
+
+TEST(DependenceTest, IndependenceScoresDiscountCopiers) {
+  Dataset data = MakeCopierDataset(2);
+  auto result = DetectSourceDependence(data, data.ground_truth());
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->independence[0], 1.0, 0.35);  // honest source barely touched
+  // The dependent cluster keeps one representative; the other two members
+  // are discounted hard.
+  int discounted = 0;
+  for (size_t k = 4; k < 7; ++k) {
+    if (result->independence[k] < 0.3) ++discounted;
+  }
+  EXPECT_EQ(discounted, 2);
+}
+
+TEST(DependenceTest, SparseOverlapLeavesPairIndependent) {
+  // Two sources sharing fewer than min_shared_entries claims must not be
+  // flagged regardless of agreement.
+  Schema schema;
+  ASSERT_TRUE(schema.AddCategorical("y").ok());
+  Dataset data(schema, {"o1", "o2", "o3"}, {"s1", "s2"});
+  (void)data.mutable_dict(0).GetOrAdd("a");
+  ValueTable truth(3, 1);
+  for (size_t i = 0; i < 3; ++i) {
+    truth.Set(i, 0, Value::Categorical(0));
+    data.SetObservation(0, i, 0, Value::Categorical(0));
+    data.SetObservation(1, i, 0, Value::Categorical(0));
+  }
+  data.set_ground_truth(truth);
+  auto result = DetectSourceDependence(data, data.ground_truth());
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->copy_probability[0][1], 0.0);
+}
+
+TEST(DependenceTest, AgreementOnTruthIsNotCopying) {
+  // Two *accurate* independent sources agree constantly — on the truth.
+  // That must not read as dependence.
+  Schema schema;
+  ASSERT_TRUE(schema.AddCategorical("y").ok());
+  const size_t n = 300;
+  std::vector<std::string> objects;
+  for (size_t i = 0; i < n; ++i) objects.push_back("o" + std::to_string(i));
+  Dataset data(schema, objects, {"s1", "s2"});
+  for (const char* l : {"a", "b", "c", "d"}) data.mutable_dict(0).GetOrAdd(l);
+  Rng rng(83);
+  ValueTable truth(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    const CategoryId t = static_cast<CategoryId>(rng.UniformInt(0, 3));
+    truth.Set(i, 0, Value::Categorical(t));
+    for (size_t k = 0; k < 2; ++k) {
+      CategoryId claim = t;
+      if (rng.Bernoulli(0.08)) {
+        claim = static_cast<CategoryId>(rng.UniformInt(0, 2));
+        if (claim >= t) ++claim;
+      }
+      data.SetObservation(k, i, 0, Value::Categorical(claim));
+    }
+  }
+  data.set_ground_truth(truth);
+  auto result = DetectSourceDependence(data, data.ground_truth());
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->copy_probability[0][1], 0.5);
+}
+
+TEST(DependenceAwareCrhTest, DiscountsCopierAmplification) {
+  // A mediocre source amplified by three verbatim copies pulls the vote on
+  // a sizable fraction of entries. As long as the honest sources keep the
+  // truth estimate mostly right (the identifiable regime — a dominating
+  // copier coalition is provably indistinguishable from a correct
+  // majority), dependence-aware CRH strips the amplification.
+  Dataset data = MakeCopierDataset(2, 500, 85);
+  CrhOptions crh_options;
+  crh_options.weight_scheme.kind = WeightSchemeKind::kLogSum;  // bounded weights
+  auto plain = RunCrh(data, crh_options);
+  ASSERT_TRUE(plain.ok());
+  auto aware = RunDependenceAwareCrh(data, crh_options);
+  ASSERT_TRUE(aware.ok());
+
+  auto plain_eval = Evaluate(data, plain->truths);
+  auto aware_eval = Evaluate(data, aware->truths);
+  ASSERT_TRUE(plain_eval.ok());
+  ASSERT_TRUE(aware_eval.ok());
+  EXPECT_LE(aware_eval->error_rate, plain_eval->error_rate);
+  EXPECT_LT(aware_eval->error_rate, 0.1);
+
+  // The copier cluster ends up with at most one undiscounted member.
+  int full_weight_members = 0;
+  for (size_t k = 4; k < 7; ++k) {
+    if (aware->dependence.independence[k] > 0.9) ++full_weight_members;
+  }
+  EXPECT_LE(full_weight_members, 1);
+}
+
+TEST(DependenceAwareCrhTest, HarmlessWithoutCopiers) {
+  Dataset data = MakeCopierDataset(0, 300, 87);
+  auto plain = RunCrh(data);
+  auto aware = RunDependenceAwareCrh(data);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(aware.ok());
+  auto plain_eval = Evaluate(data, plain->truths);
+  auto aware_eval = Evaluate(data, aware->truths);
+  ASSERT_TRUE(plain_eval.ok());
+  ASSERT_TRUE(aware_eval.ok());
+  EXPECT_NEAR(aware_eval->error_rate, plain_eval->error_rate, 0.05);
+}
+
+}  // namespace
+}  // namespace crh

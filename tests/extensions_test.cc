@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/crh.h"
+#include "eval/metrics.h"
+
+namespace crh {
+namespace {
+
+/// Dataset with a "split-personality" source: excellent on the continuous
+/// property, terrible on the categorical one — violating the source-weight
+/// consistency assumption that global CRH relies on.
+Dataset MakeSplitPersonalityDataset(size_t n = 400, uint64_t seed = 61) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddContinuous("x").ok());
+  EXPECT_TRUE(schema.AddCategorical("y").ok());
+  std::vector<std::string> objects;
+  for (size_t i = 0; i < n; ++i) objects.push_back("o" + std::to_string(i));
+  Dataset data(schema, objects, {"split", "mediocre1", "mediocre2", "mediocre3"});
+  for (const char* l : {"a", "b", "c", "d"}) data.mutable_dict(1).GetOrAdd(l);
+
+  Rng rng(seed);
+  ValueTable truth(n, 2);
+  const auto cat_claim = [&](double acc, CategoryId t) {
+    if (rng.Bernoulli(acc)) return t;
+    CategoryId alt = static_cast<CategoryId>(rng.UniformInt(0, 2));
+    if (alt >= t) ++alt;
+    return alt;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const double x = std::round(rng.Uniform(0, 100));
+    const CategoryId y = static_cast<CategoryId>(rng.UniformInt(0, 3));
+    truth.Set(i, 0, Value::Continuous(x));
+    truth.Set(i, 1, Value::Categorical(y));
+    // split: sigma 0.5 on x (best), 15% accuracy on y (worst).
+    data.SetObservation(0, i, 0, Value::Continuous(x + rng.Gaussian(0, 0.5)));
+    data.SetObservation(0, i, 1, Value::Categorical(cat_claim(0.15, y)));
+    // mediocre sources: sigma 6 on x, 65% on y.
+    for (size_t k = 1; k < 4; ++k) {
+      data.SetObservation(k, i, 0, Value::Continuous(x + rng.Gaussian(0, 6.0)));
+      data.SetObservation(k, i, 1, Value::Categorical(cat_claim(0.65, y)));
+    }
+  }
+  data.set_ground_truth(std::move(truth));
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// Fine-grained weights (Section 2.5, "Source weight consistency")
+// ---------------------------------------------------------------------------
+
+TEST(FineGrainedWeightsTest, GlobalGranularityLeavesFineWeightsEmpty) {
+  Dataset data = MakeSplitPersonalityDataset(50);
+  auto result = RunCrh(data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->fine_grained_weights.empty());
+  EXPECT_EQ(result->property_group, std::vector<size_t>(2, 0));
+}
+
+TEST(FineGrainedWeightsTest, PerTypeGroupsPropertiesByType) {
+  Dataset data = MakeSplitPersonalityDataset(50);
+  CrhOptions options;
+  options.weight_granularity = WeightGranularity::kPerType;
+  auto result = RunCrh(data, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->property_group.size(), 2u);
+  EXPECT_NE(result->property_group[0], result->property_group[1]);
+  ASSERT_EQ(result->fine_grained_weights.size(), data.num_sources());
+  EXPECT_EQ(result->fine_grained_weights[0].size(), 2u);
+}
+
+TEST(FineGrainedWeightsTest, SplitSourceRankedPerType) {
+  Dataset data = MakeSplitPersonalityDataset();
+  CrhOptions options;
+  options.weight_granularity = WeightGranularity::kPerType;
+  auto result = RunCrh(data, options);
+  ASSERT_TRUE(result.ok());
+  const size_t cont_group = result->property_group[0];
+  const size_t cat_group = result->property_group[1];
+  // The split source tops the continuous group and bottoms the categorical.
+  for (size_t k = 1; k < data.num_sources(); ++k) {
+    EXPECT_GT(result->fine_grained_weights[0][cont_group],
+              result->fine_grained_weights[k][cont_group]);
+    EXPECT_LT(result->fine_grained_weights[0][cat_group],
+              result->fine_grained_weights[k][cat_group]);
+  }
+}
+
+TEST(FineGrainedWeightsTest, PerTypeBeatsGlobalWhenConsistencyIsViolated) {
+  Dataset data = MakeSplitPersonalityDataset();
+  // Use the bounded sum-normalized weights for both runs so the comparison
+  // isolates the granularity (the max normalization's sharpening would
+  // collapse the 3-source categorical group onto one mediocre source).
+  CrhOptions global_options;
+  global_options.weight_scheme.kind = WeightSchemeKind::kLogSum;
+  auto global = RunCrh(data, global_options);
+  CrhOptions options;
+  options.weight_scheme.kind = WeightSchemeKind::kLogSum;
+  options.weight_granularity = WeightGranularity::kPerType;
+  auto per_type = RunCrh(data, options);
+  ASSERT_TRUE(global.ok());
+  ASSERT_TRUE(per_type.ok());
+  auto global_eval = Evaluate(data, global->truths);
+  auto per_type_eval = Evaluate(data, per_type->truths);
+  ASSERT_TRUE(global_eval.ok());
+  ASSERT_TRUE(per_type_eval.ok());
+  // Per-type weights must exploit the split source's thermometer without
+  // being poisoned by its broken labels.
+  EXPECT_LE(per_type_eval->mnad, global_eval->mnad + 1e-9);
+  EXPECT_LE(per_type_eval->error_rate, global_eval->error_rate + 1e-9);
+  EXPECT_LT(per_type_eval->mnad + per_type_eval->error_rate,
+            global_eval->mnad + global_eval->error_rate);
+}
+
+TEST(FineGrainedWeightsTest, PerPropertyGranularity) {
+  Dataset data = MakeSplitPersonalityDataset(100);
+  CrhOptions options;
+  options.weight_granularity = WeightGranularity::kPerProperty;
+  auto result = RunCrh(data, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->property_group, (std::vector<size_t>{0, 1}));
+  ASSERT_EQ(result->fine_grained_weights[0].size(), 2u);
+}
+
+TEST(FineGrainedWeightsTest, PerTypeEqualsGlobalOnSingleTypeData) {
+  // With only one property type there is one group either way; results
+  // must be identical.
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("a").ok());
+  ASSERT_TRUE(schema.AddContinuous("b").ok());
+  Dataset data(schema, {"o1", "o2", "o3"}, {"s1", "s2", "s3"});
+  Rng rng(63);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t m = 0; m < 2; ++m) {
+      for (size_t k = 0; k < 3; ++k) {
+        data.SetObservation(k, i, m, Value::Continuous(rng.Uniform(0, 10)));
+      }
+    }
+  }
+  CrhOptions per_type;
+  per_type.weight_granularity = WeightGranularity::kPerType;
+  auto a = RunCrh(data);
+  auto b = RunCrh(data, per_type);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t m = 0; m < 2; ++m) {
+      EXPECT_EQ(a->truths.Get(i, m), b->truths.Get(i, m));
+    }
+  }
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(a->source_weights[k], b->source_weights[k], 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Semi-supervised truth discovery
+// ---------------------------------------------------------------------------
+
+TEST(SupervisionTest, RejectsShapeMismatch) {
+  Dataset data = MakeSplitPersonalityDataset(20);
+  ValueTable labels(5, 2);
+  CrhOptions options;
+  options.supervision = &labels;
+  EXPECT_FALSE(RunCrh(data, options).ok());
+}
+
+TEST(SupervisionTest, LabeledEntriesAreClamped) {
+  Dataset data = MakeSplitPersonalityDataset(100);
+  ValueTable labels(data.num_objects(), data.num_properties());
+  labels.Set(0, 0, Value::Continuous(-999.0));  // deliberately absurd label
+  labels.Set(1, 1, Value::Categorical(2));
+  CrhOptions options;
+  options.supervision = &labels;
+  auto result = RunCrh(data, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->truths.Get(0, 0), Value::Continuous(-999.0));
+  EXPECT_EQ(result->truths.Get(1, 1), Value::Categorical(2));
+}
+
+TEST(SupervisionTest, LabelsImproveWeightEstimation) {
+  // An adversarial regime: one good source among heavy agreeing noise.
+  // Without labels CRH may trust the wrong coalition; clamping a block of
+  // verified truths re-anchors the weight estimate.
+  Schema schema;
+  ASSERT_TRUE(schema.AddCategorical("y").ok());
+  const size_t n = 300;
+  std::vector<std::string> objects;
+  for (size_t i = 0; i < n; ++i) objects.push_back("o" + std::to_string(i));
+  Dataset data(schema, objects, {"good", "bad1", "bad2", "bad3"});
+  for (const char* l : {"a", "b", "c", "d"}) data.mutable_dict(0).GetOrAdd(l);
+  Rng rng(67);
+  ValueTable truth(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    const CategoryId t = static_cast<CategoryId>(rng.UniformInt(0, 3));
+    truth.Set(i, 0, Value::Categorical(t));
+    // The bad sources COLLUDE: they all report the same wrong value.
+    CategoryId wrong = static_cast<CategoryId>(rng.UniformInt(0, 2));
+    if (wrong >= t) ++wrong;
+    data.SetObservation(0, i, 0, Value::Categorical(rng.Bernoulli(0.9) ? t : wrong));
+    for (size_t k = 1; k < 4; ++k) {
+      data.SetObservation(k, i, 0,
+                          Value::Categorical(rng.Bernoulli(0.25) ? t : wrong));
+    }
+  }
+  data.set_ground_truth(truth);
+
+  auto unsupervised = RunCrh(data);
+  ASSERT_TRUE(unsupervised.ok());
+  auto unsup_eval = Evaluate(data, unsupervised->truths);
+  ASSERT_TRUE(unsup_eval.ok());
+  // The colluding majority wins without supervision.
+  EXPECT_GT(unsup_eval->error_rate, 0.5);
+
+  // Clamp verified labels on 40% of the objects — enough anchored evidence
+  // that the weight update escapes the colluders' self-consistent basin.
+  ValueTable labels(n, 1);
+  for (size_t i = 0; i < n * 2 / 5; ++i) labels.Set(i, 0, truth.Get(i, 0));
+  CrhOptions options;
+  options.supervision = &labels;
+  auto supervised = RunCrh(data, options);
+  ASSERT_TRUE(supervised.ok());
+  auto sup_eval = Evaluate(data, supervised->truths);
+  ASSERT_TRUE(sup_eval.ok());
+  EXPECT_LT(sup_eval->error_rate, 0.3);
+  EXPECT_GT(supervised->source_weights[0], supervised->source_weights[1]);
+}
+
+TEST(SupervisionTest, NoLabelsEqualsUnsupervised) {
+  Dataset data = MakeSplitPersonalityDataset(80);
+  ValueTable empty_labels(data.num_objects(), data.num_properties());
+  CrhOptions options;
+  options.supervision = &empty_labels;
+  auto supervised = RunCrh(data, options);
+  auto plain = RunCrh(data);
+  ASSERT_TRUE(supervised.ok());
+  ASSERT_TRUE(plain.ok());
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    EXPECT_DOUBLE_EQ(supervised->source_weights[k], plain->source_weights[k]);
+  }
+}
+
+}  // namespace
+}  // namespace crh

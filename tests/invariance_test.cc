@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/crh.h"
+#include "datagen/noise.h"
+#include "eval/metrics.h"
+
+namespace crh {
+namespace {
+
+/// Metamorphic properties of the solver: transformations of the input with
+/// a known effect on the output. These catch silent indexing and
+/// normalization bugs that example-based tests miss.
+
+Dataset MakeBaseDataset(size_t n = 150, uint64_t seed = 301) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddContinuous("x", 0.0).ok());
+  EXPECT_TRUE(schema.AddCategorical("y").ok());
+  std::vector<std::string> objects;
+  for (size_t i = 0; i < n; ++i) objects.push_back("o" + std::to_string(i));
+  Dataset data(std::move(schema), std::move(objects), {});
+  for (const char* l : {"a", "b", "c", "d"}) data.mutable_dict(1).GetOrAdd(l);
+  Rng rng(seed);
+  ValueTable truth(n, 2);
+  for (size_t i = 0; i < n; ++i) {
+    truth.Set(i, 0, Value::Continuous(rng.Uniform(0, 100)));
+    truth.Set(i, 1, Value::Categorical(static_cast<CategoryId>(rng.UniformInt(0, 3))));
+  }
+  data.set_ground_truth(std::move(truth));
+  NoiseOptions noise;
+  noise.gammas = {0.2, 0.7, 1.2, 1.9};
+  noise.seed = seed;
+  auto noisy = MakeNoisyDataset(data, noise);
+  EXPECT_TRUE(noisy.ok());
+  return std::move(noisy).ValueOrDie();
+}
+
+TEST(InvarianceTest, SourcePermutationEquivariance) {
+  Dataset data = MakeBaseDataset();
+  // Rebuild with sources in reversed order.
+  const size_t k_sources = data.num_sources();
+  std::vector<std::string> objects, sources;
+  for (size_t i = 0; i < data.num_objects(); ++i) objects.push_back(data.object_id(i));
+  for (size_t k = k_sources; k > 0; --k) sources.push_back(data.source_id(k - 1));
+  Dataset permuted(data.schema(), objects, sources);
+  for (size_t m = 0; m < data.num_properties(); ++m) {
+    permuted.mutable_dict(m) = data.dict(m);
+  }
+  for (size_t k = 0; k < k_sources; ++k) {
+    for (size_t i = 0; i < data.num_objects(); ++i) {
+      for (size_t m = 0; m < data.num_properties(); ++m) {
+        permuted.SetObservation(k, i, m,
+                                data.observations(k_sources - 1 - k).Get(i, m));
+      }
+    }
+  }
+
+  auto a = RunCrh(data);
+  auto b = RunCrh(permuted);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t k = 0; k < k_sources; ++k) {
+    EXPECT_NEAR(a->source_weights[k], b->source_weights[k_sources - 1 - k], 1e-12);
+  }
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    for (size_t m = 0; m < data.num_properties(); ++m) {
+      EXPECT_EQ(a->truths.Get(i, m), b->truths.Get(i, m));
+    }
+  }
+}
+
+TEST(InvarianceTest, ObjectPermutationEquivariance) {
+  Dataset data = MakeBaseDataset();
+  const size_t n = data.num_objects();
+  std::vector<std::string> objects, sources;
+  for (size_t i = n; i > 0; --i) objects.push_back(data.object_id(i - 1));
+  for (size_t k = 0; k < data.num_sources(); ++k) sources.push_back(data.source_id(k));
+  Dataset permuted(data.schema(), objects, sources);
+  for (size_t m = 0; m < data.num_properties(); ++m) {
+    permuted.mutable_dict(m) = data.dict(m);
+  }
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t m = 0; m < data.num_properties(); ++m) {
+        permuted.SetObservation(k, i, m, data.observations(k).Get(n - 1 - i, m));
+      }
+    }
+  }
+  auto a = RunCrh(data);
+  auto b = RunCrh(permuted);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    EXPECT_NEAR(a->source_weights[k], b->source_weights[k], 1e-12);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t m = 0; m < data.num_properties(); ++m) {
+      EXPECT_EQ(a->truths.Get(i, m), b->truths.Get(n - 1 - i, m));
+    }
+  }
+}
+
+TEST(InvarianceTest, AffineTransformOfContinuousProperty) {
+  // Scaling and shifting a continuous property transforms the estimated
+  // truths the same way and leaves the weights untouched — the per-entry
+  // dispersion normalization makes the losses affine-invariant.
+  Dataset data = MakeBaseDataset();
+  const double a = 3.5, b = -20.0;
+  Dataset transformed = data;
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    for (size_t i = 0; i < data.num_objects(); ++i) {
+      const Value& v = data.observations(k).Get(i, 0);
+      if (!v.is_missing()) {
+        transformed.SetObservation(k, i, 0, Value::Continuous(a * v.continuous() + b));
+      }
+    }
+  }
+  auto base = RunCrh(data);
+  auto scaled = RunCrh(transformed);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(scaled.ok());
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    EXPECT_NEAR(base->source_weights[k], scaled->source_weights[k], 1e-9);
+  }
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    const Value& t = base->truths.Get(i, 0);
+    const Value& ts = scaled->truths.Get(i, 0);
+    ASSERT_EQ(t.is_missing(), ts.is_missing());
+    if (!t.is_missing()) {
+      EXPECT_NEAR(ts.continuous(), a * t.continuous() + b, 1e-6);
+    }
+    EXPECT_EQ(base->truths.Get(i, 1), scaled->truths.Get(i, 1));
+  }
+}
+
+TEST(InvarianceTest, CategoryRelabelingEquivariance) {
+  // Renaming the categorical labels (a permutation of ids) must permute
+  // the categorical truths identically and leave weights unchanged.
+  Dataset data = MakeBaseDataset();
+  const size_t labels = data.dict(1).size();
+  // Permutation: id -> (id + 1) % labels.
+  const auto permute = [&](CategoryId id) {
+    return static_cast<CategoryId>((static_cast<size_t>(id) + 1) % labels);
+  };
+  Dataset relabeled = data;
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    for (size_t i = 0; i < data.num_objects(); ++i) {
+      const Value& v = data.observations(k).Get(i, 1);
+      if (!v.is_missing()) {
+        relabeled.SetObservation(k, i, 1, Value::Categorical(permute(v.category())));
+      }
+    }
+  }
+  auto base = RunCrh(data);
+  auto mapped = RunCrh(relabeled);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(mapped.ok());
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    EXPECT_NEAR(base->source_weights[k], mapped->source_weights[k], 1e-9);
+  }
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    const Value& t = base->truths.Get(i, 1);
+    if (!t.is_missing()) {
+      EXPECT_EQ(mapped->truths.Get(i, 1), Value::Categorical(permute(t.category())));
+    }
+  }
+}
+
+TEST(InvarianceTest, AllMissingSourceDoesNotChangeTruths) {
+  Dataset data = MakeBaseDataset();
+  std::vector<std::string> objects, sources;
+  for (size_t i = 0; i < data.num_objects(); ++i) objects.push_back(data.object_id(i));
+  for (size_t k = 0; k < data.num_sources(); ++k) sources.push_back(data.source_id(k));
+  sources.push_back("ghost");
+  Dataset extended(data.schema(), objects, sources);
+  for (size_t m = 0; m < data.num_properties(); ++m) {
+    extended.mutable_dict(m) = data.dict(m);
+  }
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    for (size_t i = 0; i < data.num_objects(); ++i) {
+      for (size_t m = 0; m < data.num_properties(); ++m) {
+        extended.SetObservation(k, i, m, data.observations(k).Get(i, m));
+      }
+    }
+  }
+  auto base = RunCrh(data);
+  auto with_ghost = RunCrh(extended);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(with_ghost.ok());
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    for (size_t m = 0; m < data.num_properties(); ++m) {
+      EXPECT_EQ(base->truths.Get(i, m), with_ghost->truths.Get(i, m));
+    }
+  }
+}
+
+TEST(InvarianceTest, UnanimousSourcesAreFixedPoint) {
+  // When every source reports the same claims, those claims are the truths
+  // and the solver converges immediately with equal weights.
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  ASSERT_TRUE(schema.AddCategorical("y").ok());
+  const size_t n = 40;
+  std::vector<std::string> objects;
+  for (size_t i = 0; i < n; ++i) objects.push_back("o" + std::to_string(i));
+  Dataset data(schema, objects, {"s1", "s2", "s3"});
+  for (const char* l : {"a", "b"}) data.mutable_dict(1).GetOrAdd(l);
+  Rng rng(307);
+  for (size_t i = 0; i < n; ++i) {
+    const Value x = Value::Continuous(rng.Uniform(0, 10));
+    const Value y = Value::Categorical(static_cast<CategoryId>(rng.UniformInt(0, 1)));
+    for (size_t k = 0; k < 3; ++k) {
+      data.SetObservation(k, i, 0, x);
+      data.SetObservation(k, i, 1, y);
+    }
+  }
+  auto result = RunCrh(data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->iterations, 2);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(result->truths.Get(i, 0), data.observations(0).Get(i, 0));
+    EXPECT_EQ(result->truths.Get(i, 1), data.observations(0).Get(i, 1));
+  }
+  // Unanimity carries no reliability signal: weights equal.
+  EXPECT_DOUBLE_EQ(result->source_weights[0], result->source_weights[1]);
+  EXPECT_DOUBLE_EQ(result->source_weights[1], result->source_weights[2]);
+}
+
+/// Sweep the metamorphic affine check across seeds (the dispersion
+/// normalization must hold for any data draw).
+class AffineInvarianceSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AffineInvarianceSweep, WeightsUnchanged) {
+  Dataset data = MakeBaseDataset(80, GetParam());
+  Dataset doubled = data;
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    for (size_t i = 0; i < data.num_objects(); ++i) {
+      const Value& v = data.observations(k).Get(i, 0);
+      if (!v.is_missing()) {
+        doubled.SetObservation(k, i, 0, Value::Continuous(2.0 * v.continuous()));
+      }
+    }
+  }
+  auto a = RunCrh(data);
+  auto b = RunCrh(doubled);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    EXPECT_NEAR(a->source_weights[k], b->source_weights[k], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AffineInvarianceSweep,
+                         ::testing::Values(401, 402, 403, 404, 405));
+
+}  // namespace
+}  // namespace crh

@@ -1,0 +1,130 @@
+#include "losses/loss.h"
+
+#include <gtest/gtest.h>
+
+namespace crh {
+namespace {
+
+TEST(ZeroOneLossTest, MatchesIsZero) {
+  ZeroOneLoss loss;
+  EXPECT_DOUBLE_EQ(loss.Loss(Value::Categorical(2), Value::Categorical(2), 1.0), 0.0);
+}
+
+TEST(ZeroOneLossTest, MismatchIsOne) {
+  ZeroOneLoss loss;
+  EXPECT_DOUBLE_EQ(loss.Loss(Value::Categorical(2), Value::Categorical(3), 1.0), 1.0);
+}
+
+TEST(ZeroOneLossTest, IgnoresScale) {
+  ZeroOneLoss loss;
+  EXPECT_DOUBLE_EQ(loss.Loss(Value::Categorical(0), Value::Categorical(1), 100.0), 1.0);
+}
+
+TEST(NormalizedSquaredLossTest, QuadraticInDistance) {
+  NormalizedSquaredLoss loss;
+  const Value truth = Value::Continuous(10.0);
+  EXPECT_DOUBLE_EQ(loss.Loss(truth, Value::Continuous(10.0), 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(loss.Loss(truth, Value::Continuous(12.0), 2.0), 4.0 / 2.0);
+  EXPECT_DOUBLE_EQ(loss.Loss(truth, Value::Continuous(14.0), 2.0), 16.0 / 2.0);
+}
+
+TEST(NormalizedSquaredLossTest, SymmetricInArguments) {
+  NormalizedSquaredLoss loss;
+  EXPECT_DOUBLE_EQ(loss.Loss(Value::Continuous(3), Value::Continuous(7), 1.5),
+                   loss.Loss(Value::Continuous(7), Value::Continuous(3), 1.5));
+}
+
+TEST(NormalizedAbsoluteLossTest, LinearInDistance) {
+  NormalizedAbsoluteLoss loss;
+  const Value truth = Value::Continuous(10.0);
+  EXPECT_DOUBLE_EQ(loss.Loss(truth, Value::Continuous(14.0), 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(loss.Loss(truth, Value::Continuous(6.0), 2.0), 2.0);
+}
+
+TEST(NormalizedAbsoluteLossTest, ScaleDividesLoss) {
+  NormalizedAbsoluteLoss loss;
+  const double base = loss.Loss(Value::Continuous(0), Value::Continuous(8), 1.0);
+  EXPECT_DOUBLE_EQ(loss.Loss(Value::Continuous(0), Value::Continuous(8), 4.0), base / 4.0);
+}
+
+TEST(LossNamesTest, StableIdentifiers) {
+  EXPECT_STREQ(ZeroOneLoss().name(), "zero_one");
+  EXPECT_STREQ(NormalizedSquaredLoss().name(), "normalized_squared");
+  EXPECT_STREQ(NormalizedAbsoluteLoss().name(), "normalized_absolute");
+}
+
+TEST(ProbVectorSquaredLossTest, PerfectOneHotIsZero) {
+  EXPECT_DOUBLE_EQ(ProbVectorSquaredLoss({0.0, 1.0, 0.0}, 1), 0.0);
+}
+
+TEST(ProbVectorSquaredLossTest, FullyWrongOneHotIsTwo) {
+  // ||e_0 - e_2||^2 = 2.
+  EXPECT_DOUBLE_EQ(ProbVectorSquaredLoss({1.0, 0.0, 0.0}, 2), 2.0);
+}
+
+TEST(ProbVectorSquaredLossTest, UniformDistribution) {
+  // ||u - e_l||^2 = sum u_i^2 - 2 u_l + 1 = 1/3 - 2/3 + 1 = 2/3 for L = 3.
+  EXPECT_NEAR(ProbVectorSquaredLoss({1.0 / 3, 1.0 / 3, 1.0 / 3}, 0), 2.0 / 3, 1e-12);
+}
+
+TEST(ProbVectorSquaredLossTest, HigherTruthMassGivesLowerLoss) {
+  EXPECT_LT(ProbVectorSquaredLoss({0.1, 0.9}, 1), ProbVectorSquaredLoss({0.4, 0.6}, 1));
+  EXPECT_LT(ProbVectorSquaredLoss({0.4, 0.6}, 1), ProbVectorSquaredLoss({0.6, 0.4}, 1));
+}
+
+TEST(DefaultLossForTypeTest, PaperDefaults) {
+  EXPECT_STREQ(DefaultLossForType(PropertyType::kCategorical)->name(), "zero_one");
+  EXPECT_STREQ(DefaultLossForType(PropertyType::kContinuous)->name(), "normalized_absolute");
+}
+
+/// Property sweep: all losses are non-negative and vanish iff the
+/// observation equals the truth (identity of indiscernibles).
+class ContinuousLossProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ContinuousLossProperty, NonNegativeAndZeroAtTruth) {
+  const double v = GetParam();
+  NormalizedSquaredLoss sq;
+  NormalizedAbsoluteLoss abs;
+  const Value truth = Value::Continuous(v);
+  for (double delta : {-7.5, -0.1, 0.0, 0.3, 12.0}) {
+    const Value obs = Value::Continuous(v + delta);
+    for (double scale : {0.5, 1.0, 10.0}) {
+      const double lsq = sq.Loss(truth, obs, scale);
+      const double labs = abs.Loss(truth, obs, scale);
+      EXPECT_GE(lsq, 0.0);
+      EXPECT_GE(labs, 0.0);
+      if (delta == 0.0) {
+        EXPECT_DOUBLE_EQ(lsq, 0.0);
+        EXPECT_DOUBLE_EQ(labs, 0.0);
+      } else {
+        EXPECT_GT(lsq, 0.0);
+        EXPECT_GT(labs, 0.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ContinuousLossProperty,
+                         ::testing::Values(-100.0, -1.0, 0.0, 0.25, 42.0, 1e6));
+
+/// Property sweep: the absolute loss is monotone in |deviation| while the
+/// squared loss penalizes large deviations more than proportionally.
+class LossGrowthProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossGrowthProperty, SquaredGrowsFasterThanAbsolute) {
+  const double d = GetParam();
+  NormalizedSquaredLoss sq;
+  NormalizedAbsoluteLoss abs;
+  const Value truth = Value::Continuous(0.0);
+  const double r_abs = abs.Loss(truth, Value::Continuous(2 * d), 1.0) /
+                       abs.Loss(truth, Value::Continuous(d), 1.0);
+  const double r_sq = sq.Loss(truth, Value::Continuous(2 * d), 1.0) /
+                      sq.Loss(truth, Value::Continuous(d), 1.0);
+  EXPECT_NEAR(r_abs, 2.0, 1e-9);
+  EXPECT_NEAR(r_sq, 4.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LossGrowthProperty, ::testing::Values(0.5, 1.0, 3.0, 50.0));
+
+}  // namespace
+}  // namespace crh

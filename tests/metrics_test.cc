@@ -1,0 +1,221 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crh {
+namespace {
+
+Dataset MakeLabeledDataset() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddContinuous("x").ok());
+  EXPECT_TRUE(schema.AddCategorical("y").ok());
+  Dataset data(schema, {"o1", "o2"}, {"s1", "s2"});
+  for (const char* label : {"a", "b"}) data.mutable_dict(1).GetOrAdd(label);
+  // Claims: entry (0,0) has spread {10, 14} -> std 2; entry (1,0) {7,7}.
+  data.SetObservation(0, 0, 0, Value::Continuous(10));
+  data.SetObservation(1, 0, 0, Value::Continuous(14));
+  data.SetObservation(0, 1, 0, Value::Continuous(7));
+  data.SetObservation(1, 1, 0, Value::Continuous(7));
+  data.SetObservation(0, 0, 1, Value::Categorical(0));
+  data.SetObservation(1, 0, 1, Value::Categorical(1));
+  data.SetObservation(0, 1, 1, Value::Categorical(1));
+  data.SetObservation(1, 1, 1, Value::Categorical(1));
+  ValueTable truth(2, 2);
+  truth.Set(0, 0, Value::Continuous(12));
+  truth.Set(1, 0, Value::Continuous(7));
+  truth.Set(0, 1, Value::Categorical(0));
+  truth.Set(1, 1, Value::Categorical(1));
+  data.set_ground_truth(std::move(truth));
+  return data;
+}
+
+TEST(EvaluateTest, RequiresGroundTruth) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  Dataset data(schema, {"o"}, {"s"});
+  EXPECT_EQ(Evaluate(data, ValueTable(1, 1)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EvaluateTest, RejectsShapeMismatch) {
+  Dataset data = MakeLabeledDataset();
+  EXPECT_EQ(Evaluate(data, ValueTable(1, 2)).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EvaluateTest, PerfectEstimateScoresZero) {
+  Dataset data = MakeLabeledDataset();
+  auto eval = Evaluate(data, data.ground_truth());
+  ASSERT_TRUE(eval.ok());
+  EXPECT_DOUBLE_EQ(eval->error_rate, 0.0);
+  EXPECT_DOUBLE_EQ(eval->mnad, 0.0);
+  EXPECT_EQ(eval->categorical_evaluated, 2u);
+  EXPECT_EQ(eval->continuous_evaluated, 2u);
+}
+
+TEST(EvaluateTest, ErrorRateCountsMismatches) {
+  Dataset data = MakeLabeledDataset();
+  ValueTable estimate = data.ground_truth();
+  estimate.Set(0, 1, Value::Categorical(1));  // wrong label
+  auto eval = Evaluate(data, estimate);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_DOUBLE_EQ(eval->error_rate, 0.5);
+  EXPECT_EQ(eval->categorical_errors, 1u);
+}
+
+TEST(EvaluateTest, MnadNormalizesByEntryDispersion) {
+  Dataset data = MakeLabeledDataset();
+  ValueTable estimate = data.ground_truth();
+  estimate.Set(0, 0, Value::Continuous(16));  // off by 4, entry std = 2
+  auto eval = Evaluate(data, estimate);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_NEAR(eval->mnad, (4.0 / 2.0 + 0.0) / 2.0, 1e-12);
+}
+
+TEST(EvaluateTest, MissingEstimateIsPenalized) {
+  Dataset data = MakeLabeledDataset();
+  ValueTable estimate(2, 2);  // abstains everywhere
+  auto eval = Evaluate(data, estimate);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_DOUBLE_EQ(eval->error_rate, 1.0);
+  EXPECT_DOUBLE_EQ(eval->mnad, 1.0);
+}
+
+TEST(EvaluateTest, UnlabeledEntriesAreSkipped) {
+  Dataset data = MakeLabeledDataset();
+  ValueTable truth = data.ground_truth();
+  truth.Clear(0, 1);
+  data.set_ground_truth(std::move(truth));
+  ValueTable estimate(2, 2);  // everything wrong...
+  auto eval = Evaluate(data, estimate);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->categorical_evaluated, 1u);  // ...but only labeled ones count
+}
+
+TEST(EvaluateTest, NoCategoricalEntriesGiveNaNErrorRate) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  Dataset data(schema, {"o"}, {"s"});
+  data.SetObservation(0, 0, 0, Value::Continuous(5));
+  ValueTable truth(1, 1);
+  truth.Set(0, 0, Value::Continuous(5));
+  data.set_ground_truth(std::move(truth));
+  auto eval = Evaluate(data, data.ground_truth());
+  ASSERT_TRUE(eval.ok());
+  EXPECT_TRUE(std::isnan(eval->error_rate));
+  EXPECT_DOUBLE_EQ(eval->mnad, 0.0);
+}
+
+TEST(EvaluateByPropertyTest, BreaksDownPerProperty) {
+  Dataset data = MakeLabeledDataset();
+  ValueTable estimate = data.ground_truth();
+  estimate.Set(0, 0, Value::Continuous(16));  // x off by 4 on entry 0 (std 2)
+  estimate.Set(0, 1, Value::Categorical(1));  // y wrong on entry 0
+  auto rows = EvaluateByProperty(data, estimate);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].property, "x");
+  EXPECT_EQ((*rows)[0].type, PropertyType::kContinuous);
+  EXPECT_EQ((*rows)[0].evaluated, 2u);
+  EXPECT_NEAR((*rows)[0].score, (2.0 + 0.0) / 2.0, 1e-12);
+  EXPECT_EQ((*rows)[1].property, "y");
+  EXPECT_DOUBLE_EQ((*rows)[1].score, 0.5);
+}
+
+TEST(EvaluateByPropertyTest, ConsistentWithAggregateEvaluate) {
+  Dataset data = MakeLabeledDataset();
+  ValueTable estimate = data.ground_truth();
+  estimate.Set(1, 1, Value::Categorical(0));
+  auto rows = EvaluateByProperty(data, estimate);
+  auto aggregate = Evaluate(data, estimate);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_TRUE(aggregate.ok());
+  // Weighted recombination of per-property scores equals the aggregate.
+  double cat_total = 0, cont_total = 0;
+  size_t cat_n = 0, cont_n = 0;
+  for (const PropertyEvaluation& row : *rows) {
+    if (row.type == PropertyType::kContinuous) {
+      cont_total += row.score * static_cast<double>(row.evaluated);
+      cont_n += row.evaluated;
+    } else {
+      cat_total += row.score * static_cast<double>(row.evaluated);
+      cat_n += row.evaluated;
+    }
+  }
+  EXPECT_NEAR(cat_total / static_cast<double>(cat_n), aggregate->error_rate, 1e-12);
+  EXPECT_NEAR(cont_total / static_cast<double>(cont_n), aggregate->mnad, 1e-12);
+}
+
+TEST(EvaluateByPropertyTest, RequiresGroundTruthAndShape) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  Dataset data(schema, {"o"}, {"s"});
+  EXPECT_FALSE(EvaluateByProperty(data, ValueTable(1, 1)).ok());
+  Dataset labeled = MakeLabeledDataset();
+  EXPECT_FALSE(EvaluateByProperty(labeled, ValueTable(1, 1)).ok());
+}
+
+TEST(TrueSourceReliabilityTest, PerfectSourceOutscoresNoisyOne) {
+  Dataset data = MakeLabeledDataset();
+  // Source 0: categorical accuracy 1.0; continuous NADs are {|10-12|/2, 0},
+  // so its combined score is (1 + exp(-0.5)) / 2. Source 1 errs more on
+  // both types.
+  const auto reliability = TrueSourceReliability(data);
+  ASSERT_EQ(reliability.size(), 2u);
+  EXPECT_GT(reliability[0], reliability[1]);
+  EXPECT_NEAR(reliability[0], (1.0 + std::exp(-0.5)) / 2.0, 1e-9);
+}
+
+TEST(TrueSourceReliabilityTest, NoGroundTruthGivesZeros) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  Dataset data(schema, {"o"}, {"s"});
+  EXPECT_EQ(TrueSourceReliability(data), std::vector<double>{0.0});
+}
+
+TEST(NormalizeScoresTest, MapsToUnitInterval) {
+  const auto out = NormalizeScores({2.0, 6.0, 4.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.5);
+}
+
+TEST(NormalizeScoresTest, ConstantVectorMapsToOnes) {
+  const auto out = NormalizeScores({3.0, 3.0});
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+}
+
+TEST(NormalizeScoresTest, EmptyIsFine) { EXPECT_TRUE(NormalizeScores({}).empty()); }
+
+TEST(CorrelationTest, PearsonPerfectPositive) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, PearsonPerfectNegative) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {3, 2, 1}), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, PearsonConstantIsNaN) {
+  EXPECT_TRUE(std::isnan(PearsonCorrelation({1, 1, 1}, {1, 2, 3})));
+}
+
+TEST(CorrelationTest, PearsonTooShortIsNaN) {
+  EXPECT_TRUE(std::isnan(PearsonCorrelation({1}, {1})));
+}
+
+TEST(CorrelationTest, SpearmanInvariantToMonotoneTransform) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {1, 8, 27, 1000};  // monotone in a
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, SpearmanHandlesTies) {
+  const std::vector<double> a = {1, 2, 2, 3};
+  const std::vector<double> b = {10, 20, 20, 30};
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace crh

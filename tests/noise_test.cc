@@ -1,0 +1,256 @@
+#include "datagen/noise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+
+namespace crh {
+namespace {
+
+Dataset MakeTruth(size_t n, uint64_t seed = 3) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddContinuous("x", /*rounding_unit=*/0.5).ok());
+  EXPECT_TRUE(schema.AddCategorical("y").ok());
+  std::vector<std::string> objects;
+  for (size_t i = 0; i < n; ++i) objects.push_back("o" + std::to_string(i));
+  Dataset data(std::move(schema), std::move(objects), {});
+  for (const char* l : {"a", "b", "c"}) data.mutable_dict(1).GetOrAdd(l);
+  Rng rng(seed);
+  ValueTable truth(n, 2);
+  for (size_t i = 0; i < n; ++i) {
+    truth.Set(i, 0, Value::Continuous(rng.Uniform(0, 50)));
+    truth.Set(i, 1, Value::Categorical(static_cast<CategoryId>(rng.UniformInt(0, 2))));
+  }
+  data.set_ground_truth(std::move(truth));
+  return data;
+}
+
+TEST(NoiseTest, PaperGammasMatchSection322) {
+  EXPECT_EQ(PaperSimulationGammas(),
+            (std::vector<double>{0.1, 0.4, 0.7, 1.0, 1.3, 1.6, 1.9, 2.0}));
+}
+
+TEST(NoiseTest, FlipProbabilityScalesWithGammaAndCaps) {
+  NoiseOptions options;
+  EXPECT_NEAR(CategoricalFlipProbability(0.0, options), 0.0, 1e-12);
+  EXPECT_LT(CategoricalFlipProbability(0.1, options),
+            CategoricalFlipProbability(2.0, options));
+  EXPECT_LE(CategoricalFlipProbability(100.0, options), options.categorical_flip_cap);
+}
+
+TEST(NoiseTest, RequiresGroundTruth) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  Dataset data(schema, {"o"}, {});
+  NoiseOptions options;
+  options.gammas = {1.0};
+  EXPECT_EQ(MakeNoisyDataset(data, options).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(NoiseTest, ValidatesOptions) {
+  Dataset truth = MakeTruth(5);
+  NoiseOptions options;  // no gammas
+  EXPECT_FALSE(MakeNoisyDataset(truth, options).ok());
+  options.gammas = {-1.0};
+  EXPECT_FALSE(MakeNoisyDataset(truth, options).ok());
+  options.gammas = {1.0};
+  options.missing_rate = 1.0;
+  EXPECT_FALSE(MakeNoisyDataset(truth, options).ok());
+}
+
+TEST(NoiseTest, ProducesRequestedShape) {
+  Dataset truth = MakeTruth(40);
+  NoiseOptions options;
+  options.gammas = {0.1, 1.0, 2.0};
+  auto noisy = MakeNoisyDataset(truth, options);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(noisy->num_sources(), 3u);
+  EXPECT_EQ(noisy->num_objects(), 40u);
+  EXPECT_EQ(noisy->source_id(0), "source_0");
+  EXPECT_TRUE(noisy->has_ground_truth());
+  EXPECT_TRUE(noisy->Validate().ok());
+  // No missing rate: every source observes every entry.
+  EXPECT_EQ(noisy->num_observations(), 3u * 40u * 2u);
+}
+
+TEST(NoiseTest, ZeroGammaCopiesTruthExactly) {
+  Dataset truth = MakeTruth(30);
+  NoiseOptions options;
+  options.gammas = {0.0};
+  options.outlier_rate = 0.0;  // isolate the gamma-driven noise
+  auto noisy = MakeNoisyDataset(truth, options);
+  ASSERT_TRUE(noisy.ok());
+  for (size_t i = 0; i < 30; ++i) {
+    for (size_t m = 0; m < 2; ++m) {
+      const Value expected =
+          m == 0 ? Value::Continuous(
+                       std::round(truth.ground_truth().Get(i, 0).continuous() / 0.5) * 0.5)
+                 : truth.ground_truth().Get(i, 1);
+      EXPECT_EQ(noisy->observations(0).Get(i, m), expected);
+    }
+  }
+}
+
+TEST(NoiseTest, ContinuousNoiseGrowsWithGamma) {
+  Dataset truth = MakeTruth(600);
+  NoiseOptions options;
+  options.gammas = {0.1, 2.0};
+  options.outlier_rate = 0.0;  // isolate the gamma-driven noise
+  auto noisy = MakeNoisyDataset(truth, options);
+  ASSERT_TRUE(noisy.ok());
+  double err_low = 0, err_high = 0;
+  for (size_t i = 0; i < 600; ++i) {
+    const double t = truth.ground_truth().Get(i, 0).continuous();
+    err_low += std::abs(noisy->observations(0).Get(i, 0).continuous() - t);
+    err_high += std::abs(noisy->observations(1).Get(i, 0).continuous() - t);
+  }
+  EXPECT_LT(err_low, err_high / 4);
+}
+
+TEST(NoiseTest, CategoricalFlipRateMatchesTheta) {
+  Dataset truth = MakeTruth(4000);
+  NoiseOptions options;
+  options.gammas = {1.1};
+  auto noisy = MakeNoisyDataset(truth, options);
+  ASSERT_TRUE(noisy.ok());
+  size_t flips = 0;
+  for (size_t i = 0; i < 4000; ++i) {
+    if (noisy->observations(0).Get(i, 1) != truth.ground_truth().Get(i, 1)) ++flips;
+  }
+  const double expected = CategoricalFlipProbability(1.1, options);
+  EXPECT_NEAR(static_cast<double>(flips) / 4000.0, expected, 0.03);
+}
+
+TEST(NoiseTest, OutlierRateProducesGrossGlitches) {
+  Dataset truth = MakeTruth(4000);
+  NoiseOptions options;
+  options.gammas = {0.0};  // no Gaussian noise: any deviation is a glitch
+  options.outlier_rate = 0.05;
+  auto noisy = MakeNoisyDataset(truth, options);
+  ASSERT_TRUE(noisy.ok());
+  size_t glitches = 0;
+  for (size_t i = 0; i < 4000; ++i) {
+    const double t = truth.ground_truth().Get(i, 0).continuous();
+    const double v = noisy->observations(0).Get(i, 0).continuous();
+    if (std::abs(v - t) > 1.0) {
+      ++glitches;
+      // Glitch magnitude is several truth dispersions.
+      EXPECT_GT(std::abs(v - t), 2.0 * options.outlier_magnitude / 8.0);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(glitches) / 4000.0, 0.05, 0.01);
+}
+
+TEST(NoiseTest, DecoyConcentratesWrongClaims) {
+  // With decoy_probability 1, every flipped claim lands on the same wrong
+  // label, so two unreliable sources agree on their wrong claims far more
+  // often than uniform flipping would allow.
+  Dataset truth = MakeTruth(3000);
+  NoiseOptions options;
+  options.gammas = {2.0, 2.0};
+  options.decoy_probability = 1.0;
+  auto noisy = MakeNoisyDataset(truth, options);
+  ASSERT_TRUE(noisy.ok());
+  size_t both_wrong = 0, both_wrong_same = 0;
+  for (size_t i = 0; i < 3000; ++i) {
+    const Value& t = truth.ground_truth().Get(i, 1);
+    const Value& a = noisy->observations(0).Get(i, 1);
+    const Value& b = noisy->observations(1).Get(i, 1);
+    if (a != t && b != t) {
+      ++both_wrong;
+      if (a == b) ++both_wrong_same;
+    }
+  }
+  ASSERT_GT(both_wrong, 100u);
+  EXPECT_DOUBLE_EQ(static_cast<double>(both_wrong_same) / both_wrong, 1.0);
+}
+
+TEST(NoiseTest, RoundingUnitRespected) {
+  Dataset truth = MakeTruth(100);
+  NoiseOptions options;
+  options.gammas = {1.5};
+  auto noisy = MakeNoisyDataset(truth, options);
+  ASSERT_TRUE(noisy.ok());
+  for (size_t i = 0; i < 100; ++i) {
+    const double v = noisy->observations(0).Get(i, 0).continuous();
+    EXPECT_NEAR(std::round(v / 0.5) * 0.5, v, 1e-9);
+  }
+}
+
+TEST(NoiseTest, MissingRateApproximatelyHonored) {
+  Dataset truth = MakeTruth(3000);
+  NoiseOptions options;
+  options.gammas = {1.0};
+  options.missing_rate = 0.25;
+  auto noisy = MakeNoisyDataset(truth, options);
+  ASSERT_TRUE(noisy.ok());
+  const double present =
+      static_cast<double>(noisy->num_observations()) / (3000.0 * 2.0);
+  EXPECT_NEAR(present, 0.75, 0.03);
+}
+
+TEST(NoiseTest, DeterministicGivenSeed) {
+  Dataset truth = MakeTruth(50);
+  NoiseOptions options;
+  options.gammas = {0.5, 1.5};
+  options.seed = 99;
+  auto a = MakeNoisyDataset(truth, options);
+  auto b = MakeNoisyDataset(truth, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t k = 0; k < 2; ++k) {
+    for (size_t i = 0; i < 50; ++i) {
+      for (size_t m = 0; m < 2; ++m) {
+        EXPECT_EQ(a->observations(k).Get(i, m), b->observations(k).Get(i, m));
+      }
+    }
+  }
+  options.seed = 100;
+  auto c = MakeNoisyDataset(truth, options);
+  ASSERT_TRUE(c.ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < 50 && !any_diff; ++i) {
+    any_diff = !(a->observations(1).Get(i, 0) == c->observations(1).Get(i, 0));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(NoiseTest, TimestampsPropagate) {
+  Dataset truth = MakeTruth(10);
+  std::vector<int64_t> ts;
+  for (int64_t i = 0; i < 10; ++i) ts.push_back(i / 5);
+  ASSERT_TRUE(truth.set_timestamps(ts).ok());
+  NoiseOptions options;
+  options.gammas = {1.0};
+  auto noisy = MakeNoisyDataset(truth, options);
+  ASSERT_TRUE(noisy.ok());
+  ASSERT_TRUE(noisy->has_timestamps());
+  EXPECT_EQ(noisy->timestamp(7), 1);
+}
+
+/// Property sweep over gamma: the true reliability computed from ground
+/// truth must decrease as gamma increases.
+class NoiseReliabilityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NoiseReliabilityProperty, ReliabilityMonotoneInGamma) {
+  Dataset truth = MakeTruth(800, GetParam());
+  NoiseOptions options;
+  options.gammas = PaperSimulationGammas();
+  options.seed = GetParam() * 31 + 7;
+  auto noisy = MakeNoisyDataset(truth, options);
+  ASSERT_TRUE(noisy.ok());
+  const std::vector<double> reliability = TrueSourceReliability(*noisy);
+  // Compare first vs last and require an overall decreasing trend (adjacent
+  // pairs may swap due to sampling noise).
+  EXPECT_GT(reliability.front(), reliability.back());
+  EXPECT_LT(SpearmanCorrelation(PaperSimulationGammas(), reliability), -0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NoiseReliabilityProperty, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace crh

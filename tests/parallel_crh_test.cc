@@ -1,0 +1,173 @@
+#include "mapreduce/parallel_crh.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/noise.h"
+#include "eval/metrics.h"
+
+namespace crh {
+namespace {
+
+Dataset MakeMixedDataset(size_t n = 150, uint64_t seed = 61, double missing = 0.0) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddContinuous("x", 0.0).ok());
+  EXPECT_TRUE(schema.AddCategorical("y").ok());
+  std::vector<std::string> objects;
+  for (size_t i = 0; i < n; ++i) objects.push_back("o" + std::to_string(i));
+  Dataset truth_data(std::move(schema), std::move(objects), {});
+  for (const char* l : {"a", "b", "c", "d"}) truth_data.mutable_dict(1).GetOrAdd(l);
+  Rng rng(seed);
+  ValueTable truth(n, 2);
+  for (size_t i = 0; i < n; ++i) {
+    truth.Set(i, 0, Value::Continuous(std::round(rng.Uniform(0, 100))));
+    truth.Set(i, 1, Value::Categorical(static_cast<CategoryId>(rng.UniformInt(0, 3))));
+  }
+  truth_data.set_ground_truth(std::move(truth));
+  NoiseOptions noise;
+  noise.gammas = {0.1, 0.6, 1.2, 1.8};
+  noise.missing_rate = missing;
+  noise.seed = seed;
+  auto noisy = MakeNoisyDataset(truth_data, noise);
+  EXPECT_TRUE(noisy.ok());
+  return std::move(noisy).ValueOrDie();
+}
+
+TEST(TuplesTest, FlattensNonMissingObservations) {
+  Dataset data = MakeMixedDataset(20, 5, 0.3);
+  const auto tuples = DatasetToTuples(data);
+  EXPECT_EQ(tuples.size(), data.num_observations());
+  for (const ObservationTuple& t : tuples) {
+    EXPECT_LT(t.entry_id, data.num_entries());
+    EXPECT_LT(t.source_id, data.num_sources());
+    EXPECT_FALSE(t.value.is_missing());
+    // The tuple must reproduce the table cell.
+    const size_t i = t.entry_id / data.num_properties();
+    const size_t m = t.entry_id % data.num_properties();
+    EXPECT_EQ(data.observations(t.source_id).Get(i, m), t.value);
+  }
+}
+
+TEST(ParallelCrhTest, RejectsSoftModel) {
+  Dataset data = MakeMixedDataset(10);
+  ParallelCrhOptions options;
+  options.base.categorical_model = CategoricalModel::kSoftProbability;
+  EXPECT_EQ(RunParallelCrh(data, options).status().code(), StatusCode::kNotImplemented);
+}
+
+TEST(ParallelCrhTest, RejectsNoSources) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  Dataset data(schema, {"o"}, {});
+  EXPECT_FALSE(RunParallelCrh(data, {}).ok());
+}
+
+/// The central property: parallel CRH is an execution strategy, not a
+/// different algorithm. With the same options and iteration budget it must
+/// produce exactly the serial solver's truths and weights.
+class ParallelEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelEquivalence, MatchesSerialCrhExactly) {
+  Dataset data = MakeMixedDataset(200, 17, 0.2);
+  const int iterations = GetParam();
+
+  CrhOptions serial_options;
+  serial_options.max_iterations = iterations;
+  serial_options.convergence_tolerance = 0.0;
+  auto serial = RunCrh(data, serial_options);
+  ASSERT_TRUE(serial.ok());
+
+  ParallelCrhOptions parallel_options;
+  parallel_options.base = serial_options;
+  parallel_options.max_iterations = iterations;
+  parallel_options.convergence_tolerance = 0.0;
+  parallel_options.mr.num_mappers = 3;
+  parallel_options.mr.num_reducers = 4;
+  auto parallel = RunParallelCrh(data, parallel_options);
+  ASSERT_TRUE(parallel.ok());
+
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    EXPECT_NEAR(serial->source_weights[k], parallel->source_weights[k], 1e-12) << "k=" << k;
+  }
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    for (size_t m = 0; m < data.num_properties(); ++m) {
+      EXPECT_EQ(serial->truths.Get(i, m), parallel->truths.Get(i, m))
+          << "entry (" << i << "," << m << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(IterationBudgets, ParallelEquivalence, ::testing::Values(1, 3, 8));
+
+TEST(ParallelCrhTest, ResultIndependentOfClusterGeometry) {
+  Dataset data = MakeMixedDataset(120, 23, 0.1);
+  ParallelCrhOptions reference;
+  reference.max_iterations = 5;
+  auto ref = RunParallelCrh(data, reference);
+  ASSERT_TRUE(ref.ok());
+  for (int mappers : {1, 7}) {
+    for (int reducers : {1, 2, 13}) {
+      ParallelCrhOptions options;
+      options.max_iterations = 5;
+      options.mr.num_mappers = mappers;
+      options.mr.num_reducers = reducers;
+      auto out = RunParallelCrh(data, options);
+      ASSERT_TRUE(out.ok());
+      for (size_t k = 0; k < data.num_sources(); ++k) {
+        EXPECT_NEAR(out->source_weights[k], ref->source_weights[k], 1e-12);
+      }
+      for (size_t i = 0; i < data.num_objects(); ++i) {
+        for (size_t m = 0; m < data.num_properties(); ++m) {
+          EXPECT_EQ(out->truths.Get(i, m), ref->truths.Get(i, m));
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelCrhTest, ConvergesAndReportsStats) {
+  Dataset data = MakeMixedDataset(150, 29);
+  ParallelCrhOptions options;
+  options.convergence_tolerance = 1e-9;
+  auto result = RunParallelCrh(data, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  // Jobs: 1 stats + iterations x 2 + final truth job.
+  EXPECT_EQ(result->job_stats.size(),
+            1u + 2u * static_cast<size_t>(result->iterations) + 1u);
+  EXPECT_GT(result->wall_seconds, 0.0);
+  EXPECT_GT(result->simulated_cluster_seconds, options.cost_model.job_setup_seconds);
+  // Every job consumed the full tuple stream.
+  for (const JobStats& stats : result->job_stats) {
+    EXPECT_EQ(stats.input_records, data.num_observations());
+  }
+}
+
+TEST(ParallelCrhTest, RecoversTruthsOnSkewedSources) {
+  Dataset data = MakeMixedDataset(400, 41);
+  auto result = RunParallelCrh(data, {});
+  ASSERT_TRUE(result.ok());
+  auto eval = Evaluate(data, result->truths);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_LT(eval->error_rate, 0.1);
+  EXPECT_LT(eval->mnad, 0.5);
+}
+
+TEST(ParallelCrhTest, WeightJobUsesCombinerEffectively) {
+  Dataset data = MakeMixedDataset(300, 43);
+  ParallelCrhOptions options;
+  options.max_iterations = 1;
+  options.mr.num_mappers = 4;
+  auto result = RunParallelCrh(data, options);
+  ASSERT_TRUE(result.ok());
+  // Weight job is job index 2 (stats, truth, weight, final truth). Its
+  // combiner folds each mapper's claims to at most K * M records.
+  const JobStats& weight_job = result->job_stats[2];
+  EXPECT_EQ(weight_job.map_output_records, data.num_observations());
+  EXPECT_LE(weight_job.shuffle_records,
+            4u * data.num_sources() * data.num_properties());
+  EXPECT_LT(weight_job.shuffle_records, weight_job.map_output_records);
+}
+
+}  // namespace
+}  // namespace crh

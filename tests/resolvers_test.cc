@@ -1,0 +1,263 @@
+#include "core/resolvers.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace crh {
+namespace {
+
+// ---------------------------------------------------------------------------
+// WeightedVote
+// ---------------------------------------------------------------------------
+
+TEST(WeightedVoteTest, EmptyClaimsGiveMissing) {
+  EXPECT_TRUE(WeightedVote({}, {}).is_missing());
+}
+
+TEST(WeightedVoteTest, MajorityWinsWithUniformWeights) {
+  const std::vector<Value> values = {Value::Categorical(1), Value::Categorical(2),
+                                     Value::Categorical(1)};
+  EXPECT_EQ(WeightedVote(values, {1, 1, 1}), Value::Categorical(1));
+}
+
+TEST(WeightedVoteTest, HighWeightMinorityWins) {
+  const std::vector<Value> values = {Value::Categorical(1), Value::Categorical(1),
+                                     Value::Categorical(2)};
+  EXPECT_EQ(WeightedVote(values, {0.4, 0.4, 1.0}), Value::Categorical(2));
+}
+
+TEST(WeightedVoteTest, TieBreaksTowardSmallestCategory) {
+  const std::vector<Value> values = {Value::Categorical(5), Value::Categorical(2)};
+  EXPECT_EQ(WeightedVote(values, {1.0, 1.0}), Value::Categorical(2));
+}
+
+TEST(WeightedVoteTest, WorksOnContinuousFacts) {
+  const std::vector<Value> values = {Value::Continuous(3.5), Value::Continuous(3.5),
+                                     Value::Continuous(4.0)};
+  EXPECT_EQ(WeightedVote(values, {1, 1, 1}), Value::Continuous(3.5));
+}
+
+TEST(WeightedVoteTest, SkipsMissingClaims) {
+  const std::vector<Value> values = {Value::Missing(), Value::Categorical(3)};
+  EXPECT_EQ(WeightedVote(values, {100.0, 0.1}), Value::Categorical(3));
+}
+
+TEST(WeightedVoteTest, AllZeroWeightsStillDeterministic) {
+  const std::vector<Value> values = {Value::Categorical(4), Value::Categorical(1)};
+  EXPECT_EQ(WeightedVote(values, {0.0, 0.0}), Value::Categorical(1));
+}
+
+// ---------------------------------------------------------------------------
+// WeightedMean
+// ---------------------------------------------------------------------------
+
+TEST(WeightedMeanTest, UniformWeightsGiveArithmeticMean) {
+  EXPECT_DOUBLE_EQ(WeightedMean({1, 2, 3}, {1, 1, 1}), 2.0);
+}
+
+TEST(WeightedMeanTest, WeightsShiftTheMean) {
+  EXPECT_DOUBLE_EQ(WeightedMean({0, 10}, {3, 1}), 2.5);
+}
+
+TEST(WeightedMeanTest, ZeroTotalWeightGivesNaN) {
+  EXPECT_TRUE(std::isnan(WeightedMean({1, 2}, {0, 0})));
+}
+
+TEST(WeightedMeanTest, SingleClaim) { EXPECT_DOUBLE_EQ(WeightedMean({7}, {0.3}), 7.0); }
+
+// ---------------------------------------------------------------------------
+// WeightedMedian (Eq 16)
+// ---------------------------------------------------------------------------
+
+TEST(WeightedMedianTest, EmptyGivesNaN) { EXPECT_TRUE(std::isnan(WeightedMedian({}, {}))); }
+
+TEST(WeightedMedianTest, UniformWeightsGiveLowerMedian) {
+  EXPECT_DOUBLE_EQ(WeightedMedian({3, 1, 2}, {1, 1, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(WeightedMedian({4, 1, 3, 2}, {1, 1, 1, 1}), 2.0);
+}
+
+TEST(WeightedMedianTest, HeavyWeightDominates) {
+  EXPECT_DOUBLE_EQ(WeightedMedian({1, 2, 100}, {0.1, 0.1, 10.0}), 100.0);
+}
+
+TEST(WeightedMedianTest, SatisfiesEq16Definition) {
+  const std::vector<double> values = {5, 1, 3, 9, 7};
+  const std::vector<double> weights = {0.2, 0.5, 1.0, 0.4, 0.3};
+  const double median = WeightedMedian(values, weights);
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  double below = 0, above = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] < median) below += weights[i];
+    if (values[i] > median) above += weights[i];
+  }
+  EXPECT_LT(below, total / 2);
+  EXPECT_LE(above, total / 2);
+}
+
+TEST(WeightedMedianTest, RobustToOneHugeOutlier) {
+  // The paper motivates the weighted median as outlier-robust (Eq 15/16).
+  const std::vector<double> values = {10, 11, 12, 1e9};
+  const double median = WeightedMedian(values, {1, 1, 1, 1});
+  EXPECT_LE(median, 12.0);
+  EXPECT_GE(median, 10.0);
+}
+
+TEST(WeightedMedianTest, NonPositiveWeightsFallBackToUniform) {
+  EXPECT_DOUBLE_EQ(WeightedMedian({5, 1, 3}, {0, 0, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(WeightedMedian({5, 1, 3}, {-1, -1, -1}), 3.0);
+}
+
+TEST(WeightedMedianTest, DuplicateValuesAggregateWeight) {
+  // 2 appears twice with total weight 2.0 vs 9 with 1.5.
+  EXPECT_DOUBLE_EQ(WeightedMedian({2, 9, 2}, {1.0, 1.5, 1.0}), 2.0);
+}
+
+TEST(WeightedMedianTest, ReturnsOneOfTheClaims) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> values, weights;
+    const int n = static_cast<int>(rng.UniformInt(1, 12));
+    for (int i = 0; i < n; ++i) {
+      values.push_back(std::round(rng.Uniform(-50, 50)));
+      weights.push_back(rng.Uniform(0.01, 2.0));
+    }
+    const double median = WeightedMedian(values, weights);
+    EXPECT_NE(std::find(values.begin(), values.end(), median), values.end());
+  }
+}
+
+/// Property sweep over random claim sets: the weighted median minimizes the
+/// weighted absolute deviation (it solves Eq 3 under the absolute loss),
+/// checked against every claimed value as candidate.
+class WeightedMedianOptimalityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WeightedMedianOptimalityProperty, MinimizesWeightedAbsoluteDeviation) {
+  Rng rng(GetParam());
+  const int n = static_cast<int>(rng.UniformInt(1, 15));
+  std::vector<double> values, weights;
+  for (int i = 0; i < n; ++i) {
+    values.push_back(rng.Uniform(-100, 100));
+    weights.push_back(rng.Uniform(0.01, 3.0));
+  }
+  const double median = WeightedMedian(values, weights);
+  const auto objective = [&](double v) {
+    double total = 0;
+    for (int i = 0; i < n; ++i) total += weights[static_cast<size_t>(i)] *
+                                          std::abs(v - values[static_cast<size_t>(i)]);
+    return total;
+  };
+  const double best = objective(median);
+  for (double candidate : values) {
+    EXPECT_LE(best, objective(candidate) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomClaims, WeightedMedianOptimalityProperty,
+                         ::testing::Range<uint64_t>(0, 25));
+
+/// Property: the weighted mean minimizes the weighted squared deviation.
+class WeightedMeanOptimalityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WeightedMeanOptimalityProperty, MinimizesWeightedSquaredDeviation) {
+  Rng rng(GetParam() + 1000);
+  const int n = static_cast<int>(rng.UniformInt(1, 15));
+  std::vector<double> values, weights;
+  for (int i = 0; i < n; ++i) {
+    values.push_back(rng.Uniform(-100, 100));
+    weights.push_back(rng.Uniform(0.01, 3.0));
+  }
+  const double mean = WeightedMean(values, weights);
+  const auto objective = [&](double v) {
+    double total = 0;
+    for (int i = 0; i < n; ++i) {
+      const double d = v - values[static_cast<size_t>(i)];
+      total += weights[static_cast<size_t>(i)] * d * d;
+    }
+    return total;
+  };
+  const double best = objective(mean);
+  EXPECT_LE(best, objective(mean + 0.01) + 1e-12);
+  EXPECT_LE(best, objective(mean - 0.01) + 1e-12);
+  for (double candidate : values) EXPECT_LE(best, objective(candidate) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomClaims, WeightedMeanOptimalityProperty,
+                         ::testing::Range<uint64_t>(0, 25));
+
+// ---------------------------------------------------------------------------
+// WeightedMedianLinear (CLRS quickselect variant)
+// ---------------------------------------------------------------------------
+
+TEST(WeightedMedianLinearTest, EmptyGivesNaN) {
+  EXPECT_TRUE(std::isnan(WeightedMedianLinear({}, {})));
+}
+
+TEST(WeightedMedianLinearTest, SingleValue) {
+  EXPECT_DOUBLE_EQ(WeightedMedianLinear({42}, {0.5}), 42.0);
+}
+
+TEST(WeightedMedianLinearTest, MatchesSortBasedOnKnownCases) {
+  EXPECT_DOUBLE_EQ(WeightedMedianLinear({3, 1, 2}, {1, 1, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(WeightedMedianLinear({1, 2, 100}, {0.1, 0.1, 10.0}), 100.0);
+  EXPECT_DOUBLE_EQ(WeightedMedianLinear({2, 9, 2}, {1.0, 1.5, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(WeightedMedianLinear({5, 1, 3}, {0, 0, 0}), 3.0);
+}
+
+/// Property: the quickselect implementation agrees with the sort-based one
+/// on random claim sets with duplicates, ties and zero weights.
+class WeightedMedianEquivalenceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WeightedMedianEquivalenceProperty, AgreesWithSortBased) {
+  Rng rng(GetParam() + 5000);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(1, 40));
+    std::vector<double> values, weights;
+    for (int i = 0; i < n; ++i) {
+      // Coarse values force duplicates.
+      values.push_back(std::round(rng.Uniform(-5, 5)));
+      weights.push_back(rng.Bernoulli(0.1) ? 0.0 : rng.Uniform(0.01, 2.0));
+    }
+    EXPECT_DOUBLE_EQ(WeightedMedianLinear(values, weights),
+                     WeightedMedian(values, weights))
+        << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomClaims, WeightedMedianEquivalenceProperty,
+                         ::testing::Range<uint64_t>(0, 10));
+
+// ---------------------------------------------------------------------------
+// WeightedLabelDistribution (Eq 12)
+// ---------------------------------------------------------------------------
+
+TEST(WeightedLabelDistributionTest, NormalizedWeightedMeanOfOneHots) {
+  const std::vector<CategoryId> labels = {0, 1, 0};
+  const auto dist = WeightedLabelDistribution(labels, {1, 2, 1}, 3);
+  ASSERT_EQ(dist.size(), 3u);
+  EXPECT_DOUBLE_EQ(dist[0], 0.5);
+  EXPECT_DOUBLE_EQ(dist[1], 0.5);
+  EXPECT_DOUBLE_EQ(dist[2], 0.0);
+}
+
+TEST(WeightedLabelDistributionTest, SumsToOne) {
+  const auto dist = WeightedLabelDistribution({2, 2, 1}, {0.3, 0.5, 0.9}, 4);
+  EXPECT_NEAR(std::accumulate(dist.begin(), dist.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(WeightedLabelDistributionTest, ZeroWeightsGiveUniform) {
+  const auto dist = WeightedLabelDistribution({0, 1}, {0, 0}, 4);
+  for (double p : dist) EXPECT_DOUBLE_EQ(p, 0.25);
+}
+
+TEST(ArgMaxTest, FirstLargest) {
+  EXPECT_EQ(ArgMax({1.0, 3.0, 3.0, 2.0}), 1u);
+  EXPECT_EQ(ArgMax({5.0}), 0u);
+}
+
+}  // namespace
+}  // namespace crh

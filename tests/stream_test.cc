@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "datagen/noise.h"
+#include "eval/metrics.h"
+#include "stream/incremental_crh.h"
+
+namespace crh {
+namespace {
+
+/// Mixed-type timestamped ground truth: `days` days of `per_day` objects.
+Dataset MakeStreamTruth(int days, int per_day, uint64_t seed) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddContinuous("x", 0.0).ok());
+  EXPECT_TRUE(schema.AddCategorical("y").ok());
+  std::vector<std::string> objects;
+  std::vector<int64_t> timestamps;
+  for (int d = 0; d < days; ++d) {
+    for (int j = 0; j < per_day; ++j) {
+      objects.push_back("d" + std::to_string(d) + "_o" + std::to_string(j));
+      timestamps.push_back(d);
+    }
+  }
+  Dataset data(std::move(schema), std::move(objects), {});
+  for (const char* l : {"a", "b", "c", "d"}) data.mutable_dict(1).GetOrAdd(l);
+  Rng rng(seed);
+  ValueTable truth(data.num_objects(), 2);
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    truth.Set(i, 0, Value::Continuous(std::round(rng.Uniform(0, 100))));
+    truth.Set(i, 1, Value::Categorical(static_cast<CategoryId>(rng.UniformInt(0, 3))));
+  }
+  data.set_ground_truth(std::move(truth));
+  EXPECT_TRUE(data.set_timestamps(timestamps).ok());
+  return data;
+}
+
+Dataset MakeStreamDataset(int days = 10, int per_day = 60, uint64_t seed = 55) {
+  NoiseOptions noise;
+  noise.gammas = {0.4, 0.8, 1.3, 1.8, 1.8};
+  noise.seed = seed;
+  auto noisy = MakeNoisyDataset(MakeStreamTruth(days, per_day, seed), noise);
+  EXPECT_TRUE(noisy.ok());
+  return std::move(noisy).ValueOrDie();
+}
+
+// ---------------------------------------------------------------------------
+// SplitByWindow
+// ---------------------------------------------------------------------------
+
+TEST(SplitByWindowTest, RequiresTimestamps) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  Dataset data(schema, {"o"}, {"s"});
+  EXPECT_EQ(SplitByWindow(data, 1).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SplitByWindowTest, RejectsBadWindow) {
+  Dataset data = MakeStreamDataset(3, 5);
+  EXPECT_FALSE(SplitByWindow(data, 0).ok());
+}
+
+TEST(SplitByWindowTest, UnitWindowSplitsPerDay) {
+  Dataset data = MakeStreamDataset(5, 7);
+  auto chunks = SplitByWindow(data, 1);
+  ASSERT_TRUE(chunks.ok());
+  ASSERT_EQ(chunks->size(), 5u);
+  for (size_t c = 0; c < 5; ++c) {
+    EXPECT_EQ((*chunks)[c].data.num_objects(), 7u);
+    EXPECT_EQ((*chunks)[c].window_start, static_cast<int64_t>(c));
+    EXPECT_EQ((*chunks)[c].data.num_sources(), data.num_sources());
+  }
+}
+
+TEST(SplitByWindowTest, WiderWindowMergesDays) {
+  Dataset data = MakeStreamDataset(5, 7);
+  auto chunks = SplitByWindow(data, 2);
+  ASSERT_TRUE(chunks.ok());
+  ASSERT_EQ(chunks->size(), 3u);  // {0,1}, {2,3}, {4}
+  EXPECT_EQ((*chunks)[0].data.num_objects(), 14u);
+  EXPECT_EQ((*chunks)[2].data.num_objects(), 7u);
+}
+
+TEST(SplitByWindowTest, PreservesObservationsAndTruths) {
+  Dataset data = MakeStreamDataset(4, 6);
+  auto chunks = SplitByWindow(data, 1);
+  ASSERT_TRUE(chunks.ok());
+  size_t total_obs = 0, total_truths = 0;
+  for (const DataChunk& chunk : *chunks) {
+    total_obs += chunk.data.num_observations();
+    total_truths += chunk.data.num_ground_truths();
+    // Parent mapping points back at identical cells.
+    for (size_t local = 0; local < chunk.data.num_objects(); ++local) {
+      const size_t parent = chunk.parent_object[local];
+      EXPECT_EQ(chunk.data.object_id(local), data.object_id(parent));
+      for (size_t k = 0; k < data.num_sources(); ++k) {
+        EXPECT_EQ(chunk.data.observations(k).Get(local, 0),
+                  data.observations(k).Get(parent, 0));
+      }
+    }
+  }
+  EXPECT_EQ(total_obs, data.num_observations());
+  EXPECT_EQ(total_truths, data.num_ground_truths());
+}
+
+TEST(SplitByWindowTest, HandlesGapsInTimestamps) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  Dataset data(schema, {"o1", "o2"}, {"s"});
+  ASSERT_TRUE(data.set_timestamps({0, 10}).ok());
+  data.SetObservation(0, 0, 0, Value::Continuous(1));
+  data.SetObservation(0, 1, 0, Value::Continuous(2));
+  auto chunks = SplitByWindow(data, 1);
+  ASSERT_TRUE(chunks.ok());
+  EXPECT_EQ(chunks->size(), 2u);  // empty windows skipped
+}
+
+// ---------------------------------------------------------------------------
+// Incremental CRH
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalCrhTest, ValidatesOptions) {
+  Dataset data = MakeStreamDataset(3, 5);
+  IncrementalCrhOptions options;
+  options.decay = 1.5;
+  EXPECT_FALSE(RunIncrementalCrh(data, options).ok());
+}
+
+TEST(IncrementalCrhTest, ProcessorRejectsSourceMismatch) {
+  Dataset data = MakeStreamDataset(2, 5);
+  IncrementalCrhProcessor processor(3, {});  // dataset has 5 sources
+  EXPECT_FALSE(processor.ProcessChunk(data).ok());
+}
+
+TEST(IncrementalCrhTest, InitialWeightsAreUniform) {
+  IncrementalCrhProcessor processor(4, {});
+  EXPECT_EQ(processor.source_weights(), std::vector<double>(4, 1.0));
+  EXPECT_EQ(processor.chunks_processed(), 0u);
+}
+
+TEST(IncrementalCrhTest, ProducesTruthsForAllChunks) {
+  Dataset data = MakeStreamDataset(8, 40);
+  auto result = RunIncrementalCrh(data, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->weight_history.size(), 8u);
+  EXPECT_EQ(result->chunk_starts.size(), 8u);
+  // Every claimed entry has a truth.
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    EXPECT_FALSE(result->truths.Get(i, 0).is_missing());
+    EXPECT_FALSE(result->truths.Get(i, 1).is_missing());
+  }
+}
+
+TEST(IncrementalCrhTest, AccuracyCloseToBatchCrh) {
+  // Table 5: I-CRH trades a little accuracy for speed.
+  Dataset data = MakeStreamDataset(12, 60);
+  auto icrh = RunIncrementalCrh(data, {});
+  ASSERT_TRUE(icrh.ok());
+  auto crh = RunCrh(data);
+  ASSERT_TRUE(crh.ok());
+  auto icrh_eval = Evaluate(data, icrh->truths);
+  auto crh_eval = Evaluate(data, crh->truths);
+  ASSERT_TRUE(icrh_eval.ok());
+  ASSERT_TRUE(crh_eval.ok());
+  // On small data either direction can win by sampling luck; assert they
+  // stay close (the paper's Table 5 gap is a few percent).
+  EXPECT_NEAR(icrh_eval->error_rate, crh_eval->error_rate, 0.08);
+  EXPECT_LT(icrh_eval->mnad, crh_eval->mnad + 0.3);
+}
+
+TEST(IncrementalCrhTest, WeightsStabilizeOverChunks) {
+  // Fig 4a: source weights reach a stable stage after a few timestamps.
+  Dataset data = MakeStreamDataset(12, 60);
+  auto result = RunIncrementalCrh(data, {});
+  ASSERT_TRUE(result.ok());
+  const auto& history = result->weight_history;
+  double early_change = 0, late_change = 0;
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    early_change += std::abs(history[1][k] - history[0][k]);
+    late_change += std::abs(history[11][k] - history[10][k]);
+  }
+  EXPECT_LT(late_change, early_change);
+}
+
+TEST(IncrementalCrhTest, ConvergedWeightsMatchBatchCrhRanking) {
+  // Fig 4b: after several timestamps I-CRH's weights agree with CRH's.
+  Dataset data = MakeStreamDataset(12, 80);
+  auto icrh = RunIncrementalCrh(data, {});
+  ASSERT_TRUE(icrh.ok());
+  auto crh = RunCrh(data);
+  ASSERT_TRUE(crh.ok());
+  EXPECT_GT(SpearmanCorrelation(icrh->source_weights, crh->source_weights), 0.89);
+}
+
+TEST(IncrementalCrhTest, DecayZeroUsesOnlyCurrentChunk) {
+  Dataset data = MakeStreamDataset(6, 50);
+  IncrementalCrhOptions options;
+  options.decay = 0.0;
+  auto result = RunIncrementalCrh(data, options);
+  ASSERT_TRUE(result.ok());
+  // With decay 0 the accumulated deviation equals the last chunk's only;
+  // weights still identify the reliable source.
+  const auto& w = result->source_weights;
+  for (size_t k = 1; k < w.size(); ++k) EXPECT_GE(w[0], w[k]);
+}
+
+TEST(IncrementalCrhTest, InsensitiveToDecayOnConsistentStreams) {
+  // Fig 6: performance is flat in alpha when source reliability is stable.
+  Dataset data = MakeStreamDataset(10, 60);
+  double min_err = 1e9, max_err = -1e9;
+  for (double alpha : {0.0, 0.3, 0.6, 1.0}) {
+    IncrementalCrhOptions options;
+    options.decay = alpha;
+    auto result = RunIncrementalCrh(data, options);
+    ASSERT_TRUE(result.ok());
+    auto eval = Evaluate(data, result->truths);
+    ASSERT_TRUE(eval.ok());
+    min_err = std::min(min_err, eval->error_rate);
+    max_err = std::max(max_err, eval->error_rate);
+  }
+  EXPECT_LT(max_err - min_err, 0.08);
+}
+
+TEST(IncrementalCrhTest, WindowSizeTwoProcessesHalfTheChunks) {
+  Dataset data = MakeStreamDataset(10, 30);
+  IncrementalCrhOptions options;
+  options.window_size = 2;
+  auto result = RunIncrementalCrh(data, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->weight_history.size(), 5u);
+}
+
+TEST(IncrementalCrhTest, AdaptsWhenSourceQualityDrifts) {
+  // A source that is good early and bad late: with a small decay the final
+  // weights should reflect the late (bad) behavior.
+  Schema schema;
+  ASSERT_TRUE(schema.AddCategorical("y").ok());
+  const int days = 10, per_day = 80;
+  std::vector<std::string> objects;
+  std::vector<int64_t> ts;
+  for (int d = 0; d < days; ++d) {
+    for (int j = 0; j < per_day; ++j) {
+      objects.push_back("d" + std::to_string(d) + "_" + std::to_string(j));
+      ts.push_back(d);
+    }
+  }
+  Dataset data(schema, objects, {"drifter", "steady1", "steady2", "steady3", "steady4"});
+  for (const char* l : {"a", "b", "c", "d"}) data.mutable_dict(0).GetOrAdd(l);
+  Rng rng(71);
+  ValueTable truth(data.num_objects(), 1);
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    const int day = static_cast<int>(i) / per_day;
+    const CategoryId t = static_cast<CategoryId>(rng.UniformInt(0, 3));
+    truth.Set(i, 0, Value::Categorical(t));
+    const auto claim = [&](double acc) {
+      if (rng.Bernoulli(acc)) return t;
+      CategoryId alt = static_cast<CategoryId>(rng.UniformInt(0, 2));
+      if (alt >= t) ++alt;
+      return alt;
+    };
+    // The drifter is moderately better early so it earns the top rank
+    // without fully dominating the vote (full dominance would make its
+    // claims the truths and lock its deviation at zero).
+    data.SetObservation(0, i, 0, Value::Categorical(claim(day < 5 ? 0.85 : 0.10)));
+    data.SetObservation(1, i, 0, Value::Categorical(claim(0.7)));
+    data.SetObservation(2, i, 0, Value::Categorical(claim(0.7)));
+    data.SetObservation(3, i, 0, Value::Categorical(claim(0.7)));
+    data.SetObservation(4, i, 0, Value::Categorical(claim(0.7)));
+  }
+  data.set_ground_truth(std::move(truth));
+  ASSERT_TRUE(data.set_timestamps(ts).ok());
+
+  IncrementalCrhOptions fast_forget;
+  fast_forget.decay = 0.1;
+  // Sum normalization keeps every source's weight bounded so the ranking
+  // can actually flip after the drift (the max variant can lock in).
+  fast_forget.base.weight_scheme.kind = WeightSchemeKind::kLogSum;
+  auto result = RunIncrementalCrh(data, fast_forget);
+  ASSERT_TRUE(result.ok());
+  // After the drift, the drifting source must rank below the steady ones.
+  for (size_t k = 1; k < 5; ++k) {
+    EXPECT_LT(result->source_weights[0], result->source_weights[k]) << "steady " << k;
+  }
+  // Early in the stream it ranked first.
+  EXPECT_GT(result->weight_history[3][0], result->weight_history[3][1]);
+}
+
+TEST(IncrementalCrhTest, DeterministicAcrossRuns) {
+  Dataset data = MakeStreamDataset(6, 30);
+  auto a = RunIncrementalCrh(data, {});
+  auto b = RunIncrementalCrh(data, {});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    EXPECT_DOUBLE_EQ(a->source_weights[k], b->source_weights[k]);
+  }
+}
+
+/// Property sweep over window sizes: every claimed entry receives a truth
+/// regardless of chunking, and chunk truths cover the parent dataset.
+class WindowSizeProperty : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(WindowSizeProperty, CompleteCoverage) {
+  Dataset data = MakeStreamDataset(9, 25);
+  IncrementalCrhOptions options;
+  options.window_size = GetParam();
+  auto result = RunIncrementalCrh(data, options);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    for (size_t m = 0; m < data.num_properties(); ++m) {
+      EXPECT_FALSE(result->truths.Get(i, m).is_missing());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSizeProperty, ::testing::Values(1, 2, 3, 5, 9, 20));
+
+}  // namespace
+}  // namespace crh

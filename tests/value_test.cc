@@ -1,0 +1,173 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace crh {
+namespace {
+
+TEST(ValueTest, DefaultIsMissing) {
+  Value v;
+  EXPECT_TRUE(v.is_missing());
+  EXPECT_FALSE(v.is_continuous());
+  EXPECT_FALSE(v.is_categorical());
+}
+
+TEST(ValueTest, ContinuousRoundTrip) {
+  Value v = Value::Continuous(3.25);
+  EXPECT_TRUE(v.is_continuous());
+  EXPECT_DOUBLE_EQ(v.continuous(), 3.25);
+  EXPECT_EQ(v.ToString(), "3.25");
+}
+
+TEST(ValueTest, CategoricalRoundTrip) {
+  Value v = Value::Categorical(7);
+  EXPECT_TRUE(v.is_categorical());
+  EXPECT_EQ(v.category(), 7);
+  EXPECT_EQ(v.ToString(), "#7");
+}
+
+TEST(ValueTest, MissingToString) { EXPECT_EQ(Value::Missing().ToString(), "missing"); }
+
+TEST(ValueTest, EqualityWithinKind) {
+  EXPECT_EQ(Value::Continuous(1.5), Value::Continuous(1.5));
+  EXPECT_NE(Value::Continuous(1.5), Value::Continuous(1.6));
+  EXPECT_EQ(Value::Categorical(3), Value::Categorical(3));
+  EXPECT_NE(Value::Categorical(3), Value::Categorical(4));
+  EXPECT_EQ(Value::Missing(), Value::Missing());
+}
+
+TEST(ValueTest, EqualityAcrossKindsIsFalse) {
+  EXPECT_NE(Value::Continuous(3.0), Value::Categorical(3));
+  EXPECT_NE(Value::Missing(), Value::Continuous(0.0));
+  EXPECT_NE(Value::Missing(), Value::Categorical(0));
+}
+
+TEST(ValueTest, ContinuousAndCategoricalWithSameBitsDiffer) {
+  // A categorical id of 0 must not compare equal to continuous 0.0.
+  EXPECT_NE(Value::Categorical(0), Value::Continuous(0.0));
+}
+
+TEST(ValueTest, HashEqualForEqualValues) {
+  EXPECT_EQ(Value::Continuous(2.5).Hash(), Value::Continuous(2.5).Hash());
+  EXPECT_EQ(Value::Categorical(5).Hash(), Value::Categorical(5).Hash());
+}
+
+TEST(ValueTest, HashDistinguishesKinds) {
+  // Not guaranteed by hashing in general, but these specific encodings are
+  // designed to avoid kind collisions on identical payload bits.
+  EXPECT_NE(Value::Categorical(0).Hash(), Value::Missing().Hash());
+}
+
+TEST(ValueTest, UsableInUnorderedSet) {
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value::Continuous(1.0));
+  set.insert(Value::Continuous(1.0));
+  set.insert(Value::Categorical(1));
+  set.insert(Value::Missing());
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.count(Value::Categorical(1)) > 0);
+}
+
+TEST(ValueTest, SizeStaysCompact) {
+  // Observation tables hold tens of millions of cells; the Value layout
+  // must stay two machine words.
+  EXPECT_LE(sizeof(Value), 16u);
+}
+
+TEST(PropertyTypeTest, ToString) {
+  EXPECT_STREQ(PropertyTypeToString(PropertyType::kContinuous), "continuous");
+  EXPECT_STREQ(PropertyTypeToString(PropertyType::kCategorical), "categorical");
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= a.Uniform() != b.Uniform();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian(5.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0]);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(RngTest, CategoricalAllZeroWeightsReturnsFirst) {
+  Rng rng(17);
+  EXPECT_EQ(rng.Categorical({0.0, 0.0}), 0u);
+}
+
+TEST(RngTest, ForkDecouplesStreams) {
+  Rng a(21);
+  Rng child = a.Fork();
+  // The child stream should not replay the parent stream.
+  Rng b(21);
+  (void)b.Fork();
+  EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());  // parents stay in sync
+  bool differs = false;
+  Rng c(21);
+  for (int i = 0; i < 10; ++i) differs |= child.Uniform() != c.Uniform();
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace crh

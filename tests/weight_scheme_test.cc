@@ -1,0 +1,184 @@
+#include "weights/weight_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crh {
+namespace {
+
+TEST(WeightSchemeTest, KindNames) {
+  EXPECT_STREQ(WeightSchemeKindToString(WeightSchemeKind::kLogSum), "log_sum");
+  EXPECT_STREQ(WeightSchemeKindToString(WeightSchemeKind::kLogMax), "log_max");
+  EXPECT_STREQ(WeightSchemeKindToString(WeightSchemeKind::kBestSourceLp), "best_source_lp");
+  EXPECT_STREQ(WeightSchemeKindToString(WeightSchemeKind::kTopJ), "top_j");
+}
+
+TEST(WeightSchemeTest, RejectsEmptyLosses) {
+  EXPECT_FALSE(ComputeSourceWeights({}).ok());
+}
+
+TEST(WeightSchemeTest, RejectsNegativeOrNonFinite) {
+  EXPECT_FALSE(ComputeSourceWeights({1.0, -0.5}).ok());
+  EXPECT_FALSE(ComputeSourceWeights({1.0, std::nan("")}).ok());
+  EXPECT_FALSE(ComputeSourceWeights({1.0, INFINITY}).ok());
+}
+
+TEST(WeightSchemeTest, LogSumMatchesEq5ClosedForm) {
+  WeightSchemeOptions opts;
+  opts.kind = WeightSchemeKind::kLogSum;
+  const std::vector<double> losses = {1.0, 2.0, 5.0};
+  auto w = ComputeSourceWeights(losses, opts);
+  ASSERT_TRUE(w.ok());
+  const double total = 8.0;
+  for (size_t k = 0; k < losses.size(); ++k) {
+    EXPECT_NEAR((*w)[k], -std::log(losses[k] / total), 1e-12);
+  }
+}
+
+TEST(WeightSchemeTest, LogMaxGivesWorstSourceZero) {
+  WeightSchemeOptions opts;
+  opts.kind = WeightSchemeKind::kLogMax;
+  auto w = ComputeSourceWeights({1.0, 4.0, 2.0}, opts);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR((*w)[1], 0.0, 1e-12);
+  EXPECT_NEAR((*w)[0], std::log(4.0), 1e-12);
+  EXPECT_NEAR((*w)[2], std::log(2.0), 1e-12);
+}
+
+TEST(WeightSchemeTest, LogWeightsAreMonotoneInLoss) {
+  for (auto kind : {WeightSchemeKind::kLogSum, WeightSchemeKind::kLogMax}) {
+    WeightSchemeOptions opts;
+    opts.kind = kind;
+    auto w = ComputeSourceWeights({0.5, 1.0, 3.0, 7.0}, opts);
+    ASSERT_TRUE(w.ok());
+    for (size_t k = 1; k < w->size(); ++k) EXPECT_GT((*w)[k - 1], (*w)[k]);
+  }
+}
+
+TEST(WeightSchemeTest, LogMaxSpreadsWeightsMoreThanLogSum) {
+  // The paper prefers max normalization because it emphasizes the
+  // difference between good and bad sources.
+  const std::vector<double> losses = {1.0, 2.0, 4.0};
+  WeightSchemeOptions sum_opts, max_opts;
+  sum_opts.kind = WeightSchemeKind::kLogSum;
+  max_opts.kind = WeightSchemeKind::kLogMax;
+  auto ws = ComputeSourceWeights(losses, sum_opts);
+  auto wm = ComputeSourceWeights(losses, max_opts);
+  ASSERT_TRUE(ws.ok());
+  ASSERT_TRUE(wm.ok());
+  const double spread_sum = (*ws)[0] / (*ws)[2];
+  const double spread_max = (*wm)[2] > 0 ? (*wm)[0] / (*wm)[2] : 1e300;
+  EXPECT_GT(spread_max, spread_sum);
+}
+
+TEST(WeightSchemeTest, ZeroLossGetsLargeFiniteWeight) {
+  WeightSchemeOptions opts;
+  opts.kind = WeightSchemeKind::kLogSum;
+  auto w = ComputeSourceWeights({0.0, 1.0}, opts);
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(std::isfinite((*w)[0]));
+  EXPECT_GT((*w)[0], (*w)[1]);
+}
+
+TEST(WeightSchemeTest, AllZeroLossesGiveUniformWeights) {
+  for (auto kind : {WeightSchemeKind::kLogSum, WeightSchemeKind::kLogMax}) {
+    WeightSchemeOptions opts;
+    opts.kind = kind;
+    auto w = ComputeSourceWeights({0.0, 0.0, 0.0}, opts);
+    ASSERT_TRUE(w.ok());
+    for (double x : *w) EXPECT_DOUBLE_EQ(x, 1.0);
+  }
+}
+
+TEST(WeightSchemeTest, BestSourceSelectsArgmin) {
+  WeightSchemeOptions opts;
+  opts.kind = WeightSchemeKind::kBestSourceLp;
+  auto w = ComputeSourceWeights({3.0, 0.5, 2.0}, opts);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(*w, (std::vector<double>{0.0, 1.0, 0.0}));
+}
+
+TEST(WeightSchemeTest, TopJSelectsSmallestLosses) {
+  WeightSchemeOptions opts;
+  opts.kind = WeightSchemeKind::kTopJ;
+  opts.top_j = 2;
+  auto w = ComputeSourceWeights({3.0, 0.5, 2.0, 9.0}, opts);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(*w, (std::vector<double>{0.0, 1.0, 1.0, 0.0}));
+}
+
+TEST(WeightSchemeTest, TopJValidatesRange) {
+  WeightSchemeOptions opts;
+  opts.kind = WeightSchemeKind::kTopJ;
+  opts.top_j = 0;
+  EXPECT_FALSE(ComputeSourceWeights({1.0, 2.0}, opts).ok());
+  opts.top_j = 3;
+  EXPECT_FALSE(ComputeSourceWeights({1.0, 2.0}, opts).ok());
+  opts.top_j = 2;
+  EXPECT_TRUE(ComputeSourceWeights({1.0, 2.0}, opts).ok());
+}
+
+TEST(WeightSchemeTest, TopJEqualsKSelectsAll) {
+  WeightSchemeOptions opts;
+  opts.kind = WeightSchemeKind::kTopJ;
+  opts.top_j = 3;
+  auto w = ComputeSourceWeights({5.0, 1.0, 2.0}, opts);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(*w, (std::vector<double>{1.0, 1.0, 1.0}));
+}
+
+TEST(WeightSchemeTest, SingleSourceDefaultScheme) {
+  // One source: its loss equals the normalizer, so log weight 0 —
+  // degenerate but well-defined.
+  auto w = ComputeSourceWeights({2.5});
+  ASSERT_TRUE(w.ok());
+  EXPECT_DOUBLE_EQ((*w)[0], 0.0);
+}
+
+/// Property: weights are permutation-equivariant — permuting the losses
+/// permutes the weights identically.
+class WeightPermutationProperty
+    : public ::testing::TestWithParam<WeightSchemeKind> {};
+
+TEST_P(WeightPermutationProperty, Equivariance) {
+  WeightSchemeOptions opts;
+  opts.kind = GetParam();
+  opts.top_j = 2;
+  const std::vector<double> losses = {4.0, 1.0, 2.5, 0.25};
+  const std::vector<double> permuted = {0.25, 4.0, 1.0, 2.5};  // rotate right
+  auto w = ComputeSourceWeights(losses, opts);
+  auto wp = ComputeSourceWeights(permuted, opts);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(wp.ok());
+  EXPECT_DOUBLE_EQ((*w)[0], (*wp)[1]);
+  EXPECT_DOUBLE_EQ((*w)[1], (*wp)[2]);
+  EXPECT_DOUBLE_EQ((*w)[2], (*wp)[3]);
+  EXPECT_DOUBLE_EQ((*w)[3], (*wp)[0]);
+}
+
+TEST_P(WeightPermutationProperty, ScaleInvariance) {
+  // Scaling all losses by a constant must not change the weights (the
+  // normalizer absorbs the scale) — this is what makes per-property
+  // normalization sound.
+  WeightSchemeOptions opts;
+  opts.kind = GetParam();
+  opts.top_j = 2;
+  const std::vector<double> losses = {4.0, 1.0, 2.5, 0.25};
+  std::vector<double> scaled;
+  for (double l : losses) scaled.push_back(l * 37.5);
+  auto w = ComputeSourceWeights(losses, opts);
+  auto ws = ComputeSourceWeights(scaled, opts);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(ws.ok());
+  for (size_t k = 0; k < losses.size(); ++k) EXPECT_NEAR((*w)[k], (*ws)[k], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, WeightPermutationProperty,
+                         ::testing::Values(WeightSchemeKind::kLogSum,
+                                           WeightSchemeKind::kLogMax,
+                                           WeightSchemeKind::kBestSourceLp,
+                                           WeightSchemeKind::kTopJ));
+
+}  // namespace
+}  // namespace crh
