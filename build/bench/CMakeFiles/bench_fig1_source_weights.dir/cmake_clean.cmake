@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_source_weights.dir/bench_fig1_source_weights.cc.o"
+  "CMakeFiles/bench_fig1_source_weights.dir/bench_fig1_source_weights.cc.o.d"
+  "bench_fig1_source_weights"
+  "bench_fig1_source_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_source_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_reliable_sources.dir/bench_fig23_reliable_sources.cc.o"
+  "CMakeFiles/bench_fig23_reliable_sources.dir/bench_fig23_reliable_sources.cc.o.d"
+  "bench_fig23_reliable_sources"
+  "bench_fig23_reliable_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_reliable_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

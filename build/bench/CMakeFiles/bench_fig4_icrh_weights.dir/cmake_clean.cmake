@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_icrh_weights.dir/bench_fig4_icrh_weights.cc.o"
+  "CMakeFiles/bench_fig4_icrh_weights.dir/bench_fig4_icrh_weights.cc.o.d"
+  "bench_fig4_icrh_weights"
+  "bench_fig4_icrh_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_icrh_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_realworld.dir/bench_table2_realworld.cc.o"
+  "CMakeFiles/bench_table2_realworld.dir/bench_table2_realworld.cc.o.d"
+  "bench_table2_realworld"
+  "bench_table2_realworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_realworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

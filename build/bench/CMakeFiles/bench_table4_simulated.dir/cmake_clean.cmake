@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_simulated.dir/bench_table4_simulated.cc.o"
+  "CMakeFiles/bench_table4_simulated.dir/bench_table4_simulated.cc.o.d"
+  "bench_table4_simulated"
+  "bench_table4_simulated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_simulated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

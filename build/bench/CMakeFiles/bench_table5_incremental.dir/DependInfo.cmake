@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_incremental.cc" "bench/CMakeFiles/bench_table5_incremental.dir/bench_table5_incremental.cc.o" "gcc" "bench/CMakeFiles/bench_table5_incremental.dir/bench_table5_incremental.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/crh_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_losses.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_weights.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_incremental.dir/bench_table5_incremental.cc.o"
+  "CMakeFiles/bench_table5_incremental.dir/bench_table5_incremental.cc.o.d"
+  "bench_table5_incremental"
+  "bench_table5_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crh_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/crh_bench_util.dir/bench_util.cc.o.d"
+  "libcrh_bench_util.a"
+  "libcrh_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crh_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

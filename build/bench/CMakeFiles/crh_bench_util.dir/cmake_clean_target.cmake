@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrh_bench_util.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crh_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_losses.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_weights.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_sensors.dir/streaming_sensors.cpp.o"
+  "CMakeFiles/streaming_sensors.dir/streaming_sensors.cpp.o.d"
+  "streaming_sensors"
+  "streaming_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

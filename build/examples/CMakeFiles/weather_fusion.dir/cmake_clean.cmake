@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_fusion.dir/weather_fusion.cpp.o"
+  "CMakeFiles/weather_fusion.dir/weather_fusion.cpp.o.d"
+  "weather_fusion"
+  "weather_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

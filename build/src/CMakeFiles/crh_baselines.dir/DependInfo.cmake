@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/accusim.cc" "src/CMakeFiles/crh_baselines.dir/baselines/accusim.cc.o" "gcc" "src/CMakeFiles/crh_baselines.dir/baselines/accusim.cc.o.d"
+  "/root/repo/src/baselines/baseline.cc" "src/CMakeFiles/crh_baselines.dir/baselines/baseline.cc.o" "gcc" "src/CMakeFiles/crh_baselines.dir/baselines/baseline.cc.o.d"
+  "/root/repo/src/baselines/estimates.cc" "src/CMakeFiles/crh_baselines.dir/baselines/estimates.cc.o" "gcc" "src/CMakeFiles/crh_baselines.dir/baselines/estimates.cc.o.d"
+  "/root/repo/src/baselines/gtm.cc" "src/CMakeFiles/crh_baselines.dir/baselines/gtm.cc.o" "gcc" "src/CMakeFiles/crh_baselines.dir/baselines/gtm.cc.o.d"
+  "/root/repo/src/baselines/investment.cc" "src/CMakeFiles/crh_baselines.dir/baselines/investment.cc.o" "gcc" "src/CMakeFiles/crh_baselines.dir/baselines/investment.cc.o.d"
+  "/root/repo/src/baselines/simple.cc" "src/CMakeFiles/crh_baselines.dir/baselines/simple.cc.o" "gcc" "src/CMakeFiles/crh_baselines.dir/baselines/simple.cc.o.d"
+  "/root/repo/src/baselines/truthfinder.cc" "src/CMakeFiles/crh_baselines.dir/baselines/truthfinder.cc.o" "gcc" "src/CMakeFiles/crh_baselines.dir/baselines/truthfinder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_losses.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_weights.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crh_baselines.dir/baselines/accusim.cc.o"
+  "CMakeFiles/crh_baselines.dir/baselines/accusim.cc.o.d"
+  "CMakeFiles/crh_baselines.dir/baselines/baseline.cc.o"
+  "CMakeFiles/crh_baselines.dir/baselines/baseline.cc.o.d"
+  "CMakeFiles/crh_baselines.dir/baselines/estimates.cc.o"
+  "CMakeFiles/crh_baselines.dir/baselines/estimates.cc.o.d"
+  "CMakeFiles/crh_baselines.dir/baselines/gtm.cc.o"
+  "CMakeFiles/crh_baselines.dir/baselines/gtm.cc.o.d"
+  "CMakeFiles/crh_baselines.dir/baselines/investment.cc.o"
+  "CMakeFiles/crh_baselines.dir/baselines/investment.cc.o.d"
+  "CMakeFiles/crh_baselines.dir/baselines/simple.cc.o"
+  "CMakeFiles/crh_baselines.dir/baselines/simple.cc.o.d"
+  "CMakeFiles/crh_baselines.dir/baselines/truthfinder.cc.o"
+  "CMakeFiles/crh_baselines.dir/baselines/truthfinder.cc.o.d"
+  "libcrh_baselines.a"
+  "libcrh_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crh_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

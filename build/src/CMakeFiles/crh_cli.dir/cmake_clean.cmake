@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crh_cli.dir/tools/crh_cli_main.cc.o"
+  "CMakeFiles/crh_cli.dir/tools/crh_cli_main.cc.o.d"
+  "crh_cli"
+  "crh_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crh_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

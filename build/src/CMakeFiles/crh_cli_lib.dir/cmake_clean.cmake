@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crh_cli_lib.dir/tools/cli.cc.o"
+  "CMakeFiles/crh_cli_lib.dir/tools/cli.cc.o.d"
+  "libcrh_cli_lib.a"
+  "libcrh_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crh_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crh_common.dir/common/statistics.cc.o"
+  "CMakeFiles/crh_common.dir/common/statistics.cc.o.d"
+  "CMakeFiles/crh_common.dir/common/status.cc.o"
+  "CMakeFiles/crh_common.dir/common/status.cc.o.d"
+  "CMakeFiles/crh_common.dir/common/value.cc.o"
+  "CMakeFiles/crh_common.dir/common/value.cc.o.d"
+  "libcrh_common.a"
+  "libcrh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

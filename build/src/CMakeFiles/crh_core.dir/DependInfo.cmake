@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/catd.cc" "src/CMakeFiles/crh_core.dir/core/catd.cc.o" "gcc" "src/CMakeFiles/crh_core.dir/core/catd.cc.o.d"
+  "/root/repo/src/core/crh.cc" "src/CMakeFiles/crh_core.dir/core/crh.cc.o" "gcc" "src/CMakeFiles/crh_core.dir/core/crh.cc.o.d"
+  "/root/repo/src/core/dependence.cc" "src/CMakeFiles/crh_core.dir/core/dependence.cc.o" "gcc" "src/CMakeFiles/crh_core.dir/core/dependence.cc.o.d"
+  "/root/repo/src/core/resolvers.cc" "src/CMakeFiles/crh_core.dir/core/resolvers.cc.o" "gcc" "src/CMakeFiles/crh_core.dir/core/resolvers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crh_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_losses.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_weights.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

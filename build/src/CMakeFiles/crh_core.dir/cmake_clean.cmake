@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crh_core.dir/core/catd.cc.o"
+  "CMakeFiles/crh_core.dir/core/catd.cc.o.d"
+  "CMakeFiles/crh_core.dir/core/crh.cc.o"
+  "CMakeFiles/crh_core.dir/core/crh.cc.o.d"
+  "CMakeFiles/crh_core.dir/core/dependence.cc.o"
+  "CMakeFiles/crh_core.dir/core/dependence.cc.o.d"
+  "CMakeFiles/crh_core.dir/core/resolvers.cc.o"
+  "CMakeFiles/crh_core.dir/core/resolvers.cc.o.d"
+  "libcrh_core.a"
+  "libcrh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

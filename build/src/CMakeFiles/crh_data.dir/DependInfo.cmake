@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/crh_data.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/crh_data.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/crh_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/crh_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/crh_data.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/crh_data.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/stats.cc" "src/CMakeFiles/crh_data.dir/data/stats.cc.o" "gcc" "src/CMakeFiles/crh_data.dir/data/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

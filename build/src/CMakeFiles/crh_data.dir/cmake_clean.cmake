@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crh_data.dir/data/csv.cc.o"
+  "CMakeFiles/crh_data.dir/data/csv.cc.o.d"
+  "CMakeFiles/crh_data.dir/data/dataset.cc.o"
+  "CMakeFiles/crh_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/crh_data.dir/data/schema.cc.o"
+  "CMakeFiles/crh_data.dir/data/schema.cc.o.d"
+  "CMakeFiles/crh_data.dir/data/stats.cc.o"
+  "CMakeFiles/crh_data.dir/data/stats.cc.o.d"
+  "libcrh_data.a"
+  "libcrh_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crh_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/noise.cc" "src/CMakeFiles/crh_datagen.dir/datagen/noise.cc.o" "gcc" "src/CMakeFiles/crh_datagen.dir/datagen/noise.cc.o.d"
+  "/root/repo/src/datagen/real_world.cc" "src/CMakeFiles/crh_datagen.dir/datagen/real_world.cc.o" "gcc" "src/CMakeFiles/crh_datagen.dir/datagen/real_world.cc.o.d"
+  "/root/repo/src/datagen/uci_like.cc" "src/CMakeFiles/crh_datagen.dir/datagen/uci_like.cc.o" "gcc" "src/CMakeFiles/crh_datagen.dir/datagen/uci_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crh_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crh_datagen.dir/datagen/noise.cc.o"
+  "CMakeFiles/crh_datagen.dir/datagen/noise.cc.o.d"
+  "CMakeFiles/crh_datagen.dir/datagen/real_world.cc.o"
+  "CMakeFiles/crh_datagen.dir/datagen/real_world.cc.o.d"
+  "CMakeFiles/crh_datagen.dir/datagen/uci_like.cc.o"
+  "CMakeFiles/crh_datagen.dir/datagen/uci_like.cc.o.d"
+  "libcrh_datagen.a"
+  "libcrh_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crh_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

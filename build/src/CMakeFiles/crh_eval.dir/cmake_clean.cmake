@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crh_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/crh_eval.dir/eval/metrics.cc.o.d"
+  "libcrh_eval.a"
+  "libcrh_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crh_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crh_losses.dir/losses/loss.cc.o"
+  "CMakeFiles/crh_losses.dir/losses/loss.cc.o.d"
+  "CMakeFiles/crh_losses.dir/losses/text_distance.cc.o"
+  "CMakeFiles/crh_losses.dir/losses/text_distance.cc.o.d"
+  "libcrh_losses.a"
+  "libcrh_losses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crh_losses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

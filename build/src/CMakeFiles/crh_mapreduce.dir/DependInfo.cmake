@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/cost_model.cc" "src/CMakeFiles/crh_mapreduce.dir/mapreduce/cost_model.cc.o" "gcc" "src/CMakeFiles/crh_mapreduce.dir/mapreduce/cost_model.cc.o.d"
+  "/root/repo/src/mapreduce/engine.cc" "src/CMakeFiles/crh_mapreduce.dir/mapreduce/engine.cc.o" "gcc" "src/CMakeFiles/crh_mapreduce.dir/mapreduce/engine.cc.o.d"
+  "/root/repo/src/mapreduce/parallel_crh.cc" "src/CMakeFiles/crh_mapreduce.dir/mapreduce/parallel_crh.cc.o" "gcc" "src/CMakeFiles/crh_mapreduce.dir/mapreduce/parallel_crh.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_losses.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_weights.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

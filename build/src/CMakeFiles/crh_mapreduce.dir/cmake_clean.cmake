@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crh_mapreduce.dir/mapreduce/cost_model.cc.o"
+  "CMakeFiles/crh_mapreduce.dir/mapreduce/cost_model.cc.o.d"
+  "CMakeFiles/crh_mapreduce.dir/mapreduce/engine.cc.o"
+  "CMakeFiles/crh_mapreduce.dir/mapreduce/engine.cc.o.d"
+  "CMakeFiles/crh_mapreduce.dir/mapreduce/parallel_crh.cc.o"
+  "CMakeFiles/crh_mapreduce.dir/mapreduce/parallel_crh.cc.o.d"
+  "libcrh_mapreduce.a"
+  "libcrh_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crh_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crh_stream.dir/stream/chunks.cc.o"
+  "CMakeFiles/crh_stream.dir/stream/chunks.cc.o.d"
+  "CMakeFiles/crh_stream.dir/stream/incremental_crh.cc.o"
+  "CMakeFiles/crh_stream.dir/stream/incremental_crh.cc.o.d"
+  "libcrh_stream.a"
+  "libcrh_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crh_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

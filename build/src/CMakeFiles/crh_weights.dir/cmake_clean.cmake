@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crh_weights.dir/weights/weight_scheme.cc.o"
+  "CMakeFiles/crh_weights.dir/weights/weight_scheme.cc.o.d"
+  "libcrh_weights.a"
+  "libcrh_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crh_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

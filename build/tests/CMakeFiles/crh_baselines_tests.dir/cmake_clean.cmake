@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crh_baselines_tests.dir/baselines_test.cc.o"
+  "CMakeFiles/crh_baselines_tests.dir/baselines_test.cc.o.d"
+  "crh_baselines_tests"
+  "crh_baselines_tests.pdb"
+  "crh_baselines_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crh_baselines_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

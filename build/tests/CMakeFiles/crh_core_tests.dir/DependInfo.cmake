@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/catd_test.cc" "tests/CMakeFiles/crh_core_tests.dir/catd_test.cc.o" "gcc" "tests/CMakeFiles/crh_core_tests.dir/catd_test.cc.o.d"
+  "/root/repo/tests/crh_test.cc" "tests/CMakeFiles/crh_core_tests.dir/crh_test.cc.o" "gcc" "tests/CMakeFiles/crh_core_tests.dir/crh_test.cc.o.d"
+  "/root/repo/tests/dataset_test.cc" "tests/CMakeFiles/crh_core_tests.dir/dataset_test.cc.o" "gcc" "tests/CMakeFiles/crh_core_tests.dir/dataset_test.cc.o.d"
+  "/root/repo/tests/dependence_test.cc" "tests/CMakeFiles/crh_core_tests.dir/dependence_test.cc.o" "gcc" "tests/CMakeFiles/crh_core_tests.dir/dependence_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/crh_core_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/crh_core_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/loss_test.cc" "tests/CMakeFiles/crh_core_tests.dir/loss_test.cc.o" "gcc" "tests/CMakeFiles/crh_core_tests.dir/loss_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/crh_core_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/crh_core_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/resolvers_test.cc" "tests/CMakeFiles/crh_core_tests.dir/resolvers_test.cc.o" "gcc" "tests/CMakeFiles/crh_core_tests.dir/resolvers_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/crh_core_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/crh_core_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/value_test.cc" "tests/CMakeFiles/crh_core_tests.dir/value_test.cc.o" "gcc" "tests/CMakeFiles/crh_core_tests.dir/value_test.cc.o.d"
+  "/root/repo/tests/weight_scheme_test.cc" "tests/CMakeFiles/crh_core_tests.dir/weight_scheme_test.cc.o" "gcc" "tests/CMakeFiles/crh_core_tests.dir/weight_scheme_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crh_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_losses.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_weights.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

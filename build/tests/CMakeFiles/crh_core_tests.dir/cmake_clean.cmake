@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crh_core_tests.dir/catd_test.cc.o"
+  "CMakeFiles/crh_core_tests.dir/catd_test.cc.o.d"
+  "CMakeFiles/crh_core_tests.dir/crh_test.cc.o"
+  "CMakeFiles/crh_core_tests.dir/crh_test.cc.o.d"
+  "CMakeFiles/crh_core_tests.dir/dataset_test.cc.o"
+  "CMakeFiles/crh_core_tests.dir/dataset_test.cc.o.d"
+  "CMakeFiles/crh_core_tests.dir/dependence_test.cc.o"
+  "CMakeFiles/crh_core_tests.dir/dependence_test.cc.o.d"
+  "CMakeFiles/crh_core_tests.dir/extensions_test.cc.o"
+  "CMakeFiles/crh_core_tests.dir/extensions_test.cc.o.d"
+  "CMakeFiles/crh_core_tests.dir/loss_test.cc.o"
+  "CMakeFiles/crh_core_tests.dir/loss_test.cc.o.d"
+  "CMakeFiles/crh_core_tests.dir/metrics_test.cc.o"
+  "CMakeFiles/crh_core_tests.dir/metrics_test.cc.o.d"
+  "CMakeFiles/crh_core_tests.dir/resolvers_test.cc.o"
+  "CMakeFiles/crh_core_tests.dir/resolvers_test.cc.o.d"
+  "CMakeFiles/crh_core_tests.dir/status_test.cc.o"
+  "CMakeFiles/crh_core_tests.dir/status_test.cc.o.d"
+  "CMakeFiles/crh_core_tests.dir/value_test.cc.o"
+  "CMakeFiles/crh_core_tests.dir/value_test.cc.o.d"
+  "CMakeFiles/crh_core_tests.dir/weight_scheme_test.cc.o"
+  "CMakeFiles/crh_core_tests.dir/weight_scheme_test.cc.o.d"
+  "crh_core_tests"
+  "crh_core_tests.pdb"
+  "crh_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crh_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

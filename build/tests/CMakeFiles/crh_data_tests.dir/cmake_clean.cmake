@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crh_data_tests.dir/csv_test.cc.o"
+  "CMakeFiles/crh_data_tests.dir/csv_test.cc.o.d"
+  "CMakeFiles/crh_data_tests.dir/datagen_test.cc.o"
+  "CMakeFiles/crh_data_tests.dir/datagen_test.cc.o.d"
+  "CMakeFiles/crh_data_tests.dir/noise_test.cc.o"
+  "CMakeFiles/crh_data_tests.dir/noise_test.cc.o.d"
+  "CMakeFiles/crh_data_tests.dir/text_test.cc.o"
+  "CMakeFiles/crh_data_tests.dir/text_test.cc.o.d"
+  "crh_data_tests"
+  "crh_data_tests.pdb"
+  "crh_data_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crh_data_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

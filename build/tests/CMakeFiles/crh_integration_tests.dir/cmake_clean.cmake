@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crh_integration_tests.dir/cli_test.cc.o"
+  "CMakeFiles/crh_integration_tests.dir/cli_test.cc.o.d"
+  "CMakeFiles/crh_integration_tests.dir/integration_test.cc.o"
+  "CMakeFiles/crh_integration_tests.dir/integration_test.cc.o.d"
+  "CMakeFiles/crh_integration_tests.dir/invariance_test.cc.o"
+  "CMakeFiles/crh_integration_tests.dir/invariance_test.cc.o.d"
+  "crh_integration_tests"
+  "crh_integration_tests.pdb"
+  "crh_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crh_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

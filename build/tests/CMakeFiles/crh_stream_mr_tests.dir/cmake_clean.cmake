@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crh_stream_mr_tests.dir/mapreduce_test.cc.o"
+  "CMakeFiles/crh_stream_mr_tests.dir/mapreduce_test.cc.o.d"
+  "CMakeFiles/crh_stream_mr_tests.dir/parallel_crh_test.cc.o"
+  "CMakeFiles/crh_stream_mr_tests.dir/parallel_crh_test.cc.o.d"
+  "CMakeFiles/crh_stream_mr_tests.dir/stream_test.cc.o"
+  "CMakeFiles/crh_stream_mr_tests.dir/stream_test.cc.o.d"
+  "crh_stream_mr_tests"
+  "crh_stream_mr_tests.pdb"
+  "crh_stream_mr_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crh_stream_mr_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

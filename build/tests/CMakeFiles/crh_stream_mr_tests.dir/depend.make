@@ -1,0 +1,2 @@
+# Empty dependencies file for crh_stream_mr_tests.
+# This may be replaced when dependencies are built.
