@@ -81,15 +81,15 @@ BENCHMARK(BM_ProbVectorLoss)->Range(2, 256);
 
 /// Shared noisy dataset cache so each size is generated once.
 const Dataset& CachedDataset(size_t records) {
-  static std::map<size_t, Dataset>* cache = new std::map<size_t, Dataset>();
-  auto it = cache->find(records);
-  if (it == cache->end()) {
+  static std::map<size_t, Dataset> cache;
+  auto it = cache.find(records);
+  if (it == cache.end()) {
     UciLikeOptions uci;
     uci.num_records = records;
     NoiseOptions noise;
     noise.gammas = PaperSimulationGammas();
     auto noisy = MakeNoisyDataset(MakeAdultGroundTruth(uci), noise);
-    it = cache->emplace(records, std::move(noisy).ValueOrDie()).first;
+    it = cache.emplace(records, std::move(noisy).ValueOrDie()).first;
   }
   return it->second;
 }

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules that clang-tidy cannot express.
+
+Rules enforced over first-party C++ sources (src/, tests/, bench/,
+examples/):
+
+  include-cc      No `#include` of a `.cc` file: translation units are
+                  compiled exactly once, by CMake.
+  naked-new       No naked `new` / `delete` outside src/common/: ownership
+                  lives in containers and smart pointers; only the common
+                  layer may implement low-level primitives.
+  unchecked-status
+                  Every call to a function returning crh::Status must be
+                  consumed (returned, assigned, wrapped in
+                  CRH_RETURN_NOT_OK, asserted in a test, or explicitly
+                  voided). Silently dropping a Status hides failures.
+  nondeterminism  No `std::rand`, `srand`, or `time(nullptr)` seeding:
+                  every stochastic component draws from the explicitly
+                  seeded crh::Rng so runs are reproducible.
+
+Exit status is 0 when the tree is clean, 1 when any finding is reported.
+Suppress a single line with a trailing `// lint:allow(<rule>)` comment.
+
+Usage: scripts/lint.py [paths...]   (defaults to src tests bench examples)
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_DIRS = ["src", "tests", "bench", "examples"]
+CXX_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
+
+INCLUDE_CC_RE = re.compile(r'#\s*include\s+["<][^">]+\.cc[">]')
+NAKED_NEW_RE = re.compile(r"(^|[^\w.])new\s+[A-Za-z_:<(]")
+NAKED_DELETE_RE = re.compile(r"(^|[^\w.])delete(\s*\[\s*\])?\s+[A-Za-z_*(]")
+NONDETERMINISM_RE = re.compile(
+    r"std::rand\b|[^\w.]s?rand\s*\(|\btime\s*\(\s*(nullptr|NULL|0)\s*\)"
+)
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([\w-]+)\)")
+
+# A declaration (or definition) of a function returning plain Status. The
+# unchecked-status rule keys off the collected names, so both free
+# functions and methods are covered without a real parser.
+STATUS_DECL_RE = re.compile(r"^\s*(?:static\s+|virtual\s+)?(?:crh::)?Status\s+(\w+)\s*\(")
+
+# An expression statement whose whole effect is a call:  `Foo(...);`,
+# `obj.Foo(...);` or `ptr->Foo(...);` — with nothing consuming the value.
+# The prefix deliberately excludes parentheses so wrapped calls
+# (`(void)x.Foo();`, `CRH_RETURN_NOT_OK(x.Foo());`, `EXPECT_TRUE(x.Foo().ok())`)
+# do not match.
+CALL_STMT_RE = re.compile(r"^\s*(?:[\w\]\[]+(?:\.|->))*(\w+)\s*\(.*\)\s*;\s*$")
+
+# Factory helpers whose Status return is the *point* of the call; a bare
+# statement calling one of these is dead code, but never an unchecked
+# error path, and tests construct them in expression contexts constantly.
+STATUS_FACTORIES = {
+    "OK",
+    "InvalidArgument",
+    "OutOfRange",
+    "NotFound",
+    "AlreadyExists",
+    "FailedPrecondition",
+    "IOError",
+    "NotImplemented",
+    "Internal",
+}
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Blanks out string/char literals and `//` comments (keeps length)."""
+    out: list[str] = []
+    i, n = 0, len(line)
+    quote: str | None = None
+    while i < n:
+        c = line[i]
+        if quote:
+            if c == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+                continue
+            out.append(quote if c == quote else " ")
+            if c == quote:
+                quote = None
+        elif c in "\"'":
+            quote = c
+            out.append(c)
+        elif c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        else:
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def iter_sources(argv: list[str]):
+    roots = [pathlib.Path(p) for p in argv] if argv else [
+        REPO_ROOT / d for d in DEFAULT_DIRS
+    ]
+    for root in roots:
+        if root.is_file():
+            yield root
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in CXX_SUFFIXES and "build" not in path.parts:
+                yield path
+
+
+def collect_status_functions(files: list[pathlib.Path]) -> set[str]:
+    names: set[str] = set()
+    for path in files:
+        for line in path.read_text(encoding="utf-8").splitlines():
+            match = STATUS_DECL_RE.match(line)
+            if match:
+                names.add(match.group(1))
+    return names - STATUS_FACTORIES
+
+
+def main(argv: list[str]) -> int:
+    files = list(iter_sources(argv))
+    status_functions = collect_status_functions(files)
+    findings: list[tuple[pathlib.Path, int, str, str]] = []
+
+    for path in files:
+        in_common = "common" in path.parts
+        for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+            allowed = {m for m in ALLOW_RE.findall(raw)}
+            line = strip_comments_and_strings(raw)
+
+            # Checked on the raw line: the include path is a string literal,
+            # which strip_comments_and_strings blanks out.
+            if INCLUDE_CC_RE.search(raw) and "include-cc" not in allowed:
+                findings.append((path, lineno, "include-cc",
+                                 "do not #include .cc files"))
+            if not in_common and "naked-new" not in allowed and (
+                    NAKED_NEW_RE.search(line) or NAKED_DELETE_RE.search(line)):
+                findings.append((path, lineno, "naked-new",
+                                 "naked new/delete outside src/common/"))
+            if NONDETERMINISM_RE.search(line) and "nondeterminism" not in allowed:
+                findings.append((path, lineno, "nondeterminism",
+                                 "use the seeded crh::Rng, not std::rand/time"))
+
+            call = CALL_STMT_RE.match(line)
+            if (call and call.group(1) in status_functions
+                    and "unchecked-status" not in allowed):
+                findings.append((path, lineno, "unchecked-status",
+                                 f"result of Status-returning {call.group(1)}() is "
+                                 "dropped; check it, CRH_RETURN_NOT_OK it, or "
+                                 "(void)-cast with a lint:allow"))
+
+    for path, lineno, rule, message in findings:
+        rel = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path
+        print(f"{rel}:{lineno}: [{rule}] {message}")
+    if findings:
+        print(f"\nscripts/lint.py: {len(findings)} finding(s).", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -44,7 +44,9 @@ class ValueTable {
   /// Number of non-missing cells (observations this table contributes).
   size_t CountPresent() const {
     size_t n = 0;
-    for (const Value& v : cells_) n += v.is_missing() ? 0 : 1;
+    for (const Value& v : cells_) {
+      if (!v.is_missing()) ++n;
+    }
     return n;
   }
 

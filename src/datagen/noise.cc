@@ -38,8 +38,8 @@ double PropertyStd(const Dataset& data, size_t m) {
     ++count;
   }
   if (count < 2) return 1.0;
-  const double mean = sum / count;
-  double var = sum_sq / count - mean * mean;
+  const double mean = sum / static_cast<double>(count);
+  double var = sum_sq / static_cast<double>(count) - mean * mean;
   if (var < 0) var = 0;
   const double sd = std::sqrt(var);
   return sd > 1e-12 ? sd : 1.0;

@@ -39,7 +39,7 @@ void MaskTruthEntries(ValueTable* truth, double rate, Rng* rng) {
 Dataset MakeWeatherDataset(const WeatherOptions& options) {
   const int num_cities = options.num_cities;
   const int num_days = options.num_days;
-  const size_t num_objects = static_cast<size_t>(num_cities) * num_days;
+  const size_t num_objects = static_cast<size_t>(num_cities) * static_cast<size_t>(num_days);
 
   Schema schema;
   // Sources report tenth-of-a-degree temperatures, so claims almost never
@@ -83,7 +83,7 @@ Dataset MakeWeatherDataset(const WeatherOptions& options) {
   Rng rng(options.seed);
 
   // Per-city climate: a base temperature and a condition propensity.
-  std::vector<double> city_base(num_cities);
+  std::vector<double> city_base(static_cast<size_t>(num_cities));
   for (int c = 0; c < num_cities; ++c) city_base[static_cast<size_t>(c)] = rng.Uniform(45, 95);
 
   // Truths plus a per-object "climatology guess" — a plausible wrong
@@ -93,7 +93,7 @@ Dataset MakeWeatherDataset(const WeatherOptions& options) {
   std::vector<CategoryId> popular_wrong(num_objects);
   for (int day = 0; day < num_days; ++day) {
     for (int c = 0; c < num_cities; ++c) {
-      const size_t i = static_cast<size_t>(day) * num_cities + c;
+      const size_t i = static_cast<size_t>(day) * static_cast<size_t>(num_cities) + static_cast<size_t>(c);
       const double high =
           std::round(city_base[static_cast<size_t>(c)] + rng.Gaussian(0, 6.0));
       const double low = std::round(high - rng.Uniform(8, 22));
@@ -168,7 +168,7 @@ Dataset MakeStockDataset(const StockOptions& options) {
   const int num_symbols = options.num_symbols;
   const int num_days = options.num_days;
   const int k_sources = options.num_sources;
-  const size_t num_objects = static_cast<size_t>(num_symbols) * num_days;
+  const size_t num_objects = static_cast<size_t>(num_symbols) * static_cast<size_t>(num_days);
 
   // 16 properties; the paper treats volume, shares_outstanding and
   // market_cap as continuous and the 13 price-like ones as categorical
@@ -222,7 +222,7 @@ Dataset MakeStockDataset(const StockOptions& options) {
 
   for (int day = 0; day < num_days; ++day) {
     for (int s = 0; s < num_symbols; ++s) {
-      const size_t i = static_cast<size_t>(day) * num_symbols + s;
+      const size_t i = static_cast<size_t>(day) * static_cast<size_t>(num_symbols) + static_cast<size_t>(s);
       const double prev = price[static_cast<size_t>(s)];
       const double ret = rng.Gaussian(0.0, 0.02);
       const double close = std::max(0.5, prev * (1.0 + ret));
@@ -327,7 +327,7 @@ Dataset MakeStockDataset(const StockOptions& options) {
   const int labeled = std::min(options.labeled_symbols, num_symbols);
   for (int day = 0; day < num_days; ++day) {
     for (int s = labeled; s < num_symbols; ++s) {
-      const size_t i = static_cast<size_t>(day) * num_symbols + s;
+      const size_t i = static_cast<size_t>(day) * static_cast<size_t>(num_symbols) + static_cast<size_t>(s);
       for (size_t m = 0; m < m_props; ++m) truth.Clear(i, m);
     }
   }
@@ -343,7 +343,7 @@ Dataset MakeFlightDataset(const FlightOptions& options) {
   const int num_flights = options.num_flights;
   const int num_days = options.num_days;
   const int k_sources = options.num_sources;
-  const size_t num_objects = static_cast<size_t>(num_flights) * num_days;
+  const size_t num_objects = static_cast<size_t>(num_flights) * static_cast<size_t>(num_days);
 
   Schema schema;
   (void)schema.AddContinuous("scheduled_departure", /*rounding_unit=*/1.0);
@@ -396,7 +396,7 @@ Dataset MakeFlightDataset(const FlightOptions& options) {
   ValueTable truth(num_objects, 6);
   for (int day = 0; day < num_days; ++day) {
     for (int f = 0; f < num_flights; ++f) {
-      const size_t i = static_cast<size_t>(day) * num_flights + f;
+      const size_t i = static_cast<size_t>(day) * static_cast<size_t>(num_flights) + static_cast<size_t>(f);
       const double sd = sched_dep[static_cast<size_t>(f)];
       const double sa = sd + duration[static_cast<size_t>(f)];
       // Delay: mostly small, occasionally large (heavy tail).

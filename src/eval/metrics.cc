@@ -147,8 +147,9 @@ std::vector<double> NormalizeScores(std::vector<double> scores) {
 double PearsonCorrelation(const std::vector<double>& a, const std::vector<double>& b) {
   const size_t n = std::min(a.size(), b.size());
   if (n < 2) return std::numeric_limits<double>::quiet_NaN();
-  const double mean_a = std::accumulate(a.begin(), a.begin() + n, 0.0) / n;
-  const double mean_b = std::accumulate(b.begin(), b.begin() + n, 0.0) / n;
+  const auto count = static_cast<std::ptrdiff_t>(n);
+  const double mean_a = std::accumulate(a.begin(), a.begin() + count, 0.0) / static_cast<double>(n);
+  const double mean_b = std::accumulate(b.begin(), b.begin() + count, 0.0) / static_cast<double>(n);
   double cov = 0.0, var_a = 0.0, var_b = 0.0;
   for (size_t i = 0; i < n; ++i) {
     const double da = a[i] - mean_a;

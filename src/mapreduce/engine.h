@@ -134,11 +134,11 @@ Result<MapReduceOutput<Out>> RunMapReduce(const std::vector<In>& input,
   out.stats.input_records = input.size();
 
   // --- Split the input.
+  const size_t mappers = static_cast<size_t>(config.num_mappers);
   const size_t split_size =
       config.records_per_split > 0
           ? config.records_per_split
-          : std::max<size_t>(1, (input.size() + config.num_mappers - 1) /
-                                    static_cast<size_t>(config.num_mappers));
+          : std::max<size_t>(1, (input.size() + mappers - 1) / mappers);
   const size_t num_splits = input.empty() ? 0 : (input.size() + split_size - 1) / split_size;
   out.stats.num_splits = num_splits;
 

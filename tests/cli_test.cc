@@ -86,9 +86,14 @@ TEST(SchemaSpecTest, RejectsMalformedSpecs) {
 class CliEndToEnd : public ::testing::Test {
  protected:
   void SetUp() override {
-    obs_path_ = testing::TempDir() + "/cli_obs.csv";
-    truth_path_ = testing::TempDir() + "/cli_truth.csv";
-    out_path_ = testing::TempDir() + "/cli_out.csv";
+    // ctest runs every discovered test as its own process, in parallel, so
+    // the fixture files must be unique per test or concurrent tests clobber
+    // each other's CSVs mid-read.
+    const std::string unique =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    obs_path_ = testing::TempDir() + "/cli_obs_" + unique + ".csv";
+    truth_path_ = testing::TempDir() + "/cli_truth_" + unique + ".csv";
+    out_path_ = testing::TempDir() + "/cli_out_" + unique + ".csv";
 
     // Small Adult-style simulation, exported through the library's own CSV
     // writer with object ids carrying a _t<day> suffix for icrh.

@@ -166,7 +166,7 @@ TEST(NoiseTest, DecoyConcentratesWrongClaims) {
     }
   }
   ASSERT_GT(both_wrong, 100u);
-  EXPECT_DOUBLE_EQ(static_cast<double>(both_wrong_same) / both_wrong, 1.0);
+  EXPECT_DOUBLE_EQ(static_cast<double>(both_wrong_same) / static_cast<double>(both_wrong), 1.0);
 }
 
 TEST(NoiseTest, RoundingUnitRespected) {

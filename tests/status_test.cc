@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "mapreduce/engine.h"
+
 namespace crh {
 namespace {
 
@@ -81,6 +87,89 @@ TEST(ResultTest, MoveExtractsValue) {
 TEST(ResultTest, ArrowOperator) {
   Result<std::string> r(std::string("abc"));
   EXPECT_EQ(r->size(), 3u);
+}
+
+// --- Edge cases exercised under the sanitizer presets (docs/TOOLING.md).
+// These pin down the moved-from and propagation semantics so UBSan/ASan
+// runs cover them on every CI pass.
+
+TEST(StatusTest, MovedFromStatusIsValidAndReassignable) {
+  Status s = Status::NotFound("gone");
+  Status t = std::move(s);
+  EXPECT_EQ(t.code(), StatusCode::kNotFound);
+  EXPECT_EQ(t.message(), "gone");
+  // The moved-from status stays a valid object: querying it must not read
+  // freed memory, and reassignment must fully restore it.
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);  // NOLINT(bugprone-use-after-move)
+  s = Status::Internal("reused");
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message(), "reused");
+}
+
+TEST(ResultTest, MovedFromResultIsReassignable) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+  r = Result<std::string>(Status::IOError("closed"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  r = Result<std::string>(std::string("again"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "again");
+}
+
+TEST(ResultTest, HoldsMoveOnlyType) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).ValueOrDie();
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(ResultTest, ErrorStatusOfValueResultIsOk) {
+  Result<int> r(3);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.status(), Status::OK());
+}
+
+TEST(ValidateMapReduceConfigTest, PropagatesEachErrorCode) {
+  MapReduceConfig config;
+  EXPECT_TRUE(ValidateMapReduceConfig(config).ok());
+
+  config = MapReduceConfig();
+  config.fault_injection_rate = -0.1;
+  EXPECT_EQ(ValidateMapReduceConfig(config).code(), StatusCode::kInvalidArgument);
+  config.fault_injection_rate = 1.5;
+  EXPECT_EQ(ValidateMapReduceConfig(config).code(), StatusCode::kInvalidArgument);
+
+  config = MapReduceConfig();
+  config.max_attempts = 0;
+  EXPECT_EQ(ValidateMapReduceConfig(config).code(), StatusCode::kInvalidArgument);
+
+  config = MapReduceConfig();
+  config.num_mappers = 0;
+  EXPECT_EQ(ValidateMapReduceConfig(config).code(), StatusCode::kInvalidArgument);
+
+  config = MapReduceConfig();
+  config.num_reducers = -3;
+  EXPECT_EQ(ValidateMapReduceConfig(config).code(), StatusCode::kInvalidArgument);
+
+  config = MapReduceConfig();
+  config.num_threads = -1;
+  EXPECT_EQ(ValidateMapReduceConfig(config).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateMapReduceConfigTest, RunMapReduceSurfacesValidationFailure) {
+  // The invalid config must short-circuit RunMapReduce before any task
+  // runs, carrying the InvalidArgument code through the Result.
+  MapReduceConfig config;
+  config.num_mappers = -1;
+  MapReduceSpec<int, int, int, int> spec;
+  spec.map = [](const int&, std::vector<std::pair<int, int>>*) {};
+  spec.reduce = [](const int&, std::vector<int>&&, std::vector<int>*) {};
+  auto out = RunMapReduce(std::vector<int>{1, 2, 3}, spec, config);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -151,7 +151,7 @@ Dataset MakeTextTruth(size_t n, uint64_t seed) {
         stems[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(stems.size()) - 1))] +
         " " + std::to_string(rng.UniformInt(1, 99));
     truth.Set(i, 0, data.InternCategorical(0, name));
-    truth.Set(i, 1, Value::Continuous(rng.UniformInt(10, 50) / 10.0));
+    truth.Set(i, 1, Value::Continuous(static_cast<double>(rng.UniformInt(10, 50)) / 10.0));
   }
   data.set_ground_truth(std::move(truth));
   return data;

@@ -78,6 +78,63 @@ TEST(ValueTest, SizeStaysCompact) {
   EXPECT_LE(sizeof(Value), 16u);
 }
 
+// --- Missing-vs-categorical edge cases (run under the sanitizer presets).
+// A default-constructed Value stores the kInvalidCategory sentinel in the
+// union; none of these comparisons may confuse that sentinel with a real
+// categorical label or read the inactive union member.
+
+TEST(ValueTest, MissingNeverEqualsSentinelCategorical) {
+  EXPECT_NE(Value::Missing(), Value::Categorical(kInvalidCategory));
+  EXPECT_NE(Value::Categorical(kInvalidCategory), Value::Missing());
+  EXPECT_EQ(Value::Categorical(kInvalidCategory), Value::Categorical(kInvalidCategory));
+}
+
+TEST(ValueTest, MissingComparisonIsSymmetric) {
+  const Value missing = Value::Missing();
+  const Value cat = Value::Categorical(0);
+  const Value cont = Value::Continuous(0.0);
+  EXPECT_EQ(missing == cat, cat == missing);
+  EXPECT_EQ(missing == cont, cont == missing);
+  EXPECT_TRUE(missing != cat);
+  EXPECT_TRUE(missing != cont);
+}
+
+TEST(ValueTest, NegativeCategoryRoundTrips) {
+  // kInvalidCategory is negative; storing it must round-trip exactly and
+  // hash consistently (the XOR in Hash() must not sign-extend surprisingly).
+  const Value v = Value::Categorical(kInvalidCategory);
+  EXPECT_TRUE(v.is_categorical());
+  EXPECT_FALSE(v.is_missing());
+  EXPECT_EQ(v.category(), kInvalidCategory);
+  EXPECT_EQ(v.Hash(), Value::Categorical(kInvalidCategory).Hash());
+}
+
+TEST(ValueTest, MissingAndSentinelCategoricalHashApart) {
+  // Not required for correctness of unordered containers, but these two
+  // share payload bits, so a collision would be a red flag for the
+  // kind-discriminating encoding.
+  EXPECT_NE(Value::Missing().Hash(), Value::Categorical(kInvalidCategory).Hash());
+}
+
+TEST(ValueTest, UnorderedSetSeparatesMissingFromSentinel) {
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value::Missing());
+  set.insert(Value::Categorical(kInvalidCategory));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.count(Value::Missing()), 1u);
+  EXPECT_EQ(set.count(Value::Categorical(kInvalidCategory)), 1u);
+}
+
+TEST(ValueTest, CopyOfMissingStaysMissing) {
+  Value v;
+  Value copy = v;
+  EXPECT_TRUE(copy.is_missing());
+  EXPECT_EQ(copy, v);
+  copy = Value::Continuous(1.0);
+  EXPECT_TRUE(copy.is_continuous());
+  EXPECT_TRUE(v.is_missing());
+}
+
 TEST(PropertyTypeTest, ToString) {
   EXPECT_STREQ(PropertyTypeToString(PropertyType::kContinuous), "continuous");
   EXPECT_STREQ(PropertyTypeToString(PropertyType::kCategorical), "categorical");
