@@ -1,0 +1,50 @@
+/// \file schema_fuzz.cc
+/// Fuzz harness for schema construction and the CLI schema-spec parser.
+///
+/// The spec grammar ("name:type[:unit],...") is the main user-facing
+/// parser besides CSV. Properties enforced on every input:
+///  * ParseSchemaSpec never crashes; failure is always a Status.
+///  * An accepted spec yields a schema whose every property is findable
+///    by name and has a valid type.
+///  * Duplicate property names are rejected with AlreadyExists, never by
+///    corrupting the schema.
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+#include "data/schema.h"
+#include "tools/cli.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string spec(reinterpret_cast<const char*>(data), size);
+
+  auto schema = crh::cli::ParseSchemaSpec(spec);
+  if (schema.ok()) {
+    CRH_CHECK_GT(schema->num_properties(), 0u);
+    for (size_t m = 0; m < schema->num_properties(); ++m) {
+      const crh::Property& property = schema->property(m);
+      const int found = schema->FindProperty(property.name);
+      CRH_CHECK_GE(found, 0);
+      // Duplicate names are rejected at AddProperty time, so the first
+      // property with this name is the one FindProperty resolves to.
+      CRH_CHECK_EQ(schema->property(static_cast<size_t>(found)).name, property.name);
+      CRH_CHECK(schema->is_discrete(m) != schema->is_continuous(m));
+    }
+    // Re-adding any accepted property must fail cleanly with AlreadyExists.
+    crh::Schema copy = *schema;
+    const crh::Status dup = copy.AddProperty(schema->property(0));
+    CRH_CHECK_EQ(dup.code(), crh::StatusCode::kAlreadyExists);
+    CRH_CHECK_EQ(copy.num_properties(), schema->num_properties());
+  }
+
+  // The raw AddProperty path must take any non-empty byte string as a name.
+  crh::Schema raw;
+  if (spec.empty()) {
+    CRH_CHECK_EQ(raw.AddText(spec).code(), crh::StatusCode::kInvalidArgument);
+  } else {
+    CRH_CHECK_OK(raw.AddText(spec));
+    CRH_CHECK_GE(raw.FindProperty(spec), 0);
+  }
+  return 0;
+}

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Line-coverage measurement with a ratcheted baseline.
+
+Runs gcov over a ``--coverage``-instrumented build tree (the ``coverage``
+CMake preset), aggregates line coverage for everything under ``src/``, and
+compares the total against ``scripts/coverage_baseline.txt``:
+
+  * coverage below the baseline (beyond a small tolerance) fails — a change
+    must not silently reduce how much of the solver the tests exercise;
+  * coverage above the baseline prints a reminder (or rewrites the baseline
+    with ``--update-baseline``), so the floor only ever moves up.
+
+Usage:
+  cmake --preset coverage
+  cmake --build --preset coverage -j"$(nproc)"
+  ctest --preset coverage -j"$(nproc)"
+  python3 scripts/coverage.py [--build-dir build-coverage] [--update-baseline]
+
+Only the line metric is ratcheted: it is the one gcov reports identically
+across GCC versions. Per-file output is informational.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Coverage may not drop more than this many percentage points below the
+# baseline. Nonzero because gcov attributes a handful of lines differently
+# across minor toolchain versions.
+TOLERANCE = 0.25
+
+
+def find_gcda_files(build_dir: str) -> list[str]:
+    found = []
+    for dirpath, _dirnames, filenames in os.walk(build_dir):
+        for name in filenames:
+            if name.endswith(".gcda"):
+                found.append(os.path.join(dirpath, name))
+    return sorted(found)
+
+
+def gcov_json(gcda: str) -> dict:
+    """Runs gcov in JSON mode on one .gcda and returns the parsed report."""
+    result = subprocess.run(
+        ["gcov", "--json-format", "--stdout", gcda],
+        capture_output=True,
+        text=True,
+        check=False,
+        cwd=os.path.dirname(gcda),
+    )
+    if result.returncode != 0:
+        raise RuntimeError(f"gcov failed on {gcda}: {result.stderr.strip()}")
+    return json.loads(result.stdout)
+
+
+def collect_line_coverage(build_dir: str) -> dict[str, dict[int, bool]]:
+    """Maps repo-relative src/ file -> {line -> covered}, merged over TUs.
+
+    A line is covered if any translation unit executed it; headers compiled
+    into many TUs are deduplicated this way, matching how a human reads an
+    annotated listing.
+    """
+    gcda_files = find_gcda_files(build_dir)
+    if not gcda_files:
+        raise RuntimeError(
+            f"no .gcda files under {build_dir}; build with the 'coverage' "
+            "preset and run ctest first"
+        )
+    lines: dict[str, dict[int, bool]] = {}
+    for gcda in gcda_files:
+        report = gcov_json(gcda)
+        for file_report in report.get("files", []):
+            path = os.path.normpath(
+                os.path.join(os.path.dirname(gcda), file_report["file"])
+            )
+            rel = os.path.relpath(path, REPO_ROOT)
+            if not rel.startswith("src" + os.sep):
+                continue
+            per_file = lines.setdefault(rel, {})
+            for line in file_report.get("lines", []):
+                number = line["line_number"]
+                per_file[number] = per_file.get(number, False) or line["count"] > 0
+    return lines
+
+
+def read_baseline(path: str) -> float | None:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for raw in handle:
+                text = raw.split("#", 1)[0].strip()
+                if text:
+                    return float(text)
+    except FileNotFoundError:
+        return None
+    return None
+
+
+def write_baseline(path: str, percent: float) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            "# Minimum src/ line coverage (percent) enforced by "
+            "scripts/coverage.py.\n"
+            "# Only raise this number; the CI coverage job fails below it.\n"
+            f"{percent:.2f}\n"
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build-coverage"))
+    parser.add_argument(
+        "--baseline", default=os.path.join(REPO_ROOT, "scripts", "coverage_baseline.txt")
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to the measured coverage if it improved",
+    )
+    args = parser.parse_args()
+
+    lines = collect_line_coverage(args.build_dir)
+    total_lines = sum(len(per_file) for per_file in lines.values())
+    covered_lines = sum(sum(per_file.values()) for per_file in lines.values())
+    if total_lines == 0:
+        print("coverage: no executable lines found under src/", file=sys.stderr)
+        return 1
+    percent = 100.0 * covered_lines / total_lines
+
+    for rel in sorted(lines):
+        per_file = lines[rel]
+        if not per_file:  # e.g. a header whose every line was optimized out
+            continue
+        file_percent = 100.0 * sum(per_file.values()) / len(per_file)
+        print(f"{file_percent:6.1f}%  {rel}")
+    print(f"\ntotal src/ line coverage: {percent:.2f}% "
+          f"({covered_lines}/{total_lines} lines)")
+
+    baseline = read_baseline(args.baseline)
+    if baseline is None:
+        print(f"no baseline at {args.baseline}; writing {percent:.2f}")
+        write_baseline(args.baseline, percent)
+        return 0
+    if percent < baseline - TOLERANCE:
+        print(
+            f"FAIL: coverage {percent:.2f}% fell below the baseline "
+            f"{baseline:.2f}% (tolerance {TOLERANCE})",
+            file=sys.stderr,
+        )
+        return 1
+    if percent > baseline + TOLERANCE:
+        if args.update_baseline:
+            write_baseline(args.baseline, percent)
+            print(f"baseline raised: {baseline:.2f} -> {percent:.2f}")
+        else:
+            print(
+                f"coverage improved past the baseline ({baseline:.2f} -> "
+                f"{percent:.2f}); re-run with --update-baseline to ratchet"
+            )
+    else:
+        print(f"OK: coverage holds the {baseline:.2f}% baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,17 @@ examples/):
   nondeterminism  No `std::rand`, `srand`, or `time(nullptr)` seeding:
                   every stochastic component draws from the explicitly
                   seeded crh::Rng so runs are reproducible.
+  raw-assert      No raw `assert(` outside tests/: library code uses
+                  CRH_CHECK / CRH_DCHECK (src/common/check.h), which
+                  report expression and operands and respect the
+                  project's Debug/Release contract semantics.
+                  (`static_assert` is always fine.)
+  float-equality  No `==` / `!=` against a floating-point literal or a
+                  Value's continuous payload in src/: exact comparison
+                  of computed doubles is almost always a bug; compare
+                  via NearlyEqual / CRH_CHECK_NEAR or an explicit
+                  tolerance. Intentional exact comparisons (bitwise
+                  round-trips) carry a lint:allow.
 
 Exit status is 0 when the tree is clean, 1 when any finding is reported.
 Suppress a single line with a trailing `// lint:allow(<rule>)` comment.
@@ -31,7 +42,7 @@ import re
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-DEFAULT_DIRS = ["src", "tests", "bench", "examples"]
+DEFAULT_DIRS = ["src", "tests", "bench", "examples", "fuzz"]
 CXX_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
 
 INCLUDE_CC_RE = re.compile(r'#\s*include\s+["<][^">]+\.cc[">]')
@@ -41,6 +52,17 @@ NONDETERMINISM_RE = re.compile(
     r"std::rand\b|[^\w.]s?rand\s*\(|\btime\s*\(\s*(nullptr|NULL|0)\s*\)"
 )
 ALLOW_RE = re.compile(r"//\s*lint:allow\(([\w-]+)\)")
+RAW_ASSERT_RE = re.compile(r"(^|[^\w])assert\s*\(")
+# A floating-point literal (1.0, .5, 2.5e-3, 1.f) or the continuous payload
+# of a Value (`.continuous()` accessor / `continuous_` member), on either
+# side of == or !=. Heuristic by design: it cannot see declared types, but
+# these two shapes cover the double comparisons this codebase performs.
+_FLOAT_OPERAND = r"(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?f?"
+_CONTINUOUS_OPERAND = r"(?:\.|->)continuous\(\)|\bcontinuous_"
+FLOAT_EQ_RE = re.compile(
+    rf"(?:{_FLOAT_OPERAND}|{_CONTINUOUS_OPERAND})\s*[!=]=(?!=)"
+    rf"|[!=]=\s*[-+]?(?:{_FLOAT_OPERAND}|{_CONTINUOUS_OPERAND})"
+)
 
 # A declaration (or definition) of a function returning plain Status. The
 # unchecked-status rule keys off the collected names, so both free
@@ -126,6 +148,8 @@ def main(argv: list[str]) -> int:
 
     for path in files:
         in_common = "common" in path.parts
+        in_tests = "tests" in path.parts
+        in_src = "src" in path.parts
         for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
             allowed = {m for m in ALLOW_RE.findall(raw)}
             line = strip_comments_and_strings(raw)
@@ -142,6 +166,14 @@ def main(argv: list[str]) -> int:
             if NONDETERMINISM_RE.search(line) and "nondeterminism" not in allowed:
                 findings.append((path, lineno, "nondeterminism",
                                  "use the seeded crh::Rng, not std::rand/time"))
+            if (not in_tests and "raw-assert" not in allowed
+                    and RAW_ASSERT_RE.search(line)):
+                findings.append((path, lineno, "raw-assert",
+                                 "use CRH_CHECK/CRH_DCHECK instead of assert()"))
+            if in_src and "float-equality" not in allowed and FLOAT_EQ_RE.search(line):
+                findings.append((path, lineno, "float-equality",
+                                 "exact ==/!= on a double; use NearlyEqual or an "
+                                 "explicit tolerance (lint:allow if intentional)"))
 
             call = CALL_STMT_RE.match(line)
             if (call and call.group(1) in status_functions

@@ -1,0 +1,313 @@
+#include "analysis/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace crh {
+
+namespace {
+
+std::string EntryName(const Dataset& data, size_t i, size_t m) {
+  return "entry (" + data.object_id(i) + ", " + data.schema().property(m).name + ")";
+}
+
+/// All invariant violations surface as kInternal: they indicate a bug in
+/// an engine, never bad user input.
+Status Violation(const std::string& message) {
+  return Status::Internal("invariant violation: " + message);
+}
+
+bool AllEqual(const std::vector<double>& xs, double tolerance) {
+  for (double x : xs) {
+    if (!NearlyEqual(x, xs.front(), tolerance)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status ObserverChain::OnIteration(const IterationSnapshot& snapshot) {
+  for (IterationObserver* observer : observers_) {
+    CRH_RETURN_NOT_OK(observer->OnIteration(snapshot));
+  }
+  return Status::OK();
+}
+
+Status CheckWeightConstraint(const std::vector<double>& weights,
+                             const WeightSchemeOptions& scheme, double tolerance) {
+  if (weights.empty()) return Violation("weight vector is empty");
+  for (size_t k = 0; k < weights.size(); ++k) {
+    if (!std::isfinite(weights[k])) {
+      return Violation("weight " + std::to_string(k) + " is not finite");
+    }
+    if (weights[k] < -tolerance) {
+      return Violation("weight " + std::to_string(k) + " is negative (" +
+                       std::to_string(weights[k]) + ")");
+    }
+  }
+  const size_t k_sources = weights.size();
+  switch (scheme.kind) {
+    case WeightSchemeKind::kLogSum:
+    case WeightSchemeKind::kLogMax: {
+      // The documented degenerate output when every source has zero loss.
+      if (AllEqual(weights, tolerance)) return Status::OK();
+      if (scheme.kind == WeightSchemeKind::kLogSum) {
+        // delta(W) = sum_k exp(-w_k) = 1 exactly without the epsilon clamp;
+        // the clamp can only raise the sum, by at most K * epsilon_ratio.
+        double delta = 0.0;
+        for (double w : weights) delta += std::exp(-w);
+        const double upper =
+            1.0 + static_cast<double>(k_sources) * scheme.epsilon_ratio + tolerance;
+        if (delta < 1.0 - tolerance || delta > upper) {
+          return Violation("log-sum weight constraint: sum exp(-w) = " +
+                           std::to_string(delta) + ", want [1, " + std::to_string(upper) +
+                           "]");
+        }
+      } else {
+        // Max normalization pins the worst source to weight exactly 0 and
+        // caps every weight at -log(epsilon_ratio).
+        const double min_weight = *std::min_element(weights.begin(), weights.end());
+        if (min_weight > tolerance) {
+          return Violation("log-max weight constraint: min weight = " +
+                           std::to_string(min_weight) + ", want 0");
+        }
+        const double cap = -std::log(scheme.epsilon_ratio) + tolerance;
+        const double max_weight = *std::max_element(weights.begin(), weights.end());
+        if (max_weight > cap) {
+          return Violation("log-max weight cap: max weight = " + std::to_string(max_weight) +
+                           " exceeds -log(epsilon_ratio) = " + std::to_string(cap));
+        }
+      }
+      return Status::OK();
+    }
+    case WeightSchemeKind::kBestSourceLp:
+    case WeightSchemeKind::kTopJ: {
+      const double want_sum = scheme.kind == WeightSchemeKind::kBestSourceLp
+                                  ? 1.0
+                                  : static_cast<double>(scheme.top_j);
+      double sum = 0.0;
+      for (double w : weights) {
+        if (!NearlyEqual(w, 0.0, tolerance) && !NearlyEqual(w, 1.0, tolerance)) {
+          return Violation("selection weight constraint: weight " + std::to_string(w) +
+                           " is neither 0 nor 1");
+        }
+        sum += w;
+      }
+      if (!NearlyEqual(sum, want_sum, tolerance)) {
+        return Violation("selection weight constraint: weights sum to " +
+                         std::to_string(sum) + ", want " + std::to_string(want_sum));
+      }
+      return Status::OK();
+    }
+  }
+  return Violation("unknown weight scheme kind");
+}
+
+Status CheckTruthDomain(const Dataset& data, const ValueTable& truths,
+                        const ValueTable* supervision, double tolerance) {
+  if (truths.num_objects() != data.num_objects() ||
+      truths.num_properties() != data.num_properties()) {
+    return Status::InvalidArgument("truth table shape does not match dataset");
+  }
+  const size_t n = data.num_objects();
+  const size_t m_props = data.num_properties();
+  for (size_t m = 0; m < m_props; ++m) {
+    const bool continuous = data.schema().is_continuous(m);
+    for (size_t i = 0; i < n; ++i) {
+      const Value& truth = truths.Get(i, m);
+      if (supervision != nullptr) {
+        const Value& label = supervision->Get(i, m);
+        if (!label.is_missing()) {
+          if (truth != label) {
+            return Violation(EntryName(data, i, m) +
+                             ": truth does not equal the supervision label");
+          }
+          continue;
+        }
+      }
+      // Missing truths are always in-domain: engines leave an entry
+      // missing when no source claimed it, and baselines leave whole
+      // property types missing by design.
+      if (truth.is_missing()) continue;
+      if (continuous && !truth.is_continuous()) {
+        return Violation(EntryName(data, i, m) +
+                         ": continuous property holds a non-continuous truth");
+      }
+      if (!continuous && !truth.is_categorical()) {
+        return Violation(EntryName(data, i, m) +
+                         ": discrete property holds a non-categorical truth");
+      }
+
+      bool any_claim = false;
+      bool candidate_match = false;
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (size_t k = 0; k < data.num_sources(); ++k) {
+        const Value& claim = data.observations(k).Get(i, m);
+        if (claim.is_missing()) continue;
+        any_claim = true;
+        if (continuous) {
+          lo = std::min(lo, claim.continuous());
+          hi = std::max(hi, claim.continuous());
+        } else if (claim == truth) {
+          candidate_match = true;
+          break;
+        }
+      }
+      if (!any_claim) {
+        return Violation(EntryName(data, i, m) + ": truth present but no source claimed it");
+      }
+      if (continuous) {
+        if (!std::isfinite(truth.continuous())) {
+          return Violation(EntryName(data, i, m) + ": continuous truth is not finite");
+        }
+        const double slack =
+            tolerance * std::max({1.0, std::abs(lo), std::abs(hi)});
+        if (truth.continuous() < lo - slack || truth.continuous() > hi + slack) {
+          return Violation(EntryName(data, i, m) + ": continuous truth " +
+                           std::to_string(truth.continuous()) +
+                           " escapes the observed hull [" + std::to_string(lo) + ", " +
+                           std::to_string(hi) + "]");
+        }
+      } else if (!candidate_match) {
+        return Violation(EntryName(data, i, m) +
+                         ": discrete truth is not among the observed candidate values");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckLossMonotonic(const std::vector<double>& objective_history,
+                          double relative_slack, double absolute_slack) {
+  for (size_t t = 0; t < objective_history.size(); ++t) {
+    const double objective = objective_history[t];
+    if (!std::isfinite(objective)) {
+      return Violation("objective at iteration " + std::to_string(t + 1) +
+                       " is not finite");
+    }
+    if (t == 0) continue;
+    const double prev = objective_history[t - 1];
+    const double allowed =
+        prev + relative_slack * std::max(std::abs(prev), 1.0) + absolute_slack;
+    if (objective > allowed) {
+      return Violation("objective increased at iteration " + std::to_string(t + 1) +
+                       ": " + std::to_string(prev) + " -> " + std::to_string(objective));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckTruthTablesMatch(const Dataset& data, const ValueTable& expected,
+                             const ValueTable& actual, double continuous_tolerance) {
+  if (expected.num_objects() != actual.num_objects() ||
+      expected.num_properties() != actual.num_properties()) {
+    return Status::InvalidArgument("truth tables have different shapes");
+  }
+  for (size_t i = 0; i < expected.num_objects(); ++i) {
+    for (size_t m = 0; m < expected.num_properties(); ++m) {
+      const Value& want = expected.Get(i, m);
+      const Value& got = actual.Get(i, m);
+      if (want.is_missing() != got.is_missing()) {
+        return Violation(EntryName(data, i, m) + ": missingness differs");
+      }
+      if (want.is_missing()) continue;
+      if (want.is_continuous() != got.is_continuous()) {
+        return Violation(EntryName(data, i, m) + ": value kinds differ");
+      }
+      if (want.is_continuous()) {
+        const double slack = continuous_tolerance * std::max(1.0, std::abs(want.continuous()));
+        if (!NearlyEqual(want.continuous(), got.continuous(), slack)) {
+          return Violation(EntryName(data, i, m) + ": continuous truths differ: " +
+                           std::to_string(want.continuous()) + " vs " +
+                           std::to_string(got.continuous()));
+        }
+      } else if (want != got) {
+        return Violation(EntryName(data, i, m) + ": discrete truths differ");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Engines must fill the mandatory snapshot fields; a malformed snapshot
+/// is a bug in the engine integration, not a data problem.
+void CheckSnapshotContract(const IterationSnapshot& snapshot) {
+  CRH_CHECK_MSG(snapshot.data != nullptr, "IterationSnapshot.data is null");
+  CRH_CHECK_MSG(snapshot.truths != nullptr, "IterationSnapshot.truths is null");
+  CRH_CHECK_MSG(snapshot.weights != nullptr, "IterationSnapshot.weights is null");
+  CRH_CHECK_MSG(snapshot.iteration >= 1, "IterationSnapshot.iteration must be 1-based");
+}
+
+}  // namespace
+
+Status LossMonotonicityChecker::OnIteration(const IterationSnapshot& snapshot) {
+  CheckSnapshotContract(snapshot);
+  if (!std::isnan(snapshot.objective) && !std::isfinite(snapshot.objective)) {
+    return Violation(std::string(snapshot.engine) + " objective at iteration " +
+                     std::to_string(snapshot.iteration) + " is not finite");
+  }
+  const auto check_step = [&](const char* step, double before,
+                              double after) -> Status {
+    // NaN marks "no certificate for this configuration"; a certificate
+    // with only one side evaluated is an engine wiring bug.
+    if (std::isnan(before) && std::isnan(after)) return Status::OK();
+    if (!std::isfinite(before) || !std::isfinite(after)) {
+      return Violation(std::string(snapshot.engine) + " " + step +
+                       "-step certificate at iteration " +
+                       std::to_string(snapshot.iteration) + " is not finite");
+    }
+    const double allowed = before +
+                           options_.monotonicity_relative_slack *
+                               std::max(std::abs(before), 1.0) +
+                           options_.monotonicity_absolute_slack;
+    if (after > allowed) {
+      return Violation(std::string(snapshot.engine) + " " + step +
+                       " update increased its objective at iteration " +
+                       std::to_string(snapshot.iteration) + ": " + std::to_string(before) +
+                       " -> " + std::to_string(after));
+    }
+    return Status::OK();
+  };
+  CRH_RETURN_NOT_OK(
+      check_step("weight", snapshot.weight_step_before, snapshot.weight_step_after));
+  return check_step("truth", snapshot.truth_step_before, snapshot.truth_step_after);
+}
+
+Status WeightConstraintChecker::OnIteration(const IterationSnapshot& snapshot) {
+  CheckSnapshotContract(snapshot);
+  if (snapshot.weight_scheme == nullptr) return Status::OK();
+  if (snapshot.group_weights != nullptr) {
+    const double tol = options_.weight_tolerance;
+    for (const std::vector<double>& group : *snapshot.group_weights) {
+      CRH_RETURN_NOT_OK(CheckWeightConstraint(group, *snapshot.weight_scheme, tol));
+    }
+    return Status::OK();
+  }
+  return CheckWeightConstraint(*snapshot.weights, *snapshot.weight_scheme,
+                               options_.weight_tolerance);
+}
+
+Status DomainValidityChecker::OnIteration(const IterationSnapshot& snapshot) {
+  CheckSnapshotContract(snapshot);
+  return CheckTruthDomain(*snapshot.data, *snapshot.truths, snapshot.supervision,
+                          options_.domain_tolerance);
+}
+
+InvariantVerifier::InvariantVerifier(const InvariantVerifierOptions& options)
+    : monotonicity_(options), weights_(options), domain_(options) {}
+
+Status InvariantVerifier::OnIteration(const IterationSnapshot& snapshot) {
+  CRH_RETURN_NOT_OK(monotonicity_.OnIteration(snapshot));
+  CRH_RETURN_NOT_OK(weights_.OnIteration(snapshot));
+  CRH_RETURN_NOT_OK(domain_.OnIteration(snapshot));
+  ++steps_verified_;
+  return Status::OK();
+}
+
+}  // namespace crh

@@ -1,0 +1,252 @@
+#ifndef CRH_ANALYSIS_INVARIANTS_H_
+#define CRH_ANALYSIS_INVARIANTS_H_
+
+/// \file invariants.h
+/// Algorithmic invariant verification for the CRH solver family.
+///
+/// The sanitizer/lint layer (PR 1) catches memory and style bugs; this
+/// module catches *algorithmic* ones — the silent regressions where every
+/// iteration still runs and a plausible truth table still comes out, but a
+/// mathematical invariant of the method has been broken. The enforced
+/// invariants come straight from the paper:
+///
+///  * Loss descent (Theorem 2 / Eq 5): each block update of the coordinate
+///    descent must not increase the objective it minimizes. This is checked
+///    as two per-step "descent certificates" (weight step and truth step)
+///    rather than as monotonicity of the raw Eq-1 history, because the raw
+///    history is only a true Lyapunov function in the theorem configuration
+///    — see LossMonotonicityChecker for the full story.
+///  * Weight constraint delta(W) = 1 (Eq 2): every weight update must land
+///    on the constraint set of its weight scheme — e.g. sum_k exp(-w_k) = 1
+///    for the log-sum scheme — with all weights finite and non-negative.
+///  * Truth-table domain validity (Eq 3): every estimated truth must be
+///    drawn from the observed candidate set (categorical/text) or lie
+///    within the observed min/max hull of the claims (continuous).
+///
+/// Engines expose an IterationObserver hook (CrhOptions::observer) invoked
+/// after every coordinate-descent step; InvariantVerifier bundles all
+/// checkers behind that hook. A non-OK status from the observer aborts the
+/// run and is returned to the caller, so a violated invariant can never
+/// produce a silently wrong result. Building with -DCRH_VERIFY=ON (or
+/// passing --verify to crh_cli) installs an InvariantVerifier into every
+/// solver run that did not configure its own observer.
+///
+/// The standalone Check* functions are the same predicates in pure form,
+/// usable by tests on any solver output (including the baselines, which
+/// have no iteration loop to observe).
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/table.h"
+#include "weights/weight_scheme.h"
+
+namespace crh {
+
+/// Everything an observer may inspect after one coordinate-descent step.
+/// All pointers are borrowed and valid only during the OnIteration call.
+struct IterationSnapshot {
+  /// Which engine produced the snapshot: "crh", "icrh", "parallel".
+  const char* engine = "";
+  /// 1-based step index within the current run (chunk index for icrh).
+  int iteration = 0;
+  /// The dataset the step ran on (the current chunk for icrh). Never null.
+  const Dataset* data = nullptr;
+  /// The truth table after the step. Never null.
+  const ValueTable* truths = nullptr;
+  /// Aggregated per-source weights after the step (mean across groups
+  /// under fine-grained granularity). Never null.
+  const std::vector<double>* weights = nullptr;
+  /// Per-group weights when the engine resolves weights per group; each
+  /// group individually satisfies the weight constraint. Null when the
+  /// engine has a single global weight vector.
+  const std::vector<std::vector<double>>* group_weights = nullptr;
+  /// The weight scheme that produced the weights; null when the weights
+  /// did not come from ComputeSourceWeights (no delta(W) constraint).
+  const WeightSchemeOptions* weight_scheme = nullptr;
+  /// Supervision table whose non-missing cells are clamped truths (exempt
+  /// from the observed-candidate domain rule). Null when unsupervised.
+  const ValueTable* supervision = nullptr;
+  /// Objective value (Eq 1) after the step; NaN when the engine does not
+  /// evaluate the objective (icrh's single pass).
+  double objective = 0.0;
+
+  /// Descent certificates for the two block updates of this step — the
+  /// content of Theorem 2's proof sketch (each block update is an argmin of
+  /// its objective, so it cannot increase it). NaN means "not evaluated";
+  /// a certificate is only emitted when the inequality is an exact
+  /// mathematical guarantee for the engine's configuration.
+  ///
+  /// Weight step: WeightStepObjective (the functional the update is the
+  /// exact minimizer of — the penalized Lagrangian form for the log
+  /// schemes, the linear form over the 0/1 selection set for the selection
+  /// schemes), summed across weight groups, at the previous weights
+  /// (before) and the updated weights (after). The log schemes' update is
+  /// an unconstrained global minimizer, so their certificate holds against
+  /// any previous weights, including the all-ones start; the selection
+  /// schemes' 0/1 argmin is dominated by both the all-ones start and any
+  /// previous selection. The certificate is therefore emitted on every
+  /// observed iteration of every scheme.
+  double weight_step_before = std::numeric_limits<double>::quiet_NaN();
+  double weight_step_after = std::numeric_limits<double>::quiet_NaN();
+  /// Truth step: the weighted loss at the (group) weights the truth update
+  /// used, evaluated at the previous truths (before) and the updated truths
+  /// (after). Valid in every configuration: the truth update is an exact
+  /// per-entry argmin given the weights.
+  double truth_step_before = std::numeric_limits<double>::quiet_NaN();
+  double truth_step_after = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Observer interface the engines call after each coordinate-descent step.
+/// Returning a non-OK status aborts the run with that status.
+class IterationObserver {
+ public:
+  virtual ~IterationObserver() = default;
+  virtual Status OnIteration(const IterationSnapshot& snapshot) = 0;
+};
+
+/// Fans one snapshot out to several observers; fails on the first failure.
+class ObserverChain : public IterationObserver {
+ public:
+  ObserverChain() = default;
+  explicit ObserverChain(std::vector<IterationObserver*> observers)
+      : observers_(std::move(observers)) {}
+
+  /// Adds an observer (borrowed; must outlive the chain).
+  void Add(IterationObserver* observer) { observers_.push_back(observer); }
+
+  Status OnIteration(const IterationSnapshot& snapshot) override;
+
+ private:
+  std::vector<IterationObserver*> observers_;
+};
+
+// --- Standalone invariant predicates ---------------------------------------
+
+/// Verifies one weight vector against its scheme's constraint set:
+/// all weights finite and non-negative, and
+///   kLogSum       sum_k exp(-w_k) in [1, 1 + K * epsilon_ratio]
+///                 (the epsilon clamp can only push the sum above 1),
+///   kLogMax       max_k exp(-w_k) = 1 (the worst source has weight 0),
+///   kBestSourceLp weights are 0/1 and sum to 1,
+///   kTopJ         weights are 0/1 and sum to top_j.
+/// The all-equal vector is accepted for the log schemes: it is the
+/// documented degenerate output when every source has zero loss.
+Status CheckWeightConstraint(const std::vector<double>& weights,
+                             const WeightSchemeOptions& scheme, double tolerance = 1e-9);
+
+/// Verifies domain validity of a truth table against the observations:
+/// for every entry, a missing truth requires no claims; a categorical or
+/// text truth must equal one of the claimed values; a continuous truth
+/// must lie within [min claim, max claim] (widened by `tolerance` times
+/// the hull width). Cells labeled in `supervision` are instead required to
+/// equal the supervision value. Truth tables narrower than the dataset
+/// (baselines that skip a property type) pass for the missing entries
+/// only if no rule above is violated.
+Status CheckTruthDomain(const Dataset& data, const ValueTable& truths,
+                        const ValueTable* supervision = nullptr, double tolerance = 1e-9);
+
+/// Verifies an objective history is non-increasing up to slack: each
+/// successive value may exceed its predecessor by at most
+/// `relative_slack * max(|prev|, 1) + absolute_slack`.
+Status CheckLossMonotonic(const std::vector<double>& objective_history,
+                          double relative_slack = 1e-9, double absolute_slack = 1e-12);
+
+/// Verifies two truth tables over the same dataset agree: identical
+/// missingness and categorical/text truths, continuous truths within
+/// `continuous_tolerance` (absolute, after scaling by max(1, |expected|)).
+/// Used by the batch-vs-incremental and batch-vs-parallel equivalence
+/// tests. The status message pinpoints the first mismatching entry.
+Status CheckTruthTablesMatch(const Dataset& data, const ValueTable& expected,
+                             const ValueTable& actual, double continuous_tolerance = 1e-9);
+
+// --- Observer wrappers ------------------------------------------------------
+
+/// Options shared by the concrete checkers / the bundled verifier.
+struct InvariantVerifierOptions {
+  /// Loss descent: allowed relative increase of a descent certificate
+  /// across its block update. The certificates are exact inequalities in
+  /// real arithmetic; the slack only absorbs floating-point accumulation
+  /// order across the sum over claims.
+  double monotonicity_relative_slack = 1e-6;
+  double monotonicity_absolute_slack = 1e-9;
+  /// Numeric tolerance of the delta(W) constraint check.
+  double weight_tolerance = 1e-9;
+  /// Relative widening of the continuous min/max hull.
+  double domain_tolerance = 1e-9;
+};
+
+/// Checks the loss-descent invariant of Theorem 2: every snapshot's weight
+/// and truth descent certificates must be non-increasing (up to slack), and
+/// every non-NaN objective must be finite.
+///
+/// Why certificates instead of "objective_history is non-increasing":
+/// the raw Eq-1 objective is only a Lyapunov function of the descent when
+/// the weight update minimizes that same functional — i.e. under the
+/// log-sum scheme with the Section 2.5 normalizations off. The default
+/// configuration breaks this twice: the per-property (kSum) and
+/// per-observation-count normalizations make the weight update minimize a
+/// differently-weighted sum than Eq 1, and the log-max scheme is a
+/// normalization heuristic rather than a constrained argmin, so the total
+/// weight mass (and with it the raw objective) can legitimately grow as the
+/// weight spread sharpens. What Theorem 2's proof actually guarantees in
+/// every configuration is the per-block inequalities, which is what the
+/// snapshots certify. Full-history monotonicity in the theorem
+/// configuration is asserted by the regression tests via
+/// CheckLossMonotonic.
+class LossMonotonicityChecker : public IterationObserver {
+ public:
+  explicit LossMonotonicityChecker(const InvariantVerifierOptions& options = {})
+      : options_(options) {}
+  Status OnIteration(const IterationSnapshot& snapshot) override;
+
+ private:
+  InvariantVerifierOptions options_;
+};
+
+/// Checks every snapshot's weights against the scheme constraint set
+/// (per group when group weights are present).
+class WeightConstraintChecker : public IterationObserver {
+ public:
+  explicit WeightConstraintChecker(const InvariantVerifierOptions& options = {})
+      : options_(options) {}
+  Status OnIteration(const IterationSnapshot& snapshot) override;
+
+ private:
+  InvariantVerifierOptions options_;
+};
+
+/// Checks every snapshot's truth table for domain validity.
+class DomainValidityChecker : public IterationObserver {
+ public:
+  explicit DomainValidityChecker(const InvariantVerifierOptions& options = {})
+      : options_(options) {}
+  Status OnIteration(const IterationSnapshot& snapshot) override;
+
+ private:
+  InvariantVerifierOptions options_;
+};
+
+/// The full verification bundle: monotonicity + weight constraint + domain
+/// validity. This is what --verify and -DCRH_VERIFY=ON install.
+class InvariantVerifier : public IterationObserver {
+ public:
+  explicit InvariantVerifier(const InvariantVerifierOptions& options = {});
+  Status OnIteration(const IterationSnapshot& snapshot) override;
+
+  /// Number of snapshots that passed all checks since construction.
+  size_t steps_verified() const { return steps_verified_; }
+
+ private:
+  LossMonotonicityChecker monotonicity_;
+  WeightConstraintChecker weights_;
+  DomainValidityChecker domain_;
+  size_t steps_verified_ = 0;
+};
+
+}  // namespace crh
+
+#endif  // CRH_ANALYSIS_INVARIANTS_H_

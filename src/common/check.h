@@ -1,0 +1,193 @@
+#ifndef CRH_COMMON_CHECK_H_
+#define CRH_COMMON_CHECK_H_
+
+/// \file check.h
+/// Contract-enforcement macros for the CRH library.
+///
+/// The solvers rest on mathematical invariants (loss monotonicity, the
+/// weight constraint delta(W) = 1, domain validity of truths) and on
+/// ordinary structural preconditions (index bounds, matching shapes).
+/// These macros make both kinds of contract explicit and give each a
+/// failure action appropriate to the build:
+///
+///   CRH_CHECK(cond)            Always-on invariant. On failure, prints
+///                              file:line, the expression text, and an
+///                              optional context message, then aborts.
+///                              Active in every build type.
+///   CRH_DCHECK(cond)           Debug-only precondition for hot paths
+///                              (cell accessors, per-claim loops). Expands
+///                              to the same abort in Debug builds and to
+///                              nothing when NDEBUG is defined, so the
+///                              RelWithDebInfo tier-1 build pays zero cost.
+///   CRH_CHECK_OK(status_expr)  Asserts a crh::Status (or Result) is OK;
+///                              the failure report includes the status
+///                              message.
+///   CRH_CHECK_EQ/NE/LT/LE/GT/GE(a, b)
+///                              Binary comparisons that capture and print
+///                              both operand values on failure.
+///   CRH_CHECK_NEAR(a, b, tol)  |a - b| <= tol with operand capture; the
+///                              floating-point counterpart of CRH_CHECK_EQ.
+///   CRH_VERIFY_OR_RETURN(cond, msg)
+///                              Release-path contract inside functions
+///                              returning Status or Result<T>: on failure
+///                              returns Status(kInternal) carrying
+///                              file:line + expression + msg instead of
+///                              aborting. Use it where a violated internal
+///                              invariant should surface as an error to the
+///                              caller rather than take the process down.
+///
+/// All failure paths funnel through crh::internal::CheckFailed, which
+/// writes the report to stderr and aborts (so sanitizer builds and death
+/// tests both observe it).
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace crh {
+
+/// True iff |a - b| <= tolerance, with NaN never near anything. The
+/// epsilon comparison helper the float-equality lint rule points at: use
+/// this (or CRH_CHECK_NEAR) instead of ==/!= on doubles.
+inline bool NearlyEqual(double a, double b, double tolerance) {
+  return std::abs(a - b) <= tolerance;
+}
+
+namespace internal {
+
+/// Prints "file:line: CRH_CHECK failed: expr (details)" to stderr and
+/// aborts. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& details);
+
+/// Builds the Status(kInternal) message used by CRH_VERIFY_OR_RETURN.
+std::string VerifyFailureMessage(const char* file, int line, const char* expr,
+                                 const std::string& details);
+
+/// Renders a value for a failure report. Arithmetic types print exactly
+/// (doubles with enough digits to round-trip); anything streamable uses
+/// its operator<<; everything else renders as a placeholder.
+template <typename T>
+std::string CheckValueToString(const T& value) {
+  if constexpr (std::is_floating_point_v<T>) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", static_cast<double>(value));
+    return buf;
+  } else if constexpr (requires(std::ostringstream& os, const T& v) { os << v; }) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+template <typename A, typename B>
+std::string FormatOperands(const A& a, const B& b) {
+  return "lhs = " + CheckValueToString(a) + ", rhs = " + CheckValueToString(b);
+}
+
+}  // namespace internal
+}  // namespace crh
+
+/// Always-on contract check; aborts with a report on failure.
+#define CRH_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::crh::internal::CheckFailed(__FILE__, __LINE__, #cond, std::string()); \
+    }                                                                       \
+  } while (false)
+
+/// Always-on contract check with a context message appended to the report.
+#define CRH_CHECK_MSG(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::crh::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg));   \
+    }                                                                   \
+  } while (false)
+
+/// Asserts a Status-returning expression is OK; the report carries the
+/// status message. The expression is evaluated exactly once.
+#define CRH_CHECK_OK(expr)                                                  \
+  do {                                                                      \
+    const ::crh::Status _crh_check_st = (expr);                             \
+    if (!_crh_check_st.ok()) {                                              \
+      ::crh::internal::CheckFailed(__FILE__, __LINE__, #expr " is OK",      \
+                                   _crh_check_st.ToString());               \
+    }                                                                       \
+  } while (false)
+
+#define CRH_CHECK_OP_IMPL(a, b, op)                                          \
+  do {                                                                       \
+    const auto& _crh_a = (a);                                                \
+    const auto& _crh_b = (b);                                                \
+    if (!(_crh_a op _crh_b)) {                                               \
+      ::crh::internal::CheckFailed(__FILE__, __LINE__, #a " " #op " " #b,    \
+                                   ::crh::internal::FormatOperands(_crh_a,   \
+                                                                   _crh_b)); \
+    }                                                                        \
+  } while (false)
+
+/// Binary comparison checks with operand capture in the failure report.
+#define CRH_CHECK_EQ(a, b) CRH_CHECK_OP_IMPL(a, b, ==)
+#define CRH_CHECK_NE(a, b) CRH_CHECK_OP_IMPL(a, b, !=)
+#define CRH_CHECK_LT(a, b) CRH_CHECK_OP_IMPL(a, b, <)
+#define CRH_CHECK_LE(a, b) CRH_CHECK_OP_IMPL(a, b, <=)
+#define CRH_CHECK_GT(a, b) CRH_CHECK_OP_IMPL(a, b, >)
+#define CRH_CHECK_GE(a, b) CRH_CHECK_OP_IMPL(a, b, >=)
+
+/// Floating-point nearness check: |a - b| <= tol, with operand capture.
+/// NaN on either side fails (NaN is never near anything).
+#define CRH_CHECK_NEAR(a, b, tol)                                             \
+  do {                                                                        \
+    const double _crh_a = static_cast<double>(a);                             \
+    const double _crh_b = static_cast<double>(b);                             \
+    const double _crh_tol = static_cast<double>(tol);                         \
+    if (!::crh::NearlyEqual(_crh_a, _crh_b, _crh_tol)) {                      \
+      ::crh::internal::CheckFailed(                                           \
+          __FILE__, __LINE__, "|" #a " - " #b "| <= " #tol,                   \
+          ::crh::internal::FormatOperands(_crh_a, _crh_b) +                   \
+              ", tolerance = " + ::crh::internal::CheckValueToString(_crh_tol)); \
+    }                                                                         \
+  } while (false)
+
+/// Debug-only variants: full checks unless NDEBUG, otherwise nothing (the
+/// condition is not evaluated, but still parsed, so it cannot bit-rot).
+#ifndef NDEBUG
+#define CRH_DCHECK(cond) CRH_CHECK(cond)
+#define CRH_DCHECK_EQ(a, b) CRH_CHECK_EQ(a, b)
+#define CRH_DCHECK_NE(a, b) CRH_CHECK_NE(a, b)
+#define CRH_DCHECK_LT(a, b) CRH_CHECK_LT(a, b)
+#define CRH_DCHECK_LE(a, b) CRH_CHECK_LE(a, b)
+#define CRH_DCHECK_GT(a, b) CRH_CHECK_GT(a, b)
+#define CRH_DCHECK_GE(a, b) CRH_CHECK_GE(a, b)
+#else
+#define CRH_DCHECK(cond) \
+  do {                   \
+    if (false) {         \
+      (void)(cond);      \
+    }                    \
+  } while (false)
+#define CRH_DCHECK_EQ(a, b) CRH_DCHECK((a) == (b))
+#define CRH_DCHECK_NE(a, b) CRH_DCHECK((a) != (b))
+#define CRH_DCHECK_LT(a, b) CRH_DCHECK((a) < (b))
+#define CRH_DCHECK_LE(a, b) CRH_DCHECK((a) <= (b))
+#define CRH_DCHECK_GT(a, b) CRH_DCHECK((a) > (b))
+#define CRH_DCHECK_GE(a, b) CRH_DCHECK((a) >= (b))
+#endif
+
+/// Release-path contract: on failure, returns Status::Internal (which a
+/// Result<T>-returning function converts implicitly) carrying
+/// file:line + expression + context, instead of aborting. Only usable
+/// inside functions returning crh::Status or crh::Result<T>.
+#define CRH_VERIFY_OR_RETURN(cond, msg)                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      return ::crh::Status::Internal(::crh::internal::VerifyFailureMessage( \
+          __FILE__, __LINE__, #cond, (msg)));                              \
+    }                                                                      \
+  } while (false)
+
+#endif  // CRH_COMMON_CHECK_H_

@@ -84,7 +84,10 @@ class Value {
       case Kind::kMissing:
         return true;
       case Kind::kContinuous:
-        return continuous_ == other.continuous_;
+        // Value identity is intentionally exact: two claims are the same
+        // claim only when bit-equal; tolerant comparison is a loss-function
+        // concern, not an identity concern.
+        return continuous_ == other.continuous_;  // lint:allow(float-equality)
       case Kind::kCategorical:
         return category_ == other.category_;
     }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "analysis/invariants.h"
+#include "common/check.h"
 #include "core/resolvers.h"
 #include "losses/loss.h"
 #include "losses/text_distance.h"
@@ -56,6 +58,7 @@ std::vector<size_t> BuildPropertyGroups(const Schema& schema, WeightGranularity 
 /// Gathers the non-missing claims of all sources on entry (i, m).
 void GatherClaims(const Dataset& data, size_t i, size_t m, std::vector<Value>* values,
                   std::vector<double>* weights, const std::vector<double>& w) {
+  CRH_DCHECK_EQ(w.size(), data.num_sources());
   values->clear();
   weights->clear();
   for (size_t k = 0; k < data.num_sources(); ++k) {
@@ -158,6 +161,7 @@ double ClaimLoss(const Dataset& data, const SolverState& state, const EntryStats
   }
   const double diff = state.truths.Get(i, m).continuous() - obs.continuous();
   const double scale = stats.scale_at(i, m);
+  CRH_DCHECK_GT(scale, 0.0);
   if (options.continuous_model == ContinuousModel::kMedian) {
     return std::abs(diff) / scale;
   }
@@ -224,6 +228,34 @@ std::vector<double> AggregateSourceLosses(const Dataset& data, const SolverState
     for (size_t m = 0; m < data.num_properties(); ++m) totals[k] += loss[k][m];
   }
   return totals;
+}
+
+/// Eq-1 objective with per-group weights: sum over claims of
+/// w_{group(m), k} * ClaimLoss, evaluated with the hard categorical model.
+/// This is exactly the functional the truth update minimizes entry by entry
+/// given the weights, so it backs the truth-step descent certificate.
+double GroupedObjective(const Dataset& data, const ValueTable& truths,
+                        const std::vector<std::vector<double>>& group_weights,
+                        const std::vector<size_t>& property_group, const EntryStats& stats,
+                        const CrhOptions& options) {
+  SolverState state;
+  state.truths = truths;
+  CrhOptions hard = options;
+  hard.categorical_model = CategoricalModel::kVoting;
+
+  double objective = 0.0;
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    const ValueTable& table = data.observations(k);
+    for (size_t i = 0; i < data.num_objects(); ++i) {
+      for (size_t m = 0; m < data.num_properties(); ++m) {
+        const Value& obs = table.Get(i, m);
+        if (obs.is_missing() || truths.Get(i, m).is_missing()) continue;
+        objective += group_weights[property_group[m]][k] *
+                     ClaimLoss(data, state, stats, hard, i, m, obs);
+      }
+    }
+  }
+  return objective;
 }
 
 }  // namespace
@@ -295,6 +327,14 @@ Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options) {
   const size_t k_sources = data.num_sources();
   const EntryStats stats = ComputeEntryStats(data);
 
+  // Observer priority: an explicitly configured observer wins; under a
+  // CRH_VERIFY build every unobserved run gets the full invariant bundle.
+  IterationObserver* observer = options.observer;
+#ifdef CRH_VERIFY_BUILD
+  InvariantVerifier default_verifier;
+  if (observer == nullptr) observer = &default_verifier;
+#endif
+
   size_t num_groups = 1;
   const std::vector<size_t> property_group =
       BuildPropertyGroups(data.schema(), options.weight_granularity, &num_groups);
@@ -321,8 +361,14 @@ Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options) {
 
   CrhResult result;
   double prev_objective = std::numeric_limits<double>::infinity();
+  const bool observing = observer != nullptr;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     // Step I: source weight update (Eq 2 / Eq 5), one update per group.
+    // When observed, the update's descent certificate (the exact functional
+    // it minimizes, before vs after) is accumulated across groups.
+    double weight_step_before = std::numeric_limits<double>::quiet_NaN();
+    double weight_step_after = std::numeric_limits<double>::quiet_NaN();
+    if (observing) weight_step_before = weight_step_after = 0.0;
     const auto loss_matrix = NormalizedLossMatrix(data, state, stats, options);
     for (size_t g = 0; g < num_groups; ++g) {
       std::vector<double> totals(k_sources, 0.0);
@@ -331,12 +377,23 @@ Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options) {
           if (property_group[m] == g) totals[k] += loss_matrix[k][m];
         }
       }
+      if (observing) {
+        weight_step_before += WeightStepObjective(group_weights[g], totals, options.weight_scheme);
+      }
       auto weights_result = ComputeSourceWeights(totals, options.weight_scheme);
       if (!weights_result.ok()) return weights_result.status();
       group_weights[g] = std::move(weights_result).ValueOrDie();
+      CRH_VERIFY_OR_RETURN(group_weights[g].size() == k_sources,
+                           "weight scheme returned a wrong-sized weight vector");
+      if (observing) {
+        weight_step_after += WeightStepObjective(group_weights[g], totals, options.weight_scheme);
+      }
     }
 
-    // Step II: truth update (Eq 3).
+    // Step II: truth update (Eq 3). The observed snapshot of the previous
+    // truths backs the truth-step certificate.
+    ValueTable truths_before_update;
+    if (observing) truths_before_update = state.truths;
     UpdateTruths(data, group_weights, property_group, options, &state);
 
     // Convergence is judged on the mean-across-groups weights via the raw
@@ -349,6 +406,26 @@ Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options) {
     result.iterations = iter + 1;
     const double objective = CrhObjective(data, state.truths, mean_weights, stats, options);
     result.objective_history.push_back(objective);
+    if (observing) {
+      IterationSnapshot snapshot;
+      snapshot.engine = "crh";
+      snapshot.iteration = iter + 1;
+      snapshot.data = &data;
+      snapshot.truths = &state.truths;
+      snapshot.weights = &mean_weights;
+      snapshot.group_weights = &group_weights;
+      snapshot.weight_scheme = &options.weight_scheme;
+      snapshot.supervision = options.supervision;
+      snapshot.objective = objective;
+      snapshot.weight_step_before = weight_step_before;
+      snapshot.weight_step_after = weight_step_after;
+      snapshot.truth_step_before =
+          GroupedObjective(data, truths_before_update, group_weights, property_group, stats,
+                           options);
+      snapshot.truth_step_after =
+          GroupedObjective(data, state.truths, group_weights, property_group, stats, options);
+      CRH_RETURN_NOT_OK(observer->OnIteration(snapshot));
+    }
     const double denom = std::max(std::abs(prev_objective), 1.0);
     if (std::isfinite(prev_objective) &&
         std::abs(prev_objective - objective) / denom < options.convergence_tolerance) {

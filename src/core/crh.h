@@ -34,6 +34,8 @@
 
 namespace crh {
 
+class IterationObserver;  // analysis/invariants.h
+
 /// Truth model for categorical properties.
 enum class CategoricalModel {
   /// 0-1 loss (Eq 8) with weighted-vote truth update (Eq 9). The paper's
@@ -110,6 +112,12 @@ struct CrhOptions {
   /// so source weights are estimated against verified values where
   /// available. Must outlive the RunCrh call and match the dataset shape.
   const ValueTable* supervision = nullptr;
+  /// Optional observer invoked after every coordinate-descent step (see
+  /// analysis/invariants.h); a non-OK status from it aborts the run with
+  /// that status. Borrowed; must outlive the call. When the library is
+  /// built with -DCRH_VERIFY=ON, a full InvariantVerifier is installed
+  /// here automatically for every run that leaves this null.
+  IterationObserver* observer = nullptr;
 };
 
 /// Per-categorical-property soft truth distributions (filled only under

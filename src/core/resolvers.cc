@@ -150,8 +150,16 @@ std::vector<double> WeightedLabelDistribution(const std::vector<CategoryId>& lab
     total += weights[k];
   }
   if (total <= 0.0) {
-    const double uniform = num_labels > 0 ? 1.0 / static_cast<double>(num_labels) : 0.0;
-    std::fill(dist.begin(), dist.end(), uniform);
+    // Zero total weight: every claim is equally credible. The uniform
+    // fallback covers only the *claimed* labels — spreading mass over the
+    // whole dictionary would let the mode land on a label no source ever
+    // claimed, violating the Eq-3 domain invariant.
+    for (const CategoryId label : labels) dist[static_cast<size_t>(label)] = 1.0;
+    double claimed = 0.0;
+    for (const double p : dist) claimed += p;
+    if (claimed > 0.0) {
+      for (double& p : dist) p /= claimed;
+    }
     return dist;
   }
   for (double& p : dist) p /= total;

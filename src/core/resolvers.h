@@ -48,8 +48,9 @@ double WeightedMedianLinear(std::vector<double> values, std::vector<double> weig
 
 /// Eq (12): the weighted mean of one-hot claim vectors, i.e. the truth
 /// probability distribution over the num_labels labels of a categorical
-/// property. Claims are CategoryIds; the result sums to 1 when the total
-/// weight is positive (uniform otherwise).
+/// property. Claims are CategoryIds; the result sums to 1 when any claims
+/// are given (uniform over the claimed labels when the total weight is
+/// zero, so the mode always stays in the observed candidate set).
 std::vector<double> WeightedLabelDistribution(const std::vector<CategoryId>& labels,
                                               const std::vector<double>& weights,
                                               size_t num_labels);

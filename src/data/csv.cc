@@ -1,24 +1,88 @@
 #include "data/csv.h"
 
-#include <cerrno>
-#include <cstring>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
-#include <sstream>
+#include <istream>
+#include <ostream>
+#include <string>
 #include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
 
 namespace crh {
 
 namespace {
 
-/// Splits one CSV line on commas. Fields in this format never contain
-/// commas or quotes, so no quoting logic is required.
-std::vector<std::string> SplitCsvLine(const std::string& line) {
+/// Rows longer than this are rejected rather than buffered: a missing
+/// newline in a multi-gigabyte file must not become an allocation bomb.
+constexpr size_t kMaxLineBytes = 1 << 20;
+
+Status MalformedLine(size_t line_no, const std::string& what) {
+  return Status::InvalidArgument("line " + std::to_string(line_no) + ": " + what);
+}
+
+/// Splits one CSV line on commas with RFC 4180 quoting: a field starting
+/// with a double quote runs to the matching unescaped quote and may
+/// contain commas; embedded quotes are doubled (""). Quotes inside an
+/// unquoted field are taken literally.
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line, size_t line_no) {
   std::vector<std::string> fields;
   std::string field;
-  std::istringstream in(line);
-  while (std::getline(in, field, ',')) fields.push_back(field);
-  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  size_t pos = 0;
+  const size_t n = line.size();
+  while (true) {
+    field.clear();
+    if (pos < n && line[pos] == '"') {
+      ++pos;  // opening quote
+      bool closed = false;
+      while (pos < n) {
+        if (line[pos] == '"') {
+          if (pos + 1 < n && line[pos + 1] == '"') {  // escaped quote
+            field.push_back('"');
+            pos += 2;
+            continue;
+          }
+          ++pos;  // closing quote
+          closed = true;
+          break;
+        }
+        field.push_back(line[pos++]);
+      }
+      if (!closed) return MalformedLine(line_no, "unterminated quoted field");
+      if (pos < n && line[pos] != ',') {
+        return MalformedLine(line_no, "unexpected character after closing quote");
+      }
+    } else {
+      while (pos < n && line[pos] != ',') field.push_back(line[pos++]);
+    }
+    fields.push_back(field);
+    if (pos >= n) break;
+    ++pos;  // the comma
+    if (pos == n) {  // trailing comma: one final empty field
+      fields.emplace_back();
+      break;
+    }
+  }
   return fields;
+}
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteCsvField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted.push_back('"');
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
 }
 
 std::string FormatValue(const Dataset& data, size_t m, const Value& v) {
@@ -27,39 +91,88 @@ std::string FormatValue(const Dataset& data, size_t m, const Value& v) {
     std::snprintf(buf, sizeof(buf), "%.17g", v.continuous());
     return buf;
   }
-  return data.dict(m).label(v.category());
+  return QuoteCsvField(data.dict(m).label(v.category()));
 }
 
-Result<Value> ParseValue(Dataset* data, size_t m, const std::string& text) {
+Result<Value> ParseValue(Dataset* data, size_t m, const std::string& text,
+                         size_t line_no) {
   if (data->schema().is_discrete(m)) {
     return data->InternCategorical(m, text);
   }
-  errno = 0;
+  // Strict numeric parse: the whole field must be one finite decimal
+  // literal. strtod's laxness — leading whitespace, hex ("0x10"), inf/nan,
+  // trailing garbage ("1.5abc") — is not accepted.
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text.front())) ||
+      text.find_first_of("xX") != std::string::npos) {
+    return MalformedLine(line_no, "cannot parse continuous value '" + text + "'");
+  }
   char* end = nullptr;
   const double parsed = std::strtod(text.c_str(), &end);
-  if (end == text.c_str() || errno == ERANGE) {
-    return Status::IOError("cannot parse continuous value '" + text + "'");
+  // Overflow surfaces as +-inf and fails the finiteness test; underflow to
+  // a subnormal (strtod reports it via ERANGE) is a legitimate value that
+  // the writer itself produces, so errno is deliberately not consulted.
+  if (end != text.c_str() + text.size() || end == text.c_str() ||
+      !std::isfinite(parsed)) {
+    return MalformedLine(line_no, "cannot parse continuous value '" + text + "'");
   }
   return Value::Continuous(parsed);
 }
 
+/// Reads the next line, stripping a trailing CR (CRLF input) and enforcing
+/// the length cap. Returns false at EOF, non-OK on an overlong line.
+Result<bool> NextLine(std::istream& in, std::string* line, size_t line_no) {
+  if (!std::getline(in, *line)) return false;
+  if (line->size() > kMaxLineBytes) {
+    return MalformedLine(line_no, "line exceeds " + std::to_string(kMaxLineBytes) +
+                                      " bytes");
+  }
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  return true;
+}
+
 }  // namespace
 
-Status WriteObservationsCsv(const Dataset& data, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+Status WriteObservationsCsv(const Dataset& data, std::ostream& out) {
   out << "object_id,property,source_id,value\n";
   for (size_t k = 0; k < data.num_sources(); ++k) {
     for (size_t i = 0; i < data.num_objects(); ++i) {
       for (size_t m = 0; m < data.num_properties(); ++m) {
         const Value& v = data.observations(k).Get(i, m);
         if (v.is_missing()) continue;
-        out << data.object_id(i) << ',' << data.schema().property(m).name << ','
-            << data.source_id(k) << ',' << FormatValue(data, m, v) << '\n';
+        out << QuoteCsvField(data.object_id(i)) << ','
+            << QuoteCsvField(data.schema().property(m).name) << ','
+            << QuoteCsvField(data.source_id(k)) << ',' << FormatValue(data, m, v)
+            << '\n';
       }
     }
   }
-  if (!out) return Status::IOError("write to '" + path + "' failed");
+  if (!out) return Status::IOError("observation CSV write failed");
+  return Status::OK();
+}
+
+Status WriteObservationsCsv(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  Status status = WriteObservationsCsv(data, out);
+  if (status.ok() && !out) status = Status::IOError("write to '" + path + "' failed");
+  return status;
+}
+
+Status WriteGroundTruthCsv(const Dataset& data, std::ostream& out) {
+  if (!data.has_ground_truth()) {
+    return Status::FailedPrecondition("dataset has no ground truth");
+  }
+  out << "object_id,property,value\n";
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    for (size_t m = 0; m < data.num_properties(); ++m) {
+      const Value& v = data.ground_truth().Get(i, m);
+      if (v.is_missing()) continue;
+      out << QuoteCsvField(data.object_id(i)) << ','
+          << QuoteCsvField(data.schema().property(m).name) << ','
+          << FormatValue(data, m, v) << '\n';
+    }
+  }
+  if (!out) return Status::IOError("ground-truth CSV write failed");
   return Status::OK();
 }
 
@@ -69,96 +182,108 @@ Status WriteGroundTruthCsv(const Dataset& data, const std::string& path) {
   }
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  out << "object_id,property,value\n";
-  for (size_t i = 0; i < data.num_objects(); ++i) {
-    for (size_t m = 0; m < data.num_properties(); ++m) {
-      const Value& v = data.ground_truth().Get(i, m);
-      if (v.is_missing()) continue;
-      out << data.object_id(i) << ',' << data.schema().property(m).name << ','
-          << FormatValue(data, m, v) << '\n';
-    }
-  }
-  if (!out) return Status::IOError("write to '" + path + "' failed");
-  return Status::OK();
+  Status status = WriteGroundTruthCsv(data, out);
+  if (status.ok() && !out) status = Status::IOError("write to '" + path + "' failed");
+  return status;
 }
 
-Result<Dataset> ReadObservationsCsv(const Schema& schema, const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
-
+Result<Dataset> ReadObservationsCsv(const Schema& schema, std::istream& in) {
   struct Claim {
     size_t object, property, source;
     std::string value;
+    size_t line_no;
   };
   std::vector<Claim> claims;
   std::vector<std::string> objects, sources;
   std::unordered_map<std::string, size_t> object_index, source_index;
 
   std::string line;
-  if (!std::getline(in, line)) return Status::IOError("empty file '" + path + "'");
   size_t line_no = 1;
-  while (std::getline(in, line)) {
+  auto header = NextLine(in, &line, line_no);
+  if (!header.ok()) return header.status();
+  if (!*header) return Status::InvalidArgument("empty CSV input: missing header row");
+  while (true) {
     ++line_no;
+    auto more = NextLine(in, &line, line_no);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
     if (line.empty()) continue;
-    const std::vector<std::string> fields = SplitCsvLine(line);
-    if (fields.size() != 4) {
-      return Status::IOError("line " + std::to_string(line_no) + ": expected 4 fields");
+    auto fields = SplitCsvLine(line, line_no);
+    if (!fields.ok()) return fields.status();
+    if (fields->size() != 4) {
+      return MalformedLine(line_no, "expected 4 fields, got " +
+                                        std::to_string(fields->size()));
     }
-    const int m = schema.FindProperty(fields[1]);
+    const int m = schema.FindProperty((*fields)[1]);
     if (m < 0) {
-      return Status::IOError("line " + std::to_string(line_no) + ": unknown property '" +
-                             fields[1] + "'");
+      return MalformedLine(line_no, "unknown property '" + (*fields)[1] + "'");
     }
-    auto [obj_it, obj_new] = object_index.emplace(fields[0], objects.size());
-    if (obj_new) objects.push_back(fields[0]);
-    auto [src_it, src_new] = source_index.emplace(fields[2], sources.size());
-    if (src_new) sources.push_back(fields[2]);
-    claims.push_back({obj_it->second, static_cast<size_t>(m), src_it->second, fields[3]});
+    auto [obj_it, obj_new] = object_index.emplace((*fields)[0], objects.size());
+    if (obj_new) objects.push_back((*fields)[0]);
+    auto [src_it, src_new] = source_index.emplace((*fields)[2], sources.size());
+    if (src_new) sources.push_back((*fields)[2]);
+    claims.push_back({obj_it->second, static_cast<size_t>(m), src_it->second,
+                      (*fields)[3], line_no});
   }
 
   Dataset data(schema, std::move(objects), std::move(sources));
   for (const Claim& c : claims) {
-    Result<Value> v = ParseValue(&data, c.property, c.value);
+    Result<Value> v = ParseValue(&data, c.property, c.value, c.line_no);
     if (!v.ok()) return v.status();
     data.SetObservation(c.source, c.object, c.property, *v);
   }
   return data;
 }
 
-Status ReadGroundTruthCsv(const std::string& path, Dataset* data) {
+Result<Dataset> ReadObservationsCsv(const Schema& schema, const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return ReadObservationsCsv(schema, in);
+}
 
+Status ReadGroundTruthCsv(std::istream& in, Dataset* data) {
+  CRH_CHECK_MSG(data != nullptr, "ReadGroundTruthCsv requires a dataset");
   std::unordered_map<std::string, size_t> object_index;
   for (size_t i = 0; i < data->num_objects(); ++i) object_index.emplace(data->object_id(i), i);
 
   ValueTable truth(data->num_objects(), data->num_properties());
   std::string line;
-  if (!std::getline(in, line)) return Status::IOError("empty file '" + path + "'");
   size_t line_no = 1;
-  while (std::getline(in, line)) {
+  auto header = NextLine(in, &line, line_no);
+  if (!header.ok()) return header.status();
+  if (!*header) return Status::InvalidArgument("empty CSV input: missing header row");
+  while (true) {
     ++line_no;
+    auto more = NextLine(in, &line, line_no);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
     if (line.empty()) continue;
-    const std::vector<std::string> fields = SplitCsvLine(line);
-    if (fields.size() != 3) {
-      return Status::IOError("line " + std::to_string(line_no) + ": expected 3 fields");
+    auto fields = SplitCsvLine(line, line_no);
+    if (!fields.ok()) return fields.status();
+    if (fields->size() != 3) {
+      return MalformedLine(line_no, "expected 3 fields, got " +
+                                        std::to_string(fields->size()));
     }
-    const auto obj_it = object_index.find(fields[0]);
+    const auto obj_it = object_index.find((*fields)[0]);
     if (obj_it == object_index.end()) {
-      return Status::IOError("line " + std::to_string(line_no) + ": unknown object '" +
-                             fields[0] + "'");
+      return MalformedLine(line_no, "unknown object '" + (*fields)[0] + "'");
     }
-    const int m = data->schema().FindProperty(fields[1]);
+    const int m = data->schema().FindProperty((*fields)[1]);
     if (m < 0) {
-      return Status::IOError("line " + std::to_string(line_no) + ": unknown property '" +
-                             fields[1] + "'");
+      return MalformedLine(line_no, "unknown property '" + (*fields)[1] + "'");
     }
-    Result<Value> v = ParseValue(data, static_cast<size_t>(m), fields[2]);
+    Result<Value> v = ParseValue(data, static_cast<size_t>(m), (*fields)[2], line_no);
     if (!v.ok()) return v.status();
     truth.Set(obj_it->second, static_cast<size_t>(m), *v);
   }
   data->set_ground_truth(std::move(truth));
   return Status::OK();
+}
+
+Status ReadGroundTruthCsv(const std::string& path, Dataset* data) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return ReadGroundTruthCsv(in, data);
 }
 
 }  // namespace crh

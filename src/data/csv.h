@@ -12,7 +12,19 @@
 /// with a header row. Continuous values are decimal literals; categorical
 /// values are labels interned into the dataset's per-property dictionary.
 /// Ground truth uses the same format minus the source_id column.
+///
+/// Quoting follows RFC 4180: fields containing commas, quotes or line
+/// breaks are written wrapped in double quotes with embedded quotes
+/// doubled, and the readers accept such fields. Malformed *content* —
+/// wrong field counts, unknown properties, unterminated quotes, overlong
+/// lines, non-numeric continuous cells — is rejected with
+/// StatusCode::kInvalidArgument; kIOError is reserved for file-system
+/// failures (unopenable or unreadable files, failed writes).
+///
+/// Every entry point has an iostream overload so in-memory data (tests,
+/// fuzzing harnesses, network buffers) can skip the filesystem.
 
+#include <iosfwd>
 #include <string>
 
 #include "common/status.h"
@@ -22,19 +34,23 @@ namespace crh {
 
 /// Writes all non-missing observations of \p data as claim tuples.
 Status WriteObservationsCsv(const Dataset& data, const std::string& path);
+Status WriteObservationsCsv(const Dataset& data, std::ostream& out);
 
 /// Writes the labeled ground-truth entries of \p data (requires ground truth).
 Status WriteGroundTruthCsv(const Dataset& data, const std::string& path);
+Status WriteGroundTruthCsv(const Dataset& data, std::ostream& out);
 
 /// Reads claim tuples into a new Dataset with the given schema. Objects and
 /// sources are created in order of first appearance; categorical labels are
 /// interned per property. Rows naming a property absent from the schema are
 /// an error.
 Result<Dataset> ReadObservationsCsv(const Schema& schema, const std::string& path);
+Result<Dataset> ReadObservationsCsv(const Schema& schema, std::istream& in);
 
 /// Reads ground-truth rows (object_id,property,value) into \p data. Objects
 /// named here must already exist in the dataset.
 Status ReadGroundTruthCsv(const std::string& path, Dataset* data);
+Status ReadGroundTruthCsv(std::istream& in, Dataset* data);
 
 }  // namespace crh
 

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "data/category_dict.h"
@@ -48,13 +49,25 @@ class Dataset {
   size_t num_entries() const { return num_objects() * num_properties(); }
 
   /// Name of the i-th object.
-  const std::string& object_id(size_t i) const { return object_ids_[i]; }
+  const std::string& object_id(size_t i) const {
+    CRH_DCHECK_LT(i, object_ids_.size());
+    return object_ids_[i];
+  }
   /// Name of the k-th source.
-  const std::string& source_id(size_t k) const { return source_ids_[k]; }
+  const std::string& source_id(size_t k) const {
+    CRH_DCHECK_LT(k, source_ids_.size());
+    return source_ids_[k];
+  }
 
   /// Observation table of source k (X^(k)).
-  const ValueTable& observations(size_t k) const { return observations_[k]; }
-  ValueTable& mutable_observations(size_t k) { return observations_[k]; }
+  const ValueTable& observations(size_t k) const {
+    CRH_DCHECK_LT(k, observations_.size());
+    return observations_[k];
+  }
+  ValueTable& mutable_observations(size_t k) {
+    CRH_DCHECK_LT(k, observations_.size());
+    return observations_[k];
+  }
 
   /// Records one observation v^(k)_im.
   void SetObservation(size_t k, size_t i, size_t m, Value v) {
@@ -65,8 +78,14 @@ class Dataset {
   size_t num_observations() const;
 
   /// Category dictionary of property m (empty for continuous properties).
-  const CategoryDict& dict(size_t m) const { return dicts_[m]; }
-  CategoryDict& mutable_dict(size_t m) { return dicts_[m]; }
+  const CategoryDict& dict(size_t m) const {
+    CRH_DCHECK_LT(m, dicts_.size());
+    return dicts_[m];
+  }
+  CategoryDict& mutable_dict(size_t m) {
+    CRH_DCHECK_LT(m, dicts_.size());
+    return dicts_[m];
+  }
 
   /// Interns a label for categorical property m and returns its Value.
   Value InternCategorical(size_t m, const std::string& label) {
@@ -76,7 +95,10 @@ class Dataset {
   /// True iff a ground-truth table is attached.
   bool has_ground_truth() const { return ground_truth_.has_value(); }
   /// The ground-truth table; cells may be missing (= unlabeled entries).
-  const ValueTable& ground_truth() const { return *ground_truth_; }
+  const ValueTable& ground_truth() const {
+    CRH_DCHECK(has_ground_truth());
+    return *ground_truth_;
+  }
   /// Attaches a ground-truth table (N x M). Used by evaluation only.
   void set_ground_truth(ValueTable truth) { ground_truth_ = std::move(truth); }
   /// Number of labeled ground-truth entries.
@@ -87,7 +109,10 @@ class Dataset {
   /// True iff per-object timestamps are attached (streaming scenario).
   bool has_timestamps() const { return !timestamps_.empty(); }
   /// Timestamp (chunk key) of object i.
-  int64_t timestamp(size_t i) const { return timestamps_[i]; }
+  int64_t timestamp(size_t i) const {
+    CRH_DCHECK_LT(i, timestamps_.size());
+    return timestamps_[i];
+  }
   /// Attaches per-object timestamps; size must equal num_objects().
   Status set_timestamps(std::vector<int64_t> timestamps);
   /// Sorted list of the distinct timestamps present.

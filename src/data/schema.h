@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "common/value.h"
 
@@ -59,18 +60,23 @@ class Schema {
   size_t num_properties() const { return properties_.size(); }
 
   /// The m-th property. Precondition: m < num_properties().
-  const Property& property(size_t m) const { return properties_[m]; }
+  const Property& property(size_t m) const {
+    CRH_DCHECK_LT(m, properties_.size());
+    return properties_[m];
+  }
 
   /// Index of the property with the given name, or -1 if absent.
   int FindProperty(const std::string& name) const;
 
   /// True iff property m is categorical.
   bool is_categorical(size_t m) const {
+    CRH_DCHECK_LT(m, properties_.size());
     return properties_[m].type == PropertyType::kCategorical;
   }
 
   /// True iff property m is continuous.
   bool is_continuous(size_t m) const {
+    CRH_DCHECK_LT(m, properties_.size());
     return properties_[m].type == PropertyType::kContinuous;
   }
 

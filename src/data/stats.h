@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "data/dataset.h"
 
 namespace crh {
@@ -29,8 +30,14 @@ struct EntryStats {
   /// count[i*M + m] is the number of sources with a claim on entry (i, m).
   std::vector<int> count;
 
-  double scale_at(size_t i, size_t m) const { return scale[i * num_properties + m]; }
-  int count_at(size_t i, size_t m) const { return count[i * num_properties + m]; }
+  double scale_at(size_t i, size_t m) const {
+    CRH_DCHECK_LT(i * num_properties + m, scale.size());
+    return scale[i * num_properties + m];
+  }
+  int count_at(size_t i, size_t m) const {
+    CRH_DCHECK_LT(i * num_properties + m, count.size());
+    return count[i * num_properties + m];
+  }
 };
 
 /// Computes per-entry scales and observation counts for a dataset.

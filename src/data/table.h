@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/check.h"
 #include "common/value.h"
 
 namespace crh {
@@ -33,13 +34,25 @@ class ValueTable {
   size_t num_properties() const { return num_properties_; }
 
   /// The cell for object i, property m.
-  const Value& Get(size_t i, size_t m) const { return cells_[i * num_properties_ + m]; }
+  const Value& Get(size_t i, size_t m) const {
+    CRH_DCHECK_LT(i, num_objects_);
+    CRH_DCHECK_LT(m, num_properties_);
+    return cells_[i * num_properties_ + m];
+  }
 
   /// Sets the cell for object i, property m.
-  void Set(size_t i, size_t m, Value v) { cells_[i * num_properties_ + m] = v; }
+  void Set(size_t i, size_t m, Value v) {
+    CRH_DCHECK_LT(i, num_objects_);
+    CRH_DCHECK_LT(m, num_properties_);
+    cells_[i * num_properties_ + m] = v;
+  }
 
   /// Marks the cell missing.
-  void Clear(size_t i, size_t m) { cells_[i * num_properties_ + m] = Value::Missing(); }
+  void Clear(size_t i, size_t m) {
+    CRH_DCHECK_LT(i, num_objects_);
+    CRH_DCHECK_LT(m, num_properties_);
+    cells_[i * num_properties_ + m] = Value::Missing();
+  }
 
   /// Number of non-missing cells (observations this table contributes).
   size_t CountPresent() const {

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_map>
 
+#include "analysis/invariants.h"
+#include "common/check.h"
 #include "common/stopwatch.h"
 #include "core/resolvers.h"
+#include "data/stats.h"
 #include "losses/text_distance.h"
 #include "weights/weight_scheme.h"
 
@@ -238,17 +242,85 @@ Result<ParallelCrhResult> RunParallelCrh(const Dataset& data,
     return ComputeSourceWeights(totals, options.base.weight_scheme);
   };
 
+  IterationObserver* observer = options.base.observer;
+#ifdef CRH_VERIFY_BUILD
+  InvariantVerifier default_verifier;
+  if (observer == nullptr) observer = &default_verifier;
+#endif
+  // Objective evaluation and the dense truth table are only materialized
+  // when somebody is watching; the plain run never pays for them.
+  EntryStats observer_stats;
+  if (observer != nullptr) observer_stats = ComputeEntryStats(data);
+  const auto cache_truth_table = [&]() {
+    ValueTable table(data.num_objects(), data.num_properties());
+    for (const auto& [entry, truth] : cache.truths) {
+      table.Set(static_cast<size_t>(entry / m_props),
+                static_cast<size_t>(entry % m_props), truth);
+    }
+    return table;
+  };
+
   // --- Wrapper: iterate truth + weight jobs until the weights settle.
+  ValueTable prev_truth_table;  // observer-only: the previous iteration's truths
+  bool have_prev_truths = false;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     CRH_RETURN_NOT_OK(run_truth_job());
+    // Descent certificates. The truth job minimized the weighted loss at the
+    // pre-update weights (still in cache.weights here), so its certificate
+    // compares the previous and new truth tables at those weights; the first
+    // iteration has no previous truths and emits none. The weight job's
+    // certificate is evaluated on the aggregated deviations it minimized,
+    // recomputed serially — observer-only cost, like the truth table.
+    ValueTable truth_table;
+    double truth_step_before = std::numeric_limits<double>::quiet_NaN();
+    double truth_step_after = std::numeric_limits<double>::quiet_NaN();
+    double weight_step_before = std::numeric_limits<double>::quiet_NaN();
+    double weight_step_after = std::numeric_limits<double>::quiet_NaN();
+    std::vector<double> cert_totals;
+    if (observer != nullptr) {
+      truth_table = cache_truth_table();
+      if (have_prev_truths) {
+        truth_step_before =
+            CrhObjective(data, prev_truth_table, cache.weights, observer_stats, options.base);
+        truth_step_after =
+            CrhObjective(data, truth_table, cache.weights, observer_stats, options.base);
+      }
+      cert_totals = ComputeSourceDeviations(data, truth_table, observer_stats, options.base);
+      weight_step_before =
+          WeightStepObjective(cache.weights, cert_totals, options.base.weight_scheme);
+    }
     auto weights = run_weight_job();
     if (!weights.ok()) return weights.status();
+    CRH_VERIFY_OR_RETURN(weights->size() == k_sources,
+                         "weight job returned a wrong-sized weight vector");
     double max_change = 0.0;
     for (size_t k = 0; k < k_sources; ++k) {
       max_change = std::max(max_change, std::abs((*weights)[k] - cache.weights[k]));
     }
     cache.weights = std::move(*weights);
     result.iterations = iter + 1;
+    if (observer != nullptr) {
+      weight_step_after =
+          WeightStepObjective(cache.weights, cert_totals, options.base.weight_scheme);
+      IterationSnapshot snapshot;
+      snapshot.engine = "parallel";
+      snapshot.iteration = iter + 1;
+      snapshot.data = &data;
+      snapshot.truths = &truth_table;
+      snapshot.weights = &cache.weights;
+      snapshot.weight_scheme = &options.base.weight_scheme;
+      // The MapReduce formulation has no supervision clamping, so the
+      // domain check runs unsupervised.
+      snapshot.objective =
+          CrhObjective(data, truth_table, cache.weights, observer_stats, options.base);
+      snapshot.weight_step_before = weight_step_before;
+      snapshot.weight_step_after = weight_step_after;
+      snapshot.truth_step_before = truth_step_before;
+      snapshot.truth_step_after = truth_step_after;
+      CRH_RETURN_NOT_OK(observer->OnIteration(snapshot));
+      prev_truth_table = std::move(truth_table);
+      have_prev_truths = true;
+    }
     if (max_change < options.convergence_tolerance) {
       result.converged = true;
       break;

@@ -1,7 +1,11 @@
 #include "stream/incremental_crh.h"
 
+#include <cmath>
+#include <limits>
 #include <utility>
 
+#include "analysis/invariants.h"
+#include "common/check.h"
 #include "data/stats.h"
 #include "weights/weight_scheme.h"
 
@@ -17,6 +21,11 @@ Result<ValueTable> IncrementalCrhProcessor::ProcessChunk(const Dataset& chunk) {
   if (chunk.num_sources() != weights_.size()) {
     return Status::InvalidArgument("chunk source count does not match processor");
   }
+  CRH_VERIFY_OR_RETURN(options_.base.supervision == nullptr ||
+                           (options_.base.supervision->num_objects() == chunk.num_objects() &&
+                            options_.base.supervision->num_properties() ==
+                                chunk.num_properties()),
+                       "supervision table shape does not match the chunk");
   // Step (i): truths for the current chunk from the historical weights.
   ValueTable truths = ComputeTruthsGivenWeights(chunk, weights_, options_.base);
 
@@ -25,12 +34,48 @@ Result<ValueTable> IncrementalCrhProcessor::ProcessChunk(const Dataset& chunk) {
   const std::vector<double> chunk_dev =
       ComputeSourceDeviations(chunk, truths, stats, options_.base);
   for (size_t k = 0; k < weights_.size(); ++k) {
+    CRH_VERIFY_OR_RETURN(std::isfinite(chunk_dev[k]) && chunk_dev[k] >= 0,
+                         "chunk deviation must be finite and non-negative");
     accumulated_[k] = accumulated_[k] * options_.decay + chunk_dev[k];
+  }
+  IterationObserver* observer = options_.base.observer;
+#ifdef CRH_VERIFY_BUILD
+  InvariantVerifier default_verifier;
+  if (observer == nullptr) observer = &default_verifier;
+#endif
+  // Descent certificate of the weight update on the accumulated deviations:
+  // the previous weights (all-ones on the first chunk) versus the updated
+  // ones, on the functional the scheme minimizes.
+  double weight_step_before = std::numeric_limits<double>::quiet_NaN();
+  double weight_step_after = std::numeric_limits<double>::quiet_NaN();
+  if (observer != nullptr) {
+    weight_step_before = WeightStepObjective(weights_, accumulated_, options_.base.weight_scheme);
   }
   auto weights = ComputeSourceWeights(accumulated_, options_.base.weight_scheme);
   if (!weights.ok()) return weights.status();
   weights_ = std::move(weights).ValueOrDie();
   ++chunks_processed_;
+
+  if (observer != nullptr) {
+    weight_step_after = WeightStepObjective(weights_, accumulated_, options_.base.weight_scheme);
+  }
+  if (observer != nullptr) {
+    IterationSnapshot snapshot;
+    snapshot.engine = "icrh";
+    snapshot.iteration = static_cast<int>(chunks_processed_);
+    snapshot.data = &chunk;
+    snapshot.truths = &truths;
+    snapshot.weights = &weights_;
+    snapshot.weight_scheme = &options_.base.weight_scheme;
+    snapshot.supervision = options_.base.supervision;
+    // I-CRH is a single pass; there is no objective sequence to check, and
+    // each chunk's truths are computed fresh (no previous truths on the
+    // same data), so only the weight step carries a certificate.
+    snapshot.objective = std::numeric_limits<double>::quiet_NaN();
+    snapshot.weight_step_before = weight_step_before;
+    snapshot.weight_step_after = weight_step_after;
+    CRH_RETURN_NOT_OK(observer->OnIteration(snapshot));
+  }
   return truths;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "analysis/invariants.h"
 #include "baselines/baselines.h"
 #include "core/catd.h"
 #include "core/crh.h"
@@ -45,7 +46,10 @@ std::string UsageString() {
       "  --window N           icrh: timestamps per chunk (object ids must end\n"
       "                       in \"_t<number>\" to carry timestamps)\n"
       "  --decay A            icrh: decay rate in [0,1] (default 0.5)\n"
-      "  --reducers N         parallel: reducer count (default 10)\n";
+      "  --reducers N         parallel: reducer count (default 10)\n"
+      "  --verify             check algorithmic invariants (loss monotonicity,\n"
+      "                       weight constraint, truth-domain validity) during\n"
+      "                       the run; exits non-zero on any violation\n";
 }
 
 Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
@@ -92,6 +96,8 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       CRH_RETURN_NOT_OK(take(&value));
       options.reducers = std::atoi(value.c_str());
       if (options.reducers < 1) return Status::InvalidArgument("--reducers must be >= 1");
+    } else if (arg == "--verify") {
+      options.verify = true;
     } else {
       return Status::InvalidArgument("unknown flag '" + arg + "'\n" + UsageString());
     }
@@ -155,10 +161,15 @@ struct AlgorithmOutput {
   std::vector<double> source_scores;
 };
 
-Result<AlgorithmOutput> RunAlgorithm(const CliOptions& options, const Dataset& data) {
+Result<AlgorithmOutput> RunAlgorithm(const CliOptions& options, const Dataset& data,
+                                     IterationObserver* observer) {
   CrhOptions crh_options;
   crh_options.weight_scheme.kind =
       options.weights == "sum" ? WeightSchemeKind::kLogSum : WeightSchemeKind::kLogMax;
+  // Iterative engines check every coordinate-descent step; algorithms
+  // without the observer hook (catd, baselines) are covered by the
+  // post-hoc truth-domain check in RunCli.
+  crh_options.observer = observer;
 
   if (options.algorithm == "crh") {
     auto result = RunCrh(data, crh_options);
@@ -227,8 +238,15 @@ Status RunCli(const CliOptions& options, std::ostream& out) {
     out << "loaded " << dataset.num_ground_truths() << " ground-truth entries\n";
   }
 
-  auto result = RunAlgorithm(options, dataset);
+  InvariantVerifier verifier;
+  auto result = RunAlgorithm(options, dataset, options.verify ? &verifier : nullptr);
   if (!result.ok()) return result.status();
+
+  if (options.verify) {
+    CRH_RETURN_NOT_OK(CheckTruthDomain(dataset, result->truths));
+    out << "verified: " << verifier.steps_verified()
+        << " iteration snapshots and the final truth table passed all invariant checks\n";
+  }
 
   out << "\nsource scores (higher = more reliable):\n";
   for (size_t k = 0; k < dataset.num_sources(); ++k) {

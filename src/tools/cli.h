@@ -35,6 +35,10 @@ struct CliOptions {
   int64_t window = 1;           // icrh chunk size (requires --timestamp-prefix)
   double decay = 0.5;           // icrh decay rate
   int reducers = 10;            // parallel engine
+  /// Run under the invariant verifier (analysis/invariants.h): iterative
+  /// engines are checked after every coordinate-descent step, and every
+  /// algorithm's final truth table is checked for domain validity.
+  bool verify = false;
 };
 
 /// Parses argv into CliOptions. Returns InvalidArgument with a usage hint

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/check.h"
+
 namespace crh {
 
 const char* WeightSchemeKindToString(WeightSchemeKind kind) {
@@ -18,6 +20,56 @@ const char* WeightSchemeKindToString(WeightSchemeKind kind) {
       return "top_j";
   }
   return "unknown";
+}
+
+namespace {
+
+/// The log schemes' normalizer: sum of the losses for kLogSum, max for
+/// kLogMax; 0 for empty input or the selection schemes.
+double SchemeNormalizer(const std::vector<double>& losses, const WeightSchemeOptions& options) {
+  if (losses.empty()) return 0.0;
+  if (options.kind == WeightSchemeKind::kLogSum) {
+    return std::accumulate(losses.begin(), losses.end(), 0.0);
+  }
+  if (options.kind == WeightSchemeKind::kLogMax) {
+    return *std::max_element(losses.begin(), losses.end());
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<double> ClampLossesForScheme(const std::vector<double>& losses,
+                                         const WeightSchemeOptions& options) {
+  if (options.kind != WeightSchemeKind::kLogSum && options.kind != WeightSchemeKind::kLogMax) {
+    return losses;
+  }
+  const double norm = SchemeNormalizer(losses, options);
+  if (norm <= 0) return losses;
+  const double floor = options.epsilon_ratio * norm;
+  std::vector<double> clamped = losses;
+  for (double& loss : clamped) loss = std::max(loss, floor);
+  return clamped;
+}
+
+double WeightStepObjective(const std::vector<double>& weights,
+                           const std::vector<double>& losses,
+                           const WeightSchemeOptions& options) {
+  CRH_DCHECK_EQ(weights.size(), losses.size());
+  const std::vector<double> clamped = ClampLossesForScheme(losses, options);
+  double value = 0.0;
+  for (size_t k = 0; k < weights.size() && k < clamped.size(); ++k) {
+    value += weights[k] * clamped[k];
+  }
+  if (options.kind == WeightSchemeKind::kLogSum || options.kind == WeightSchemeKind::kLogMax) {
+    const double norm = SchemeNormalizer(losses, options);
+    if (norm > 0) {
+      double barrier = 0.0;
+      for (double w : weights) barrier += std::exp(-w);
+      value += norm * barrier;
+    }
+  }
+  return value;
 }
 
 Result<std::vector<double>> ComputeSourceWeights(const std::vector<double>& losses,
@@ -36,20 +88,18 @@ Result<std::vector<double>> ComputeSourceWeights(const std::vector<double>& loss
   switch (options.kind) {
     case WeightSchemeKind::kLogSum:
     case WeightSchemeKind::kLogMax: {
-      double norm = 0.0;
-      if (options.kind == WeightSchemeKind::kLogSum) {
-        norm = std::accumulate(losses.begin(), losses.end(), 0.0);
-      } else {
-        norm = *std::max_element(losses.begin(), losses.end());
-      }
+      const double norm = SchemeNormalizer(losses, options);
       if (norm <= 0) {
         // Every source matches the truths exactly: all equally reliable.
         std::fill(weights.begin(), weights.end(), 1.0);
         return weights;
       }
-      const double floor = options.epsilon_ratio * norm;
+      CRH_VERIFY_OR_RETURN(options.epsilon_ratio > 0 && options.epsilon_ratio < 1,
+                           "epsilon_ratio must be in (0, 1)");
+      const std::vector<double> clamped = ClampLossesForScheme(losses, options);
       for (size_t k = 0; k < k_sources; ++k) {
-        weights[k] = -std::log(std::max(losses[k], floor) / norm);
+        weights[k] = -std::log(clamped[k] / norm);
+        CRH_DCHECK_GE(weights[k], 0.0);
       }
       // Under max normalization the worst source gets weight exactly 0.
       return weights;

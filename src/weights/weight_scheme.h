@@ -71,6 +71,31 @@ struct WeightSchemeOptions {
 Result<std::vector<double>> ComputeSourceWeights(const std::vector<double>& losses,
                                                  const WeightSchemeOptions& options = {});
 
+/// The losses ComputeSourceWeights actually minimizes against: under the
+/// log schemes each loss is floored at (epsilon_ratio * normalizer) before
+/// the logarithm; the selection schemes use the losses as-is. Exposed so
+/// the invariant verifier can evaluate the weight update's descent
+/// certificate on exactly the clamped functional the update optimized.
+/// Precondition: losses finite and non-negative, epsilon_ratio in (0, 1).
+std::vector<double> ClampLossesForScheme(const std::vector<double>& losses,
+                                         const WeightSchemeOptions& options = {});
+
+/// Evaluates, at `weights`, the functional the weight update minimizes over
+/// `losses`. For the log schemes this is the penalized form
+///   sum_k w_k * C_k  +  norm * sum_k exp(-w_k)
+/// with C the epsilon-clamped losses and norm the scheme's normalizer (sum
+/// of the raw losses for kLogSum, max for kLogMax): the update
+/// w_k = -log(C_k / norm) of Eq (5) is the exact unconstrained minimizer of
+/// this strictly convex functional, which is the Lagrangian of Eq (2) under
+/// the delta(W) = sum exp(-w) regularizer. For the selection schemes it is
+/// the plain linear form sum_k w_k * losses_k, minimized over the 0/1
+/// selection set. Backs the weight-step descent certificate: the updated
+/// weights never score above any finite previous weights (log schemes), or
+/// above any previous selection / the all-ones start (selection schemes).
+double WeightStepObjective(const std::vector<double>& weights,
+                           const std::vector<double>& losses,
+                           const WeightSchemeOptions& options = {});
+
 }  // namespace crh
 
 #endif  // CRH_WEIGHTS_WEIGHT_SCHEME_H_

@@ -1,0 +1,126 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace crh {
+namespace {
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  CRH_CHECK(true);
+  CRH_CHECK_MSG(1 + 1 == 2, "arithmetic works");
+  CRH_CHECK_OK(Status::OK());
+  CRH_CHECK_EQ(4, 4);
+  CRH_CHECK_NE(4, 5);
+  CRH_CHECK_LT(1, 2);
+  CRH_CHECK_LE(2, 2);
+  CRH_CHECK_GT(3, 2);
+  CRH_CHECK_GE(3, 3);
+  CRH_CHECK_NEAR(1.0, 1.0 + 1e-12, 1e-9);
+}
+
+TEST(CheckDeathTest, CheckReportsFileLineAndExpression) {
+  EXPECT_DEATH(CRH_CHECK(2 < 1), "check_test\\.cc:[0-9]+: CRH_CHECK failed: 2 < 1");
+}
+
+TEST(CheckDeathTest, CheckMsgAppendsContext) {
+  EXPECT_DEATH(CRH_CHECK_MSG(false, "the context message"),
+               "CRH_CHECK failed: false \\(the context message\\)");
+}
+
+TEST(CheckDeathTest, CheckOkReportsStatusMessage) {
+  EXPECT_DEATH(CRH_CHECK_OK(Status::InvalidArgument("bad shape")),
+               "is OK \\(InvalidArgument: bad shape\\)");
+}
+
+TEST(CheckDeathTest, CheckOkEvaluatesExpressionOnce) {
+  int evaluations = 0;
+  const auto ok_with_side_effect = [&evaluations] {
+    ++evaluations;
+    return Status::OK();
+  };
+  CRH_CHECK_OK(ok_with_side_effect());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckDeathTest, ComparisonChecksCaptureOperands) {
+  const int three = 3, five = 5;
+  EXPECT_DEATH(CRH_CHECK_EQ(three, five),
+               "CRH_CHECK failed: three == five \\(lhs = 3, rhs = 5\\)");
+  EXPECT_DEATH(CRH_CHECK_GT(three, five), "lhs = 3, rhs = 5");
+  const double pi = 3.25;  // exactly representable; prints without noise
+  EXPECT_DEATH(CRH_CHECK_LT(pi, 1.0), "lhs = 3.25, rhs = 1");
+}
+
+TEST(CheckDeathTest, StringOperandsRenderViaStreams) {
+  const std::string got = "alpha", want = "beta";
+  EXPECT_DEATH(CRH_CHECK_EQ(got, want), "lhs = alpha, rhs = beta");
+}
+
+TEST(CheckDeathTest, CheckNearFailsOutsideToleranceAndOnNan) {
+  CRH_CHECK_NEAR(1.0, 1.1, 0.2);
+  EXPECT_DEATH(CRH_CHECK_NEAR(1.0, 2.0, 0.5), "tolerance = 0.5");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(CRH_CHECK_NEAR(nan, nan, 1e9), "CRH_CHECK failed");
+}
+
+TEST(CheckTest, NearlyEqualSemantics) {
+  EXPECT_TRUE(NearlyEqual(1.0, 1.0, 0.0));
+  EXPECT_TRUE(NearlyEqual(1.0, 1.5, 0.5));
+  EXPECT_FALSE(NearlyEqual(1.0, 1.5000001, 0.5));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(NearlyEqual(nan, 1.0, 1.0));
+  EXPECT_FALSE(NearlyEqual(nan, nan, 1.0));
+}
+
+#ifdef NDEBUG
+TEST(CheckTest, DchecksCompileToNothingInReleaseBuilds) {
+  int evaluations = 0;
+  const auto count = [&evaluations] {
+    ++evaluations;
+    return 1;
+  };
+  CRH_DCHECK(count() == 2);      // would fail if evaluated
+  CRH_DCHECK_EQ(count(), 99);    // would fail if evaluated
+  EXPECT_EQ(evaluations, 0);
+}
+#else
+TEST(CheckDeathTest, DchecksAbortInDebugBuilds) {
+  EXPECT_DEATH(CRH_DCHECK(2 < 1), "CRH_CHECK failed");
+  EXPECT_DEATH(CRH_DCHECK_EQ(1, 2), "lhs = 1, rhs = 2");
+}
+#endif
+
+Status FunctionWithContract(int value) {
+  CRH_VERIFY_OR_RETURN(value >= 0, "value must be non-negative");
+  return Status::OK();
+}
+
+Result<int> ResultFunctionWithContract(int value) {
+  CRH_VERIFY_OR_RETURN(value >= 0, "value must be non-negative");
+  return value * 2;
+}
+
+TEST(CheckTest, VerifyOrReturnProducesInternalStatus) {
+  EXPECT_TRUE(FunctionWithContract(3).ok());
+  const Status failed = FunctionWithContract(-1);
+  EXPECT_EQ(failed.code(), StatusCode::kInternal);
+  EXPECT_NE(failed.message().find("value >= 0"), std::string::npos);
+  EXPECT_NE(failed.message().find("value must be non-negative"), std::string::npos);
+  EXPECT_NE(failed.message().find("check_test.cc"), std::string::npos);
+}
+
+TEST(CheckTest, VerifyOrReturnWorksInResultFunctions) {
+  auto ok = ResultFunctionWithContract(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ResultFunctionWithContract(-5).status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace crh

@@ -1,0 +1,432 @@
+#include "analysis/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "data/dataset.h"
+#include "data/schema.h"
+#include "data/table.h"
+#include "weights/weight_scheme.h"
+
+namespace crh {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// 2 objects x {temp: continuous, cond: categorical} x 3 sources.
+/// Claims: temp(o0) in {10, 12, 11}; cond(o0) in {sunny, sunny, rainy};
+/// temp(o1) = {5} (source 0 only); cond(o1) = {rainy} (source 1 only).
+Dataset MakeTinyDataset() {
+  Schema schema;
+  CRH_CHECK_OK(schema.AddContinuous("temp"));
+  CRH_CHECK_OK(schema.AddCategorical("cond"));
+  Dataset data(std::move(schema), {"o0", "o1"}, {"s0", "s1", "s2"});
+  const Value sunny = data.InternCategorical(1, "sunny");
+  const Value rainy = data.InternCategorical(1, "rainy");
+  data.SetObservation(0, 0, 0, Value::Continuous(10.0));
+  data.SetObservation(1, 0, 0, Value::Continuous(12.0));
+  data.SetObservation(2, 0, 0, Value::Continuous(11.0));
+  data.SetObservation(0, 0, 1, sunny);
+  data.SetObservation(1, 0, 1, sunny);
+  data.SetObservation(2, 0, 1, rainy);
+  data.SetObservation(0, 1, 0, Value::Continuous(5.0));
+  data.SetObservation(1, 1, 1, rainy);
+  return data;
+}
+
+/// A truth table inside every observed domain of MakeTinyDataset().
+ValueTable MakeValidTruths(const Dataset& data) {
+  ValueTable truths(data.num_objects(), data.num_properties());
+  truths.Set(0, 0, Value::Continuous(11.0));
+  truths.Set(0, 1, data.observations(0).Get(0, 1));  // sunny
+  truths.Set(1, 0, Value::Continuous(5.0));
+  truths.Set(1, 1, data.observations(1).Get(1, 1));  // rainy
+  return truths;
+}
+
+// --- CheckWeightConstraint --------------------------------------------------
+
+TEST(CheckWeightConstraintTest, LogSumAcceptsConstraintSet) {
+  WeightSchemeOptions scheme;
+  scheme.kind = WeightSchemeKind::kLogSum;
+  // exp(-w) sums to 1: w = -log(p) for a probability vector p.
+  const std::vector<double> weights = {-std::log(0.5), -std::log(0.3), -std::log(0.2)};
+  EXPECT_TRUE(CheckWeightConstraint(weights, scheme).ok());
+}
+
+TEST(CheckWeightConstraintTest, LogSumAllowsEpsilonClampExcess) {
+  WeightSchemeOptions scheme;
+  scheme.kind = WeightSchemeKind::kLogSum;
+  scheme.epsilon_ratio = 0.05;
+  // Sum slightly above 1 (each loss clamped up): allowed up to 1 + K * eps.
+  const std::vector<double> weights = {-std::log(0.55), -std::log(0.3), -std::log(0.2)};
+  EXPECT_TRUE(CheckWeightConstraint(weights, scheme).ok());
+  // Far above the clamp allowance: rejected. (Distinct values, so the
+  // all-equal degenerate acceptance does not apply.)
+  const std::vector<double> excessive = {-std::log(0.9), -std::log(0.8), -std::log(0.7)};
+  EXPECT_FALSE(CheckWeightConstraint(excessive, scheme).ok());
+}
+
+TEST(CheckWeightConstraintTest, LogSumRejectsSumBelowOne) {
+  WeightSchemeOptions scheme;
+  scheme.kind = WeightSchemeKind::kLogSum;
+  const std::vector<double> weights = {-std::log(0.4), -std::log(0.3), -std::log(0.2)};
+  const Status status = CheckWeightConstraint(weights, scheme);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("invariant violation"), std::string::npos);
+}
+
+TEST(CheckWeightConstraintTest, LogMaxRequiresZeroMinAndCapsMax) {
+  WeightSchemeOptions scheme;
+  scheme.kind = WeightSchemeKind::kLogMax;
+  scheme.epsilon_ratio = 0.05;
+  EXPECT_TRUE(CheckWeightConstraint({0.0, 0.7, 1.9}, scheme).ok());
+  // Worst source must sit at exactly 0.
+  EXPECT_FALSE(CheckWeightConstraint({0.2, 0.7, 1.9}, scheme).ok());
+  // No weight may exceed -log(epsilon_ratio) ~ 3.0.
+  EXPECT_FALSE(CheckWeightConstraint({0.0, 0.7, 3.5}, scheme).ok());
+}
+
+TEST(CheckWeightConstraintTest, LogSchemesAcceptDegenerateAllEqualVector) {
+  // The documented zero-loss degenerate output: every source equal.
+  for (const WeightSchemeKind kind : {WeightSchemeKind::kLogSum, WeightSchemeKind::kLogMax}) {
+    WeightSchemeOptions scheme;
+    scheme.kind = kind;
+    EXPECT_TRUE(CheckWeightConstraint({1.0, 1.0, 1.0}, scheme).ok())
+        << WeightSchemeKindToString(kind);
+  }
+}
+
+TEST(CheckWeightConstraintTest, SelectionSchemes) {
+  WeightSchemeOptions best;
+  best.kind = WeightSchemeKind::kBestSourceLp;
+  EXPECT_TRUE(CheckWeightConstraint({0.0, 1.0, 0.0}, best).ok());
+  EXPECT_FALSE(CheckWeightConstraint({0.0, 1.0, 1.0}, best).ok());  // sums to 2
+  EXPECT_FALSE(CheckWeightConstraint({0.5, 0.5, 0.0}, best).ok());  // non-binary
+
+  WeightSchemeOptions top2;
+  top2.kind = WeightSchemeKind::kTopJ;
+  top2.top_j = 2;
+  EXPECT_TRUE(CheckWeightConstraint({0.0, 1.0, 1.0}, top2).ok());
+  EXPECT_FALSE(CheckWeightConstraint({0.0, 0.0, 1.0}, top2).ok());  // only one selected
+}
+
+TEST(CheckWeightConstraintTest, RejectsEmptyNegativeAndNonFinite) {
+  WeightSchemeOptions scheme;
+  EXPECT_FALSE(CheckWeightConstraint({}, scheme).ok());
+  EXPECT_FALSE(CheckWeightConstraint({0.0, -0.5}, scheme).ok());
+  EXPECT_FALSE(CheckWeightConstraint({0.0, std::numeric_limits<double>::infinity()}, scheme).ok());
+  EXPECT_FALSE(CheckWeightConstraint({0.0, kNaN}, scheme).ok());
+}
+
+// --- CheckTruthDomain -------------------------------------------------------
+
+TEST(CheckTruthDomainTest, AcceptsInDomainTruths) {
+  const Dataset data = MakeTinyDataset();
+  EXPECT_TRUE(CheckTruthDomain(data, MakeValidTruths(data)).ok());
+}
+
+TEST(CheckTruthDomainTest, MissingTruthsAlwaysPass) {
+  // Baselines may leave whole property types unresolved.
+  const Dataset data = MakeTinyDataset();
+  const ValueTable empty(data.num_objects(), data.num_properties());
+  EXPECT_TRUE(CheckTruthDomain(data, empty).ok());
+}
+
+TEST(CheckTruthDomainTest, RejectsContinuousTruthOutsideHull) {
+  const Dataset data = MakeTinyDataset();
+  ValueTable truths = MakeValidTruths(data);
+  truths.Set(0, 0, Value::Continuous(12.5));  // claims span [10, 12]
+  const Status status = CheckTruthDomain(data, truths);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("escapes the observed hull"), std::string::npos);
+  EXPECT_NE(status.message().find("o0"), std::string::npos);  // pinpoints the entry
+}
+
+TEST(CheckTruthDomainTest, ToleranceWidensTheHull) {
+  const Dataset data = MakeTinyDataset();
+  ValueTable truths = MakeValidTruths(data);
+  truths.Set(0, 0, Value::Continuous(12.5));
+  EXPECT_TRUE(CheckTruthDomain(data, truths, /*supervision=*/nullptr, /*tolerance=*/0.1).ok());
+}
+
+TEST(CheckTruthDomainTest, RejectsUnclaimedCategoricalTruth) {
+  Dataset data = MakeTinyDataset();
+  const Value snowy = data.InternCategorical(1, "snowy");  // never claimed
+  ValueTable truths = MakeValidTruths(data);
+  truths.Set(0, 1, snowy);
+  const Status status = CheckTruthDomain(data, truths);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("not among the observed candidate"), std::string::npos);
+}
+
+TEST(CheckTruthDomainTest, RejectsTruthOnUnclaimedEntry) {
+  const Dataset data = MakeTinyDataset();
+  ValueTable truths = MakeValidTruths(data);
+  Dataset no_claims(data.schema(), {"o0", "o1"}, {"s0", "s1", "s2"});
+  const Status status = CheckTruthDomain(no_claims, truths);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("no source claimed"), std::string::npos);
+}
+
+TEST(CheckTruthDomainTest, RejectsTypeMismatchedTruths) {
+  const Dataset data = MakeTinyDataset();
+  ValueTable truths = MakeValidTruths(data);
+  truths.Set(0, 0, Value::Categorical(0));  // continuous property
+  EXPECT_FALSE(CheckTruthDomain(data, truths).ok());
+  truths = MakeValidTruths(data);
+  truths.Set(0, 1, Value::Continuous(1.0));  // categorical property
+  EXPECT_FALSE(CheckTruthDomain(data, truths).ok());
+  truths = MakeValidTruths(data);
+  truths.Set(0, 0, Value::Continuous(kNaN));
+  EXPECT_FALSE(CheckTruthDomain(data, truths).ok());
+}
+
+TEST(CheckTruthDomainTest, SupervisionClampOverridesTheCandidateRule) {
+  const Dataset data = MakeTinyDataset();
+  ValueTable supervision(data.num_objects(), data.num_properties());
+  // Supervised truth outside the observed hull: legal iff clamped to it.
+  supervision.Set(0, 0, Value::Continuous(42.0));
+  ValueTable truths = MakeValidTruths(data);
+  truths.Set(0, 0, Value::Continuous(42.0));
+  EXPECT_TRUE(CheckTruthDomain(data, truths, &supervision).ok());
+  // Not clamping to the supervision label is a violation.
+  truths.Set(0, 0, Value::Continuous(11.0));
+  const Status status = CheckTruthDomain(data, truths, &supervision);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("supervision"), std::string::npos);
+}
+
+TEST(CheckTruthDomainTest, RejectsShapeMismatch) {
+  const Dataset data = MakeTinyDataset();
+  const ValueTable wrong_shape(1, 1);
+  EXPECT_EQ(CheckTruthDomain(data, wrong_shape).code(), StatusCode::kInvalidArgument);
+}
+
+// --- CheckLossMonotonic -----------------------------------------------------
+
+TEST(CheckLossMonotonicTest, AcceptsNonIncreasingHistories) {
+  EXPECT_TRUE(CheckLossMonotonic({}).ok());
+  EXPECT_TRUE(CheckLossMonotonic({3.0}).ok());
+  EXPECT_TRUE(CheckLossMonotonic({3.0, 2.0, 2.0, 1.5}).ok());
+}
+
+TEST(CheckLossMonotonicTest, RejectsIncreaseBeyondSlack) {
+  const Status status = CheckLossMonotonic({3.0, 2.0, 2.5});
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("objective increased at iteration 3"), std::string::npos);
+}
+
+TEST(CheckLossMonotonicTest, SlackAllowsTinyIncreases) {
+  EXPECT_TRUE(CheckLossMonotonic({2.0, 2.0 + 1e-13}).ok());              // absolute slack
+  EXPECT_TRUE(CheckLossMonotonic({1e6, 1e6 + 0.5}, /*relative_slack=*/1e-6).ok());
+  EXPECT_FALSE(CheckLossMonotonic({1e6, 1e6 + 2.0}, /*relative_slack=*/1e-6).ok());
+}
+
+TEST(CheckLossMonotonicTest, RejectsNonFiniteObjectives) {
+  EXPECT_FALSE(CheckLossMonotonic({1.0, kNaN}).ok());
+  EXPECT_FALSE(CheckLossMonotonic({std::numeric_limits<double>::infinity()}).ok());
+}
+
+// --- CheckTruthTablesMatch --------------------------------------------------
+
+TEST(CheckTruthTablesMatchTest, AcceptsEqualAndNearlyEqualTables) {
+  const Dataset data = MakeTinyDataset();
+  const ValueTable truths = MakeValidTruths(data);
+  EXPECT_TRUE(CheckTruthTablesMatch(data, truths, truths).ok());
+  ValueTable nudged = truths;
+  nudged.Set(0, 0, Value::Continuous(11.0 + 1e-11));
+  EXPECT_TRUE(CheckTruthTablesMatch(data, truths, nudged).ok());
+}
+
+TEST(CheckTruthTablesMatchTest, PinpointsTheFirstMismatch) {
+  const Dataset data = MakeTinyDataset();
+  const ValueTable truths = MakeValidTruths(data);
+
+  ValueTable drifted = truths;
+  drifted.Set(1, 0, Value::Continuous(5.1));
+  Status status = CheckTruthTablesMatch(data, truths, drifted);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("continuous truths differ"), std::string::npos);
+  EXPECT_NE(status.message().find("o1"), std::string::npos);
+
+  ValueTable relabeled = truths;
+  relabeled.Set(0, 1, data.observations(2).Get(0, 1));  // rainy instead of sunny
+  status = CheckTruthTablesMatch(data, truths, relabeled);
+  EXPECT_NE(status.message().find("discrete truths differ"), std::string::npos);
+
+  ValueTable dropped = truths;
+  dropped.Clear(1, 1);
+  status = CheckTruthTablesMatch(data, truths, dropped);
+  EXPECT_NE(status.message().find("missingness differs"), std::string::npos);
+}
+
+TEST(CheckTruthTablesMatchTest, RejectsShapeMismatch) {
+  const Dataset data = MakeTinyDataset();
+  EXPECT_EQ(CheckTruthTablesMatch(data, MakeValidTruths(data), ValueTable(1, 1)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- Observers --------------------------------------------------------------
+
+/// A snapshot over MakeTinyDataset() that satisfies every invariant.
+struct SnapshotFixture {
+  SnapshotFixture() : data(MakeTinyDataset()), truths(MakeValidTruths(data)) {
+    scheme.kind = WeightSchemeKind::kLogMax;
+    weights = {0.0, 0.7, 1.9};
+    snapshot.engine = "crh";
+    snapshot.iteration = 1;
+    snapshot.data = &data;
+    snapshot.truths = &truths;
+    snapshot.weights = &weights;
+    snapshot.weight_scheme = &scheme;
+    snapshot.objective = 10.0;
+  }
+  Dataset data;
+  ValueTable truths;
+  std::vector<double> weights;
+  WeightSchemeOptions scheme;
+  IterationSnapshot snapshot;
+};
+
+TEST(LossMonotonicityCheckerTest, ChecksDescentCertificates) {
+  SnapshotFixture fx;
+  LossMonotonicityChecker checker;
+  // All certificates NaN ("not evaluated"): nothing to compare, passes.
+  EXPECT_TRUE(checker.OnIteration(fx.snapshot).ok());
+
+  // Non-increasing certificates pass; equality is descent too.
+  fx.snapshot.weight_step_before = 10.0;
+  fx.snapshot.weight_step_after = 9.0;
+  fx.snapshot.truth_step_before = 9.0;
+  fx.snapshot.truth_step_after = 9.0;
+  EXPECT_TRUE(checker.OnIteration(fx.snapshot).ok());
+
+  // A weight step that increased the functional it minimizes names itself.
+  fx.snapshot.weight_step_after = 11.0;
+  const Status weight_status = checker.OnIteration(fx.snapshot);
+  EXPECT_EQ(weight_status.code(), StatusCode::kInternal);
+  EXPECT_NE(weight_status.message().find("weight update increased"), std::string::npos);
+
+  // Same for the truth step.
+  fx.snapshot.weight_step_after = 9.0;
+  fx.snapshot.truth_step_after = 9.5;
+  const Status truth_status = checker.OnIteration(fx.snapshot);
+  EXPECT_EQ(truth_status.code(), StatusCode::kInternal);
+  EXPECT_NE(truth_status.message().find("truth update increased"), std::string::npos);
+
+  // Floating-point-level excess is absorbed by the slack.
+  fx.snapshot.truth_step_after = 9.0 + 1e-9;
+  EXPECT_TRUE(checker.OnIteration(fx.snapshot).ok());
+}
+
+TEST(LossMonotonicityCheckerTest, RejectsHalfEvaluatedOrNonFiniteCertificates) {
+  SnapshotFixture fx;
+  LossMonotonicityChecker checker;
+  // A certificate with only one side evaluated is an engine wiring bug.
+  fx.snapshot.weight_step_before = 10.0;
+  EXPECT_FALSE(checker.OnIteration(fx.snapshot).ok());
+  fx.snapshot.weight_step_before = kNaN;
+  fx.snapshot.truth_step_after = 3.0;
+  EXPECT_FALSE(checker.OnIteration(fx.snapshot).ok());
+
+  // Infinite certificates and objectives are violations; NaN objectives
+  // (icrh's single pass) are fine.
+  fx.snapshot.truth_step_after = kNaN;
+  fx.snapshot.weight_step_before = std::numeric_limits<double>::infinity();
+  fx.snapshot.weight_step_after = 1.0;
+  EXPECT_FALSE(checker.OnIteration(fx.snapshot).ok());
+  fx.snapshot.weight_step_before = kNaN;
+  fx.snapshot.weight_step_after = kNaN;
+  fx.snapshot.objective = kNaN;
+  EXPECT_TRUE(checker.OnIteration(fx.snapshot).ok());
+  fx.snapshot.objective = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(checker.OnIteration(fx.snapshot).ok());
+}
+
+TEST(WeightConstraintCheckerTest, ChecksGlobalAndGroupWeights) {
+  SnapshotFixture fx;
+  WeightConstraintChecker checker;
+  EXPECT_TRUE(checker.OnIteration(fx.snapshot).ok());
+
+  fx.weights = {0.5, 0.7, 1.9};  // min weight not 0 under log-max
+  EXPECT_FALSE(checker.OnIteration(fx.snapshot).ok());
+
+  // With group weights present, each group is checked individually and the
+  // aggregated vector (a mean across groups) is exempt.
+  const std::vector<std::vector<double>> groups = {{0.0, 0.7, 1.9}, {0.0, 1.0, 0.4}};
+  fx.snapshot.group_weights = &groups;
+  EXPECT_TRUE(checker.OnIteration(fx.snapshot).ok());
+  const std::vector<std::vector<double>> bad_groups = {{0.0, 0.7, 1.9}, {0.3, 1.0, 0.4}};
+  fx.snapshot.group_weights = &bad_groups;
+  EXPECT_FALSE(checker.OnIteration(fx.snapshot).ok());
+
+  // No scheme recorded -> no delta(W) constraint to check.
+  fx.snapshot.group_weights = nullptr;
+  fx.snapshot.weight_scheme = nullptr;
+  EXPECT_TRUE(checker.OnIteration(fx.snapshot).ok());
+}
+
+TEST(DomainValidityCheckerTest, DelegatesToCheckTruthDomain) {
+  SnapshotFixture fx;
+  DomainValidityChecker checker;
+  EXPECT_TRUE(checker.OnIteration(fx.snapshot).ok());
+  fx.truths.Set(0, 0, Value::Continuous(99.0));
+  EXPECT_FALSE(checker.OnIteration(fx.snapshot).ok());
+}
+
+TEST(InvariantVerifierTest, CountsVerifiedStepsAndFailsFast) {
+  SnapshotFixture fx;
+  InvariantVerifier verifier;
+  EXPECT_EQ(verifier.steps_verified(), 0u);
+  EXPECT_TRUE(verifier.OnIteration(fx.snapshot).ok());
+  fx.snapshot.iteration = 2;
+  fx.snapshot.objective = 9.0;
+  EXPECT_TRUE(verifier.OnIteration(fx.snapshot).ok());
+  EXPECT_EQ(verifier.steps_verified(), 2u);
+
+  fx.snapshot.iteration = 3;
+  fx.snapshot.truth_step_before = 5.0;  // descent certificate violation
+  fx.snapshot.truth_step_after = 6.0;
+  EXPECT_FALSE(verifier.OnIteration(fx.snapshot).ok());
+  EXPECT_EQ(verifier.steps_verified(), 2u);  // failed step not counted
+}
+
+class CountingObserver : public IterationObserver {
+ public:
+  Status OnIteration(const IterationSnapshot&) override {
+    ++calls;
+    return status;
+  }
+  int calls = 0;
+  Status status = Status::OK();
+};
+
+TEST(ObserverChainTest, FansOutAndStopsOnFirstFailure) {
+  SnapshotFixture fx;
+  CountingObserver first, failing, last;
+  failing.status = Status::Internal("boom");
+  ObserverChain chain;
+  chain.Add(&first);
+  chain.Add(&failing);
+  chain.Add(&last);
+  const Status status = chain.OnIteration(fx.snapshot);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(first.calls, 1);
+  EXPECT_EQ(failing.calls, 1);
+  EXPECT_EQ(last.calls, 0);  // not reached after the failure
+
+  failing.status = Status::OK();
+  EXPECT_TRUE(chain.OnIteration(fx.snapshot).ok());
+  EXPECT_EQ(last.calls, 1);
+}
+
+}  // namespace
+}  // namespace crh

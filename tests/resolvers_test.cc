@@ -249,9 +249,14 @@ TEST(WeightedLabelDistributionTest, SumsToOne) {
   EXPECT_NEAR(std::accumulate(dist.begin(), dist.end(), 0.0), 1.0, 1e-12);
 }
 
-TEST(WeightedLabelDistributionTest, ZeroWeightsGiveUniform) {
+TEST(WeightedLabelDistributionTest, ZeroWeightsGiveUniformOverClaimedLabels) {
+  // Mass stays on the labels somebody claimed; spreading it over the whole
+  // dictionary would let the mode escape the observed candidate set.
   const auto dist = WeightedLabelDistribution({0, 1}, {0, 0}, 4);
-  for (double p : dist) EXPECT_DOUBLE_EQ(p, 0.25);
+  EXPECT_DOUBLE_EQ(dist[0], 0.5);
+  EXPECT_DOUBLE_EQ(dist[1], 0.5);
+  EXPECT_DOUBLE_EQ(dist[2], 0.0);
+  EXPECT_DOUBLE_EQ(dist[3], 0.0);
 }
 
 TEST(ArgMaxTest, FirstLargest) {
