@@ -1,0 +1,74 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace crh {
+
+size_t ThreadPool::ResolveNumThreads(int num_threads) {
+  if (num_threads > 0) return static_cast<size_t>(num_threads);
+  if (num_threads == 0) {
+    return std::max(1u, std::thread::hardware_concurrency());
+  }
+  return 1;
+}
+
+ThreadPool::ThreadPool(int num_threads) : num_workers_(ResolveNumThreads(num_threads)) {
+  helpers_.reserve(num_workers_ - 1);
+  for (size_t w = 1; w < num_workers_; ++w) {
+    helpers_.emplace_back([this, w]() { HelperLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& helper : helpers_) helper.join();
+}
+
+void ThreadPool::HelperLoop(size_t worker) {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&]() { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    const size_t count = job_count_;
+    const std::function<void(size_t)>* fn = job_fn_;
+    lock.unlock();
+    for (size_t index = worker; index < count; index += num_workers_) (*fn)(index);
+    lock.lock();
+    ++helpers_finished_;
+    if (helpers_finished_ == num_workers_ - 1) done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (num_workers_ == 1 || count == 1) {
+    // Inline fast path: identical index order, no synchronization.
+    for (size_t index = 0; index < count; ++index) fn(index);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    job_count_ = count;
+    job_fn_ = &fn;
+    helpers_finished_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller is worker 0.
+  for (size_t index = 0; index < count; index += num_workers_) fn(index);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&]() { return helpers_finished_ == num_workers_ - 1; });
+  job_fn_ = nullptr;
+}
+
+void ThreadPool::Run(const std::vector<std::function<void()>>& tasks) {
+  ParallelFor(tasks.size(), [&tasks](size_t t) { tasks[t](); });
+}
+
+}  // namespace crh

@@ -1,0 +1,91 @@
+#ifndef CRH_COMMON_THREAD_POOL_H_
+#define CRH_COMMON_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// A reusable worker pool with deterministic static scheduling.
+///
+/// The solvers in this library promise that parallel execution is an
+/// *execution strategy*, never a semantic change: a run at any thread count
+/// must be bit-identical to the sequential run. That rules out dynamic
+/// scheduling (work stealing, atomically popped queues) for anything that
+/// feeds a floating-point reduction, because the partition of work — and
+/// with it the association order of the partial sums — would depend on
+/// runtime timing.
+///
+/// ThreadPool therefore assigns work statically: ParallelFor(count, fn)
+/// executes fn(index) for every index in [0, count), and index i always
+/// runs on worker i % W. Which thread executes an index affects timing
+/// only; callers that reduce results do so over per-index (or per-shard)
+/// slots in index order, so the reduction tree is fixed by the *shard
+/// grid*, not by the thread count (see docs/PERFORMANCE.md, "Deterministic
+/// reduction"). The calling thread participates as worker 0, so a pool
+/// constructed with one worker runs everything inline with zero
+/// synchronization.
+///
+/// Workers are started once and reused across jobs — the per-iteration
+/// hot loops of the batch solver issue many small parallel regions, and
+/// thread creation per region would dominate them. One job runs at a
+/// time; ParallelFor blocks until every index has executed. Callables
+/// must not throw.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crh {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers. 0 means one worker per
+  /// hardware thread; values below 0 are clamped to 1. The calling thread
+  /// acts as worker 0, so `num_threads - 1` OS threads are spawned.
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Joins the helper threads. Must not be called while a ParallelFor is
+  /// in flight on another thread.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers (helper threads + the calling thread).
+  size_t num_workers() const { return num_workers_; }
+
+  /// Runs fn(index) for every index in [0, count); index i executes on
+  /// worker i % num_workers(). Blocks until all indices have run. Safe to
+  /// call repeatedly; not reentrant (fn must not call ParallelFor on the
+  /// same pool).
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  /// Convenience: runs tasks[t] for every t, task t on worker t % W. The
+  /// drop-in equivalent of the MapReduce engine's task-wave executor.
+  void Run(const std::vector<std::function<void()>>& tasks);
+
+  /// Resolves a thread-count knob: n > 0 is taken as-is, n == 0 means
+  /// hardware concurrency (at least 1), n < 0 resolves to 1.
+  static size_t ResolveNumThreads(int num_threads);
+
+ private:
+  void HelperLoop(size_t worker);
+
+  size_t num_workers_ = 1;
+  std::vector<std::thread> helpers_;  // size num_workers_ - 1
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Current job, published under mu_. generation_ increments per job so
+  // helpers can tell a fresh job from a spurious wakeup.
+  uint64_t generation_ = 0;
+  size_t job_count_ = 0;
+  const std::function<void(size_t)>* job_fn_ = nullptr;
+  size_t helpers_finished_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace crh
+
+#endif  // CRH_COMMON_THREAD_POOL_H_

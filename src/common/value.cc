@@ -25,8 +25,11 @@ std::string Value::ToString() const {
       std::snprintf(buf, sizeof(buf), "%g", continuous_);
       return buf;
     }
-    case Kind::kCategorical:
-      return "#" + std::to_string(category_);
+    case Kind::kCategorical: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "#%d", static_cast<int>(category_));
+      return buf;
+    }
   }
   return "?";
 }

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "analysis/invariants.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "core/resolvers.h"
 #include "losses/loss.h"
 #include "losses/text_distance.h"
@@ -23,6 +25,55 @@ struct SolverState {
   std::vector<std::vector<double>> soft;
   std::vector<size_t> num_labels;  // L_m per property (0 for continuous)
 };
+
+/// Read-only view of a candidate solution for loss evaluation. `soft` and
+/// `num_labels` are null under the hard categorical model; when set, the
+/// soft loss (Eq 11) is scored directly against the property blocks.
+struct TruthView {
+  const ValueTable* truths = nullptr;
+  const std::vector<std::vector<double>>* soft = nullptr;
+  const std::vector<size_t>* num_labels = nullptr;
+};
+
+// --- Deterministic shard grid ------------------------------------------------
+//
+// Every accumulation over claims is cut on a fixed grid of contiguous
+// entry ranges whose boundaries depend only on the number of entries,
+// never on the thread count. Each shard's partial is computed in entry
+// order by exactly one worker, and partials are reduced in shard order —
+// so the floating-point association tree is a property of the data shape
+// and results are bit-identical at any thread count (including the
+// sequential path, which walks the same shards in order).
+
+constexpr size_t kMinEntriesPerShard = 1024;
+constexpr size_t kMaxEntryShards = 64;
+
+size_t NumEntryShards(size_t num_entries) {
+  if (num_entries <= kMinEntriesPerShard) return 1;
+  const size_t by_size = (num_entries + kMinEntriesPerShard - 1) / kMinEntriesPerShard;
+  return std::min(kMaxEntryShards, by_size);
+}
+
+struct EntryRange {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+EntryRange ShardRange(size_t num_entries, size_t num_shards, size_t shard) {
+  return {num_entries * shard / num_shards, num_entries * (shard + 1) / num_shards};
+}
+
+/// Runs fn(shard) for every shard; on the pool when one is available,
+/// inline (in shard order) otherwise. Shard-to-worker assignment is static
+/// (ThreadPool contract), so which worker runs a shard never affects what
+/// the shard computes.
+void RunShards(size_t num_shards, ThreadPool* pool, const std::function<void(size_t)>& fn) {
+  if (pool != nullptr && pool->num_workers() > 1 && num_shards > 1) {
+    pool->ParallelFor(num_shards, fn);
+    return;
+  }
+  for (size_t s = 0; s < num_shards; ++s) fn(s);
+}
 
 /// Property -> weight-group mapping for the configured granularity.
 /// Returns the group of each property; sets *num_groups.
@@ -55,44 +106,39 @@ std::vector<size_t> BuildPropertyGroups(const Schema& schema, WeightGranularity 
   return group;
 }
 
-/// Gathers the non-missing claims of all sources on entry (i, m).
-void GatherClaims(const Dataset& data, size_t i, size_t m, std::vector<Value>* values,
-                  std::vector<double>* weights, const std::vector<double>& w) {
-  CRH_DCHECK_EQ(w.size(), data.num_sources());
-  values->clear();
-  weights->clear();
-  for (size_t k = 0; k < data.num_sources(); ++k) {
-    const Value& v = data.observations(k).Get(i, m);
-    if (v.is_missing()) continue;
-    values->push_back(v);
-    weights->push_back(w[k]);
-  }
-}
-
 /// Updates the truth (and soft distribution) of every entry given per-group
-/// source weights; supervised cells are clamped to their labels.
-void UpdateTruths(const Dataset& data, const std::vector<std::vector<double>>& group_weights,
+/// source weights; supervised cells are clamped to their labels. Iterates
+/// the claim index — O(claims), not O(K * N * M) — and shards the entry
+/// space across the pool (every entry is independent, so no reduction).
+void UpdateTruths(const Dataset& data, const ClaimIndex& index,
+                  const std::vector<std::vector<double>>& group_weights,
                   const std::vector<size_t>& property_group, const CrhOptions& options,
-                  SolverState* state) {
-  const size_t n = data.num_objects();
+                  ThreadPool* pool, SolverState* state) {
   const size_t m_props = data.num_properties();
-  std::vector<Value> claim_values;
-  std::vector<double> claim_weights;
-  std::vector<double> cont_values;
-  std::vector<CategoryId> labels;
+  const size_t num_entries = index.num_entries();
 
+  // Per-property dispatch, resolved once instead of per entry.
+  std::vector<PropertyType> types(m_props);
+  std::vector<char> soft_active(m_props, 0);
+  std::vector<const std::vector<double>*> weights_for(m_props);
   for (size_t m = 0; m < m_props; ++m) {
-    const PropertyType type = data.schema().property(m).type;
-    const bool categorical = type == PropertyType::kCategorical;
-    const bool soft = categorical && options.categorical_model == CategoricalModel::kSoftProbability;
-    const std::vector<double>& weights = group_weights[property_group[m]];
-    // Text truths: the claim minimizing the weighted total normalized edit
-    // distance to all claims (the medoid induced by the text loss).
-    const auto text_distance = [&data, m](const Value& a, const Value& b) {
-      return NormalizedEditDistance(data.dict(m).label(a.category()),
-                                    data.dict(m).label(b.category()));
-    };
-    for (size_t i = 0; i < n; ++i) {
+    types[m] = data.schema().property(m).type;
+    soft_active[m] = types[m] == PropertyType::kCategorical &&
+                     options.categorical_model == CategoricalModel::kSoftProbability;
+    weights_for[m] = &group_weights[property_group[m]];
+  }
+
+  const size_t num_shards = NumEntryShards(num_entries);
+  RunShards(num_shards, pool, [&](size_t shard) {
+    // Per-shard scratch, reused across the shard's entries.
+    std::vector<Value> claim_values;
+    std::vector<double> claim_weights;
+    std::vector<double> cont_values;
+    std::vector<CategoryId> labels;
+    const EntryRange range = ShardRange(num_entries, num_shards, shard);
+    for (size_t e = range.begin; e < range.end; ++e) {
+      const size_t i = e / m_props;
+      const size_t m = e % m_props;
       if (options.supervision != nullptr) {
         const Value& label = options.supervision->Get(i, m);
         if (!label.is_missing()) {
@@ -100,29 +146,42 @@ void UpdateTruths(const Dataset& data, const std::vector<std::vector<double>>& g
           continue;
         }
       }
-      GatherClaims(data, i, m, &claim_values, &claim_weights, weights);
-      if (claim_values.empty()) {
+      const ClaimSpan span = index.entry(e);
+      if (span.empty()) {
         state->truths.Set(i, m, Value::Missing());
         continue;
       }
-      if (type == PropertyType::kText) {
-        state->truths.Set(i, m, WeightedMedoid(claim_values, claim_weights, text_distance));
-      } else if (categorical) {
-        if (soft) {
+      const std::vector<double>& weights = *weights_for[m];
+      claim_weights.clear();
+      for (size_t c = 0; c < span.size; ++c) claim_weights.push_back(weights[span.sources[c]]);
+
+      if (types[m] == PropertyType::kText) {
+        // Text truths: the claim minimizing the weighted total normalized
+        // edit distance to all claims (the medoid induced by the text loss).
+        claim_values.assign(span.values, span.values + span.size);
+        state->truths.Set(i, m,
+                          WeightedMedoid(claim_values, claim_weights,
+                                         [&data, m](const Value& a, const Value& b) {
+                                           return NormalizedEditDistance(
+                                               data.dict(m).label(a.category()),
+                                               data.dict(m).label(b.category()));
+                                         }));
+      } else if (types[m] == PropertyType::kCategorical) {
+        if (soft_active[m]) {
           labels.clear();
-          for (const Value& v : claim_values) labels.push_back(v.category());
-          std::vector<double> dist =
-              WeightedLabelDistribution(labels, claim_weights, state->num_labels[m]);
+          for (size_t c = 0; c < span.size; ++c) labels.push_back(span.values[c].category());
+          const size_t l_m = state->num_labels[m];
+          std::vector<double> dist = WeightedLabelDistribution(labels, claim_weights, l_m);
           const CategoryId mode = static_cast<CategoryId>(ArgMax(dist));
-          std::copy(dist.begin(), dist.end(),
-                    state->soft[m].begin() + static_cast<long>(i * state->num_labels[m]));
+          std::copy(dist.begin(), dist.end(), state->soft[m].begin() + static_cast<long>(i * l_m));
           state->truths.Set(i, m, Value::Categorical(mode));
         } else {
+          claim_values.assign(span.values, span.values + span.size);
           state->truths.Set(i, m, WeightedVote(claim_values, claim_weights));
         }
       } else {
         cont_values.clear();
-        for (const Value& v : claim_values) cont_values.push_back(v.continuous());
+        for (size_t c = 0; c < span.size; ++c) cont_values.push_back(span.values[c].continuous());
         double truth;
         if (options.continuous_model == ContinuousModel::kMedian) {
           truth = WeightedMedian(cont_values, claim_weights);
@@ -135,34 +194,33 @@ void UpdateTruths(const Dataset& data, const std::vector<std::vector<double>>& g
         state->truths.Set(i, m, Value::Continuous(truth));
       }
     }
-  }
+  });
 }
 
-/// The per-claim loss of source k's claim on entry (i, m) under the
-/// configured models, given the current state.
-double ClaimLoss(const Dataset& data, const SolverState& state, const EntryStats& stats,
-                 const CrhOptions& options, size_t i, size_t m, const Value& obs) {
+/// The per-claim loss of a claim on entry (i, m) under the configured
+/// models, given a candidate solution view. The soft categorical loss is
+/// scored against a pointer view into the property's soft block — no
+/// per-claim copy of the entry's distribution.
+double ClaimLoss(const Dataset& data, const TruthView& view, const EntryStats& stats,
+                 ContinuousModel continuous_model, size_t i, size_t m, const Value& obs) {
   const PropertyType type = data.schema().property(m).type;
   if (type == PropertyType::kText) {
-    const Value& truth = state.truths.Get(i, m);
+    const Value& truth = view.truths->Get(i, m);
     return NormalizedEditDistance(data.dict(m).label(truth.category()),
                                   data.dict(m).label(obs.category()));
   }
   if (type == PropertyType::kCategorical) {
-    if (options.categorical_model == CategoricalModel::kSoftProbability) {
-      const std::vector<double>& block = state.soft[m];
-      const size_t l_m = state.num_labels[m];
-      // View of the entry's distribution inside the property block.
-      std::vector<double> dist(block.begin() + static_cast<long>(i * l_m),
-                               block.begin() + static_cast<long>((i + 1) * l_m));
-      return ProbVectorSquaredLoss(dist, obs.category());
+    if (view.soft != nullptr) {
+      const size_t l_m = (*view.num_labels)[m];
+      const double* dist = (*view.soft)[m].data() + i * l_m;
+      return ProbVectorSquaredLoss(dist, l_m, obs.category());
     }
-    return state.truths.Get(i, m) == obs ? 0.0 : 1.0;
+    return view.truths->Get(i, m) == obs ? 0.0 : 1.0;
   }
-  const double diff = state.truths.Get(i, m).continuous() - obs.continuous();
+  const double diff = view.truths->Get(i, m).continuous() - obs.continuous();
   const double scale = stats.scale_at(i, m);
   CRH_DCHECK_GT(scale, 0.0);
-  if (options.continuous_model == ContinuousModel::kMedian) {
+  if (continuous_model == ContinuousModel::kMedian) {
     return std::abs(diff) / scale;
   }
   return diff * diff / scale;
@@ -170,24 +228,50 @@ double ClaimLoss(const Dataset& data, const SolverState& state, const EntryStats
 
 /// Computes the K x M matrix of per-source per-property losses with the
 /// configured observation-count and per-property normalizations applied.
+/// Claim-major: one pass over the index's present claims, sharded with
+/// per-shard partial matrices reduced in shard order.
 std::vector<std::vector<double>> NormalizedLossMatrix(const Dataset& data,
-                                                      const SolverState& state,
+                                                      const ClaimIndex& index,
+                                                      const TruthView& view,
                                                       const EntryStats& stats,
-                                                      const CrhOptions& options) {
+                                                      const CrhOptions& options,
+                                                      ThreadPool* pool) {
   const size_t k_sources = data.num_sources();
   const size_t m_props = data.num_properties();
-  const size_t n = data.num_objects();
+  const size_t num_entries = index.num_entries();
+  const size_t num_shards = NumEntryShards(num_entries);
 
+  std::vector<std::vector<double>> partial_loss(num_shards);
+  std::vector<std::vector<uint32_t>> partial_count(num_shards);
+  RunShards(num_shards, pool, [&](size_t shard) {
+    std::vector<double>& loss = partial_loss[shard];
+    std::vector<uint32_t>& count = partial_count[shard];
+    loss.assign(k_sources * m_props, 0.0);
+    count.assign(k_sources * m_props, 0);
+    const EntryRange range = ShardRange(num_entries, num_shards, shard);
+    for (size_t e = range.begin; e < range.end; ++e) {
+      const ClaimSpan span = index.entry(e);
+      if (span.empty()) continue;
+      const size_t i = e / m_props;
+      const size_t m = e % m_props;
+      if (view.truths->Get(i, m).is_missing()) continue;
+      for (size_t c = 0; c < span.size; ++c) {
+        const size_t cell = span.sources[c] * m_props + m;
+        loss[cell] +=
+            ClaimLoss(data, view, stats, options.continuous_model, i, m, span.values[c]);
+        ++count[cell];
+      }
+    }
+  });
+
+  // Ordered reduction: shard partials combine in shard order.
   std::vector<std::vector<double>> loss(k_sources, std::vector<double>(m_props, 0.0));
   std::vector<std::vector<size_t>> count(k_sources, std::vector<size_t>(m_props, 0));
-  for (size_t k = 0; k < k_sources; ++k) {
-    const ValueTable& table = data.observations(k);
-    for (size_t i = 0; i < n; ++i) {
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    for (size_t k = 0; k < k_sources; ++k) {
       for (size_t m = 0; m < m_props; ++m) {
-        const Value& obs = table.Get(i, m);
-        if (obs.is_missing() || state.truths.Get(i, m).is_missing()) continue;
-        loss[k][m] += ClaimLoss(data, state, stats, options, i, m, obs);
-        ++count[k][m];
+        loss[k][m] += partial_loss[shard][k * m_props + m];
+        count[k][m] += partial_count[shard][k * m_props + m];
       }
     }
   }
@@ -220,9 +304,10 @@ std::vector<std::vector<double>> NormalizedLossMatrix(const Dataset& data,
 
 /// Sums the normalized loss matrix over all properties (the global
 /// per-source deviations feeding the weight update).
-std::vector<double> AggregateSourceLosses(const Dataset& data, const SolverState& state,
-                                          const EntryStats& stats, const CrhOptions& options) {
-  const auto loss = NormalizedLossMatrix(data, state, stats, options);
+std::vector<double> AggregateSourceLosses(const Dataset& data, const ClaimIndex& index,
+                                          const TruthView& view, const EntryStats& stats,
+                                          const CrhOptions& options, ThreadPool* pool) {
+  const auto loss = NormalizedLossMatrix(data, index, view, stats, options, pool);
   std::vector<double> totals(data.num_sources(), 0.0);
   for (size_t k = 0; k < data.num_sources(); ++k) {
     for (size_t m = 0; m < data.num_properties(); ++m) totals[k] += loss[k][m];
@@ -234,34 +319,93 @@ std::vector<double> AggregateSourceLosses(const Dataset& data, const SolverState
 /// w_{group(m), k} * ClaimLoss, evaluated with the hard categorical model.
 /// This is exactly the functional the truth update minimizes entry by entry
 /// given the weights, so it backs the truth-step descent certificate.
-double GroupedObjective(const Dataset& data, const ValueTable& truths,
+double GroupedObjective(const Dataset& data, const ClaimIndex& index, const ValueTable& truths,
                         const std::vector<std::vector<double>>& group_weights,
                         const std::vector<size_t>& property_group, const EntryStats& stats,
-                        const CrhOptions& options) {
-  SolverState state;
-  state.truths = truths;
-  CrhOptions hard = options;
-  hard.categorical_model = CategoricalModel::kVoting;
+                        const CrhOptions& options, ThreadPool* pool) {
+  const TruthView view{&truths, nullptr, nullptr};
+  const size_t m_props = data.num_properties();
+  const size_t num_entries = index.num_entries();
+  const size_t num_shards = NumEntryShards(num_entries);
 
-  double objective = 0.0;
-  for (size_t k = 0; k < data.num_sources(); ++k) {
-    const ValueTable& table = data.observations(k);
-    for (size_t i = 0; i < data.num_objects(); ++i) {
-      for (size_t m = 0; m < data.num_properties(); ++m) {
-        const Value& obs = table.Get(i, m);
-        if (obs.is_missing() || truths.Get(i, m).is_missing()) continue;
-        objective += group_weights[property_group[m]][k] *
-                     ClaimLoss(data, state, stats, hard, i, m, obs);
+  std::vector<double> partial(num_shards, 0.0);
+  RunShards(num_shards, pool, [&](size_t shard) {
+    double objective = 0.0;
+    const EntryRange range = ShardRange(num_entries, num_shards, shard);
+    for (size_t e = range.begin; e < range.end; ++e) {
+      const ClaimSpan span = index.entry(e);
+      if (span.empty()) continue;
+      const size_t i = e / m_props;
+      const size_t m = e % m_props;
+      if (truths.Get(i, m).is_missing()) continue;
+      const std::vector<double>& weights = group_weights[property_group[m]];
+      for (size_t c = 0; c < span.size; ++c) {
+        objective += weights[span.sources[c]] *
+                     ClaimLoss(data, view, stats, options.continuous_model, i, m, span.values[c]);
       }
     }
-  }
+    partial[shard] = objective;
+  });
+
+  double objective = 0.0;
+  for (size_t shard = 0; shard < num_shards; ++shard) objective += partial[shard];
   return objective;
+}
+
+/// Raw Eq-1 objective over a prebuilt index: per-source loss totals
+/// accumulated claim-major (sharded, ordered reduction), then the weighted
+/// sum over sources.
+double CrhObjectiveOverIndex(const Dataset& data, const ClaimIndex& index,
+                             const ValueTable& truths, const std::vector<double>& weights,
+                             const EntryStats& stats, const CrhOptions& options,
+                             ThreadPool* pool) {
+  // The raw objective uses hard truths; under the soft model this is the
+  // 0-1 surrogate evaluated at the mode, which is what the history reports.
+  const TruthView view{&truths, nullptr, nullptr};
+  const size_t k_sources = data.num_sources();
+  const size_t m_props = data.num_properties();
+  const size_t num_entries = index.num_entries();
+  const size_t num_shards = NumEntryShards(num_entries);
+
+  std::vector<std::vector<double>> partial(num_shards);
+  RunShards(num_shards, pool, [&](size_t shard) {
+    std::vector<double>& totals = partial[shard];
+    totals.assign(k_sources, 0.0);
+    const EntryRange range = ShardRange(num_entries, num_shards, shard);
+    for (size_t e = range.begin; e < range.end; ++e) {
+      const ClaimSpan span = index.entry(e);
+      if (span.empty()) continue;
+      const size_t i = e / m_props;
+      const size_t m = e % m_props;
+      if (truths.Get(i, m).is_missing()) continue;
+      for (size_t c = 0; c < span.size; ++c) {
+        totals[span.sources[c]] +=
+            ClaimLoss(data, view, stats, options.continuous_model, i, m, span.values[c]);
+      }
+    }
+  });
+
+  std::vector<double> totals(k_sources, 0.0);
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    for (size_t k = 0; k < k_sources; ++k) totals[k] += partial[shard][k];
+  }
+  double objective = 0.0;
+  for (size_t k = 0; k < k_sources; ++k) objective += weights[k] * totals[k];
+  return objective;
+}
+
+/// Transient pool for the convenience entry points that take no pool:
+/// null (sequential) unless the options ask for more than one thread.
+std::unique_ptr<ThreadPool> MakePoolForOptions(const CrhOptions& options) {
+  if (ThreadPool::ResolveNumThreads(options.num_threads) <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(options.num_threads);
 }
 
 }  // namespace
 
-ValueTable ComputeTruthsGivenWeights(const Dataset& data, const std::vector<double>& weights,
-                                     const CrhOptions& options) {
+ValueTable ComputeTruthsGivenWeights(const Dataset& data, const ClaimIndex& index,
+                                     const std::vector<double>& weights,
+                                     const CrhOptions& options, ThreadPool* pool) {
   SolverState state;
   state.truths = ValueTable(data.num_objects(), data.num_properties());
   state.num_labels.assign(data.num_properties(), 0);
@@ -269,43 +413,37 @@ ValueTable ComputeTruthsGivenWeights(const Dataset& data, const std::vector<doub
   CrhOptions hard = options;
   hard.categorical_model = CategoricalModel::kVoting;
   const std::vector<size_t> groups(data.num_properties(), 0);
-  UpdateTruths(data, {weights}, groups, hard, &state);
+  UpdateTruths(data, index, {weights}, groups, hard, pool, &state);
   return std::move(state.truths);
+}
+
+ValueTable ComputeTruthsGivenWeights(const Dataset& data, const std::vector<double>& weights,
+                                     const CrhOptions& options) {
+  const ClaimIndex index = ClaimIndex::Build(data);
+  const std::unique_ptr<ThreadPool> pool = MakePoolForOptions(options);
+  return ComputeTruthsGivenWeights(data, index, weights, options, pool.get());
+}
+
+std::vector<double> ComputeSourceDeviations(const Dataset& data, const ClaimIndex& index,
+                                            const ValueTable& truths, const EntryStats& stats,
+                                            const CrhOptions& options, ThreadPool* pool) {
+  const TruthView view{&truths, nullptr, nullptr};
+  return AggregateSourceLosses(data, index, view, stats, options, pool);
 }
 
 std::vector<double> ComputeSourceDeviations(const Dataset& data, const ValueTable& truths,
                                             const EntryStats& stats, const CrhOptions& options) {
-  SolverState state;
-  state.truths = truths;
-  CrhOptions hard = options;
-  hard.categorical_model = CategoricalModel::kVoting;
-  return AggregateSourceLosses(data, state, stats, hard);
+  const ClaimIndex index = ClaimIndex::Build(data);
+  const std::unique_ptr<ThreadPool> pool = MakePoolForOptions(options);
+  return ComputeSourceDeviations(data, index, truths, stats, options, pool.get());
 }
 
 double CrhObjective(const Dataset& data, const ValueTable& truths,
                     const std::vector<double>& weights, const EntryStats& stats,
                     const CrhOptions& options) {
-  // The raw objective uses hard truths; under the soft model this is the
-  // 0-1 surrogate evaluated at the mode, which is what the history reports.
-  SolverState state;
-  state.truths = truths;
-  CrhOptions hard = options;
-  hard.categorical_model = CategoricalModel::kVoting;
-
-  double objective = 0.0;
-  for (size_t k = 0; k < data.num_sources(); ++k) {
-    double source_total = 0.0;
-    const ValueTable& table = data.observations(k);
-    for (size_t i = 0; i < data.num_objects(); ++i) {
-      for (size_t m = 0; m < data.num_properties(); ++m) {
-        const Value& obs = table.Get(i, m);
-        if (obs.is_missing() || truths.Get(i, m).is_missing()) continue;
-        source_total += ClaimLoss(data, state, stats, hard, i, m, obs);
-      }
-    }
-    objective += weights[k] * source_total;
-  }
-  return objective;
+  const ClaimIndex index = ClaimIndex::Build(data);
+  const std::unique_ptr<ThreadPool> pool = MakePoolForOptions(options);
+  return CrhObjectiveOverIndex(data, index, truths, weights, stats, options, pool.get());
 }
 
 Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options) {
@@ -318,6 +456,9 @@ Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options) {
   if (options.max_iterations < 1) {
     return Status::InvalidArgument("max_iterations must be >= 1");
   }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
   if (options.supervision != nullptr &&
       (options.supervision->num_objects() != data.num_objects() ||
        options.supervision->num_properties() != data.num_properties())) {
@@ -326,6 +467,11 @@ Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options) {
 
   const size_t k_sources = data.num_sources();
   const EntryStats stats = ComputeEntryStats(data);
+  // Built once per run: every per-iteration pass below iterates present
+  // claims only (the paper's per-iteration bound), never the dense grid.
+  const ClaimIndex index = ClaimIndex::Build(data);
+  const std::unique_ptr<ThreadPool> pool_storage = MakePoolForOptions(options);
+  ThreadPool* const pool = pool_storage.get();
 
   // Observer priority: an explicitly configured observer wins; under a
   // CRH_VERIFY build every unobserved run gets the full invariant bundle.
@@ -343,21 +489,27 @@ Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options) {
   state.truths = ValueTable(data.num_objects(), data.num_properties());
   state.num_labels.assign(data.num_properties(), 0);
   state.soft.assign(data.num_properties(), {});
+  const bool soft_model = options.categorical_model == CategoricalModel::kSoftProbability;
   for (size_t m = 0; m < data.num_properties(); ++m) {
     if (data.schema().is_categorical(m)) {
       // Every interned label is a possible truth; guarantee at least one
       // slot so distributions stay well-formed on empty dictionaries.
       state.num_labels[m] = std::max<size_t>(data.dict(m).size(), 1);
-      if (options.categorical_model == CategoricalModel::kSoftProbability) {
+      if (soft_model) {
         state.soft[m].assign(data.num_objects() * state.num_labels[m], 0.0);
       }
     }
   }
+  // The weight step scores claims against the solver's live state (soft
+  // distributions when the soft model is active); the objective history and
+  // the descent certificates use the hard view of the same truths.
+  const TruthView state_view{&state.truths, soft_model ? &state.soft : nullptr,
+                             soft_model ? &state.num_labels : nullptr};
 
   // Step 0: initialize truths with uniform weights (Voting / Median / Mean).
   std::vector<std::vector<double>> group_weights(num_groups,
                                                  std::vector<double>(k_sources, 1.0));
-  UpdateTruths(data, group_weights, property_group, options, &state);
+  UpdateTruths(data, index, group_weights, property_group, options, pool, &state);
 
   CrhResult result;
   double prev_objective = std::numeric_limits<double>::infinity();
@@ -369,7 +521,7 @@ Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options) {
     double weight_step_before = std::numeric_limits<double>::quiet_NaN();
     double weight_step_after = std::numeric_limits<double>::quiet_NaN();
     if (observing) weight_step_before = weight_step_after = 0.0;
-    const auto loss_matrix = NormalizedLossMatrix(data, state, stats, options);
+    const auto loss_matrix = NormalizedLossMatrix(data, index, state_view, stats, options, pool);
     for (size_t g = 0; g < num_groups; ++g) {
       std::vector<double> totals(k_sources, 0.0);
       for (size_t k = 0; k < k_sources; ++k) {
@@ -394,7 +546,7 @@ Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options) {
     // truths backs the truth-step certificate.
     ValueTable truths_before_update;
     if (observing) truths_before_update = state.truths;
-    UpdateTruths(data, group_weights, property_group, options, &state);
+    UpdateTruths(data, index, group_weights, property_group, options, pool, &state);
 
     // Convergence is judged on the mean-across-groups weights via the raw
     // objective (Eq 1).
@@ -404,7 +556,8 @@ Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options) {
       mean_weights[k] /= static_cast<double>(num_groups);
     }
     result.iterations = iter + 1;
-    const double objective = CrhObjective(data, state.truths, mean_weights, stats, options);
+    const double objective =
+        CrhObjectiveOverIndex(data, index, state.truths, mean_weights, stats, options, pool);
     result.objective_history.push_back(objective);
     if (observing) {
       IterationSnapshot snapshot;
@@ -419,11 +572,11 @@ Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options) {
       snapshot.objective = objective;
       snapshot.weight_step_before = weight_step_before;
       snapshot.weight_step_after = weight_step_after;
-      snapshot.truth_step_before =
-          GroupedObjective(data, truths_before_update, group_weights, property_group, stats,
-                           options);
-      snapshot.truth_step_after =
-          GroupedObjective(data, state.truths, group_weights, property_group, stats, options);
+      snapshot.truth_step_before = GroupedObjective(data, index, truths_before_update,
+                                                    group_weights, property_group, stats,
+                                                    options, pool);
+      snapshot.truth_step_after = GroupedObjective(data, index, state.truths, group_weights,
+                                                   property_group, stats, options, pool);
       CRH_RETURN_NOT_OK(observer->OnIteration(snapshot));
     }
     const double denom = std::max(std::abs(prev_objective), 1.0);
@@ -451,7 +604,7 @@ Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options) {
       }
     }
   }
-  if (options.categorical_model == CategoricalModel::kSoftProbability) {
+  if (soft_model) {
     for (size_t m = 0; m < data.num_properties(); ++m) {
       if (!data.schema().is_categorical(m)) continue;
       SoftDistributions block;

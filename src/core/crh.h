@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "data/claim_index.h"
 #include "data/dataset.h"
 #include "data/stats.h"
 #include "data/table.h"
@@ -35,6 +36,7 @@
 namespace crh {
 
 class IterationObserver;  // analysis/invariants.h
+class ThreadPool;         // common/thread_pool.h
 
 /// Truth model for categorical properties.
 enum class CategoricalModel {
@@ -100,6 +102,14 @@ struct CrhOptions {
   bool normalize_by_observation_count = true;
   /// Iteration cap for the block coordinate descent.
   int max_iterations = 100;
+  /// Worker threads for the truth update and the loss/objective
+  /// accumulations. 1 (the default) runs sequentially on the calling
+  /// thread; 0 uses one worker per hardware thread; negative values are
+  /// rejected. Results are bit-identical at every thread count: work is
+  /// cut on a fixed shard grid whose boundaries depend only on the data
+  /// size, and per-shard partials are reduced in shard order (see
+  /// docs/PERFORMANCE.md, "Deterministic reduction").
+  int num_threads = 1;
   /// Stop when the relative decrease of the objective falls below this.
   double convergence_tolerance = 1e-9;
   /// How finely source reliability is resolved. Non-global granularities
@@ -175,12 +185,26 @@ Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options = {});
 ValueTable ComputeTruthsGivenWeights(const Dataset& data, const std::vector<double>& weights,
                                      const CrhOptions& options);
 
+/// Claim-major variant over a prebuilt index (must have been built from
+/// \p data): callers that run many passes — the incremental solver, the
+/// benchmark harness — amortize the index build and may share a
+/// ThreadPool. A null \p pool runs sequentially.
+ValueTable ComputeTruthsGivenWeights(const Dataset& data, const ClaimIndex& index,
+                                     const std::vector<double>& weights,
+                                     const CrhOptions& options, ThreadPool* pool = nullptr);
+
 /// One weight-aggregation pass: each source's total deviation between its
 /// observations and \p truths, with the per-observation-count and
 /// per-property normalizations configured in \p options applied. Feed the
 /// result to ComputeSourceWeights to finish the weight update (Eq 2).
 std::vector<double> ComputeSourceDeviations(const Dataset& data, const ValueTable& truths,
                                             const EntryStats& stats, const CrhOptions& options);
+
+/// Claim-major variant over a prebuilt index; see ComputeTruthsGivenWeights.
+std::vector<double> ComputeSourceDeviations(const Dataset& data, const ClaimIndex& index,
+                                            const ValueTable& truths, const EntryStats& stats,
+                                            const CrhOptions& options,
+                                            ThreadPool* pool = nullptr);
 
 /// Computes the raw CRH objective (Eq 1) of a candidate solution: the
 /// weighted sum over sources of per-entry losses between \p truths and the

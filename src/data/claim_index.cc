@@ -1,0 +1,49 @@
+#include "data/claim_index.h"
+
+#include <limits>
+
+namespace crh {
+
+ClaimIndex ClaimIndex::Build(const Dataset& data) {
+  ClaimIndex index;
+  index.num_objects_ = data.num_objects();
+  index.num_properties_ = data.num_properties();
+  const size_t num_entries = index.num_entries();
+  const size_t k_sources = data.num_sources();
+  CRH_CHECK_LE(k_sources, size_t{std::numeric_limits<uint32_t>::max()});
+
+  // Pass 1: claims per entry. Table cells are row-major over (i, m), so a
+  // flat cell index IS the entry id.
+  std::vector<size_t> counts(num_entries, 0);
+  for (size_t k = 0; k < k_sources; ++k) {
+    const std::vector<Value>& cells = data.observations(k).cells();
+    CRH_DCHECK_EQ(cells.size(), num_entries);
+    for (size_t e = 0; e < num_entries; ++e) {
+      if (!cells[e].is_missing()) ++counts[e];
+    }
+  }
+
+  index.offsets_.assign(num_entries + 1, 0);
+  for (size_t e = 0; e < num_entries; ++e) {
+    index.offsets_[e + 1] = index.offsets_[e] + counts[e];
+  }
+  const size_t num_claims = index.offsets_[num_entries];
+  index.sources_.resize(num_claims);
+  index.values_.resize(num_claims);
+
+  // Pass 2: fill. Iterating k ascending in the outer loop leaves each
+  // entry's claims sorted by source id, matching a dense K-scan's order.
+  std::vector<size_t> cursor = index.offsets_;  // drops the trailing total
+  for (size_t k = 0; k < k_sources; ++k) {
+    const std::vector<Value>& cells = data.observations(k).cells();
+    for (size_t e = 0; e < num_entries; ++e) {
+      if (cells[e].is_missing()) continue;
+      const size_t at = cursor[e]++;
+      index.sources_[at] = static_cast<uint32_t>(k);
+      index.values_[at] = cells[e];
+    }
+  }
+  return index;
+}
+
+}  // namespace crh

@@ -81,6 +81,12 @@ class NormalizedAbsoluteLoss final : public LossFunction {
 /// a valid CategoryId in [0, L_m).
 double ProbVectorSquaredLoss(const std::vector<double>& truth_dist, CategoryId obs);
 
+/// Pointer-view variant for hot paths: scores the distribution stored at
+/// truth_dist[0 .. num_labels) in place — per-claim callers point straight
+/// into a property's soft block instead of copying the entry's row into a
+/// fresh vector.
+double ProbVectorSquaredLoss(const double* truth_dist, size_t num_labels, CategoryId obs);
+
 /// Factory: the loss function conventionally paired with a property type in
 /// the paper's main experiments (0-1 for categorical, normalized absolute
 /// deviation for continuous).

@@ -1,5 +1,7 @@
 #include "mapreduce/engine.h"
 
+#include "common/thread_pool.h"
+
 namespace crh {
 
 Status ValidateMapReduceConfig(const MapReduceConfig& config) {
@@ -41,23 +43,25 @@ bool InjectFault(size_t phase, size_t task, int attempt, double rate) {
   return static_cast<double>(x >> 11) / 9007199254740992.0 < rate;
 }
 
+void RunOnThreads(std::vector<std::function<void()>> tasks, ThreadPool* pool) {
+  if (pool == nullptr || pool->num_workers() <= 1 || tasks.size() <= 1) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  // Static round-robin assignment (ThreadPool's contract): task t runs on
+  // worker t % W, with the caller participating as worker 0.
+  pool->ParallelFor(tasks.size(), [&tasks](size_t t) { tasks[t](); });
+}
+
 void RunOnThreads(std::vector<std::function<void()>> tasks, int num_threads) {
-  size_t workers = num_threads > 0 ? static_cast<size_t>(num_threads)
-                                   : std::max(1u, std::thread::hardware_concurrency());
+  size_t workers = ThreadPool::ResolveNumThreads(num_threads);
   workers = std::min(workers, tasks.size());
   if (workers <= 1) {
     for (auto& task : tasks) task();
     return;
   }
-  // Static round-robin assignment: task t runs on thread t % workers.
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&tasks, w, workers]() {
-      for (size_t t = w; t < tasks.size(); t += workers) tasks[t]();
-    });
-  }
-  for (std::thread& t : pool) t.join();
+  ThreadPool pool(static_cast<int>(workers));
+  RunOnThreads(std::move(tasks), &pool);
 }
 
 }  // namespace internal

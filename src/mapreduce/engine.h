@@ -29,6 +29,7 @@
 
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "mapreduce/cost_model.h"
 
 namespace crh {
@@ -95,7 +96,13 @@ namespace internal {
 
 /// Runs `tasks` callables on up to `num_threads` OS threads (all tasks run
 /// concurrently in waves; exceptions must not escape the callables).
+/// Creates a transient ThreadPool; jobs that run several task waves should
+/// build one pool and use the overload below.
 void RunOnThreads(std::vector<std::function<void()>> tasks, int num_threads);
+
+/// Runs `tasks` on an existing pool (task t on worker t % W, the caller
+/// participating as worker 0). A null pool runs the tasks inline in order.
+void RunOnThreads(std::vector<std::function<void()>> tasks, ThreadPool* pool);
 
 /// Deterministic fault-injection decision for (task, attempt).
 bool InjectFault(size_t phase, size_t task, int attempt, double rate);
@@ -144,6 +151,12 @@ Result<MapReduceOutput<Out>> RunMapReduce(const std::vector<In>& input,
 
   const size_t r = static_cast<size_t>(config.num_reducers);
 
+  // One executor reused by both phases. Sized to the wider phase so neither
+  // spawns more threads than it has tasks.
+  const size_t job_workers = std::min(ThreadPool::ResolveNumThreads(config.num_threads),
+                                      std::max<size_t>(std::max(num_splits, r), 1));
+  ThreadPool job_pool(static_cast<int>(job_workers));
+
   // --- Map (+ combine) phase: each mapper partitions its output by
   // reducer so the shuffle is a simple concatenation.
   // partitioned[mapper][reducer] -> pairs.
@@ -178,7 +191,7 @@ Result<MapReduceOutput<Out>> RunMapReduce(const std::vector<In>& input,
         });
       });
     }
-    internal::RunOnThreads(std::move(tasks), config.num_threads);
+    internal::RunOnThreads(std::move(tasks), &job_pool);
     if (task_failed) {
       return Status::Internal("a map task exhausted its attempts");
     }
@@ -215,7 +228,7 @@ Result<MapReduceOutput<Out>> RunMapReduce(const std::vector<In>& input,
         });
       });
     }
-    internal::RunOnThreads(std::move(tasks), config.num_threads);
+    internal::RunOnThreads(std::move(tasks), &job_pool);
     if (task_failed) {
       return Status::Internal("a reduce task exhausted its attempts");
     }

@@ -6,6 +6,8 @@
 
 #include "analysis/invariants.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "data/claim_index.h"
 #include "data/stats.h"
 #include "weights/weight_scheme.h"
 
@@ -15,7 +17,13 @@ IncrementalCrhProcessor::IncrementalCrhProcessor(size_t num_sources,
                                                  IncrementalCrhOptions options)
     : options_(std::move(options)),
       weights_(num_sources, 1.0),
-      accumulated_(num_sources, 0.0) {}
+      accumulated_(num_sources, 0.0) {
+  if (ThreadPool::ResolveNumThreads(options_.base.num_threads) > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.base.num_threads);
+  }
+}
+
+IncrementalCrhProcessor::~IncrementalCrhProcessor() = default;
 
 Result<ValueTable> IncrementalCrhProcessor::ProcessChunk(const Dataset& chunk) {
   if (chunk.num_sources() != weights_.size()) {
@@ -26,13 +34,16 @@ Result<ValueTable> IncrementalCrhProcessor::ProcessChunk(const Dataset& chunk) {
                             options_.base.supervision->num_properties() ==
                                 chunk.num_properties()),
                        "supervision table shape does not match the chunk");
+  // One claim index per chunk, shared by both passes below.
+  const ClaimIndex index = ClaimIndex::Build(chunk);
+
   // Step (i): truths for the current chunk from the historical weights.
-  ValueTable truths = ComputeTruthsGivenWeights(chunk, weights_, options_.base);
+  ValueTable truths = ComputeTruthsGivenWeights(chunk, index, weights_, options_.base, pool_.get());
 
   // Step (ii): decay the accumulated deviations and fold in this chunk's.
   const EntryStats stats = ComputeEntryStats(chunk);
   const std::vector<double> chunk_dev =
-      ComputeSourceDeviations(chunk, truths, stats, options_.base);
+      ComputeSourceDeviations(chunk, index, truths, stats, options_.base, pool_.get());
   for (size_t k = 0; k < weights_.size(); ++k) {
     CRH_VERIFY_OR_RETURN(std::isfinite(chunk_dev[k]) && chunk_dev[k] >= 0,
                          "chunk deviation must be finite and non-negative");

@@ -17,6 +17,7 @@
 /// accuracy (Table 5).
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
@@ -45,9 +46,13 @@ struct IncrementalCrhOptions {
 class IncrementalCrhProcessor {
  public:
   IncrementalCrhProcessor(size_t num_sources, IncrementalCrhOptions options);
+  ~IncrementalCrhProcessor();
 
   /// Processes one chunk: returns its truth table and updates the source
-  /// weights from the decayed accumulated deviations.
+  /// weights from the decayed accumulated deviations. The chunk's claim
+  /// index is built once and shared by the truth and deviation passes, both
+  /// of which run on the processor's pool when base.num_threads asks for
+  /// more than one worker.
   Result<ValueTable> ProcessChunk(const Dataset& chunk);
 
   /// Current source weights (w_k = 1 before any chunk arrives).
@@ -63,6 +68,10 @@ class IncrementalCrhProcessor {
   IncrementalCrhOptions options_;
   std::vector<double> weights_;
   std::vector<double> accumulated_;
+  /// Shared executor for every chunk (null when base.num_threads resolves
+  /// to a single worker); persists across ProcessChunk calls so the stream
+  /// does not pay thread startup per chunk.
+  std::unique_ptr<ThreadPool> pool_;
   size_t chunks_processed_ = 0;
 };
 

@@ -1,0 +1,116 @@
+/// \file claim_index_test.cc
+/// The ClaimIndex must be an exact sparse view of the dense observation
+/// tables: same claims, same per-entry iteration order as a dense K-scan.
+
+#include "data/claim_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/noise.h"
+
+namespace crh {
+namespace {
+
+Dataset MakeSparseDataset(size_t num_objects, double missing_rate, uint64_t seed) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddContinuous("x", 0.0).ok());
+  EXPECT_TRUE(schema.AddCategorical("y").ok());
+  std::vector<std::string> objects;
+  for (size_t i = 0; i < num_objects; ++i) objects.push_back("o" + std::to_string(i));
+  Dataset data(std::move(schema), std::move(objects), {});
+  for (const char* label : {"a", "b", "c"}) data.mutable_dict(1).GetOrAdd(label);
+  Rng rng(seed);
+  ValueTable truth(num_objects, 2);
+  for (size_t i = 0; i < num_objects; ++i) {
+    truth.Set(i, 0, Value::Continuous(std::round(rng.Uniform(0, 50))));
+    truth.Set(i, 1, Value::Categorical(static_cast<CategoryId>(rng.UniformInt(0, 2))));
+  }
+  data.set_ground_truth(std::move(truth));
+  NoiseOptions noise;
+  noise.gammas = {0.1, 0.7, 1.3, 1.9, 0.4};
+  noise.missing_rate = missing_rate;
+  noise.seed = seed;
+  auto noisy = MakeNoisyDataset(data, noise);
+  EXPECT_TRUE(noisy.ok());
+  return std::move(noisy).ValueOrDie();
+}
+
+TEST(ClaimIndexTest, MatchesDenseScanClaimForClaim) {
+  const Dataset data = MakeSparseDataset(60, 0.6, 11);
+  const ClaimIndex index = ClaimIndex::Build(data);
+  ASSERT_EQ(index.num_objects(), data.num_objects());
+  ASSERT_EQ(index.num_properties(), data.num_properties());
+
+  size_t total = 0;
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    for (size_t m = 0; m < data.num_properties(); ++m) {
+      // The dense reference: scan sources in ascending order.
+      std::vector<uint32_t> want_sources;
+      std::vector<Value> want_values;
+      for (size_t k = 0; k < data.num_sources(); ++k) {
+        const Value& v = data.observations(k).Get(i, m);
+        if (v.is_missing()) continue;
+        want_sources.push_back(static_cast<uint32_t>(k));
+        want_values.push_back(v);
+      }
+      const ClaimSpan span = index.entry(i, m);
+      ASSERT_EQ(span.size, want_sources.size()) << "entry (" << i << ", " << m << ")";
+      for (size_t c = 0; c < span.size; ++c) {
+        EXPECT_EQ(span.sources[c], want_sources[c]);
+        EXPECT_EQ(span.values[c], want_values[c]);
+      }
+      total += span.size;
+    }
+  }
+  EXPECT_EQ(index.num_claims(), total);
+  EXPECT_EQ(index.num_claims(), data.num_observations());
+}
+
+TEST(ClaimIndexTest, FlatAndTwoDimensionalAddressingAgree) {
+  const Dataset data = MakeSparseDataset(20, 0.5, 3);
+  const ClaimIndex index = ClaimIndex::Build(data);
+  const size_t m_props = data.num_properties();
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    for (size_t m = 0; m < m_props; ++m) {
+      const ClaimSpan by_pair = index.entry(i, m);
+      const ClaimSpan by_id = index.entry(i * m_props + m);
+      EXPECT_EQ(by_pair.sources, by_id.sources);
+      EXPECT_EQ(by_pair.values, by_id.values);
+      EXPECT_EQ(by_pair.size, by_id.size);
+    }
+  }
+}
+
+TEST(ClaimIndexTest, FullyMissingEntriesHaveEmptySpans) {
+  Dataset data = MakeSparseDataset(15, 0.0, 7);
+  // Blank every source's claims on object 4 across all properties.
+  for (size_t k = 0; k < data.num_sources(); ++k) {
+    for (size_t m = 0; m < data.num_properties(); ++m) {
+      data.mutable_observations(k).Set(4, m, Value::Missing());
+    }
+  }
+  const ClaimIndex index = ClaimIndex::Build(data);
+  for (size_t m = 0; m < data.num_properties(); ++m) {
+    EXPECT_TRUE(index.entry(4, m).empty());
+  }
+  EXPECT_EQ(index.num_claims(), data.num_observations());
+}
+
+TEST(ClaimIndexTest, DatasetWithoutSourcesYieldsEmptyIndex) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  const Dataset data(schema, {"o0", "o1"}, {});
+  const ClaimIndex index = ClaimIndex::Build(data);
+  EXPECT_EQ(index.num_claims(), 0u);
+  EXPECT_EQ(index.num_entries(), 2u);
+  EXPECT_TRUE(index.entry(0, 0).empty());
+  EXPECT_TRUE(index.entry(1, 0).empty());
+}
+
+}  // namespace
+}  // namespace crh

@@ -1,0 +1,188 @@
+/// \file crh_parallel_equivalence_test.cc
+/// Parallel execution is an execution strategy, not a semantic change: for
+/// every loss model, supervision setup and weight granularity, RunCrh with
+/// num_threads in {1, 2, 8} must produce bit-identical truths, weights,
+/// soft distributions and objective history. The fixed shard grid plus
+/// shard-ordered reduction (see docs/PERFORMANCE.md) is what makes this an
+/// exact-equality test rather than a tolerance test.
+///
+/// Lives in the tsan-labeled race binary so the sanitizer also examines the
+/// solver's sharded hot loops at thread counts above the core count.
+
+#include "core/crh.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/noise.h"
+
+namespace crh {
+namespace {
+
+/// Mixed ground truth: continuous, categorical and (optionally) text
+/// properties, so every truth-update and loss branch runs.
+Dataset MakeEquivalenceTruth(size_t num_objects, bool with_text, uint64_t seed) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddContinuous("reading", 0.0).ok());
+  EXPECT_TRUE(schema.AddCategorical("label").ok());
+  if (with_text) {
+    EXPECT_TRUE(schema.AddText("name").ok());
+  }
+  std::vector<std::string> objects;
+  for (size_t i = 0; i < num_objects; ++i) objects.push_back("o" + std::to_string(i));
+  Dataset data(std::move(schema), std::move(objects), {});
+  for (const char* label : {"a", "b", "c", "d"}) data.mutable_dict(1).GetOrAdd(label);
+  Rng rng(seed);
+  const std::vector<std::string> stems = {"north bakery", "grand plaza", "river diner",
+                                          "central labs"};
+  ValueTable truth(num_objects, data.num_properties());
+  for (size_t i = 0; i < num_objects; ++i) {
+    truth.Set(i, 0, Value::Continuous(std::round(rng.Uniform(0, 100))));
+    truth.Set(i, 1, Value::Categorical(static_cast<CategoryId>(rng.UniformInt(0, 3))));
+    if (with_text) {
+      const std::string name =
+          stems[static_cast<size_t>(rng.UniformInt(0, 3))] + " " +
+          std::to_string(rng.UniformInt(1, 40));
+      truth.Set(i, 2, data.InternCategorical(2, name));
+    }
+  }
+  data.set_ground_truth(std::move(truth));
+  return data;
+}
+
+Dataset MakeEquivalenceDataset(size_t num_objects, bool with_text, double missing_rate,
+                               uint64_t seed) {
+  NoiseOptions noise;
+  noise.gammas = {0.1, 0.5, 0.9, 1.3, 1.7, 2.0};
+  noise.missing_rate = missing_rate;
+  noise.seed = seed;
+  auto noisy = MakeNoisyDataset(MakeEquivalenceTruth(num_objects, with_text, seed), noise);
+  EXPECT_TRUE(noisy.ok());
+  return std::move(noisy).ValueOrDie();
+}
+
+/// Exact equality everywhere — missing cells must agree too.
+void ExpectTablesIdentical(const ValueTable& a, const ValueTable& b) {
+  ASSERT_EQ(a.num_objects(), b.num_objects());
+  ASSERT_EQ(a.num_properties(), b.num_properties());
+  for (size_t i = 0; i < a.num_objects(); ++i) {
+    for (size_t m = 0; m < a.num_properties(); ++m) {
+      const Value& va = a.Get(i, m);
+      const Value& vb = b.Get(i, m);
+      ASSERT_EQ(va.is_missing(), vb.is_missing()) << "(" << i << ", " << m << ")";
+      if (!va.is_missing()) {
+        EXPECT_EQ(va, vb) << "(" << i << ", " << m << ")";
+      }
+    }
+  }
+}
+
+void ExpectResultsIdentical(const CrhResult& a, const CrhResult& b) {
+  ExpectTablesIdentical(a.truths, b.truths);
+  EXPECT_EQ(a.source_weights, b.source_weights);
+  EXPECT_EQ(a.fine_grained_weights, b.fine_grained_weights);
+  EXPECT_EQ(a.objective_history, b.objective_history);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  ASSERT_EQ(a.soft_distributions.size(), b.soft_distributions.size());
+  for (size_t block = 0; block < a.soft_distributions.size(); ++block) {
+    EXPECT_EQ(a.soft_distributions[block].property, b.soft_distributions[block].property);
+    EXPECT_EQ(a.soft_distributions[block].num_labels, b.soft_distributions[block].num_labels);
+    EXPECT_EQ(a.soft_distributions[block].probabilities,
+              b.soft_distributions[block].probabilities);
+  }
+}
+
+/// Runs the same configuration at 1, 2 and 8 threads and demands
+/// bit-identical results.
+void CheckThreadCountInvariance(const Dataset& data, CrhOptions options) {
+  options.num_threads = 1;
+  auto reference = RunCrh(data, options);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (const int threads : {2, 8}) {
+    options.num_threads = threads;
+    auto run = RunCrh(data, options);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    ExpectResultsIdentical(*reference, *run);
+  }
+}
+
+TEST(CrhParallelEquivalenceTest, MixedHardModels) {
+  const Dataset data = MakeEquivalenceDataset(300, /*with_text=*/false, 0.3, 19);
+  CheckThreadCountInvariance(data, CrhOptions{});
+}
+
+TEST(CrhParallelEquivalenceTest, ContinuousMeanModel) {
+  const Dataset data = MakeEquivalenceDataset(250, /*with_text=*/false, 0.4, 23);
+  CrhOptions options;
+  options.continuous_model = ContinuousModel::kMean;
+  CheckThreadCountInvariance(data, options);
+}
+
+TEST(CrhParallelEquivalenceTest, TextProperties) {
+  const Dataset data = MakeEquivalenceDataset(120, /*with_text=*/true, 0.2, 29);
+  CheckThreadCountInvariance(data, CrhOptions{});
+}
+
+TEST(CrhParallelEquivalenceTest, SoftProbabilityModel) {
+  const Dataset data = MakeEquivalenceDataset(250, /*with_text=*/false, 0.3, 31);
+  CrhOptions options;
+  options.categorical_model = CategoricalModel::kSoftProbability;
+  CheckThreadCountInvariance(data, options);
+}
+
+TEST(CrhParallelEquivalenceTest, WithSupervision) {
+  const Dataset data = MakeEquivalenceDataset(200, /*with_text=*/false, 0.3, 37);
+  // Clamp the first quarter of the objects to their ground truth.
+  ValueTable supervision(data.num_objects(), data.num_properties());
+  for (size_t i = 0; i < data.num_objects() / 4; ++i) {
+    for (size_t m = 0; m < data.num_properties(); ++m) {
+      supervision.Set(i, m, data.ground_truth().Get(i, m));
+    }
+  }
+  CrhOptions options;
+  options.supervision = &supervision;
+  CheckThreadCountInvariance(data, options);
+}
+
+TEST(CrhParallelEquivalenceTest, PerPropertyWeightGranularity) {
+  const Dataset data = MakeEquivalenceDataset(220, /*with_text=*/false, 0.3, 41);
+  CrhOptions options;
+  options.weight_granularity = WeightGranularity::kPerProperty;
+  CheckThreadCountInvariance(data, options);
+}
+
+TEST(CrhParallelEquivalenceTest, PerTypeGranularityOnSparseData) {
+  // Sparse enough that many entries have zero or one claim.
+  const Dataset data = MakeEquivalenceDataset(400, /*with_text=*/false, 0.8, 43);
+  CrhOptions options;
+  options.weight_granularity = WeightGranularity::kPerType;
+  CheckThreadCountInvariance(data, options);
+}
+
+TEST(CrhParallelEquivalenceTest, ZeroMeansHardwareConcurrency) {
+  const Dataset data = MakeEquivalenceDataset(80, /*with_text=*/false, 0.3, 47);
+  CrhOptions reference_options;
+  reference_options.num_threads = 1;
+  auto reference = RunCrh(data, reference_options);
+  ASSERT_TRUE(reference.ok());
+  CrhOptions hw;
+  hw.num_threads = 0;
+  auto run = RunCrh(data, hw);
+  ASSERT_TRUE(run.ok());
+  ExpectResultsIdentical(*reference, *run);
+}
+
+TEST(CrhParallelEquivalenceTest, NegativeThreadCountIsRejected) {
+  const Dataset data = MakeEquivalenceDataset(20, /*with_text=*/false, 0.3, 53);
+  CrhOptions options;
+  options.num_threads = -1;
+  EXPECT_FALSE(RunCrh(data, options).ok());
+}
+
+}  // namespace
+}  // namespace crh

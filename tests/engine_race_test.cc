@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/crh.h"
 #include "datagen/noise.h"
 #include "mapreduce/parallel_crh.h"
 
@@ -63,6 +65,73 @@ TEST(RunOnThreadsRaceTest, NoTasksAndSingleThreadFallback) {
   }
   internal::RunOnThreads(std::move(tasks), 1);
   EXPECT_EQ(executed.load(), 8);
+}
+
+TEST(ThreadPoolRaceTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(kStressThreads);
+  EXPECT_EQ(pool.num_workers(), static_cast<size_t>(kStressThreads));
+  constexpr size_t kCount = 4096;
+  std::vector<int> hits(kCount, 0);
+  std::atomic<size_t> executed{0};
+  pool.ParallelFor(kCount, [&hits, &executed](size_t i) {
+    ++hits[i];  // distinct element per index: must not race
+    executed.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(executed.load(), kCount);
+  for (size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i], 1) << "i=" << i;
+}
+
+TEST(ThreadPoolRaceTest, PoolIsReusableAcrossManyJobs) {
+  // One pool, many back-to-back jobs: the generation/condvar handoff must
+  // not lose wakeups or leak work between jobs.
+  ThreadPool pool(8);
+  for (int round = 0; round < 200; ++round) {
+    const size_t count = static_cast<size_t>(1 + (round % 37));
+    std::atomic<size_t> executed{0};
+    pool.ParallelFor(count, [&executed](size_t) {
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(executed.load(), count) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolRaceTest, MoreWorkersThanIndices) {
+  ThreadPool pool(32);
+  std::vector<int> hits(5, 0);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "no index to run"; });
+}
+
+TEST(ThreadPoolRaceTest, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_workers(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(16);
+  pool.ParallelFor(ran.size(), [&ran, caller](size_t i) {
+    ran[i] = std::this_thread::get_id();
+    EXPECT_EQ(ran[i], caller);
+  });
+}
+
+TEST(ThreadPoolRaceTest, RunExecutesEveryTask) {
+  ThreadPool pool(kStressThreads);
+  constexpr size_t kTasks = 64;
+  std::vector<int> slots(kTasks, 0);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(kTasks);
+  for (size_t t = 0; t < kTasks; ++t) {
+    tasks.push_back([&slots, t]() { slots[t] = 1; });
+  }
+  pool.Run(tasks);
+  for (size_t t = 0; t < kTasks; ++t) EXPECT_EQ(slots[t], 1) << "t=" << t;
+}
+
+TEST(ThreadPoolRaceTest, ResolveNumThreads) {
+  EXPECT_EQ(ThreadPool::ResolveNumThreads(5), 5u);
+  EXPECT_EQ(ThreadPool::ResolveNumThreads(1), 1u);
+  EXPECT_EQ(ThreadPool::ResolveNumThreads(-3), 1u);
+  EXPECT_GE(ThreadPool::ResolveNumThreads(0), 1u);  // hardware concurrency
 }
 
 /// Word-count-shaped job: the canonical exercise of map + combine +
@@ -242,6 +311,31 @@ TEST(ParallelCrhRaceTest, RetriesDoNotPerturbFixedPoint) {
   EXPECT_GT(retries, 0u);
   for (size_t k = 0; k < data.num_sources(); ++k) {
     EXPECT_EQ(out->source_weights[k], reference->source_weights[k]) << "k=" << k;
+  }
+}
+
+TEST(ParallelCrhRaceTest, BatchSolverOversubscribedMatchesSequential) {
+  // The in-process solver (sharded ThreadPool path, not MapReduce) at an
+  // oversubscribed thread count: exercised here mainly for TSan; the result
+  // must still be bit-identical to the sequential run.
+  Dataset data = MakeRaceDataset(120, 173);
+
+  CrhOptions serial;
+  serial.num_threads = 1;
+  auto reference = RunCrh(data, serial);
+  ASSERT_TRUE(reference.ok());
+
+  CrhOptions stressed;
+  stressed.num_threads = kStressThreads;
+  auto out = RunCrh(data, stressed);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  EXPECT_EQ(out->source_weights, reference->source_weights);
+  EXPECT_EQ(out->objective_history, reference->objective_history);
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    for (size_t m = 0; m < data.num_properties(); ++m) {
+      EXPECT_EQ(out->truths.Get(i, m), reference->truths.Get(i, m));
+    }
   }
 }
 
