@@ -389,7 +389,10 @@ int Main(int argc, char** argv) {
                  row_idx + 1 < solver_rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
+  if (std::fclose(out) != 0) {
+    std::fprintf(stderr, "error: failed to close %s\n", out_path.c_str());
+    return 1;
+  }
   std::printf("wrote %s\n", out_path.c_str());
 
   // --- CI gate: claim-major must beat the dense reference.

@@ -1,0 +1,52 @@
+/// \file checkpoint_fuzz.cc
+/// Fuzz harness for the checkpoint loader (stream/checkpoint.h).
+///
+/// Properties enforced on every input:
+///  * DecodeCheckpoint never crashes, hangs, over-allocates, or trips a
+///    sanitizer — arbitrary bytes come back as a clean Status.
+///  * Anything it accepts is internally consistent (vector lengths match
+///    the source count, the weight history matches chunks_processed) and
+///    round-trips through EncodeCheckpoint to the identical byte string,
+///    so a restore can never produce a partially filled state.
+///
+/// The committed corpus (fuzz/corpus/checkpoint) holds valid checkpoints
+/// with and without the driver section plus truncated and bit-flipped
+/// variants; scripts/make_checkpoint_corpus.py regenerates it using
+/// Python's zlib.crc32, which is bit-compatible with common/crc32.h.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/check.h"
+#include "stream/checkpoint.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  auto decoded = crh::DecodeCheckpoint(bytes);
+  if (!decoded.ok()) return 0;
+
+  const crh::CheckpointState& state = *decoded;
+  const size_t num_sources = state.processor.weights.size();
+  CRH_CHECK_EQ(state.processor.accumulated.size(), num_sources);
+  CRH_CHECK_EQ(state.processor.quarantined_per_source.size(), num_sources);
+  if (state.has_driver_state) {
+    CRH_CHECK_EQ(state.weight_history.size(),
+                 static_cast<size_t>(state.processor.chunks_processed));
+    CRH_CHECK_EQ(state.chunk_starts.size(), state.weight_history.size());
+    for (const std::vector<double>& row : state.weight_history) {
+      CRH_CHECK_EQ(row.size(), num_sources);
+    }
+  } else {
+    CRH_CHECK_EQ(state.weight_history.size(), 0u);
+    CRH_CHECK_EQ(state.chunk_starts.size(), 0u);
+    CRH_CHECK_EQ(state.truths.num_objects(), 0u);
+  }
+
+  // An accepted image re-encodes to exactly the bytes that were decoded:
+  // the format has one canonical serialization, so decode cannot have
+  // dropped or invented anything.
+  CRH_CHECK_MSG(crh::EncodeCheckpoint(state) == bytes,
+                "decoded checkpoint must re-encode identically");
+  return 0;
+}

@@ -28,6 +28,14 @@ examples/):
                   via NearlyEqual / CRH_CHECK_NEAR or an explicit
                   tolerance. Intentional exact comparisons (bitwise
                   round-trips) carry a lint:allow.
+  unchecked-io-write
+                  Every `fwrite` / `fflush` / `rename` / `fclose` return
+                  value must be checked: a full disk or yanked mount
+                  surfaces exactly there, and dropping it turns a torn
+                  write into silent corruption (the checkpoint and CSV
+                  writers depend on these checks for atomicity).
+                  Intentional drops (crash-handler flushes) carry a
+                  lint:allow.
 
 Exit status is 0 when the tree is clean, 1 when any finding is reported.
 Suppress a single line with a trailing `// lint:allow(<rule>)` comment.
@@ -68,6 +76,14 @@ FLOAT_EQ_RE = re.compile(
 # unchecked-status rule keys off the collected names, so both free
 # functions and methods are covered without a real parser.
 STATUS_DECL_RE = re.compile(r"^\s*(?:static\s+|virtual\s+)?(?:crh::)?Status\s+(\w+)\s*\(")
+
+# A statement-level call to a cstdio write/commit function whose return
+# value is dropped — including `(void)`-cast drops, mirroring
+# unchecked-status: an intentional drop must carry a lint:allow so the
+# reader sees it was considered.
+UNCHECKED_IO_RE = re.compile(
+    r"^\s*(?:\(void\)\s*)?(?:std::)?(?:fwrite|fflush|rename|fclose)\s*\(.*\)\s*;\s*$"
+)
 
 # An expression statement whose whole effect is a call:  `Foo(...);`,
 # `obj.Foo(...);` or `ptr->Foo(...);` — with nothing consuming the value.
@@ -174,6 +190,11 @@ def main(argv: list[str]) -> int:
                 findings.append((path, lineno, "float-equality",
                                  "exact ==/!= on a double; use NearlyEqual or an "
                                  "explicit tolerance (lint:allow if intentional)"))
+            if "unchecked-io-write" not in allowed and UNCHECKED_IO_RE.match(line):
+                findings.append((path, lineno, "unchecked-io-write",
+                                 "fwrite/fflush/rename/fclose return value is "
+                                 "dropped; a failed write or close is how torn "
+                                 "output happens (lint:allow if intentional)"))
 
             call = CALL_STMT_RE.match(line)
             if (call and call.group(1) in status_functions

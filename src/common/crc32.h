@@ -1,0 +1,36 @@
+#ifndef CRH_COMMON_CRC32_H_
+#define CRH_COMMON_CRC32_H_
+
+/// \file crc32.h
+/// CRC-32 (ISO-HDLC / zlib polynomial) for integrity-checking on-disk
+/// artifacts such as the streaming checkpoints of stream/checkpoint.h.
+///
+/// The variant implemented here is the standard reflected CRC-32
+/// (polynomial 0xEDB88320, initial value and final xor 0xFFFFFFFF), i.e.
+/// bit-compatible with zlib's crc32() and Python's zlib.crc32 — so corpus
+/// files and external tooling can produce and verify checksums without
+/// linking this library.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace crh {
+
+/// Extends a running CRC-32 with `size` bytes. Start (and leave) `crc` at 0
+/// for a fresh checksum; feed the previous return value to continue one.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+/// CRC-32 of a whole buffer.
+inline uint32_t Crc32(const void* data, size_t size) {
+  return Crc32Update(0, data, size);
+}
+
+/// CRC-32 of a string's bytes.
+inline uint32_t Crc32(std::string_view bytes) {
+  return Crc32Update(0, bytes.data(), bytes.size());
+}
+
+}  // namespace crh
+
+#endif  // CRH_COMMON_CRC32_H_

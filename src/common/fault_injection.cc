@@ -1,0 +1,163 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/check.h"
+
+namespace crh {
+
+uint64_t Mix64(uint64_t x) {
+  // SplitMix64 finalizer (Steele, Lea & Flood); also used, pre-mixed with
+  // the task coordinates, by mapreduce/engine.cc.
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9u;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebu;
+  x ^= x >> 31;
+  return x;
+}
+
+double UnitUniformFromHash(uint64_t h) {
+  // Top 53 bits -> [0, 1) with full double precision.
+  return static_cast<double>(h >> 11) / 9007199254740992.0;
+}
+
+FailPoints& FailPoints::Instance() {
+  static FailPoints instance;
+  return instance;
+}
+
+void FailPoints::RecomputeActiveLocked() {
+  int active = recording_ ? 1 : 0;
+  for (const auto& [site, state] : sites_) {
+    if (state.fail_remaining > 0 || !state.fail_hits.empty()) ++active;
+  }
+  active_.store(active, std::memory_order_release);
+}
+
+void FailPoints::FailNext(const std::string& site, uint64_t times) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  state.hits = 0;
+  state.fail_remaining += times;
+  RecomputeActiveLocked();
+}
+
+void FailPoints::FailOnHit(const std::string& site, uint64_t hit) {
+  CRH_CHECK_GE(hit, 1u);
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  if (state.fail_hits.empty() && state.fail_remaining == 0) state.hits = 0;
+  state.fail_hits.insert(hit);
+  RecomputeActiveLocked();
+}
+
+void FailPoints::Clear(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.erase(site);
+  RecomputeActiveLocked();
+}
+
+void FailPoints::ClearAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  recording_ = false;
+  RecomputeActiveLocked();
+}
+
+void FailPoints::SetRecording(bool recording) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recording_ = recording;
+  if (recording) {
+    for (auto& [site, state] : sites_) state.hits = 0;
+  }
+  RecomputeActiveLocked();
+}
+
+std::vector<std::pair<std::string, uint64_t>> FailPoints::RecordedHits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> hits;
+  hits.reserve(sites_.size());
+  for (const auto& [site, state] : sites_) {
+    if (state.hits > 0) hits.emplace_back(site, state.hits);
+  }
+  return hits;  // std::map iteration is already name-sorted
+}
+
+Status FailPoints::Hit(const std::string& site) {
+  if (active_.load(std::memory_order_acquire) == 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    if (!recording_) return Status::OK();
+    it = sites_.emplace(site, SiteState{}).first;
+  }
+  SiteState& state = it->second;
+  ++state.hits;
+  bool fail = false;
+  if (state.fail_remaining > 0) {
+    --state.fail_remaining;
+    fail = true;
+  } else if (state.fail_hits.erase(state.hits) > 0) {
+    fail = true;
+  }
+  if (fail) {
+    const uint64_t hit_no = state.hits;
+    RecomputeActiveLocked();
+    return Status::IOError("fail point '" + site + "' injected a failure at hit " +
+                           std::to_string(hit_no));
+  }
+  return Status::OK();
+}
+
+Status ValidateRetryPolicy(const RetryPolicy& policy) {
+  if (policy.max_attempts < 1) {
+    return Status::InvalidArgument("retry max_attempts must be >= 1");
+  }
+  if (!(policy.base_backoff_ms >= 0) || !std::isfinite(policy.base_backoff_ms)) {
+    return Status::InvalidArgument("retry base_backoff_ms must be finite and >= 0");
+  }
+  if (!(policy.max_backoff_ms >= policy.base_backoff_ms) ||
+      !std::isfinite(policy.max_backoff_ms)) {
+    return Status::InvalidArgument("retry max_backoff_ms must be >= base_backoff_ms");
+  }
+  if (!(policy.jitter >= 0) || !std::isfinite(policy.jitter)) {
+    return Status::InvalidArgument("retry jitter must be finite and >= 0");
+  }
+  return Status::OK();
+}
+
+double RetryBackoffMs(const RetryPolicy& policy, int retry, uint64_t salt) {
+  CRH_DCHECK_GE(retry, 1);
+  if (policy.base_backoff_ms <= 0) return 0.0;
+  // Capped exponential: base * 2^(retry-1), saturating at max.
+  double backoff = policy.base_backoff_ms;
+  for (int r = 1; r < retry && backoff < policy.max_backoff_ms; ++r) backoff *= 2;
+  if (backoff > policy.max_backoff_ms) backoff = policy.max_backoff_ms;
+  const uint64_t h = Mix64(policy.seed ^ Mix64(salt) ^ static_cast<uint64_t>(retry));
+  return backoff * (1.0 + policy.jitter * UnitUniformFromHash(h));
+}
+
+Status RetryWithBackoff(const RetryPolicy& policy, const std::string& what,
+                        const std::function<Status()>& op) {
+  CRH_RETURN_NOT_OK(ValidateRetryPolicy(policy));
+  uint64_t salt = 0xcbf29ce484222325u;  // FNV-1a over the operation name
+  for (char c : what) salt = (salt ^ static_cast<unsigned char>(c)) * 0x100000001b3u;
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    last = op();
+    if (last.ok() || last.code() != StatusCode::kIOError) return last;
+    if (attempt == policy.max_attempts) break;
+    const double backoff_ms = RetryBackoffMs(policy, attempt, salt);
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+    }
+  }
+  return Status::IOError(what + " failed after " + std::to_string(policy.max_attempts) +
+                         " attempt(s): " + last.message());
+}
+
+}  // namespace crh

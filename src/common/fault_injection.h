@@ -1,0 +1,152 @@
+#ifndef CRH_COMMON_FAULT_INJECTION_H_
+#define CRH_COMMON_FAULT_INJECTION_H_
+
+/// \file fault_injection.h
+/// Deterministic fault injection and retry primitives.
+///
+/// Production truth-discovery deployments must survive I/O failures without
+/// corrupting learned state, and the only way to *prove* that is to force a
+/// failure at every I/O call site and watch the error propagate cleanly.
+/// This header provides the two halves of that story:
+///
+///  * FailPoints — a process-wide registry of named fail-point sites.
+///    Instrumented code calls `CRH_FAIL_POINT("checkpoint.fwrite")` before
+///    the real I/O call; tests arm a site to fail at a chosen hit count and
+///    assert the operation surfaces a Status error without leaving torn
+///    artifacts behind. Decisions are a pure function of (site, hit count,
+///    armed schedule) — no wall clock, no global RNG — in the same spirit
+///    as the MapReduce engine's deterministic `fault_injection_rate`
+///    (mapreduce/engine.h), whose hash mixer lives here as Mix64.
+///    When nothing is armed and recording is off, a hit is a single relaxed
+///    atomic load, so shipping the instrumentation costs nothing.
+///
+///  * RetryPolicy / RetryWithBackoff — capped exponential backoff with
+///    deterministic jitter for transient I/O failures, unified in style
+///    with the engine's `max_attempts`: attempt numbering, the give-up
+///    contract and the determinism guarantee are the same. Only
+///    StatusCode::kIOError is considered transient; any other error is
+///    returned immediately.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace crh {
+
+/// SplitMix64 finalizer: a well-mixed 64-bit hash of a 64-bit input. Shared
+/// by the MapReduce engine's per-(task, attempt) fault decisions and the
+/// retry jitter below so every "random" robustness decision in the library
+/// comes from one auditable mixer.
+uint64_t Mix64(uint64_t x);
+
+/// Maps a 64-bit hash to a uniform double in [0, 1).
+double UnitUniformFromHash(uint64_t h);
+
+/// Process-wide registry of named fail-point sites (singleton).
+///
+/// A *site* is a string naming one instrumented call site, e.g.
+/// "checkpoint.rename". Each call to Hit() counts one hit of the site and
+/// returns a non-OK Status when the armed schedule says this hit fails.
+/// Thread-safe; typical test usage:
+///
+///   FailPoints::Instance().FailOnHit("checkpoint.fwrite", 2);
+///   EXPECT_FALSE(manager.Save(state).ok());   // 2nd fwrite dies
+///   FailPoints::Instance().ClearAll();
+class FailPoints {
+ public:
+  /// The process-wide registry.
+  static FailPoints& Instance();
+
+  /// Arms `site` so its next `times` hits fail (counting from now).
+  void FailNext(const std::string& site, uint64_t times = 1);
+
+  /// Arms `site` so its `hit`-th hit *from this arming* fails (1-based).
+  /// Multiple calls accumulate distinct failing hits.
+  void FailOnHit(const std::string& site, uint64_t hit);
+
+  /// Disarms one site (hit counters reset too).
+  void Clear(const std::string& site);
+
+  /// Disarms every site, resets all counters, and stops recording.
+  void ClearAll();
+
+  /// When recording, every Hit() is counted even for unarmed sites, so a
+  /// test can discover how many times each site fires during an operation
+  /// before sweeping failures over those hits.
+  void SetRecording(bool recording);
+
+  /// Hits recorded per site since recording started (sorted by site name).
+  std::vector<std::pair<std::string, uint64_t>> RecordedHits() const;
+
+  /// Counts one hit of `site`; returns IOError when this hit is armed to
+  /// fail, OK otherwise. The fast path (nothing armed, not recording) is a
+  /// single atomic load.
+  Status Hit(const std::string& site);
+
+  FailPoints(const FailPoints&) = delete;
+  FailPoints& operator=(const FailPoints&) = delete;
+
+ private:
+  FailPoints() = default;
+
+  struct SiteState {
+    uint64_t hits = 0;            ///< Hits seen since arming / recording start.
+    uint64_t fail_remaining = 0;  ///< FailNext budget.
+    std::set<uint64_t> fail_hits; ///< FailOnHit schedule (1-based hit numbers).
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState> sites_;
+  bool recording_ = false;
+  /// Number of armed sites plus one when recording; Hit() early-outs on 0.
+  std::atomic<int> active_{0};
+
+  void RecomputeActiveLocked();
+};
+
+/// Checks a fail-point site and propagates the injected failure. Place
+/// immediately before the real I/O call it stands for.
+#define CRH_FAIL_POINT(site) CRH_RETURN_NOT_OK(::crh::FailPoints::Instance().Hit(site))
+
+/// Retry schedule for transient I/O failures: capped exponential backoff
+/// with deterministic jitter. `max_attempts` plays the same role as
+/// MapReduceConfig::max_attempts — total tries, not retries — and 1 means
+/// "no retry at all".
+struct RetryPolicy {
+  /// Attempts before giving up (>= 1), as in the engine's max_attempts.
+  int max_attempts = 3;
+  /// Backoff before retry r (1-based) is min(base * 2^(r-1), max), plus
+  /// jitter. base 0 disables sleeping entirely (tests).
+  double base_backoff_ms = 1.0;
+  double max_backoff_ms = 64.0;
+  /// Fraction of the backoff added as deterministic jitter in [0, jitter).
+  double jitter = 0.5;
+  /// Seed for the jitter stream; equal seeds give equal schedules.
+  uint64_t seed = 0x9e3779b97f4a7c15u;
+};
+
+/// Validates a RetryPolicy.
+Status ValidateRetryPolicy(const RetryPolicy& policy);
+
+/// The backoff in milliseconds before retry `retry` (1-based) of the
+/// operation identified by `salt`. Pure function of its arguments.
+double RetryBackoffMs(const RetryPolicy& policy, int retry, uint64_t salt);
+
+/// Runs `op` until it returns OK, a non-transient error, or the policy's
+/// attempt budget is exhausted (the last attempt's status is returned).
+/// Only StatusCode::kIOError is retried; `what` names the operation in the
+/// jitter salt and in give-up messages.
+Status RetryWithBackoff(const RetryPolicy& policy, const std::string& what,
+                        const std::function<Status()>& op);
+
+}  // namespace crh
+
+#endif  // CRH_COMMON_FAULT_INJECTION_H_

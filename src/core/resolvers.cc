@@ -109,6 +109,10 @@ double WeightedMedianLinear(std::vector<double> values, std::vector<double> weig
   double below = 0.0;  // total weight already discarded to the left
   std::vector<std::pair<double, double>> less, greater;
   while (true) {
+    // Non-finite claims compare false against every pivot, so their weight
+    // can leave the recursion while the target still counts it; the pool
+    // then drains empty. Surface NaN rather than selecting from nothing.
+    if (pool.empty()) return std::numeric_limits<double>::quiet_NaN();
     if (pool.size() == 1) return pool[0].first;
     // Deterministic median-of-three pivot.
     const double a = pool.front().first;

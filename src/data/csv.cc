@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 
 namespace crh {
 
@@ -151,9 +152,11 @@ Status WriteObservationsCsv(const Dataset& data, std::ostream& out) {
 }
 
 Status WriteObservationsCsv(const Dataset& data, const std::string& path) {
+  CRH_FAIL_POINT("csv.open_write");
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  Status status = WriteObservationsCsv(data, out);
+  Status status = FailPoints::Instance().Hit("csv.write");
+  if (status.ok()) status = WriteObservationsCsv(data, out);
   if (status.ok() && !out) status = Status::IOError("write to '" + path + "' failed");
   return status;
 }
@@ -180,9 +183,11 @@ Status WriteGroundTruthCsv(const Dataset& data, const std::string& path) {
   if (!data.has_ground_truth()) {
     return Status::FailedPrecondition("dataset has no ground truth");
   }
+  CRH_FAIL_POINT("csv.open_write");
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  Status status = WriteGroundTruthCsv(data, out);
+  Status status = FailPoints::Instance().Hit("csv.write");
+  if (status.ok()) status = WriteGroundTruthCsv(data, out);
   if (status.ok() && !out) status = Status::IOError("write to '" + path + "' failed");
   return status;
 }
@@ -236,8 +241,10 @@ Result<Dataset> ReadObservationsCsv(const Schema& schema, std::istream& in) {
 }
 
 Result<Dataset> ReadObservationsCsv(const Schema& schema, const std::string& path) {
+  CRH_FAIL_POINT("csv.open_read");
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  CRH_FAIL_POINT("csv.read");
   return ReadObservationsCsv(schema, in);
 }
 
@@ -281,9 +288,15 @@ Status ReadGroundTruthCsv(std::istream& in, Dataset* data) {
 }
 
 Status ReadGroundTruthCsv(const std::string& path, Dataset* data) {
+  CRH_FAIL_POINT("csv.open_read");
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  CRH_FAIL_POINT("csv.read");
   return ReadGroundTruthCsv(in, data);
+}
+
+std::vector<std::string> CsvFailPointSites() {
+  return {"csv.open_write", "csv.write", "csv.open_read", "csv.read"};
 }
 
 }  // namespace crh

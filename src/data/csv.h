@@ -23,9 +23,15 @@
 ///
 /// Every entry point has an iostream overload so in-memory data (tests,
 /// fuzzing harnesses, network buffers) can skip the filesystem.
+///
+/// The path-based overloads are fail-point instrumented (see
+/// common/fault_injection.h and CsvFailPointSites) so robustness tests can
+/// force each file-system failure; callers needing resilience against
+/// transient failures wrap them in RetryWithBackoff, as tools/cli.cc does.
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "data/dataset.h"
@@ -51,6 +57,10 @@ Result<Dataset> ReadObservationsCsv(const Schema& schema, std::istream& in);
 /// named here must already exist in the dataset.
 Status ReadGroundTruthCsv(const std::string& path, Dataset* data);
 Status ReadGroundTruthCsv(std::istream& in, Dataset* data);
+
+/// Every fail-point site the path-based CSV entry points can hit, for
+/// exhaustive fault-injection sweeps.
+std::vector<std::string> CsvFailPointSites();
 
 }  // namespace crh
 

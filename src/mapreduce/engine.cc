@@ -1,5 +1,6 @@
 #include "mapreduce/engine.h"
 
+#include "common/fault_injection.h"
 #include "common/thread_pool.h"
 
 namespace crh {
@@ -28,19 +29,16 @@ namespace internal {
 bool InjectFault(size_t phase, size_t task, int attempt, double rate) {
   if (rate <= 0.0) return false;
   if (rate >= 1.0) return true;
-  // SplitMix64 over the (phase, task, attempt) triple: deterministic,
-  // well-mixed, independent across attempts.
+  // Mix64 (common/fault_injection.h) over the (phase, task, attempt)
+  // triple: deterministic, well-mixed, independent across attempts, and
+  // the same mixer every other robustness decision in the library uses.
   constexpr uint64_t kMix1 = 0x9e3779b97f4a7c15u;
   constexpr uint64_t kMix2 = 0xbf58476d1ce4e5b9u;
   constexpr uint64_t kMix3 = 0x94d049bb133111ebu;
   constexpr uint64_t kMix4 = 0x2545f4914f6cdd1du;
-  uint64_t x = phase * kMix1 + task * kMix2 + static_cast<uint64_t>(attempt) * kMix3 + kMix4;
-  x ^= x >> 30;
-  x *= kMix2;
-  x ^= x >> 27;
-  x *= kMix3;
-  x ^= x >> 31;
-  return static_cast<double>(x >> 11) / 9007199254740992.0 < rate;
+  const uint64_t x =
+      phase * kMix1 + task * kMix2 + static_cast<uint64_t>(attempt) * kMix3 + kMix4;
+  return UnitUniformFromHash(Mix64(x)) < rate;
 }
 
 void RunOnThreads(std::vector<std::function<void()>> tasks, ThreadPool* pool) {

@@ -104,7 +104,9 @@ void RunOnThreads(std::vector<std::function<void()>> tasks, int num_threads);
 /// participating as worker 0). A null pool runs the tasks inline in order.
 void RunOnThreads(std::vector<std::function<void()>> tasks, ThreadPool* pool);
 
-/// Deterministic fault-injection decision for (task, attempt).
+/// Deterministic fault-injection decision for (phase, task, attempt).
+/// Phases 0/1 kill a map/reduce attempt before it starts; phases 2/3 kill
+/// it after the work but before its output commits.
 bool InjectFault(size_t phase, size_t task, int attempt, double rate);
 
 }  // namespace internal
@@ -119,18 +121,33 @@ Result<MapReduceOutput<Out>> RunMapReduce(const std::vector<In>& input,
     return Status::InvalidArgument("map and reduce functions are required");
   }
 
-  // Task attempt wrapper: runs `body` into fresh buffers, discarding them
-  // on an injected worker crash and retrying, like Hadoop's task retry.
+  // Task attempt wrapper. Each attempt runs `body` into attempt-local
+  // buffers and publishes them with `commit` only if the attempt survives,
+  // like Hadoop's task-output commit protocol: a killed attempt — whether
+  // it dies before doing any work (phase 0/1) or after producing its full
+  // output but before committing (phase 2/3) — leaks nothing into the job
+  // output. The audit property "a failed attempt leaves no partial
+  // partition output" is structural, not an invariant the bodies must
+  // maintain.
   std::atomic<size_t> total_retries{0};
   std::atomic<bool> task_failed{false};
   const auto run_with_retries = [&](size_t phase, size_t task,
-                                    const std::function<void()>& body) {
+                                    const std::function<void()>& body,
+                                    const std::function<void()>& commit) {
     for (int attempt = 0; attempt < config.max_attempts; ++attempt) {
+      // Worker crashed before starting the attempt.
       if (internal::InjectFault(phase, task, attempt, config.fault_injection_rate)) {
         ++total_retries;
         continue;
       }
       body();
+      // Worker crashed after the work but before the commit: the
+      // attempt-local buffers are discarded on retry.
+      if (internal::InjectFault(phase + 2, task, attempt, config.fault_injection_rate)) {
+        ++total_retries;
+        continue;
+      }
+      commit();
       return;
     }
     task_failed = true;
@@ -168,27 +185,35 @@ Result<MapReduceOutput<Out>> RunMapReduce(const std::vector<In>& input,
     tasks.reserve(num_splits);
     for (size_t split = 0; split < num_splits; ++split) {
       tasks.push_back([&, split]() {
-        run_with_retries(/*phase=*/0, split, [&]() {
-          const size_t begin = split * split_size;
-          const size_t end = std::min(input.size(), begin + split_size);
-          std::vector<std::pair<K, V>> buffer;
-          for (size_t idx = begin; idx < end; ++idx) spec.map(input[idx], &buffer);
-          map_counts[split] = buffer.size();
-          if (spec.combine) {
-            // Mapper-side pre-aggregation by key.
-            std::map<K, std::vector<V>> groups;
-            for (auto& [key, value] : buffer) groups[key].push_back(std::move(value));
-            buffer.clear();
-            for (auto& [key, values] : groups) {
-              buffer.emplace_back(key, spec.combine(key, std::move(values)));
-            }
-          }
-          for (size_t part = 0; part < r; ++part) partitioned[split][part].clear();
-          for (auto& [key, value] : buffer) {
-            const size_t part = std::hash<K>{}(key) % r;
-            partitioned[split][part].emplace_back(std::move(key), std::move(value));
-          }
-        });
+        std::vector<std::vector<std::pair<K, V>>> attempt_parts;
+        size_t attempt_records = 0;
+        run_with_retries(
+            /*phase=*/0, split,
+            [&]() {
+              attempt_parts.assign(r, {});
+              const size_t begin = split * split_size;
+              const size_t end = std::min(input.size(), begin + split_size);
+              std::vector<std::pair<K, V>> buffer;
+              for (size_t idx = begin; idx < end; ++idx) spec.map(input[idx], &buffer);
+              attempt_records = buffer.size();
+              if (spec.combine) {
+                // Mapper-side pre-aggregation by key.
+                std::map<K, std::vector<V>> groups;
+                for (auto& [key, value] : buffer) groups[key].push_back(std::move(value));
+                buffer.clear();
+                for (auto& [key, values] : groups) {
+                  buffer.emplace_back(key, spec.combine(key, std::move(values)));
+                }
+              }
+              for (auto& [key, value] : buffer) {
+                const size_t part = std::hash<K>{}(key) % r;
+                attempt_parts[part].emplace_back(std::move(key), std::move(value));
+              }
+            },
+            [&]() {
+              partitioned[split] = std::move(attempt_parts);
+              map_counts[split] = attempt_records;
+            });
       });
     }
     internal::RunOnThreads(std::move(tasks), &job_pool);
@@ -212,20 +237,28 @@ Result<MapReduceOutput<Out>> RunMapReduce(const std::vector<In>& input,
     tasks.reserve(r);
     for (size_t part = 0; part < r; ++part) {
       tasks.push_back([&, part]() {
-        run_with_retries(/*phase=*/1, part, [&]() {
-          std::map<K, std::vector<V>> groups;  // ordered, like Hadoop's sort
-          for (size_t split = 0; split < num_splits; ++split) {
-            // Copy (not move): the shuffle output must survive for retries.
-            for (const auto& [key, value] : partitioned[split][part]) {
-              groups[key].push_back(value);
-            }
-          }
-          group_counts[part] = groups.size();
-          reducer_outputs[part].clear();
-          for (auto& [key, values] : groups) {
-            spec.reduce(key, std::move(values), &reducer_outputs[part]);
-          }
-        });
+        std::vector<Out> attempt_output;
+        size_t attempt_groups = 0;
+        run_with_retries(
+            /*phase=*/1, part,
+            [&]() {
+              attempt_output.clear();
+              std::map<K, std::vector<V>> groups;  // ordered, like Hadoop's sort
+              for (size_t split = 0; split < num_splits; ++split) {
+                // Copy (not move): the shuffle output must survive for retries.
+                for (const auto& [key, value] : partitioned[split][part]) {
+                  groups[key].push_back(value);
+                }
+              }
+              attempt_groups = groups.size();
+              for (auto& [key, values] : groups) {
+                spec.reduce(key, std::move(values), &attempt_output);
+              }
+            },
+            [&]() {
+              reducer_outputs[part] = std::move(attempt_output);
+              group_counts[part] = attempt_groups;
+            });
       });
     }
     internal::RunOnThreads(std::move(tasks), &job_pool);

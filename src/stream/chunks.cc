@@ -16,10 +16,15 @@ Result<std::vector<DataChunk>> SplitByWindow(const Dataset& data, int64_t window
   int64_t min_ts = data.timestamp(0);
   for (size_t i = 1; i < data.num_objects(); ++i) min_ts = std::min(min_ts, data.timestamp(i));
 
-  // Window index -> parent object indices, in time order.
-  std::map<int64_t, std::vector<size_t>> windows;
+  // Window index -> parent object indices, in time order. The offset from
+  // min_ts is computed in uint64_t: `ts - min_ts` can exceed int64_t's
+  // range (e.g. INT64_MAX - INT64_MIN), but every timestamp is >= min_ts,
+  // so the wrapped unsigned difference is the exact mathematical offset.
+  std::map<uint64_t, std::vector<size_t>> windows;
   for (size_t i = 0; i < data.num_objects(); ++i) {
-    windows[(data.timestamp(i) - min_ts) / window_size].push_back(i);
+    const uint64_t offset =
+        static_cast<uint64_t>(data.timestamp(i)) - static_cast<uint64_t>(min_ts);
+    windows[offset / static_cast<uint64_t>(window_size)].push_back(i);
   }
 
   std::vector<std::string> source_ids;
@@ -29,7 +34,12 @@ Result<std::vector<DataChunk>> SplitByWindow(const Dataset& data, int64_t window
   chunks.reserve(windows.size());
   for (const auto& [window, members] : windows) {
     DataChunk chunk;
-    chunk.window_start = min_ts + window * window_size;
+    // Same unsigned trick in reverse: the product and sum can wrap past
+    // INT64_MAX transiently, but the true window start always lies in
+    // [min_ts, max_ts], so converting the wrapped result back to int64_t
+    // (well-defined since C++20) recovers the exact value.
+    chunk.window_start = static_cast<int64_t>(static_cast<uint64_t>(min_ts) +
+                                              window * static_cast<uint64_t>(window_size));
     chunk.parent_object = members;
 
     std::vector<std::string> object_ids;

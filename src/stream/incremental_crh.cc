@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "analysis/invariants.h"
@@ -13,17 +14,72 @@
 
 namespace crh {
 
+namespace {
+
+/// A claim the quarantine excludes: a non-finite continuous reading, a
+/// label outside the property's dictionary, or a cell whose kind
+/// contradicts the schema. Missing cells are never quarantined.
+bool IsQuarantinable(const Dataset& data, size_t m, const Value& v) {
+  if (v.is_missing()) return false;
+  if (data.schema().is_continuous(m)) {
+    return !v.is_continuous() || !std::isfinite(v.continuous());
+  }
+  return !v.is_categorical() || v.category() < 0 ||
+         static_cast<size_t>(v.category()) >= data.dict(m).size();
+}
+
+}  // namespace
+
 IncrementalCrhProcessor::IncrementalCrhProcessor(size_t num_sources,
                                                  IncrementalCrhOptions options)
     : options_(std::move(options)),
       weights_(num_sources, 1.0),
-      accumulated_(num_sources, 0.0) {
+      accumulated_(num_sources, 0.0),
+      quarantined_(num_sources, 0) {
   if (ThreadPool::ResolveNumThreads(options_.base.num_threads) > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.base.num_threads);
   }
 }
 
 IncrementalCrhProcessor::~IncrementalCrhProcessor() = default;
+
+uint64_t IncrementalCrhProcessor::total_quarantined() const {
+  uint64_t total = 0;
+  for (uint64_t q : quarantined_) total += q;
+  return total;
+}
+
+IncrementalCrhState IncrementalCrhProcessor::ExportState() const {
+  IncrementalCrhState state;
+  state.weights = weights_;
+  state.accumulated = accumulated_;
+  state.chunks_processed = chunks_processed_;
+  state.quarantined_per_source = quarantined_;
+  return state;
+}
+
+Status IncrementalCrhProcessor::ImportState(const IncrementalCrhState& state) {
+  if (state.weights.size() != weights_.size() ||
+      state.accumulated.size() != weights_.size() ||
+      state.quarantined_per_source.size() != weights_.size()) {
+    return Status::InvalidArgument(
+        "checkpoint state source count does not match the processor");
+  }
+  for (size_t k = 0; k < state.weights.size(); ++k) {
+    if (!std::isfinite(state.weights[k]) || state.weights[k] < 0) {
+      return Status::InvalidArgument("checkpoint state holds an invalid source weight");
+    }
+    if (!std::isfinite(state.accumulated[k]) || state.accumulated[k] < 0) {
+      return Status::InvalidArgument(
+          "checkpoint state holds an invalid accumulated deviation");
+    }
+  }
+  weights_ = state.weights;
+  accumulated_ = state.accumulated;
+  quarantined_ = state.quarantined_per_source;
+  chunks_processed_ = static_cast<size_t>(state.chunks_processed);
+  return Status::OK();
+}
 
 Result<ValueTable> IncrementalCrhProcessor::ProcessChunk(const Dataset& chunk) {
   if (chunk.num_sources() != weights_.size()) {
@@ -34,16 +90,63 @@ Result<ValueTable> IncrementalCrhProcessor::ProcessChunk(const Dataset& chunk) {
                             options_.base.supervision->num_properties() ==
                                 chunk.num_properties()),
                        "supervision table shape does not match the chunk");
+  // Quarantine pass: exclude malformed claims rather than aborting the
+  // stream. The clean copy is only materialized when something is actually
+  // bad, so well-formed streams pay one read-only scan.
+  const Dataset* active = &chunk;
+  Dataset sanitized;
+  if (options_.quarantine_bad_claims) {
+    bool any_bad = false;
+    for (size_t k = 0; k < chunk.num_sources() && !any_bad; ++k) {
+      for (size_t i = 0; i < chunk.num_objects() && !any_bad; ++i) {
+        for (size_t m = 0; m < chunk.num_properties() && !any_bad; ++m) {
+          any_bad = IsQuarantinable(chunk, m, chunk.observations(k).Get(i, m));
+        }
+      }
+    }
+    if (any_bad) {
+      sanitized = chunk;
+      for (size_t k = 0; k < chunk.num_sources(); ++k) {
+        for (size_t i = 0; i < chunk.num_objects(); ++i) {
+          for (size_t m = 0; m < chunk.num_properties(); ++m) {
+            if (IsQuarantinable(chunk, m, chunk.observations(k).Get(i, m))) {
+              sanitized.mutable_observations(k).Clear(i, m);
+              ++quarantined_[k];
+            }
+          }
+        }
+      }
+      active = &sanitized;
+    }
+  } else {
+    // Without quarantine a malformed claim must fail the chunk loudly here:
+    // a NaN that reaches the truth kernels poisons the weighted medians and
+    // accumulators instead of surfacing as an error.
+    for (size_t k = 0; k < chunk.num_sources(); ++k) {
+      for (size_t i = 0; i < chunk.num_objects(); ++i) {
+        for (size_t m = 0; m < chunk.num_properties(); ++m) {
+          if (IsQuarantinable(chunk, m, chunk.observations(k).Get(i, m))) {
+            return Status::InvalidArgument(
+                "malformed claim (non-finite or out-of-dictionary) from source " +
+                std::to_string(k) + " at object " + std::to_string(i) +
+                ", property " + std::to_string(m) +
+                "; enable quarantine_bad_claims to exclude it instead");
+          }
+        }
+      }
+    }
+  }
   // One claim index per chunk, shared by both passes below.
-  const ClaimIndex index = ClaimIndex::Build(chunk);
+  const ClaimIndex index = ClaimIndex::Build(*active);
 
   // Step (i): truths for the current chunk from the historical weights.
-  ValueTable truths = ComputeTruthsGivenWeights(chunk, index, weights_, options_.base, pool_.get());
+  ValueTable truths =
+      ComputeTruthsGivenWeights(*active, index, weights_, options_.base, pool_.get());
 
   // Step (ii): decay the accumulated deviations and fold in this chunk's.
-  const EntryStats stats = ComputeEntryStats(chunk);
+  const EntryStats stats = ComputeEntryStats(*active);
   const std::vector<double> chunk_dev =
-      ComputeSourceDeviations(chunk, index, truths, stats, options_.base, pool_.get());
+      ComputeSourceDeviations(*active, index, truths, stats, options_.base, pool_.get());
   for (size_t k = 0; k < weights_.size(); ++k) {
     CRH_VERIFY_OR_RETURN(std::isfinite(chunk_dev[k]) && chunk_dev[k] >= 0,
                          "chunk deviation must be finite and non-negative");
@@ -90,30 +193,7 @@ Result<ValueTable> IncrementalCrhProcessor::ProcessChunk(const Dataset& chunk) {
   return truths;
 }
 
-Result<IncrementalCrhResult> RunIncrementalCrh(const Dataset& data,
-                                               const IncrementalCrhOptions& options) {
-  if (options.decay < 0 || options.decay > 1) {
-    return Status::InvalidArgument("decay must be in [0, 1]");
-  }
-  auto chunks = SplitByWindow(data, options.window_size);
-  if (!chunks.ok()) return chunks.status();
-
-  IncrementalCrhProcessor processor(data.num_sources(), options);
-  IncrementalCrhResult result;
-  result.truths = ValueTable(data.num_objects(), data.num_properties());
-  for (const DataChunk& chunk : *chunks) {
-    auto truths = processor.ProcessChunk(chunk.data);
-    if (!truths.ok()) return truths.status();
-    for (size_t local = 0; local < chunk.parent_object.size(); ++local) {
-      for (size_t m = 0; m < data.num_properties(); ++m) {
-        result.truths.Set(chunk.parent_object[local], m, truths->Get(local, m));
-      }
-    }
-    result.weight_history.push_back(processor.source_weights());
-    result.chunk_starts.push_back(chunk.window_start);
-  }
-  result.source_weights = processor.source_weights();
-  return result;
-}
+// RunIncrementalCrh is defined in stream/checkpoint.cc: it shares one chunk
+// loop with RunIncrementalCrhResilient so the two are bit-identical.
 
 }  // namespace crh

@@ -37,6 +37,30 @@ struct IncrementalCrhOptions {
   double decay = 0.5;
   /// Number of consecutive timestamps per chunk (the time window).
   int64_t window_size = 1;
+  /// Graceful degradation for dirty feeds: instead of aborting the stream,
+  /// ProcessChunk excludes malformed claims — non-finite continuous values,
+  /// categorical/text labels outside the property's dictionary, and cells
+  /// whose kind contradicts the schema — and counts them per source (see
+  /// quarantined_per_source()). The retained claims are processed exactly
+  /// as if the input had been pre-cleaned, so results on the clean subset
+  /// are bit-identical either way.
+  bool quarantine_bad_claims = false;
+};
+
+/// The complete learned state of an IncrementalCrhProcessor, as captured by
+/// ExportState() and restored by ImportState(). This is the unit of
+/// persistence for crash recovery (stream/checkpoint.h): everything
+/// Algorithm 2 carries between chunks lives here.
+struct IncrementalCrhState {
+  /// Source weights w_k.
+  std::vector<double> weights;
+  /// Decayed accumulated deviations a_k.
+  std::vector<double> accumulated;
+  /// Chunks folded into the accumulators so far.
+  uint64_t chunks_processed = 0;
+  /// Claims quarantined per source so far (all zeros unless
+  /// quarantine_bad_claims is on).
+  std::vector<uint64_t> quarantined_per_source;
 };
 
 /// Streaming state machine: feed chunks as they arrive.
@@ -64,10 +88,27 @@ class IncrementalCrhProcessor {
   /// Number of chunks processed.
   size_t chunks_processed() const { return chunks_processed_; }
 
+  /// Claims excluded per source under quarantine_bad_claims (zeros otherwise).
+  const std::vector<uint64_t>& quarantined_per_source() const { return quarantined_; }
+
+  /// Total claims excluded across all sources.
+  uint64_t total_quarantined() const;
+
+  /// Snapshots the learned state for persistence (stream/checkpoint.h).
+  IncrementalCrhState ExportState() const;
+
+  /// Restores a snapshot taken by ExportState. Rejects states whose source
+  /// count does not match this processor or whose numbers are not finite
+  /// and non-negative; on error the processor is left unchanged. A restored
+  /// processor continues the stream bit-identically to one that never
+  /// stopped.
+  Status ImportState(const IncrementalCrhState& state);
+
  private:
   IncrementalCrhOptions options_;
   std::vector<double> weights_;
   std::vector<double> accumulated_;
+  std::vector<uint64_t> quarantined_;
   /// Shared executor for every chunk (null when base.num_threads resolves
   /// to a single worker); persists across ProcessChunk calls so the stream
   /// does not pay thread startup per chunk.
@@ -81,14 +122,28 @@ struct IncrementalCrhResult {
   ValueTable truths;
   /// Source weights after the final chunk.
   std::vector<double> source_weights;
+  /// Decayed accumulated deviations a_k after the final chunk.
+  std::vector<double> accumulated_deviations;
   /// Source weights after each chunk (Fig 4a), one row per chunk.
   std::vector<std::vector<double>> weight_history;
   /// Window start timestamp of each chunk.
   std::vector<int64_t> chunk_starts;
+  /// Claims quarantined per source (quarantine_bad_claims only).
+  std::vector<uint64_t> quarantined_per_source;
+  /// Chunks skipped because a checkpoint already covered them (resume runs
+  /// through RunIncrementalCrhResilient; always 0 otherwise).
+  uint64_t chunks_resumed = 0;
+  /// Checkpoints written during the run (resilient driver only).
+  uint64_t checkpoints_written = 0;
+  /// True when resume had to fall back past a corrupt newest checkpoint
+  /// generation to an older good one.
+  bool resumed_from_fallback = false;
 };
 
 /// Convenience driver: splits \p data by the configured window and streams
-/// the chunks through an IncrementalCrhProcessor in time order.
+/// the chunks through an IncrementalCrhProcessor in time order. Equivalent
+/// to RunIncrementalCrhResilient (stream/checkpoint.h) with checkpointing
+/// disabled; both share one chunk loop, so their results are bit-identical.
 Result<IncrementalCrhResult> RunIncrementalCrh(const Dataset& data,
                                                const IncrementalCrhOptions& options = {});
 

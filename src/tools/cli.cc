@@ -6,12 +6,14 @@
 
 #include "analysis/invariants.h"
 #include "baselines/baselines.h"
+#include "common/fault_injection.h"
 #include "core/catd.h"
 #include "core/crh.h"
 #include "core/dependence.h"
 #include "data/csv.h"
 #include "eval/metrics.h"
 #include "mapreduce/parallel_crh.h"
+#include "stream/checkpoint.h"
 #include "stream/incremental_crh.h"
 
 namespace crh::cli {
@@ -49,7 +51,16 @@ std::string UsageString() {
       "  --reducers N         parallel: reducer count (default 10)\n"
       "  --verify             check algorithmic invariants (loss monotonicity,\n"
       "                       weight constraint, truth-domain validity) during\n"
-      "                       the run; exits non-zero on any violation\n";
+      "                       the run; exits non-zero on any violation\n"
+      "  --checkpoint-dir D   icrh: write crash-recovery checkpoints into D\n"
+      "                       (see docs/ROBUSTNESS.md)\n"
+      "  --checkpoint-every N icrh: checkpoint every N chunks (default 1)\n"
+      "  --resume             icrh: resume from the newest good checkpoint in\n"
+      "                       --checkpoint-dir; the finished run is bit-identical\n"
+      "                       to one that was never interrupted\n"
+      "  --quarantine         icrh: exclude malformed claims (non-finite numbers,\n"
+      "                       unknown labels) and report them per source instead\n"
+      "                       of failing the stream\n";
 }
 
 Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
@@ -98,12 +109,32 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       if (options.reducers < 1) return Status::InvalidArgument("--reducers must be >= 1");
     } else if (arg == "--verify") {
       options.verify = true;
+    } else if (arg == "--checkpoint-dir") {
+      CRH_RETURN_NOT_OK(take(&options.checkpoint_dir));
+    } else if (arg == "--checkpoint-every") {
+      CRH_RETURN_NOT_OK(take(&value));
+      options.checkpoint_every = std::atoll(value.c_str());
+      if (options.checkpoint_every < 1) {
+        return Status::InvalidArgument("--checkpoint-every must be >= 1");
+      }
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg == "--quarantine") {
+      options.quarantine = true;
     } else {
       return Status::InvalidArgument("unknown flag '" + arg + "'\n" + UsageString());
     }
   }
   if (options.schema_spec.empty() || options.input_path.empty()) {
     return Status::InvalidArgument("--schema and --input are required\n" + UsageString());
+  }
+  if (options.resume && options.checkpoint_dir.empty()) {
+    return Status::InvalidArgument("--resume requires --checkpoint-dir");
+  }
+  if ((!options.checkpoint_dir.empty() || options.resume || options.quarantine) &&
+      options.algorithm != "icrh") {
+    return Status::InvalidArgument(
+        "--checkpoint-dir, --resume and --quarantine apply to --algorithm icrh only");
   }
   return options;
 }
@@ -159,6 +190,8 @@ Status AttachSuffixTimestamps(Dataset* data) {
 struct AlgorithmOutput {
   ValueTable truths;
   std::vector<double> source_scores;
+  /// Human-readable run notes (resume/checkpoint/quarantine summaries).
+  std::vector<std::string> notes;
 };
 
 Result<AlgorithmOutput> RunAlgorithm(const CliOptions& options, const Dataset& data,
@@ -174,7 +207,7 @@ Result<AlgorithmOutput> RunAlgorithm(const CliOptions& options, const Dataset& d
   if (options.algorithm == "crh") {
     auto result = RunCrh(data, crh_options);
     if (!result.ok()) return result.status();
-    return AlgorithmOutput{std::move(result->truths), std::move(result->source_weights)};
+    return AlgorithmOutput{std::move(result->truths), std::move(result->source_weights), {}};
   }
   if (options.algorithm == "icrh") {
     Dataset stream = data;  // needs timestamps attached
@@ -183,9 +216,41 @@ Result<AlgorithmOutput> RunAlgorithm(const CliOptions& options, const Dataset& d
     icrh_options.base = crh_options;
     icrh_options.window_size = options.window;
     icrh_options.decay = options.decay;
-    auto result = RunIncrementalCrh(stream, icrh_options);
+    icrh_options.quarantine_bad_claims = options.quarantine;
+    StreamResilienceOptions resilience;
+    resilience.checkpoint_dir = options.checkpoint_dir;
+    resilience.checkpoint_every = static_cast<uint64_t>(options.checkpoint_every);
+    resilience.resume = options.resume;
+    auto result = RunIncrementalCrhResilient(stream, icrh_options, resilience);
     if (!result.ok()) return result.status();
-    return AlgorithmOutput{std::move(result->truths), std::move(result->source_weights)};
+    AlgorithmOutput output{std::move(result->truths), std::move(result->source_weights), {}};
+    if (options.resume) {
+      output.notes.push_back(
+          "resumed from checkpoint: " + std::to_string(result->chunks_resumed) +
+          " chunk(s) restored" +
+          (result->resumed_from_fallback ? " (fell back past a corrupt newer generation)"
+                                         : ""));
+    }
+    if (!options.checkpoint_dir.empty()) {
+      output.notes.push_back("wrote " + std::to_string(result->checkpoints_written) +
+                             " checkpoint(s) to " + options.checkpoint_dir);
+    }
+    if (options.quarantine) {
+      uint64_t total = 0;
+      std::string per_source;
+      for (size_t k = 0; k < result->quarantined_per_source.size(); ++k) {
+        const uint64_t q = result->quarantined_per_source[k];
+        total += q;
+        if (q > 0) {
+          if (!per_source.empty()) per_source += ", ";
+          per_source += stream.source_id(k) + ": " + std::to_string(q);
+        }
+      }
+      output.notes.push_back("quarantined " + std::to_string(total) +
+                             " malformed claim(s)" +
+                             (per_source.empty() ? "" : " (" + per_source + ")"));
+    }
+    return output;
   }
   if (options.algorithm == "parallel") {
     ParallelCrhOptions parallel_options;
@@ -193,19 +258,19 @@ Result<AlgorithmOutput> RunAlgorithm(const CliOptions& options, const Dataset& d
     parallel_options.mr.num_reducers = options.reducers;
     auto result = RunParallelCrh(data, parallel_options);
     if (!result.ok()) return result.status();
-    return AlgorithmOutput{std::move(result->truths), std::move(result->source_weights)};
+    return AlgorithmOutput{std::move(result->truths), std::move(result->source_weights), {}};
   }
   if (options.algorithm == "catd") {
     CatdOptions catd_options;
     catd_options.base = crh_options;
     auto result = RunCatd(data, catd_options);
     if (!result.ok()) return result.status();
-    return AlgorithmOutput{std::move(result->truths), std::move(result->source_weights)};
+    return AlgorithmOutput{std::move(result->truths), std::move(result->source_weights), {}};
   }
   if (options.algorithm == "dep-aware") {
     auto result = RunDependenceAwareCrh(data, crh_options);
     if (!result.ok()) return result.status();
-    return AlgorithmOutput{std::move(result->truths), std::move(result->adjusted_weights)};
+    return AlgorithmOutput{std::move(result->truths), std::move(result->adjusted_weights), {}};
   }
   for (const auto& baseline : MakeAllBaselines()) {
     std::string name = baseline->name();
@@ -213,7 +278,7 @@ Result<AlgorithmOutput> RunAlgorithm(const CliOptions& options, const Dataset& d
     if (name == options.algorithm) {
       auto result = baseline->Run(data);
       if (!result.ok()) return result.status();
-      return AlgorithmOutput{std::move(result->truths), std::move(result->source_scores)};
+      return AlgorithmOutput{std::move(result->truths), std::move(result->source_scores), {}};
     }
   }
   return Status::InvalidArgument("unknown algorithm '" + options.algorithm + "'\n" +
@@ -226,21 +291,32 @@ Status RunCli(const CliOptions& options, std::ostream& out) {
   auto schema = ParseSchemaSpec(options.schema_spec);
   if (!schema.ok()) return schema.status();
 
-  auto data = ReadObservationsCsv(*schema, options.input_path);
-  if (!data.ok()) return data.status();
-  Dataset dataset = std::move(data).ValueOrDie();
+  // CSV I/O goes through the retry policy so a transient file-system error
+  // (or an injected one) does not kill an otherwise healthy run.
+  const RetryPolicy retry;
+  Dataset dataset;
+  CRH_RETURN_NOT_OK(RetryWithBackoff(retry, "claims CSV load", [&] {
+    auto data = ReadObservationsCsv(*schema, options.input_path);
+    if (!data.ok()) return data.status();
+    dataset = std::move(data).ValueOrDie();
+    return Status::OK();
+  }));
   out << "loaded " << dataset.num_observations() << " claims: " << dataset.num_objects()
       << " objects x " << dataset.num_properties() << " properties from "
       << dataset.num_sources() << " sources\n";
 
   if (!options.truth_path.empty()) {
-    CRH_RETURN_NOT_OK(ReadGroundTruthCsv(options.truth_path, &dataset));
+    CRH_RETURN_NOT_OK(RetryWithBackoff(retry, "ground-truth CSV load", [&] {
+      return ReadGroundTruthCsv(options.truth_path, &dataset);
+    }));
     out << "loaded " << dataset.num_ground_truths() << " ground-truth entries\n";
   }
 
   InvariantVerifier verifier;
   auto result = RunAlgorithm(options, dataset, options.verify ? &verifier : nullptr);
   if (!result.ok()) return result.status();
+
+  for (const std::string& note : result->notes) out << note << "\n";
 
   if (options.verify) {
     CRH_RETURN_NOT_OK(CheckTruthDomain(dataset, result->truths));
@@ -274,7 +350,9 @@ Status RunCli(const CliOptions& options, std::ostream& out) {
     // Reuse the ground-truth CSV format for the fused output.
     Dataset fused = dataset;
     fused.set_ground_truth(result->truths);
-    CRH_RETURN_NOT_OK(WriteGroundTruthCsv(fused, options.output_path));
+    CRH_RETURN_NOT_OK(RetryWithBackoff(retry, "fused-truths CSV write", [&] {
+      return WriteGroundTruthCsv(fused, options.output_path);
+    }));
     out << "\nwrote fused truths to " << options.output_path << "\n";
   }
   return Status::OK();

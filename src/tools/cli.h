@@ -39,6 +39,15 @@ struct CliOptions {
   /// engines are checked after every coordinate-descent step, and every
   /// algorithm's final truth table is checked for domain validity.
   bool verify = false;
+  /// icrh: checkpoint directory (stream/checkpoint.h); empty disables
+  /// checkpointing.
+  std::string checkpoint_dir;
+  /// icrh: write a checkpoint every this many chunks (default 1).
+  int64_t checkpoint_every = 1;
+  /// icrh: resume from the newest good checkpoint in --checkpoint-dir.
+  bool resume = false;
+  /// icrh: quarantine malformed claims instead of failing the stream.
+  bool quarantine = false;
 };
 
 /// Parses argv into CliOptions. Returns InvalidArgument with a usage hint

@@ -1,0 +1,649 @@
+#include "stream/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "datagen/noise.h"
+
+namespace crh {
+namespace {
+
+/// Clears the fail-point registry around every test and hands out a fresh
+/// per-test scratch directory (ctest runs test binaries in parallel, so the
+/// path must be unique per test, not per binary).
+class CheckpointTest : public testing::Test {
+ protected:
+  void SetUp() override { FailPoints::Instance().ClearAll(); }
+  void TearDown() override { FailPoints::Instance().ClearAll(); }
+
+  std::string FreshDir(const std::string& suffix = "") {
+    const std::string dir =
+        testing::TempDir() + "crh_" +
+        testing::UnitTest::GetInstance()->current_test_info()->name() + suffix;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+  }
+};
+
+/// A representative processor-only snapshot.
+CheckpointState MakeProcessorState() {
+  CheckpointState state;
+  state.fingerprint = 0x1234abcd5678ef01u;
+  state.processor.weights = {1.5, 0.25, 3.75};
+  state.processor.accumulated = {10.0, 20.5, 0.0};
+  state.processor.chunks_processed = 4;
+  state.processor.quarantined_per_source = {0, 7, 2};
+  return state;
+}
+
+/// A snapshot with the driver section: partial truths, history, starts.
+CheckpointState MakeDriverState() {
+  CheckpointState state = MakeProcessorState();
+  state.has_driver_state = true;
+  state.truths = ValueTable(3, 2);
+  state.truths.Set(0, 0, Value::Continuous(2.5));
+  state.truths.Set(0, 1, Value::Categorical(1));
+  state.truths.Set(2, 1, Value::Categorical(0));  // (1, *) stays missing
+  state.weight_history = {{1.0, 1.0, 1.0},
+                          {1.5, 0.5, 1.0},
+                          {1.5, 0.25, 2.0},
+                          {1.5, 0.25, 3.75}};
+  state.chunk_starts = {-2, 0, 1, 5};
+  return state;
+}
+
+void ExpectStatesEqual(const CheckpointState& a, const CheckpointState& b) {
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.processor.weights, b.processor.weights);
+  EXPECT_EQ(a.processor.accumulated, b.processor.accumulated);
+  EXPECT_EQ(a.processor.chunks_processed, b.processor.chunks_processed);
+  EXPECT_EQ(a.processor.quarantined_per_source, b.processor.quarantined_per_source);
+  ASSERT_EQ(a.has_driver_state, b.has_driver_state);
+  if (a.has_driver_state) {
+    ASSERT_EQ(a.truths.num_objects(), b.truths.num_objects());
+    ASSERT_EQ(a.truths.num_properties(), b.truths.num_properties());
+    for (size_t i = 0; i < a.truths.num_objects(); ++i) {
+      for (size_t m = 0; m < a.truths.num_properties(); ++m) {
+        EXPECT_TRUE(a.truths.Get(i, m) == b.truths.Get(i, m));
+      }
+    }
+    EXPECT_EQ(a.weight_history, b.weight_history);
+    EXPECT_EQ(a.chunk_starts, b.chunk_starts);
+  }
+}
+
+/// Flips one bit in the middle of a checkpoint file on disk.
+void CorruptFile(const std::string& path) {
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 0u);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+/// Timestamped mixed-type dataset: `days` chunks under window_size 1.
+Dataset MakeStreamData(int days, int per_day, uint64_t seed = 91) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddContinuous("x", 0.0).ok());
+  EXPECT_TRUE(schema.AddCategorical("y").ok());
+  std::vector<std::string> objects;
+  std::vector<int64_t> timestamps;
+  for (int d = 0; d < days; ++d) {
+    for (int j = 0; j < per_day; ++j) {
+      objects.push_back("d" + std::to_string(d) + "_o" + std::to_string(j));
+      timestamps.push_back(d);
+    }
+  }
+  Dataset truth(std::move(schema), std::move(objects), {});
+  for (const char* l : {"a", "b", "c", "d"}) truth.mutable_dict(1).GetOrAdd(l);
+  Rng rng(seed);
+  ValueTable table(truth.num_objects(), 2);
+  for (size_t i = 0; i < truth.num_objects(); ++i) {
+    table.Set(i, 0, Value::Continuous(std::round(rng.Uniform(0, 100))));
+    table.Set(i, 1, Value::Categorical(static_cast<CategoryId>(rng.UniformInt(0, 3))));
+  }
+  truth.set_ground_truth(std::move(table));
+  EXPECT_TRUE(truth.set_timestamps(timestamps).ok());
+  NoiseOptions noise;
+  noise.gammas = {0.4, 0.8, 1.3, 1.8, 1.8};
+  noise.seed = seed;
+  auto noisy = MakeNoisyDataset(truth, noise);
+  EXPECT_TRUE(noisy.ok());
+  return std::move(noisy).ValueOrDie();
+}
+
+/// Retry policy that neither sleeps nor absorbs injected failures.
+RetryPolicy NoRetry() {
+  RetryPolicy retry;
+  retry.max_attempts = 1;
+  retry.base_backoff_ms = 0.0;
+  return retry;
+}
+
+void ExpectResultsEqual(const IncrementalCrhResult& a, const IncrementalCrhResult& b) {
+  EXPECT_EQ(a.source_weights, b.source_weights);
+  EXPECT_EQ(a.accumulated_deviations, b.accumulated_deviations);
+  EXPECT_EQ(a.weight_history, b.weight_history);
+  EXPECT_EQ(a.chunk_starts, b.chunk_starts);
+  EXPECT_EQ(a.quarantined_per_source, b.quarantined_per_source);
+  ASSERT_EQ(a.truths.num_objects(), b.truths.num_objects());
+  ASSERT_EQ(a.truths.num_properties(), b.truths.num_properties());
+  for (size_t i = 0; i < a.truths.num_objects(); ++i) {
+    for (size_t m = 0; m < a.truths.num_properties(); ++m) {
+      EXPECT_TRUE(a.truths.Get(i, m) == b.truths.Get(i, m))
+          << "truth mismatch at (" << i << ", " << m << ")";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Encode / decode
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointTest, RoundTripProcessorOnly) {
+  const CheckpointState state = MakeProcessorState();
+  auto decoded = DecodeCheckpoint(EncodeCheckpoint(state));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  ExpectStatesEqual(state, *decoded);
+}
+
+TEST_F(CheckpointTest, RoundTripWithDriverSection) {
+  const CheckpointState state = MakeDriverState();
+  auto decoded = DecodeCheckpoint(EncodeCheckpoint(state));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  ExpectStatesEqual(state, *decoded);
+}
+
+TEST_F(CheckpointTest, DecodeRejectsEveryTruncation) {
+  const std::string bytes = EncodeCheckpoint(MakeDriverState());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DecodeCheckpoint(std::string_view(bytes).substr(0, len)).ok())
+        << "prefix of length " << len << " decoded";
+  }
+}
+
+TEST_F(CheckpointTest, DecodeRejectsEveryBitFlip) {
+  const std::string bytes = EncodeCheckpoint(MakeDriverState());
+  // One flipped bit per byte position: the CRC must catch every one.
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string corrupted = bytes;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ (1 << (pos % 8)));
+    EXPECT_FALSE(DecodeCheckpoint(corrupted).ok()) << "flip at byte " << pos;
+  }
+}
+
+TEST_F(CheckpointTest, DecodeRejectsTrailingBytes) {
+  std::string bytes = EncodeCheckpoint(MakeProcessorState());
+  bytes += '\0';
+  EXPECT_FALSE(DecodeCheckpoint(bytes).ok());
+}
+
+TEST_F(CheckpointTest, DecodeRejectsArbitraryGarbage) {
+  EXPECT_FALSE(DecodeCheckpoint("").ok());
+  EXPECT_FALSE(DecodeCheckpoint("x").ok());
+  EXPECT_FALSE(DecodeCheckpoint("CRHCKPT1").ok());
+  EXPECT_FALSE(DecodeCheckpoint(std::string(1000, '\xff')).ok());
+  Rng rng(3);
+  std::string random(512, '\0');
+  for (char& c : random) c = static_cast<char>(rng.UniformInt(0, 255));
+  EXPECT_FALSE(DecodeCheckpoint(random).ok());
+}
+
+TEST_F(CheckpointTest, DecodeRejectsUnknownVersionEvenWithValidCrc) {
+  std::string bytes = EncodeCheckpoint(MakeProcessorState());
+  bytes[8] = 2;  // u32 version lives at offset 8, little-endian
+  const uint32_t crc = Crc32(bytes.data(), bytes.size() - 4);
+  for (size_t i = 0; i < 4; ++i) {
+    bytes[bytes.size() - 4 + i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+  Status status = DecodeCheckpoint(bytes).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("version"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, DecodeRejectsOversizedCountsWithoutAllocating) {
+  // A huge source count with a re-checksummed header must be rejected by
+  // the remaining-bytes guard, not by an allocation attempt.
+  std::string bytes = EncodeCheckpoint(MakeProcessorState());
+  for (size_t i = 0; i < 8; ++i) {
+    bytes[28 + i] = '\xff';  // u64 K at offset 28
+  }
+  const uint32_t crc = Crc32(bytes.data(), bytes.size() - 4);
+  for (size_t i = 0; i < 4; ++i) {
+    bytes[bytes.size() - 4 + i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+  EXPECT_FALSE(DecodeCheckpoint(bytes).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointTest, FingerprintSensitivity) {
+  IncrementalCrhOptions options;
+  const Dataset data = MakeStreamData(3, 8);
+  const uint64_t base = CheckpointFingerprint(options, 5, &data);
+  EXPECT_EQ(base, CheckpointFingerprint(options, 5, &data));
+
+  IncrementalCrhOptions changed = options;
+  changed.decay = 0.9;
+  EXPECT_NE(base, CheckpointFingerprint(changed, 5, &data));
+  changed = options;
+  changed.window_size = 2;
+  EXPECT_NE(base, CheckpointFingerprint(changed, 5, &data));
+  changed = options;
+  changed.quarantine_bad_claims = true;
+  EXPECT_NE(base, CheckpointFingerprint(changed, 5, &data));
+  changed = options;
+  changed.base.weight_scheme.kind = WeightSchemeKind::kLogSum;
+  EXPECT_NE(base, CheckpointFingerprint(changed, 5, &data));
+
+  EXPECT_NE(base, CheckpointFingerprint(options, 4, &data));
+  EXPECT_NE(base, CheckpointFingerprint(options, 5, nullptr));
+  const Dataset other = MakeStreamData(4, 8);
+  EXPECT_NE(base, CheckpointFingerprint(options, 5, &other));
+
+  // Thread count is excluded: results are bit-identical at any count.
+  changed = options;
+  changed.base.num_threads = 7;
+  EXPECT_EQ(base, CheckpointFingerprint(changed, 5, &data));
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointManager
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointTest, ManagerSaveLoadRoundTrip) {
+  CheckpointManagerOptions options;
+  options.dir = FreshDir();
+  CheckpointManager manager(options);
+  CheckpointState first = MakeProcessorState();
+  ASSERT_TRUE(manager.Save(first).ok());
+  CheckpointState second = MakeDriverState();
+  second.processor.weights[0] = 9.0;
+  ASSERT_TRUE(manager.Save(second).ok());
+
+  auto generations = manager.ListGenerations();
+  ASSERT_TRUE(generations.ok());
+  EXPECT_EQ(*generations, (std::vector<uint64_t>{0, 1}));
+
+  CheckpointLoadReport report;
+  auto loaded = manager.LoadLatest(second.fingerprint, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ExpectStatesEqual(second, *loaded);
+  EXPECT_EQ(report.generation, 1u);
+  EXPECT_FALSE(report.fell_back);
+  EXPECT_TRUE(report.rejected.empty());
+}
+
+TEST_F(CheckpointTest, ManagerPrunesButNumberingContinues) {
+  CheckpointManagerOptions options;
+  options.dir = FreshDir();
+  options.keep_generations = 2;
+  CheckpointManager manager(options);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(manager.Save(MakeProcessorState()).ok());
+  auto generations = manager.ListGenerations();
+  ASSERT_TRUE(generations.ok());
+  EXPECT_EQ(*generations, (std::vector<uint64_t>{1, 2}));
+
+  // A new manager over the same directory continues the numbering; the
+  // files being restored from are never overwritten.
+  CheckpointManager fresh(options);
+  ASSERT_TRUE(fresh.Save(MakeProcessorState()).ok());
+  generations = fresh.ListGenerations();
+  ASSERT_TRUE(generations.ok());
+  EXPECT_EQ(*generations, (std::vector<uint64_t>{2, 3}));
+}
+
+TEST_F(CheckpointTest, ManagerFallsBackPastCorruptNewest) {
+  CheckpointManagerOptions options;
+  options.dir = FreshDir();
+  CheckpointManager manager(options);
+  CheckpointState old_state = MakeProcessorState();
+  ASSERT_TRUE(manager.Save(old_state).ok());
+  CheckpointState new_state = MakeProcessorState();
+  new_state.processor.weights[0] = 42.0;
+  ASSERT_TRUE(manager.Save(new_state).ok());
+  CorruptFile(options.dir + "/ckpt-00000000000000000001.crhckpt");
+
+  CheckpointLoadReport report;
+  auto loaded = manager.LoadLatest(old_state.fingerprint, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ExpectStatesEqual(old_state, *loaded);
+  EXPECT_EQ(report.generation, 0u);
+  EXPECT_TRUE(report.fell_back);
+  ASSERT_EQ(report.rejected.size(), 1u);
+}
+
+TEST_F(CheckpointTest, ManagerRejectsFingerprintMismatch) {
+  CheckpointManagerOptions options;
+  options.dir = FreshDir();
+  CheckpointManager manager(options);
+  ASSERT_TRUE(manager.Save(MakeProcessorState()).ok());
+  auto loaded = manager.LoadLatest(999u);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(loaded.status().message().find("fingerprint"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, ManagerEmptyDirectoryIsNotFound) {
+  CheckpointManagerOptions options;
+  options.dir = FreshDir();
+  CheckpointManager manager(options);
+  EXPECT_EQ(manager.LoadLatest(0).status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection sweeps
+// ---------------------------------------------------------------------------
+
+/// Seeds `dir` with two saves under the given retention policy and returns
+/// the state the sweep will try to save/load. keep_generations=1 leaves one
+/// file (so the next save prunes); keep_generations=2 leaves both.
+CheckpointState SeedTwoGenerations(const std::string& dir, int keep_generations) {
+  CheckpointManagerOptions options;
+  options.dir = dir;
+  options.keep_generations = keep_generations;
+  CheckpointManager manager(options);
+  CheckpointState state = MakeDriverState();
+  EXPECT_TRUE(manager.Save(state).ok());
+  EXPECT_TRUE(manager.Save(state).ok());
+  return state;
+}
+
+bool DirHasTempFiles(const std::string& dir) {
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".tmp") return true;
+  }
+  return false;
+}
+
+TEST_F(CheckpointTest, SaveFaultSweepNeverLosesState) {
+  // Discover how many times each fail-point site fires during one Save
+  // (fresh manager, so the directory scan is included), then force a
+  // failure at every one of those hits in turn.
+  const std::string probe_dir = FreshDir("_probe");
+  const CheckpointState state = SeedTwoGenerations(probe_dir, /*keep_generations=*/1);
+  CheckpointManagerOptions sweep_options;
+  sweep_options.keep_generations = 1;
+  sweep_options.retry = NoRetry();
+  {
+    sweep_options.dir = probe_dir;
+    CheckpointManager probe(sweep_options);
+    FailPoints::Instance().SetRecording(true);
+    ASSERT_TRUE(probe.Save(state).ok());
+  }
+  const auto recorded = FailPoints::Instance().RecordedHits();
+  FailPoints::Instance().ClearAll();
+  ASSERT_FALSE(recorded.empty());
+
+  size_t cases = 0;
+  for (const auto& [site, hits] : recorded) {
+    for (uint64_t hit = 1; hit <= hits; ++hit) {
+      const std::string dir = FreshDir("_" + site + "_" + std::to_string(hit));
+      SeedTwoGenerations(dir, /*keep_generations=*/1);
+      sweep_options.dir = dir;
+      CheckpointManager manager(sweep_options);
+      FailPoints::Instance().FailOnHit(site, hit);
+      const Status status = manager.Save(state);
+      FailPoints::Instance().ClearAll();
+      ++cases;
+
+      EXPECT_FALSE(status.ok()) << site << " hit " << hit;
+      EXPECT_EQ(status.code(), StatusCode::kIOError) << site << " hit " << hit;
+      // No torn artifacts, and the last good generation still loads.
+      EXPECT_FALSE(DirHasTempFiles(dir)) << site << " hit " << hit;
+      CheckpointManager reader(sweep_options);
+      auto loaded = reader.LoadLatest(state.fingerprint);
+      EXPECT_TRUE(loaded.ok()) << site << " hit " << hit << ": "
+                               << loaded.status().message();
+    }
+  }
+  // The sweep must have covered the whole write path: directory scan,
+  // open, write, flush, close, rename, and at least one prune remove.
+  EXPECT_GE(cases, 7u);
+}
+
+TEST_F(CheckpointTest, LoadFaultSweepFallsBackOrFailsCleanly) {
+  const std::string dir = FreshDir();
+  const CheckpointState state = SeedTwoGenerations(dir, /*keep_generations=*/2);
+  CheckpointManagerOptions options;
+  options.dir = dir;
+  options.retry = NoRetry();
+
+  // A read failure on the newest generation falls back to the older one.
+  for (const std::string site : {"checkpoint.open_read", "checkpoint.fread"}) {
+    CheckpointManager manager(options);
+    FailPoints::Instance().FailOnHit(site, 1);
+    CheckpointLoadReport report;
+    auto loaded = manager.LoadLatest(state.fingerprint, &report);
+    FailPoints::Instance().ClearAll();
+    ASSERT_TRUE(loaded.ok()) << site << ": " << loaded.status().message();
+    EXPECT_TRUE(report.fell_back) << site;
+    ExpectStatesEqual(state, *loaded);
+  }
+
+  // Persistent read failure on every generation: a clean NotFound naming
+  // each rejected file, never a crash.
+  for (const std::string site : {"checkpoint.open_read", "checkpoint.fread"}) {
+    CheckpointManager manager(options);
+    FailPoints::Instance().FailNext(site, 1000);
+    CheckpointLoadReport report;
+    auto loaded = manager.LoadLatest(state.fingerprint, &report);
+    FailPoints::Instance().ClearAll();
+    EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound) << site;
+    EXPECT_EQ(report.rejected.size(), 2u) << site;
+  }
+
+  // Directory listing failure surfaces as IOError.
+  CheckpointManager manager(options);
+  FailPoints::Instance().FailNext("checkpoint.list");
+  EXPECT_EQ(manager.LoadLatest(state.fingerprint).status().code(), StatusCode::kIOError);
+}
+
+TEST_F(CheckpointTest, RetryAbsorbsTransientWriteFailures) {
+  CheckpointManagerOptions options;
+  options.dir = FreshDir();
+  options.retry.max_attempts = 3;
+  options.retry.base_backoff_ms = 0.0;
+  CheckpointManager manager(options);
+  // Two transient fwrite failures, then success on the third attempt.
+  FailPoints::Instance().FailNext("checkpoint.fwrite", 2);
+  EXPECT_TRUE(manager.Save(MakeProcessorState()).ok());
+  EXPECT_FALSE(DirHasTempFiles(options.dir));
+
+  // Three in a row exhaust the budget.
+  FailPoints::Instance().FailNext("checkpoint.rename", 3);
+  const Status status = manager.Save(MakeProcessorState());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_NE(status.message().find("checkpoint save"), std::string::npos);
+  FailPoints::Instance().ClearAll();
+  EXPECT_FALSE(DirHasTempFiles(options.dir));
+}
+
+TEST_F(CheckpointTest, FailPointSiteListIsComplete) {
+  // Every site the sweep can discover is declared, so CI sweeps that
+  // iterate CheckpointFailPointSites() cannot silently lose coverage.
+  const std::string dir = FreshDir();
+  const CheckpointState state = SeedTwoGenerations(dir, /*keep_generations=*/1);
+  CheckpointManagerOptions options;
+  options.dir = dir;
+  options.keep_generations = 1;
+  FailPoints::Instance().SetRecording(true);
+  CheckpointManager manager(options);
+  ASSERT_TRUE(manager.Save(state).ok());
+  ASSERT_TRUE(manager.LoadLatest(state.fingerprint).ok());
+  const auto recorded = FailPoints::Instance().RecordedHits();
+  FailPoints::Instance().ClearAll();
+  const std::vector<std::string> declared = CheckpointFailPointSites();
+  for (const auto& [site, hits] : recorded) {
+    EXPECT_NE(std::find(declared.begin(), declared.end(), site), declared.end())
+        << "undeclared fail-point site " << site;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Resilient streaming driver
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointTest, ResilientMatchesPlainRunBitForBit) {
+  const Dataset data = MakeStreamData(6, 16);
+  IncrementalCrhOptions options;
+  options.decay = 0.4;
+  auto plain = RunIncrementalCrh(data, options);
+  ASSERT_TRUE(plain.ok());
+
+  StreamResilienceOptions resilience;
+  resilience.checkpoint_dir = FreshDir();
+  resilience.checkpoint_every = 2;
+  auto resilient = RunIncrementalCrhResilient(data, options, resilience);
+  ASSERT_TRUE(resilient.ok()) << resilient.status().message();
+  ExpectResultsEqual(*plain, *resilient);
+  EXPECT_EQ(resilient->checkpoints_written, 3u);  // after chunks 2, 4 and 6
+  EXPECT_EQ(resilient->chunks_resumed, 0u);
+}
+
+TEST_F(CheckpointTest, KillAndResumeIsBitIdentical) {
+  const Dataset data = MakeStreamData(7, 14);
+  for (int threads : {1, 3}) {
+    SCOPED_TRACE("num_threads=" + std::to_string(threads));
+    IncrementalCrhOptions options;
+    options.decay = 0.6;
+    options.base.num_threads = threads;
+    auto baseline = RunIncrementalCrh(data, options);
+    ASSERT_TRUE(baseline.ok());
+
+    StreamResilienceOptions resilience;
+    resilience.checkpoint_dir = FreshDir("_t" + std::to_string(threads));
+
+    // Kill the stream at the boundary of chunk 4 (three chunks done).
+    FailPoints::Instance().FailOnHit("stream.process_chunk", 4);
+    auto killed = RunIncrementalCrhResilient(data, options, resilience);
+    FailPoints::Instance().ClearAll();
+    ASSERT_FALSE(killed.ok());
+
+    resilience.resume = true;
+    auto resumed = RunIncrementalCrhResilient(data, options, resilience);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+    EXPECT_EQ(resumed->chunks_resumed, 3u);
+    EXPECT_FALSE(resumed->resumed_from_fallback);
+    ExpectResultsEqual(*baseline, *resumed);
+  }
+}
+
+TEST_F(CheckpointTest, ResumeFallsBackPastCorruptNewestCheckpoint) {
+  const Dataset data = MakeStreamData(6, 12);
+  IncrementalCrhOptions options;
+  auto baseline = RunIncrementalCrh(data, options);
+  ASSERT_TRUE(baseline.ok());
+
+  StreamResilienceOptions resilience;
+  resilience.checkpoint_dir = FreshDir();
+  FailPoints::Instance().FailOnHit("stream.process_chunk", 4);
+  ASSERT_FALSE(RunIncrementalCrhResilient(data, options, resilience).ok());
+  FailPoints::Instance().ClearAll();
+
+  // Generations 0..2 were written and the default keep_generations=2 kept
+  // {1, 2}; tearing the newest forces resume to fall back to generation 1.
+  CorruptFile(resilience.checkpoint_dir + "/ckpt-00000000000000000002.crhckpt");
+  resilience.resume = true;
+  auto resumed = RunIncrementalCrhResilient(data, options, resilience);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+  EXPECT_EQ(resumed->chunks_resumed, 2u);
+  EXPECT_TRUE(resumed->resumed_from_fallback);
+  ExpectResultsEqual(*baseline, *resumed);
+}
+
+TEST_F(CheckpointTest, ResumeWithEmptyDirectoryIsAColdStart) {
+  const Dataset data = MakeStreamData(4, 10);
+  IncrementalCrhOptions options;
+  auto baseline = RunIncrementalCrh(data, options);
+  ASSERT_TRUE(baseline.ok());
+
+  StreamResilienceOptions resilience;
+  resilience.checkpoint_dir = FreshDir();
+  resilience.resume = true;
+  auto resumed = RunIncrementalCrhResilient(data, options, resilience);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+  EXPECT_EQ(resumed->chunks_resumed, 0u);
+  ExpectResultsEqual(*baseline, *resumed);
+}
+
+TEST_F(CheckpointTest, ResumeIgnoresCheckpointsFromDifferentOptions) {
+  // A checkpoint written under different options has a different
+  // fingerprint; resume must not restore it, and instead start cold.
+  const Dataset data = MakeStreamData(4, 10);
+  IncrementalCrhOptions options;
+  options.decay = 0.3;
+  StreamResilienceOptions resilience;
+  resilience.checkpoint_dir = FreshDir();
+  ASSERT_TRUE(RunIncrementalCrhResilient(data, options, resilience).ok());
+
+  IncrementalCrhOptions other = options;
+  other.decay = 0.8;
+  auto baseline = RunIncrementalCrh(data, other);
+  ASSERT_TRUE(baseline.ok());
+  resilience.resume = true;
+  auto resumed = RunIncrementalCrhResilient(data, other, resilience);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+  EXPECT_EQ(resumed->chunks_resumed, 0u);
+  ExpectResultsEqual(*baseline, *resumed);
+}
+
+TEST_F(CheckpointTest, ResilientValidatesItsOptions) {
+  const Dataset data = MakeStreamData(2, 4);
+  IncrementalCrhOptions options;
+  StreamResilienceOptions resilience;
+  resilience.checkpoint_every = 0;
+  EXPECT_FALSE(RunIncrementalCrhResilient(data, options, resilience).ok());
+  resilience = {};
+  resilience.resume = true;  // without a checkpoint_dir
+  EXPECT_FALSE(RunIncrementalCrhResilient(data, options, resilience).ok());
+  resilience = {};
+  resilience.checkpoint_dir = FreshDir();
+  resilience.retry.max_attempts = 0;
+  EXPECT_FALSE(RunIncrementalCrhResilient(data, options, resilience).ok());
+}
+
+TEST_F(CheckpointTest, QuarantineCountsSurviveKillAndResume) {
+  // Quarantine counters are part of the persisted state: a resumed dirty
+  // stream reports the same per-source totals as an uninterrupted one.
+  Dataset data = MakeStreamData(6, 12, 13);
+  data.SetObservation(0, 0, 0, Value::Continuous(std::nan("")));
+  data.SetObservation(2, 1, 1, Value::Categorical(99));
+  IncrementalCrhOptions options;
+  options.quarantine_bad_claims = true;
+  auto baseline = RunIncrementalCrh(data, options);
+  ASSERT_TRUE(baseline.ok());
+
+  StreamResilienceOptions resilience;
+  resilience.checkpoint_dir = FreshDir();
+  FailPoints::Instance().FailOnHit("stream.process_chunk", 3);
+  ASSERT_FALSE(RunIncrementalCrhResilient(data, options, resilience).ok());
+  FailPoints::Instance().ClearAll();
+  resilience.resume = true;
+  auto resumed = RunIncrementalCrhResilient(data, options, resilience);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+  ExpectResultsEqual(*baseline, *resumed);
+  EXPECT_EQ(resumed->quarantined_per_source[0], 1u);
+  EXPECT_EQ(resumed->quarantined_per_source[2], 1u);
+}
+
+}  // namespace
+}  // namespace crh

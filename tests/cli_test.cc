@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "common/fault_injection.h"
 #include "data/csv.h"
 #include "datagen/noise.h"
 #include "datagen/uci_like.h"
@@ -53,6 +55,32 @@ TEST(CliParseTest, RejectsBadValues) {
       ParseCliArgs({"--schema", "x:continuous", "--input", "a", "--decay", "1.5"}).ok());
   EXPECT_FALSE(ParseCliArgs({"--bogus"}).ok());
   EXPECT_FALSE(ParseCliArgs({"--schema"}).ok());  // missing value
+}
+
+TEST(CliParseTest, CheckpointFlags) {
+  auto options = ParseCliArgs({"--schema", "x:continuous", "--input", "a.csv",
+                               "--algorithm", "icrh", "--checkpoint-dir", "/tmp/ckpt",
+                               "--checkpoint-every", "3", "--resume", "--quarantine"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->checkpoint_dir, "/tmp/ckpt");
+  EXPECT_EQ(options->checkpoint_every, 3);
+  EXPECT_TRUE(options->resume);
+  EXPECT_TRUE(options->quarantine);
+}
+
+TEST(CliParseTest, CheckpointFlagValidation) {
+  // --resume needs somewhere to resume from.
+  EXPECT_FALSE(ParseCliArgs({"--schema", "x:continuous", "--input", "a.csv",
+                             "--algorithm", "icrh", "--resume"}).ok());
+  // checkpoint-every must be positive.
+  EXPECT_FALSE(ParseCliArgs({"--schema", "x:continuous", "--input", "a.csv",
+                             "--algorithm", "icrh", "--checkpoint-dir", "d",
+                             "--checkpoint-every", "0"}).ok());
+  // The robustness flags are icrh-only.
+  EXPECT_FALSE(ParseCliArgs({"--schema", "x:continuous", "--input", "a.csv",
+                             "--checkpoint-dir", "d"}).ok());
+  EXPECT_FALSE(ParseCliArgs({"--schema", "x:continuous", "--input", "a.csv",
+                             "--quarantine"}).ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -226,6 +254,81 @@ TEST_F(CliEndToEnd, IcrhRequiresTimestampSuffix) {
   std::ostringstream out;
   EXPECT_FALSE(RunCli(options, out).ok());
   std::remove(bad_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery through the CLI
+// ---------------------------------------------------------------------------
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST_F(CliEndToEnd, IcrhKillAndResumeWritesIdenticalOutput) {
+  const std::string ckpt_dir = testing::TempDir() + "/cli_ckpt_kill_resume";
+  std::filesystem::remove_all(ckpt_dir);
+  FailPoints::Instance().ClearAll();
+
+  CliOptions options;
+  options.schema_spec = schema_spec_;
+  options.input_path = obs_path_;
+  options.output_path = out_path_;
+  options.algorithm = "icrh";
+
+  // Uninterrupted run, no checkpointing: the reference fused output.
+  std::ostringstream baseline_out;
+  ASSERT_TRUE(RunCli(options, baseline_out).ok()) << baseline_out.str();
+  const std::string baseline_csv = ReadWholeFile(out_path_);
+
+  // Crash after two of the five chunks.
+  options.checkpoint_dir = ckpt_dir;
+  FailPoints::Instance().FailOnHit("stream.process_chunk", 3);
+  std::ostringstream crashed_out;
+  EXPECT_FALSE(RunCli(options, crashed_out).ok());
+  FailPoints::Instance().ClearAll();
+
+  // Resume: same fused CSV, byte for byte, plus the resume note.
+  std::remove(out_path_.c_str());
+  options.resume = true;
+  std::ostringstream resumed_out;
+  ASSERT_TRUE(RunCli(options, resumed_out).ok()) << resumed_out.str();
+  EXPECT_EQ(ReadWholeFile(out_path_), baseline_csv);
+  EXPECT_NE(resumed_out.str().find("resumed from checkpoint: 2 chunk(s) restored"),
+            std::string::npos)
+      << resumed_out.str();
+  EXPECT_NE(resumed_out.str().find("checkpoint(s) to " + ckpt_dir), std::string::npos);
+  std::filesystem::remove_all(ckpt_dir);
+}
+
+TEST_F(CliEndToEnd, IcrhQuarantineReportsCounts) {
+  // The strict CSV reader already rejects non-finite numbers and interns
+  // every label, so a CSV-fed stream is clean: the note must report zero.
+  CliOptions options;
+  options.schema_spec = schema_spec_;
+  options.input_path = obs_path_;
+  options.algorithm = "icrh";
+  options.quarantine = true;
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(options, out).ok()) << out.str();
+  EXPECT_NE(out.str().find("quarantined 0 malformed claim(s)"), std::string::npos)
+      << out.str();
+}
+
+TEST_F(CliEndToEnd, CsvRetryAbsorbsTransientReadFailure) {
+  // The claims CSV load is wrapped in RetryWithBackoff: one transient
+  // open failure must not fail the run.
+  FailPoints::Instance().ClearAll();
+  FailPoints::Instance().FailNext("csv.open_read", 1);
+  CliOptions options;
+  options.schema_spec = schema_spec_;
+  options.input_path = obs_path_;
+  std::ostringstream out;
+  EXPECT_TRUE(RunCli(options, out).ok()) << out.str();
+  FailPoints::Instance().ClearAll();
 }
 
 }  // namespace

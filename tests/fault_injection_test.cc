@@ -1,0 +1,219 @@
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/csv.h"
+#include "data/schema.h"
+
+namespace crh {
+namespace {
+
+/// Clears the process-wide registry around every test so one test's armed
+/// schedule can never leak into the next.
+class FailPointsTest : public testing::Test {
+ protected:
+  void SetUp() override { FailPoints::Instance().ClearAll(); }
+  void TearDown() override { FailPoints::Instance().ClearAll(); }
+};
+
+TEST_F(FailPointsTest, UnarmedSiteAlwaysSucceeds) {
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(FailPoints::Instance().Hit("test.unarmed").ok());
+  }
+}
+
+TEST_F(FailPointsTest, FailNextFailsExactlyNTimes) {
+  FailPoints::Instance().FailNext("test.site", 2);
+  EXPECT_FALSE(FailPoints::Instance().Hit("test.site").ok());
+  Status second = FailPoints::Instance().Hit("test.site");
+  EXPECT_EQ(second.code(), StatusCode::kIOError);
+  EXPECT_NE(second.message().find("test.site"), std::string::npos);
+  EXPECT_TRUE(FailPoints::Instance().Hit("test.site").ok());
+  // Other sites are unaffected.
+  EXPECT_TRUE(FailPoints::Instance().Hit("test.other").ok());
+}
+
+TEST_F(FailPointsTest, FailOnHitTargetsOneHit) {
+  FailPoints::Instance().FailOnHit("test.site", 3);
+  EXPECT_TRUE(FailPoints::Instance().Hit("test.site").ok());
+  EXPECT_TRUE(FailPoints::Instance().Hit("test.site").ok());
+  EXPECT_FALSE(FailPoints::Instance().Hit("test.site").ok());
+  EXPECT_TRUE(FailPoints::Instance().Hit("test.site").ok());
+}
+
+TEST_F(FailPointsTest, FailOnHitSchedulesAccumulate) {
+  FailPoints::Instance().FailOnHit("test.site", 1);
+  FailPoints::Instance().FailOnHit("test.site", 3);
+  EXPECT_FALSE(FailPoints::Instance().Hit("test.site").ok());
+  EXPECT_TRUE(FailPoints::Instance().Hit("test.site").ok());
+  EXPECT_FALSE(FailPoints::Instance().Hit("test.site").ok());
+}
+
+TEST_F(FailPointsTest, ClearDisarmsAndResetsCounters) {
+  FailPoints::Instance().FailOnHit("test.site", 1);
+  FailPoints::Instance().Clear("test.site");
+  EXPECT_TRUE(FailPoints::Instance().Hit("test.site").ok());
+}
+
+TEST_F(FailPointsTest, RecordingCountsEveryHit) {
+  FailPoints::Instance().SetRecording(true);
+  EXPECT_TRUE(FailPoints::Instance().Hit("test.a").ok());
+  EXPECT_TRUE(FailPoints::Instance().Hit("test.a").ok());
+  EXPECT_TRUE(FailPoints::Instance().Hit("test.b").ok());
+  const auto hits = FailPoints::Instance().RecordedHits();
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].first, "test.a");
+  EXPECT_EQ(hits[0].second, 2u);
+  EXPECT_EQ(hits[1].first, "test.b");
+  EXPECT_EQ(hits[1].second, 1u);
+}
+
+TEST_F(FailPointsTest, MacroPropagatesInjectedFailure) {
+  auto instrumented = []() -> Status {
+    CRH_FAIL_POINT("test.macro");
+    return Status::OK();
+  };
+  EXPECT_TRUE(instrumented().ok());
+  FailPoints::Instance().FailNext("test.macro");
+  EXPECT_EQ(instrumented().code(), StatusCode::kIOError);
+}
+
+TEST(Mix64Test, DeterministicAndWellSpread) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+  const double u = UnitUniformFromHash(Mix64(7));
+  EXPECT_GE(u, 0.0);
+  EXPECT_LT(u, 1.0);
+}
+
+TEST(RetryPolicyTest, Validation) {
+  EXPECT_TRUE(ValidateRetryPolicy({}).ok());
+  RetryPolicy p;
+  p.max_attempts = 0;
+  EXPECT_FALSE(ValidateRetryPolicy(p).ok());
+  p = {};
+  p.base_backoff_ms = -1.0;
+  EXPECT_FALSE(ValidateRetryPolicy(p).ok());
+  p = {};
+  p.max_backoff_ms = 0.5;  // below base
+  EXPECT_FALSE(ValidateRetryPolicy(p).ok());
+  p = {};
+  p.jitter = -0.1;
+  EXPECT_FALSE(ValidateRetryPolicy(p).ok());
+}
+
+TEST(RetryPolicyTest, BackoffIsDeterministicCappedAndJittered) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 1.0;
+  policy.max_backoff_ms = 8.0;
+  policy.jitter = 0.5;
+  for (int retry = 1; retry <= 10; ++retry) {
+    const double a = RetryBackoffMs(policy, retry, 123);
+    const double b = RetryBackoffMs(policy, retry, 123);
+    EXPECT_EQ(a, b) << "retry " << retry;
+    // Base doubles each retry until the cap; jitter adds < jitter fraction.
+    const double base = std::min(policy.base_backoff_ms * (1 << std::min(retry - 1, 20)),
+                                 policy.max_backoff_ms);
+    EXPECT_GE(a, base);
+    EXPECT_LT(a, base * (1.0 + policy.jitter) + 1e-9);
+  }
+  // Different salts shift the jitter.
+  EXPECT_NE(RetryBackoffMs(policy, 1, 1), RetryBackoffMs(policy, 1, 2));
+}
+
+TEST(RetryWithBackoffTest, SucceedsAfterTransientFailures) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_ms = 0.0;  // no sleeping in tests
+  int calls = 0;
+  Status status = RetryWithBackoff(policy, "op", [&]() -> Status {
+    return ++calls < 3 ? Status::IOError("transient") : Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryWithBackoffTest, DoesNotRetryNonTransientErrors) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.base_backoff_ms = 0.0;
+  int calls = 0;
+  Status status = RetryWithBackoff(policy, "op", [&]() -> Status {
+    ++calls;
+    return Status::InvalidArgument("permanent");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryWithBackoffTest, GivesUpAfterMaxAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_backoff_ms = 0.0;
+  int calls = 0;
+  Status status = RetryWithBackoff(policy, "flaky-op", [&]() -> Status {
+    ++calls;
+    return Status::IOError("still down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, 4);
+  EXPECT_NE(status.message().find("flaky-op"), std::string::npos);
+  EXPECT_NE(status.message().find("still down"), std::string::npos);
+}
+
+TEST(RetryWithBackoffTest, MaxAttemptsOneMeansNoRetry) {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  policy.base_backoff_ms = 0.0;
+  int calls = 0;
+  Status status = RetryWithBackoff(policy, "op", [&]() -> Status {
+    ++calls;
+    return Status::IOError("down");
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(FailPointsTest, CsvIoIsFailPointInstrumented) {
+  // Every declared CSV site actually fires, and an armed site surfaces as
+  // a clean IOError from the file-path entry points.
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x").ok());
+  const std::string path =
+      testing::TempDir() + "fault_injection_csv_" +
+      testing::UnitTest::GetInstance()->current_test_info()->name() + ".csv";
+  Dataset data(schema, {"o"}, {"s"});
+  data.SetObservation(0, 0, 0, Value::Continuous(1.5));
+
+  FailPoints::Instance().SetRecording(true);
+  ASSERT_TRUE(WriteObservationsCsv(data, path).ok());
+  ASSERT_TRUE(ReadObservationsCsv(schema, path).ok());
+  const auto recorded = FailPoints::Instance().RecordedHits();
+  FailPoints::Instance().ClearAll();
+  for (const std::string& site : CsvFailPointSites()) {
+    const bool seen = std::any_of(recorded.begin(), recorded.end(),
+                                  [&](const auto& entry) { return entry.first == site; });
+    EXPECT_TRUE(seen) << site;
+  }
+
+  for (const std::string site : {"csv.open_write", "csv.write"}) {
+    FailPoints::Instance().FailNext(site);
+    EXPECT_EQ(WriteObservationsCsv(data, path).code(), StatusCode::kIOError) << site;
+    FailPoints::Instance().ClearAll();
+  }
+  for (const std::string site : {"csv.open_read", "csv.read"}) {
+    FailPoints::Instance().FailNext(site);
+    EXPECT_EQ(ReadObservationsCsv(schema, path).status().code(), StatusCode::kIOError)
+        << site;
+    FailPoints::Instance().ClearAll();
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace crh

@@ -254,6 +254,47 @@ TEST(FaultToleranceTest, ExhaustedAttemptsFailTheJob) {
   EXPECT_EQ(result.status().code(), StatusCode::kInternal);
 }
 
+TEST(FaultToleranceTest, KilledAttemptsNeverLeakPartialOutput) {
+  // Attempts can now die *after* their body ran (post-body, pre-commit kill
+  // sites), so any partial partition output or double-counted stats from a
+  // killed attempt would surface as a wrong word count here. The injection
+  // hash is deterministic, so passing once means passing always.
+  std::vector<std::string> input;
+  for (int i = 0; i < 400; ++i) {
+    input.push_back("w" + std::to_string(i % 17) + " x w" + std::to_string(i % 5));
+  }
+  JobStats clean_stats;
+  const auto reference = RunWordCount(input, {}, false, &clean_stats);
+  for (double rate : {0.3, 0.6}) {
+    MapReduceConfig faulty;
+    faulty.num_mappers = 7;
+    faulty.num_reducers = 5;
+    faulty.fault_injection_rate = rate;
+    faulty.max_attempts = 40;
+    JobStats stats;
+    const auto result = RunWordCount(input, faulty, /*with_combiner=*/false, &stats);
+    EXPECT_EQ(result, reference) << "rate " << rate;
+    EXPECT_GT(stats.task_retries, 0u) << "rate " << rate;
+    // Committed stats must match the fault-free run exactly: a leaked
+    // attempt would inflate the map-output or group counters.
+    EXPECT_EQ(stats.map_output_records, clean_stats.map_output_records);
+    EXPECT_EQ(stats.reduce_groups, clean_stats.reduce_groups);
+    EXPECT_EQ(stats.output_records, clean_stats.output_records);
+  }
+}
+
+TEST(FaultToleranceTest, PreCommitKillSitesAreDeterministic) {
+  // Phases 2 and 3 are the post-body kill sites for map and reduce.
+  for (size_t phase : {size_t{2}, size_t{3}}) {
+    for (size_t task = 0; task < 5; ++task) {
+      EXPECT_EQ(internal::InjectFault(phase, task, 0, 0.5),
+                internal::InjectFault(phase, task, 0, 0.5));
+    }
+    EXPECT_FALSE(internal::InjectFault(phase, 0, 0, 0.0));
+    EXPECT_TRUE(internal::InjectFault(phase, 0, 0, 1.0));
+  }
+}
+
 TEST(FaultToleranceTest, NoFaultsMeansNoRetries) {
   std::vector<std::string> input = {"a b", "c d"};
   JobStats stats;

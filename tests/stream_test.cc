@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "common/rng.h"
 #include "datagen/noise.h"
@@ -114,6 +116,78 @@ TEST(SplitByWindowTest, HandlesGapsInTimestamps) {
   auto chunks = SplitByWindow(data, 1);
   ASSERT_TRUE(chunks.ok());
   EXPECT_EQ(chunks->size(), 2u);  // empty windows skipped
+}
+
+/// Tiny helper for the edge-case tests: one source, one object per
+/// timestamp.
+Dataset MakeTimestampedDataset(std::vector<int64_t> timestamps) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddContinuous("x").ok());
+  std::vector<std::string> objects;
+  for (size_t i = 0; i < timestamps.size(); ++i) objects.push_back("o" + std::to_string(i));
+  Dataset data(schema, std::move(objects), {"s"});
+  for (size_t i = 0; i < timestamps.size(); ++i) {
+    data.SetObservation(0, i, 0, Value::Continuous(static_cast<double>(i)));
+  }
+  EXPECT_TRUE(data.set_timestamps(std::move(timestamps)).ok());
+  return data;
+}
+
+TEST(SplitByWindowTest, NegativeTimestampsAlignToMinimum) {
+  Dataset data = MakeTimestampedDataset({-5, -3, 0});
+  auto chunks = SplitByWindow(data, 2);
+  ASSERT_TRUE(chunks.ok());
+  ASSERT_EQ(chunks->size(), 3u);
+  EXPECT_EQ((*chunks)[0].window_start, -5);
+  EXPECT_EQ((*chunks)[1].window_start, -3);
+  EXPECT_EQ((*chunks)[2].window_start, -1);
+  for (const DataChunk& chunk : *chunks) EXPECT_EQ(chunk.data.num_objects(), 1u);
+}
+
+TEST(SplitByWindowTest, Int64ExtremesDoNotOverflow) {
+  // ts - min_ts spans the full 2^64-1 range here; naive signed arithmetic
+  // would overflow (UB) on both the offset and the window-start product.
+  const int64_t min64 = std::numeric_limits<int64_t>::min();
+  const int64_t max64 = std::numeric_limits<int64_t>::max();
+  Dataset data = MakeTimestampedDataset({min64, max64, 0});
+  auto chunks = SplitByWindow(data, 1);
+  ASSERT_TRUE(chunks.ok());
+  ASSERT_EQ(chunks->size(), 3u);
+  EXPECT_EQ((*chunks)[0].window_start, min64);
+  EXPECT_EQ((*chunks)[1].window_start, 0);
+  EXPECT_EQ((*chunks)[2].window_start, max64);
+
+  auto wide = SplitByWindow(data, 2);
+  ASSERT_TRUE(wide.ok());
+  ASSERT_EQ(wide->size(), 3u);
+  EXPECT_EQ((*wide)[0].window_start, min64);
+  // Window indices stay exact even when index * window_size wraps past
+  // INT64_MAX transiently.
+  EXPECT_EQ((*wide)[2].window_start, max64 - 1);
+}
+
+TEST(SplitByWindowTest, WindowLargerThanRangeYieldsOneChunk) {
+  Dataset data = MakeTimestampedDataset({3, 5, 9});
+  auto chunks = SplitByWindow(data, 100);
+  ASSERT_TRUE(chunks.ok());
+  ASSERT_EQ(chunks->size(), 1u);
+  EXPECT_EQ((*chunks)[0].window_start, 3);
+  EXPECT_EQ((*chunks)[0].data.num_objects(), 3u);
+  // Maximal window: the whole int64 range in one chunk.
+  auto max_window = SplitByWindow(data, std::numeric_limits<int64_t>::max());
+  ASSERT_TRUE(max_window.ok());
+  EXPECT_EQ(max_window->size(), 1u);
+}
+
+TEST(SplitByWindowTest, MostlyEmptyWindowsAreSkipped) {
+  // Two populated windows separated by ~2 million empty ones: the split
+  // must produce only the populated chunks (no per-empty-window work).
+  Dataset data = MakeTimestampedDataset({-1000000, 1000000});
+  auto chunks = SplitByWindow(data, 1);
+  ASSERT_TRUE(chunks.ok());
+  ASSERT_EQ(chunks->size(), 2u);
+  EXPECT_EQ((*chunks)[0].window_start, -1000000);
+  EXPECT_EQ((*chunks)[1].window_start, 1000000);
 }
 
 // ---------------------------------------------------------------------------
@@ -315,6 +389,150 @@ TEST_P(WindowSizeProperty, CompleteCoverage) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Windows, WindowSizeProperty, ::testing::Values(1, 2, 3, 5, 9, 20));
+
+// ---------------------------------------------------------------------------
+// Quarantine of malformed claims
+// ---------------------------------------------------------------------------
+
+/// The cells corrupted by MakeDirtyDataset: (source, object, property).
+struct BadClaim {
+  size_t source, object, property;
+  Value value;
+};
+
+std::vector<BadClaim> BadClaims() {
+  return {
+      {0, 0, 0, Value::Continuous(std::nan(""))},
+      {0, 1, 0, Value::Continuous(std::numeric_limits<double>::infinity())},
+      {2, 2, 1, Value::Categorical(99)},   // outside the 4-label dictionary
+      {2, 3, 1, Value::Categorical(-7)},
+      {3, 4, 0, Value::Categorical(1)},    // wrong kind for a continuous property
+      {3, 5, 1, Value::Continuous(3.25)},  // wrong kind for a categorical property
+  };
+}
+
+Dataset MakeDirtyDataset() {
+  Dataset data = MakeStreamDataset(6, 20, 77);
+  for (const BadClaim& bad : BadClaims()) {
+    data.SetObservation(bad.source, bad.object, bad.property, bad.value);
+  }
+  return data;
+}
+
+TEST(QuarantineTest, MatchesPrecleanedRunExactly) {
+  const Dataset dirty = MakeDirtyDataset();
+  Dataset cleaned = MakeDirtyDataset();
+  for (const BadClaim& bad : BadClaims()) {
+    cleaned.mutable_observations(bad.source).Clear(bad.object, bad.property);
+  }
+
+  IncrementalCrhOptions options;
+  options.decay = 0.4;
+  options.quarantine_bad_claims = true;
+  auto dirty_run = RunIncrementalCrh(dirty, options);
+  ASSERT_TRUE(dirty_run.ok()) << dirty_run.status().message();
+
+  options.quarantine_bad_claims = false;
+  auto clean_run = RunIncrementalCrh(cleaned, options);
+  ASSERT_TRUE(clean_run.ok()) << clean_run.status().message();
+
+  // Bit-identical to processing pre-cleaned input.
+  EXPECT_EQ(dirty_run->source_weights, clean_run->source_weights);
+  EXPECT_EQ(dirty_run->accumulated_deviations, clean_run->accumulated_deviations);
+  EXPECT_EQ(dirty_run->weight_history, clean_run->weight_history);
+  ASSERT_EQ(dirty_run->truths.num_objects(), clean_run->truths.num_objects());
+  for (size_t i = 0; i < dirty.num_objects(); ++i) {
+    for (size_t m = 0; m < dirty.num_properties(); ++m) {
+      EXPECT_TRUE(dirty_run->truths.Get(i, m) == clean_run->truths.Get(i, m))
+          << "truth mismatch at (" << i << ", " << m << ")";
+    }
+  }
+
+  // Exact per-source counts: sources 0, 2 and 3 each contributed two bad
+  // claims; everyone else none.
+  ASSERT_EQ(dirty_run->quarantined_per_source.size(), dirty.num_sources());
+  EXPECT_EQ(dirty_run->quarantined_per_source[0], 2u);
+  EXPECT_EQ(dirty_run->quarantined_per_source[1], 0u);
+  EXPECT_EQ(dirty_run->quarantined_per_source[2], 2u);
+  EXPECT_EQ(dirty_run->quarantined_per_source[3], 2u);
+  EXPECT_EQ(dirty_run->quarantined_per_source[4], 0u);
+  // The clean run quarantined nothing.
+  for (uint64_t count : clean_run->quarantined_per_source) EXPECT_EQ(count, 0u);
+}
+
+TEST(QuarantineTest, DisabledQuarantineSurfacesAnError) {
+  // Without quarantine, a NaN claim must fail the stream loudly rather
+  // than silently poisoning the accumulators.
+  Dataset dirty = MakeStreamDataset(3, 10, 77);
+  dirty.SetObservation(0, 0, 0, Value::Continuous(std::nan("")));
+  IncrementalCrhOptions options;
+  EXPECT_FALSE(RunIncrementalCrh(dirty, options).ok());
+}
+
+TEST(QuarantineTest, CleanStreamQuarantinesNothing) {
+  IncrementalCrhOptions options;
+  options.quarantine_bad_claims = true;
+  auto with = RunIncrementalCrh(MakeStreamDataset(4, 15), options);
+  ASSERT_TRUE(with.ok());
+  options.quarantine_bad_claims = false;
+  auto without = RunIncrementalCrh(MakeStreamDataset(4, 15), options);
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(with->source_weights, without->source_weights);
+  for (uint64_t count : with->quarantined_per_source) EXPECT_EQ(count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Processor state export / import
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalCrhTest, ExportImportRoundTripContinuesBitIdentically) {
+  const Dataset data = MakeStreamDataset(6, 20);
+  auto chunks = SplitByWindow(data, 1);
+  ASSERT_TRUE(chunks.ok());
+
+  IncrementalCrhOptions options;
+  IncrementalCrhProcessor uninterrupted(data.num_sources(), options);
+  IncrementalCrhProcessor first(data.num_sources(), options);
+  for (size_t c = 0; c < 3; ++c) {
+    ASSERT_TRUE(uninterrupted.ProcessChunk((*chunks)[c].data).ok());
+    ASSERT_TRUE(first.ProcessChunk((*chunks)[c].data).ok());
+  }
+  // Hand off through a snapshot, as a crash + restore would.
+  IncrementalCrhProcessor second(data.num_sources(), options);
+  ASSERT_TRUE(second.ImportState(first.ExportState()).ok());
+  EXPECT_EQ(second.chunks_processed(), 3u);
+  for (size_t c = 3; c < chunks->size(); ++c) {
+    auto a = uninterrupted.ProcessChunk((*chunks)[c].data);
+    auto b = second.ProcessChunk((*chunks)[c].data);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+  }
+  EXPECT_EQ(second.source_weights(), uninterrupted.source_weights());
+  EXPECT_EQ(second.accumulated_deviations(), uninterrupted.accumulated_deviations());
+}
+
+TEST(IncrementalCrhTest, ImportStateRejectsMalformedSnapshots) {
+  IncrementalCrhOptions options;
+  IncrementalCrhProcessor proc(3, options);
+  IncrementalCrhState state;
+  state.weights = {1.0, 1.0};  // wrong source count
+  state.accumulated = {0.0, 0.0};
+  state.quarantined_per_source = {0, 0};
+  EXPECT_FALSE(proc.ImportState(state).ok());
+
+  state.weights = {1.0, std::nan(""), 1.0};
+  state.accumulated = {0.0, 0.0, 0.0};
+  state.quarantined_per_source = {0, 0, 0};
+  EXPECT_FALSE(proc.ImportState(state).ok());
+
+  state.weights = {1.0, 1.0, 1.0};
+  state.accumulated = {0.0, -1.0, 0.0};  // deviations cannot be negative
+  EXPECT_FALSE(proc.ImportState(state).ok());
+
+  // The failed imports left the processor untouched.
+  EXPECT_EQ(proc.source_weights(), (std::vector<double>{1.0, 1.0, 1.0}));
+  EXPECT_EQ(proc.chunks_processed(), 0u);
+}
 
 }  // namespace
 }  // namespace crh
