@@ -1,0 +1,731 @@
+#!/usr/bin/env python3
+"""AST-grounded repo analyzer for CRH's determinism and locking contracts.
+
+Four repo-specific rules that generic tools do not know to check. Where
+libclang is available the rules run on the real Clang AST (exact types,
+exact class membership); otherwise a built-in C++ tokenizer frontend runs
+the same rule catalog on a lexical model of each file, so the gate holds on
+machines without a clang toolchain. Both backends must agree on the
+embedded self-test corpus before a run counts (--self-test runs it alone;
+a tree run re-validates the chosen backend first and falls back from
+libclang to the tokenizer, loudly, if the bindings misbehave).
+
+Rules (suppress one line with a trailing `// ast:allow(<rule>)`):
+
+  mutex-no-guard        A class (file, under the tokenizer frontend)
+                        declares a crh::Mutex / std::mutex member but no
+                        member is CRH_GUARDED_BY / CRH_REQUIRES /
+                        CRH_EXCLUDES / CRH_ACQUIRE / CRH_RELEASE on it: the
+                        lock protects nothing the compiler can check, which
+                        usually means the annotations were skipped.
+  unordered-iteration   Range-for over a std::unordered_map /
+                        std::unordered_set in src/: hash-bucket iteration
+                        order is implementation-defined, and the paper's
+                        evaluation (and our bit-identity guarantees) treat
+                        update order as part of the semantics. Probe the
+                        container in a deterministic order, or copy to a
+                        sorted sequence, or justify with ast:allow.
+  void-cast-result      `(void)` cast of a call returning crh::Result<T>:
+                        voiding a Result discards a value *and* an error.
+                        Unlike Status (where a justified `(void)` +
+                        lint:allow is accepted), there is no good reason to
+                        compute a Result and throw it away.
+  lock-across-callback  A call to a fail point (CRH_FAIL_POINT /
+                        FailPoints::...Hit) or to a std::function value
+                        while a Mutex/MutexLock/lock_guard/unique_lock is
+                        held: user code and fault injection must never run
+                        under a library lock (deadlock and lock-ordering
+                        hazard; see CheckpointManager::Save for the
+                        reserve-then-write pattern that avoids it).
+
+Zero findings are enforced against scripts/ast_lint_baseline.txt (committed
+empty): new findings fail the run; fixing a baselined finding asks you to
+delete its line. Exit 0 clean, 1 findings, 2 tooling error.
+
+Usage: scripts/ast_lint.py [--backend=auto|libclang|token] [--self-test]
+                           [paths...]          (defaults to src/)
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "scripts" / "ast_lint_baseline.txt"
+DEFAULT_DIRS = ["src"]
+CXX_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
+
+ALLOW_RE = re.compile(r"//\s*ast:allow\(([\w-]+)\)")
+
+# Files that *implement* the locking primitives; the mutex-no-guard rule
+# does not apply to the wrapper that owns the raw std::mutex.
+MUTEX_WRAPPER_FILES = {"src/common/mutex.h"}
+
+ANNOTATION_USE_RE = re.compile(
+    r"CRH_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|EXCLUDES|ACQUIRE|RELEASE|"
+    r"RETURN_CAPABILITY|ASSERT_CAPABILITY)\s*\(\s*(?:this\s*->\s*)?[&*]?(\w+)"
+)
+
+
+class Finding:
+    def __init__(self, path: pathlib.Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def key(self) -> str:
+        rel = (self.path.relative_to(REPO_ROOT)
+               if self.path.is_absolute() and self.path.is_relative_to(REPO_ROOT)
+               else self.path)
+        return f"{rel}: [{self.rule}]"
+
+    def render(self) -> str:
+        rel = (self.path.relative_to(REPO_ROOT)
+               if self.path.is_absolute() and self.path.is_relative_to(REPO_ROOT)
+               else self.path)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Shared lexical helpers (used by the tokenizer frontend and for allow
+# comments / Result-function collection in both backends).
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literal *contents*, preserving every
+    newline so line numbers survive."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_delim = ""
+    quote = ""
+    while i < n:
+        c = text[i]
+        if state == "code":
+            if c == "/" and i + 1 < n and text[i + 1] == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and i + 1 < n and text[i + 1] == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == 'R' and text[i:i + 2] == 'R"':
+                m = re.match(r'R"([^()\\ ]{0,16})\(', text[i:])
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = "raw"
+                    out.append(" " * len(m.group(0)))
+                    i += len(m.group(0))
+                    continue
+            if c in "\"'":
+                quote = c
+                state = "string" if c == '"' else "char"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and i + 1 < n and text[i + 1] == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state in ("string", "char"):
+            if c == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            else:
+                out.append(c if c == "\n" else " ")
+            i += 1
+        else:  # raw string
+            if text.startswith(raw_delim, i):
+                state = "code"
+                out.append(" " * len(raw_delim))
+                i += len(raw_delim)
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def allowed_rules(raw_line: str) -> set[str]:
+    return set(ALLOW_RE.findall(raw_line))
+
+
+RESULT_DECL_RE = re.compile(
+    r"(?:^|[;{}]|\n)\s*(?:\[\[nodiscard\]\]\s*)?(?:static\s+|virtual\s+)?"
+    r"(?:crh::)?Result<[^;{}=]{1,120}?>\s+(\w+)\s*\(")
+
+
+def collect_result_functions(files: list[pathlib.Path]) -> set[str]:
+    """Names of functions declared to return Result<T> anywhere in scope."""
+    names: set[str] = set()
+    for path in files:
+        clean = strip_comments_and_strings(read_text(path))
+        for m in RESULT_DECL_RE.finditer(clean):
+            names.add(m.group(1))
+    return names
+
+
+def read_text(path: pathlib.Path) -> str:
+    return path.read_text(encoding="utf-8", errors="replace")
+
+
+def rel_str(path: pathlib.Path) -> str:
+    p = path.resolve()
+    return str(p.relative_to(REPO_ROOT)) if p.is_relative_to(REPO_ROOT) else str(path)
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer frontend.
+
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:crh::)?(?:Mutex|std::mutex)\s+(\w+)\s*;")
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s*[*&]{0,2}\s*"
+    r"(\w+)\s*[;{=(,)]")
+UNORDERED_ALIAS_RE = re.compile(
+    r"using\s+(\w+)\s*=\s*std::unordered_(?:map|set|multimap|multiset)\b")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;]*?):([^;)]*)\)")
+VOID_CAST_RE = re.compile(r"\(\s*void\s*\)\s*((?:[\w:]+(?:\.|->|::))*)(\w+)\s*\(")
+LOCK_DECL_RE = re.compile(
+    r"(?:crh::)?MutexLock\s+\w+\s*[({]\s*&?(\w+)"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock)\s*<[^>]*>\s+\w+\s*[({]\s*(\w+)")
+MANUAL_LOCK_RE = re.compile(r"\b(\w+)\s*\.\s*Lock\s*\(\s*\)")
+MANUAL_UNLOCK_RE = re.compile(r"\b(\w+)\s*\.\s*Unlock\s*\(\s*\)")
+FUNCTION_OBJ_RE = re.compile(r"std::function\s*<[^;]*?>\s*[*&]?\s*[*&]?(\w+)\s*[;,)=]")
+FAIL_POINT_CALL_RE = re.compile(r"\bCRH_FAIL_POINT\s*\(|\bFailPoints\b[^;\n]*\.\s*Hit\s*\(")
+
+
+def unordered_range_expr(expr: str, unordered_names: set[str]) -> bool:
+    """True when the range expression of a range-for names (or derefs to) a
+    variable/member known to have an unordered container type."""
+    expr = expr.strip()
+    # Trailing call parens (e.g. `obj.items()`) mean we cannot see the type
+    # lexically; only bare names / member chains are classified.
+    m = re.search(r"([A-Za-z_]\w*)\s*$", expr)
+    return bool(m) and m.group(1) in unordered_names
+
+
+def token_lint_file(path: pathlib.Path, result_functions: set[str],
+                    findings: list[Finding]) -> None:
+    raw = read_text(path)
+    raw_lines = raw.splitlines()
+    clean = strip_comments_and_strings(raw)
+    clean_lines = clean.splitlines()
+    rel = rel_str(path)
+    in_src = rel.startswith("src/") or "/src/" in rel
+
+    # --- File-level symbol tables.
+    unordered_names: set[str] = set()
+    unordered_aliases: set[str] = set()
+    for line in clean_lines:
+        for m in UNORDERED_DECL_RE.finditer(line):
+            unordered_names.add(m.group(1))
+        for m in UNORDERED_ALIAS_RE.finditer(line):
+            unordered_aliases.add(m.group(1))
+    if unordered_aliases:
+        alias_decl = re.compile(
+            r"\b(?:%s)\s*(?:<[^;]*?>)?\s+(\w+)\s*[;{=(]" % "|".join(
+                sorted(unordered_aliases)))
+        for line in clean_lines:
+            for m in alias_decl.finditer(line):
+                unordered_names.add(m.group(1))
+    function_objs: set[str] = set()
+    for line in clean_lines:
+        for m in FUNCTION_OBJ_RE.finditer(line):
+            function_objs.add(m.group(1))
+
+    # --- mutex-no-guard (file granularity: one header = one component).
+    if rel not in MUTEX_WRAPPER_FILES:
+        guarded = {m.group(1) for m in ANNOTATION_USE_RE.finditer(clean)}
+        for lineno, line in enumerate(clean_lines, 1):
+            m = MUTEX_MEMBER_RE.match(line)
+            if not m:
+                continue
+            if "mutex-no-guard" in allowed_rules(raw_lines[lineno - 1]):
+                continue
+            name = m.group(1)
+            if name not in guarded:
+                findings.append(Finding(
+                    path, lineno, "mutex-no-guard",
+                    f"mutex member '{name}' has no CRH_GUARDED_BY/CRH_REQUIRES "
+                    "dependents in this file; annotate what it protects "
+                    "(common/thread_annotations.h) or ast:allow with a reason"))
+
+    # --- Statement-level rules with lock-scope tracking.
+    depth = 0
+    # Scoped locks: list of (acquired_depth, mutex_name). Manual locks: set.
+    scoped_locks: list[tuple[int, str]] = []
+    manual_locks: set[str] = set()
+    for lineno, line in enumerate(clean_lines, 1):
+        raw_line = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+        allow = allowed_rules(raw_line)
+
+        # unordered-iteration (src/ only: the library's determinism contract).
+        if in_src and "unordered-iteration" not in allow:
+            for m in RANGE_FOR_RE.finditer(line):
+                if unordered_range_expr(m.group(2), unordered_names):
+                    findings.append(Finding(
+                        path, lineno, "unordered-iteration",
+                        "range-for over an unordered container: bucket order "
+                        "is implementation-defined and leaks into anything "
+                        "this loop computes; probe keys in a deterministic "
+                        "order instead (see WeightedVote) or ast:allow with "
+                        "a determinism argument"))
+
+        # void-cast-result.
+        if "void-cast-result" not in allow:
+            for m in VOID_CAST_RE.finditer(line):
+                if m.group(2) in result_functions:
+                    findings.append(Finding(
+                        path, lineno, "void-cast-result",
+                        f"(void)-cast of Result-returning {m.group(2)}(): "
+                        "a Result is a value or an error; handle it"))
+
+        # Lock tracking; then lock-across-callback.
+        held_before_line = bool(scoped_locks) or bool(manual_locks)
+        lock_here = LOCK_DECL_RE.search(line)
+        if held_before_line or lock_here or MANUAL_LOCK_RE.search(line):
+            if "lock-across-callback" not in allow:
+                hazard = None
+                if FAIL_POINT_CALL_RE.search(line):
+                    hazard = "a fail-point evaluation"
+                else:
+                    for fo in function_objs:
+                        # Skip the line that *declares* the object; only
+                        # invocations (`fo(...)` / `(*fo)(...)`) count.
+                        if re.search(r"std::function\s*<[^;]*?>[^;]*\b%s\b" % fo,
+                                     line):
+                            continue
+                        if re.search(r"(?:\(\s*\*\s*%s\s*\)|\b%s)\s*\(" % (fo, fo),
+                                     line):
+                            hazard = f"the std::function '{fo}'"
+                            break
+                # A hazard on the same line as the acquisition still counts
+                # as held (the lock is live by the time the call runs).
+                if hazard:
+                    findings.append(Finding(
+                        path, lineno, "lock-across-callback",
+                        f"{hazard} runs while a lock is held; release the "
+                        "lock first (reserve-then-write, see "
+                        "CheckpointManager::Save) or ast:allow with a "
+                        "deadlock argument"))
+
+        # Update lock state *after* judging the line.
+        if lock_here:
+            name = lock_here.group(1) or lock_here.group(2) or "?"
+            scoped_locks.append((depth, name))
+        for m in MANUAL_LOCK_RE.finditer(line):
+            manual_locks.add(m.group(1))
+        for m in MANUAL_UNLOCK_RE.finditer(line):
+            manual_locks.discard(m.group(1))
+
+        for c in line:
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                scoped_locks = [(d, n) for (d, n) in scoped_locks if d < depth]
+                if depth <= 1:
+                    manual_locks.clear()  # function ended (namespace level)
+        if depth <= 0:
+            manual_locks.clear()
+
+
+def run_token_backend(files: list[pathlib.Path]) -> list[Finding]:
+    result_functions = collect_result_functions(files)
+    findings: list[Finding] = []
+    for path in files:
+        token_lint_file(path, result_functions, findings)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# libclang frontend (exact AST). Optional: import failures are reported by
+# the caller, which then falls back to the tokenizer frontend.
+
+
+def run_libclang_backend(files: list[pathlib.Path]) -> list[Finding]:
+    from clang import cindex  # noqa: deferred import, may be absent
+
+    index = cindex.Index.create()
+    args = ["-std=c++20", "-x", "c++", f"-I{REPO_ROOT / 'src'}",
+            "-Wno-everything"]
+    result_functions = collect_result_functions(files)
+    findings: list[Finding] = []
+
+    def line_allows(path: pathlib.Path, line: int, rule: str) -> bool:
+        try:
+            text = read_text(path).splitlines()[line - 1]
+        except IndexError:
+            return False
+        return rule in allowed_rules(text)
+
+    def type_is_unordered(t) -> bool:
+        spelling = t.get_canonical().spelling
+        return any(marker in spelling for marker in (
+            "unordered_map<", "unordered_set<",
+            "unordered_multimap<", "unordered_multiset<"))
+
+    def type_is_mutex(t) -> bool:
+        spelling = t.get_canonical().spelling
+        return spelling.replace("class ", "").replace("struct ", "") in (
+            "crh::Mutex", "std::mutex")
+
+    def find_descendant_calls(cursor, kind):
+        if cursor.kind == kind.CALL_EXPR:
+            yield cursor
+        for child in cursor.get_children():
+            yield from find_descendant_calls(child, kind)
+
+    def handle(cursor, path: pathlib.Path, rel: str, kind):
+        # mutex-no-guard, per class: exact field types, annotations read
+        # from the class's (pre-expansion) token stream so the CRH_ macro
+        # names are visible even though the attributes expand away off the
+        # analysis pass.
+        if (cursor.kind in (kind.CLASS_DECL, kind.STRUCT_DECL)
+                and cursor.is_definition() and rel not in MUTEX_WRAPPER_FILES):
+            mutexes = [c for c in cursor.get_children()
+                       if c.kind == kind.FIELD_DECL and type_is_mutex(c.type)]
+            if mutexes:
+                class_tokens = " ".join(
+                    tok.spelling for tok in cursor.get_tokens())
+                guarded = {m.group(1) for m in
+                           ANNOTATION_USE_RE.finditer(class_tokens)}
+                for field in mutexes:
+                    if field.spelling in guarded or line_allows(
+                            path, field.location.line, "mutex-no-guard"):
+                        continue
+                    findings.append(Finding(
+                        path, field.location.line, "mutex-no-guard",
+                        f"mutex member '{field.spelling}' of class "
+                        f"'{cursor.spelling or '<anonymous>'}' has no "
+                        "CRH_GUARDED_BY/CRH_REQUIRES dependents; annotate "
+                        "what it protects or ast:allow with a reason"))
+
+        # unordered-iteration: the range initializer of a range-for is a
+        # non-compound expression child; its canonical type is exact.
+        if cursor.kind == kind.CXX_FOR_RANGE_STMT and (
+                rel.startswith("src/") or "/src/" in rel):
+            for child in cursor.get_children():
+                if child.kind == kind.COMPOUND_STMT or child.type is None:
+                    continue
+                if type_is_unordered(child.type):
+                    if not line_allows(path, cursor.location.line,
+                                       "unordered-iteration"):
+                        findings.append(Finding(
+                            path, cursor.location.line, "unordered-iteration",
+                            "range-for over an unordered container: bucket "
+                            "order is implementation-defined; probe keys in "
+                            "a deterministic order instead (see WeightedVote) "
+                            "or ast:allow with a determinism argument"))
+                    break
+
+        # void-cast-result: a C-style cast to void whose operand is (or
+        # wraps) a call to a Result-returning function.
+        if (cursor.kind == kind.CSTYLE_CAST_EXPR
+                and cursor.type.get_canonical().spelling == "void"):
+            for call in find_descendant_calls(cursor, kind):
+                if call.spelling in result_functions:
+                    if not line_allows(path, cursor.location.line,
+                                       "void-cast-result"):
+                        findings.append(Finding(
+                            path, cursor.location.line, "void-cast-result",
+                            f"(void)-cast of Result-returning "
+                            f"{call.spelling}(): a Result is a value or an "
+                            "error; handle it"))
+                    break
+
+        for child in cursor.get_children():
+            loc = child.location
+            if loc.file is not None and \
+                    pathlib.Path(loc.file.name).resolve() == path:
+                handle(child, path, rel, kind)
+
+    for path in files:
+        resolved = path.resolve()
+        tu = index.parse(str(resolved), args=args)
+        fatal = [d for d in tu.diagnostics if d.severity >= 4]
+        if fatal:
+            raise RuntimeError(
+                f"libclang could not parse {path}: {fatal[0].spelling}")
+        for child in tu.cursor.get_children():
+            loc = child.location
+            if loc.file is not None and \
+                    pathlib.Path(loc.file.name).resolve() == resolved:
+                handle(child, resolved, rel_str(path), cindex.CursorKind)
+
+    # lock-across-callback needs flow-sensitive lock scopes that libclang's
+    # plain visitation does not model; the tokenizer frontend's scope
+    # tracker is the canonical implementation of that rule on both backends.
+    findings.extend(f for f in run_token_backend(files)
+                    if f.rule == "lock-across-callback")
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Self-test corpus: every rule must fire on its positive snippet and stay
+# quiet on its negative twin, for whichever backend is active.
+
+SELF_TEST_CASES = [
+    ("mutex-no-guard", True, """
+#include "common/mutex.h"
+namespace crh {
+class Bad {
+ private:
+  Mutex mu_;
+  int counter_ = 0;
+};
+}
+"""),
+    ("mutex-no-guard", False, """
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+namespace crh {
+class Good {
+ private:
+  Mutex mu_;
+  int counter_ CRH_GUARDED_BY(mu_) = 0;
+};
+}
+"""),
+    ("unordered-iteration", True, """
+#include <unordered_map>
+namespace crh {
+inline int Sum(const std::unordered_map<int, int>& histogram) {
+  int total = 0;
+  for (const auto& [key, count] : histogram) total += key * count;
+  return total;
+}
+}
+"""),
+    ("unordered-iteration", False, """
+#include <unordered_map>
+#include <vector>
+namespace crh {
+inline int Sum(const std::vector<int>& keys,
+               const std::unordered_map<int, int>& histogram) {
+  int total = 0;
+  for (int key : keys) total += histogram.count(key);
+  return total;
+}
+}
+"""),
+    ("void-cast-result", True, """
+#include "common/status.h"
+namespace crh {
+Result<int> ParseCount(int raw);
+inline void Oops(int raw) {
+  (void)ParseCount(raw);
+}
+}
+"""),
+    ("void-cast-result", False, """
+#include "common/status.h"
+namespace crh {
+Result<int> ParseCount(int raw);
+inline int Fine(int raw) {
+  auto result = ParseCount(raw);
+  return result.ok() ? *result : 0;
+}
+}
+"""),
+    ("lock-across-callback", True, """
+#include <functional>
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+namespace crh {
+class Bad {
+ public:
+  void Run(const std::function<void()>& callback) {
+    MutexLock lock(&mu_);
+    ++generation_;
+    callback();
+  }
+ private:
+  Mutex mu_;
+  int generation_ CRH_GUARDED_BY(mu_) = 0;
+};
+}
+"""),
+    ("lock-across-callback", False, """
+#include <functional>
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+namespace crh {
+class Good {
+ public:
+  void Run(const std::function<void()>& callback) {
+    {
+      MutexLock lock(&mu_);
+      ++generation_;
+    }
+    callback();
+  }
+ private:
+  Mutex mu_;
+  int generation_ CRH_GUARDED_BY(mu_) = 0;
+};
+}
+"""),
+]
+
+
+def run_self_test(backend) -> list[str]:
+    """Returns a list of failure descriptions (empty = backend is sane)."""
+    import tempfile
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="ast_lint_selftest_") as tmp:
+        tmpdir = pathlib.Path(tmp)
+        for i, (rule, expect_fire, code) in enumerate(SELF_TEST_CASES):
+            # Self-test snippets live under a src/-shaped path so src-scoped
+            # rules apply to them.
+            case = tmpdir / "src" / f"case_{i}_{rule}.h"
+            case.parent.mkdir(parents=True, exist_ok=True)
+            case.write_text(code)
+            try:
+                found = backend([case])
+            except Exception as exc:  # noqa: broad — any backend crash is a fail
+                failures.append(f"{rule} snippet {i}: backend raised {exc!r}")
+                continue
+            fired = any(f.rule == rule for f in found)
+            if fired != expect_fire:
+                failures.append(
+                    f"{rule} snippet {i}: expected "
+                    f"{'a finding' if expect_fire else 'no finding'}, got "
+                    f"{[f.render() for f in found]}")
+    return failures
+
+
+# ---------------------------------------------------------------------------
+
+
+def iter_sources(paths: list[str]) -> list[pathlib.Path]:
+    roots = ([pathlib.Path(p) for p in paths] if paths
+             else [REPO_ROOT / d for d in DEFAULT_DIRS])
+    files: list[pathlib.Path] = []
+    for root in roots:
+        if root.is_file():
+            if root.suffix in CXX_SUFFIXES:
+                files.append(root)
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in CXX_SUFFIXES and "build" not in path.parts:
+                files.append(path)
+    return files
+
+
+def load_baseline() -> set[str]:
+    if not BASELINE.exists():
+        return set()
+    entries = set()
+    for line in BASELINE.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            entries.add(line)
+    return entries
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--backend", choices=["auto", "libclang", "token"],
+                        default="auto")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded rule corpus and exit")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report every finding, ignoring the baseline")
+    parser.add_argument("paths", nargs="*")
+    opts = parser.parse_args(argv)
+
+    backend = None
+    backend_name = opts.backend
+    if opts.backend in ("auto", "libclang"):
+        try:
+            from clang import cindex  # noqa: F401
+            backend = run_libclang_backend
+            backend_name = "libclang"
+        except Exception as exc:
+            if opts.backend == "libclang":
+                print(f"ast_lint: libclang backend unavailable: {exc}",
+                      file=sys.stderr)
+                return 2
+            backend = run_token_backend
+            backend_name = "token"
+    else:
+        backend = run_token_backend
+        backend_name = "token"
+
+    # Validate the chosen backend against the corpus before trusting it on
+    # the tree; a misbehaving libclang install degrades to the tokenizer
+    # instead of failing the build on a tooling bug.
+    failures = run_self_test(backend)
+    if failures and backend_name == "libclang" and opts.backend == "auto":
+        print("ast_lint: libclang backend failed self-test, falling back to "
+              "the tokenizer frontend:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        backend = run_token_backend
+        backend_name = "token"
+        failures = run_self_test(backend)
+    if failures:
+        print(f"ast_lint: {backend_name} backend failed self-test:",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 2
+    if opts.self_test:
+        print(f"ast_lint: self-test OK ({backend_name} backend, "
+              f"{len(SELF_TEST_CASES)} cases)")
+        return 0
+
+    files = iter_sources(opts.paths)
+    findings = backend(files)
+
+    baseline = set() if opts.no_baseline else load_baseline()
+    new = [f for f in findings if f.key() not in baseline]
+    stale = baseline - {f.key() for f in findings}
+
+    for f in new:
+        print(f.render())
+    if new:
+        print(f"\nast_lint ({backend_name}): {len(new)} finding(s) not in "
+              f"{BASELINE.name}.", file=sys.stderr)
+        return 1
+    if stale and not opts.paths:
+        # Full-tree runs keep the baseline honest; path-scoped runs (CI
+        # changed-files mode) cannot see the whole tree.
+        for entry in sorted(stale):
+            print(f"ast_lint: baselined finding no longer present: {entry}",
+                  file=sys.stderr)
+        print(f"ast_lint: remove fixed entries from {BASELINE.name}.",
+              file=sys.stderr)
+        return 1
+    print(f"ast_lint ({backend_name}): clean ({len(files)} files).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

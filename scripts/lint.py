@@ -36,6 +36,16 @@ examples/):
                   writers depend on these checks for atomicity).
                   Intentional drops (crash-handler flushes) carry a
                   lint:allow.
+  mutex-annotations
+                  A header declaring a mutex or condition-variable member
+                  (crh::Mutex, crh::CondVar, std::mutex,
+                  std::condition_variable) must include
+                  common/thread_annotations.h and use at least one CRH_*
+                  capability annotation: unannotated locks are invisible
+                  to clang's -Wthread-safety analysis, so the analyze
+                  preset silently checks nothing. (scripts/ast_lint.py
+                  then checks the *placement* of the annotations; this
+                  rule checks their existence.)
 
 Exit status is 0 when the tree is clean, 1 when any finding is reported.
 Suppress a single line with a trailing `// lint:allow(<rule>)` comment.
@@ -91,6 +101,21 @@ UNCHECKED_IO_RE = re.compile(
 # (`(void)x.Foo();`, `CRH_RETURN_NOT_OK(x.Foo());`, `EXPECT_TRUE(x.Foo().ok())`)
 # do not match.
 CALL_STMT_RE = re.compile(r"^\s*(?:[\w\]\[]+(?:\.|->))*(\w+)\s*\(.*\)\s*;\s*$")
+
+# A mutex / condition-variable member declaration in a header. Matched
+# per file: the header must also include thread_annotations.h and use at
+# least one CRH_* annotation, else the analyze preset has nothing to check.
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:crh::)?(?:Mutex|CondVar|std::mutex|"
+    r"std::condition_variable(?:_any)?)\s+\w+\s*;")
+THREAD_ANNOTATIONS_INCLUDE_RE = re.compile(
+    r'#\s*include\s+"common/thread_annotations\.h"')
+CRH_ANNOTATION_USE_RE = re.compile(
+    r"\bCRH_(?:CAPABILITY|SCOPED_CAPABILITY|GUARDED_BY|PT_GUARDED_BY|"
+    r"ACQUIRE|RELEASE|REQUIRES|EXCLUDES|RETURN_CAPABILITY|ASSERT_CAPABILITY)\b")
+# The primitives themselves: the wrapper header defines the annotated types
+# and the macro header defines the annotations.
+MUTEX_RULE_EXEMPT = {"src/common/mutex.h", "src/common/thread_annotations.h"}
 
 # Factory helpers whose Status return is the *point* of the call; a bare
 # statement calling one of these is dead code, but never an unchecked
@@ -166,7 +191,25 @@ def main(argv: list[str]) -> int:
         in_common = "common" in path.parts
         in_tests = "tests" in path.parts
         in_src = "src" in path.parts
-        for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        rel_posix = (path.relative_to(REPO_ROOT).as_posix()
+                     if path.is_relative_to(REPO_ROOT) else path.as_posix())
+        file_text = path.read_text(encoding="utf-8")
+        if (path.suffix in (".h", ".hpp") and rel_posix not in MUTEX_RULE_EXEMPT):
+            has_include = bool(THREAD_ANNOTATIONS_INCLUDE_RE.search(file_text))
+            has_annotation = bool(CRH_ANNOTATION_USE_RE.search(file_text))
+            if not (has_include and has_annotation):
+                for lineno, raw in enumerate(file_text.splitlines(), 1):
+                    if ("mutex-annotations" in ALLOW_RE.findall(raw)
+                            or not MUTEX_MEMBER_RE.match(
+                                strip_comments_and_strings(raw))):
+                        continue
+                    missing = ("thread_annotations.h include" if not has_include
+                               else "any CRH_* capability annotation")
+                    findings.append((path, lineno, "mutex-annotations",
+                                     "header declares a lock member but lacks "
+                                     f"{missing}; annotate what the lock "
+                                     "protects so -Wthread-safety can check it"))
+        for lineno, raw in enumerate(file_text.splitlines(), 1):
             allowed = {m for m in ALLOW_RE.findall(raw)}
             line = strip_comments_and_strings(raw)
 

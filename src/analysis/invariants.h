@@ -105,7 +105,7 @@ struct IterationSnapshot {
 class IterationObserver {
  public:
   virtual ~IterationObserver() = default;
-  virtual Status OnIteration(const IterationSnapshot& snapshot) = 0;
+  [[nodiscard]] virtual Status OnIteration(const IterationSnapshot& snapshot) = 0;
 };
 
 /// Fans one snapshot out to several observers; fails on the first failure.
@@ -118,7 +118,7 @@ class ObserverChain : public IterationObserver {
   /// Adds an observer (borrowed; must outlive the chain).
   void Add(IterationObserver* observer) { observers_.push_back(observer); }
 
-  Status OnIteration(const IterationSnapshot& snapshot) override;
+  [[nodiscard]] Status OnIteration(const IterationSnapshot& snapshot) override;
 
  private:
   std::vector<IterationObserver*> observers_;
@@ -135,6 +135,7 @@ class ObserverChain : public IterationObserver {
 ///   kTopJ         weights are 0/1 and sum to top_j.
 /// The all-equal vector is accepted for the log schemes: it is the
 /// documented degenerate output when every source has zero loss.
+[[nodiscard]]
 Status CheckWeightConstraint(const std::vector<double>& weights,
                              const WeightSchemeOptions& scheme, double tolerance = 1e-9);
 
@@ -146,12 +147,14 @@ Status CheckWeightConstraint(const std::vector<double>& weights,
 /// equal the supervision value. Truth tables narrower than the dataset
 /// (baselines that skip a property type) pass for the missing entries
 /// only if no rule above is violated.
+[[nodiscard]]
 Status CheckTruthDomain(const Dataset& data, const ValueTable& truths,
                         const ValueTable* supervision = nullptr, double tolerance = 1e-9);
 
 /// Verifies an objective history is non-increasing up to slack: each
 /// successive value may exceed its predecessor by at most
 /// `relative_slack * max(|prev|, 1) + absolute_slack`.
+[[nodiscard]]
 Status CheckLossMonotonic(const std::vector<double>& objective_history,
                           double relative_slack = 1e-9, double absolute_slack = 1e-12);
 
@@ -160,6 +163,7 @@ Status CheckLossMonotonic(const std::vector<double>& objective_history,
 /// `continuous_tolerance` (absolute, after scaling by max(1, |expected|)).
 /// Used by the batch-vs-incremental and batch-vs-parallel equivalence
 /// tests. The status message pinpoints the first mismatching entry.
+[[nodiscard]]
 Status CheckTruthTablesMatch(const Dataset& data, const ValueTable& expected,
                              const ValueTable& actual, double continuous_tolerance = 1e-9);
 
@@ -201,7 +205,7 @@ class LossMonotonicityChecker : public IterationObserver {
  public:
   explicit LossMonotonicityChecker(const InvariantVerifierOptions& options = {})
       : options_(options) {}
-  Status OnIteration(const IterationSnapshot& snapshot) override;
+  [[nodiscard]] Status OnIteration(const IterationSnapshot& snapshot) override;
 
  private:
   InvariantVerifierOptions options_;
@@ -213,7 +217,7 @@ class WeightConstraintChecker : public IterationObserver {
  public:
   explicit WeightConstraintChecker(const InvariantVerifierOptions& options = {})
       : options_(options) {}
-  Status OnIteration(const IterationSnapshot& snapshot) override;
+  [[nodiscard]] Status OnIteration(const IterationSnapshot& snapshot) override;
 
  private:
   InvariantVerifierOptions options_;
@@ -224,7 +228,7 @@ class DomainValidityChecker : public IterationObserver {
  public:
   explicit DomainValidityChecker(const InvariantVerifierOptions& options = {})
       : options_(options) {}
-  Status OnIteration(const IterationSnapshot& snapshot) override;
+  [[nodiscard]] Status OnIteration(const IterationSnapshot& snapshot) override;
 
  private:
   InvariantVerifierOptions options_;
@@ -235,7 +239,7 @@ class DomainValidityChecker : public IterationObserver {
 class InvariantVerifier : public IterationObserver {
  public:
   explicit InvariantVerifier(const InvariantVerifierOptions& options = {});
-  Status OnIteration(const IterationSnapshot& snapshot) override;
+  [[nodiscard]] Status OnIteration(const IterationSnapshot& snapshot) override;
 
   /// Number of snapshots that passed all checks since construction.
   size_t steps_verified() const { return steps_verified_; }

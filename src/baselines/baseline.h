@@ -47,7 +47,7 @@ class ConflictResolver {
 
   /// Resolves conflicts over the dataset. Ground truth, if present, must
   /// not be consulted.
-  virtual Result<ResolverOutput> Run(const Dataset& data) const = 0;
+  [[nodiscard]] virtual Result<ResolverOutput> Run(const Dataset& data) const = 0;
 };
 
 /// The distinct claimed values ("facts") on one entry together with the

@@ -24,7 +24,7 @@ class MeanResolver final : public ConflictResolver {
  public:
   const char* name() const override { return "Mean"; }
   bool handles_categorical() const override { return false; }
-  Result<ResolverOutput> Run(const Dataset& data) const override;
+  [[nodiscard]] Result<ResolverOutput> Run(const Dataset& data) const override;
 };
 
 /// Unweighted per-entry median of continuous claims; ignores categorical data.
@@ -32,7 +32,7 @@ class MedianResolver final : public ConflictResolver {
  public:
   const char* name() const override { return "Median"; }
   bool handles_categorical() const override { return false; }
-  Result<ResolverOutput> Run(const Dataset& data) const override;
+  [[nodiscard]] Result<ResolverOutput> Run(const Dataset& data) const override;
 };
 
 /// Majority voting over categorical claims; ignores continuous data.
@@ -40,7 +40,7 @@ class VotingResolver final : public ConflictResolver {
  public:
   const char* name() const override { return "Voting"; }
   bool handles_continuous() const override { return false; }
-  Result<ResolverOutput> Run(const Dataset& data) const override;
+  [[nodiscard]] Result<ResolverOutput> Run(const Dataset& data) const override;
 };
 
 /// Gaussian Truth Model (Zhao & Han 2012): Bayesian truth discovery for
@@ -62,7 +62,7 @@ class GtmResolver final : public ConflictResolver {
   explicit GtmResolver(Options options) : options_(options) {}
   const char* name() const override { return "GTM"; }
   bool handles_categorical() const override { return false; }
-  Result<ResolverOutput> Run(const Dataset& data) const override;
+  [[nodiscard]] Result<ResolverOutput> Run(const Dataset& data) const override;
 
  private:
   Options options_;
@@ -81,7 +81,7 @@ class InvestmentResolver final : public ConflictResolver {
   InvestmentResolver() {}
   explicit InvestmentResolver(Options options) : options_(options) {}
   const char* name() const override { return "Investment"; }
-  Result<ResolverOutput> Run(const Dataset& data) const override;
+  [[nodiscard]] Result<ResolverOutput> Run(const Dataset& data) const override;
 
  private:
   Options options_;
@@ -99,7 +99,7 @@ class PooledInvestmentResolver final : public ConflictResolver {
   PooledInvestmentResolver() {}
   explicit PooledInvestmentResolver(Options options) : options_(options) {}
   const char* name() const override { return "PooledInvestment"; }
-  Result<ResolverOutput> Run(const Dataset& data) const override;
+  [[nodiscard]] Result<ResolverOutput> Run(const Dataset& data) const override;
 
  private:
   Options options_;
@@ -117,7 +117,7 @@ class TwoEstimatesResolver final : public ConflictResolver {
   TwoEstimatesResolver() {}
   explicit TwoEstimatesResolver(Options options) : options_(options) {}
   const char* name() const override { return "2-Estimates"; }
-  Result<ResolverOutput> Run(const Dataset& data) const override;
+  [[nodiscard]] Result<ResolverOutput> Run(const Dataset& data) const override;
 
  private:
   Options options_;
@@ -134,7 +134,7 @@ class ThreeEstimatesResolver final : public ConflictResolver {
   ThreeEstimatesResolver() {}
   explicit ThreeEstimatesResolver(Options options) : options_(options) {}
   const char* name() const override { return "3-Estimates"; }
-  Result<ResolverOutput> Run(const Dataset& data) const override;
+  [[nodiscard]] Result<ResolverOutput> Run(const Dataset& data) const override;
 
  private:
   Options options_;
@@ -162,7 +162,7 @@ class TruthFinderResolver final : public ConflictResolver {
   TruthFinderResolver() {}
   explicit TruthFinderResolver(Options options) : options_(options) {}
   const char* name() const override { return "TruthFinder"; }
-  Result<ResolverOutput> Run(const Dataset& data) const override;
+  [[nodiscard]] Result<ResolverOutput> Run(const Dataset& data) const override;
 
  private:
   Options options_;
@@ -186,7 +186,7 @@ class AccuSimResolver final : public ConflictResolver {
   AccuSimResolver() {}
   explicit AccuSimResolver(Options options) : options_(options) {}
   const char* name() const override { return "AccuSim"; }
-  Result<ResolverOutput> Run(const Dataset& data) const override;
+  [[nodiscard]] Result<ResolverOutput> Run(const Dataset& data) const override;
 
  private:
   Options options_;

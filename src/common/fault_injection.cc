@@ -38,7 +38,7 @@ void FailPoints::RecomputeActiveLocked() {
 }
 
 void FailPoints::FailNext(const std::string& site, uint64_t times) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   SiteState& state = sites_[site];
   state.hits = 0;
   state.fail_remaining += times;
@@ -47,7 +47,7 @@ void FailPoints::FailNext(const std::string& site, uint64_t times) {
 
 void FailPoints::FailOnHit(const std::string& site, uint64_t hit) {
   CRH_CHECK_GE(hit, 1u);
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   SiteState& state = sites_[site];
   if (state.fail_hits.empty() && state.fail_remaining == 0) state.hits = 0;
   state.fail_hits.insert(hit);
@@ -55,20 +55,20 @@ void FailPoints::FailOnHit(const std::string& site, uint64_t hit) {
 }
 
 void FailPoints::Clear(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   sites_.erase(site);
   RecomputeActiveLocked();
 }
 
 void FailPoints::ClearAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   sites_.clear();
   recording_ = false;
   RecomputeActiveLocked();
 }
 
 void FailPoints::SetRecording(bool recording) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   recording_ = recording;
   if (recording) {
     for (auto& [site, state] : sites_) state.hits = 0;
@@ -77,7 +77,7 @@ void FailPoints::SetRecording(bool recording) {
 }
 
 std::vector<std::pair<std::string, uint64_t>> FailPoints::RecordedHits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   std::vector<std::pair<std::string, uint64_t>> hits;
   hits.reserve(sites_.size());
   for (const auto& [site, state] : sites_) {
@@ -88,7 +88,7 @@ std::vector<std::pair<std::string, uint64_t>> FailPoints::RecordedHits() const {
 
 Status FailPoints::Hit(const std::string& site) {
   if (active_.load(std::memory_order_acquire) == 0) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   auto it = sites_.find(site);
   if (it == sites_.end()) {
     if (!recording_) return Status::OK();

@@ -31,13 +31,14 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace crh {
 
@@ -66,30 +67,31 @@ class FailPoints {
   static FailPoints& Instance();
 
   /// Arms `site` so its next `times` hits fail (counting from now).
-  void FailNext(const std::string& site, uint64_t times = 1);
+  void FailNext(const std::string& site, uint64_t times = 1) CRH_EXCLUDES(mu_);
 
   /// Arms `site` so its `hit`-th hit *from this arming* fails (1-based).
   /// Multiple calls accumulate distinct failing hits.
-  void FailOnHit(const std::string& site, uint64_t hit);
+  void FailOnHit(const std::string& site, uint64_t hit) CRH_EXCLUDES(mu_);
 
   /// Disarms one site (hit counters reset too).
-  void Clear(const std::string& site);
+  void Clear(const std::string& site) CRH_EXCLUDES(mu_);
 
   /// Disarms every site, resets all counters, and stops recording.
-  void ClearAll();
+  void ClearAll() CRH_EXCLUDES(mu_);
 
   /// When recording, every Hit() is counted even for unarmed sites, so a
   /// test can discover how many times each site fires during an operation
   /// before sweeping failures over those hits.
-  void SetRecording(bool recording);
+  void SetRecording(bool recording) CRH_EXCLUDES(mu_);
 
   /// Hits recorded per site since recording started (sorted by site name).
-  std::vector<std::pair<std::string, uint64_t>> RecordedHits() const;
+  std::vector<std::pair<std::string, uint64_t>> RecordedHits() const
+      CRH_EXCLUDES(mu_);
 
   /// Counts one hit of `site`; returns IOError when this hit is armed to
   /// fail, OK otherwise. The fast path (nothing armed, not recording) is a
   /// single atomic load.
-  Status Hit(const std::string& site);
+  [[nodiscard]] Status Hit(const std::string& site) CRH_EXCLUDES(mu_);
 
   FailPoints(const FailPoints&) = delete;
   FailPoints& operator=(const FailPoints&) = delete;
@@ -103,13 +105,15 @@ class FailPoints {
     std::set<uint64_t> fail_hits; ///< FailOnHit schedule (1-based hit numbers).
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, SiteState> sites_;
-  bool recording_ = false;
+  mutable Mutex mu_;
+  std::map<std::string, SiteState> sites_ CRH_GUARDED_BY(mu_);
+  bool recording_ CRH_GUARDED_BY(mu_) = false;
   /// Number of armed sites plus one when recording; Hit() early-outs on 0.
+  /// Written with release under mu_, read with acquire on the unlocked fast
+  /// path so an arming thread's schedule is visible before a hit honors it.
   std::atomic<int> active_{0};
 
-  void RecomputeActiveLocked();
+  void RecomputeActiveLocked() CRH_REQUIRES(mu_);
 };
 
 /// Checks a fail-point site and propagates the injected failure. Place
@@ -134,7 +138,7 @@ struct RetryPolicy {
 };
 
 /// Validates a RetryPolicy.
-Status ValidateRetryPolicy(const RetryPolicy& policy);
+[[nodiscard]] Status ValidateRetryPolicy(const RetryPolicy& policy);
 
 /// The backoff in milliseconds before retry `retry` (1-based) of the
 /// operation identified by `salt`. Pure function of its arguments.
@@ -144,8 +148,8 @@ double RetryBackoffMs(const RetryPolicy& policy, int retry, uint64_t salt);
 /// attempt budget is exhausted (the last attempt's status is returned).
 /// Only StatusCode::kIOError is retried; `what` names the operation in the
 /// jitter salt and in give-up messages.
-Status RetryWithBackoff(const RetryPolicy& policy, const std::string& what,
-                        const std::function<Status()>& op);
+[[nodiscard]] Status RetryWithBackoff(const RetryPolicy& policy, const std::string& what,
+                                      const std::function<Status()>& op);
 
 }  // namespace crh
 

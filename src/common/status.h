@@ -36,7 +36,13 @@ const char* StatusCodeToString(StatusCode code);
 /// explanatory message otherwise. Use the factory helpers:
 ///
 ///   if (n < 0) return Status::InvalidArgument("n must be non-negative");
-class Status {
+///
+/// The class itself is [[nodiscard]]: any call returning a Status whose
+/// result is ignored fails to compile under -Werror (GCC and Clang both
+/// warn on a discarded nodiscard class type). A deliberate drop must be
+/// spelled `(void)` and carries a lint:allow (scripts/lint.py,
+/// unchecked-status).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -46,44 +52,44 @@ class Status {
       : code_(code), message_(std::move(message)) {}
 
   /// Factory for an OK status.
-  static Status OK() { return Status(); }
+  [[nodiscard]] static Status OK() { return Status(); }
   /// The caller passed an argument that violates the API contract.
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
   /// An index or value fell outside its permitted range.
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
   /// A named object (property, source, ...) does not exist.
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
   /// A named object already exists where a new one was to be created.
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
   /// The object is not in a state that permits the operation.
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
   /// A file or stream operation failed.
-  static Status IOError(std::string msg) {
+  [[nodiscard]] static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
   /// The operation is not implemented for this configuration.
-  static Status NotImplemented(std::string msg) {
+  [[nodiscard]] static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
   /// An invariant inside the library was violated (a bug).
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
   /// True iff the status is OK.
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   /// The status code.
-  StatusCode code() const { return code_; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   /// The error message (empty for OK).
   const std::string& message() const { return message_; }
 
@@ -104,8 +110,11 @@ class Status {
 ///   Result<Dataset> r = LoadCsv(path);
 ///   if (!r.ok()) return r.status();
 ///   Dataset d = std::move(r).ValueOrDie();
+///
+/// [[nodiscard]] like Status: a discarded Result is a discarded error
+/// *and* a discarded value, so it never compiles silently.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding \p value.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -113,7 +122,7 @@ class Result {
   Result(Status status) : status_(std::move(status)) {}  // NOLINT
 
   /// True iff a value is present.
-  bool ok() const { return value_.has_value(); }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
   /// The status: OK when a value is present.
   const Status& status() const { return status_; }
 

@@ -1,0 +1,69 @@
+#ifndef CRH_COMMON_THREAD_ANNOTATIONS_H_
+#define CRH_COMMON_THREAD_ANNOTATIONS_H_
+
+/// \file thread_annotations.h
+/// Clang Thread Safety Analysis attribute macros.
+///
+/// The concurrency contracts of this library — which mutex protects which
+/// member, which private functions may only run with a lock held, which
+/// functions must never be called with it held — are stated in code with
+/// these macros and *proved at compile time* by Clang's thread safety
+/// analysis (`-Wthread-safety -Wthread-safety-beta`, enabled as errors by
+/// the `analyze` CMake preset; see docs/TOOLING.md, "Compile-time thread
+/// safety"). Under GCC, or under Clang without the analysis, every macro
+/// expands to nothing, so annotated code builds everywhere.
+///
+/// libstdc++'s std::mutex / std::lock_guard carry no attributes, so the
+/// analysis cannot see through them; annotated code uses the crh::Mutex /
+/// crh::MutexLock / crh::CondVar wrappers from common/mutex.h instead,
+/// which put the attributes on the lock operations themselves.
+///
+/// Naming follows the current capability vocabulary (acquire/release/
+/// requires), as used by Abseil and the Clang documentation:
+///
+///   CRH_GUARDED_BY(mu)     data member readable/writable only with mu held
+///   CRH_PT_GUARDED_BY(mu)  pointee of the annotated pointer guarded by mu
+///   CRH_REQUIRES(mu)       function callable only with mu already held
+///   CRH_EXCLUDES(mu)       function callable only with mu NOT held
+///   CRH_ACQUIRE(...)       function acquires the capability and holds it
+///   CRH_RELEASE(...)       function releases the capability
+///   CRH_CAPABILITY(name)   type acts as a capability (a lock)
+///   CRH_SCOPED_CAPABILITY  RAII type acquiring in ctor / releasing in dtor
+///   CRH_RETURN_CAPABILITY(mu)  function returns a reference to mu
+///   CRH_ASSERT_CAPABILITY(mu)  runtime assertion that mu is held
+///   CRH_NO_THREAD_SAFETY_ANALYSIS  opt a function out (last resort)
+
+#if defined(__clang__)
+#define CRH_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define CRH_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off clang
+#endif
+
+#define CRH_CAPABILITY(x) CRH_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define CRH_SCOPED_CAPABILITY CRH_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define CRH_GUARDED_BY(x) CRH_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define CRH_PT_GUARDED_BY(x) CRH_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define CRH_ACQUIRE(...) \
+  CRH_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define CRH_RELEASE(...) \
+  CRH_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define CRH_REQUIRES(...) \
+  CRH_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define CRH_EXCLUDES(...) CRH_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define CRH_RETURN_CAPABILITY(x) CRH_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define CRH_ASSERT_CAPABILITY(x) \
+  CRH_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define CRH_NO_THREAD_SAFETY_ANALYSIS \
+  CRH_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // CRH_COMMON_THREAD_ANNOTATIONS_H_

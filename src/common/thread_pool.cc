@@ -21,27 +21,33 @@ ThreadPool::ThreadPool(int num_threads) : num_workers_(ResolveNumThreads(num_thr
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& helper : helpers_) helper.join();
 }
 
 void ThreadPool::HelperLoop(size_t worker) {
   uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   for (;;) {
-    work_cv_.wait(lock, [&]() { return shutdown_ || generation_ != seen; });
-    if (shutdown_) return;
+    while (!shutdown_ && generation_ == seen) work_cv_.Wait(&mu_);
+    if (shutdown_) {
+      mu_.Unlock();
+      return;
+    }
     seen = generation_;
     const size_t count = job_count_;
     const std::function<void(size_t)>* fn = job_fn_;
-    lock.unlock();
+    // The job body runs unlocked: holding mu_ across user callables would
+    // serialize the pool and deadlock any callable touching the registry
+    // (ast_lint's lock-across-callback rule enforces this shape).
+    mu_.Unlock();
     for (size_t index = worker; index < count; index += num_workers_) (*fn)(index);
-    lock.lock();
+    mu_.Lock();
     ++helpers_finished_;
-    if (helpers_finished_ == num_workers_ - 1) done_cv_.notify_one();
+    if (helpers_finished_ == num_workers_ - 1) done_cv_.NotifyOne();
   }
 }
 
@@ -53,18 +59,19 @@ void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn
     return;
   }
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(&mu_);
     job_count_ = count;
     job_fn_ = &fn;
     helpers_finished_ = 0;
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // The caller is worker 0.
   for (size_t index = 0; index < count; index += num_workers_) fn(index);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&]() { return helpers_finished_ == num_workers_ - 1; });
+  mu_.Lock();
+  while (helpers_finished_ != num_workers_ - 1) done_cv_.Wait(&mu_);
   job_fn_ = nullptr;
+  mu_.Unlock();
 }
 
 void ThreadPool::Run(const std::vector<std::function<void()>>& tasks) {

@@ -28,12 +28,14 @@
 /// time; ParallelFor blocks until every index has executed. Callables
 /// must not throw.
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace crh {
 
@@ -58,32 +60,33 @@ class ThreadPool {
   /// worker i % num_workers(). Blocks until all indices have run. Safe to
   /// call repeatedly; not reentrant (fn must not call ParallelFor on the
   /// same pool).
-  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn)
+      CRH_EXCLUDES(mu_);
 
   /// Convenience: runs tasks[t] for every t, task t on worker t % W. The
   /// drop-in equivalent of the MapReduce engine's task-wave executor.
-  void Run(const std::vector<std::function<void()>>& tasks);
+  void Run(const std::vector<std::function<void()>>& tasks) CRH_EXCLUDES(mu_);
 
   /// Resolves a thread-count knob: n > 0 is taken as-is, n == 0 means
   /// hardware concurrency (at least 1), n < 0 resolves to 1.
   static size_t ResolveNumThreads(int num_threads);
 
  private:
-  void HelperLoop(size_t worker);
+  void HelperLoop(size_t worker) CRH_EXCLUDES(mu_);
 
   size_t num_workers_ = 1;
   std::vector<std::thread> helpers_;  // size num_workers_ - 1
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
   // Current job, published under mu_. generation_ increments per job so
   // helpers can tell a fresh job from a spurious wakeup.
-  uint64_t generation_ = 0;
-  size_t job_count_ = 0;
-  const std::function<void(size_t)>* job_fn_ = nullptr;
-  size_t helpers_finished_ = 0;
-  bool shutdown_ = false;
+  uint64_t generation_ CRH_GUARDED_BY(mu_) = 0;
+  size_t job_count_ CRH_GUARDED_BY(mu_) = 0;
+  const std::function<void(size_t)>* job_fn_ CRH_GUARDED_BY(mu_) = nullptr;
+  size_t helpers_finished_ CRH_GUARDED_BY(mu_) = 0;
+  bool shutdown_ CRH_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace crh

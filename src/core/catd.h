@@ -52,7 +52,7 @@ struct CatdResult {
 };
 
 /// Runs confidence-aware truth discovery on the dataset.
-Result<CatdResult> RunCatd(const Dataset& data, const CatdOptions& options = {});
+[[nodiscard]] Result<CatdResult> RunCatd(const Dataset& data, const CatdOptions& options = {});
 
 }  // namespace crh
 

@@ -175,7 +175,7 @@ struct CrhResult {
 /// unweighted median/mean (continuous, per the configured model), then the
 /// weight and truth updates alternate until convergence. Missing
 /// observations are skipped everywhere.
-Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options = {});
+[[nodiscard]] Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options = {});
 
 /// One truth-update pass (Eq 3): computes per-entry truths from fixed
 /// source weights, using the loss models configured in \p options. Soft

@@ -58,6 +58,7 @@ struct DependenceResult {
 /// (typically CRH output). Only discrete (categorical/text) properties
 /// carry the false-value-agreement signal; continuous claims are compared
 /// for exact equality, which on real data is equally diagnostic of copying.
+[[nodiscard]]
 Result<DependenceResult> DetectSourceDependence(const Dataset& data,
                                                 const ValueTable& truths,
                                                 const DependenceOptions& options = {});
@@ -73,7 +74,7 @@ struct DependenceAwareResult {
 
 /// CRH with copy discounting: CRH -> dependence detection -> discounted
 /// weights -> final truth pass.
-Result<DependenceAwareResult> RunDependenceAwareCrh(
+[[nodiscard]] Result<DependenceAwareResult> RunDependenceAwareCrh(
     const Dataset& data, const CrhOptions& crh_options = {},
     const DependenceOptions& dependence_options = {});
 

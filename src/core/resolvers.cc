@@ -22,19 +22,31 @@ bool ValueLess(const Value& a, const Value& b) {
 }  // namespace
 
 Value WeightedVote(const std::vector<Value>& values, const std::vector<double>& weights) {
-  std::unordered_map<Value, double, ValueHash> tally;
+  // Tally into claim-ordered vectors; the hash map is a lookup-only dedup
+  // index, never iterated. Scanning candidates in first-claim order keeps
+  // the winner — and the association order of each candidate's weight sum —
+  // a pure function of the claims, independent of hash-bucket layout
+  // (ast_lint, unordered-iteration).
+  std::unordered_map<Value, size_t, ValueHash> index;
+  std::vector<Value> candidates;
+  std::vector<double> tally;
   for (size_t k = 0; k < values.size(); ++k) {
     if (values[k].is_missing()) continue;
-    tally[values[k]] += weights[k];
+    const auto [it, added] = index.emplace(values[k], candidates.size());
+    if (added) {
+      candidates.push_back(values[k]);
+      tally.push_back(0.0);
+    }
+    tally[it->second] += weights[k];
   }
-  if (tally.empty()) return Value::Missing();
+  if (candidates.empty()) return Value::Missing();
   Value best = Value::Missing();
   double best_weight = -std::numeric_limits<double>::infinity();
-  for (const auto& [value, weight] : tally) {
-    if (weight > best_weight ||
-        (weight == best_weight && ValueLess(value, best))) {
-      best = value;
-      best_weight = weight;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    if (tally[c] > best_weight ||
+        (tally[c] == best_weight && ValueLess(candidates[c], best))) {
+      best = candidates[c];
+      best_weight = tally[c];
     }
   }
   return best;

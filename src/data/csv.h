@@ -39,24 +39,24 @@
 namespace crh {
 
 /// Writes all non-missing observations of \p data as claim tuples.
-Status WriteObservationsCsv(const Dataset& data, const std::string& path);
-Status WriteObservationsCsv(const Dataset& data, std::ostream& out);
+[[nodiscard]] Status WriteObservationsCsv(const Dataset& data, const std::string& path);
+[[nodiscard]] Status WriteObservationsCsv(const Dataset& data, std::ostream& out);
 
 /// Writes the labeled ground-truth entries of \p data (requires ground truth).
-Status WriteGroundTruthCsv(const Dataset& data, const std::string& path);
-Status WriteGroundTruthCsv(const Dataset& data, std::ostream& out);
+[[nodiscard]] Status WriteGroundTruthCsv(const Dataset& data, const std::string& path);
+[[nodiscard]] Status WriteGroundTruthCsv(const Dataset& data, std::ostream& out);
 
 /// Reads claim tuples into a new Dataset with the given schema. Objects and
 /// sources are created in order of first appearance; categorical labels are
 /// interned per property. Rows naming a property absent from the schema are
 /// an error.
-Result<Dataset> ReadObservationsCsv(const Schema& schema, const std::string& path);
-Result<Dataset> ReadObservationsCsv(const Schema& schema, std::istream& in);
+[[nodiscard]] Result<Dataset> ReadObservationsCsv(const Schema& schema, const std::string& path);
+[[nodiscard]] Result<Dataset> ReadObservationsCsv(const Schema& schema, std::istream& in);
 
 /// Reads ground-truth rows (object_id,property,value) into \p data. Objects
 /// named here must already exist in the dataset.
-Status ReadGroundTruthCsv(const std::string& path, Dataset* data);
-Status ReadGroundTruthCsv(std::istream& in, Dataset* data);
+[[nodiscard]] Status ReadGroundTruthCsv(const std::string& path, Dataset* data);
+[[nodiscard]] Status ReadGroundTruthCsv(std::istream& in, Dataset* data);
 
 /// Every fail-point site the path-based CSV entry points can hit, for
 /// exhaustive fault-injection sweeps.

@@ -114,14 +114,14 @@ class Dataset {
     return timestamps_[i];
   }
   /// Attaches per-object timestamps; size must equal num_objects().
-  Status set_timestamps(std::vector<int64_t> timestamps);
+  [[nodiscard]] Status set_timestamps(std::vector<int64_t> timestamps);
   /// Sorted list of the distinct timestamps present.
   std::vector<int64_t> DistinctTimestamps() const;
 
   /// Checks structural invariants: table shapes match N x M, categorical
   /// cells hold valid dictionary ids, continuous cells are finite, and the
   /// type of every cell matches its property's declared type.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
  private:
   Schema schema_;

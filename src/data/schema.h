@@ -38,21 +38,21 @@ class Schema {
   Schema() = default;
 
   /// Appends a property. Fails with AlreadyExists on a duplicate name.
-  Status AddProperty(Property property);
+  [[nodiscard]] Status AddProperty(Property property);
 
   /// Convenience: appends a continuous property.
-  Status AddContinuous(const std::string& name, double rounding_unit = 0.0) {
+  [[nodiscard]] Status AddContinuous(const std::string& name, double rounding_unit = 0.0) {
     return AddProperty({name, PropertyType::kContinuous, rounding_unit});
   }
 
   /// Convenience: appends a categorical property.
-  Status AddCategorical(const std::string& name) {
+  [[nodiscard]] Status AddCategorical(const std::string& name) {
     return AddProperty({name, PropertyType::kCategorical, 0.0});
   }
 
   /// Convenience: appends a text property (interned strings compared by
   /// normalized edit distance).
-  Status AddText(const std::string& name) {
+  [[nodiscard]] Status AddText(const std::string& name) {
     return AddProperty({name, PropertyType::kText, 0.0});
   }
 

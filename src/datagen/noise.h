@@ -74,6 +74,7 @@ double CategoricalFlipProbability(double gamma, const NoiseOptions& options);
 /// carry a ground-truth table (its schema, objects, dictionaries and
 /// timestamps are copied; its ground truth is retained for evaluation).
 /// Sources are named "source_0" ... "source_{K-1}" in gamma order.
+[[nodiscard]]
 Result<Dataset> MakeNoisyDataset(const Dataset& truth_data, const NoiseOptions& options);
 
 }  // namespace crh

@@ -42,7 +42,7 @@ struct EvaluationResult {
 /// ground truth is missing are skipped; entries the estimate leaves missing
 /// count as errors (categorical) or contribute the per-entry claim scale
 /// (continuous), so methods cannot win by abstaining.
-Result<EvaluationResult> Evaluate(const Dataset& data, const ValueTable& estimate);
+[[nodiscard]] Result<EvaluationResult> Evaluate(const Dataset& data, const ValueTable& estimate);
 
 /// One property's evaluation row in a per-property breakdown.
 struct PropertyEvaluation {
@@ -57,6 +57,7 @@ struct PropertyEvaluation {
 
 /// Per-property breakdown of Evaluate — which properties a method gets
 /// right and which drag it down. Same conventions as Evaluate.
+[[nodiscard]]
 Result<std::vector<PropertyEvaluation>> EvaluateByProperty(const Dataset& data,
                                                            const ValueTable& estimate);
 

@@ -55,7 +55,7 @@ struct MapReduceConfig {
 };
 
 /// Validates a MapReduceConfig.
-Status ValidateMapReduceConfig(const MapReduceConfig& config);
+[[nodiscard]] Status ValidateMapReduceConfig(const MapReduceConfig& config);
 
 /// Counters of one executed job.
 struct JobStats {
@@ -113,10 +113,10 @@ bool InjectFault(size_t phase, size_t task, int attempt, double rate);
 
 /// Executes one MapReduce job over `input`.
 template <typename In, typename K, typename V, typename Out>
-Result<MapReduceOutput<Out>> RunMapReduce(const std::vector<In>& input,
-                                          const MapReduceSpec<In, K, V, Out>& spec,
-                                          const MapReduceConfig& config = {}) {
-  CRH_RETURN_NOT_OK(ValidateMapReduceConfig(config));
+[[nodiscard]] Result<MapReduceOutput<Out>> RunMapReduce(const std::vector<In>& input,
+                                                        const MapReduceSpec<In, K, V, Out>& spec,
+                                                        const MapReduceConfig& config = {}) {
+                CRH_RETURN_NOT_OK(ValidateMapReduceConfig(config));
   if (!spec.map || !spec.reduce) {
     return Status::InvalidArgument("map and reduce functions are required");
   }
@@ -129,6 +129,16 @@ Result<MapReduceOutput<Out>> RunMapReduce(const std::vector<In>& input,
   // output. The audit property "a failed attempt leaves no partial
   // partition output" is structural, not an invariant the bodies must
   // maintain.
+  //
+  // Memory-order contract for the two shared counters: tasks only ever
+  // *write* them (fetch_add / store), and the driver only *reads* them
+  // after RunOnThreads returns, whose ParallelFor join (mutex + condition
+  // variable handshake in ThreadPool) already orders every task write
+  // before the driver's read. The atomics therefore carry no ordering
+  // duty of their own — they exist solely so concurrent tasks don't race
+  // each other — and every access is explicitly relaxed. Verified by the
+  // tsan-labeled suite (tests/engine_race_test.cc, tests/mapreduce_test.cc
+  // retry-path cases under the tsan preset).
   std::atomic<size_t> total_retries{0};
   std::atomic<bool> task_failed{false};
   const auto run_with_retries = [&](size_t phase, size_t task,
@@ -137,20 +147,20 @@ Result<MapReduceOutput<Out>> RunMapReduce(const std::vector<In>& input,
     for (int attempt = 0; attempt < config.max_attempts; ++attempt) {
       // Worker crashed before starting the attempt.
       if (internal::InjectFault(phase, task, attempt, config.fault_injection_rate)) {
-        ++total_retries;
+        total_retries.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       body();
       // Worker crashed after the work but before the commit: the
       // attempt-local buffers are discarded on retry.
       if (internal::InjectFault(phase + 2, task, attempt, config.fault_injection_rate)) {
-        ++total_retries;
+        total_retries.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       commit();
       return;
     }
-    task_failed = true;
+    task_failed.store(true, std::memory_order_relaxed);
   };
 
   Stopwatch watch;
@@ -217,7 +227,7 @@ Result<MapReduceOutput<Out>> RunMapReduce(const std::vector<In>& input,
       });
     }
     internal::RunOnThreads(std::move(tasks), &job_pool);
-    if (task_failed) {
+    if (task_failed.load(std::memory_order_relaxed)) {
       return Status::Internal("a map task exhausted its attempts");
     }
   }
@@ -262,7 +272,7 @@ Result<MapReduceOutput<Out>> RunMapReduce(const std::vector<In>& input,
       });
     }
     internal::RunOnThreads(std::move(tasks), &job_pool);
-    if (task_failed) {
+    if (task_failed.load(std::memory_order_relaxed)) {
       return Status::Internal("a reduce task exhausted its attempts");
     }
   }
@@ -273,7 +283,7 @@ Result<MapReduceOutput<Out>> RunMapReduce(const std::vector<In>& input,
                        std::make_move_iterator(reducer_outputs[part].end()));
   }
   out.stats.output_records = out.records.size();
-  out.stats.task_retries = total_retries.load();
+  out.stats.task_retries = total_retries.load(std::memory_order_relaxed);
   out.stats.wall_seconds = watch.ElapsedSeconds();
   return out;
 }

@@ -251,11 +251,19 @@ Result<ParallelCrhResult> RunParallelCrh(const Dataset& data,
   // when somebody is watching; the plain run never pays for them.
   EntryStats observer_stats;
   if (observer != nullptr) observer_stats = ComputeEntryStats(data);
+  // Materializes cache.truths as a dense table by *probing* the map in
+  // entry order — never iterating it — so the table fill order (and with it
+  // any downstream serialization) is independent of hash-bucket layout
+  // (ast_lint, unordered-iteration).
   const auto cache_truth_table = [&]() {
     ValueTable table(data.num_objects(), data.num_properties());
-    for (const auto& [entry, truth] : cache.truths) {
-      table.Set(static_cast<size_t>(entry / m_props),
-                static_cast<size_t>(entry % m_props), truth);
+    for (size_t i = 0; i < data.num_objects(); ++i) {
+      for (uint64_t m = 0; m < m_props; ++m) {
+        const auto it = cache.truths.find(static_cast<uint64_t>(i) * m_props + m);
+        if (it != cache.truths.end()) {
+          table.Set(i, static_cast<size_t>(m), it->second);
+        }
+      }
     }
     return table;
   };
@@ -329,11 +337,7 @@ Result<ParallelCrhResult> RunParallelCrh(const Dataset& data,
   // Final truth job so the reported truths reflect the final weights.
   CRH_RETURN_NOT_OK(run_truth_job());
 
-  result.truths = ValueTable(data.num_objects(), data.num_properties());
-  for (const auto& [entry, truth] : cache.truths) {
-    result.truths.Set(static_cast<size_t>(entry / m_props),
-                      static_cast<size_t>(entry % m_props), truth);
-  }
+  result.truths = cache_truth_table();
   result.source_weights = cache.weights;
   result.wall_seconds = watch.ElapsedSeconds();
   result.simulated_cluster_seconds = options.cost_model.job_setup_seconds;

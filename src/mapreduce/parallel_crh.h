@@ -71,8 +71,8 @@ struct ParallelCrhResult {
 };
 
 /// Runs the MapReduce formulation of CRH over the dataset.
-Result<ParallelCrhResult> RunParallelCrh(const Dataset& data,
-                                         const ParallelCrhOptions& options = {});
+[[nodiscard]] Result<ParallelCrhResult> RunParallelCrh(const Dataset& data,
+                                                       const ParallelCrhOptions& options = {});
 
 }  // namespace crh
 

@@ -445,7 +445,13 @@ CheckpointManager::CheckpointManager(CheckpointManagerOptions options)
 }
 
 Status CheckpointManager::EnsureScanned() {
-  if (scanned_) return Status::OK();
+  {
+    const MutexLock lock(&mu_);
+    if (scanned_) return Status::OK();
+  }
+  // The filesystem scan runs unlocked: it evaluates fail points and touches
+  // the disk, neither of which may happen under mu_. Racing scanners compute
+  // the same answer; the first to finish publishes it.
   std::error_code ec;
   std::filesystem::create_directories(options_.dir, ec);
   if (ec) {
@@ -454,8 +460,12 @@ Status CheckpointManager::EnsureScanned() {
   }
   auto generations = ListGenerations();
   if (!generations.ok()) return generations.status();
-  next_generation_ = generations->empty() ? 0 : generations->back() + 1;
-  scanned_ = true;
+  const uint64_t next = generations->empty() ? 0 : generations->back() + 1;
+  const MutexLock lock(&mu_);
+  if (!scanned_) {
+    next_generation_ = next;
+    scanned_ = true;
+  }
   return Status::OK();
 }
 
@@ -486,13 +496,20 @@ Result<std::vector<uint64_t>> CheckpointManager::ListGenerations() const {
 
 Status CheckpointManager::Save(const CheckpointState& state) {
   CRH_RETURN_NOT_OK(EnsureScanned());
+  // Reserve a generation number under the lock, then write it out with the
+  // lock released: concurrent savers get distinct files and never hold mu_
+  // across retries, fail points, or the disk.
+  uint64_t generation = 0;
+  {
+    const MutexLock lock(&mu_);
+    generation = next_generation_++;
+  }
   const std::string bytes = EncodeCheckpoint(state);
-  const std::string final_path = JoinPath(options_.dir, GenerationFileName(next_generation_));
+  const std::string final_path = JoinPath(options_.dir, GenerationFileName(generation));
   const std::string tmp_path = final_path + ".tmp";
   CRH_RETURN_NOT_OK(RetryWithBackoff(options_.retry, "checkpoint save", [&] {
     return WriteFileAtomic(tmp_path, final_path, bytes);
   }));
-  ++next_generation_;
   // Prune generations beyond keep_generations. The new checkpoint is
   // already durable at this point, so a prune failure reports an error but
   // never loses state; the remaining candidates are still attempted.

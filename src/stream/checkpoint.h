@@ -45,7 +45,9 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "stream/incremental_crh.h"
 
 namespace crh {
@@ -86,7 +88,7 @@ std::string EncodeCheckpoint(const CheckpointState& state);
 /// InvalidArgument — never a crash, hang, over-allocation, or partially
 /// filled state (the result is discarded on any error). Fuzzed by
 /// fuzz/checkpoint_fuzz.cc.
-Result<CheckpointState> DecodeCheckpoint(std::string_view bytes);
+[[nodiscard]] Result<CheckpointState> DecodeCheckpoint(std::string_view bytes);
 
 /// Configuration for a CheckpointManager.
 struct CheckpointManagerOptions {
@@ -115,6 +117,13 @@ struct CheckpointLoadReport {
 /// Generation files are named "ckpt-<20-digit generation>.crhckpt"; the
 /// numbering continues from the highest generation present, so a resumed
 /// run never overwrites the files it is restoring from.
+///
+/// Thread safety: concurrent Save calls are safe — each reserves a unique
+/// generation number under mu_ and performs all I/O with the lock
+/// released, so writers never serialize on disk speed and no lock is ever
+/// held across a fail-point evaluation (ast_lint's lock-across-callback
+/// rule). Savers racing prune may report a benign IOError for a file the
+/// other already removed; learned state is never lost.
 class CheckpointManager {
  public:
   explicit CheckpointManager(CheckpointManagerOptions options);
@@ -122,25 +131,28 @@ class CheckpointManager {
   /// Atomically persists `state` as the next generation, then prunes
   /// generations beyond keep_generations. On any error the directory is
   /// left with no temp file and all previous generations intact.
-  Status Save(const CheckpointState& state);
+  [[nodiscard]] Status Save(const CheckpointState& state) CRH_EXCLUDES(mu_);
 
   /// Loads the newest generation that decodes cleanly and matches
   /// `expected_fingerprint`, falling back to older generations otherwise.
   /// NotFound when the directory holds no loadable checkpoint.
-  Result<CheckpointState> LoadLatest(uint64_t expected_fingerprint,
-                                     CheckpointLoadReport* report = nullptr);
+  [[nodiscard]] Result<CheckpointState> LoadLatest(
+      uint64_t expected_fingerprint, CheckpointLoadReport* report = nullptr);
 
   /// Generation numbers present in the directory, ascending. Temp files
   /// and foreign names are ignored.
-  Result<std::vector<uint64_t>> ListGenerations() const;
+  [[nodiscard]] Result<std::vector<uint64_t>> ListGenerations() const;
 
  private:
   CheckpointManagerOptions options_;
+  mutable Mutex mu_;
   /// Next generation number to write; discovered lazily from the directory.
-  uint64_t next_generation_ = 0;
-  bool scanned_ = false;
+  uint64_t next_generation_ CRH_GUARDED_BY(mu_) = 0;
+  bool scanned_ CRH_GUARDED_BY(mu_) = false;
 
-  Status EnsureScanned();
+  /// Scans the directory (unlocked — the scan is fail-point instrumented)
+  /// and publishes the starting generation under mu_ if still unscanned.
+  [[nodiscard]] Status EnsureScanned() CRH_EXCLUDES(mu_);
 };
 
 /// Every fail-point site the checkpoint I/O path can hit, for exhaustive
@@ -170,7 +182,7 @@ struct StreamResilienceOptions {
 /// bit-identical to a run that was never interrupted. The fail-point site
 /// "stream.process_chunk" fires once per chunk before it is processed,
 /// letting tests kill the stream at an exact chunk boundary.
-Result<IncrementalCrhResult> RunIncrementalCrhResilient(
+[[nodiscard]] Result<IncrementalCrhResult> RunIncrementalCrhResilient(
     const Dataset& data, const IncrementalCrhOptions& options,
     const StreamResilienceOptions& resilience);
 

@@ -31,6 +31,7 @@ struct DataChunk {
 /// Splits \p data into chunks of `window_size` consecutive timestamps.
 /// Requires timestamps on the dataset. Windows are aligned to the minimum
 /// timestamp; empty windows are skipped. Chunks are returned in time order.
+[[nodiscard]]
 Result<std::vector<DataChunk>> SplitByWindow(const Dataset& data, int64_t window_size);
 
 }  // namespace crh

@@ -77,7 +77,7 @@ class IncrementalCrhProcessor {
   /// index is built once and shared by the truth and deviation passes, both
   /// of which run on the processor's pool when base.num_threads asks for
   /// more than one worker.
-  Result<ValueTable> ProcessChunk(const Dataset& chunk);
+  [[nodiscard]] Result<ValueTable> ProcessChunk(const Dataset& chunk);
 
   /// Current source weights (w_k = 1 before any chunk arrives).
   const std::vector<double>& source_weights() const { return weights_; }
@@ -102,7 +102,7 @@ class IncrementalCrhProcessor {
   /// and non-negative; on error the processor is left unchanged. A restored
   /// processor continues the stream bit-identically to one that never
   /// stopped.
-  Status ImportState(const IncrementalCrhState& state);
+  [[nodiscard]] Status ImportState(const IncrementalCrhState& state);
 
  private:
   IncrementalCrhOptions options_;
@@ -144,6 +144,7 @@ struct IncrementalCrhResult {
 /// the chunks through an IncrementalCrhProcessor in time order. Equivalent
 /// to RunIncrementalCrhResilient (stream/checkpoint.h) with checkpointing
 /// disabled; both share one chunk loop, so their results are bit-identical.
+[[nodiscard]]
 Result<IncrementalCrhResult> RunIncrementalCrh(const Dataset& data,
                                                const IncrementalCrhOptions& options = {});
 

@@ -52,12 +52,12 @@ struct CliOptions {
 
 /// Parses argv into CliOptions. Returns InvalidArgument with a usage hint
 /// on unknown flags, missing values or missing required options.
-Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args);
+[[nodiscard]] Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args);
 
 /// Parses a schema spec "name:type,name:type,..." where type is
 /// continuous | categorical | text. An optional ":unit" suffix on
 /// continuous properties sets the rounding unit ("price:continuous:0.01").
-Result<Schema> ParseSchemaSpec(const std::string& spec);
+[[nodiscard]] Result<Schema> ParseSchemaSpec(const std::string& spec);
 
 /// Returns the usage string printed on parse errors and --help.
 std::string UsageString();
@@ -66,7 +66,7 @@ std::string UsageString();
 /// source weights (and metrics when ground truth is given) to `out`, and
 /// writes the fused truths CSV when requested. Returns a non-OK status on
 /// any failure.
-Status RunCli(const CliOptions& options, std::ostream& out);
+[[nodiscard]] Status RunCli(const CliOptions& options, std::ostream& out);
 
 }  // namespace crh::cli
 

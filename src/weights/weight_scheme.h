@@ -68,6 +68,7 @@ struct WeightSchemeOptions {
 ///
 /// Returns a weight per source. Weights are non-negative; under the log
 /// schemes a smaller loss maps to a larger weight.
+[[nodiscard]]
 Result<std::vector<double>> ComputeSourceWeights(const std::vector<double>& losses,
                                                  const WeightSchemeOptions& options = {});
 

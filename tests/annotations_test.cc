@@ -1,0 +1,150 @@
+/// \file annotations_test.cc
+/// Runtime behavior of the annotated locking primitives (common/mutex.h)
+/// and the thread-annotation macros (common/thread_annotations.h).
+///
+/// The *static* half of the contract — clang rejecting unguarded access to
+/// CRH_GUARDED_BY state and GCC rejecting a discarded [[nodiscard]] Status
+/// — is proven by the negative-compile suite (tests/negative_compile/);
+/// this file proves the primitives actually synchronize at runtime, under
+/// the tsan label so ThreadSanitizer watches every interleaving the suite
+/// produces. On non-clang builds every CRH_* macro must expand to nothing,
+/// which this translation unit demonstrates by compiling annotated code
+/// under GCC at -Werror.
+
+#include "common/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+
+namespace crh {
+namespace {
+
+/// A counter whose invariant (value_ == increments issued) only holds if
+/// MutexLock really excludes concurrent writers.
+class GuardedCounter {
+ public:
+  void Increment() CRH_EXCLUDES(mu_) {
+    const MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int value() const CRH_EXCLUDES(mu_) {
+    const MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int value_ CRH_GUARDED_BY(mu_) = 0;
+};
+
+TEST(MutexTest, MutexLockExcludesConcurrentWriters) {
+  GuardedCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(MutexTest, ManualLockUnlockPairs) {
+  Mutex mu;
+  int guarded = 0;
+  mu.Lock();
+  guarded = 7;
+  mu.Unlock();
+  const MutexLock lock(&mu);
+  EXPECT_EQ(guarded, 7);
+}
+
+TEST(CondVarTest, WaitReleasesAndReacquiresTheMutex) {
+  // Producer/consumer handshake: the consumer must observe the published
+  // value exactly once, which requires Wait to atomically release mu while
+  // sleeping and hold it again when it returns.
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;  // guarded by mu (local, so annotated by convention)
+  int published = 0;
+
+  std::thread producer([&] {
+    mu.Lock();
+    published = 42;
+    ready = true;
+    mu.Unlock();
+    cv.NotifyOne();
+  });
+
+  mu.Lock();
+  while (!ready) cv.Wait(&mu);
+  const int seen = published;
+  mu.Unlock();
+  producer.join();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int awake = 0;
+  constexpr int kWaiters = 4;
+
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      mu.Lock();
+      while (!go) cv.Wait(&mu);
+      ++awake;
+      mu.Unlock();
+    });
+  }
+  mu.Lock();
+  go = true;
+  mu.Unlock();
+  cv.NotifyAll();
+  for (auto& thread : waiters) thread.join();
+
+  const MutexLock lock(&mu);
+  EXPECT_EQ(awake, kWaiters);
+}
+
+TEST(ThreadAnnotationsTest, MacrosAreInertOffClang) {
+  // The macros must never change behavior — only add metadata clang's
+  // analysis reads. Instantiating annotated types and calling annotated
+  // functions (this whole file) is the positive proof; this test pins the
+  // off-clang expansion explicitly.
+#if !defined(__clang__)
+  // Expands to nothing: the declaration below must be a plain int.
+  int plain CRH_GUARDED_BY(nothing) = 3;
+  EXPECT_EQ(plain, 3);
+#else
+  SUCCEED();  // On clang the attributes are real and checked at compile time.
+#endif
+}
+
+TEST(ThreadAnnotationsTest, ThreadPoolStillSchedulesEveryIndex) {
+  // The pool's conversion to annotated Mutex/CondVar must not change its
+  // contract: every index in [0, count) runs exactly once.
+  ThreadPool pool(4);
+  constexpr size_t kCount = 1000;
+  std::vector<int> hits(kCount, 0);
+  pool.ParallelFor(kCount, [&hits](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace crh

@@ -1,0 +1,53 @@
+/// \file control_ok.cc
+/// Positive control for the negative-compile suite: code that follows both
+/// contracts — every Status/Result consumed, guarded state touched only
+/// under its mutex — must compile cleanly with the exact flags the
+/// negative cases use. If this file stops compiling, the suite is testing
+/// the toolchain, not the contracts, and every WILL_FAIL "pass" is
+/// meaningless.
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+crh::Status MightFail(int x) {
+  if (x < 0) return crh::Status::InvalidArgument("negative");
+  return crh::Status::OK();
+}
+
+crh::Result<int> Halve(int x) {
+  if (x % 2 != 0) return crh::Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+class Guarded {
+ public:
+  void Set(int v) CRH_EXCLUDES(mu_) {
+    const crh::MutexLock lock(&mu_);
+    value_ = v;
+  }
+
+  int Get() CRH_EXCLUDES(mu_) {
+    const crh::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  crh::Mutex mu_;
+  int value_ CRH_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  if (crh::Status s = MightFail(1); !s.ok()) return -1;
+  auto half = Halve(4);
+  if (!half.ok()) return -1;
+  Guarded g;
+  g.Set(*half);
+  return g.Get();
+}
+
+}  // namespace
+
+int main() { return Use() == 2 ? 0 : 1; }

@@ -1,0 +1,30 @@
+/// \file guarded_by_no_lock.cc
+/// MUST NOT COMPILE under clang with -Wthread-safety -Wthread-safety-beta
+/// -Werror: `value_` is CRH_GUARDED_BY(mu_) and is written here without
+/// holding mu_. This is the proof that the annotations in common/mutex.h
+/// are live capabilities, not decoration — registered clang-only, since
+/// GCC ignores the attributes by design (they expand to nothing there).
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void SetRacy(int v) {
+    value_ = v;  // the violation under test: no MutexLock, no CRH_REQUIRES
+  }
+
+ private:
+  crh::Mutex mu_;
+  int value_ CRH_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.SetRacy(1);
+  return 0;
+}
