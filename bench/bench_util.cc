@@ -4,16 +4,24 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/determinism.h"
 #include "common/stopwatch.h"
 
 namespace crh::bench {
 
+// The Env* knobs are the sanctioned environment shim: they parameterize a
+// benchmark run (scale, seed) before any computation starts, so the run is
+// reproducible *given* its printed configuration — the value never mixes
+// into results behind the configuration's back.
+
 double EnvDouble(const char* name, double default_value) {
+  CRH_DETERMINISM_EXEMPT("bench knob; run config, echoed in the report");
   const char* value = std::getenv(name);
   return value != nullptr ? std::atof(value) : default_value;
 }
 
 int64_t EnvInt(const char* name, int64_t default_value) {
+  CRH_DETERMINISM_EXEMPT("bench knob; run config, echoed in the report");
   const char* value = std::getenv(name);
   return value != nullptr ? std::atoll(value) : default_value;
 }

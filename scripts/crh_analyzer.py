@@ -1,0 +1,1309 @@
+#!/usr/bin/env python3
+"""Whole-program dataflow analyzer for CRH's determinism and fault contracts.
+
+Where scripts/lint.py and scripts/ast_lint.py judge one line or one file at
+a time, this analyzer ingests compile_commands.json, builds a program model
+(function table + call graph) across every translation unit, and runs four
+interprocedural checks that the repo's bit-identity and crash-recovery
+guarantees depend on:
+
+  determinism-taint     Values derived from wall-clock time (`::now(`,
+                        `time(`, `clock_gettime`), unseeded RNG (`rand(`,
+                        `std::random_device`), the environment (`getenv`),
+                        pointer addresses (`reinterpret_cast<uintptr_t>`),
+                        or unordered-container iteration order must not
+                        flow — through calls and returns — into published
+                        truths, weights, checkpoints, or bench/CLI output.
+                        The barrier is `CRH_DETERMINISM_EXEMPT("why")`
+                        (src/common/determinism.h): a function carrying it
+                        vouches that nondeterminism does not escape its
+                        return value (e.g. Stopwatch, which only ever
+                        feeds timing reports).
+  status-path           Every call to a Status/Result-returning function
+                        is propagated, handled, or annotated. Reported
+                        per call-path: the finding names a representative
+                        entry-point → ... → offender chain so the blast
+                        radius of the dropped error is visible.
+  lock-order            Lock-acquisition order is extracted from MutexLock
+                        scopes across all TUs into a digraph; cycles are
+                        rejected, as is any call made while a lock is held
+                        into a function that (transitively) evaluates a
+                        fail point or invokes a std::function callback.
+  failpoint-dominance   Every raw I/O call (fopen/fwrite/rename/ofstream/
+                        std::filesystem mutation, ...) in src/stream,
+                        src/common and src/data must be dominated by a
+                        registered fail point in the same function, and
+                        every fail-point site string used must appear in a
+                        `*FailPointSites()` registry so fault-sweep tests
+                        cover it. Writes to stderr/stdout are exempt
+                        (crash reporting must not fault-inject).
+
+Suppress one line with a trailing `// analyzer:allow(<rule>)`. Findings are
+gated against scripts/crh_analyzer_baseline.txt: new findings fail, stale
+entries fail (delete them or run --update-baseline). Exit 0 clean, 1
+findings, 2 tooling error.
+
+Backends: the tokenizer frontend (shared lexical machinery with
+ast_lint.py) is canonical and runs everywhere; with python3-clang
+installed, a hybrid libclang backend uses the real AST for function
+boundaries and qualified names and feeds the same intra-body extractor.
+Both must pass the embedded multi-TU self-test corpus before a tree run
+counts; a misbehaving libclang degrades loudly to the tokenizer.
+
+Usage: scripts/crh_analyzer.py [--compile-commands PATH] [--self-test]
+         [--backend=auto|libclang|token] [--sarif OUT.sarif] [--stats]
+         [--update-baseline] [--no-baseline] [paths...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+import time
+
+SCRIPT_DIR = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(SCRIPT_DIR))
+
+import ast_lint  # noqa: E402  (shared lexical helpers + repo conventions)
+import sarif_util  # noqa: E402
+
+REPO_ROOT = ast_lint.REPO_ROOT
+BASELINE = REPO_ROOT / "scripts" / "crh_analyzer_baseline.txt"
+CXX_SUFFIXES = ast_lint.CXX_SUFFIXES
+strip_comments_and_strings = ast_lint.strip_comments_and_strings
+read_text = ast_lint.read_text
+rel_str = ast_lint.rel_str
+
+ALLOW_RE = re.compile(r"//\s*analyzer:allow\(([\w-]+)\)")
+
+# Analysis scope: first-party library + the binaries that publish results.
+DEFAULT_DIRS = ["src", "bench"]
+# Fail-point dominance applies where durable I/O lives.
+IO_SCOPED_DIRS = ("src/stream/", "src/common/", "src/data/")
+# The lock/fail-point primitives themselves are excluded from the rules
+# they implement (same convention as ast_lint.MUTEX_WRAPPER_FILES).
+PRIMITIVE_FILES = {
+    "src/common/mutex.h",
+    "src/common/fault_injection.h",
+    "src/common/fault_injection.cc",
+    "src/common/determinism.h",
+}
+
+RULE_DOCS = {
+    "determinism-taint": "nondeterministic value can reach a published "
+                         "output (checkpoint, CSV, bench/CLI report)",
+    "status-path": "Status/Result-returning call dropped on an "
+                   "entry-point-reachable path",
+    "lock-order": "lock-acquisition cycle, or lock held across a "
+                  "fail-point/callback boundary",
+    "failpoint-dominance": "raw I/O call not dominated by a registered "
+                           "fail point, or fail-point site not registered",
+}
+
+# --- determinism-taint configuration -------------------------------------
+TAINT_SOURCE_RES = [
+    (re.compile(r"::now\s*\("), "a wall/steady clock read (`::now()`)"),
+    (re.compile(r"(?<![\w.:])time\s*\("), "a `time()` call"),
+    (re.compile(r"\bclock_gettime\s*\(|\bgettimeofday\s*\("),
+     "a raw clock syscall"),
+    (re.compile(r"std::random_device\b"), "std::random_device"),
+    (re.compile(r"(?<![\w.:])s?rand\s*\("), "unseeded C rand()"),
+    (re.compile(r"(?<![\w.:])getenv\s*\(|std::getenv\b"),
+     "an environment variable read"),
+    (re.compile(r"reinterpret_cast\s*<\s*(?:std::)?u?intptr_t"),
+     "a pointer address cast to integer"),
+]
+EXEMPT_RE = re.compile(r"\bCRH_DETERMINISM_EXEMPT\s*\(")
+
+# Functions whose output is published program state: checkpoint bytes, CSV
+# rows, and the mains of bench/CLI binaries (their stdout/JSON is the
+# artifact the paper's figures are rebuilt from).
+TAINT_SINKS = {
+    "EncodeCheckpoint",
+    "CheckpointManager::Save",
+    "WriteObservationsCsv",
+    "WriteGroundTruthCsv",
+}
+SINK_MAIN_DIRS = ("bench/", "src/tools/")
+
+# --- status-path configuration -------------------------------------------
+STATUS_DECL_RE = re.compile(
+    r"(?:^|[;{}]|\n)\s*(?:\[\[nodiscard\]\]\s*)?(?:static\s+|virtual\s+)?"
+    r"(?:crh::)?(?:Status|Result<[^;{}=]{1,120}?>)\s+(?:[\w:]+::)?(\w+)\s*\(")
+STATUS_FACTORIES = {
+    "OK", "InvalidArgument", "OutOfRange", "NotFound", "AlreadyExists",
+    "FailedPrecondition", "IOError", "NotImplemented", "Internal",
+}
+CALL_STMT_RE = re.compile(r"^\s*(?:[\w\]\[]+(?:\.|->))*(\w+)\s*\(.*\)\s*;\s*$")
+
+# --- lock-order configuration --------------------------------------------
+LOCK_DECL_RE = re.compile(
+    r"(?:crh::)?MutexLock\s+\w+\s*[({]\s*&?([\w.>-]+)"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock)\s*<[^>]*>\s+\w+\s*[({]\s*([\w.>-]+)")
+MANUAL_LOCK_RE = re.compile(r"\b([\w.>-]*\w)\s*\.\s*Lock\s*\(\s*\)")
+MANUAL_UNLOCK_RE = re.compile(r"\b([\w.>-]*\w)\s*\.\s*Unlock\s*\(\s*\)")
+ADOPT_LOCK_RE = re.compile(r"std::adopt_lock")
+FAIL_POINT_CALL_RE = re.compile(
+    r"\bCRH_FAIL_POINT\s*\(|\bFailPoints\b[^;\n]*\.\s*Hit\s*\(")
+FUNCTION_OBJ_RE = ast_lint.FUNCTION_OBJ_RE
+
+# --- failpoint-dominance configuration -----------------------------------
+IO_CALL_RE = re.compile(
+    r"\b(?:std::)?(fopen|fwrite|fread|fflush|fclose|rename|remove|fputs|"
+    r"fprintf|fscanf|fseek|ftell)\s*\("
+    r"|\bstd::(ofstream|ifstream|fstream)\s+\w+\s*[({]"
+    r"|\bstd::filesystem::(create_directories|create_directory|remove_all|"
+    r"remove|rename|resize_file|directory_iterator)\s*\(")
+STDERR_ARG_RE = re.compile(r"\(\s*(?:stderr|stdout)\b")
+FAIL_SITE_RE = re.compile(
+    r"(?:CRH_FAIL_POINT|\.\s*Hit)\s*\(\s*\"([^\"]+)\"")
+REGISTRY_FN_RE = re.compile(r"\w*FailPointSites$")
+STRING_LIT_RE = re.compile(r"\"([\w.]+)\"")
+
+CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "do",
+    "else", "new", "delete", "throw", "co_return", "co_await", "alignof",
+    "static_assert", "defined", "decltype",
+}
+CALL_RE = re.compile(r"(?:([\w:]+)\s*(?:\.|->|::))?\b([A-Za-z_]\w*)\s*\(")
+
+PREPROC_RE = re.compile(r"^\s*#")
+
+
+class Finding:
+    def __init__(self, rel: str, line: int, rule: str, message: str):
+        self.path = rel  # repo-relative posix string
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def key(self) -> str:
+        return f"{self.path}: [{self.rule}]"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class FunctionModel:
+    """Lexical model of one function definition."""
+
+    def __init__(self, qual_name: str, name: str, rel: str,
+                 start_line: int, end_line: int, open_line: int | None = None):
+        self.qual_name = qual_name
+        self.name = name
+        self.rel = rel
+        self.start_line = start_line
+        self.end_line = end_line
+        # Line where the body `{` opens: the signature's own `name(` match
+        # up to here must not be mistaken for a recursive call.
+        self.open_line = open_line if open_line is not None else start_line
+        # [(line, callee_simple_name, frozenset(held_lock_ids))]
+        self.calls: list[tuple[int, str, frozenset]] = []
+        self.taint_sources: list[tuple[int, str]] = []  # (line, description)
+        self.exempt = False
+        self.io_sites: list[tuple[int, str]] = []  # (line, call text)
+        self.failpoint_lines: list[int] = []
+        self.failpoint_sites: list[tuple[int, str]] = []  # (line, site id)
+        # [(line, acquired_lock_id, tuple(held_before))]
+        self.lock_acquires: list[tuple[int, str, tuple]] = []
+        self.callback_invokes: list[tuple[int, str, frozenset]] = []
+        self.status_drops: list[tuple[int, str]] = []  # (line, callee)
+        self.is_registry = bool(REGISTRY_FN_RE.match(name))
+        self.registered_sites: set[str] = set()
+
+    def __repr__(self) -> str:  # debugging aid
+        return f"<fn {self.qual_name} {self.rel}:{self.start_line}>"
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer frontend: file → function models.
+
+
+def blank_preprocessor(clean: str) -> str:
+    """Blanks preprocessor directives (including continuation lines) so
+    `#define`/`#if` bodies do not confuse brace tracking."""
+    out_lines = []
+    cont = False
+    for line in clean.split("\n"):
+        active = cont or bool(PREPROC_RE.match(line))
+        cont = active and line.rstrip().endswith("\\")
+        out_lines.append(" " * len(line) if active else line)
+    return "\n".join(out_lines)
+
+
+HEAD_ATTR_RE = re.compile(r"\[\[[^\]]*\]\]|\bCRH_[A-Z_]+\s*\([^()]*\)")
+
+
+def classify_head(head: str):
+    """Classifies the text between the previous `;`/`{`/`}` and an opening
+    `{`. Returns (kind, name) with kind in namespace|class|function|block."""
+    head = HEAD_ATTR_RE.sub(" ", head).strip()
+    m = re.search(r"\bnamespace\s+([\w:]+)?\s*$", head)
+    if m or head.endswith("namespace"):
+        return "namespace", (m.group(1) if m and m.group(1) else "")
+    m = re.search(r"\b(?:class|struct)\s+(\w+)[^;()]*$", head)
+    if m and "(" not in head.split(m.group(1))[-1].split(":")[0]:
+        return "class", m.group(1)
+    if re.search(r"\benum\b", head):
+        return "block", None
+    if re.search(r"\b(?:extern|union)\b\s*$", head):
+        return "block", None
+    # Function: find the first top-level '(' and take the identifier chain
+    # immediately before it.
+    depth = 0
+    paren_at = -1
+    for i, c in enumerate(head):
+        if c in "<([":
+            if c == "(" and depth == 0:
+                paren_at = i
+                break
+            depth += 1
+        elif c in ">)]":
+            depth = max(0, depth - 1)
+    if paren_at < 0:
+        return "block", None
+    m = re.search(r"([\w:~]+)\s*$", head[:paren_at])
+    if not m:
+        return "block", None
+    name = m.group(1)
+    simple = name.split("::")[-1].lstrip("~")
+    if simple in CONTROL_KEYWORDS or not simple:
+        return "block", None
+    # `operator` overloads: normalise to a stable name.
+    if simple == "operator":
+        name = name.replace("operator", "operatorX")
+        simple = "operatorX"
+    return "function", name
+
+
+def scan_file_functions(rel: str, clean: str):
+    """Yields (qual_name, name, start_line, end_line, head_line) spans for
+    every function definition in the (comment/string-stripped) text."""
+    text = blank_preprocessor(clean)
+    n = len(text)
+    line = 1
+    i = 0
+    head_start = 0
+    head_line = 1
+    # Stack of (kind, name) for namespace/class/block scopes.
+    scope: list[tuple[str, str]] = []
+    spans = []
+    in_fn = None  # (qual, name, start_line, brace_depth_at_entry)
+    depth = 0
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if in_fn is not None:
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if depth == in_fn[3]:
+                    spans.append((in_fn[0], in_fn[1], in_fn[2], line,
+                                  in_fn[4]))
+                    in_fn = None
+                    head_start = i + 1
+                    head_line = line
+            i += 1
+            continue
+        if c == "{":
+            head = text[head_start:i]
+            kind, name = classify_head(head)
+            if kind == "function":
+                classes = [s_name for s_kind, s_name in scope
+                           if s_kind == "class"]
+                if "::" in name:
+                    qual = "::".join(name.split("::")[-2:])
+                elif classes:
+                    qual = f"{classes[-1]}::{name}"
+                else:
+                    qual = name
+                in_fn = (qual, name.split("::")[-1], head_line, depth, line)
+                depth += 1
+                i += 1
+                continue
+            scope.append((kind, name or ""))
+            depth += 1
+            head_start = i + 1
+            head_line = line
+        elif c == "}":
+            depth -= 1
+            if scope:
+                scope.pop()
+            head_start = i + 1
+            head_line = line
+        elif c == ";":
+            head_start = i + 1
+            head_line = line
+        else:
+            if text[head_start:i].strip() == "" and not c.isspace():
+                head_line = line
+        i += 1
+    return spans
+
+
+def lock_id(name: str, qual_name: str, rel: str) -> str:
+    """Stable cross-TU identity for a lock. Member locks (`mu_`, possibly
+    reached via `this->` or `obj.`) are identified by owning class; locals
+    and parameters by the enclosing function."""
+    base = name.split(".")[-1].split(">")[-1]
+    cls = qual_name.split("::")[0] if "::" in qual_name else None
+    if base.endswith("_") and cls:
+        return f"{cls}::{base}"
+    if base.endswith("_"):
+        return f"{pathlib.PurePosixPath(rel).stem}::{base}"
+    return f"{qual_name}::{base}"
+
+
+def extract_body(fn: FunctionModel, clean_lines: list[str],
+                 raw_lines: list[str], unordered_names: set[str],
+                 function_objs: set[str]) -> None:
+    """Populates a FunctionModel's event lists from its line span. Shared
+    by the tokenizer and libclang backends (the AST supplies boundaries,
+    this supplies flow-sensitive intra-body facts)."""
+    depth = 0
+    scoped_locks: list[tuple[int, str]] = []
+    manual_locks: set[str] = set()
+    local_function_objs = set(function_objs)
+    for lineno in range(fn.start_line, fn.end_line + 1):
+        if lineno - 1 >= len(clean_lines):
+            break
+        line = clean_lines[lineno - 1]
+        raw_line = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+        allow = set(ALLOW_RE.findall(raw_line))
+        allow |= {"status-path"} if "unchecked-status" in \
+            ast_lint.ALLOW_RE.findall(raw_line) else set()
+
+        for m in FUNCTION_OBJ_RE.finditer(line):
+            local_function_objs.add(m.group(1))
+
+        # Taint sources.
+        if "determinism-taint" not in allow:
+            for pattern, desc in TAINT_SOURCE_RES:
+                if pattern.search(line):
+                    fn.taint_sources.append((lineno, desc))
+            for m in ast_lint.RANGE_FOR_RE.finditer(line):
+                if ast_lint.unordered_range_expr(m.group(2), unordered_names):
+                    fn.taint_sources.append(
+                        (lineno, "unordered-container iteration order"))
+        if EXEMPT_RE.search(line):
+            fn.exempt = True
+
+        # Fail points (site literal must come from the raw line: the
+        # cleaned text blanks string contents).
+        if FAIL_POINT_CALL_RE.search(line):
+            fn.failpoint_lines.append(lineno)
+            for m in FAIL_SITE_RE.finditer(raw_line):
+                fn.failpoint_sites.append((lineno, m.group(1)))
+        if fn.is_registry:
+            for m in STRING_LIT_RE.finditer(raw_line):
+                fn.registered_sites.add(m.group(1))
+
+        # I/O sites (stderr/stdout writes are crash-path reporting: the
+        # CRH_CHECK handlers must not themselves fault-inject).
+        if "failpoint-dominance" not in allow:
+            for m in IO_CALL_RE.finditer(line):
+                if m.group(1) in ("fprintf", "fputs", "fflush", "fscanf") \
+                        and re.search(r"\b(?:stderr|stdout)\b",
+                                      line[m.start():]):
+                    continue
+                fn.io_sites.append(
+                    (lineno, (m.group(1) or m.group(2) or m.group(3))))
+
+        # Column-ordered event walk: lock acquisitions, releases, calls.
+        events = []
+        if not ADOPT_LOCK_RE.search(line):
+            for m in LOCK_DECL_RE.finditer(line):
+                name = m.group(1) or m.group(2) or "?"
+                events.append((m.start(), "scoped_lock",
+                               lock_id(name, fn.qual_name, fn.rel)))
+        for m in MANUAL_LOCK_RE.finditer(line):
+            events.append((m.start(), "manual_lock",
+                           lock_id(m.group(1), fn.qual_name, fn.rel)))
+        for m in MANUAL_UNLOCK_RE.finditer(line):
+            events.append((m.start(), "manual_unlock",
+                           lock_id(m.group(1), fn.qual_name, fn.rel)))
+        for m in CALL_RE.finditer(line):
+            callee = m.group(2)
+            if callee in CONTROL_KEYWORDS or callee == "CRH_FAIL_POINT":
+                continue
+            # The function's own signature (`Type name(args...)`) is not a
+            # recursive call.
+            if callee == fn.name and lineno <= fn.open_line:
+                continue
+            events.append((m.start(), "call", callee))
+        for m in FUNCTION_OBJ_RE.finditer(line):
+            # The declaration itself is not an invocation; drop the call
+            # event the CALL_RE above may have produced for it.
+            events = [e for e in events
+                      if not (e[1] == "call" and e[2] == m.group(1))]
+        events.sort(key=lambda e: e[0])
+        allow_lock = "lock-order" in allow
+        for _, ekind, val in events:
+            held = frozenset(n for _, n in scoped_locks) | manual_locks
+            if ekind == "scoped_lock":
+                if not allow_lock:
+                    fn.lock_acquires.append((lineno, val, tuple(sorted(held))))
+                scoped_locks.append((depth, val))
+            elif ekind == "manual_lock":
+                if not allow_lock:
+                    fn.lock_acquires.append((lineno, val, tuple(sorted(held))))
+                manual_locks.add(val)
+            elif ekind == "manual_unlock":
+                manual_locks.discard(val)
+            elif ekind == "call":
+                if val in local_function_objs:
+                    fn.callback_invokes.append((lineno, val, held))
+                else:
+                    fn.calls.append((lineno, val, held))
+
+        # Status drops (statement-level call, value unconsumed). The callee
+        # set is resolved later against the whole-program function table.
+        m = CALL_STMT_RE.match(line)
+        if m and "status-path" not in allow:
+            fn.status_drops.append((lineno, m.group(1)))
+
+        for ch in line:
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                scoped_locks = [(d, n) for (d, n) in scoped_locks if d < depth]
+
+
+class ProgramModel:
+    def __init__(self):
+        self.functions: list[FunctionModel] = []
+        self.by_simple: dict[str, list[FunctionModel]] = {}
+        self.by_qual: dict[str, FunctionModel] = {}
+        self.status_functions: set[str] = set()
+        self.files: list[pathlib.Path] = []
+
+    def add(self, fn: FunctionModel) -> None:
+        self.functions.append(fn)
+        self.by_simple.setdefault(fn.name, []).append(fn)
+        self.by_qual.setdefault(fn.qual_name, fn)
+
+    def resolve(self, callee: str) -> list[FunctionModel]:
+        return self.by_simple.get(callee, [])
+
+
+def model_file(model: ProgramModel, path: pathlib.Path,
+               spans=None) -> None:
+    rel = rel_str(path)
+    raw = read_text(path)
+    raw_lines = raw.splitlines()
+    clean = strip_comments_and_strings(raw)
+    clean_lines = clean.splitlines()
+
+    unordered_names: set[str] = set()
+    aliases: set[str] = set()
+    function_objs: set[str] = set()
+    for line in clean_lines:
+        for m in ast_lint.UNORDERED_DECL_RE.finditer(line):
+            unordered_names.add(m.group(1))
+        for m in ast_lint.UNORDERED_ALIAS_RE.finditer(line):
+            aliases.add(m.group(1))
+        for m in FUNCTION_OBJ_RE.finditer(line):
+            function_objs.add(m.group(1))
+    if aliases:
+        alias_decl = re.compile(
+            r"\b(?:%s)\s*(?:<[^;]*?>)?\s+(\w+)\s*[;{=(]" % "|".join(
+                sorted(aliases)))
+        for line in clean_lines:
+            for m in alias_decl.finditer(line):
+                unordered_names.add(m.group(1))
+
+    if spans is None:
+        spans = scan_file_functions(rel, clean)
+    for span in spans:
+        qual, name, start, end = span[:4]
+        open_line = span[4] if len(span) > 4 else None
+        fn = FunctionModel(qual, name, rel, start, end, open_line)
+        extract_body(fn, clean_lines, raw_lines, unordered_names,
+                     function_objs)
+        model.add(fn)
+
+
+def collect_status_functions(files: list[pathlib.Path]) -> set[str]:
+    names: set[str] = set()
+    for path in files:
+        clean = strip_comments_and_strings(read_text(path))
+        for m in STATUS_DECL_RE.finditer(clean):
+            names.add(m.group(1))
+    return names - STATUS_FACTORIES
+
+
+def build_model_token(files: list[pathlib.Path]) -> ProgramModel:
+    model = ProgramModel()
+    model.files = files
+    for path in files:
+        model_file(model, path)
+    model.status_functions = collect_status_functions(files)
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Hybrid libclang backend: the AST supplies exact function extents and
+# qualified names; extract_body supplies the flow-sensitive facts. Files
+# the AST yields nothing for (e.g. unparsable snippets) fall back to the
+# tokenizer scanner so coverage never silently shrinks.
+
+
+def build_model_libclang(files: list[pathlib.Path]) -> ProgramModel:
+    from clang import cindex  # deferred import; may be absent
+
+    index = cindex.Index.create()
+    args = ["-std=c++20", "-x", "c++", f"-I{REPO_ROOT / 'src'}",
+            "-Wno-everything"]
+    model = ProgramModel()
+    model.files = files
+
+    fn_kinds = {cindex.CursorKind.FUNCTION_DECL, cindex.CursorKind.CXX_METHOD,
+                cindex.CursorKind.CONSTRUCTOR, cindex.CursorKind.DESTRUCTOR,
+                cindex.CursorKind.FUNCTION_TEMPLATE}
+
+    def qual_of(cursor) -> str:
+        parent = cursor.semantic_parent
+        if parent is not None and parent.kind in (
+                cindex.CursorKind.CLASS_DECL, cindex.CursorKind.STRUCT_DECL,
+                cindex.CursorKind.CLASS_TEMPLATE):
+            return f"{parent.spelling}::{cursor.spelling}"
+        return cursor.spelling
+
+    def walk(cursor, resolved, spans):
+        for child in cursor.get_children():
+            loc = child.location
+            if loc.file is None or \
+                    pathlib.Path(loc.file.name).resolve() != resolved:
+                continue
+            if child.kind in fn_kinds and child.is_definition():
+                name = child.spelling
+                if name.startswith("operator"):
+                    name = "operatorX"
+                spans.append((qual_of(child) if "::" not in name else name,
+                              name, child.extent.start.line,
+                              child.extent.end.line))
+            else:
+                walk(child, resolved, spans)
+
+    for path in files:
+        resolved = path.resolve()
+        tu = index.parse(str(resolved), args=args)
+        fatal = [d for d in tu.diagnostics if d.severity >= 4]
+        if fatal:
+            raise RuntimeError(
+                f"libclang could not parse {path}: {fatal[0].spelling}")
+        spans: list[tuple[str, str, int, int]] = []
+        walk(tu.cursor, resolved, spans)
+        model_file(model, path, spans=spans if spans else None)
+    model.status_functions = collect_status_functions(files)
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Whole-program fixpoints.
+
+
+def fix_reachable(model: ProgramModel, seed) -> set[int]:
+    """Generic backward fixpoint: the set of functions (by id) for which
+    `seed(fn)` holds or that call such a function."""
+    flagged: set[int] = set()
+    for fn in model.functions:
+        if seed(fn):
+            flagged.add(id(fn))
+    changed = True
+    while changed:
+        changed = False
+        for fn in model.functions:
+            if id(fn) in flagged:
+                continue
+            for _, callee, _ in fn.calls:
+                if any(id(t) in flagged for t in model.resolve(callee)):
+                    flagged.add(id(fn))
+                    changed = True
+                    break
+    return flagged
+
+
+def transitive_lock_acquires(model: ProgramModel) -> dict[int, set[str]]:
+    """For each function: the set of lock ids it (or any transitive callee)
+    acquires."""
+    acquires: dict[int, set[str]] = {
+        id(fn): {lock for _, lock, _ in fn.lock_acquires}
+        for fn in model.functions}
+    changed = True
+    while changed:
+        changed = False
+        for fn in model.functions:
+            mine = acquires[id(fn)]
+            before = len(mine)
+            for _, callee, _ in fn.calls:
+                for target in model.resolve(callee):
+                    mine |= acquires[id(target)]
+            if len(mine) != before:
+                changed = True
+    return acquires
+
+
+def call_paths_to(model: ProgramModel, target: FunctionModel,
+                  max_hops: int = 8) -> list[str]:
+    """A representative entry-point → ... → target chain (qualified names),
+    following the reverse call graph breadth-first."""
+    callers: dict[str, list[FunctionModel]] = {}
+    for fn in model.functions:
+        for _, callee, _ in fn.calls:
+            callers.setdefault(callee, []).append(fn)
+    path = [target.qual_name]
+    cur = target
+    seen = {id(target)}
+    for _ in range(max_hops):
+        ups = [c for c in callers.get(cur.name, []) if id(c) not in seen]
+        if not ups:
+            break
+        cur = ups[0]
+        seen.add(id(cur))
+        path.append(cur.qual_name)
+    return list(reversed(path))
+
+
+# ---------------------------------------------------------------------------
+# The four checks.
+
+
+def check_determinism_taint(model: ProgramModel,
+                            findings: list[Finding]) -> None:
+    tainted = fix_reachable(
+        model, lambda fn: bool(fn.taint_sources) and not fn.exempt
+        and fn.rel not in PRIMITIVE_FILES)
+    # Exempt functions are barriers even when their callees are tainted.
+    tainted -= {id(fn) for fn in model.functions if fn.exempt}
+
+    def sink_of(fn: FunctionModel) -> bool:
+        if fn.qual_name in TAINT_SINKS or fn.name in TAINT_SINKS:
+            return True
+        return fn.name == "main" and fn.rel.startswith(SINK_MAIN_DIRS)
+
+    for fn in model.functions:
+        if not sink_of(fn):
+            continue
+        if fn.exempt:
+            continue
+        # Direct sources in the sink body.
+        for lineno, desc in fn.taint_sources:
+            findings.append(Finding(
+                fn.rel, lineno, "determinism-taint",
+                f"{fn.qual_name} publishes results but derives a value from "
+                f"{desc}; route it through a CRH_DETERMINISM_EXEMPT shim "
+                "(common/stopwatch.h) or remove it"))
+        # Transitive: a call chain from the sink to a tainted source.
+        for lineno, callee, _ in fn.calls:
+            for target in model.resolve(callee):
+                if id(target) not in tainted or target.exempt:
+                    continue
+                chain = trace_taint_chain(model, target, tainted)
+                findings.append(Finding(
+                    fn.rel, lineno, "determinism-taint",
+                    f"{fn.qual_name} publishes results but calls "
+                    f"{' -> '.join(chain)}, which reads "
+                    f"{taint_leaf_desc(model, chain)}; add "
+                    "CRH_DETERMINISM_EXEMPT(\"why\") at the boundary that "
+                    "provably keeps it out of published state, or fix the "
+                    "source"))
+                break
+
+
+def trace_taint_chain(model: ProgramModel, start: FunctionModel,
+                      tainted: set[int], max_hops: int = 8) -> list[str]:
+    chain = [start.qual_name]
+    cur = start
+    seen = {id(start)}
+    for _ in range(max_hops):
+        if cur.taint_sources:
+            break
+        nxt = None
+        for _, callee, _ in cur.calls:
+            for target in model.resolve(callee):
+                if id(target) in tainted and id(target) not in seen:
+                    nxt = target
+                    break
+            if nxt:
+                break
+        if not nxt:
+            break
+        cur = nxt
+        seen.add(id(cur))
+        chain.append(cur.qual_name)
+    return chain
+
+
+def taint_leaf_desc(model: ProgramModel, chain: list[str]) -> str:
+    leaf = model.by_qual.get(chain[-1])
+    if leaf and leaf.taint_sources:
+        return leaf.taint_sources[0][1]
+    return "a nondeterministic source"
+
+
+def check_status_paths(model: ProgramModel,
+                       findings: list[Finding]) -> None:
+    for fn in model.functions:
+        for lineno, callee in fn.status_drops:
+            if callee not in model.status_functions:
+                continue
+            path = call_paths_to(model, fn)
+            via = " -> ".join(path + [f"{callee}()"])
+            findings.append(Finding(
+                fn.rel, lineno, "status-path",
+                f"Status/Result from {callee}() is dropped on call-path "
+                f"{via}; propagate with CRH_RETURN_NOT_OK, handle it, or "
+                "annotate with analyzer:allow(status-path)"))
+
+
+def check_lock_order(model: ProgramModel, findings: list[Finding]) -> None:
+    acquires = transitive_lock_acquires(model)
+    hits_failpoint = fix_reachable(
+        model, lambda fn: bool(fn.failpoint_lines)
+        and fn.rel not in PRIMITIVE_FILES)
+    invokes_callback = fix_reachable(
+        model, lambda fn: bool(fn.callback_invokes))
+
+    # Edge set: (held, acquired) -> first site.
+    edges: dict[tuple[str, str], tuple[str, int, str]] = {}
+    for fn in model.functions:
+        if fn.rel in PRIMITIVE_FILES:
+            continue
+        for lineno, acquired, held in fn.lock_acquires:
+            for h in held:
+                if h != acquired:
+                    edges.setdefault((h, acquired),
+                                     (fn.rel, lineno, fn.qual_name))
+        for lineno, callee, held in fn.calls:
+            if not held:
+                continue
+            for target in model.resolve(callee):
+                if target.rel in PRIMITIVE_FILES:
+                    continue
+                for acquired in acquires[id(target)]:
+                    for h in held:
+                        if h != acquired:
+                            edges.setdefault(
+                                (h, acquired),
+                                (fn.rel, lineno,
+                                 f"{fn.qual_name} via {target.qual_name}"))
+
+    # Cycle detection over the lock digraph.
+    graph: dict[str, set[str]] = {}
+    for (a, b) in edges:
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+    state: dict[str, int] = {}
+    stack: list[str] = []
+    cycles: list[list[str]] = []
+
+    def dfs(node: str) -> None:
+        state[node] = 1
+        stack.append(node)
+        for nxt in sorted(graph.get(node, ())):
+            if state.get(nxt, 0) == 0:
+                dfs(nxt)
+            elif state.get(nxt) == 1:
+                cycles.append(stack[stack.index(nxt):] + [nxt])
+        stack.pop()
+        state[node] = 2
+
+    for node in sorted(graph):
+        if state.get(node, 0) == 0:
+            dfs(node)
+    for cycle in cycles:
+        a, b = cycle[0], cycle[1]
+        rel, lineno, where = edges.get((a, b)) or edges.get((b, a)) or \
+            ("", 1, "?")
+        findings.append(Finding(
+            rel, lineno, "lock-order",
+            f"lock-order cycle {' -> '.join(cycle)} (edge acquired in "
+            f"{where}); impose a single global acquisition order"))
+
+    # Locks held across fail-point / callback boundaries, interprocedural.
+    for fn in model.functions:
+        if fn.rel in PRIMITIVE_FILES:
+            continue
+        for lineno, callee, held in fn.calls:
+            if not held:
+                continue
+            for target in model.resolve(callee):
+                if target.rel in PRIMITIVE_FILES:
+                    continue
+                hazard = None
+                if id(target) in hits_failpoint:
+                    hazard = "evaluates a fail point"
+                elif id(target) in invokes_callback:
+                    hazard = "invokes a std::function callback"
+                if hazard:
+                    findings.append(Finding(
+                        fn.rel, lineno, "lock-order",
+                        f"{fn.qual_name} holds {{{', '.join(sorted(held))}}} "
+                        f"while calling {target.qual_name}, which "
+                        f"{hazard}; release the lock first (reserve-then-"
+                        "write, see CheckpointManager::Save)"))
+                    break
+        for lineno, name, held in fn.callback_invokes:
+            if held:
+                findings.append(Finding(
+                    fn.rel, lineno, "lock-order",
+                    f"{fn.qual_name} invokes callback '{name}' while "
+                    f"holding {{{', '.join(sorted(held))}}}; user code must "
+                    "never run under a library lock"))
+
+
+def check_failpoint_dominance(model: ProgramModel,
+                              findings: list[Finding]) -> None:
+    registered: set[str] = set()
+    for fn in model.functions:
+        registered |= fn.registered_sites
+    used: dict[str, tuple[str, int]] = {}
+    for fn in model.functions:
+        for lineno, site in fn.failpoint_sites:
+            used.setdefault(site, (fn.rel, lineno))
+
+    for fn in model.functions:
+        if not fn.rel.startswith(IO_SCOPED_DIRS) or \
+                fn.rel in PRIMITIVE_FILES:
+            continue
+        for lineno, what in fn.io_sites:
+            dominated = any(fp <= lineno for fp in fn.failpoint_lines)
+            if not dominated:
+                findings.append(Finding(
+                    fn.rel, lineno, "failpoint-dominance",
+                    f"raw I/O call {what}() in {fn.qual_name} is not "
+                    "dominated by a fail point; add CRH_FAIL_POINT(\"...\") "
+                    "before it and register the site in the component's "
+                    "*FailPointSites() list so fault sweeps cover it"))
+
+    for site, (rel, lineno) in sorted(used.items()):
+        if site not in registered:
+            findings.append(Finding(
+                rel, lineno, "failpoint-dominance",
+                f"fail-point site \"{site}\" is hit here but not listed in "
+                "any *FailPointSites() registry; fault-sweep tests cannot "
+                "see it"))
+
+
+def run_checks(model: ProgramModel) -> list[Finding]:
+    findings: list[Finding] = []
+    check_determinism_taint(model, findings)
+    check_status_paths(model, findings)
+    check_lock_order(model, findings)
+    check_failpoint_dominance(model, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Source discovery: compile_commands.json when available, else a tree scan.
+
+
+def discover_compile_commands(explicit: str | None) -> pathlib.Path | None:
+    if explicit:
+        p = pathlib.Path(explicit)
+        return p if p.exists() else None
+    candidates = sorted(REPO_ROOT.glob("build*/compile_commands.json"))
+    return candidates[0] if candidates else None
+
+
+def iter_sources(paths: list[str],
+                 compile_commands: pathlib.Path | None) -> list[pathlib.Path]:
+    if paths:
+        files: list[pathlib.Path] = []
+        for p in paths:
+            root = pathlib.Path(p)
+            if root.is_file():
+                if root.suffix in CXX_SUFFIXES:
+                    files.append(root)
+            else:
+                files.extend(f for f in sorted(root.rglob("*"))
+                             if f.suffix in CXX_SUFFIXES
+                             and "build" not in f.parts)
+        return files
+
+    tu_files: list[pathlib.Path] = []
+    if compile_commands is not None:
+        try:
+            db = json.loads(compile_commands.read_text())
+            for entry in db:
+                f = pathlib.Path(entry["directory"]) / entry["file"] \
+                    if not pathlib.Path(entry["file"]).is_absolute() \
+                    else pathlib.Path(entry["file"])
+                f = f.resolve()
+                if f.is_relative_to(REPO_ROOT) and f.suffix in CXX_SUFFIXES \
+                        and f.exists():
+                    rel = rel_str(f)
+                    if rel.startswith(tuple(d + "/" for d in DEFAULT_DIRS)):
+                        tu_files.append(f)
+        except (json.JSONDecodeError, KeyError, OSError) as exc:
+            print(f"crh_analyzer: unreadable {compile_commands}: {exc}; "
+                  "falling back to a tree scan", file=sys.stderr)
+            tu_files = []
+    seen = {str(f) for f in tu_files}
+    # Headers never appear as TUs; the model needs them (decls, inline
+    # bodies, registries). Scan the same roots for everything else too when
+    # no DB was found.
+    scan_everything = not tu_files
+    for d in DEFAULT_DIRS:
+        root = REPO_ROOT / d
+        if not root.is_dir():
+            continue
+        for f in sorted(root.rglob("*")):
+            if f.suffix not in CXX_SUFFIXES or "build" in f.parts:
+                continue
+            if f.suffix in (".h", ".hpp") or scan_everything:
+                if str(f.resolve()) not in seen:
+                    tu_files.append(f.resolve())
+                    seen.add(str(f.resolve()))
+    return sorted(tu_files)
+
+
+# ---------------------------------------------------------------------------
+# Baseline (ast_lint conventions + justification suffixes + staleness).
+
+
+def load_baseline() -> set[str]:
+    if not BASELINE.exists():
+        return set()
+    entries = set()
+    for line in BASELINE.read_text().splitlines():
+        line = line.split(" #", 1)[0].strip()
+        if line and not line.startswith("#"):
+            entries.add(line)
+    return entries
+
+
+def write_baseline(findings: list[Finding]) -> None:
+    lines = [
+        "# crh_analyzer baseline: one `path: [rule]` per line. Every entry",
+        "# must carry a trailing `# <justification>` explaining why the",
+        "# finding is accepted rather than fixed (see docs/TOOLING.md).",
+        "# Stale entries fail the run: delete them when the finding is",
+        "# fixed, or regenerate with --update-baseline.",
+    ]
+    for key in sorted({f.key() for f in findings}):
+        lines.append(f"{key}  # TODO: justify or fix")
+    BASELINE.write_text("\n".join(lines) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Self-test corpus: a miniature multi-TU tree; each check must fire on its
+# positive case and stay quiet on the negative twin.
+
+SELF_TEST_FILES = {
+    # --- determinism-taint: clock read flows through a helper into the
+    # checkpoint encoder (positive), exempt twin is a barrier (negative).
+    "src/stream/taint_pos.cc": """
+namespace crh {
+double SampleClock() {
+  return static_cast<double>(Clock::now().time_since_epoch().count());
+}
+double Jitter() { return SampleClock() * 0.5; }
+std::string EncodeCheckpoint(const CheckpointState& state) {
+  std::string out;
+  out += std::to_string(Jitter());
+  return out;
+}
+}
+""",
+    "src/stream/taint_neg.cc": """
+namespace crh {
+double SampleClockExempt() {
+  CRH_DETERMINISM_EXEMPT("timing report only; never serialized");
+  return static_cast<double>(Clock::now().time_since_epoch().count());
+}
+std::string EncodeCheckpointNeg(const CheckpointState& state) {
+  std::string out;
+  out += "v1";
+  return out;
+}
+}
+""",
+    # --- status-path: dropped Status call (positive) vs propagated twin.
+    "src/stream/status_pos.cc": """
+namespace crh {
+Status SaveThing(int x) { return OkStatus(); }
+void CallerDrops() {
+  SaveThing(1);
+}
+void EntryPoint() { CallerDrops(); }
+}
+""",
+    "src/stream/status_neg.cc": """
+namespace crh {
+Status SaveOther(int x) { return OkStatus(); }
+Status CallerPropagates() {
+  CRH_RETURN_NOT_OK(SaveOther(1));
+  return OkStatus();
+}
+}
+""",
+    # --- lock-order: AB/BA cycle across two classes (positive) vs a
+    # consistent global order (negative).
+    "src/stream/lock_pos.cc": """
+namespace crh {
+class Left {
+ public:
+  void PokeRight() {
+    MutexLock lock(&mu_);
+    right_->PokeBack();
+  }
+  void TouchLeft() {
+    MutexLock lock(&mu_);
+  }
+  Right* right_;
+  Mutex mu_;
+};
+class Right {
+ public:
+  void PokeBack() {
+    MutexLock lock(&mu_);
+    left_->TouchLeft();
+  }
+  Left* left_;
+  Mutex mu_;
+};
+}
+""",
+    "src/stream/lock_neg.cc": """
+namespace crh {
+class Ordered {
+ public:
+  void CrossA() {
+    MutexLock lock(&first_mu_);
+    MutexLock lock2(&second_mu_);
+  }
+  void CrossB() {
+    MutexLock lock(&first_mu_);
+    MutexLock lock2(&second_mu_);
+  }
+  Mutex first_mu_;
+  Mutex second_mu_;
+};
+}
+""",
+    # --- failpoint-dominance: bare fopen (positive) vs hit-then-open with
+    # the site registered (negative), plus an unregistered-site positive.
+    "src/stream/io_pos.cc": """
+namespace crh {
+Status WriteRaw(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IOError(path);
+  return OkStatus();
+}
+}
+""",
+    "src/stream/io_neg.cc": """
+namespace crh {
+Status WriteGuarded(const std::string& path) {
+  CRH_FAIL_POINT("selftest.open_write");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IOError(path);
+  return OkStatus();
+}
+std::vector<std::string> SelfTestFailPointSites() {
+  return {"selftest.open_write", "selftest.orphan_reg"};
+}
+}
+""",
+    "src/stream/io_unregistered.cc": """
+namespace crh {
+Status TouchUnregistered() {
+  CRH_FAIL_POINT("selftest.unregistered_site");
+  std::FILE* f = std::fopen("x", "wb");
+  if (f == nullptr) return IOError("x");
+  return OkStatus();
+}
+}
+""",
+}
+
+# rule -> (file that must fire, file that must stay quiet)
+SELF_TEST_EXPECTATIONS = [
+    ("determinism-taint", "src/stream/taint_pos.cc", "src/stream/taint_neg.cc"),
+    ("status-path", "src/stream/status_pos.cc", "src/stream/status_neg.cc"),
+    ("lock-order", "src/stream/lock_pos.cc", "src/stream/lock_neg.cc"),
+    ("failpoint-dominance", "src/stream/io_pos.cc", "src/stream/io_neg.cc"),
+    ("failpoint-dominance", "src/stream/io_unregistered.cc",
+     "src/stream/io_neg.cc"),
+]
+
+
+def run_self_test(build_model) -> list[str]:
+    import tempfile
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="crh_analyzer_selftest_") as tmp:
+        tmpdir = pathlib.Path(tmp)
+        files = []
+        for rel, code in SELF_TEST_FILES.items():
+            path = tmpdir / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(code)
+            files.append(path)
+        try:
+            model = build_model(sorted(files))
+            # The corpus lives outside the repo root; rewrite rels so the
+            # src/stream scoping applies.
+            for fn in model.functions:
+                fn.rel = str(pathlib.Path(fn.rel).resolve()
+                             .relative_to(tmpdir.resolve())) \
+                    if pathlib.Path(fn.rel).is_absolute() else fn.rel
+            findings = run_checks(model)
+        except Exception as exc:  # noqa: broad — any crash fails the gate
+            return [f"backend raised {exc!r}"]
+        by_file: dict[str, set[str]] = {}
+        for f in findings:
+            by_file.setdefault(f.path, set()).add(f.rule)
+        for rule, pos, neg in SELF_TEST_EXPECTATIONS:
+            if rule not in by_file.get(pos, set()):
+                failures.append(
+                    f"{rule}: expected a finding in {pos}, got "
+                    f"{sorted(by_file.get(pos, set())) or 'nothing'}")
+            if rule in by_file.get(neg, set()):
+                failures.append(
+                    f"{rule}: unexpected finding in negative case {neg}: "
+                    f"{[f.render() for f in findings if f.path == neg]}")
+    return failures
+
+
+def fix_selftest_rels(model: ProgramModel, tmpdir: pathlib.Path) -> None:
+    for fn in model.functions:
+        p = pathlib.Path(fn.rel)
+        if p.is_absolute() and p.is_relative_to(tmpdir):
+            fn.rel = str(p.relative_to(tmpdir))
+
+
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--backend", choices=["auto", "libclang", "token"],
+                        default="auto")
+    parser.add_argument("--compile-commands", default=None,
+                        help="path to compile_commands.json (default: "
+                             "build*/compile_commands.json)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded multi-TU corpus and exit")
+    parser.add_argument("--sarif", default=None, metavar="OUT",
+                        help="also write findings as SARIF 2.1.0")
+    parser.add_argument("--stats", action="store_true",
+                        help="print model size and wall time (for the CI "
+                             "job summary)")
+    parser.add_argument("--no-baseline", action="store_true")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to the current finding "
+                             "set (entries get TODO justifications)")
+    parser.add_argument("paths", nargs="*")
+    opts = parser.parse_args(argv)
+
+    t0 = time.monotonic()
+    build_model = None
+    backend_name = opts.backend
+    if opts.backend in ("auto", "libclang"):
+        try:
+            from clang import cindex  # noqa: F401
+            build_model = build_model_libclang
+            backend_name = "libclang"
+        except Exception as exc:
+            if opts.backend == "libclang":
+                print(f"crh_analyzer: libclang backend unavailable: {exc}",
+                      file=sys.stderr)
+                return 2
+            build_model = build_model_token
+            backend_name = "token"
+    else:
+        build_model = build_model_token
+        backend_name = "token"
+
+    failures = run_self_test(build_model)
+    if failures and backend_name == "libclang" and opts.backend == "auto":
+        print("crh_analyzer: libclang backend failed self-test, falling "
+              "back to the tokenizer frontend:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        build_model = build_model_token
+        backend_name = "token"
+        failures = run_self_test(build_model)
+    if failures:
+        print(f"crh_analyzer: {backend_name} backend failed self-test:",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 2
+    if opts.self_test:
+        print(f"crh_analyzer: self-test OK ({backend_name} backend, "
+              f"{len(SELF_TEST_EXPECTATIONS)} expectations over "
+              f"{len(SELF_TEST_FILES)} files)")
+        return 0
+
+    cc = discover_compile_commands(opts.compile_commands)
+    if opts.compile_commands and cc is None:
+        print(f"crh_analyzer: {opts.compile_commands} not found",
+              file=sys.stderr)
+        return 2
+    files = iter_sources(opts.paths, cc)
+    if not files:
+        print("crh_analyzer: no sources to analyze", file=sys.stderr)
+        return 2
+    model = build_model(files)
+    findings = run_checks(model)
+    elapsed = time.monotonic() - t0
+
+    if opts.sarif:
+        sarif_util.write_sarif(
+            opts.sarif, "crh_analyzer",
+            "https://github.com/crh/crh/blob/main/docs/TOOLING.md",
+            findings, RULE_DOCS)
+
+    if opts.update_baseline:
+        write_baseline(findings)
+        print(f"crh_analyzer: baseline rewritten with "
+              f"{len({f.key() for f in findings})} entr(y/ies); fill in the "
+              f"justifications in {BASELINE.name}")
+        return 0
+
+    baseline = set() if opts.no_baseline else load_baseline()
+    new = [f for f in findings if f.key() not in baseline]
+    stale = baseline - {f.key() for f in findings}
+
+    for f in new:
+        print(f.render())
+    if opts.stats:
+        print(f"crh_analyzer: {backend_name} backend, {len(files)} files, "
+              f"{len(model.functions)} functions, "
+              f"{sum(len(fn.calls) for fn in model.functions)} call edges, "
+              f"{elapsed:.2f}s"
+              + (f", compile_commands={rel_str(cc)}" if cc else
+                 ", no compile_commands (tree scan)"))
+    if new:
+        print(f"\ncrh_analyzer ({backend_name}): {len(new)} finding(s) not "
+              f"in {BASELINE.name}.", file=sys.stderr)
+        return 1
+    if stale and not opts.paths:
+        # Full-tree runs keep the baseline honest; path-scoped runs cannot
+        # see every finding, so only tree runs judge staleness.
+        for entry in sorted(stale):
+            print(f"crh_analyzer: baselined finding no longer present: "
+                  f"{entry}", file=sys.stderr)
+        print(f"crh_analyzer: delete fixed entries from {BASELINE.name} or "
+              "run --update-baseline.", file=sys.stderr)
+        return 1
+    print(f"crh_analyzer ({backend_name}): clean ({len(files)} files, "
+          f"{len(model.functions)} functions).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -46,20 +46,38 @@ examples/):
                   preset silently checks nothing. (scripts/ast_lint.py
                   then checks the *placement* of the annotations; this
                   rule checks their existence.)
+  determinism     No `time(`, `clock_gettime`, `rand(`,
+                  `std::random_device`, or `getenv` in src/core,
+                  src/weights, or src/stream: the deterministic layers
+                  must reach wall clocks and entropy only through the
+                  sanctioned shims (common/stopwatch.h, common/rng.h,
+                  the fault-injection layer), which carry
+                  CRH_DETERMINISM_EXEMPT and are audited by
+                  scripts/crh_analyzer.py's interprocedural taint check.
 
-Exit status is 0 when the tree is clean, 1 when any finding is reported.
-Suppress a single line with a trailing `// lint:allow(<rule>)` comment.
+Exit status is 0 when the tree is clean, 1 when any finding is reported,
+2 on a tooling error. Suppress a single line with a trailing
+`// lint:allow(<rule>)` comment. Findings are gated against
+scripts/lint_baseline.txt (committed empty): new findings fail, stale
+entries fail full-tree runs (delete them, or run --update-baseline).
 
-Usage: scripts/lint.py [paths...]   (defaults to src tests bench examples)
+Usage: scripts/lint.py [--sarif OUT] [--update-baseline] [--no-baseline]
+                       [paths...]   (defaults to src tests bench examples)
 """
 
 from __future__ import annotations
 
+import argparse
 import pathlib
 import re
 import sys
 
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import sarif_util  # noqa: E402
+
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "scripts" / "lint_baseline.txt"
 DEFAULT_DIRS = ["src", "tests", "bench", "examples", "fuzz"]
 CXX_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
 
@@ -70,6 +88,13 @@ NONDETERMINISM_RE = re.compile(
     r"std::rand\b|[^\w.]s?rand\s*\(|\btime\s*\(\s*(nullptr|NULL|0)\s*\)"
 )
 ALLOW_RE = re.compile(r"//\s*lint:allow\(([\w-]+)\)")
+# The determinism-critical layers: bit-identity at every thread count and
+# across kill-and-resume is the product guarantee these directories carry.
+DETERMINISM_DIRS = ("src/core/", "src/weights/", "src/stream/")
+DETERMINISM_RE = re.compile(
+    r"(?<![\w.:])time\s*\(|\bclock_gettime\s*\(|\bgettimeofday\s*\("
+    r"|(?<![\w.:])s?rand\s*\(|std::random_device\b"
+    r"|(?<![\w.:])getenv\s*\(|std::getenv\b")
 RAW_ASSERT_RE = re.compile(r"(^|[^\w])assert\s*\(")
 # A floating-point literal (1.0, .5, 2.5e-3, 1.f) or the continuous payload
 # of a Value (`.continuous()` accessor / `continuous_` member), on either
@@ -182,8 +207,63 @@ def collect_status_functions(files: list[pathlib.Path]) -> set[str]:
     return names - STATUS_FACTORIES
 
 
-def main(argv: list[str]) -> int:
-    files = list(iter_sources(argv))
+class Finding:
+    """(path, line, rule, message) with the repo-relative rendering and the
+    `path: [rule]` baseline key shared with ast_lint/crh_analyzer."""
+
+    def __init__(self, path: pathlib.Path, line: int, rule: str, message: str):
+        rel = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) \
+            else path
+        self.path = rel.as_posix()
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def key(self) -> str:
+        return f"{self.path}: [{self.rule}]"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+RULE_DOCS = {
+    "include-cc": "#include of a .cc file",
+    "naked-new": "naked new/delete outside src/common/",
+    "unchecked-status": "Status-returning call dropped",
+    "nondeterminism": "std::rand/srand/time(nullptr) seeding",
+    "determinism": "raw clock/RNG/getenv in a deterministic layer "
+                   "(src/core, src/weights, src/stream)",
+    "raw-assert": "raw assert() outside tests/",
+    "float-equality": "exact ==/!= on a floating-point value",
+    "unchecked-io-write": "fwrite/fflush/rename/fclose return dropped",
+    "mutex-annotations": "lock member without thread-safety annotations",
+}
+
+
+def load_baseline() -> set[str]:
+    if not BASELINE.exists():
+        return set()
+    entries = set()
+    for line in BASELINE.read_text().splitlines():
+        line = line.split(" #", 1)[0].strip()
+        if line and not line.startswith("#"):
+            entries.add(line)
+    return entries
+
+
+def write_baseline(findings: list[Finding]) -> None:
+    lines = [
+        "# lint.py baseline: accepted findings, one `path: [rule]` per",
+        "# line, each with a trailing `# <justification>` (docs/TOOLING.md).",
+        "# Stale entries fail full-tree runs: delete them when fixed, or",
+        "# regenerate with --update-baseline.",
+    ]
+    for key in sorted({f.key() for f in findings}):
+        lines.append(f"{key}  # TODO: justify or fix")
+    BASELINE.write_text("\n".join(lines) + "\n")
+
+
+def collect_findings(files: list[pathlib.Path]) -> list[Finding]:
     status_functions = collect_status_functions(files)
     findings: list[tuple[pathlib.Path, int, str, str]] = []
 
@@ -225,6 +305,14 @@ def main(argv: list[str]) -> int:
             if NONDETERMINISM_RE.search(line) and "nondeterminism" not in allowed:
                 findings.append((path, lineno, "nondeterminism",
                                  "use the seeded crh::Rng, not std::rand/time"))
+            if (rel_posix.startswith(DETERMINISM_DIRS)
+                    and "determinism" not in allowed
+                    and DETERMINISM_RE.search(line)):
+                findings.append((path, lineno, "determinism",
+                                 "raw clock/RNG/getenv in a deterministic "
+                                 "layer; go through common/stopwatch.h, "
+                                 "common/rng.h or the fault-injection shims "
+                                 "(they carry CRH_DETERMINISM_EXEMPT)"))
             if (not in_tests and "raw-assert" not in allowed
                     and RAW_ASSERT_RE.search(line)):
                 findings.append((path, lineno, "raw-assert",
@@ -247,11 +335,56 @@ def main(argv: list[str]) -> int:
                                  "dropped; check it, CRH_RETURN_NOT_OK it, or "
                                  "(void)-cast with a lint:allow"))
 
-    for path, lineno, rule, message in findings:
-        rel = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path
-        print(f"{rel}:{lineno}: [{rule}] {message}")
-    if findings:
-        print(f"\nscripts/lint.py: {len(findings)} finding(s).", file=sys.stderr)
+    return [Finding(*f) for f in findings]
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sarif", default=None, metavar="OUT",
+                        help="also write findings as SARIF 2.1.0")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report every finding, ignoring the baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to the current finding "
+                             "set (entries get TODO justifications)")
+    parser.add_argument("paths", nargs="*")
+    opts = parser.parse_args(argv)
+
+    files = list(iter_sources(opts.paths))
+    findings = collect_findings(files)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    if opts.sarif:
+        sarif_util.write_sarif(
+            opts.sarif, "crh_lint",
+            "https://github.com/crh/crh/blob/main/docs/TOOLING.md",
+            findings, RULE_DOCS)
+
+    if opts.update_baseline:
+        write_baseline(findings)
+        print(f"scripts/lint.py: baseline rewritten with "
+              f"{len({f.key() for f in findings})} entr(y/ies); fill in the "
+              f"justifications in {BASELINE.name}")
+        return 0
+
+    baseline = set() if opts.no_baseline else load_baseline()
+    new = [f for f in findings if f.key() not in baseline]
+    stale = baseline - {f.key() for f in findings}
+
+    for f in new:
+        print(f.render())
+    if new:
+        print(f"\nscripts/lint.py: {len(new)} finding(s) not in "
+              f"{BASELINE.name}.", file=sys.stderr)
+        return 1
+    if stale and not opts.paths:
+        # Full-tree runs keep the baseline honest; path-scoped runs (CI
+        # changed-files mode) cannot see every finding.
+        for entry in sorted(stale):
+            print(f"lint: baselined finding no longer present: {entry}",
+                  file=sys.stderr)
+        print(f"lint: delete fixed entries from {BASELINE.name} or run "
+              "--update-baseline.", file=sys.stderr)
         return 1
     return 0
 

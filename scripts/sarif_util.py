@@ -1,0 +1,80 @@
+"""Shared SARIF 2.1.0 emission for the repo's Python analyzers.
+
+scripts/lint.py, scripts/ast_lint.py and scripts/crh_analyzer.py all report
+findings as (file, line, rule, message) tuples; this module turns such a
+list into a minimal, schema-valid SARIF log that GitHub code scanning (and
+any other SARIF consumer) renders as inline PR annotations. One run per
+tool, one result per finding, one reportingDescriptor per rule actually
+fired plus any extra documented rules the caller passes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def sarif_log(tool_name: str, information_uri: str,
+              findings: list, rule_docs: dict[str, str] | None = None) -> dict:
+    """Builds a SARIF log dict.
+
+    `findings` is a list of objects with .path (repo-relative str or Path),
+    .line (int), .rule (str) and .message (str) attributes — the shape the
+    three analyzers already use internally. `rule_docs` maps rule id ->
+    short description; rules that fired but are not in the map get their id
+    as the description.
+    """
+    rules: dict[str, str] = dict(rule_docs or {})
+    for f in findings:
+        rules.setdefault(f.rule, f.rule)
+    descriptors = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": desc},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id, desc in sorted(rules.items())
+    ]
+    results = []
+    for f in findings:
+        path = pathlib.PurePosixPath(str(f.path).replace("\\", "/"))
+        results.append({
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": str(path),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, int(f.line))},
+                }
+            }],
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "informationUri": information_uri,
+                    "rules": descriptors,
+                }
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(path: str, tool_name: str, information_uri: str,
+                findings: list, rule_docs: dict[str, str] | None = None) -> None:
+    log = sarif_log(tool_name, information_uri, findings, rule_docs)
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(log, indent=2) + "\n", encoding="utf-8")

@@ -452,6 +452,7 @@ Status CheckpointManager::EnsureScanned() {
   // The filesystem scan runs unlocked: it evaluates fail points and touches
   // the disk, neither of which may happen under mu_. Racing scanners compute
   // the same answer; the first to finish publishes it.
+  CRH_RETURN_NOT_OK(FailPoints::Instance().Hit("checkpoint.create_dir"));
   std::error_code ec;
   std::filesystem::create_directories(options_.dir, ec);
   if (ec) {
@@ -562,9 +563,14 @@ Result<CheckpointState> CheckpointManager::LoadLatest(uint64_t expected_fingerpr
 }
 
 std::vector<std::string> CheckpointFailPointSites() {
-  return {"checkpoint.list",  "checkpoint.open_write", "checkpoint.fwrite",
-          "checkpoint.fflush", "checkpoint.fclose",    "checkpoint.rename",
-          "checkpoint.remove", "checkpoint.open_read",  "checkpoint.fread"};
+  return {"checkpoint.list",   "checkpoint.open_write", "checkpoint.fwrite",
+          "checkpoint.fflush", "checkpoint.fclose",     "checkpoint.rename",
+          "checkpoint.remove", "checkpoint.open_read",  "checkpoint.fread",
+          "checkpoint.create_dir"};
+}
+
+std::vector<std::string> StreamFailPointSites() {
+  return {"stream.process_chunk"};
 }
 
 // ---------------------------------------------------------------------------

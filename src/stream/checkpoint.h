@@ -160,6 +160,12 @@ class CheckpointManager {
 /// site in turn and assert clean Status propagation).
 std::vector<std::string> CheckpointFailPointSites();
 
+/// Fail-point sites of the streaming drivers themselves (chunk-processing
+/// boundary), distinct from the checkpoint I/O sites above. Registered so
+/// scripts/crh_analyzer.py's fail-point coverage check and the fault
+/// sweeps see them.
+std::vector<std::string> StreamFailPointSites();
+
 /// Streaming resilience configuration for RunIncrementalCrhResilient.
 struct StreamResilienceOptions {
   /// Directory for checkpoints; empty disables checkpointing entirely.

@@ -498,6 +498,46 @@ TEST_F(CheckpointTest, FailPointSiteListIsComplete) {
   }
 }
 
+TEST_F(CheckpointTest, CreateDirFailPointPropagates) {
+  // The directory-creation step of the lazy scan is fail-point
+  // instrumented (checkpoint.create_dir): a fault there surfaces as a
+  // clean Status from Save, and the scan retries once the fault clears.
+  // Regression test for the crh_analyzer fail-point dominance finding on
+  // CheckpointManager::EnsureScanned.
+  CheckpointManagerOptions options;
+  options.dir = FreshDir() + "/nested";
+  CheckpointManager manager(options);
+  FailPoints::Instance().FailNext("checkpoint.create_dir", 1);
+  const Status failed = manager.Save(MakeProcessorState());
+  FailPoints::Instance().ClearAll();
+  EXPECT_FALSE(failed.ok());
+  EXPECT_TRUE(manager.Save(MakeProcessorState()).ok());
+}
+
+TEST_F(CheckpointTest, StreamFailPointSiteListIsComplete) {
+  // Every stream.* site the resilient driver hits is declared in
+  // StreamFailPointSites(), so sweeps driven by the registry cannot lose
+  // the chunk boundary. Regression test for the unregistered
+  // stream.process_chunk site crh_analyzer found.
+  const Dataset data = MakeStreamData(4, 8);
+  IncrementalCrhOptions options;
+  StreamResilienceOptions resilience;
+  resilience.checkpoint_dir = FreshDir();
+  FailPoints::Instance().SetRecording(true);
+  ASSERT_TRUE(RunIncrementalCrhResilient(data, options, resilience).ok());
+  const auto recorded = FailPoints::Instance().RecordedHits();
+  FailPoints::Instance().ClearAll();
+  const std::vector<std::string> declared = StreamFailPointSites();
+  bool saw_process_chunk = false;
+  for (const auto& [site, hits] : recorded) {
+    if (site.rfind("stream.", 0) != 0) continue;
+    if (site == "stream.process_chunk") saw_process_chunk = true;
+    EXPECT_NE(std::find(declared.begin(), declared.end(), site), declared.end())
+        << "undeclared streaming fail-point site " << site;
+  }
+  EXPECT_TRUE(saw_process_chunk);
+}
+
 // ---------------------------------------------------------------------------
 // Resilient streaming driver
 // ---------------------------------------------------------------------------

@@ -1,0 +1,19 @@
+/// \file exempt_empty_reason.cc
+/// Must NOT compile: CRH_DETERMINISM_EXEMPT with an empty reason. The
+/// annotation is a reviewed taint barrier for scripts/crh_analyzer.py's
+/// determinism check; an empty justification defeats the review, so the
+/// macro's static_assert(sizeof(reason "") > 1) rejects it at compile
+/// time.
+
+#include "common/determinism.h"
+
+namespace {
+
+int Sample() {
+  CRH_DETERMINISM_EXEMPT("");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Sample(); }

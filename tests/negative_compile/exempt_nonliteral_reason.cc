@@ -1,0 +1,21 @@
+/// \file exempt_nonliteral_reason.cc
+/// Must NOT compile: CRH_DETERMINISM_EXEMPT with a non-literal reason. The
+/// justification must be reviewable in the source line itself (and
+/// greppable by scripts/crh_analyzer.py), so the macro's literal
+/// concatenation (`reason ""`) only accepts genuine string literals —
+/// a variable, even a constexpr one, is rejected by the compiler.
+
+#include "common/determinism.h"
+
+namespace {
+
+constexpr const char* kReason = "computed elsewhere";
+
+int Sample() {
+  CRH_DETERMINISM_EXEMPT(kReason);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Sample(); }

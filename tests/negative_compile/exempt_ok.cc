@@ -1,0 +1,23 @@
+/// \file exempt_ok.cc
+/// Positive control for the CRH_DETERMINISM_EXEMPT contract: a well-formed
+/// exemption — non-empty string literal reason, statement position inside
+/// the function it vouches for — must compile cleanly. If this breaks, the
+/// two rejection cases (exempt_empty_reason.cc, exempt_nonliteral_reason.cc)
+/// prove nothing.
+
+#include <chrono>
+
+#include "common/determinism.h"
+
+namespace {
+
+double SampleSeconds() {
+  CRH_DETERMINISM_EXEMPT("timing shim; elapsed time feeds reports only");
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() { return SampleSeconds() >= 0.0 ? 0 : 1; }
