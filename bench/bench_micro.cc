@@ -9,7 +9,7 @@
 
 #include "common/rng.h"
 #include "core/crh.h"
-#include "core/resolvers.h"
+#include "losses/resolvers.h"
 #include "data/stats.h"
 #include "datagen/noise.h"
 #include "datagen/uci_like.h"

@@ -38,7 +38,7 @@
 #include "bench_util.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
-#include "core/resolvers.h"
+#include "losses/resolvers.h"
 #include "data/claim_index.h"
 #include "data/stats.h"
 #include "datagen/noise.h"

@@ -38,10 +38,41 @@ guarantees depend on:
                         cover it. Writes to stderr/stdout are exempt
                         (crash reporting must not fault-inject).
 
+plus three architecture-conformance checks (the layer contract lives in
+scripts/arch_layers.json; see docs/DESIGN.md for the diagram):
+
+  arch                  Every `#include "module/..."` and cross-TU call
+                        edge must point at the same module or a strictly
+                        earlier layer of the committed layer DAG. Peer
+                        modules within a layer may not depend on each
+                        other; headers listed under `private_headers` may
+                        only be included by the modules named there.
+  global-state          Library layers must be snapshot-safe: no mutable
+                        namespace-scope variables, no mutable function-
+                        local statics (singletons) anywhere under src/
+                        except src/tools. The escape hatch is
+                        CRH_GLOBAL_STATE_EXEMPT("why")
+                        (src/common/global_state.h): place it on or
+                        directly above a namespace-scope declaration, or
+                        anywhere in the function owning a static local.
+  hot                   Functions annotated CRH_HOT (src/common/hot.h) —
+                        the solver's per-shard kernels — must be
+                        real-time safe: no allocation (new/malloc/
+                        make_unique/container growth/std::to_string), no
+                        std::function construction or invocation, no
+                        Mutex acquisition, no blocking I/O, no throw, no
+                        fail-point evaluation — transitively, through
+                        every resolvable callee.
+
 Suppress one line with a trailing `// analyzer:allow(<rule>)`. Findings are
 gated against scripts/crh_analyzer_baseline.txt: new findings fail, stale
 entries fail (delete them or run --update-baseline). Exit 0 clean, 1
 findings, 2 tooling error.
+
+`--check=a,b` restricts a run (and the self-test gate) to a subset of
+checks; `--graph` prints the observed module graph as Graphviz dot;
+`--graph-svg OUT` renders the layer diagram as a deterministic SVG (CI
+diffs it against docs/architecture.svg to keep the picture honest).
 
 Backends: the tokenizer frontend (shared lexical machinery with
 ast_lint.py) is canonical and runs everywhere; with python3-clang
@@ -51,7 +82,8 @@ Both must pass the embedded multi-TU self-test corpus before a tree run
 counts; a misbehaving libclang degrades loudly to the tokenizer.
 
 Usage: scripts/crh_analyzer.py [--compile-commands PATH] [--self-test]
-         [--backend=auto|libclang|token] [--sarif OUT.sarif] [--stats]
+         [--backend=auto|libclang|token] [--check=LIST] [--graph]
+         [--graph-svg OUT.svg] [--sarif OUT.sarif] [--stats]
          [--update-baseline] [--no-baseline] [paths...]
 """
 
@@ -90,6 +122,8 @@ PRIMITIVE_FILES = {
     "src/common/fault_injection.h",
     "src/common/fault_injection.cc",
     "src/common/determinism.h",
+    "src/common/hot.h",
+    "src/common/global_state.h",
 }
 
 RULE_DOCS = {
@@ -101,6 +135,12 @@ RULE_DOCS = {
                   "fail-point/callback boundary",
     "failpoint-dominance": "raw I/O call not dominated by a registered "
                            "fail point, or fail-point site not registered",
+    "arch": "include or call edge violates the committed layer DAG "
+            "(scripts/arch_layers.json), or a private header leaks",
+    "global-state": "mutable global/static state in a library layer "
+                    "breaks epoch-snapshot isolation",
+    "hot": "CRH_HOT function (transitively) allocates, locks, blocks, "
+           "throws, or evaluates a fail point",
 }
 
 # --- determinism-taint configuration -------------------------------------
@@ -163,6 +203,52 @@ FAIL_SITE_RE = re.compile(
 REGISTRY_FN_RE = re.compile(r"\w*FailPointSites$")
 STRING_LIT_RE = re.compile(r"\"([\w.]+)\"")
 
+# --- arch configuration ----------------------------------------------------
+ARCH_MANIFEST = REPO_ROOT / "scripts" / "arch_layers.json"
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+# --- global-state configuration --------------------------------------------
+GLOBAL_STATE_SCOPE = "src/"
+GLOBAL_STATE_EXCLUDED = ("src/tools/",)
+GLOBAL_EXEMPT_MACRO = "CRH_GLOBAL_STATE_EXEMPT"
+# Namespace-scope statements that declare something other than a mutable
+# variable (types, aliases, constants, templates, externs, ...).
+GLOBAL_SKIP_RE = re.compile(
+    r"\b(?:const|constexpr|constinit|using|typedef|extern|friend|enum|class|"
+    r"struct|union|namespace|template|static_assert|operator)\b")
+GLOBAL_DECL_RE = re.compile(
+    r"^(?:inline\s+|static\s+|thread_local\s+)*"
+    r"[A-Za-z_][\w:]*(?:\s*<[^;]*>)?[\s*&]+"
+    r"((?:[A-Za-z_][\w:]*::)?[A-Za-z_]\w*)\s*"
+    r"(?:\[[^\]]*\])?\s*(?:=.*)?$")
+STATIC_LOCAL_RE = re.compile(
+    r"^\s*(?:thread_local\s+)?static\s+(?:thread_local\s+)?"
+    r"(?!const\b|constexpr\b)")
+
+# --- hot (CRH_HOT real-time discipline) configuration ----------------------
+HOT_ATTR_RE = re.compile(r"\bCRH_HOT\b")
+# Lexical patterns that end real-time safety. Locks, raw I/O, fail points
+# and std::function invocations are already modeled as their own event
+# lists; these cover allocation, container growth and exceptions.
+HOT_VIOLATION_RES = [
+    (re.compile(r"\bnew\b"), "calls operator new"),
+    (re.compile(r"(?<![\w.:])(?:malloc|calloc|realloc|strdup)\s*\("),
+     "calls a C heap allocator"),
+    (re.compile(r"\bstd::make_(?:unique|shared)\b"),
+     "allocates via std::make_unique/make_shared"),
+    (re.compile(r"(?:\.|->)\s*(?:push_back|emplace_back|emplace|resize|"
+                r"reserve|assign|insert|append)\s*\("),
+     "grows a container"),
+    (re.compile(r"\bstd::(?:vector|string|map|set|unordered_map|"
+                r"unordered_set|deque|list|function|[io]?stringstream)\s*"
+                r"(?:<[^;&(]*>)?\s+\w+\s*[({=;]"),
+     "constructs a local container/std::function"),
+    (re.compile(r"\bthrow\b"), "throws"),
+    (re.compile(r"\bstd::to_string\b"), "calls std::to_string (allocates)"),
+    (re.compile(r"\bstd::stable_sort\b"),
+     "calls std::stable_sort (allocates)"),
+]
+
 CONTROL_KEYWORDS = {
     "if", "for", "while", "switch", "catch", "return", "sizeof", "do",
     "else", "new", "delete", "throw", "co_return", "co_await", "alignof",
@@ -213,6 +299,8 @@ class FunctionModel:
         self.status_drops: list[tuple[int, str]] = []  # (line, callee)
         self.is_registry = bool(REGISTRY_FN_RE.match(name))
         self.registered_sites: set[str] = set()
+        self.hot = False  # carries the CRH_HOT annotation
+        self.hot_violations: list[tuple[int, str]] = []  # (line, what)
 
     def __repr__(self) -> str:  # debugging aid
         return f"<fn {self.qual_name} {self.rel}:{self.start_line}>"
@@ -267,6 +355,12 @@ def classify_head(head: str):
         return "block", None
     m = re.search(r"([\w:~]+)\s*$", head[:paren_at])
     if not m:
+        return "block", None
+    # Member access right before the name (`obj.push_back({...})`,
+    # `p->emplace({...})`) is a call expression whose brace-init argument
+    # reached us, not a definition.
+    if m.start() > 0 and (head[m.start() - 1] == "."
+                          or head[m.start() - 2:m.start()] == "->"):
         return "block", None
     name = m.group(1)
     simple = name.split("::")[-1].lstrip("~")
@@ -348,6 +442,74 @@ def scan_file_functions(rel: str, clean: str):
     return spans
 
 
+def scan_namespace_statements(clean: str):
+    """Yields (line, statement_text) for every `;`-terminated statement all
+    of whose enclosing brace scopes are namespaces (file scope included) —
+    the candidate set for namespace-scope variable declarations. Brace
+    initializers (`std::atomic<int> g{0};`, `int a[] = {1};`) stay part of
+    their statement; class/function/enum bodies are skipped."""
+    text = blank_preprocessor(clean)
+    n = len(text)
+    i = 0
+    line = 1
+    head_start = 0
+    stmt_line = None
+    scope: list[str] = []  # kinds of the enclosing brace scopes
+    depth_skip = 0  # > 0 while inside a brace initializer / skipped body
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if depth_skip:
+            if c == "{":
+                depth_skip += 1
+            elif c == "}":
+                depth_skip -= 1
+            i += 1
+            continue
+        if c == "{":
+            head = text[head_start:i]
+            kind, _ = classify_head(head)
+            tail = head.rstrip()
+            # A `{` classified as a plain block whose head ends in an
+            # identifier/`=`/`>`/`]` is a brace initializer (or an enum/
+            # union body — equally not a declaration scope): consume it
+            # without opening a scope so the statement keeps accumulating.
+            if kind == "block" and tail and (tail[-1].isalnum()
+                                             or tail[-1] in "_=>]"):
+                depth_skip = 1
+            else:
+                scope.append(kind)
+                head_start = i + 1
+                stmt_line = None
+        elif c == "}":
+            if scope:
+                scope.pop()
+            head_start = i + 1
+            stmt_line = None
+        elif c == ";":
+            if all(k == "namespace" for k in scope):
+                stmt = text[head_start:i].strip()
+                if stmt and stmt_line is not None:
+                    yield (stmt_line, stmt)
+            head_start = i + 1
+            stmt_line = None
+        elif not c.isspace() and stmt_line is None:
+            stmt_line = line
+        i += 1
+
+
+def global_state_exempt(raw_lines: list[str], stmt_line: int) -> bool:
+    """True when CRH_GLOBAL_STATE_EXEMPT(...) sits on the declaration's
+    first line or within the four raw lines above it (the macro call
+    itself may wrap over several lines)."""
+    lo = max(0, stmt_line - 5)
+    hi = min(stmt_line, len(raw_lines))
+    return any(GLOBAL_EXEMPT_MACRO in raw_lines[k] for k in range(lo, hi))
+
+
 def lock_id(name: str, qual_name: str, rel: str) -> str:
     """Stable cross-TU identity for a lock. Member locks (`mu_`, possibly
     reached via `this->` or `obj.`) are identified by owning class; locals
@@ -394,6 +556,16 @@ def extract_body(fn: FunctionModel, clean_lines: list[str],
                         (lineno, "unordered-container iteration order"))
         if EXEMPT_RE.search(line):
             fn.exempt = True
+
+        # CRH_HOT annotation (signature head) + real-time violations. The
+        # violation scan covers every function: non-hot callees must carry
+        # their dirt so the hot check's transitive closure sees it.
+        if lineno <= fn.open_line and HOT_ATTR_RE.search(line):
+            fn.hot = True
+        if "hot" not in allow:
+            for pattern, desc in HOT_VIOLATION_RES:
+                if pattern.search(line):
+                    fn.hot_violations.append((lineno, desc))
 
         # Fail points (site literal must come from the raw line: the
         # cleaned text blanks string contents).
@@ -484,6 +656,11 @@ class ProgramModel:
         self.by_qual: dict[str, FunctionModel] = {}
         self.status_functions: set[str] = set()
         self.files: list[pathlib.Path] = []
+        # rel -> [(line, quoted include target)], analyzer:allow filtered.
+        self.includes: dict[str, list[tuple[int, str]]] = {}
+        # rel -> [(line, name, kind description)] mutable global/static
+        # declarations that carry no exemption.
+        self.global_decls: dict[str, list[tuple[int, str, str]]] = {}
 
     def add(self, fn: FunctionModel) -> None:
         self.functions.append(fn)
@@ -520,6 +697,30 @@ def model_file(model: ProgramModel, path: pathlib.Path,
             for m in alias_decl.finditer(line):
                 unordered_names.add(m.group(1))
 
+    includes: list[tuple[int, str]] = []
+    for lineno, raw_line in enumerate(raw_lines, 1):
+        m = INCLUDE_RE.match(raw_line)
+        if m and "arch" not in ALLOW_RE.findall(raw_line):
+            includes.append((lineno, m.group(1)))
+    model.includes[rel] = includes
+
+    decls: list[tuple[int, str, str]] = []
+    for stmt_line, stmt in scan_namespace_statements(clean):
+        if "(" in stmt or GLOBAL_SKIP_RE.search(stmt):
+            continue
+        flat = re.sub(r"\{[^{}]*\}", " ", stmt).strip()
+        m = GLOBAL_DECL_RE.match(flat)
+        if not m:
+            continue
+        raw_line = raw_lines[stmt_line - 1] \
+            if stmt_line - 1 < len(raw_lines) else ""
+        if "global-state" in ALLOW_RE.findall(raw_line):
+            continue
+        if global_state_exempt(raw_lines, stmt_line):
+            continue
+        decls.append((stmt_line, m.group(1),
+                      "namespace-scope mutable variable"))
+
     if spans is None:
         spans = scan_file_functions(rel, clean)
     for span in spans:
@@ -529,6 +730,30 @@ def model_file(model: ProgramModel, path: pathlib.Path,
         extract_body(fn, clean_lines, raw_lines, unordered_names,
                      function_objs)
         model.add(fn)
+
+        # Mutable function-local statics (singletons). The enclosing
+        # function vouches for all of them by carrying the exemption macro
+        # anywhere in its body.
+        fn_exempt = any(
+            GLOBAL_EXEMPT_MACRO in raw_lines[k]
+            for k in range(fn.start_line - 1,
+                           min(fn.end_line, len(raw_lines))))
+        if fn_exempt:
+            continue
+        # From the line after the body `{` opens: the head itself may be a
+        # `static` member-function definition.
+        for lineno in range(fn.open_line + 1,
+                            min(fn.end_line, len(clean_lines)) + 1):
+            if not STATIC_LOCAL_RE.match(clean_lines[lineno - 1]):
+                continue
+            raw_line = raw_lines[lineno - 1] \
+                if lineno - 1 < len(raw_lines) else ""
+            if "global-state" in ALLOW_RE.findall(raw_line):
+                continue
+            decls.append((lineno, fn.qual_name,
+                          "mutable function-local static in"))
+    if decls:
+        model.global_decls[rel] = sorted(decls)
 
 
 def collect_status_functions(files: list[pathlib.Path]) -> set[str]:
@@ -894,14 +1119,318 @@ def check_failpoint_dominance(model: ProgramModel,
                 "see it"))
 
 
-def run_checks(model: ProgramModel) -> list[Finding]:
+def load_arch_manifest():
+    """Returns (module -> layer index, private_headers map) from
+    scripts/arch_layers.json."""
+    data = json.loads(ARCH_MANIFEST.read_text())
+    layer_of: dict[str, int] = {}
+    for idx, layer in enumerate(data["layers"]):
+        for mod in layer:
+            layer_of[mod] = idx
+    return layer_of, data.get("private_headers", {})
+
+
+def module_of(rel: str) -> str | None:
+    parts = pathlib.PurePosixPath(rel).parts
+    if parts and parts[0] == "bench":
+        return "bench"
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return None
+
+
+def check_arch(model: ProgramModel, findings: list[Finding]) -> None:
+    try:
+        layer_of, private = load_arch_manifest()
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        findings.append(Finding("scripts/arch_layers.json", 1, "arch",
+                                f"layer manifest unreadable: {exc}"))
+        return
+
+    for rel in sorted(model.includes):
+        mod = module_of(rel)
+        if mod is None:
+            continue
+        if mod not in layer_of:
+            findings.append(Finding(
+                rel, 1, "arch",
+                f"module '{mod}' is not declared in any layer of "
+                "scripts/arch_layers.json; add it to the manifest"))
+            continue
+        for lineno, target in model.includes[rel]:
+            if "/" not in target:
+                continue
+            tmod = target.split("/", 1)[0]
+            if tmod not in layer_of:
+                continue
+            if target in private and mod not in private[target]:
+                findings.append(Finding(
+                    rel, lineno, "arch",
+                    f"\"{target}\" is a private header "
+                    "(scripts/arch_layers.json private_headers); module "
+                    f"'{mod}' may not include it — go through the owning "
+                    "module's public interface, or widen the allow-list "
+                    "with a justification"))
+            if tmod != mod and layer_of[tmod] >= layer_of[mod]:
+                what = "back-edge" if layer_of[tmod] > layer_of[mod] \
+                    else "peer edge"
+                findings.append(Finding(
+                    rel, lineno, "arch",
+                    f"layer {what}: module '{mod}' (layer {layer_of[mod]}) "
+                    f"includes \"{target}\" from module '{tmod}' (layer "
+                    f"{layer_of[tmod]}); dependencies must point at the "
+                    "same module or a strictly earlier layer"))
+
+    # Cross-TU call edges. Simple-name resolution is ambiguous, so an edge
+    # is flagged only when EVERY candidate resolution of the callee lives
+    # in a strictly later layer — one plausible clean target acquits it.
+    for fn in model.functions:
+        mod = module_of(fn.rel)
+        if mod is None or mod not in layer_of:
+            continue
+        reported: set[str] = set()
+        for lineno, callee, _ in fn.calls:
+            if callee in reported:
+                continue
+            targets = model.resolve(callee)
+            if not targets:
+                continue
+            # Only free functions: a simple name shared with any class
+            # method (size/empty/push_back/...) says nothing about which
+            # module the receiver lives in.
+            if any(t.qual_name != t.name for t in targets):
+                continue
+            tmods: set[str] | None = set()
+            for t in targets:
+                tm = module_of(t.rel)
+                if tm is None or tm not in layer_of:
+                    tmods = None
+                    break
+                tmods.add(tm)
+            if not tmods:
+                continue
+            if all(tm != mod and layer_of[tm] > layer_of[mod]
+                   for tm in tmods):
+                reported.add(callee)
+                findings.append(Finding(
+                    fn.rel, lineno, "arch",
+                    f"call back-edge: {fn.qual_name} (module '{mod}') "
+                    f"calls {callee}(), which resolves only into later "
+                    f"layer(s) {{{', '.join(sorted(tmods))}}}; invert the "
+                    "dependency or move the callee down the stack"))
+
+
+def check_global_state(model: ProgramModel,
+                       findings: list[Finding]) -> None:
+    for rel in sorted(model.global_decls):
+        if not rel.startswith(GLOBAL_STATE_SCOPE) or \
+                rel.startswith(GLOBAL_STATE_EXCLUDED) or \
+                rel == "src/common/global_state.h":
+            continue
+        for lineno, name, kind in model.global_decls[rel]:
+            findings.append(Finding(
+                rel, lineno, "global-state",
+                f"{kind} `{name}`: an epoch snapshot must be a pure "
+                "function of its inputs, so library layers keep no mutable "
+                "global/static state; make it caller-owned, or annotate "
+                "with CRH_GLOBAL_STATE_EXEMPT(\"why\") "
+                "(src/common/global_state.h)"))
+
+
+def check_hot(model: ProgramModel, findings: list[Finding]) -> None:
+    # Local dirt: allocation/throw patterns plus the already-modeled lock,
+    # I/O, fail-point and std::function-invocation events.
+    local_reasons: dict[int, list[tuple[int, str]]] = {}
+    for fn in model.functions:
+        if fn.rel in PRIMITIVE_FILES:
+            continue
+        reasons = list(fn.hot_violations)
+        reasons += [(ln, f"performs raw I/O ({what})")
+                    for ln, what in fn.io_sites]
+        reasons += [(ln, f"acquires lock {lock}")
+                    for ln, lock, _ in fn.lock_acquires]
+        reasons += [(ln, "evaluates a fail point")
+                    for ln in fn.failpoint_lines]
+        reasons += [(ln, f"invokes std::function '{name}'")
+                    for ln, name, _ in fn.callback_invokes]
+        if reasons:
+            local_reasons[id(fn)] = sorted(reasons)
+
+    # Transitive closure, optimistic on ambiguity: a call dirties its
+    # caller only when it resolves and EVERY resolution is dirty (span/
+    # allocating overload pairs with shared simple names stay apart).
+    dirty: dict[int, tuple] = {fid: ("local",) for fid in local_reasons}
+    changed = True
+    while changed:
+        changed = False
+        for fn in model.functions:
+            if id(fn) in dirty:
+                continue
+            for lineno, callee, _ in fn.calls:
+                targets = model.resolve(callee)
+                if targets and all(id(t) in dirty for t in targets):
+                    dirty[id(fn)] = ("call", lineno, callee, targets[0])
+                    changed = True
+                    break
+
+    for fn in model.functions:
+        if not fn.hot or id(fn) not in dirty:
+            continue
+        entry = dirty[id(fn)]
+        if entry[0] == "local":
+            for lineno, desc in local_reasons[id(fn)][:3]:
+                findings.append(Finding(
+                    fn.rel, lineno, "hot",
+                    f"{fn.qual_name} is CRH_HOT but {desc}; hot solver "
+                    "kernels must be allocation-, lock-, I/O- and "
+                    "throw-free — hoist the work into caller-owned "
+                    "scratch (see SolverScratch in core/crh.cc)"))
+        else:
+            chain, leaf = trace_hot_chain(model, fn, dirty)
+            leaf_why = local_reasons.get(
+                id(leaf),
+                [(leaf.start_line, "performs a hot-unsafe operation")])[0][1]
+            findings.append(Finding(
+                fn.rel, entry[1], "hot",
+                f"{fn.qual_name} is CRH_HOT but calls "
+                f"{' -> '.join(chain[1:])}, which {leaf_why}; every "
+                "transitive callee of a hot kernel must be real-time "
+                "safe"))
+
+
+def trace_hot_chain(model: ProgramModel, start: FunctionModel,
+                    dirty: dict[int, tuple], max_hops: int = 8):
+    """Follows the recorded dirtying call of each function down to a
+    locally-dirty leaf; returns (qualified-name chain, leaf model)."""
+    chain = [start.qual_name]
+    cur = start
+    for _ in range(max_hops):
+        entry = dirty.get(id(cur))
+        if entry is None or entry[0] == "local":
+            break
+        cur = entry[3]
+        chain.append(cur.qual_name)
+    return chain, cur
+
+
+ALL_CHECKS = {
+    "determinism-taint": check_determinism_taint,
+    "status-path": check_status_paths,
+    "lock-order": check_lock_order,
+    "failpoint-dominance": check_failpoint_dominance,
+    "arch": check_arch,
+    "global-state": check_global_state,
+    "hot": check_hot,
+}
+
+
+def run_checks(model: ProgramModel, checks=None,
+               timings: dict[str, float] | None = None) -> list[Finding]:
     findings: list[Finding] = []
-    check_determinism_taint(model, findings)
-    check_status_paths(model, findings)
-    check_lock_order(model, findings)
-    check_failpoint_dominance(model, findings)
+    for name, check in ALL_CHECKS.items():
+        if checks is not None and name not in checks:
+            continue
+        t0 = time.monotonic()
+        check(model, findings)
+        if timings is not None:
+            timings[name] = time.monotonic() - t0
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
+
+
+# ---------------------------------------------------------------------------
+# Module-graph rendering (--graph / --graph-svg). Both forms are built from
+# the manifest plus the observed include edges and are fully deterministic:
+# CI regenerates docs/architecture.svg and diffs it against the committed
+# copy, so the picture can never drift from the tree.
+
+
+def collect_module_edges(files: list[pathlib.Path]):
+    """Observed include edges between manifest modules:
+    (from_module, to_module) -> include count."""
+    layer_of, _ = load_arch_manifest()
+    edges: dict[tuple[str, str], int] = {}
+    for path in files:
+        rel = rel_str(path)
+        mod = module_of(rel)
+        if mod is None or mod not in layer_of:
+            continue
+        for raw_line in read_text(path).splitlines():
+            m = INCLUDE_RE.match(raw_line)
+            if not m or "/" not in m.group(1):
+                continue
+            tmod = m.group(1).split("/", 1)[0]
+            if tmod in layer_of and tmod != mod:
+                edges[(mod, tmod)] = edges.get((mod, tmod), 0) + 1
+    return edges
+
+
+def render_module_dot(edges: dict[tuple[str, str], int]) -> str:
+    data = json.loads(ARCH_MANIFEST.read_text())
+    lines = ["digraph crh_arch {",
+             "  // arrows point at the dependency (lower layer)",
+             "  rankdir=BT;",
+             '  node [shape=box, fontname="Helvetica"];']
+    for layer in data["layers"]:
+        lines.append("  { rank=same; "
+                     + " ".join(f'"{m}";' for m in layer) + " }")
+    for (a, b) in sorted(edges):
+        lines.append(f'  "{a}" -> "{b}" [label="{edges[(a, b)]}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def render_module_svg(edges: dict[tuple[str, str], int]) -> str:
+    data = json.loads(ARCH_MANIFEST.read_text())
+    layers = data["layers"]
+    bw, bh, hgap, vgap = 130, 40, 46, 70
+    margin, top = 40, 72
+    nlayers = len(layers)
+    widths = [len(lr) * bw + (len(lr) - 1) * hgap for lr in layers]
+    total_w = max(widths) + 2 * margin
+    total_h = top + nlayers * bh + (nlayers - 1) * vgap + margin
+    pos: dict[str, tuple[int, int]] = {}
+    for i, layer in enumerate(layers):
+        y = top + (nlayers - 1 - i) * (bh + vgap)
+        x0 = (total_w - widths[i]) // 2
+        for j, mod in enumerate(layer):
+            pos[mod] = (x0 + j * (bw + hgap), y)
+    layer_fill = ["#e8f5e9", "#e3f2fd", "#fff3e0", "#f3e5f5", "#ffebee",
+                  "#e0f7fa", "#f9fbe7"]
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{total_w}" '
+        f'height="{total_h}" viewBox="0 0 {total_w} {total_h}" '
+        'font-family="Helvetica, Arial, sans-serif">',
+        ' <defs><marker id="arr" viewBox="0 0 10 10" refX="9" refY="5" '
+        'markerWidth="7" markerHeight="7" orient="auto">'
+        '<path d="M 0 0 L 10 5 L 0 10 z" fill="#546e7a"/></marker></defs>',
+        f' <rect width="{total_w}" height="{total_h}" fill="#ffffff"/>',
+        f' <text x="{margin}" y="28" font-size="14" fill="#263238" '
+        'font-weight="bold">CRH layer DAG</text>',
+        f' <text x="{margin}" y="46" font-size="11" fill="#546e7a">arrows '
+        'point at the dependency; generated by scripts/crh_analyzer.py '
+        '--graph-svg, checked by --check=arch</text>']
+    for (a, b) in sorted(edges):
+        x1, y1 = pos[a][0] + bw // 2, pos[a][1] + bh
+        x2, y2 = pos[b][0] + bw // 2, pos[b][1]
+        out.append(f' <line x1="{x1}" y1="{y1}" x2="{x2}" y2="{y2}" '
+                   'stroke="#90a4ae" stroke-width="1.2" '
+                   'marker-end="url(#arr)"/>')
+    for i, layer in enumerate(layers):
+        fill = layer_fill[i % len(layer_fill)]
+        out.append(f' <text x="{margin - 28}" '
+                   f'y="{top + (nlayers - 1 - i) * (bh + vgap) + bh // 2 + 4}"'
+                   f' font-size="11" fill="#90a4ae">L{i}</text>')
+        for mod in layer:
+            x, y = pos[mod]
+            out.append(f' <rect x="{x}" y="{y}" width="{bw}" '
+                       f'height="{bh}" rx="6" fill="{fill}" '
+                       'stroke="#546e7a"/>')
+            out.append(f' <text x="{x + bw // 2}" y="{y + bh // 2 + 5}" '
+                       'font-size="14" text-anchor="middle" '
+                       f'fill="#263238">{mod}</text>')
+    out.append('</svg>')
+    return "\n".join(out) + "\n"
 
 
 # ---------------------------------------------------------------------------
@@ -1126,6 +1655,88 @@ Status TouchUnregistered() {
 }
 }
 """,
+    # --- arch: a data-layer file includes a stream header (back-edge) and
+    # a tools file grabs a private common header (leak); the negative twin
+    # is a stream file reading data (strictly earlier layer).
+    "src/data/arch_pos.cc": """
+#include "data/dataset.h"
+#include "stream/chunks.h"
+namespace crh {
+int DataUsesStream() { return 1; }
+}
+""",
+    "src/tools/arch_private_pos.cc": """
+#include "common/mutex.h"
+namespace crh {
+int ToolsGrabsMutex() { return 2; }
+}
+""",
+    "src/stream/arch_neg.cc": """
+#include "common/status.h"
+#include "data/dataset.h"
+namespace crh {
+int StreamReadsData() { return 3; }
+}
+""",
+    # --- global-state: bare mutable global + singleton static local
+    # (positive) vs constants and exempted twins (negative).
+    "src/core/global_pos.cc": """
+namespace crh {
+int g_iterations = 0;
+double Bump() {
+  static int calls = 0;
+  ++calls;
+  ++g_iterations;
+  return 1.0;
+}
+}
+""",
+    "src/core/global_neg.cc": """
+namespace crh {
+constexpr int kMaxIters = 100;
+const double kTolerance = 1e-9;
+CRH_GLOBAL_STATE_EXEMPT("test-only metrics registry; "
+                        "never read by snapshot code");
+int g_exempted_registry = 0;
+double BumpNeg() {
+  CRH_GLOBAL_STATE_EXEMPT("per-process diagnostics counter");
+  static int calls = 0;
+  ++calls;
+  return 2.0;
+}
+}
+""",
+    # --- hot: a CRH_HOT kernel that allocates, and one that reaches an
+    # allocating helper transitively (positive) vs an index-writing clean
+    # kernel next to a non-hot allocator (negative).
+    "src/core/hot_pos.cc": """
+namespace crh {
+void GrowBuffer(std::vector<double>* buf) { buf->push_back(1.0); }
+CRH_HOT double HotAccumulate(const double* xs, size_t n) {
+  std::vector<double> copy(xs, xs + n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) total += copy[i];
+  return total;
+}
+CRH_HOT void HotTransitive(std::vector<double>* buf) {
+  GrowBuffer(buf);
+}
+}
+""",
+    "src/core/hot_neg.cc": """
+namespace crh {
+void StageResults(std::vector<double>* out) { out->push_back(3.0); }
+CRH_HOT double HotDotProduct(const double* xs, const double* ys,
+                             double* acc, size_t n) {
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc[i] = xs[i] * ys[i];
+    total += acc[i];
+  }
+  return total;
+}
+}
+""",
 }
 
 # rule -> (file that must fire, file that must stay quiet)
@@ -1136,10 +1747,14 @@ SELF_TEST_EXPECTATIONS = [
     ("failpoint-dominance", "src/stream/io_pos.cc", "src/stream/io_neg.cc"),
     ("failpoint-dominance", "src/stream/io_unregistered.cc",
      "src/stream/io_neg.cc"),
+    ("arch", "src/data/arch_pos.cc", "src/stream/arch_neg.cc"),
+    ("arch", "src/tools/arch_private_pos.cc", "src/stream/arch_neg.cc"),
+    ("global-state", "src/core/global_pos.cc", "src/core/global_neg.cc"),
+    ("hot", "src/core/hot_pos.cc", "src/core/hot_neg.cc"),
 ]
 
 
-def run_self_test(build_model) -> list[str]:
+def run_self_test(build_model, checks=None) -> list[str]:
     import tempfile
 
     failures: list[str] = []
@@ -1159,13 +1774,24 @@ def run_self_test(build_model) -> list[str]:
                 fn.rel = str(pathlib.Path(fn.rel).resolve()
                              .relative_to(tmpdir.resolve())) \
                     if pathlib.Path(fn.rel).is_absolute() else fn.rel
-            findings = run_checks(model)
+            for table in (model.includes, model.global_decls):
+                for key in list(table):
+                    p = pathlib.Path(key)
+                    if p.is_absolute():
+                        try:
+                            table[str(p.resolve().relative_to(
+                                tmpdir.resolve()))] = table.pop(key)
+                        except ValueError:
+                            pass
+            findings = run_checks(model, checks)
         except Exception as exc:  # noqa: broad — any crash fails the gate
             return [f"backend raised {exc!r}"]
         by_file: dict[str, set[str]] = {}
         for f in findings:
             by_file.setdefault(f.path, set()).add(f.rule)
         for rule, pos, neg in SELF_TEST_EXPECTATIONS:
+            if checks is not None and rule not in checks:
+                continue
             if rule not in by_file.get(pos, set()):
                 failures.append(
                     f"{rule}: expected a finding in {pos}, got "
@@ -1196,6 +1822,15 @@ def main(argv: list[str]) -> int:
                              "build*/compile_commands.json)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the embedded multi-TU corpus and exit")
+    parser.add_argument("--check", default=None, metavar="LIST",
+                        help="comma-separated subset of checks to run "
+                             f"(default all: {','.join(ALL_CHECKS)})")
+    parser.add_argument("--graph", action="store_true",
+                        help="print the observed module dependency graph "
+                             "as Graphviz dot and exit")
+    parser.add_argument("--graph-svg", default=None, metavar="OUT",
+                        help="write the layer diagram as a deterministic "
+                             "SVG (docs/architecture.svg) and exit")
     parser.add_argument("--sarif", default=None, metavar="OUT",
                         help="also write findings as SARIF 2.1.0")
     parser.add_argument("--stats", action="store_true",
@@ -1207,6 +1842,31 @@ def main(argv: list[str]) -> int:
                              "set (entries get TODO justifications)")
     parser.add_argument("paths", nargs="*")
     opts = parser.parse_args(argv)
+
+    checks = None
+    if opts.check:
+        checks = {c.strip() for c in opts.check.split(",") if c.strip()}
+        unknown = sorted(checks - set(ALL_CHECKS))
+        if unknown:
+            print(f"crh_analyzer: unknown check(s): {', '.join(unknown)} "
+                  f"(known: {', '.join(ALL_CHECKS)})", file=sys.stderr)
+            return 2
+
+    if opts.graph or opts.graph_svg:
+        cc = discover_compile_commands(opts.compile_commands)
+        files = iter_sources(opts.paths, cc)
+        try:
+            edges = collect_module_edges(files)
+        except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+            print(f"crh_analyzer: cannot load {ARCH_MANIFEST}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if opts.graph:
+            sys.stdout.write(render_module_dot(edges))
+        if opts.graph_svg:
+            pathlib.Path(opts.graph_svg).write_text(render_module_svg(edges))
+            print(f"crh_analyzer: wrote {opts.graph_svg}", file=sys.stderr)
+        return 0
 
     t0 = time.monotonic()
     build_model = None
@@ -1227,7 +1887,7 @@ def main(argv: list[str]) -> int:
         build_model = build_model_token
         backend_name = "token"
 
-    failures = run_self_test(build_model)
+    failures = run_self_test(build_model, checks)
     if failures and backend_name == "libclang" and opts.backend == "auto":
         print("crh_analyzer: libclang backend failed self-test, falling "
               "back to the tokenizer frontend:", file=sys.stderr)
@@ -1235,7 +1895,7 @@ def main(argv: list[str]) -> int:
             print(f"  {f}", file=sys.stderr)
         build_model = build_model_token
         backend_name = "token"
-        failures = run_self_test(build_model)
+        failures = run_self_test(build_model, checks)
     if failures:
         print(f"crh_analyzer: {backend_name} backend failed self-test:",
               file=sys.stderr)
@@ -1243,8 +1903,10 @@ def main(argv: list[str]) -> int:
             print(f"  {f}", file=sys.stderr)
         return 2
     if opts.self_test:
+        n_expect = len([e for e in SELF_TEST_EXPECTATIONS
+                        if checks is None or e[0] in checks])
         print(f"crh_analyzer: self-test OK ({backend_name} backend, "
-              f"{len(SELF_TEST_EXPECTATIONS)} expectations over "
+              f"{n_expect} expectations over "
               f"{len(SELF_TEST_FILES)} files)")
         return 0
 
@@ -1258,7 +1920,8 @@ def main(argv: list[str]) -> int:
         print("crh_analyzer: no sources to analyze", file=sys.stderr)
         return 2
     model = build_model(files)
-    findings = run_checks(model)
+    timings: dict[str, float] = {}
+    findings = run_checks(model, checks, timings)
     elapsed = time.monotonic() - t0
 
     if opts.sarif:
@@ -1277,6 +1940,10 @@ def main(argv: list[str]) -> int:
     baseline = set() if opts.no_baseline else load_baseline()
     new = [f for f in findings if f.key() not in baseline]
     stale = baseline - {f.key() for f in findings}
+    if checks is not None:
+        # A subset run cannot see findings of the unselected checks, so it
+        # must not judge their baseline entries stale.
+        stale = {e for e in stale if any(f"[{c}]" in e for c in checks)}
 
     for f in new:
         print(f.render())
@@ -1287,6 +1954,10 @@ def main(argv: list[str]) -> int:
               f"{elapsed:.2f}s"
               + (f", compile_commands={rel_str(cc)}" if cc else
                  ", no compile_commands (tree scan)"))
+        if timings:
+            per_check = ", ".join(f"{name} {timings[name] * 1000:.0f}ms"
+                                  for name in timings)
+            print(f"crh_analyzer: check wall-times: {per_check}")
     if new:
         print(f"\ncrh_analyzer ({backend_name}): {len(new)} finding(s) not "
               f"in {BASELINE.name}.", file=sys.stderr)

@@ -2,7 +2,7 @@
 #include <vector>
 
 #include "baselines/baselines.h"
-#include "core/resolvers.h"
+#include "losses/resolvers.h"
 
 namespace crh {
 

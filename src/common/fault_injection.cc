@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/global_state.h"
 
 namespace crh {
 
@@ -25,6 +26,12 @@ double UnitUniformFromHash(uint64_t h) {
 }
 
 FailPoints& FailPoints::Instance() {
+  // Process-wide by design: fail points are fault-sweep *test*
+  // infrastructure, compiled to a single relaxed atomic load when no test
+  // arms them, and never consulted by snapshot read paths.
+  CRH_GLOBAL_STATE_EXEMPT(
+      "fail-point registry is process-global test infrastructure; "
+      "snapshot read paths never evaluate fail points");
   static FailPoints instance;
   return instance;
 }

@@ -1,0 +1,42 @@
+#ifndef CRH_COMMON_GLOBAL_STATE_H_
+#define CRH_COMMON_GLOBAL_STATE_H_
+
+/// \file global_state.h
+/// The escape hatch for the snapshot-safety (global-state) analysis
+/// (scripts/crh_analyzer.py, `global-state` check).
+///
+/// ROADMAP item 1 turns the engine into a library serving queries from
+/// RCU-style epoch snapshots: a published snapshot must be reachable only
+/// through the pointer it was published behind, with *no* hidden shared
+/// state on the side. The analyzer therefore rejects mutable namespace-
+/// scope variables, mutable `static` locals, and singletons in the library
+/// layers — each one is state a snapshot reader could observe mid-mutation.
+///
+/// Process-wide *test and diagnostics infrastructure* that is deliberately
+/// global — the fail-point registry, crash handlers — declares so at the
+/// declaration site. For a namespace-scope declaration the macro goes on
+/// the same line or within the four lines directly above it (the call may
+/// wrap); for a function-local static, anywhere inside the enclosing
+/// function — the function vouches for all of its statics:
+///
+///   CRH_GLOBAL_STATE_EXEMPT("fail-point registry is test infrastructure");
+///   static FailPoints instance;
+///
+/// The annotation mirrors CRH_DETERMINISM_EXEMPT (common/determinism.h):
+/// the author vouches that the exempted state is never consulted on a
+/// snapshot read path. Misuse fails to build — the reason must be a
+/// non-empty string literal (literal concatenation only compiles for
+/// actual literals; see tests/negative_compile/exempt_global_empty_reason.cc
+/// and exempt_global_nonliteral_reason.cc).
+
+/// Marks the adjacent global/static declaration as a reviewed snapshot-
+/// safety exemption. `reason` must be a non-empty string literal:
+/// `reason ""` only compiles when `reason` is itself a literal, and
+/// sizeof > 1 rejects the empty string. Expands to a compile-time no-op.
+#define CRH_GLOBAL_STATE_EXEMPT(reason)                                       \
+  static_assert(sizeof(reason "") > 1,                                        \
+                "CRH_GLOBAL_STATE_EXEMPT requires a non-empty string "        \
+                "literal explaining why this process-global state can "       \
+                "never be observed through an epoch snapshot")
+
+#endif  // CRH_COMMON_GLOBAL_STATE_H_

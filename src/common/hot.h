@@ -1,0 +1,36 @@
+#ifndef CRH_COMMON_HOT_H_
+#define CRH_COMMON_HOT_H_
+
+/// \file hot.h
+/// The CRH_HOT real-time-discipline annotation.
+///
+/// ROADMAP item 1 (a resident `crh_serve` daemon answering truth queries
+/// from an epoch snapshot) and item 3 (SIMD/arena kernels) both require the
+/// solver's inner loops to be *hard* real-time friendly: re-entered once
+/// per entry per iteration, they must never allocate, grow a container,
+/// take a lock, block on I/O, throw, or evaluate a fail point. A stray
+/// `std::vector` copy in `UpdateTruths` is invisible in a code review but
+/// dominates serving latency.
+///
+/// `CRH_HOT` marks a function as belonging to that discipline:
+///
+///   CRH_HOT double WeightedMeanSpan(const double* values,
+///                                   const double* weights, size_t n);
+///
+/// The whole-program analyzer (scripts/crh_analyzer.py, `hot` check)
+/// verifies the property *transitively*: neither the annotated function
+/// nor anything it can reach through the call graph may contain a
+/// forbidden operation. Scratch memory is therefore caller-owned — the
+/// orchestrating pass allocates reusable buffers once per run and the hot
+/// kernels only index into them (see SolverScratch in core/crh.cc).
+///
+/// On GCC/Clang the macro also expands to the `hot` function attribute, so
+/// the annotation doubles as an optimizer placement hint.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CRH_HOT __attribute__((hot))
+#else
+#define CRH_HOT
+#endif
+
+#endif  // CRH_COMMON_HOT_H_

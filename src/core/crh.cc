@@ -2,14 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <memory>
 
 #include "analysis/invariants.h"
 #include "common/check.h"
+#include "common/hot.h"
 #include "common/thread_pool.h"
-#include "core/resolvers.h"
 #include "losses/loss.h"
+#include "losses/resolvers.h"
 #include "losses/text_distance.h"
 
 namespace crh {
@@ -75,6 +77,85 @@ void RunShards(size_t num_shards, ThreadPool* pool, const std::function<void(siz
   for (size_t s = 0; s < num_shards; ++s) fn(s);
 }
 
+// --- Caller-owned solver scratch ---------------------------------------------
+//
+// Every buffer the per-iteration passes need is allocated once per run
+// (EnsureSolverScratch) and reused across iterations; the CRH_HOT shard
+// kernels below only read and index into it. scripts/crh_analyzer.py
+// (--check=hot) statically verifies the kernels stay allocation-, lock-
+// and I/O-free.
+
+/// Per-shard scratch: exactly one worker touches a shard's EntryScratch at
+/// a time (static shard-to-worker assignment), so no synchronization.
+struct EntryScratch {
+  std::vector<double> claim_weights;  // per-claim source weights
+  std::vector<double> cont_values;    // continuous claim values
+  std::vector<CategoryId> labels;     // categorical claim labels
+  ResolverScratch resolver;
+  EditDistanceScratch edit;
+};
+
+/// Whole-run scratch owned by the orchestrators. Flat partial buffers are
+/// num_shards consecutive slices, reduced in shard order.
+struct SolverScratch {
+  size_t num_shards = 0;
+  std::vector<EntryScratch> per_shard;  // one per shard
+  std::vector<double> partial_loss;     // num_shards x (K * M)
+  std::vector<uint32_t> partial_count;  // num_shards x (K * M)
+  std::vector<double> partial_source;   // num_shards x K
+  std::vector<double> partial_scalar;   // num_shards
+  std::vector<double> loss;             // K * M reduced + normalized matrix
+  std::vector<size_t> count;            // K * M reduced observation counts
+};
+
+/// Sizes \p scratch for the dataset: shard grid, the largest claim span any
+/// entry has, and the longest text label (edit-distance rows). Runs once
+/// per solver entry point, outside every hot loop.
+void EnsureSolverScratch(const Dataset& data, const ClaimIndex& index,
+                         SolverScratch* scratch) {
+  const size_t k_sources = data.num_sources();
+  const size_t m_props = data.num_properties();
+  const size_t num_shards = NumEntryShards(index.num_entries());
+  scratch->num_shards = num_shards;
+
+  size_t max_claims = 0;
+  for (size_t e = 0; e < index.num_entries(); ++e) {
+    max_claims = std::max(max_claims, index.entry(e).size);
+  }
+  size_t max_label_len = 0;
+  for (size_t m = 0; m < m_props; ++m) {
+    if (data.schema().property(m).type != PropertyType::kText) continue;
+    const CategoryDict& dict = data.dict(m);
+    for (size_t id = 0; id < dict.size(); ++id) {
+      max_label_len = std::max(max_label_len, dict.label(static_cast<CategoryId>(id)).size());
+    }
+  }
+
+  if (scratch->per_shard.size() < num_shards) scratch->per_shard.resize(num_shards);
+  for (EntryScratch& shard : scratch->per_shard) {
+    if (shard.claim_weights.size() < max_claims) {
+      shard.claim_weights.resize(max_claims);
+      shard.cont_values.resize(max_claims);
+      shard.labels.resize(max_claims);
+    }
+    shard.resolver.Reserve(max_claims);
+    shard.edit.Reserve(max_label_len);
+  }
+  const size_t cells = k_sources * m_props;
+  if (scratch->partial_loss.size() < num_shards * cells) {
+    scratch->partial_loss.resize(num_shards * cells);
+    scratch->partial_count.resize(num_shards * cells);
+  }
+  if (scratch->partial_source.size() < num_shards * k_sources) {
+    scratch->partial_source.resize(num_shards * k_sources);
+  }
+  if (scratch->partial_scalar.size() < num_shards) scratch->partial_scalar.resize(num_shards);
+  if (scratch->loss.size() < cells) {
+    scratch->loss.resize(cells);
+    scratch->count.resize(cells);
+  }
+}
+
 /// Property -> weight-group mapping for the configured granularity.
 /// Returns the group of each property; sets *num_groups.
 std::vector<size_t> BuildPropertyGroups(const Schema& schema, WeightGranularity granularity,
@@ -106,108 +187,93 @@ std::vector<size_t> BuildPropertyGroups(const Schema& schema, WeightGranularity 
   return group;
 }
 
-/// Updates the truth (and soft distribution) of every entry given per-group
-/// source weights; supervised cells are clamped to their labels. Iterates
-/// the claim index — O(claims), not O(K * N * M) — and shards the entry
-/// space across the pool (every entry is independent, so no reduction).
-void UpdateTruths(const Dataset& data, const ClaimIndex& index,
-                  const std::vector<std::vector<double>>& group_weights,
-                  const std::vector<size_t>& property_group, const CrhOptions& options,
-                  ThreadPool* pool, SolverState* state) {
-  const size_t m_props = data.num_properties();
-  const size_t num_entries = index.num_entries();
+// --- CRH_HOT shard kernels ---------------------------------------------------
 
-  // Per-property dispatch, resolved once instead of per entry.
-  std::vector<PropertyType> types(m_props);
-  std::vector<char> soft_active(m_props, 0);
-  std::vector<const std::vector<double>*> weights_for(m_props);
-  for (size_t m = 0; m < m_props; ++m) {
-    types[m] = data.schema().property(m).type;
-    soft_active[m] = types[m] == PropertyType::kCategorical &&
-                     options.categorical_model == CategoricalModel::kSoftProbability;
-    weights_for[m] = &group_weights[property_group[m]];
-  }
-
-  const size_t num_shards = NumEntryShards(num_entries);
-  RunShards(num_shards, pool, [&](size_t shard) {
-    // Per-shard scratch, reused across the shard's entries.
-    std::vector<Value> claim_values;
-    std::vector<double> claim_weights;
-    std::vector<double> cont_values;
-    std::vector<CategoryId> labels;
-    const EntryRange range = ShardRange(num_entries, num_shards, shard);
-    for (size_t e = range.begin; e < range.end; ++e) {
-      const size_t i = e / m_props;
-      const size_t m = e % m_props;
-      if (options.supervision != nullptr) {
-        const Value& label = options.supervision->Get(i, m);
-        if (!label.is_missing()) {
-          state->truths.Set(i, m, label);
-          continue;
-        }
-      }
-      const ClaimSpan span = index.entry(e);
-      if (span.empty()) {
-        state->truths.Set(i, m, Value::Missing());
+/// Truth update (Eq 3) over one shard's entry range: every entry is
+/// resolved through the span primitives against caller-owned scratch.
+/// Bit-identical to the allocating resolvers it replaced (same candidate
+/// order, association order and tie-breaks).
+CRH_HOT void UpdateTruthsShard(const Dataset& data, const ClaimIndex& index,
+                               const std::vector<PropertyType>& types,
+                               const std::vector<char>& soft_active,
+                               const std::vector<const std::vector<double>*>& weights_for,
+                               const CrhOptions& options, EntryRange range, size_t m_props,
+                               EntryScratch& scratch, SolverState* state) {
+  for (size_t e = range.begin; e < range.end; ++e) {
+    const size_t i = e / m_props;
+    const size_t m = e % m_props;
+    if (options.supervision != nullptr) {
+      const Value& label = options.supervision->Get(i, m);
+      if (!label.is_missing()) {
+        state->truths.Set(i, m, label);
         continue;
       }
-      const std::vector<double>& weights = *weights_for[m];
-      claim_weights.clear();
-      for (size_t c = 0; c < span.size; ++c) claim_weights.push_back(weights[span.sources[c]]);
-
-      if (types[m] == PropertyType::kText) {
-        // Text truths: the claim minimizing the weighted total normalized
-        // edit distance to all claims (the medoid induced by the text loss).
-        claim_values.assign(span.values, span.values + span.size);
-        state->truths.Set(i, m,
-                          WeightedMedoid(claim_values, claim_weights,
-                                         [&data, m](const Value& a, const Value& b) {
-                                           return NormalizedEditDistance(
-                                               data.dict(m).label(a.category()),
-                                               data.dict(m).label(b.category()));
-                                         }));
-      } else if (types[m] == PropertyType::kCategorical) {
-        if (soft_active[m]) {
-          labels.clear();
-          for (size_t c = 0; c < span.size; ++c) labels.push_back(span.values[c].category());
-          const size_t l_m = state->num_labels[m];
-          std::vector<double> dist = WeightedLabelDistribution(labels, claim_weights, l_m);
-          const CategoryId mode = static_cast<CategoryId>(ArgMax(dist));
-          std::copy(dist.begin(), dist.end(), state->soft[m].begin() + static_cast<long>(i * l_m));
-          state->truths.Set(i, m, Value::Categorical(mode));
-        } else {
-          claim_values.assign(span.values, span.values + span.size);
-          state->truths.Set(i, m, WeightedVote(claim_values, claim_weights));
-        }
-      } else {
-        cont_values.clear();
-        for (size_t c = 0; c < span.size; ++c) cont_values.push_back(span.values[c].continuous());
-        double truth;
-        if (options.continuous_model == ContinuousModel::kMedian) {
-          truth = WeightedMedian(cont_values, claim_weights);
-        } else {
-          truth = WeightedMean(cont_values, claim_weights);
-          if (std::isnan(truth)) {
-            truth = WeightedMedian(cont_values, std::vector<double>(cont_values.size(), 1.0));
-          }
-        }
-        state->truths.Set(i, m, Value::Continuous(truth));
-      }
     }
-  });
+    const ClaimSpan span = index.entry(e);
+    if (span.empty()) {
+      state->truths.Set(i, m, Value::Missing());
+      continue;
+    }
+    const std::vector<double>& weights = *weights_for[m];
+    double* claim_weights = scratch.claim_weights.data();
+    for (size_t c = 0; c < span.size; ++c) claim_weights[c] = weights[span.sources[c]];
+
+    if (types[m] == PropertyType::kText) {
+      // Text truths: the claim minimizing the weighted total normalized
+      // edit distance to all claims (the medoid induced by the text loss).
+      const CategoryDict& dict = data.dict(m);
+      EditDistanceScratch& edit = scratch.edit;
+      state->truths.Set(
+          i, m,
+          WeightedMedoidSpan(span.values, claim_weights, span.size, scratch.resolver,
+                             [&dict, &edit](const Value& a, const Value& b) {
+                               return NormalizedEditDistanceSpan(dict.label(a.category()),
+                                                                 dict.label(b.category()), edit);
+                             }));
+    } else if (types[m] == PropertyType::kCategorical) {
+      if (soft_active[m]) {
+        CategoryId* labels = scratch.labels.data();
+        for (size_t c = 0; c < span.size; ++c) labels[c] = span.values[c].category();
+        const size_t l_m = state->num_labels[m];
+        double* dist = state->soft[m].data() + i * l_m;
+        WeightedLabelDistributionSpan(labels, claim_weights, span.size, dist, l_m);
+        state->truths.Set(i, m,
+                          Value::Categorical(static_cast<CategoryId>(ArgMaxSpan(dist, l_m))));
+      } else {
+        state->truths.Set(i, m,
+                          WeightedVoteSpan(span.values, claim_weights, span.size,
+                                           scratch.resolver));
+      }
+    } else {
+      double* cont_values = scratch.cont_values.data();
+      for (size_t c = 0; c < span.size; ++c) cont_values[c] = span.values[c].continuous();
+      double truth;
+      if (options.continuous_model == ContinuousModel::kMedian) {
+        truth = WeightedMedianSpan(cont_values, claim_weights, span.size, scratch.resolver);
+      } else {
+        truth = WeightedMeanSpan(cont_values, claim_weights, span.size);
+        if (std::isnan(truth)) {
+          // Zero total weight: null weights select the uniform median.
+          truth = WeightedMedianSpan(cont_values, nullptr, span.size, scratch.resolver);
+        }
+      }
+      state->truths.Set(i, m, Value::Continuous(truth));
+    }
+  }
 }
 
 /// The per-claim loss of a claim on entry (i, m) under the configured
 /// models, given a candidate solution view. The soft categorical loss is
 /// scored against a pointer view into the property's soft block — no
 /// per-claim copy of the entry's distribution.
-double ClaimLoss(const Dataset& data, const TruthView& view, const EntryStats& stats,
-                 ContinuousModel continuous_model, size_t i, size_t m, const Value& obs) {
+CRH_HOT double ClaimLoss(const Dataset& data, const TruthView& view, const EntryStats& stats,
+                         ContinuousModel continuous_model, size_t i, size_t m, const Value& obs,
+                         EditDistanceScratch& edit) {
   const PropertyType type = data.schema().property(m).type;
   if (type == PropertyType::kText) {
     const Value& truth = view.truths->Get(i, m);
-    return NormalizedEditDistance(data.dict(m).label(truth.category()),
-                                  data.dict(m).label(obs.category()));
+    return NormalizedEditDistanceSpan(data.dict(m).label(truth.category()),
+                                      data.dict(m).label(obs.category()), edit);
   }
   if (type == PropertyType::kCategorical) {
     if (view.soft != nullptr) {
@@ -226,61 +292,149 @@ double ClaimLoss(const Dataset& data, const TruthView& view, const EntryStats& s
   return diff * diff / scale;
 }
 
+/// One shard of the normalized loss matrix: accumulates per-cell loss and
+/// observation counts over the shard's claims into caller-owned slices
+/// (zeroed here — the kernel owns its whole slice).
+CRH_HOT void LossMatrixShard(const Dataset& data, const ClaimIndex& index,
+                             const TruthView& view, const EntryStats& stats,
+                             ContinuousModel continuous_model, EntryRange range,
+                             size_t m_props, double* loss, uint32_t* count, size_t cells,
+                             EntryScratch& scratch) {
+  std::fill(loss, loss + cells, 0.0);
+  std::fill(count, count + cells, 0u);
+  for (size_t e = range.begin; e < range.end; ++e) {
+    const ClaimSpan span = index.entry(e);
+    if (span.empty()) continue;
+    const size_t i = e / m_props;
+    const size_t m = e % m_props;
+    if (view.truths->Get(i, m).is_missing()) continue;
+    for (size_t c = 0; c < span.size; ++c) {
+      const size_t cell = span.sources[c] * m_props + m;
+      loss[cell] += ClaimLoss(data, view, stats, continuous_model, i, m, span.values[c],
+                              scratch.edit);
+      ++count[cell];
+    }
+  }
+}
+
+/// One shard of the grouped (Eq 1, per-group weights) objective.
+CRH_HOT double GroupedObjectiveShard(const Dataset& data, const ClaimIndex& index,
+                                     const TruthView& view, const EntryStats& stats,
+                                     ContinuousModel continuous_model,
+                                     const std::vector<std::vector<double>>& group_weights,
+                                     const std::vector<size_t>& property_group,
+                                     EntryRange range, size_t m_props, EntryScratch& scratch) {
+  double objective = 0.0;
+  for (size_t e = range.begin; e < range.end; ++e) {
+    const ClaimSpan span = index.entry(e);
+    if (span.empty()) continue;
+    const size_t i = e / m_props;
+    const size_t m = e % m_props;
+    if (view.truths->Get(i, m).is_missing()) continue;
+    const std::vector<double>& weights = group_weights[property_group[m]];
+    for (size_t c = 0; c < span.size; ++c) {
+      objective += weights[span.sources[c]] * ClaimLoss(data, view, stats, continuous_model,
+                                                        i, m, span.values[c], scratch.edit);
+    }
+  }
+  return objective;
+}
+
+/// One shard of the raw objective's per-source loss totals, written into a
+/// caller-owned K-length slice.
+CRH_HOT void ObjectiveShard(const Dataset& data, const ClaimIndex& index,
+                            const TruthView& view, const EntryStats& stats,
+                            ContinuousModel continuous_model, EntryRange range,
+                            size_t m_props, double* totals, size_t k_sources,
+                            EntryScratch& scratch) {
+  std::fill(totals, totals + k_sources, 0.0);
+  for (size_t e = range.begin; e < range.end; ++e) {
+    const ClaimSpan span = index.entry(e);
+    if (span.empty()) continue;
+    const size_t i = e / m_props;
+    const size_t m = e % m_props;
+    if (view.truths->Get(i, m).is_missing()) continue;
+    for (size_t c = 0; c < span.size; ++c) {
+      totals[span.sources[c]] += ClaimLoss(data, view, stats, continuous_model, i, m,
+                                           span.values[c], scratch.edit);
+    }
+  }
+}
+
+// --- Orchestrators -----------------------------------------------------------
+//
+// Not CRH_HOT: they own the scratch, build the per-property dispatch
+// tables, and run the kernels across the (possibly pooled) shard grid.
+
+/// Updates the truth (and soft distribution) of every entry given per-group
+/// source weights; supervised cells are clamped to their labels. Iterates
+/// the claim index — O(claims), not O(K * N * M) — and shards the entry
+/// space across the pool (every entry is independent, so no reduction).
+void UpdateTruths(const Dataset& data, const ClaimIndex& index,
+                  const std::vector<std::vector<double>>& group_weights,
+                  const std::vector<size_t>& property_group, const CrhOptions& options,
+                  ThreadPool* pool, SolverScratch& scratch, SolverState* state) {
+  const size_t m_props = data.num_properties();
+  const size_t num_entries = index.num_entries();
+
+  // Per-property dispatch, resolved once instead of per entry.
+  std::vector<PropertyType> types(m_props);
+  std::vector<char> soft_active(m_props, 0);
+  std::vector<const std::vector<double>*> weights_for(m_props);
+  for (size_t m = 0; m < m_props; ++m) {
+    types[m] = data.schema().property(m).type;
+    soft_active[m] = types[m] == PropertyType::kCategorical &&
+                     options.categorical_model == CategoricalModel::kSoftProbability;
+    weights_for[m] = &group_weights[property_group[m]];
+  }
+
+  const size_t num_shards = scratch.num_shards;
+  RunShards(num_shards, pool, [&](size_t shard) {
+    UpdateTruthsShard(data, index, types, soft_active, weights_for, options,
+                      ShardRange(num_entries, num_shards, shard), m_props,
+                      scratch.per_shard[shard], state);
+  });
+}
+
 /// Computes the K x M matrix of per-source per-property losses with the
-/// configured observation-count and per-property normalizations applied.
-/// Claim-major: one pass over the index's present claims, sharded with
-/// per-shard partial matrices reduced in shard order.
-std::vector<std::vector<double>> NormalizedLossMatrix(const Dataset& data,
-                                                      const ClaimIndex& index,
-                                                      const TruthView& view,
-                                                      const EntryStats& stats,
-                                                      const CrhOptions& options,
-                                                      ThreadPool* pool) {
+/// configured observation-count and per-property normalizations applied,
+/// into scratch.loss (row-major K x M). Claim-major: one pass over the
+/// index's present claims, sharded with flat per-shard partial slices
+/// reduced in shard order.
+void NormalizedLossMatrix(const Dataset& data, const ClaimIndex& index, const TruthView& view,
+                          const EntryStats& stats, const CrhOptions& options,
+                          ThreadPool* pool, SolverScratch& scratch) {
   const size_t k_sources = data.num_sources();
   const size_t m_props = data.num_properties();
   const size_t num_entries = index.num_entries();
-  const size_t num_shards = NumEntryShards(num_entries);
+  const size_t num_shards = scratch.num_shards;
+  const size_t cells = k_sources * m_props;
 
-  std::vector<std::vector<double>> partial_loss(num_shards);
-  std::vector<std::vector<uint32_t>> partial_count(num_shards);
   RunShards(num_shards, pool, [&](size_t shard) {
-    std::vector<double>& loss = partial_loss[shard];
-    std::vector<uint32_t>& count = partial_count[shard];
-    loss.assign(k_sources * m_props, 0.0);
-    count.assign(k_sources * m_props, 0);
-    const EntryRange range = ShardRange(num_entries, num_shards, shard);
-    for (size_t e = range.begin; e < range.end; ++e) {
-      const ClaimSpan span = index.entry(e);
-      if (span.empty()) continue;
-      const size_t i = e / m_props;
-      const size_t m = e % m_props;
-      if (view.truths->Get(i, m).is_missing()) continue;
-      for (size_t c = 0; c < span.size; ++c) {
-        const size_t cell = span.sources[c] * m_props + m;
-        loss[cell] +=
-            ClaimLoss(data, view, stats, options.continuous_model, i, m, span.values[c]);
-        ++count[cell];
-      }
-    }
+    LossMatrixShard(data, index, view, stats, options.continuous_model,
+                    ShardRange(num_entries, num_shards, shard), m_props,
+                    scratch.partial_loss.data() + shard * cells,
+                    scratch.partial_count.data() + shard * cells, cells,
+                    scratch.per_shard[shard]);
   });
 
   // Ordered reduction: shard partials combine in shard order.
-  std::vector<std::vector<double>> loss(k_sources, std::vector<double>(m_props, 0.0));
-  std::vector<std::vector<size_t>> count(k_sources, std::vector<size_t>(m_props, 0));
+  double* loss = scratch.loss.data();
+  size_t* count = scratch.count.data();
+  std::fill(loss, loss + cells, 0.0);
+  std::fill(count, count + cells, size_t{0});
   for (size_t shard = 0; shard < num_shards; ++shard) {
-    for (size_t k = 0; k < k_sources; ++k) {
-      for (size_t m = 0; m < m_props; ++m) {
-        loss[k][m] += partial_loss[shard][k * m_props + m];
-        count[k][m] += partial_count[shard][k * m_props + m];
-      }
+    const double* shard_loss = scratch.partial_loss.data() + shard * cells;
+    const uint32_t* shard_count = scratch.partial_count.data() + shard * cells;
+    for (size_t cell = 0; cell < cells; ++cell) {
+      loss[cell] += shard_loss[cell];
+      count[cell] += shard_count[cell];
     }
   }
 
   if (options.normalize_by_observation_count) {
-    for (size_t k = 0; k < k_sources; ++k) {
-      for (size_t m = 0; m < m_props; ++m) {
-        if (count[k][m] > 0) loss[k][m] /= static_cast<double>(count[k][m]);
-      }
+    for (size_t cell = 0; cell < cells; ++cell) {
+      if (count[cell] > 0) loss[cell] /= static_cast<double>(count[cell]);
     }
   }
 
@@ -289,28 +443,29 @@ std::vector<std::vector<double>> NormalizedLossMatrix(const Dataset& data,
       double norm = 0.0;
       for (size_t k = 0; k < k_sources; ++k) {
         if (options.property_normalization == PropertyLossNormalization::kSum) {
-          norm += loss[k][m];
+          norm += loss[k * m_props + m];
         } else {
-          norm = std::max(norm, loss[k][m]);
+          norm = std::max(norm, loss[k * m_props + m]);
         }
       }
       if (norm > 0) {
-        for (size_t k = 0; k < k_sources; ++k) loss[k][m] /= norm;
+        for (size_t k = 0; k < k_sources; ++k) loss[k * m_props + m] /= norm;
       }
     }
   }
-  return loss;
 }
 
 /// Sums the normalized loss matrix over all properties (the global
 /// per-source deviations feeding the weight update).
 std::vector<double> AggregateSourceLosses(const Dataset& data, const ClaimIndex& index,
                                           const TruthView& view, const EntryStats& stats,
-                                          const CrhOptions& options, ThreadPool* pool) {
-  const auto loss = NormalizedLossMatrix(data, index, view, stats, options, pool);
+                                          const CrhOptions& options, ThreadPool* pool,
+                                          SolverScratch& scratch) {
+  NormalizedLossMatrix(data, index, view, stats, options, pool, scratch);
+  const size_t m_props = data.num_properties();
   std::vector<double> totals(data.num_sources(), 0.0);
   for (size_t k = 0; k < data.num_sources(); ++k) {
-    for (size_t m = 0; m < data.num_properties(); ++m) totals[k] += loss[k][m];
+    for (size_t m = 0; m < m_props; ++m) totals[k] += scratch.loss[k * m_props + m];
   }
   return totals;
 }
@@ -322,33 +477,20 @@ std::vector<double> AggregateSourceLosses(const Dataset& data, const ClaimIndex&
 double GroupedObjective(const Dataset& data, const ClaimIndex& index, const ValueTable& truths,
                         const std::vector<std::vector<double>>& group_weights,
                         const std::vector<size_t>& property_group, const EntryStats& stats,
-                        const CrhOptions& options, ThreadPool* pool) {
+                        const CrhOptions& options, ThreadPool* pool, SolverScratch& scratch) {
   const TruthView view{&truths, nullptr, nullptr};
   const size_t m_props = data.num_properties();
   const size_t num_entries = index.num_entries();
-  const size_t num_shards = NumEntryShards(num_entries);
+  const size_t num_shards = scratch.num_shards;
 
-  std::vector<double> partial(num_shards, 0.0);
   RunShards(num_shards, pool, [&](size_t shard) {
-    double objective = 0.0;
-    const EntryRange range = ShardRange(num_entries, num_shards, shard);
-    for (size_t e = range.begin; e < range.end; ++e) {
-      const ClaimSpan span = index.entry(e);
-      if (span.empty()) continue;
-      const size_t i = e / m_props;
-      const size_t m = e % m_props;
-      if (truths.Get(i, m).is_missing()) continue;
-      const std::vector<double>& weights = group_weights[property_group[m]];
-      for (size_t c = 0; c < span.size; ++c) {
-        objective += weights[span.sources[c]] *
-                     ClaimLoss(data, view, stats, options.continuous_model, i, m, span.values[c]);
-      }
-    }
-    partial[shard] = objective;
+    scratch.partial_scalar[shard] = GroupedObjectiveShard(
+        data, index, view, stats, options.continuous_model, group_weights, property_group,
+        ShardRange(num_entries, num_shards, shard), m_props, scratch.per_shard[shard]);
   });
 
   double objective = 0.0;
-  for (size_t shard = 0; shard < num_shards; ++shard) objective += partial[shard];
+  for (size_t shard = 0; shard < num_shards; ++shard) objective += scratch.partial_scalar[shard];
   return objective;
 }
 
@@ -358,39 +500,30 @@ double GroupedObjective(const Dataset& data, const ClaimIndex& index, const Valu
 double CrhObjectiveOverIndex(const Dataset& data, const ClaimIndex& index,
                              const ValueTable& truths, const std::vector<double>& weights,
                              const EntryStats& stats, const CrhOptions& options,
-                             ThreadPool* pool) {
+                             ThreadPool* pool, SolverScratch& scratch) {
   // The raw objective uses hard truths; under the soft model this is the
   // 0-1 surrogate evaluated at the mode, which is what the history reports.
   const TruthView view{&truths, nullptr, nullptr};
   const size_t k_sources = data.num_sources();
   const size_t m_props = data.num_properties();
   const size_t num_entries = index.num_entries();
-  const size_t num_shards = NumEntryShards(num_entries);
+  const size_t num_shards = scratch.num_shards;
 
-  std::vector<std::vector<double>> partial(num_shards);
   RunShards(num_shards, pool, [&](size_t shard) {
-    std::vector<double>& totals = partial[shard];
-    totals.assign(k_sources, 0.0);
-    const EntryRange range = ShardRange(num_entries, num_shards, shard);
-    for (size_t e = range.begin; e < range.end; ++e) {
-      const ClaimSpan span = index.entry(e);
-      if (span.empty()) continue;
-      const size_t i = e / m_props;
-      const size_t m = e % m_props;
-      if (truths.Get(i, m).is_missing()) continue;
-      for (size_t c = 0; c < span.size; ++c) {
-        totals[span.sources[c]] +=
-            ClaimLoss(data, view, stats, options.continuous_model, i, m, span.values[c]);
-      }
-    }
+    ObjectiveShard(data, index, view, stats, options.continuous_model,
+                   ShardRange(num_entries, num_shards, shard), m_props,
+                   scratch.partial_source.data() + shard * k_sources, k_sources,
+                   scratch.per_shard[shard]);
   });
 
-  std::vector<double> totals(k_sources, 0.0);
-  for (size_t shard = 0; shard < num_shards; ++shard) {
-    for (size_t k = 0; k < k_sources; ++k) totals[k] += partial[shard][k];
-  }
   double objective = 0.0;
-  for (size_t k = 0; k < k_sources; ++k) objective += weights[k] * totals[k];
+  for (size_t k = 0; k < k_sources; ++k) {
+    double total = 0.0;
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      total += scratch.partial_source[shard * k_sources + k];
+    }
+    objective += weights[k] * total;
+  }
   return objective;
 }
 
@@ -413,7 +546,9 @@ ValueTable ComputeTruthsGivenWeights(const Dataset& data, const ClaimIndex& inde
   CrhOptions hard = options;
   hard.categorical_model = CategoricalModel::kVoting;
   const std::vector<size_t> groups(data.num_properties(), 0);
-  UpdateTruths(data, index, {weights}, groups, hard, pool, &state);
+  SolverScratch scratch;
+  EnsureSolverScratch(data, index, &scratch);
+  UpdateTruths(data, index, {weights}, groups, hard, pool, scratch, &state);
   return std::move(state.truths);
 }
 
@@ -428,7 +563,9 @@ std::vector<double> ComputeSourceDeviations(const Dataset& data, const ClaimInde
                                             const ValueTable& truths, const EntryStats& stats,
                                             const CrhOptions& options, ThreadPool* pool) {
   const TruthView view{&truths, nullptr, nullptr};
-  return AggregateSourceLosses(data, index, view, stats, options, pool);
+  SolverScratch scratch;
+  EnsureSolverScratch(data, index, &scratch);
+  return AggregateSourceLosses(data, index, view, stats, options, pool, scratch);
 }
 
 std::vector<double> ComputeSourceDeviations(const Dataset& data, const ValueTable& truths,
@@ -443,7 +580,10 @@ double CrhObjective(const Dataset& data, const ValueTable& truths,
                     const CrhOptions& options) {
   const ClaimIndex index = ClaimIndex::Build(data);
   const std::unique_ptr<ThreadPool> pool = MakePoolForOptions(options);
-  return CrhObjectiveOverIndex(data, index, truths, weights, stats, options, pool.get());
+  SolverScratch scratch;
+  EnsureSolverScratch(data, index, &scratch);
+  return CrhObjectiveOverIndex(data, index, truths, weights, stats, options, pool.get(),
+                               scratch);
 }
 
 Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options) {
@@ -466,12 +606,18 @@ Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options) {
   }
 
   const size_t k_sources = data.num_sources();
+  const size_t m_props = data.num_properties();
   const EntryStats stats = ComputeEntryStats(data);
   // Built once per run: every per-iteration pass below iterates present
   // claims only (the paper's per-iteration bound), never the dense grid.
   const ClaimIndex index = ClaimIndex::Build(data);
   const std::unique_ptr<ThreadPool> pool_storage = MakePoolForOptions(options);
   ThreadPool* const pool = pool_storage.get();
+
+  // All per-iteration buffers live here, allocated once; the iteration
+  // loop itself performs no scratch allocation.
+  SolverScratch scratch;
+  EnsureSolverScratch(data, index, &scratch);
 
   // Observer priority: an explicitly configured observer wins; under a
   // CRH_VERIFY build every unobserved run gets the full invariant bundle.
@@ -509,11 +655,13 @@ Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options) {
   // Step 0: initialize truths with uniform weights (Voting / Median / Mean).
   std::vector<std::vector<double>> group_weights(num_groups,
                                                  std::vector<double>(k_sources, 1.0));
-  UpdateTruths(data, index, group_weights, property_group, options, pool, &state);
+  UpdateTruths(data, index, group_weights, property_group, options, pool, scratch, &state);
 
   CrhResult result;
   double prev_objective = std::numeric_limits<double>::infinity();
   const bool observing = observer != nullptr;
+  std::vector<double> totals(k_sources, 0.0);
+  std::vector<double> mean_weights(k_sources, 0.0);
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     // Step I: source weight update (Eq 2 / Eq 5), one update per group.
     // When observed, the update's descent certificate (the exact functional
@@ -521,12 +669,12 @@ Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options) {
     double weight_step_before = std::numeric_limits<double>::quiet_NaN();
     double weight_step_after = std::numeric_limits<double>::quiet_NaN();
     if (observing) weight_step_before = weight_step_after = 0.0;
-    const auto loss_matrix = NormalizedLossMatrix(data, index, state_view, stats, options, pool);
+    NormalizedLossMatrix(data, index, state_view, stats, options, pool, scratch);
     for (size_t g = 0; g < num_groups; ++g) {
-      std::vector<double> totals(k_sources, 0.0);
+      std::fill(totals.begin(), totals.end(), 0.0);
       for (size_t k = 0; k < k_sources; ++k) {
-        for (size_t m = 0; m < data.num_properties(); ++m) {
-          if (property_group[m] == g) totals[k] += loss_matrix[k][m];
+        for (size_t m = 0; m < m_props; ++m) {
+          if (property_group[m] == g) totals[k] += scratch.loss[k * m_props + m];
         }
       }
       if (observing) {
@@ -546,18 +694,18 @@ Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options) {
     // truths backs the truth-step certificate.
     ValueTable truths_before_update;
     if (observing) truths_before_update = state.truths;
-    UpdateTruths(data, index, group_weights, property_group, options, pool, &state);
+    UpdateTruths(data, index, group_weights, property_group, options, pool, scratch, &state);
 
     // Convergence is judged on the mean-across-groups weights via the raw
     // objective (Eq 1).
-    std::vector<double> mean_weights(k_sources, 0.0);
+    std::fill(mean_weights.begin(), mean_weights.end(), 0.0);
     for (size_t k = 0; k < k_sources; ++k) {
       for (size_t g = 0; g < num_groups; ++g) mean_weights[k] += group_weights[g][k];
       mean_weights[k] /= static_cast<double>(num_groups);
     }
     result.iterations = iter + 1;
-    const double objective =
-        CrhObjectiveOverIndex(data, index, state.truths, mean_weights, stats, options, pool);
+    const double objective = CrhObjectiveOverIndex(data, index, state.truths, mean_weights,
+                                                   stats, options, pool, scratch);
     result.objective_history.push_back(objective);
     if (observing) {
       IterationSnapshot snapshot;
@@ -574,9 +722,10 @@ Result<CrhResult> RunCrh(const Dataset& data, const CrhOptions& options) {
       snapshot.weight_step_after = weight_step_after;
       snapshot.truth_step_before = GroupedObjective(data, index, truths_before_update,
                                                     group_weights, property_group, stats,
-                                                    options, pool);
+                                                    options, pool, scratch);
       snapshot.truth_step_after = GroupedObjective(data, index, state.truths, group_weights,
-                                                   property_group, stats, options, pool);
+                                                   property_group, stats, options, pool,
+                                                   scratch);
       CRH_RETURN_NOT_OK(observer->OnIteration(snapshot));
     }
     const double denom = std::max(std::abs(prev_objective), 1.0);

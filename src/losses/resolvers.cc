@@ -1,4 +1,4 @@
-#include "core/resolvers.h"
+#include "losses/resolvers.h"
 
 #include <algorithm>
 #include <cmath>
@@ -223,6 +223,121 @@ Value WeightedMedoid(const std::vector<Value>& values, const std::vector<double>
 size_t ArgMax(const std::vector<double>& xs) {
   size_t best = 0;
   for (size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] > xs[best]) best = i;
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Span variants. Each mirrors its vector counterpart exactly: candidates are
+// scanned in first-claim order, weights accumulate with the same association
+// order, and ties break through the same comparators, so results are
+// bit-identical at any claim count.
+
+CRH_HOT Value WeightedVoteSpan(const Value* values, const double* weights, size_t n,
+                       ResolverScratch& scratch) {
+  CRH_DCHECK_GE(scratch.candidates.size(), n);
+  Value* candidates = scratch.candidates.data();
+  double* tally = scratch.tally.data();
+  size_t num_candidates = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (values[k].is_missing()) continue;
+    size_t c = 0;
+    while (c < num_candidates && !(candidates[c] == values[k])) ++c;
+    if (c == num_candidates) {
+      candidates[num_candidates] = values[k];
+      tally[num_candidates] = 0.0;
+      ++num_candidates;
+    }
+    tally[c] += weights[k];
+  }
+  if (num_candidates == 0) return Value::Missing();
+  Value best = Value::Missing();
+  double best_weight = -std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < num_candidates; ++c) {
+    if (tally[c] > best_weight ||
+        (tally[c] == best_weight && ValueLess(candidates[c], best))) {
+      best = candidates[c];
+      best_weight = tally[c];
+    }
+  }
+  return best;
+}
+
+CRH_HOT double WeightedMeanSpan(const double* values, const double* weights, size_t n) {
+  double total_weight = 0.0, total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    total += weights[k] * values[k];
+    total_weight += weights[k];
+  }
+  if (total_weight <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return total / total_weight;
+}
+
+CRH_HOT double WeightedMedianSpan(const double* values, const double* weights, size_t n,
+                          ResolverScratch& scratch) {
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  CRH_DCHECK_GE(scratch.order.size(), n);
+  // Non-positive weights are dropped at use; a weight total of zero (or a
+  // null weights pointer) selects the uniform fallback, matching
+  // WeightedMedian's fill(1.0).
+  double total = 0.0;
+  if (weights != nullptr) {
+    for (size_t k = 0; k < n; ++k) total += std::max(weights[k], 0.0);
+  }
+  bool uniform = false;
+  if (weights == nullptr || total <= 0.0) {
+    uniform = true;
+    total = static_cast<double>(n);
+  }
+
+  size_t* order = scratch.order.data();
+  for (size_t k = 0; k < n; ++k) order[k] = k;
+  std::sort(order, order + n, [&](size_t a, size_t b) { return values[a] < values[b]; });
+
+  const double half = total / 2.0;
+  double below = 0.0;
+  size_t pos = 0;
+  while (pos < n) {
+    const double v = values[order[pos]];
+    double group = 0.0;
+    size_t end = pos;
+    while (end < n && values[order[end]] == v) {
+      group += uniform ? 1.0 : std::max(weights[order[end]], 0.0);
+      ++end;
+    }
+    const double above = total - below - group;
+    if (below < half && above <= half) return v;
+    below += group;
+    pos = end;
+  }
+  return values[order[n - 1]];
+}
+
+CRH_HOT void WeightedLabelDistributionSpan(const CategoryId* labels, const double* weights,
+                                   size_t n, double* dist, size_t num_labels) {
+  std::fill(dist, dist + num_labels, 0.0);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    dist[static_cast<size_t>(labels[k])] += weights[k];
+    total += weights[k];
+  }
+  if (total <= 0.0) {
+    // Same claimed-labels-only uniform fallback as WeightedLabelDistribution.
+    for (size_t k = 0; k < n; ++k) dist[static_cast<size_t>(labels[k])] = 1.0;
+    double claimed = 0.0;
+    for (size_t i = 0; i < num_labels; ++i) claimed += dist[i];
+    if (claimed > 0.0) {
+      for (size_t i = 0; i < num_labels; ++i) dist[i] /= claimed;
+    }
+    return;
+  }
+  for (size_t i = 0; i < num_labels; ++i) dist[i] /= total;
+}
+
+CRH_HOT size_t ArgMaxSpan(const double* xs, size_t n) {
+  size_t best = 0;
+  for (size_t i = 1; i < n; ++i) {
     if (xs[i] > xs[best]) best = i;
   }
   return best;

@@ -1,0 +1,165 @@
+#ifndef CRH_LOSSES_RESOLVERS_H_
+#define CRH_LOSSES_RESOLVERS_H_
+
+/// \file resolvers.h
+/// Per-entry truth computation primitives (Section 2.4 of the paper).
+///
+/// Each loss function induces a closed-form (or efficiently computable)
+/// minimizer for the truth-update step (Eq 3):
+///
+///  * 0-1 loss            -> weighted vote        (Eq 9)
+///  * prob-vector sq loss -> weighted distribution (Eq 12), truth = argmax
+///  * normalized squared  -> weighted mean        (Eq 14)
+///  * normalized absolute -> weighted median      (Eq 16)
+///
+/// All functions skip nothing: callers pass only the non-missing claims on
+/// an entry. Tie-breaking is deterministic (smallest value / label id) so
+/// runs are reproducible.
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "common/hot.h"
+#include "common/value.h"
+
+namespace crh {
+
+/// Eq (9): the value with the largest total weight among the claims.
+/// Ties break toward the smallest value (category id, then continuous
+/// magnitude). Returns Value::Missing() when there are no claims.
+Value WeightedVote(const std::vector<Value>& values, const std::vector<double>& weights);
+
+/// Eq (14): weighted arithmetic mean of the claims. Returns NaN when the
+/// total weight is zero (callers fall back to the unweighted mean).
+double WeightedMean(const std::vector<double>& values, const std::vector<double>& weights);
+
+/// Eq (16): weighted median. Given claims v^k with weights w_k, returns the
+/// claim v^j such that the total weight strictly below it is < W/2 and the
+/// total weight strictly above it is <= W/2, where W is the total weight.
+/// With uniform weights this is the classical (lower) median. Claims with
+/// non-positive weight are ignored; if all weights are non-positive the
+/// unweighted median of the claims is returned.
+double WeightedMedian(std::vector<double> values, std::vector<double> weights);
+
+/// Expected-linear-time weighted median via quickselect-style partitioning
+/// (the CLRS chapter-9 algorithm the paper cites). Produces exactly the
+/// same result as WeightedMedian; preferable when entries have many claims.
+double WeightedMedianLinear(std::vector<double> values, std::vector<double> weights);
+
+/// Eq (12): the weighted mean of one-hot claim vectors, i.e. the truth
+/// probability distribution over the num_labels labels of a categorical
+/// property. Claims are CategoryIds; the result sums to 1 when any claims
+/// are given (uniform over the claimed labels when the total weight is
+/// zero, so the mode always stays in the observed candidate set).
+std::vector<double> WeightedLabelDistribution(const std::vector<CategoryId>& labels,
+                                              const std::vector<double>& weights,
+                                              size_t num_labels);
+
+/// Weighted medoid: the claim minimizing the weighted total distance to
+/// all claims — the truth update induced by an arbitrary metric loss (used
+/// for text properties with edit distance). Ties break toward the claim
+/// with the smaller index. O(n^2) distance evaluations over the distinct
+/// claims. Returns Missing on no claims.
+Value WeightedMedoid(const std::vector<Value>& values, const std::vector<double>& weights,
+                     const std::function<double(const Value&, const Value&)>& distance);
+
+/// Index of the largest element, smallest index on ties.
+size_t ArgMax(const std::vector<double>& xs);
+
+// ---------------------------------------------------------------------------
+// Span variants: the CRH_HOT, allocation-free forms of the resolvers above,
+// used by the solver's per-entry kernels (core/crh.cc). They read raw claim
+// spans, write results through caller-owned buffers, and are bit-identical
+// to their vector counterparts — same candidate order, same floating-point
+// association, same tie-breaking. Callers Reserve() the scratch once per
+// run (outside any hot loop); the span functions never grow it.
+
+/// Caller-owned scratch for the span resolvers. One instance serves one
+/// thread; Reserve to the largest claim count an entry can have (at most
+/// the number of sources).
+struct ResolverScratch {
+  void Reserve(size_t max_claims) {
+    if (candidates.size() < max_claims) {
+      candidates.resize(max_claims);
+      tally.resize(max_claims);
+      order.resize(max_claims);
+    }
+  }
+
+  std::vector<Value> candidates;  // vote candidates / medoid distinct claims
+  std::vector<double> tally;      // vote tallies / medoid masses
+  std::vector<size_t> order;      // median sort permutation
+};
+
+/// Eq (9) on a raw claim span; see WeightedVote. Missing values among the
+/// first \p n claims are skipped. Precondition: scratch.Reserve(n).
+CRH_HOT Value WeightedVoteSpan(const Value* values, const double* weights, size_t n,
+                               ResolverScratch& scratch);
+
+/// Eq (14) on a raw claim span; see WeightedMean.
+CRH_HOT double WeightedMeanSpan(const double* values, const double* weights, size_t n);
+
+/// Eq (16) on a raw claim span; see WeightedMedian. A null \p weights is
+/// the uniform weighting (the callers' zero-total-weight fallback without
+/// materializing a ones vector). Precondition: scratch.Reserve(n).
+CRH_HOT double WeightedMedianSpan(const double* values, const double* weights, size_t n,
+                                  ResolverScratch& scratch);
+
+/// Eq (12) on a raw claim span; see WeightedLabelDistribution. Writes the
+/// distribution over \p num_labels labels into dist[0 .. num_labels),
+/// zeroing it first.
+CRH_HOT void WeightedLabelDistributionSpan(const CategoryId* labels, const double* weights,
+                                           size_t n, double* dist, size_t num_labels);
+
+/// ArgMax over a raw span; smallest index on ties.
+CRH_HOT size_t ArgMaxSpan(const double* xs, size_t n);
+
+/// Weighted medoid on a raw claim span; see WeightedMedoid. The distance
+/// is a template parameter (no std::function type erasure on the hot
+/// path). Precondition: scratch.Reserve(n).
+template <typename DistanceFn>
+CRH_HOT Value WeightedMedoidSpan(const Value* values, const double* weights, size_t n,
+                                 ResolverScratch& scratch, const DistanceFn& dist_fn) {
+  CRH_DCHECK_GE(scratch.candidates.size(), n);
+  Value* distinct = scratch.candidates.data();
+  double* mass = scratch.tally.data();
+  size_t num_distinct = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (values[k].is_missing()) continue;
+    bool found = false;
+    for (size_t d = 0; d < num_distinct; ++d) {
+      if (distinct[d] == values[k]) {
+        mass[d] += weights[k];
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      distinct[num_distinct] = values[k];
+      mass[num_distinct] = weights[k];
+      ++num_distinct;
+    }
+  }
+  if (num_distinct == 0) return Value::Missing();
+
+  Value best = distinct[0];
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < num_distinct; ++c) {
+    double cost = 0.0;
+    for (size_t d = 0; d < num_distinct; ++d) {
+      if (d != c) cost += mass[d] * dist_fn(distinct[c], distinct[d]);
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = distinct[c];
+    }
+  }
+  return best;
+}
+
+}  // namespace crh
+
+#endif  // CRH_LOSSES_RESOLVERS_H_

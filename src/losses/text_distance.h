@@ -10,10 +10,13 @@
 /// its loss is the Levenshtein distance normalized by the longer string's
 /// length, so values lie in [0, 1] like the 0-1 loss. The induced truth
 /// update (Eq 3) is the weighted medoid: the claimed string minimizing the
-/// weighted total edit distance to all claims (see core/resolvers.h).
+/// weighted total edit distance to all claims (see losses/resolvers.h).
 
 #include <cstddef>
 #include <string>
+#include <vector>
+
+#include "common/hot.h"
 
 namespace crh {
 
@@ -24,6 +27,34 @@ size_t LevenshteinDistance(const std::string& a, const std::string& b);
 /// equal strings, 1 for completely disjoint ones. Two empty strings have
 /// distance 0.
 double NormalizedEditDistance(const std::string& a, const std::string& b);
+
+/// Caller-owned rows for the two-row Levenshtein dynamic program. Size
+/// once (outside any hot loop) to the longest label that can appear, then
+/// reuse across claims: the scratch variants below never allocate.
+struct EditDistanceScratch {
+  /// Grows the rows to handle strings up to \p max_len characters.
+  void Reserve(size_t max_len) {
+    if (prev.size() < max_len + 1) {
+      prev.resize(max_len + 1);
+      curr.resize(max_len + 1);
+    }
+  }
+
+  std::vector<size_t> prev;
+  std::vector<size_t> curr;
+};
+
+/// Allocation-free LevenshteinDistance over caller-owned scratch rows.
+/// Precondition (checked): \p scratch was Reserve()d to at least
+/// min(|a|, |b|). Bit-identical to the allocating variant. Distinctly
+/// named (not an overload) so call graphs keep the hot and allocating
+/// variants apart.
+CRH_HOT size_t LevenshteinDistanceSpan(const std::string& a, const std::string& b,
+                                       EditDistanceScratch& scratch);
+
+/// Allocation-free NormalizedEditDistance; see LevenshteinDistanceSpan.
+CRH_HOT double NormalizedEditDistanceSpan(const std::string& a, const std::string& b,
+                                          EditDistanceScratch& scratch);
 
 }  // namespace crh
 

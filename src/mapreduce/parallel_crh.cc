@@ -8,7 +8,7 @@
 #include "analysis/invariants.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
-#include "core/resolvers.h"
+#include "losses/resolvers.h"
 #include "data/stats.h"
 #include "losses/text_distance.h"
 #include "weights/weight_scheme.h"

@@ -22,7 +22,7 @@
 #include "common/rng.h"
 #include "common/value.h"
 #include "core/crh.h"
-#include "core/resolvers.h"
+#include "losses/resolvers.h"
 #include "datagen/noise.h"
 #include "mapreduce/parallel_crh.h"
 

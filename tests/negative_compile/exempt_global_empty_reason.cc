@@ -1,0 +1,16 @@
+/// \file exempt_global_empty_reason.cc
+/// CRH_GLOBAL_STATE_EXEMPT must reject an empty reason: an exemption that
+/// does not say why the state can never be observed through an epoch
+/// snapshot is not a reviewed exemption. The macro's
+/// `sizeof(reason "") > 1` static_assert fails for "".
+
+#include "common/global_state.h"
+
+namespace {
+
+CRH_GLOBAL_STATE_EXEMPT("");
+int g_unjustified = 0;
+
+}  // namespace
+
+int main() { return g_unjustified; }

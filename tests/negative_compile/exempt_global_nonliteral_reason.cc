@@ -1,0 +1,17 @@
+/// \file exempt_global_nonliteral_reason.cc
+/// CRH_GLOBAL_STATE_EXEMPT must reject a non-literal reason: the
+/// justification has to be auditable at the annotation site, not assembled
+/// at runtime. Literal concatenation (`reason ""`) only parses when
+/// `reason` is itself a string literal.
+
+#include "common/global_state.h"
+
+namespace {
+
+const char* kWhy = "looks justified but is a runtime value";
+CRH_GLOBAL_STATE_EXEMPT(kWhy);
+int g_smuggled = 0;
+
+}  // namespace
+
+int main() { return g_smuggled; }

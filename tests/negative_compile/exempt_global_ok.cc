@@ -1,0 +1,24 @@
+/// \file exempt_global_ok.cc
+/// Positive control for the CRH_GLOBAL_STATE_EXEMPT contract: a well-formed
+/// exemption — non-empty string literal reason, adjacent to the global it
+/// vouches for — must compile cleanly at namespace scope AND at function
+/// scope. If this breaks, the two rejection cases
+/// (exempt_global_empty_reason.cc, exempt_global_nonliteral_reason.cc)
+/// prove nothing.
+
+#include "common/global_state.h"
+
+namespace {
+
+CRH_GLOBAL_STATE_EXEMPT("test-only counter; never read on a snapshot path");
+int g_probe_count = 0;
+
+int BumpProbe() {
+  CRH_GLOBAL_STATE_EXEMPT("per-process diagnostics counter");
+  static int calls = 0;
+  return ++calls + g_probe_count;
+}
+
+}  // namespace
+
+int main() { return BumpProbe() > 0 ? 0 : 1; }

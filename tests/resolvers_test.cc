@@ -1,4 +1,4 @@
-#include "core/resolvers.h"
+#include "losses/resolvers.h"
 
 #include <gtest/gtest.h>
 
@@ -263,6 +263,75 @@ TEST(ArgMaxTest, FirstLargest) {
   EXPECT_EQ(ArgMax({1.0, 3.0, 3.0, 2.0}), 1u);
   EXPECT_EQ(ArgMax({5.0}), 0u);
 }
+
+// ---------------------------------------------------------------------------
+// Span variants: the CRH_HOT forms must be bit-identical to the vector
+// forms — same candidate order, same floating-point association, same
+// tie-breaking. The solver's scratch-buffer refactor rests on this.
+// ---------------------------------------------------------------------------
+
+// Exact comparison that also accepts bitwise-equal NaNs (zero-total-weight
+// mean/median results).
+void ExpectSameDouble(double a, double b) {
+  if (std::isnan(a) && std::isnan(b)) return;
+  EXPECT_EQ(a, b);
+}
+
+class SpanEquivalenceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpanEquivalenceProperty, AllResolversBitIdentical) {
+  Rng rng(GetParam() + 9000);
+  ResolverScratch scratch;
+  const size_t num_labels = 6;
+  for (int trial = 0; trial < 25; ++trial) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(1, 30));
+    scratch.Reserve(n);
+    std::vector<Value> values;
+    std::vector<CategoryId> labels;
+    std::vector<double> cont, weights;
+    for (size_t i = 0; i < n; ++i) {
+      const auto label =
+          static_cast<CategoryId>(rng.UniformInt(0, num_labels - 1));
+      values.push_back(rng.Bernoulli(0.1) ? Value::Missing()
+                                          : Value::Categorical(label));
+      labels.push_back(label);
+      cont.push_back(std::round(rng.Uniform(-4, 4)));  // coarse -> duplicates
+      weights.push_back(rng.Bernoulli(0.15) ? 0.0 : rng.Uniform(0.01, 2.0));
+    }
+
+    EXPECT_EQ(WeightedVoteSpan(values.data(), weights.data(), n, scratch),
+              WeightedVote(values, weights));
+
+    ExpectSameDouble(WeightedMeanSpan(cont.data(), weights.data(), n),
+                     WeightedMean(cont, weights));
+
+    ExpectSameDouble(WeightedMedianSpan(cont.data(), weights.data(), n,
+                                        scratch),
+                     WeightedMedian(cont, weights));
+    // A null weight span is the uniform fallback.
+    ExpectSameDouble(
+        WeightedMedianSpan(cont.data(), nullptr, n, scratch),
+        WeightedMedian(cont, std::vector<double>(n, 1.0)));
+
+    const auto dist = WeightedLabelDistribution(labels, weights, num_labels);
+    std::vector<double> dist_span(num_labels, -1.0);
+    WeightedLabelDistributionSpan(labels.data(), weights.data(), n,
+                                  dist_span.data(), num_labels);
+    for (size_t l = 0; l < num_labels; ++l) ExpectSameDouble(dist_span[l], dist[l]);
+    EXPECT_EQ(ArgMaxSpan(dist_span.data(), num_labels), ArgMax(dist));
+
+    const auto label_gap = [](const Value& a, const Value& b) {
+      return std::abs(static_cast<double>(a.category()) -
+                      static_cast<double>(b.category()));
+    };
+    EXPECT_EQ(WeightedMedoidSpan(values.data(), weights.data(), n, scratch,
+                                 label_gap),
+              WeightedMedoid(values, weights, label_gap));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomClaims, SpanEquivalenceProperty,
+                         ::testing::Range<uint64_t>(0, 10));
 
 }  // namespace
 }  // namespace crh

@@ -4,7 +4,7 @@
 
 #include "common/rng.h"
 #include "core/crh.h"
-#include "core/resolvers.h"
+#include "losses/resolvers.h"
 #include "datagen/noise.h"
 #include "eval/metrics.h"
 #include "losses/text_distance.h"
