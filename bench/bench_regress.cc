@@ -6,7 +6,11 @@
 ///
 ///  * the truth-update and deviation passes, claim-major (ClaimIndex) vs a
 ///    dense K-scan reference kernel (the pre-index implementation, kept
-///    here as the regression baseline) — ns/claim and speedup;
+///    here as the regression baseline) — ns/claim and speedup; the sparse
+///    passes reuse a SolverWorkspace, so their steady-state allocation
+///    count (the last repetition's) is expected to be zero;
+///  * the weight-update pass (ComputeSourceWeights over the aggregated
+///    deviations) — ns/source and allocations;
 ///  * the full RunCrh solver at 1, 2 and 4 threads — iterations/s, speedup
 ///    vs 1 thread, and whether results are bit-identical across counts;
 ///  * heap allocations per pass (global operator new counter).
@@ -277,13 +281,18 @@ int Main(int argc, char** argv) {
     weights[k] = 1.0 + 0.25 * static_cast<double>(k);
   }
 
-  // --- Truth pass: dense reference vs claim-major.
+  // --- Truth pass: dense reference vs claim-major. The sparse passes share
+  // one SolverWorkspace — after the first repetition warms it, the pass is
+  // allocation-free (modulo the result table), which is what the
+  // *_allocations JSON fields below record.
+  SolverWorkspace workspace;
   ValueTable dense_truths;
   const PassTiming dense_truth =
       TimePass(reps, [&]() { dense_truths = DenseTruthPass(data, weights, options); });
   ValueTable sparse_truths;
-  const PassTiming sparse_truth = TimePass(
-      reps, [&]() { sparse_truths = ComputeTruthsGivenWeights(data, index, weights, options); });
+  const PassTiming sparse_truth = TimePass(reps, [&]() {
+    sparse_truths = ComputeTruthsGivenWeights(data, index, weights, options, nullptr, workspace);
+  });
   CRH_CHECK(TablesBitIdentical(dense_truths, sparse_truths));
   const double truth_speedup = dense_truth.best_seconds / sparse_truth.best_seconds;
 
@@ -293,7 +302,8 @@ int Main(int argc, char** argv) {
       reps, [&]() { dense_dev = DenseDeviationPass(data, sparse_truths, stats, options); });
   std::vector<double> sparse_dev;
   const PassTiming sparse_deviation = TimePass(reps, [&]() {
-    sparse_dev = ComputeSourceDeviations(data, index, sparse_truths, stats, options);
+    sparse_dev =
+        ComputeSourceDeviations(data, index, sparse_truths, stats, options, nullptr, workspace);
   });
   CRH_CHECK_EQ(dense_dev.size(), sparse_dev.size());
   for (size_t k = 0; k < dense_dev.size(); ++k) {
@@ -308,6 +318,18 @@ int Main(int argc, char** argv) {
               dense_deviation.best_seconds * 1e9 / static_cast<double>(num_claims),
               sparse_deviation.best_seconds * 1e9 / static_cast<double>(num_claims),
               deviation_speedup);
+
+  // --- Weight update: the Eq 2 aggregation the solver runs between passes.
+  std::vector<double> updated_weights;
+  const PassTiming weight_update = TimePass(reps, [&]() {
+    auto computed = ComputeSourceWeights(sparse_dev, options.weight_scheme);
+    CRH_CHECK(computed.ok());
+    updated_weights = std::move(*computed);
+  });
+  CRH_CHECK_EQ(updated_weights.size(), data.num_sources());
+  std::printf("weight update:  %8.1f ns/source  %llu allocation(s)\n",
+              weight_update.best_seconds * 1e9 / static_cast<double>(data.num_sources()),
+              static_cast<unsigned long long>(weight_update.allocations));
 
   // --- Full solver across thread counts; 1-thread results are the
   // reference for bit-identity.
@@ -375,6 +397,14 @@ int Main(int argc, char** argv) {
   };
   pass_json("truth_pass", dense_truth, sparse_truth, truth_speedup, ",");
   pass_json("deviation_pass", dense_deviation, sparse_deviation, deviation_speedup, ",");
+  std::fprintf(out, "  \"weight_update\": {\"ns_per_source\": %.1f, \"allocations\": %llu},\n",
+               weight_update.best_seconds * 1e9 / static_cast<double>(data.num_sources()),
+               static_cast<unsigned long long>(weight_update.allocations));
+#if defined(CRH_SIMD)
+  std::fprintf(out, "  \"simd\": true,\n");
+#else
+  std::fprintf(out, "  \"simd\": false,\n");
+#endif
   std::fprintf(out, "  \"solver\": [\n");
   for (size_t row_idx = 0; row_idx < solver_rows.size(); ++row_idx) {
     const SolverRow& row = solver_rows[row_idx];

@@ -1737,6 +1737,43 @@ CRH_HOT double HotDotProduct(const double* xs, const double* ys,
 }
 }
 """,
+    # --- hot + arena: mirrors src/common/arena.h's scratch discipline. A
+    # kernel that grows a std::vector per element allocates (positive); a
+    # kernel that bump-carves from a preallocated arena is pointer
+    # arithmetic only and must stay quiet (negative).
+    "src/core/hot_arena_pos.cc": """
+namespace crh {
+CRH_HOT double HotGatherVector(const double* xs, size_t n,
+                               std::vector<double>* scratch) {
+  scratch->clear();
+  for (size_t i = 0; i < n; ++i) scratch->push_back(xs[i]);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) total += (*scratch)[i];
+  return total;
+}
+}
+""",
+    "src/core/hot_arena_neg.cc": """
+namespace crh {
+class MiniArena {
+ public:
+  double* Carve(size_t n) {
+    double* out = cursor_;
+    cursor_ += n;
+    return out;
+  }
+ private:
+  double* cursor_ = nullptr;
+};
+CRH_HOT double HotGatherArena(const double* xs, size_t n, MiniArena* arena) {
+  double* scratch = arena->Carve(n);
+  for (size_t i = 0; i < n; ++i) scratch[i] = xs[i];
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) total += scratch[i];
+  return total;
+}
+}
+""",
 }
 
 # rule -> (file that must fire, file that must stay quiet)
@@ -1751,6 +1788,7 @@ SELF_TEST_EXPECTATIONS = [
     ("arch", "src/tools/arch_private_pos.cc", "src/stream/arch_neg.cc"),
     ("global-state", "src/core/global_pos.cc", "src/core/global_neg.cc"),
     ("hot", "src/core/hot_pos.cc", "src/core/hot_neg.cc"),
+    ("hot", "src/core/hot_arena_pos.cc", "src/core/hot_arena_neg.cc"),
 ]
 
 

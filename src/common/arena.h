@@ -1,0 +1,92 @@
+#ifndef CRH_COMMON_ARENA_H_
+#define CRH_COMMON_ARENA_H_
+
+/// \file arena.h
+/// Bump-pointer arena for caller-owned solver scratch.
+///
+/// The CRH_HOT discipline (common/hot.h) requires every per-iteration
+/// buffer to be allocated before the hot loops start. Before the arena,
+/// each scratch struct owned a handful of std::vectors, so sizing the
+/// solver's workspace meant a dozen small heap allocations per run and a
+/// dozen growth sites the `hot` analyzer check had to reason about. The
+/// arena collapses that to one backing allocation: the cold setup path
+/// computes the total byte budget, calls Reserve once, and carves every
+/// buffer out of it with Carve — a pure pointer bump that is trivially
+/// allocation-free and safe to reason about in hot call graphs.
+///
+/// Lifetime rules (see docs/PERFORMANCE.md, "Arena scratch"):
+///
+///  * Reserve and Reset are COLD: Reserve may grow (and therefore move)
+///    the backing store, invalidating every previously carved pointer;
+///    Reset rewinds the bump cursor, invalidating carves logically.
+///    Neither may be reached from a CRH_HOT function.
+///  * Carve never allocates and never fails into growth: exceeding the
+///    reserved capacity is a checked programming error, not a reallocation.
+///  * Carved memory is uninitialized; callers overwrite before reading
+///    (every carved type is trivially copyable, enforced below).
+///  * The canonical pattern is Reset + Reserve(total) + carve everything in
+///    one deterministic order, once per solver entry point.
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace crh {
+
+/// Single-owner bump allocator. Not thread-safe; one arena per workspace.
+class Arena {
+ public:
+  Arena() = default;
+
+  /// Cold path: grows the backing store to at least \p bytes and rewinds
+  /// the cursor. Every pointer carved before this call is invalidated.
+  void Reserve(size_t bytes) {
+    if (storage_.size() < bytes) storage_.resize(bytes);
+    used_ = 0;
+  }
+
+  /// Rewinds the cursor without touching capacity; previously carved
+  /// pointers are logically invalidated (their memory will be re-carved).
+  void Reset() { used_ = 0; }
+
+  /// Bump-carves an array of \p n Ts, aligned for T. Never allocates: the
+  /// caller must have Reserve()d enough (checked). The returned memory is
+  /// uninitialized.
+  template <typename T>
+  T* Carve(size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "arena memory is raw storage; carve trivially copyable types only");
+    const size_t aligned = AlignUp(used_, alignof(T));
+    const size_t end = aligned + n * sizeof(T);
+    CRH_DCHECK_LE(end, storage_.size());
+    used_ = end;
+    return reinterpret_cast<T*>(storage_.data() + aligned);
+  }
+
+  /// Byte budget helper for the Reserve computation: the worst-case cost of
+  /// carving \p n Ts after arbitrary prior carves (payload + alignment gap).
+  template <typename T>
+  static constexpr size_t BytesFor(size_t n) {
+    return n * sizeof(T) + alignof(T) - 1;
+  }
+
+  size_t capacity() const { return storage_.size(); }
+  size_t used() const { return used_; }
+
+ private:
+  static size_t AlignUp(size_t offset, size_t alignment) {
+    return (offset + alignment - 1) & ~(alignment - 1);
+  }
+
+  // operator new memory is aligned for max_align_t, so every fundamental
+  // alignment carved above is honored relative to storage_.data().
+  std::vector<unsigned char> storage_;
+  size_t used_ = 0;
+};
+
+}  // namespace crh
+
+#endif  // CRH_COMMON_ARENA_H_

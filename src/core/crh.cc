@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "analysis/invariants.h"
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/hot.h"
 #include "common/thread_pool.h"
@@ -77,40 +78,61 @@ void RunShards(size_t num_shards, ThreadPool* pool, const std::function<void(siz
   for (size_t s = 0; s < num_shards; ++s) fn(s);
 }
 
+}  // namespace
+
 // --- Caller-owned solver scratch ---------------------------------------------
 //
-// Every buffer the per-iteration passes need is allocated once per run
-// (EnsureSolverScratch) and reused across iterations; the CRH_HOT shard
-// kernels below only read and index into it. scripts/crh_analyzer.py
-// (--check=hot) statically verifies the kernels stay allocation-, lock-
-// and I/O-free.
+// Every buffer the per-iteration passes need is carved out of ONE bump
+// arena per workspace (EnsureSolverScratch) and reused across iterations;
+// the CRH_HOT shard kernels below only read and index into it.
+// scripts/crh_analyzer.py (--check=hot) statically verifies the kernels
+// stay allocation-, lock- and I/O-free. The structs have external linkage
+// (not the anonymous namespace) only so SolverWorkspace::Impl can embed
+// them without GCC's -Wsubobject-linkage tripping; they are private to
+// this translation unit in every other respect.
 
 /// Per-shard scratch: exactly one worker touches a shard's EntryScratch at
-/// a time (static shard-to-worker assignment), so no synchronization.
+/// a time (static shard-to-worker assignment), so no synchronization. All
+/// pointers are carves of the owning SolverScratch's arena.
 struct EntryScratch {
-  std::vector<double> claim_weights;  // per-claim source weights
-  std::vector<double> cont_values;    // continuous claim values
-  std::vector<CategoryId> labels;     // categorical claim labels
+  double* claim_weights = nullptr;  // per-claim source weights (gather)
   ResolverScratch resolver;
   EditDistanceScratch edit;
 };
 
 /// Whole-run scratch owned by the orchestrators. Flat partial buffers are
-/// num_shards consecutive slices, reduced in shard order.
+/// num_shards consecutive slices, reduced in shard order. Everything below
+/// `arena` points into it.
 struct SolverScratch {
+  Arena arena;
   size_t num_shards = 0;
-  std::vector<EntryScratch> per_shard;  // one per shard
-  std::vector<double> partial_loss;     // num_shards x (K * M)
-  std::vector<uint32_t> partial_count;  // num_shards x (K * M)
-  std::vector<double> partial_source;   // num_shards x K
-  std::vector<double> partial_scalar;   // num_shards
-  std::vector<double> loss;             // K * M reduced + normalized matrix
-  std::vector<size_t> count;            // K * M reduced observation counts
+  std::vector<EntryScratch> per_shard;   // one per shard
+  double* partial_loss = nullptr;        // num_shards x (K * M)
+  uint32_t* partial_count = nullptr;     // num_shards x (K * M)
+  double* partial_source = nullptr;      // num_shards x K
+  double* partial_scalar = nullptr;      // num_shards
+  double* loss = nullptr;                // K * M reduced + normalized matrix
+  size_t* count = nullptr;               // K * M reduced observation counts
 };
 
-/// Sizes \p scratch for the dataset: shard grid, the largest claim span any
-/// entry has, and the longest text label (edit-distance rows). Runs once
-/// per solver entry point, outside every hot loop.
+/// The workspace pimpl is exactly one SolverScratch.
+struct SolverWorkspace::Impl {
+  SolverScratch scratch;
+};
+
+SolverWorkspace::SolverWorkspace() : impl_(std::make_unique<Impl>()) {}
+SolverWorkspace::~SolverWorkspace() = default;
+SolverWorkspace::SolverWorkspace(SolverWorkspace&&) noexcept = default;
+SolverWorkspace& SolverWorkspace::operator=(SolverWorkspace&&) noexcept = default;
+
+namespace {
+
+/// Sizes \p scratch for the dataset: computes the whole byte budget —
+/// shard grid, the largest claim span any entry has (O(1) via
+/// ClaimIndex::max_span_size), the longest text label — then reserves the
+/// arena ONCE and re-carves every buffer in a fixed order. Runs once per
+/// solver entry point, outside every hot loop; with a reused workspace the
+/// steady state is zero allocations (Reserve only grows).
 void EnsureSolverScratch(const Dataset& data, const ClaimIndex& index,
                          SolverScratch* scratch) {
   const size_t k_sources = data.num_sources();
@@ -118,10 +140,7 @@ void EnsureSolverScratch(const Dataset& data, const ClaimIndex& index,
   const size_t num_shards = NumEntryShards(index.num_entries());
   scratch->num_shards = num_shards;
 
-  size_t max_claims = 0;
-  for (size_t e = 0; e < index.num_entries(); ++e) {
-    max_claims = std::max(max_claims, index.entry(e).size);
-  }
+  const size_t max_claims = index.max_span_size();
   size_t max_label_len = 0;
   for (size_t m = 0; m < m_props; ++m) {
     if (data.schema().property(m).type != PropertyType::kText) continue;
@@ -131,29 +150,34 @@ void EnsureSolverScratch(const Dataset& data, const ClaimIndex& index,
     }
   }
 
-  if (scratch->per_shard.size() < num_shards) scratch->per_shard.resize(num_shards);
-  for (EntryScratch& shard : scratch->per_shard) {
-    if (shard.claim_weights.size() < max_claims) {
-      shard.claim_weights.resize(max_claims);
-      shard.cont_values.resize(max_claims);
-      shard.labels.resize(max_claims);
-    }
-    shard.resolver.Reserve(max_claims);
-    shard.edit.Reserve(max_label_len);
-  }
   const size_t cells = k_sources * m_props;
-  if (scratch->partial_loss.size() < num_shards * cells) {
-    scratch->partial_loss.resize(num_shards * cells);
-    scratch->partial_count.resize(num_shards * cells);
+  size_t bytes = 0;
+  bytes += num_shards * (Arena::BytesFor<double>(max_claims) +
+                         ResolverScratch::BytesNeeded(max_claims) +
+                         EditDistanceScratch::BytesNeeded(max_label_len));
+  bytes += Arena::BytesFor<double>(num_shards * cells);    // partial_loss
+  bytes += Arena::BytesFor<uint32_t>(num_shards * cells);  // partial_count
+  bytes += Arena::BytesFor<double>(num_shards * k_sources);
+  bytes += Arena::BytesFor<double>(num_shards);
+  bytes += Arena::BytesFor<double>(cells);
+  bytes += Arena::BytesFor<size_t>(cells);
+  scratch->arena.Reserve(bytes);
+
+  if (scratch->per_shard.size() != num_shards) {
+    scratch->per_shard.clear();
+    scratch->per_shard.resize(num_shards);
   }
-  if (scratch->partial_source.size() < num_shards * k_sources) {
-    scratch->partial_source.resize(num_shards * k_sources);
+  for (EntryScratch& shard : scratch->per_shard) {
+    shard.claim_weights = scratch->arena.Carve<double>(max_claims);
+    shard.resolver.CarveFrom(scratch->arena, max_claims);
+    shard.edit.CarveFrom(scratch->arena, max_label_len);
   }
-  if (scratch->partial_scalar.size() < num_shards) scratch->partial_scalar.resize(num_shards);
-  if (scratch->loss.size() < cells) {
-    scratch->loss.resize(cells);
-    scratch->count.resize(cells);
-  }
+  scratch->partial_loss = scratch->arena.Carve<double>(num_shards * cells);
+  scratch->partial_count = scratch->arena.Carve<uint32_t>(num_shards * cells);
+  scratch->partial_source = scratch->arena.Carve<double>(num_shards * k_sources);
+  scratch->partial_scalar = scratch->arena.Carve<double>(num_shards);
+  scratch->loss = scratch->arena.Carve<double>(cells);
+  scratch->count = scratch->arena.Carve<size_t>(cells);
 }
 
 /// Property -> weight-group mapping for the configured granularity.
@@ -189,107 +213,159 @@ std::vector<size_t> BuildPropertyGroups(const Schema& schema, WeightGranularity 
 
 // --- CRH_HOT shard kernels ---------------------------------------------------
 
-/// Truth update (Eq 3) over one shard's entry range: every entry is
-/// resolved through the span primitives against caller-owned scratch.
-/// Bit-identical to the allocating resolvers it replaced (same candidate
-/// order, association order and tie-breaks).
+/// Truth update (Eq 3) of one entry, resolved through the span primitives
+/// over the index's SoA lanes against caller-owned scratch. Bit-identical
+/// to the allocating resolvers it replaced (same candidate order,
+/// association order and tie-breaks); the label/numeric lane kernels are
+/// in turn bit-identical to the Value-gathering forms they replaced (see
+/// losses/resolvers.h). \p soft / \p num_labels may be null when no
+/// property has the soft model active.
+CRH_HOT void ResolveEntryTruth(const Dataset& data, const std::vector<PropertyType>& types,
+                               const std::vector<char>& soft_active,
+                               const std::vector<const std::vector<double>*>& weights_for,
+                               const CrhOptions& options, size_t i, size_t m,
+                               const ClaimSpan& span, EntryScratch& scratch, ValueTable* truths,
+                               std::vector<std::vector<double>>* soft,
+                               const std::vector<size_t>* num_labels) {
+  if (options.supervision != nullptr) {
+    const Value& label = options.supervision->Get(i, m);
+    if (!label.is_missing()) {
+      truths->Set(i, m, label);
+      return;
+    }
+  }
+  if (span.empty()) {
+    truths->Set(i, m, Value::Missing());
+    return;
+  }
+  const std::vector<double>& weights = *weights_for[m];
+  double* claim_weights = scratch.claim_weights;
+  for (size_t c = 0; c < span.size; ++c) claim_weights[c] = weights[span.sources[c]];
+
+  if (types[m] == PropertyType::kText) {
+    // Text truths: the claim minimizing the weighted total normalized
+    // edit distance to all claims (the medoid induced by the text loss).
+    const CategoryDict& dict = data.dict(m);
+    EditDistanceScratch& edit = scratch.edit;
+    truths->Set(i, m,
+                Value::Categorical(WeightedMedoidLabelsSpan(
+                    span.labels, claim_weights, span.size, scratch.resolver,
+                    [&dict, &edit](CategoryId a, CategoryId b) {
+                      return NormalizedEditDistanceSpan(dict.label(a), dict.label(b), edit);
+                    })));
+  } else if (types[m] == PropertyType::kCategorical) {
+    if (soft_active[m]) {
+      const size_t l_m = (*num_labels)[m];
+      double* dist = (*soft)[m].data() + i * l_m;
+      WeightedLabelDistributionSpan(span.labels, claim_weights, span.size, dist, l_m);
+      truths->Set(i, m, Value::Categorical(static_cast<CategoryId>(ArgMaxSpan(dist, l_m))));
+    } else {
+      truths->Set(i, m, Value::Categorical(WeightedVoteLabelsSpan(span.labels, claim_weights,
+                                                                  span.size, scratch.resolver)));
+    }
+  } else {
+    double truth;
+    if (options.continuous_model == ContinuousModel::kMedian) {
+      truth = WeightedMedianSpan(span.numeric, claim_weights, span.size, scratch.resolver);
+    } else {
+      truth = WeightedMeanSpan(span.numeric, claim_weights, span.size);
+      if (std::isnan(truth)) {
+        // Zero total weight: null weights select the uniform median.
+        truth = WeightedMedianSpan(span.numeric, nullptr, span.size, scratch.resolver);
+      }
+    }
+    truths->Set(i, m, Value::Continuous(truth));
+  }
+}
+
+/// Eq 3 over one shard's contiguous entry range. The (i, m) coordinates
+/// advance incrementally — no per-entry divide.
 CRH_HOT void UpdateTruthsShard(const Dataset& data, const ClaimIndex& index,
                                const std::vector<PropertyType>& types,
                                const std::vector<char>& soft_active,
                                const std::vector<const std::vector<double>*>& weights_for,
                                const CrhOptions& options, EntryRange range, size_t m_props,
                                EntryScratch& scratch, SolverState* state) {
+  size_t i = range.begin / m_props;
+  size_t m = range.begin % m_props;
   for (size_t e = range.begin; e < range.end; ++e) {
-    const size_t i = e / m_props;
-    const size_t m = e % m_props;
-    if (options.supervision != nullptr) {
-      const Value& label = options.supervision->Get(i, m);
-      if (!label.is_missing()) {
-        state->truths.Set(i, m, label);
-        continue;
-      }
-    }
-    const ClaimSpan span = index.entry(e);
-    if (span.empty()) {
-      state->truths.Set(i, m, Value::Missing());
-      continue;
-    }
-    const std::vector<double>& weights = *weights_for[m];
-    double* claim_weights = scratch.claim_weights.data();
-    for (size_t c = 0; c < span.size; ++c) claim_weights[c] = weights[span.sources[c]];
-
-    if (types[m] == PropertyType::kText) {
-      // Text truths: the claim minimizing the weighted total normalized
-      // edit distance to all claims (the medoid induced by the text loss).
-      const CategoryDict& dict = data.dict(m);
-      EditDistanceScratch& edit = scratch.edit;
-      state->truths.Set(
-          i, m,
-          WeightedMedoidSpan(span.values, claim_weights, span.size, scratch.resolver,
-                             [&dict, &edit](const Value& a, const Value& b) {
-                               return NormalizedEditDistanceSpan(dict.label(a.category()),
-                                                                 dict.label(b.category()), edit);
-                             }));
-    } else if (types[m] == PropertyType::kCategorical) {
-      if (soft_active[m]) {
-        CategoryId* labels = scratch.labels.data();
-        for (size_t c = 0; c < span.size; ++c) labels[c] = span.values[c].category();
-        const size_t l_m = state->num_labels[m];
-        double* dist = state->soft[m].data() + i * l_m;
-        WeightedLabelDistributionSpan(labels, claim_weights, span.size, dist, l_m);
-        state->truths.Set(i, m,
-                          Value::Categorical(static_cast<CategoryId>(ArgMaxSpan(dist, l_m))));
-      } else {
-        state->truths.Set(i, m,
-                          WeightedVoteSpan(span.values, claim_weights, span.size,
-                                           scratch.resolver));
-      }
-    } else {
-      double* cont_values = scratch.cont_values.data();
-      for (size_t c = 0; c < span.size; ++c) cont_values[c] = span.values[c].continuous();
-      double truth;
-      if (options.continuous_model == ContinuousModel::kMedian) {
-        truth = WeightedMedianSpan(cont_values, claim_weights, span.size, scratch.resolver);
-      } else {
-        truth = WeightedMeanSpan(cont_values, claim_weights, span.size);
-        if (std::isnan(truth)) {
-          // Zero total weight: null weights select the uniform median.
-          truth = WeightedMedianSpan(cont_values, nullptr, span.size, scratch.resolver);
-        }
-      }
-      state->truths.Set(i, m, Value::Continuous(truth));
+    ResolveEntryTruth(data, types, soft_active, weights_for, options, i, m, index.entry(e),
+                      scratch, &state->truths, &state->soft, &state->num_labels);
+    if (++m == m_props) {
+      m = 0;
+      ++i;
     }
   }
 }
 
-/// The per-claim loss of a claim on entry (i, m) under the configured
-/// models, given a candidate solution view. The soft categorical loss is
-/// scored against a pointer view into the property's soft block — no
-/// per-claim copy of the entry's distribution.
-CRH_HOT double ClaimLoss(const Dataset& data, const TruthView& view, const EntryStats& stats,
-                         ContinuousModel continuous_model, size_t i, size_t m, const Value& obs,
-                         EditDistanceScratch& edit) {
+/// Eq 3 over one shard of an explicit entry-id list (the delta re-solver's
+/// dirty set): positions [range.begin, range.end) of \p entries.
+CRH_HOT void UpdateTruthsListShard(const Dataset& data, const ClaimIndex& index,
+                                   const std::vector<PropertyType>& types,
+                                   const std::vector<char>& soft_active,
+                                   const std::vector<const std::vector<double>*>& weights_for,
+                                   const CrhOptions& options, const size_t* entries,
+                                   EntryRange range, size_t m_props, EntryScratch& scratch,
+                                   ValueTable* truths) {
+  for (size_t p = range.begin; p < range.end; ++p) {
+    const size_t e = entries[p];
+    ResolveEntryTruth(data, types, soft_active, weights_for, options, e / m_props, e % m_props,
+                      index.entry(e), scratch, truths, nullptr, nullptr);
+  }
+}
+
+/// Streams the per-claim losses of one entry into \p sink(c, source, loss)
+/// — the shared body of the loss-matrix, grouped-objective and objective
+/// kernels. The per-entry invariants (property type, truth value, entry
+/// scale, truth label string, soft-distribution row) are hoisted out of
+/// the claim loop, so each branch's inner loop streams the SoA lanes
+/// (span.numeric / span.labels) branch-free; the continuous loops
+/// auto-vectorize cleanly. The arithmetic per claim is unchanged from the
+/// per-claim form (in particular the division by scale stays a division),
+/// so results are bit-identical.
+template <typename Sink>
+CRH_HOT void AccumulateEntryLosses(const Dataset& data, const TruthView& view,
+                                   const EntryStats& stats, ContinuousModel continuous_model,
+                                   size_t i, size_t m, const ClaimSpan& span,
+                                   EditDistanceScratch& edit, const Sink& sink) {
   const PropertyType type = data.schema().property(m).type;
   if (type == PropertyType::kText) {
-    const Value& truth = view.truths->Get(i, m);
-    return NormalizedEditDistanceSpan(data.dict(m).label(truth.category()),
-                                      data.dict(m).label(obs.category()), edit);
+    const CategoryDict& dict = data.dict(m);
+    const std::string& truth_label = dict.label(view.truths->Get(i, m).category());
+    for (size_t c = 0; c < span.size; ++c) {
+      sink(c, span.sources[c],
+           NormalizedEditDistanceSpan(truth_label, dict.label(span.labels[c]), edit));
+    }
+    return;
   }
   if (type == PropertyType::kCategorical) {
     if (view.soft != nullptr) {
       const size_t l_m = (*view.num_labels)[m];
       const double* dist = (*view.soft)[m].data() + i * l_m;
-      return ProbVectorSquaredLoss(dist, l_m, obs.category());
+      for (size_t c = 0; c < span.size; ++c) {
+        sink(c, span.sources[c], ProbVectorSquaredLoss(dist, l_m, span.labels[c]));
+      }
+      return;
     }
-    return view.truths->Get(i, m) == obs ? 0.0 : 1.0;
+    const CategoryId truth_label = view.truths->Get(i, m).category();
+    for (size_t c = 0; c < span.size; ++c) {
+      sink(c, span.sources[c], span.labels[c] == truth_label ? 0.0 : 1.0);
+    }
+    return;
   }
-  const double diff = view.truths->Get(i, m).continuous() - obs.continuous();
+  const double truth = view.truths->Get(i, m).continuous();
   const double scale = stats.scale_at(i, m);
   CRH_DCHECK_GT(scale, 0.0);
   if (continuous_model == ContinuousModel::kMedian) {
-    return std::abs(diff) / scale;
+    for (size_t c = 0; c < span.size; ++c) {
+      sink(c, span.sources[c], std::abs(truth - span.numeric[c]) / scale);
+    }
+    return;
   }
-  return diff * diff / scale;
+  for (size_t c = 0; c < span.size; ++c) {
+    const double diff = truth - span.numeric[c];
+    sink(c, span.sources[c], diff * diff / scale);
+  }
 }
 
 /// One shard of the normalized loss matrix: accumulates per-cell loss and
@@ -302,17 +378,21 @@ CRH_HOT void LossMatrixShard(const Dataset& data, const ClaimIndex& index,
                              EntryScratch& scratch) {
   std::fill(loss, loss + cells, 0.0);
   std::fill(count, count + cells, 0u);
+  size_t i = range.begin / m_props;
+  size_t m = range.begin % m_props;
   for (size_t e = range.begin; e < range.end; ++e) {
     const ClaimSpan span = index.entry(e);
-    if (span.empty()) continue;
-    const size_t i = e / m_props;
-    const size_t m = e % m_props;
-    if (view.truths->Get(i, m).is_missing()) continue;
-    for (size_t c = 0; c < span.size; ++c) {
-      const size_t cell = span.sources[c] * m_props + m;
-      loss[cell] += ClaimLoss(data, view, stats, continuous_model, i, m, span.values[c],
-                              scratch.edit);
-      ++count[cell];
+    if (!span.empty() && !view.truths->Get(i, m).is_missing()) {
+      AccumulateEntryLosses(data, view, stats, continuous_model, i, m, span, scratch.edit,
+                            [&](size_t, uint32_t src, double claim_loss) {
+                              const size_t cell = src * m_props + m;
+                              loss[cell] += claim_loss;
+                              ++count[cell];
+                            });
+    }
+    if (++m == m_props) {
+      m = 0;
+      ++i;
     }
   }
 }
@@ -325,16 +405,20 @@ CRH_HOT double GroupedObjectiveShard(const Dataset& data, const ClaimIndex& inde
                                      const std::vector<size_t>& property_group,
                                      EntryRange range, size_t m_props, EntryScratch& scratch) {
   double objective = 0.0;
+  size_t i = range.begin / m_props;
+  size_t m = range.begin % m_props;
   for (size_t e = range.begin; e < range.end; ++e) {
     const ClaimSpan span = index.entry(e);
-    if (span.empty()) continue;
-    const size_t i = e / m_props;
-    const size_t m = e % m_props;
-    if (view.truths->Get(i, m).is_missing()) continue;
-    const std::vector<double>& weights = group_weights[property_group[m]];
-    for (size_t c = 0; c < span.size; ++c) {
-      objective += weights[span.sources[c]] * ClaimLoss(data, view, stats, continuous_model,
-                                                        i, m, span.values[c], scratch.edit);
+    if (!span.empty() && !view.truths->Get(i, m).is_missing()) {
+      const std::vector<double>& weights = group_weights[property_group[m]];
+      AccumulateEntryLosses(data, view, stats, continuous_model, i, m, span, scratch.edit,
+                            [&](size_t, uint32_t src, double claim_loss) {
+                              objective += weights[src] * claim_loss;
+                            });
+    }
+    if (++m == m_props) {
+      m = 0;
+      ++i;
     }
   }
   return objective;
@@ -348,15 +432,18 @@ CRH_HOT void ObjectiveShard(const Dataset& data, const ClaimIndex& index,
                             size_t m_props, double* totals, size_t k_sources,
                             EntryScratch& scratch) {
   std::fill(totals, totals + k_sources, 0.0);
+  size_t i = range.begin / m_props;
+  size_t m = range.begin % m_props;
   for (size_t e = range.begin; e < range.end; ++e) {
     const ClaimSpan span = index.entry(e);
-    if (span.empty()) continue;
-    const size_t i = e / m_props;
-    const size_t m = e % m_props;
-    if (view.truths->Get(i, m).is_missing()) continue;
-    for (size_t c = 0; c < span.size; ++c) {
-      totals[span.sources[c]] += ClaimLoss(data, view, stats, continuous_model, i, m,
-                                           span.values[c], scratch.edit);
+    if (!span.empty() && !view.truths->Get(i, m).is_missing()) {
+      AccumulateEntryLosses(
+          data, view, stats, continuous_model, i, m, span, scratch.edit,
+          [&](size_t, uint32_t src, double claim_loss) { totals[src] += claim_loss; });
+    }
+    if (++m == m_props) {
+      m = 0;
+      ++i;
     }
   }
 }
@@ -413,19 +500,19 @@ void NormalizedLossMatrix(const Dataset& data, const ClaimIndex& index, const Tr
   RunShards(num_shards, pool, [&](size_t shard) {
     LossMatrixShard(data, index, view, stats, options.continuous_model,
                     ShardRange(num_entries, num_shards, shard), m_props,
-                    scratch.partial_loss.data() + shard * cells,
-                    scratch.partial_count.data() + shard * cells, cells,
+                    scratch.partial_loss + shard * cells,
+                    scratch.partial_count + shard * cells, cells,
                     scratch.per_shard[shard]);
   });
 
   // Ordered reduction: shard partials combine in shard order.
-  double* loss = scratch.loss.data();
-  size_t* count = scratch.count.data();
+  double* loss = scratch.loss;
+  size_t* count = scratch.count;
   std::fill(loss, loss + cells, 0.0);
   std::fill(count, count + cells, size_t{0});
   for (size_t shard = 0; shard < num_shards; ++shard) {
-    const double* shard_loss = scratch.partial_loss.data() + shard * cells;
-    const uint32_t* shard_count = scratch.partial_count.data() + shard * cells;
+    const double* shard_loss = scratch.partial_loss + shard * cells;
+    const uint32_t* shard_count = scratch.partial_count + shard * cells;
     for (size_t cell = 0; cell < cells; ++cell) {
       loss[cell] += shard_loss[cell];
       count[cell] += shard_count[cell];
@@ -512,7 +599,7 @@ double CrhObjectiveOverIndex(const Dataset& data, const ClaimIndex& index,
   RunShards(num_shards, pool, [&](size_t shard) {
     ObjectiveShard(data, index, view, stats, options.continuous_model,
                    ShardRange(num_entries, num_shards, shard), m_props,
-                   scratch.partial_source.data() + shard * k_sources, k_sources,
+                   scratch.partial_source + shard * k_sources, k_sources,
                    scratch.per_shard[shard]);
   });
 
@@ -534,11 +621,9 @@ std::unique_ptr<ThreadPool> MakePoolForOptions(const CrhOptions& options) {
   return std::make_unique<ThreadPool>(options.num_threads);
 }
 
-}  // namespace
-
-ValueTable ComputeTruthsGivenWeights(const Dataset& data, const ClaimIndex& index,
-                                     const std::vector<double>& weights,
-                                     const CrhOptions& options, ThreadPool* pool) {
+ValueTable ComputeTruthsImpl(const Dataset& data, const ClaimIndex& index,
+                             const std::vector<double>& weights, const CrhOptions& options,
+                             ThreadPool* pool, SolverScratch& scratch) {
   SolverState state;
   state.truths = ValueTable(data.num_objects(), data.num_properties());
   state.num_labels.assign(data.num_properties(), 0);
@@ -546,10 +631,25 @@ ValueTable ComputeTruthsGivenWeights(const Dataset& data, const ClaimIndex& inde
   CrhOptions hard = options;
   hard.categorical_model = CategoricalModel::kVoting;
   const std::vector<size_t> groups(data.num_properties(), 0);
-  SolverScratch scratch;
   EnsureSolverScratch(data, index, &scratch);
   UpdateTruths(data, index, {weights}, groups, hard, pool, scratch, &state);
   return std::move(state.truths);
+}
+
+}  // namespace
+
+ValueTable ComputeTruthsGivenWeights(const Dataset& data, const ClaimIndex& index,
+                                     const std::vector<double>& weights,
+                                     const CrhOptions& options, ThreadPool* pool) {
+  SolverScratch scratch;
+  return ComputeTruthsImpl(data, index, weights, options, pool, scratch);
+}
+
+ValueTable ComputeTruthsGivenWeights(const Dataset& data, const ClaimIndex& index,
+                                     const std::vector<double>& weights,
+                                     const CrhOptions& options, ThreadPool* pool,
+                                     SolverWorkspace& workspace) {
+  return ComputeTruthsImpl(data, index, weights, options, pool, workspace.impl().scratch);
 }
 
 ValueTable ComputeTruthsGivenWeights(const Dataset& data, const std::vector<double>& weights,
@@ -559,11 +659,54 @@ ValueTable ComputeTruthsGivenWeights(const Dataset& data, const std::vector<doub
   return ComputeTruthsGivenWeights(data, index, weights, options, pool.get());
 }
 
+void UpdateTruthsForEntries(const Dataset& data, const ClaimIndex& index,
+                            const std::vector<size_t>& entries,
+                            const std::vector<double>& weights, const CrhOptions& options,
+                            ThreadPool* pool, SolverWorkspace& workspace, ValueTable* truths) {
+  CRH_CHECK(truths != nullptr);
+  CRH_CHECK_EQ(truths->num_objects(), data.num_objects());
+  CRH_CHECK_EQ(truths->num_properties(), data.num_properties());
+  if (entries.empty()) return;
+  SolverScratch& scratch = workspace.impl().scratch;
+  EnsureSolverScratch(data, index, &scratch);
+
+  CrhOptions hard = options;
+  hard.categorical_model = CategoricalModel::kVoting;
+  const size_t m_props = data.num_properties();
+  std::vector<PropertyType> types(m_props);
+  for (size_t m = 0; m < m_props; ++m) types[m] = data.schema().property(m).type;
+  const std::vector<char> soft_active(m_props, 0);
+  const std::vector<const std::vector<double>*> weights_for(m_props, &weights);
+
+  // Shard over list positions; entries are independent, so the list grid
+  // (a function of the list length only) is as deterministic as the full
+  // grid. NumEntryShards is monotone, so the per-shard scratch sized for
+  // the full entry grid always covers the list grid.
+  const size_t num_positions = entries.size();
+  const size_t num_shards = NumEntryShards(num_positions);
+  CRH_DCHECK_LE(num_shards, scratch.num_shards);
+  RunShards(num_shards, pool, [&](size_t shard) {
+    UpdateTruthsListShard(data, index, types, soft_active, weights_for, hard, entries.data(),
+                          ShardRange(num_positions, num_shards, shard), m_props,
+                          scratch.per_shard[shard], truths);
+  });
+}
+
 std::vector<double> ComputeSourceDeviations(const Dataset& data, const ClaimIndex& index,
                                             const ValueTable& truths, const EntryStats& stats,
                                             const CrhOptions& options, ThreadPool* pool) {
   const TruthView view{&truths, nullptr, nullptr};
   SolverScratch scratch;
+  EnsureSolverScratch(data, index, &scratch);
+  return AggregateSourceLosses(data, index, view, stats, options, pool, scratch);
+}
+
+std::vector<double> ComputeSourceDeviations(const Dataset& data, const ClaimIndex& index,
+                                            const ValueTable& truths, const EntryStats& stats,
+                                            const CrhOptions& options, ThreadPool* pool,
+                                            SolverWorkspace& workspace) {
+  const TruthView view{&truths, nullptr, nullptr};
+  SolverScratch& scratch = workspace.impl().scratch;
   EnsureSolverScratch(data, index, &scratch);
   return AggregateSourceLosses(data, index, view, stats, options, pool, scratch);
 }

@@ -24,6 +24,7 @@
 ///   const crh::ValueTable& truths = result->truths;
 ///   const std::vector<double>& weights = result->source_weights;
 
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
@@ -169,6 +170,29 @@ struct CrhResult {
   bool converged = false;
 };
 
+/// Reusable solver scratch: one bump-arena allocation backing every
+/// per-iteration buffer of the pass entry points below. Callers that run
+/// many passes — the incremental solver, the delta re-solver, the
+/// benchmark harness — hold one workspace per concurrent caller and pass
+/// it to every call; after the first sizing, passes run allocation-free.
+/// Sized (and resized) automatically by the passes; reusable across
+/// datasets. Not thread-safe: one workspace serves one call at a time
+/// (the pass itself may fan work out over a pool internally).
+class SolverWorkspace {
+ public:
+  SolverWorkspace();
+  ~SolverWorkspace();
+  SolverWorkspace(SolverWorkspace&&) noexcept;
+  SolverWorkspace& operator=(SolverWorkspace&&) noexcept;
+
+  /// Opaque scratch (defined in crh.cc).
+  struct Impl;
+  Impl& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Runs CRH (Algorithm 1) on a multi-source dataset.
 ///
 /// Truths are initialized by unweighted voting (categorical) and the
@@ -193,6 +217,26 @@ ValueTable ComputeTruthsGivenWeights(const Dataset& data, const ClaimIndex& inde
                                      const std::vector<double>& weights,
                                      const CrhOptions& options, ThreadPool* pool = nullptr);
 
+/// Workspace-reusing variant: identical results, but the pass's scratch
+/// persists in \p workspace across calls (allocation-free after the first).
+ValueTable ComputeTruthsGivenWeights(const Dataset& data, const ClaimIndex& index,
+                                     const std::vector<double>& weights,
+                                     const CrhOptions& options, ThreadPool* pool,
+                                     SolverWorkspace& workspace);
+
+/// One truth update restricted to a sorted, duplicate-free list of entry
+/// ids (e = i * M + m): the delta re-solver's kernel. Only the listed
+/// entries of \p truths are written; each receives exactly the value a
+/// full ComputeTruthsGivenWeights pass over the same index and weights
+/// would produce (truth updates are per-entry independent, so the subset
+/// pass is bit-identical on its subset at any thread count). Categorical
+/// truths use the hard (voting) model, as in ComputeTruthsGivenWeights.
+/// \p truths must match the index's entry grid.
+void UpdateTruthsForEntries(const Dataset& data, const ClaimIndex& index,
+                            const std::vector<size_t>& entries,
+                            const std::vector<double>& weights, const CrhOptions& options,
+                            ThreadPool* pool, SolverWorkspace& workspace, ValueTable* truths);
+
 /// One weight-aggregation pass: each source's total deviation between its
 /// observations and \p truths, with the per-observation-count and
 /// per-property normalizations configured in \p options applied. Feed the
@@ -205,6 +249,12 @@ std::vector<double> ComputeSourceDeviations(const Dataset& data, const ClaimInde
                                             const ValueTable& truths, const EntryStats& stats,
                                             const CrhOptions& options,
                                             ThreadPool* pool = nullptr);
+
+/// Workspace-reusing variant of the claim-major deviation pass.
+std::vector<double> ComputeSourceDeviations(const Dataset& data, const ClaimIndex& index,
+                                            const ValueTable& truths, const EntryStats& stats,
+                                            const CrhOptions& options, ThreadPool* pool,
+                                            SolverWorkspace& workspace);
 
 /// Computes the raw CRH objective (Eq 1) of a candidate solution: the
 /// weighted sum over sources of per-entry losses between \p truths and the

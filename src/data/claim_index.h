@@ -12,19 +12,33 @@
 /// bound: a CSR-style index that stores, per (object, property) entry, the
 /// compact list of (source, value) claims.
 ///
-/// Layout (classic compressed-sparse-row over entry id e = i * M + m):
+/// Layout (classic compressed-sparse-row over entry id e = i * M + m),
+/// structure-of-arrays so the solver kernels stream each lane they need:
 ///
 ///   offsets_[e] .. offsets_[e+1]   the claim range of entry e
 ///   sources_[c]                    claiming source of claim c (ascending
 ///                                  per entry, so iteration order matches
 ///                                  a dense K-scan exactly)
-///   values_[c]                     the claimed Value
+///   values_[c]                     the claimed Value (tagged union)
+///   numeric_[c]                    the claim as a double (continuous
+///                                  claims only; NaN otherwise)
+///   labels_[c]                     the claim as a CategoryId (categorical
+///                                  and text claims; kInvalidCategory
+///                                  otherwise)
+///
+/// The numeric_ / labels_ lanes duplicate values_ in unboxed form: the
+/// truth and deviation kernels read one contiguous double (or int32) array
+/// per entry instead of gathering through the 16-byte tagged union, which
+/// keeps their inner loops branchless and auto-vectorizable (see
+/// docs/PERFORMANCE.md, "Structure-of-arrays claim lanes").
 ///
 /// Build cost is two dense passes (one count, one fill) — paid once per
 /// solver run instead of once per entry per iteration. All accessors are
-/// const and the index is immutable after Build, so concurrent readers
-/// need no synchronization. The index is a snapshot: observations recorded
-/// on the Dataset after Build are not reflected.
+/// const, so concurrent readers need no synchronization. The index is a
+/// snapshot: observations recorded on the Dataset after Build are not
+/// reflected. For streaming callers, CreateEmpty + Append grow one
+/// cumulative index chunk by chunk instead of rebuilding from scratch
+/// (amortized span extension; see Append).
 
 #include <cstddef>
 #include <cstdint>
@@ -36,16 +50,22 @@
 
 namespace crh {
 
-/// Borrowed view of one entry's claims; valid while the index lives.
+/// Borrowed view of one entry's claims; valid while the index lives and
+/// until the next Append. `numeric` and `labels` are the unboxed lanes of
+/// `values` (see file comment).
 struct ClaimSpan {
   const uint32_t* sources = nullptr;
   const Value* values = nullptr;
+  const double* numeric = nullptr;
+  const CategoryId* labels = nullptr;
   size_t size = 0;
 
   bool empty() const { return size == 0; }
 };
 
-/// Immutable claim-major index over one Dataset. Cheap to move.
+/// Claim-major index over one Dataset (or a stream of chunks sharing one
+/// entry grid). Cheap to move. Immutable through the const accessors;
+/// Append is the only mutator and invalidates outstanding ClaimSpans.
 class ClaimIndex {
  public:
   ClaimIndex() = default;
@@ -53,18 +73,42 @@ class ClaimIndex {
   /// Builds the index from the dataset's observation tables.
   static ClaimIndex Build(const Dataset& data);
 
+  /// An empty index over a fixed N x M entry grid, ready for Append. The
+  /// streaming (I-CRH) drivers use this to accumulate chunk claims in the
+  /// parent dataset's entry space.
+  static ClaimIndex CreateEmpty(size_t num_objects, size_t num_properties);
+
+  /// Appends every claim of \p chunk, mapping chunk object i to parent
+  /// object parent_object[i] (stream/chunks.h invariant: the chunk shares
+  /// the parent's schema, sources and dictionaries). Existing entry spans
+  /// are extended in place with the merged-by-source order a full rebuild
+  /// would produce, so an appended index is claim-for-claim identical to
+  /// Build over the union dataset (asserted in claim_index_test.cc).
+  ///
+  /// Cost: O(num_entries + claims_so_far + chunk claims) moves per call —
+  /// the CSR offset table is rebuilt and shifted spans slide right — with
+  /// geometric array growth, versus the O(K * N * M) dense rescan of a
+  /// full rebuild. A source may claim an entry at most once across all
+  /// appends (checked): duplicate (entry, source) pairs would make the
+  /// union dataset ill-defined.
+  void Append(const Dataset& chunk, const std::vector<size_t>& parent_object);
+
   size_t num_objects() const { return num_objects_; }
   size_t num_properties() const { return num_properties_; }
   /// Number of (object, property) entries (N * M).
   size_t num_entries() const { return num_objects_ * num_properties_; }
   /// Total non-missing claims across all sources and entries.
   size_t num_claims() const { return values_.size(); }
+  /// Largest claim count any entry has (0 for an empty index). Maintained
+  /// incrementally so scratch sizing is O(1), not an index scan.
+  size_t max_span_size() const { return max_span_size_; }
 
   /// The claims on entry id e = i * num_properties + m.
   ClaimSpan entry(size_t e) const {
     CRH_DCHECK_LT(e + 1, offsets_.size());
     const size_t begin = offsets_[e];
-    return {sources_.data() + begin, values_.data() + begin, offsets_[e + 1] - begin};
+    return {sources_.data() + begin, values_.data() + begin, numeric_.data() + begin,
+            labels_.data() + begin, offsets_[e + 1] - begin};
   }
 
   /// The claims on entry (object i, property m).
@@ -77,9 +121,12 @@ class ClaimIndex {
  private:
   size_t num_objects_ = 0;
   size_t num_properties_ = 0;
-  std::vector<size_t> offsets_;    // num_entries() + 1
-  std::vector<uint32_t> sources_;  // ascending within each entry
+  size_t max_span_size_ = 0;
+  std::vector<size_t> offsets_;     // num_entries() + 1
+  std::vector<uint32_t> sources_;   // ascending within each entry
   std::vector<Value> values_;
+  std::vector<double> numeric_;     // unboxed continuous lane (NaN elsewhere)
+  std::vector<CategoryId> labels_;  // unboxed label lane (kInvalidCategory elsewhere)
 };
 
 }  // namespace crh

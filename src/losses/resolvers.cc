@@ -19,6 +19,76 @@ bool ValueLess(const Value& a, const Value& b) {
   return a.is_categorical() && !b.is_categorical();
 }
 
+/// The shared Eq-14 accumulator: (sum w*v, sum w) with ONE association
+/// order used by both the vector and span means, so dense and sparse
+/// results stay bit-identical within a build. Default is the sequential
+/// left-to-right sum; CRH_SIMD switches BOTH callers to a fixed 4-lane
+/// ordered reduction tree — claim k feeds lane k%4, lanes combine as
+/// (l0+l1)+(l2+l3) — which is deterministic for a given claim order and
+/// lets the compiler keep 4 independent FMA chains in flight.
+CRH_HOT inline void WeightedSumPair(const double* values, const double* weights, size_t n,
+                                    double* total, double* total_weight) {
+#if defined(CRH_SIMD)
+  double t0 = 0.0, t1 = 0.0, t2 = 0.0, t3 = 0.0;
+  double w0 = 0.0, w1 = 0.0, w2 = 0.0, w3 = 0.0;
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    t0 += weights[k] * values[k];
+    t1 += weights[k + 1] * values[k + 1];
+    t2 += weights[k + 2] * values[k + 2];
+    t3 += weights[k + 3] * values[k + 3];
+    w0 += weights[k];
+    w1 += weights[k + 1];
+    w2 += weights[k + 2];
+    w3 += weights[k + 3];
+  }
+  // Deterministic tail: claim k still lands in lane k % 4.
+  for (; k < n; ++k) {
+    switch (k % 4) {
+      case 0: t0 += weights[k] * values[k]; w0 += weights[k]; break;
+      case 1: t1 += weights[k] * values[k]; w1 += weights[k]; break;
+      case 2: t2 += weights[k] * values[k]; w2 += weights[k]; break;
+      default: t3 += weights[k] * values[k]; w3 += weights[k]; break;
+    }
+  }
+  *total = (t0 + t1) + (t2 + t3);
+  *total_weight = (w0 + w1) + (w2 + w3);
+#else
+  double t = 0.0, w = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    t += weights[k] * values[k];
+    w += weights[k];
+  }
+  *total = t;
+  *total_weight = w;
+#endif
+}
+
+/// The shared Eq-16 ordering: sorts \p order (a 0..n-1 permutation) by
+/// ascending value, with ONE tie permutation shared by the vector and span
+/// medians (ties feed the group weight sums, so their order is
+/// load-bearing for bit-identity). Small spans — the common case at low
+/// density — use a stable insertion sort, skipping std::sort's dispatch
+/// overhead; larger ones fall through to std::sort, whose final
+/// insertion pass makes it equivalent for n <= 16 anyway.
+CRH_HOT inline void SortOrderByValue(size_t* order, size_t n, const double* values) {
+  constexpr size_t kInsertionThreshold = 32;
+  if (n <= kInsertionThreshold) {
+    for (size_t i = 1; i < n; ++i) {
+      const size_t key = order[i];
+      const double v = values[key];
+      size_t j = i;
+      while (j > 0 && v < values[order[j - 1]]) {
+        order[j] = order[j - 1];
+        --j;
+      }
+      order[j] = key;
+    }
+    return;
+  }
+  std::sort(order, order + n, [&](size_t a, size_t b) { return values[a] < values[b]; });
+}
+
 }  // namespace
 
 Value WeightedVote(const std::vector<Value>& values, const std::vector<double>& weights) {
@@ -53,11 +123,8 @@ Value WeightedVote(const std::vector<Value>& values, const std::vector<double>& 
 }
 
 double WeightedMean(const std::vector<double>& values, const std::vector<double>& weights) {
-  double total_weight = 0.0, total = 0.0;
-  for (size_t k = 0; k < values.size(); ++k) {
-    total += weights[k] * values[k];
-    total_weight += weights[k];
-  }
+  double total = 0.0, total_weight = 0.0;
+  WeightedSumPair(values.data(), weights.data(), values.size(), &total, &total_weight);
   if (total_weight <= 0.0) return std::numeric_limits<double>::quiet_NaN();
   return total / total_weight;
 }
@@ -74,8 +141,7 @@ double WeightedMedian(std::vector<double> values, std::vector<double> weights) {
 
   std::vector<size_t> order(values.size());
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
-            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  SortOrderByValue(order.data(), order.size(), values.data());
 
   // Walk the sorted claims grouped by equal value; pick the first group
   // whose strictly-below weight is < total/2 and strictly-above weight is
@@ -236,9 +302,9 @@ size_t ArgMax(const std::vector<double>& xs) {
 
 CRH_HOT Value WeightedVoteSpan(const Value* values, const double* weights, size_t n,
                        ResolverScratch& scratch) {
-  CRH_DCHECK_GE(scratch.candidates.size(), n);
-  Value* candidates = scratch.candidates.data();
-  double* tally = scratch.tally.data();
+  CRH_DCHECK_GE(scratch.capacity, n);
+  Value* candidates = scratch.candidates;
+  double* tally = scratch.tally;
   size_t num_candidates = 0;
   for (size_t k = 0; k < n; ++k) {
     if (values[k].is_missing()) continue;
@@ -264,12 +330,38 @@ CRH_HOT Value WeightedVoteSpan(const Value* values, const double* weights, size_
   return best;
 }
 
-CRH_HOT double WeightedMeanSpan(const double* values, const double* weights, size_t n) {
-  double total_weight = 0.0, total = 0.0;
+CRH_HOT CategoryId WeightedVoteLabelsSpan(const CategoryId* labels, const double* weights,
+                                          size_t n, ResolverScratch& scratch) {
+  CRH_DCHECK_GE(scratch.capacity, n);
+  CategoryId* candidates = scratch.labels;
+  double* tally = scratch.tally;
+  size_t num_candidates = 0;
   for (size_t k = 0; k < n; ++k) {
-    total += weights[k] * values[k];
-    total_weight += weights[k];
+    size_t c = 0;
+    while (c < num_candidates && candidates[c] != labels[k]) ++c;
+    if (c == num_candidates) {
+      candidates[num_candidates] = labels[k];
+      tally[num_candidates] = 0.0;
+      ++num_candidates;
+    }
+    tally[c] += weights[k];
   }
+  if (num_candidates == 0) return kInvalidCategory;
+  CategoryId best = kInvalidCategory;
+  double best_weight = -std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < num_candidates; ++c) {
+    if (tally[c] > best_weight ||
+        (tally[c] == best_weight && candidates[c] < best)) {
+      best = candidates[c];
+      best_weight = tally[c];
+    }
+  }
+  return best;
+}
+
+CRH_HOT double WeightedMeanSpan(const double* values, const double* weights, size_t n) {
+  double total = 0.0, total_weight = 0.0;
+  WeightedSumPair(values, weights, n, &total, &total_weight);
   if (total_weight <= 0.0) return std::numeric_limits<double>::quiet_NaN();
   return total / total_weight;
 }
@@ -277,7 +369,7 @@ CRH_HOT double WeightedMeanSpan(const double* values, const double* weights, siz
 CRH_HOT double WeightedMedianSpan(const double* values, const double* weights, size_t n,
                           ResolverScratch& scratch) {
   if (n == 0) return std::numeric_limits<double>::quiet_NaN();
-  CRH_DCHECK_GE(scratch.order.size(), n);
+  CRH_DCHECK_GE(scratch.capacity, n);
   // Non-positive weights are dropped at use; a weight total of zero (or a
   // null weights pointer) selects the uniform fallback, matching
   // WeightedMedian's fill(1.0).
@@ -291,9 +383,9 @@ CRH_HOT double WeightedMedianSpan(const double* values, const double* weights, s
     total = static_cast<double>(n);
   }
 
-  size_t* order = scratch.order.data();
+  size_t* order = scratch.order;
   for (size_t k = 0; k < n; ++k) order[k] = k;
-  std::sort(order, order + n, [&](size_t a, size_t b) { return values[a] < values[b]; });
+  SortOrderByValue(order, n, values);
 
   const double half = total / 2.0;
   double below = 0.0;

@@ -21,6 +21,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/hot.h"
 #include "common/value.h"
@@ -74,30 +75,61 @@ size_t ArgMax(const std::vector<double>& xs);
 // used by the solver's per-entry kernels (core/crh.cc). They read raw claim
 // spans, write results through caller-owned buffers, and are bit-identical
 // to their vector counterparts — same candidate order, same floating-point
-// association, same tie-breaking. Callers Reserve() the scratch once per
-// run (outside any hot loop); the span functions never grow it.
+// association, same tie-breaking. Callers size the scratch once per run
+// (outside any hot loop); the span functions never grow it.
 
-/// Caller-owned scratch for the span resolvers. One instance serves one
-/// thread; Reserve to the largest claim count an entry can have (at most
-/// the number of sources).
+/// Caller-owned scratch for the span resolvers, carved out of a bump arena
+/// (common/arena.h). One instance serves one thread. Two sizing modes:
+/// standalone callers Reserve() against the scratch's own arena; the solver
+/// embeds it in a larger workspace and CarveFrom()s a shared arena, so the
+/// whole workspace is one allocation. Size to the largest claim count an
+/// entry can have (ClaimIndex::max_span_size(), at most the source count).
 struct ResolverScratch {
+  /// Standalone sizing: one allocation into the owned arena. Cold path.
   void Reserve(size_t max_claims) {
-    if (candidates.size() < max_claims) {
-      candidates.resize(max_claims);
-      tally.resize(max_claims);
-      order.resize(max_claims);
-    }
+    owned_.Reserve(BytesNeeded(max_claims));
+    CarveFrom(owned_, max_claims);
   }
 
-  std::vector<Value> candidates;  // vote candidates / medoid distinct claims
-  std::vector<double> tally;      // vote tallies / medoid masses
-  std::vector<size_t> order;      // median sort permutation
+  /// Carves the buffers from \p arena (which must have BytesNeeded(
+  /// max_claims) headroom reserved). Cold path; pointers are invalidated by
+  /// the arena's next Reserve/Reset.
+  void CarveFrom(Arena& arena, size_t max_claims) {
+    candidates = arena.Carve<Value>(max_claims);
+    labels = arena.Carve<CategoryId>(max_claims);
+    tally = arena.Carve<double>(max_claims);
+    order = arena.Carve<size_t>(max_claims);
+    capacity = max_claims;
+  }
+
+  /// Worst-case arena bytes CarveFrom(_, max_claims) consumes.
+  static constexpr size_t BytesNeeded(size_t max_claims) {
+    return Arena::BytesFor<Value>(max_claims) + Arena::BytesFor<CategoryId>(max_claims) +
+           Arena::BytesFor<double>(max_claims) + Arena::BytesFor<size_t>(max_claims);
+  }
+
+  Value* candidates = nullptr;  // vote candidates / medoid distinct claims
+  CategoryId* labels = nullptr;  // label-lane candidates / distinct labels
+  double* tally = nullptr;       // vote tallies / medoid masses
+  size_t* order = nullptr;       // median sort permutation
+  size_t capacity = 0;           // claim capacity of each buffer above
+
+ private:
+  Arena owned_;  // backs the buffers only in Reserve() mode
 };
 
 /// Eq (9) on a raw claim span; see WeightedVote. Missing values among the
 /// first \p n claims are skipped. Precondition: scratch.Reserve(n).
 CRH_HOT Value WeightedVoteSpan(const Value* values, const double* weights, size_t n,
                                ResolverScratch& scratch);
+
+/// Eq (9) on the unboxed label lane (ClaimIndex::entry().labels): the
+/// weighted vote over CategoryIds, bit-identical to WeightedVoteSpan over
+/// the equivalent categorical Values (same first-claim candidate order,
+/// association and smallest-id tie-break). Returns kInvalidCategory when
+/// n == 0. Precondition: scratch.Reserve(n).
+CRH_HOT CategoryId WeightedVoteLabelsSpan(const CategoryId* labels, const double* weights,
+                                          size_t n, ResolverScratch& scratch);
 
 /// Eq (14) on a raw claim span; see WeightedMean.
 CRH_HOT double WeightedMeanSpan(const double* values, const double* weights, size_t n);
@@ -123,9 +155,9 @@ CRH_HOT size_t ArgMaxSpan(const double* xs, size_t n);
 template <typename DistanceFn>
 CRH_HOT Value WeightedMedoidSpan(const Value* values, const double* weights, size_t n,
                                  ResolverScratch& scratch, const DistanceFn& dist_fn) {
-  CRH_DCHECK_GE(scratch.candidates.size(), n);
-  Value* distinct = scratch.candidates.data();
-  double* mass = scratch.tally.data();
+  CRH_DCHECK_GE(scratch.capacity, n);
+  Value* distinct = scratch.candidates;
+  double* mass = scratch.tally;
   size_t num_distinct = 0;
   for (size_t k = 0; k < n; ++k) {
     if (values[k].is_missing()) continue;
@@ -146,6 +178,52 @@ CRH_HOT Value WeightedMedoidSpan(const Value* values, const double* weights, siz
   if (num_distinct == 0) return Value::Missing();
 
   Value best = distinct[0];
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < num_distinct; ++c) {
+    double cost = 0.0;
+    for (size_t d = 0; d < num_distinct; ++d) {
+      if (d != c) cost += mass[d] * dist_fn(distinct[c], distinct[d]);
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = distinct[c];
+    }
+  }
+  return best;
+}
+
+/// Weighted medoid on the unboxed label lane: distinct claims are
+/// CategoryIds and the distance is keyed by id pairs. Bit-identical to
+/// WeightedMedoidSpan over the equivalent interned Values — Value equality
+/// on same-kind labels IS id equality, so the distinct scan, mass
+/// association and smaller-index tie-break coincide. Returns
+/// kInvalidCategory on no claims. Precondition: scratch.Reserve(n).
+template <typename DistanceFn>
+CRH_HOT CategoryId WeightedMedoidLabelsSpan(const CategoryId* labels, const double* weights,
+                                            size_t n, ResolverScratch& scratch,
+                                            const DistanceFn& dist_fn) {
+  CRH_DCHECK_GE(scratch.capacity, n);
+  CategoryId* distinct = scratch.labels;
+  double* mass = scratch.tally;
+  size_t num_distinct = 0;
+  for (size_t k = 0; k < n; ++k) {
+    bool found = false;
+    for (size_t d = 0; d < num_distinct; ++d) {
+      if (distinct[d] == labels[k]) {
+        mass[d] += weights[k];
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      distinct[num_distinct] = labels[k];
+      mass[num_distinct] = weights[k];
+      ++num_distinct;
+    }
+  }
+  if (num_distinct == 0) return kInvalidCategory;
+
+  CategoryId best = distinct[0];
   double best_cost = std::numeric_limits<double>::infinity();
   for (size_t c = 0; c < num_distinct; ++c) {
     double cost = 0.0;

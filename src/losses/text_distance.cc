@@ -39,9 +39,9 @@ CRH_HOT size_t LevenshteinDistanceSpan(const std::string& a, const std::string& 
   if (b.empty()) return a.size();
   const std::string& outer = a.size() >= b.size() ? a : b;
   const std::string& inner = a.size() >= b.size() ? b : a;
-  CRH_DCHECK_GE(scratch.prev.size(), inner.size() + 1);
-  size_t* prev = scratch.prev.data();
-  size_t* curr = scratch.curr.data();
+  CRH_DCHECK_GE(scratch.capacity, inner.size() + 1);
+  size_t* prev = scratch.prev;
+  size_t* curr = scratch.curr;
   for (size_t j = 0; j <= inner.size(); ++j) prev[j] = j;
   for (size_t i = 1; i <= outer.size(); ++i) {
     curr[0] = i;

@@ -14,8 +14,8 @@
 
 #include <cstddef>
 #include <string>
-#include <vector>
 
+#include "common/arena.h"
 #include "common/hot.h"
 
 namespace crh {
@@ -28,20 +28,37 @@ size_t LevenshteinDistance(const std::string& a, const std::string& b);
 /// distance 0.
 double NormalizedEditDistance(const std::string& a, const std::string& b);
 
-/// Caller-owned rows for the two-row Levenshtein dynamic program. Size
-/// once (outside any hot loop) to the longest label that can appear, then
-/// reuse across claims: the scratch variants below never allocate.
+/// Caller-owned rows for the two-row Levenshtein dynamic program, carved
+/// out of a bump arena (common/arena.h). Size once (outside any hot loop)
+/// to the longest label that can appear, then reuse across claims: the
+/// scratch variants below never allocate. Standalone callers Reserve();
+/// the solver CarveFrom()s its shared workspace arena.
 struct EditDistanceScratch {
-  /// Grows the rows to handle strings up to \p max_len characters.
+  /// Standalone sizing for strings up to \p max_len characters. Cold path.
   void Reserve(size_t max_len) {
-    if (prev.size() < max_len + 1) {
-      prev.resize(max_len + 1);
-      curr.resize(max_len + 1);
-    }
+    owned_.Reserve(BytesNeeded(max_len));
+    CarveFrom(owned_, max_len);
   }
 
-  std::vector<size_t> prev;
-  std::vector<size_t> curr;
+  /// Carves the rows from \p arena (needs BytesNeeded(max_len) headroom
+  /// reserved). Cold path; invalidated by the arena's next Reserve/Reset.
+  void CarveFrom(Arena& arena, size_t max_len) {
+    prev = arena.Carve<size_t>(max_len + 1);
+    curr = arena.Carve<size_t>(max_len + 1);
+    capacity = max_len + 1;
+  }
+
+  /// Worst-case arena bytes CarveFrom(_, max_len) consumes.
+  static constexpr size_t BytesNeeded(size_t max_len) {
+    return 2 * Arena::BytesFor<size_t>(max_len + 1);
+  }
+
+  size_t* prev = nullptr;
+  size_t* curr = nullptr;
+  size_t capacity = 0;  // row length (longest string + 1)
+
+ private:
+  Arena owned_;  // backs the rows only in Reserve() mode
 };
 
 /// Allocation-free LevenshteinDistance over caller-owned scratch rows.

@@ -4,12 +4,15 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <optional>
 #include <system_error>
 #include <utility>
 
 #include "common/check.h"
 #include "common/crc32.h"
+#include "common/thread_pool.h"
+#include "stream/delta_solve.h"
 
 namespace crh {
 
@@ -293,6 +296,12 @@ uint64_t CheckpointFingerprint(const IncrementalCrhOptions& options, size_t num_
     }
     for (size_t k = 0; k < data->num_sources(); ++k) fp.AddString(data->source_id(k));
   }
+  // Appended only for delta-maintained runs, so fingerprints of legacy
+  // (kOff) runs are unchanged by the field's introduction. kFull, kDelta
+  // and kVerify share one tag: their truth tables are bit-identical, so
+  // their checkpoints interchange freely — but never with the per-chunk
+  // patchwork semantics of kOff.
+  if (options.delta_solve != DeltaSolveMode::kOff) fp.AddU64(0x64656c7461u);  // "delta"
   return fp.Finish();
 }
 
@@ -592,12 +601,29 @@ Result<IncrementalCrhResult> RunIncrementalCrhResilient(
     return Status::InvalidArgument("resume requires a checkpoint directory");
   }
   CRH_RETURN_NOT_OK(ValidateRetryPolicy(resilience.retry));
+  const bool delta_active = options.delta_solve != DeltaSolveMode::kOff;
+  if (delta_active && options.base.supervision != nullptr) {
+    return Status::InvalidArgument(
+        "delta_solve maintains truths in the parent entry space and cannot apply the "
+        "chunk-shaped supervision clamp; use DeltaSolveMode::kOff with supervision");
+  }
   auto chunks = SplitByWindow(data, options.window_size);
   if (!chunks.ok()) return chunks.status();
 
   IncrementalCrhProcessor processor(data.num_sources(), options);
   IncrementalCrhResult result;
   result.truths = ValueTable(data.num_objects(), data.num_properties());
+
+  // Delta-maintained runs keep one cumulative claim store (and their own
+  // pool: the processor's is private to it) for the re-solve passes.
+  std::optional<DeltaTruthStore> store;
+  std::unique_ptr<ThreadPool> delta_pool;
+  if (delta_active) {
+    store.emplace(data.num_objects(), data.num_properties(), data.num_sources());
+    if (ThreadPool::ResolveNumThreads(options.base.num_threads) > 1) {
+      delta_pool = std::make_unique<ThreadPool>(options.base.num_threads);
+    }
+  }
 
   const uint64_t fingerprint =
       checkpointing ? CheckpointFingerprint(options, data.num_sources(), &data) : 0;
@@ -639,14 +665,39 @@ Result<IncrementalCrhResult> RunIncrementalCrhResilient(
     // NotFound means a cold start: nothing to resume, process everything.
   }
 
+  if (delta_active) {
+    // Rebuild the cumulative claim index for the chunks the checkpoint
+    // already covers: claims only — their weights and truths come from the
+    // checkpoint, whose fingerprint tag guarantees they were maintained
+    // under the delta invariant.
+    for (size_t c = 0; c < first_chunk; ++c) {
+      store->AppendChunk((*chunks)[c].data, (*chunks)[c].parent_object,
+                        options.quarantine_bad_claims);
+    }
+  }
+
+  std::vector<double> prev_weights;
   for (size_t c = first_chunk; c < chunks->size(); ++c) {
     CRH_FAIL_POINT("stream.process_chunk");
     const DataChunk& chunk = (*chunks)[c];
+    // The weight snapshot before the refresh bounds the delta fan-out.
+    if (delta_active) prev_weights = processor.source_weights();
     auto truths = processor.ProcessChunk(chunk.data);
     if (!truths.ok()) return truths.status();
-    for (size_t local = 0; local < chunk.parent_object.size(); ++local) {
-      for (size_t m = 0; m < data.num_properties(); ++m) {
-        result.truths.Set(chunk.parent_object[local], m, truths->Get(local, m));
+    if (delta_active) {
+      // Maintain `truths == truth-update(claims so far, current weights)`:
+      // fold the chunk's claims in, then re-solve under the refreshed
+      // weights. The per-chunk truths ProcessChunk returned were computed
+      // under the pre-refresh weights and are superseded.
+      store->AppendChunk(chunk.data, chunk.parent_object, options.quarantine_bad_claims);
+      CRH_RETURN_NOT_OK(store->Resolve(data, prev_weights, processor.source_weights(),
+                                       options.base, delta_pool.get(), options.delta_solve,
+                                       &result.truths));
+    } else {
+      for (size_t local = 0; local < chunk.parent_object.size(); ++local) {
+        for (size_t m = 0; m < data.num_properties(); ++m) {
+          result.truths.Set(chunk.parent_object[local], m, truths->Get(local, m));
+        }
       }
     }
     result.weight_history.push_back(processor.source_weights());
@@ -669,6 +720,7 @@ Result<IncrementalCrhResult> RunIncrementalCrhResilient(
   result.source_weights = processor.source_weights();
   result.accumulated_deviations = processor.accumulated_deviations();
   result.quarantined_per_source = processor.quarantined_per_source();
+  if (delta_active) result.delta_stats = store->stats();
   return result;
 }
 

@@ -1,0 +1,176 @@
+#include "stream/delta_solve.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+
+namespace crh {
+
+namespace {
+
+/// Bit-level equality on truth cells: NaN payloads compare equal to
+/// themselves and +0.0 differs from -0.0 — exactly the "same computation"
+/// relation the verify mode asserts (IEEE == would accept a sign flip and
+/// reject identical NaNs).
+bool BitIdenticalValue(const Value& a, const Value& b) {
+  if (a.is_continuous() != b.is_continuous() || a.is_categorical() != b.is_categorical()) {
+    return false;
+  }
+  if (a.is_continuous()) {
+    const double da = a.continuous();
+    const double db = b.continuous();
+    uint64_t bits_a = 0;
+    uint64_t bits_b = 0;
+    std::memcpy(&bits_a, &da, sizeof(bits_a));
+    std::memcpy(&bits_b, &db, sizeof(bits_b));
+    return bits_a == bits_b;
+  }
+  if (a.is_categorical()) return a.category() == b.category();
+  return true;  // both missing
+}
+
+bool WeightChangedBitwise(double prev, double next) {
+  uint64_t prev_bits = 0;
+  uint64_t next_bits = 0;
+  std::memcpy(&prev_bits, &prev, sizeof(prev_bits));
+  std::memcpy(&next_bits, &next, sizeof(next_bits));
+  return prev_bits != next_bits;
+}
+
+}  // namespace
+
+DeltaTruthStore::DeltaTruthStore(size_t num_objects, size_t num_properties, size_t num_sources)
+    : index_(ClaimIndex::CreateEmpty(num_objects, num_properties)),
+      postings_(num_sources),
+      entry_claimed_(num_objects * num_properties, 0) {}
+
+void DeltaTruthStore::AppendChunk(const Dataset& chunk,
+                                  const std::vector<size_t>& parent_object, bool quarantine) {
+  CRH_CHECK_EQ(chunk.num_sources(), postings_.size());
+  CRH_CHECK_EQ(chunk.num_objects(), parent_object.size());
+  CRH_CHECK_EQ(chunk.num_properties(), index_.num_properties());
+  // Mirror the processor's quarantine (stream/incremental_crh.cc): the
+  // cumulative index must hold exactly the claims the weights were learned
+  // from. The clean copy is only materialized when something is bad.
+  const Dataset* active = &chunk;
+  Dataset sanitized;
+  if (quarantine) {
+    bool any_bad = false;
+    for (size_t k = 0; k < chunk.num_sources() && !any_bad; ++k) {
+      for (size_t i = 0; i < chunk.num_objects() && !any_bad; ++i) {
+        for (size_t m = 0; m < chunk.num_properties() && !any_bad; ++m) {
+          any_bad = IsQuarantinableClaim(chunk, m, chunk.observations(k).Get(i, m));
+        }
+      }
+    }
+    if (any_bad) {
+      sanitized = chunk;
+      for (size_t k = 0; k < chunk.num_sources(); ++k) {
+        for (size_t i = 0; i < chunk.num_objects(); ++i) {
+          for (size_t m = 0; m < chunk.num_properties(); ++m) {
+            if (IsQuarantinableClaim(chunk, m, chunk.observations(k).Get(i, m))) {
+              sanitized.mutable_observations(k).Clear(i, m);
+            }
+          }
+        }
+      }
+      active = &sanitized;
+    }
+  }
+  chunk_dirty_.clear();
+  const size_t m_props = index_.num_properties();
+  for (size_t k = 0; k < active->num_sources(); ++k) {
+    for (size_t i = 0; i < active->num_objects(); ++i) {
+      for (size_t m = 0; m < m_props; ++m) {
+        if (active->observations(k).Get(i, m).is_missing()) continue;
+        const size_t e = parent_object[i] * m_props + m;
+        postings_[k].push_back(e);
+        chunk_dirty_.push_back(e);
+        if (entry_claimed_[e] == 0) {
+          entry_claimed_[e] = 1;
+          ++nonempty_entries_;
+        }
+      }
+    }
+  }
+  index_.Append(*active, parent_object);
+  ++stats_.chunks;
+}
+
+Status DeltaTruthStore::Resolve(const Dataset& parent, const std::vector<double>& prev_weights,
+                                const std::vector<double>& new_weights,
+                                const CrhOptions& options, ThreadPool* pool,
+                                DeltaSolveMode mode, ValueTable* truths) {
+  CRH_CHECK(truths != nullptr);
+  CRH_CHECK(mode != DeltaSolveMode::kOff);
+  CRH_CHECK_EQ(prev_weights.size(), postings_.size());
+  CRH_CHECK_EQ(new_weights.size(), postings_.size());
+  CRH_CHECK_EQ(parent.num_objects(), index_.num_objects());
+  CRH_CHECK_EQ(parent.num_properties(), index_.num_properties());
+  // The supervision clamp is chunk-shaped; the re-solve runs in parent
+  // entry space. The driver rejects the combination before the loop.
+  CRH_CHECK(options.supervision == nullptr);
+  stats_.entries_full += nonempty_entries_;
+  if (mode == DeltaSolveMode::kFull) {
+    *truths = ComputeTruthsGivenWeights(parent, index_, new_weights, options, pool, workspace_);
+    stats_.entries_resolved += nonempty_entries_;
+    return Status::OK();
+  }
+  // kDelta / kVerify: the chunk's own entries plus the fan-out of every
+  // source whose weight changed bitwise. Every other entry has exactly the
+  // same claims and claiming-source weights as before the chunk, and the
+  // truth update is a deterministic per-entry function of those inputs, so
+  // skipping it cannot change its value.
+  size_t candidate_bound = chunk_dirty_.size();
+  for (size_t k = 0; k < new_weights.size(); ++k) {
+    if (WeightChangedBitwise(prev_weights[k], new_weights[k])) {
+      ++stats_.sources_changed;
+      candidate_bound += postings_[k].size();
+    }
+  }
+  // Adaptive fallback (kDelta only): when the candidate list is at least as
+  // long as a full pass — the log weight schemes perturb every weight every
+  // chunk, fanning out to every claimed entry — building and deduplicating
+  // it costs more than the streaming full pass it would save. The fallback
+  // is bit-identical by the same invariant (a full pass re-solves a
+  // superset). kVerify never falls back: its job is to property-test the
+  // genuine list-driven path against the shadow full pass.
+  if (mode == DeltaSolveMode::kDelta && candidate_bound >= nonempty_entries_) {
+    ++stats_.full_fallbacks;
+    *truths = ComputeTruthsGivenWeights(parent, index_, new_weights, options, pool, workspace_);
+    stats_.entries_resolved += nonempty_entries_;
+    return Status::OK();
+  }
+  resolve_entries_.assign(chunk_dirty_.begin(), chunk_dirty_.end());
+  for (size_t k = 0; k < new_weights.size(); ++k) {
+    if (WeightChangedBitwise(prev_weights[k], new_weights[k])) {
+      resolve_entries_.insert(resolve_entries_.end(), postings_[k].begin(), postings_[k].end());
+    }
+  }
+  std::sort(resolve_entries_.begin(), resolve_entries_.end());
+  resolve_entries_.erase(std::unique(resolve_entries_.begin(), resolve_entries_.end()),
+                         resolve_entries_.end());
+  UpdateTruthsForEntries(parent, index_, resolve_entries_, new_weights, options, pool,
+                         workspace_, truths);
+  stats_.entries_resolved += resolve_entries_.size();
+  if (mode == DeltaSolveMode::kVerify) {
+    const ValueTable full =
+        ComputeTruthsGivenWeights(parent, index_, new_weights, options, pool, workspace_);
+    for (size_t i = 0; i < full.num_objects(); ++i) {
+      for (size_t m = 0; m < full.num_properties(); ++m) {
+        if (!BitIdenticalValue(truths->Get(i, m), full.Get(i, m))) {
+          return Status::Internal(
+              "delta re-solve diverged from the full re-solve at object " + std::to_string(i) +
+              ", property " + std::to_string(m) +
+              " (the dirty-set + weight-fan-out invariant is broken)");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace crh

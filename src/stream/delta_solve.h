@@ -1,0 +1,108 @@
+#ifndef CRH_STREAM_DELTA_SOLVE_H_
+#define CRH_STREAM_DELTA_SOLVE_H_
+
+/// \file delta_solve.h
+/// Dirty-set delta re-solving for the streaming (I-CRH) pipeline.
+///
+/// The legacy streaming driver scatters each chunk's truths into the fused
+/// table and never revisits them, so the final table is a patchwork of
+/// truth updates taken at different weight snapshots. The delta modes
+/// (DeltaSolveMode, stream/incremental_crh.h) instead maintain the
+/// invariant
+///
+///   truths == truth-update(all claims seen so far, current weights)
+///
+/// after every chunk. A full re-solve per chunk (kFull) restores the
+/// invariant trivially but costs one pass over every claim seen so far.
+/// The delta re-solver (kDelta) exploits that the truth update (Eq 3) is
+/// per-entry independent: an entry's truth depends only on its own claims
+/// and the weights of its claiming sources. After chunk c's weight
+/// refresh, the only entries whose inputs changed are
+///
+///   dirty(c)    the entries chunk c's claims touch (new claims), and
+///   fanout(c)   every entry claimed by a source whose weight changed
+///               bitwise in the refresh,
+///
+/// so re-solving dirty(c) UNION fanout(c) — and nothing else — yields a
+/// table bit-identical to the full re-solve. kVerify property-tests
+/// exactly that equivalence at runtime: it runs the delta update, then a
+/// shadow full re-solve, and bit-compares every cell, failing the stream
+/// with Internal on any divergence.
+///
+/// The store keeps one cumulative ClaimIndex in the *parent* dataset's
+/// entry space, grown chunk by chunk with ClaimIndex::Append (amortized
+/// span extension, no per-chunk rebuild), plus per-source postings lists
+/// for the weight fan-out, and one SolverWorkspace so re-solve passes are
+/// allocation-free after the first chunk.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "core/crh.h"
+#include "data/claim_index.h"
+#include "data/dataset.h"
+#include "data/table.h"
+#include "stream/incremental_crh.h"
+
+namespace crh {
+
+/// Cumulative claim store + delta re-solver over one parent entry grid.
+/// Owned by the streaming driver (stream/checkpoint.cc); one store serves
+/// one stream. Not thread-safe (the re-solve passes may fan out over the
+/// pool handed to Resolve internally).
+class DeltaTruthStore {
+ public:
+  /// An empty store over the parent dataset's N x M entry grid and K
+  /// sources.
+  DeltaTruthStore(size_t num_objects, size_t num_properties, size_t num_sources);
+
+  /// Folds one chunk's claims into the cumulative index, mapping chunk
+  /// object i to parent object parent_object[i], and records the touched
+  /// entries as the current dirty set. With \p quarantine set, claims the
+  /// processor's quarantine excluded (IsQuarantinableClaim) are skipped,
+  /// so the index holds exactly the claims the weights were learned from.
+  /// A source may claim an entry at most once across the stream (checked
+  /// by ClaimIndex::Append).
+  void AppendChunk(const Dataset& chunk, const std::vector<size_t>& parent_object,
+                   bool quarantine);
+
+  /// Restores the truth invariant after a chunk's weight refresh.
+  /// \p parent supplies the schema and dictionaries (its entry grid must
+  /// match the store); \p prev_weights / \p new_weights are the source
+  /// weights before and after the refresh. kDelta re-solves the dirty set
+  /// of the latest AppendChunk plus the postings of every source whose
+  /// weight changed bitwise; kFull re-solves everything; kVerify runs the
+  /// delta update, then a shadow full pass, and returns Internal if any
+  /// cell differs bitwise. kOff is a caller error (checked). Only claimed
+  /// entries of \p truths are written.
+  [[nodiscard]] Status Resolve(const Dataset& parent, const std::vector<double>& prev_weights,
+                               const std::vector<double>& new_weights,
+                               const CrhOptions& options, ThreadPool* pool, DeltaSolveMode mode,
+                               ValueTable* truths);
+
+  /// Work counters accumulated across AppendChunk/Resolve calls.
+  const DeltaSolveStats& stats() const { return stats_; }
+
+  /// The cumulative claim index (for tests).
+  const ClaimIndex& index() const { return index_; }
+
+ private:
+  ClaimIndex index_;
+  /// postings_[k]: parent entry ids source k claims (append order;
+  /// deduplicated together with the dirty set at Resolve time).
+  std::vector<std::vector<size_t>> postings_;
+  /// Entries the latest AppendChunk touched.
+  std::vector<size_t> chunk_dirty_;
+  /// entry -> has at least one claim (maintains nonempty_entries_).
+  std::vector<char> entry_claimed_;
+  size_t nonempty_entries_ = 0;
+  /// Scratch entry ids for Resolve (reused across chunks).
+  std::vector<size_t> resolve_entries_;
+  SolverWorkspace workspace_;
+  DeltaSolveStats stats_;
+};
+
+}  // namespace crh
+
+#endif  // CRH_STREAM_DELTA_SOLVE_H_

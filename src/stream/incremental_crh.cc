@@ -14,12 +14,7 @@
 
 namespace crh {
 
-namespace {
-
-/// A claim the quarantine excludes: a non-finite continuous reading, a
-/// label outside the property's dictionary, or a cell whose kind
-/// contradicts the schema. Missing cells are never quarantined.
-bool IsQuarantinable(const Dataset& data, size_t m, const Value& v) {
+bool IsQuarantinableClaim(const Dataset& data, size_t m, const Value& v) {
   if (v.is_missing()) return false;
   if (data.schema().is_continuous(m)) {
     return !v.is_continuous() || !std::isfinite(v.continuous());
@@ -27,8 +22,6 @@ bool IsQuarantinable(const Dataset& data, size_t m, const Value& v) {
   return !v.is_categorical() || v.category() < 0 ||
          static_cast<size_t>(v.category()) >= data.dict(m).size();
 }
-
-}  // namespace
 
 IncrementalCrhProcessor::IncrementalCrhProcessor(size_t num_sources,
                                                  IncrementalCrhOptions options)
@@ -100,7 +93,7 @@ Result<ValueTable> IncrementalCrhProcessor::ProcessChunk(const Dataset& chunk) {
     for (size_t k = 0; k < chunk.num_sources() && !any_bad; ++k) {
       for (size_t i = 0; i < chunk.num_objects() && !any_bad; ++i) {
         for (size_t m = 0; m < chunk.num_properties() && !any_bad; ++m) {
-          any_bad = IsQuarantinable(chunk, m, chunk.observations(k).Get(i, m));
+          any_bad = IsQuarantinableClaim(chunk, m, chunk.observations(k).Get(i, m));
         }
       }
     }
@@ -109,7 +102,7 @@ Result<ValueTable> IncrementalCrhProcessor::ProcessChunk(const Dataset& chunk) {
       for (size_t k = 0; k < chunk.num_sources(); ++k) {
         for (size_t i = 0; i < chunk.num_objects(); ++i) {
           for (size_t m = 0; m < chunk.num_properties(); ++m) {
-            if (IsQuarantinable(chunk, m, chunk.observations(k).Get(i, m))) {
+            if (IsQuarantinableClaim(chunk, m, chunk.observations(k).Get(i, m))) {
               sanitized.mutable_observations(k).Clear(i, m);
               ++quarantined_[k];
             }
@@ -125,7 +118,7 @@ Result<ValueTable> IncrementalCrhProcessor::ProcessChunk(const Dataset& chunk) {
     for (size_t k = 0; k < chunk.num_sources(); ++k) {
       for (size_t i = 0; i < chunk.num_objects(); ++i) {
         for (size_t m = 0; m < chunk.num_properties(); ++m) {
-          if (IsQuarantinable(chunk, m, chunk.observations(k).Get(i, m))) {
+          if (IsQuarantinableClaim(chunk, m, chunk.observations(k).Get(i, m))) {
             return Status::InvalidArgument(
                 "malformed claim (non-finite or out-of-dictionary) from source " +
                 std::to_string(k) + " at object " + std::to_string(i) +

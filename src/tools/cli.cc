@@ -60,7 +60,13 @@ std::string UsageString() {
       "                       to one that was never interrupted\n"
       "  --quarantine         icrh: exclude malformed claims (non-finite numbers,\n"
       "                       unknown labels) and report them per source instead\n"
-      "                       of failing the stream\n";
+      "                       of failing the stream\n"
+      "  --delta-solve M      icrh: fused-truth maintenance: off (default; each\n"
+      "                       chunk's truths are frozen at its own weight\n"
+      "                       snapshot), full (full re-solve under the current\n"
+      "                       weights after every chunk), on (dirty-set delta\n"
+      "                       re-solve; bit-identical to full), verify (delta\n"
+      "                       plus a shadow full re-solve, bit-compared)\n";
 }
 
 Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
@@ -121,6 +127,12 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       options.resume = true;
     } else if (arg == "--quarantine") {
       options.quarantine = true;
+    } else if (arg == "--delta-solve") {
+      CRH_RETURN_NOT_OK(take(&options.delta_solve));
+      if (options.delta_solve != "off" && options.delta_solve != "full" &&
+          options.delta_solve != "on" && options.delta_solve != "verify") {
+        return Status::InvalidArgument("--delta-solve must be off, full, on or verify");
+      }
     } else {
       return Status::InvalidArgument("unknown flag '" + arg + "'\n" + UsageString());
     }
@@ -131,10 +143,12 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
   if (options.resume && options.checkpoint_dir.empty()) {
     return Status::InvalidArgument("--resume requires --checkpoint-dir");
   }
-  if ((!options.checkpoint_dir.empty() || options.resume || options.quarantine) &&
+  if ((!options.checkpoint_dir.empty() || options.resume || options.quarantine ||
+       options.delta_solve != "off") &&
       options.algorithm != "icrh") {
     return Status::InvalidArgument(
-        "--checkpoint-dir, --resume and --quarantine apply to --algorithm icrh only");
+        "--checkpoint-dir, --resume, --quarantine and --delta-solve apply to "
+        "--algorithm icrh only");
   }
   return options;
 }
@@ -217,6 +231,13 @@ Result<AlgorithmOutput> RunAlgorithm(const CliOptions& options, const Dataset& d
     icrh_options.window_size = options.window;
     icrh_options.decay = options.decay;
     icrh_options.quarantine_bad_claims = options.quarantine;
+    if (options.delta_solve == "full") {
+      icrh_options.delta_solve = DeltaSolveMode::kFull;
+    } else if (options.delta_solve == "on") {
+      icrh_options.delta_solve = DeltaSolveMode::kDelta;
+    } else if (options.delta_solve == "verify") {
+      icrh_options.delta_solve = DeltaSolveMode::kVerify;
+    }
     StreamResilienceOptions resilience;
     resilience.checkpoint_dir = options.checkpoint_dir;
     resilience.checkpoint_every = static_cast<uint64_t>(options.checkpoint_every);
@@ -234,6 +255,15 @@ Result<AlgorithmOutput> RunAlgorithm(const CliOptions& options, const Dataset& d
     if (!options.checkpoint_dir.empty()) {
       output.notes.push_back("wrote " + std::to_string(result->checkpoints_written) +
                              " checkpoint(s) to " + options.checkpoint_dir);
+    }
+    if (icrh_options.delta_solve != DeltaSolveMode::kOff) {
+      const DeltaSolveStats& ds = result->delta_stats;
+      output.notes.push_back(
+          "delta re-solve: ran " + std::to_string(ds.entries_resolved) + " of the " +
+          std::to_string(ds.entries_full) + " entry updates full re-solving would run" +
+          (options.delta_solve == "verify"
+               ? " (every chunk verified bit-identical to the full re-solve)"
+               : ""));
     }
     if (options.quarantine) {
       uint64_t total = 0;

@@ -12,9 +12,36 @@
 
 #include "common/rng.h"
 #include "datagen/noise.h"
+#include "stream/chunks.h"
 
 namespace crh {
 namespace {
+
+/// Claim-for-claim equality across every lane, plus the incrementally
+/// maintained max_span_size.
+void ExpectIndexesIdentical(const ClaimIndex& want, const ClaimIndex& got) {
+  ASSERT_EQ(want.num_objects(), got.num_objects());
+  ASSERT_EQ(want.num_properties(), got.num_properties());
+  ASSERT_EQ(want.num_claims(), got.num_claims());
+  EXPECT_EQ(want.max_span_size(), got.max_span_size());
+  for (size_t e = 0; e < want.num_entries(); ++e) {
+    const ClaimSpan want_span = want.entry(e);
+    const ClaimSpan got_span = got.entry(e);
+    ASSERT_EQ(want_span.size, got_span.size) << "entry " << e;
+    for (size_t c = 0; c < want_span.size; ++c) {
+      EXPECT_EQ(want_span.sources[c], got_span.sources[c]) << "entry " << e;
+      EXPECT_EQ(want_span.values[c], got_span.values[c]) << "entry " << e;
+      EXPECT_EQ(want_span.labels[c], got_span.labels[c]) << "entry " << e;
+      // The numeric lane is NaN for non-continuous claims, so compare bits
+      // via the is-NaN predicate rather than operator==.
+      if (std::isnan(want_span.numeric[c])) {
+        EXPECT_TRUE(std::isnan(got_span.numeric[c])) << "entry " << e;
+      } else {
+        EXPECT_EQ(want_span.numeric[c], got_span.numeric[c]) << "entry " << e;
+      }
+    }
+  }
+}
 
 Dataset MakeSparseDataset(size_t num_objects, double missing_rate, uint64_t seed) {
   Schema schema;
@@ -99,6 +126,97 @@ TEST(ClaimIndexTest, FullyMissingEntriesHaveEmptySpans) {
     EXPECT_TRUE(index.entry(4, m).empty());
   }
   EXPECT_EQ(index.num_claims(), data.num_observations());
+}
+
+TEST(ClaimIndexTest, AppendedChunksMatchFullRebuild) {
+  // Stream the dataset through SplitByWindow and accumulate with Append;
+  // the result must be claim-for-claim identical to Build over the parent.
+  Dataset data = MakeSparseDataset(40, 0.5, 13);
+  std::vector<int64_t> timestamps(data.num_objects());
+  for (size_t i = 0; i < timestamps.size(); ++i) {
+    timestamps[i] = static_cast<int64_t>(i % 4);
+  }
+  ASSERT_TRUE(data.set_timestamps(std::move(timestamps)).ok());
+  auto chunks = SplitByWindow(data, 1);
+  ASSERT_TRUE(chunks.ok());
+  ASSERT_EQ(chunks->size(), 4u);
+
+  ClaimIndex incremental =
+      ClaimIndex::CreateEmpty(data.num_objects(), data.num_properties());
+  EXPECT_EQ(incremental.num_claims(), 0u);
+  EXPECT_EQ(incremental.max_span_size(), 0u);
+  for (const DataChunk& chunk : *chunks) {
+    incremental.Append(chunk.data, chunk.parent_object);
+  }
+  ExpectIndexesIdentical(ClaimIndex::Build(data), incremental);
+}
+
+TEST(ClaimIndexTest, AppendMergesInterleavedSourcesWithinEntry) {
+  // Two chunks claim the SAME parent entries from interleaved source ids
+  // (chunk A: sources 0, 2, 4; chunk B: sources 1, 3), so Append must
+  // splice new claims into the middle of existing spans to preserve the
+  // ascending-by-source order a rebuild produces.
+  Schema schema;
+  ASSERT_TRUE(schema.AddContinuous("x", 0.0).ok());
+  ASSERT_TRUE(schema.AddCategorical("y").ok());
+  const std::vector<std::string> sources = {"s0", "s1", "s2", "s3", "s4"};
+  Dataset parent(schema, {"o0", "o1", "o2"}, sources);
+  for (const char* label : {"a", "b"}) parent.mutable_dict(1).GetOrAdd(label);
+
+  Dataset chunk_a(schema, {"o0", "o2"}, sources);
+  for (const char* label : {"a", "b"}) chunk_a.mutable_dict(1).GetOrAdd(label);
+  Dataset chunk_b(schema, {"o1", "o0"}, sources);
+  for (const char* label : {"a", "b"}) chunk_b.mutable_dict(1).GetOrAdd(label);
+
+  const auto claim = [&](Dataset& chunk, size_t parent_i, size_t chunk_i, size_t k) {
+    const Value v =
+        Value::Continuous(10.0 * static_cast<double>(parent_i) + static_cast<double>(k));
+    chunk.SetObservation(k, chunk_i, 0, v);
+    chunk.SetObservation(k, chunk_i, 1, Value::Categorical(static_cast<CategoryId>(k % 2)));
+    parent.SetObservation(k, parent_i, 0, v);
+    parent.SetObservation(k, parent_i, 1, Value::Categorical(static_cast<CategoryId>(k % 2)));
+  };
+  for (const size_t k : {0u, 2u, 4u}) {
+    claim(chunk_a, /*parent_i=*/0, /*chunk_i=*/0, k);
+    claim(chunk_a, /*parent_i=*/2, /*chunk_i=*/1, k);
+  }
+  for (const size_t k : {1u, 3u}) {
+    claim(chunk_b, /*parent_i=*/1, /*chunk_i=*/0, k);
+    claim(chunk_b, /*parent_i=*/0, /*chunk_i=*/1, k);
+  }
+
+  ClaimIndex incremental = ClaimIndex::CreateEmpty(3, 2);
+  incremental.Append(chunk_a, {0, 2});
+  incremental.Append(chunk_b, {1, 0});
+  ExpectIndexesIdentical(ClaimIndex::Build(parent), incremental);
+
+  // Entry (o0, x) got claims from both chunks: sources must read 0..4.
+  const ClaimSpan span = incremental.entry(0, 0);
+  ASSERT_EQ(span.size, 5u);
+  for (size_t c = 0; c < span.size; ++c) {
+    EXPECT_EQ(span.sources[c], static_cast<uint32_t>(c));
+    EXPECT_EQ(span.numeric[c], static_cast<double>(c));
+  }
+  EXPECT_EQ(incremental.max_span_size(), 5u);
+}
+
+TEST(ClaimIndexTest, LanesUnboxTheTaggedValues) {
+  const Dataset data = MakeSparseDataset(30, 0.4, 17);
+  const ClaimIndex index = ClaimIndex::Build(data);
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    // Property 0 is continuous: numeric lane carries the value, label lane
+    // is invalid. Property 1 is categorical: the reverse.
+    const ClaimSpan cont = index.entry(i, 0);
+    for (size_t c = 0; c < cont.size; ++c) {
+      EXPECT_EQ(cont.numeric[c], cont.values[c].continuous());
+      EXPECT_EQ(cont.labels[c], kInvalidCategory);
+    }
+    const ClaimSpan cat = index.entry(i, 1);
+    for (size_t c = 0; c < cat.size; ++c) {
+      EXPECT_TRUE(std::isnan(cat.numeric[c]));
+      EXPECT_EQ(cat.labels[c], cat.values[c].category());
+    }
+  }
 }
 
 TEST(ClaimIndexTest, DatasetWithoutSourcesYieldsEmptyIndex) {

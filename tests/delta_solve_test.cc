@@ -1,0 +1,184 @@
+/// \file delta_solve_test.cc
+/// Property tests for the dirty-set delta re-solver (stream/delta_solve.h).
+///
+/// The invariant under test: for ANY chunk-arrival order and ANY thread
+/// count, the non-kOff modes produce bit-identical final truth tables —
+/// each equal to a full re-solve over all claims at the final weights —
+/// and source weights, accumulators and history are byte-identical across
+/// ALL four modes (the delta machinery never perturbs the weight path).
+
+#include "stream/delta_solve.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/noise.h"
+#include "stream/checkpoint.h"
+#include "stream/incremental_crh.h"
+
+namespace crh {
+namespace {
+
+bool BitIdentical(const Value& a, const Value& b) {
+  if (a.is_continuous() != b.is_continuous() || a.is_categorical() != b.is_categorical()) {
+    return false;
+  }
+  if (a.is_continuous()) {
+    const double da = a.continuous();
+    const double db = b.continuous();
+    uint64_t bits_a = 0;
+    uint64_t bits_b = 0;
+    std::memcpy(&bits_a, &da, sizeof(bits_a));
+    std::memcpy(&bits_b, &db, sizeof(bits_b));
+    return bits_a == bits_b;
+  }
+  if (a.is_categorical()) return a.category() == b.category();
+  return true;
+}
+
+void ExpectTablesBitIdentical(const ValueTable& want, const ValueTable& got,
+                              const std::string& label) {
+  ASSERT_EQ(want.num_objects(), got.num_objects()) << label;
+  ASSERT_EQ(want.num_properties(), got.num_properties()) << label;
+  for (size_t i = 0; i < want.num_objects(); ++i) {
+    for (size_t m = 0; m < want.num_properties(); ++m) {
+      EXPECT_TRUE(BitIdentical(want.Get(i, m), got.Get(i, m)))
+          << label << ": entry (" << i << ", " << m << ")";
+    }
+  }
+}
+
+/// A sparse multi-source stream whose chunk-arrival order follows \p perm:
+/// object i lands in the time window perm[i % perm.size()], so different
+/// permutations deliver the same object partition in a different order.
+Dataset MakeStream(size_t num_objects, const std::vector<int64_t>& perm, uint64_t seed) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddContinuous("x", 0.0).ok());
+  EXPECT_TRUE(schema.AddCategorical("y").ok());
+  std::vector<std::string> objects;
+  for (size_t i = 0; i < num_objects; ++i) objects.push_back("o" + std::to_string(i));
+  Dataset truth_data(std::move(schema), std::move(objects), {});
+  for (const char* label : {"a", "b", "c"}) truth_data.mutable_dict(1).GetOrAdd(label);
+  Rng rng(seed);
+  ValueTable truth(num_objects, 2);
+  for (size_t i = 0; i < num_objects; ++i) {
+    truth.Set(i, 0, Value::Continuous(std::round(rng.Uniform(0, 40))));
+    truth.Set(i, 1, Value::Categorical(static_cast<CategoryId>(rng.UniformInt(0, 2))));
+  }
+  truth_data.set_ground_truth(std::move(truth));
+  NoiseOptions noise;
+  noise.gammas = {0.1, 0.5, 0.9, 1.4, 1.9, 0.3};
+  noise.missing_rate = 0.45;
+  noise.seed = seed;
+  auto noisy = MakeNoisyDataset(truth_data, noise);
+  EXPECT_TRUE(noisy.ok());
+  Dataset data = std::move(noisy).ValueOrDie();
+  std::vector<int64_t> timestamps(num_objects);
+  for (size_t i = 0; i < num_objects; ++i) timestamps[i] = perm[i % perm.size()];
+  EXPECT_TRUE(data.set_timestamps(std::move(timestamps)).ok());
+  return data;
+}
+
+Result<IncrementalCrhResult> RunWithMode(const Dataset& data, DeltaSolveMode mode,
+                                         int threads) {
+  IncrementalCrhOptions options;
+  options.window_size = 1;
+  options.delta_solve = mode;
+  options.base.num_threads = threads;
+  return RunIncrementalCrhResilient(data, options, StreamResilienceOptions{});
+}
+
+TEST(DeltaSolveTest, AllModesAndThreadCountsBitIdenticalAcrossChunkOrders) {
+  const std::vector<std::vector<int64_t>> orders = {
+      {0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}};
+  for (const auto& perm : orders) {
+    const Dataset data = MakeStream(48, perm, 29);
+    auto reference = RunWithMode(data, DeltaSolveMode::kFull, 1);
+    ASSERT_TRUE(reference.ok());
+
+    const struct {
+      DeltaSolveMode mode;
+      int threads;
+      const char* label;
+    } variants[] = {
+        {DeltaSolveMode::kFull, 4, "full@4"},
+        {DeltaSolveMode::kDelta, 1, "delta@1"},
+        {DeltaSolveMode::kDelta, 4, "delta@4"},
+        {DeltaSolveMode::kVerify, 1, "verify@1"},
+    };
+    for (const auto& variant : variants) {
+      auto result = RunWithMode(data, variant.mode, variant.threads);
+      ASSERT_TRUE(result.ok()) << variant.label << ": " << result.status().message();
+      ExpectTablesBitIdentical(reference->truths, result->truths, variant.label);
+      EXPECT_EQ(reference->source_weights, result->source_weights) << variant.label;
+      EXPECT_EQ(reference->accumulated_deviations, result->accumulated_deviations)
+          << variant.label;
+      EXPECT_EQ(reference->weight_history, result->weight_history) << variant.label;
+      EXPECT_GT(result->delta_stats.chunks, 0u) << variant.label;
+      EXPECT_GT(result->delta_stats.entries_full, 0u) << variant.label;
+      EXPECT_LE(result->delta_stats.entries_resolved, result->delta_stats.entries_full)
+          << variant.label;
+    }
+
+    // The weight path is shared with the legacy mode: byte-identical even
+    // though kOff's truth table keeps the per-chunk patchwork semantics.
+    auto legacy = RunWithMode(data, DeltaSolveMode::kOff, 1);
+    ASSERT_TRUE(legacy.ok());
+    EXPECT_EQ(reference->source_weights, legacy->source_weights);
+    EXPECT_EQ(reference->accumulated_deviations, legacy->accumulated_deviations);
+    EXPECT_EQ(legacy->delta_stats.chunks, 0u);
+  }
+}
+
+TEST(DeltaSolveTest, ResumeRebuildsTheCumulativeIndex) {
+  // A completed checkpointed run followed by a resume must replay every
+  // chunk into the delta store without re-solving, and land on the same
+  // bit-identical truths.
+  const Dataset data = MakeStream(32, {1, 0, 2}, 31);
+  const std::string dir = testing::TempDir() + "/delta_resume";
+  IncrementalCrhOptions options;
+  options.window_size = 1;
+  options.delta_solve = DeltaSolveMode::kDelta;
+  StreamResilienceOptions resilience;
+  resilience.checkpoint_dir = dir;
+  resilience.checkpoint_every = 1;
+  auto first = RunIncrementalCrhResilient(data, options, resilience);
+  ASSERT_TRUE(first.ok());
+  ASSERT_GT(first->checkpoints_written, 0u);
+
+  resilience.resume = true;
+  auto resumed = RunIncrementalCrhResilient(data, options, resilience);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_GT(resumed->chunks_resumed, 0u);
+  ExpectTablesBitIdentical(first->truths, resumed->truths, "resume");
+  EXPECT_EQ(first->source_weights, resumed->source_weights);
+}
+
+TEST(DeltaSolveTest, SupervisionIsRejectedInDeltaModes) {
+  const Dataset data = MakeStream(16, {0, 1}, 37);
+  ValueTable clamp(data.num_objects(), data.num_properties());
+  IncrementalCrhOptions options;
+  options.window_size = 1;
+  options.delta_solve = DeltaSolveMode::kDelta;
+  options.base.supervision = &clamp;
+  auto result = RunIncrementalCrhResilient(data, options, StreamResilienceOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeltaSolveTest, FreshStoreStartsEmpty) {
+  DeltaTruthStore store(4, 2, 3);
+  EXPECT_EQ(store.stats().chunks, 0u);
+  EXPECT_EQ(store.stats().entries_resolved, 0u);
+  EXPECT_EQ(store.index().num_claims(), 0u);
+  EXPECT_EQ(store.index().num_entries(), 8u);
+}
+
+}  // namespace
+}  // namespace crh
