@@ -257,8 +257,7 @@ int Main(int argc, char** argv) {
   IncrementalCrhOptions options;
   options.window_size = 1;
   options.base.num_threads = threads;
-  const char* scheme_env = std::getenv("CRH_TP_WEIGHTS");
-  const std::string scheme = scheme_env != nullptr ? scheme_env : "log_max";
+  const std::string scheme = EnvString("CRH_TP_WEIGHTS", "log_max");
   if (scheme == "top_j") {
     options.base.weight_scheme.kind = WeightSchemeKind::kTopJ;
     options.base.weight_scheme.top_j =

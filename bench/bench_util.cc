@@ -26,6 +26,12 @@ int64_t EnvInt(const char* name, int64_t default_value) {
   return value != nullptr ? std::atoll(value) : default_value;
 }
 
+std::string EnvString(const char* name, const char* default_value) {
+  CRH_DETERMINISM_EXEMPT("bench knob; run config, echoed in the report");
+  const char* value = std::getenv(name);
+  return value != nullptr ? value : default_value;
+}
+
 MethodResult RunCrhMethod(const Dataset& data) {
   MethodResult row;
   row.name = "CRH";

@@ -27,6 +27,9 @@ double EnvDouble(const char* name, double default_value);
 /// Reads an integer from the environment, with default.
 int64_t EnvInt(const char* name, int64_t default_value);
 
+/// Reads a string-valued bench knob (e.g. a weight-scheme name).
+std::string EnvString(const char* name, const char* default_value);
+
 /// One method's row in a comparison table.
 struct MethodResult {
   std::string name;

@@ -30,8 +30,9 @@ guarantees depend on:
                         into a function that (transitively) evaluates a
                         fail point or invokes a std::function callback.
   failpoint-dominance   Every raw I/O call (fopen/fwrite/rename/ofstream/
-                        std::filesystem mutation, ...) in src/stream,
-                        src/common and src/data must be dominated by a
+                        std::filesystem mutation, socket/accept/recv/send,
+                        ...) in src/stream, src/common, src/data and
+                        src/serve must be dominated by a
                         registered fail point in the same function, and
                         every fail-point site string used must appear in a
                         `*FailPointSites()` registry so fault-sweep tests
@@ -113,8 +114,9 @@ ALLOW_RE = re.compile(r"//\s*analyzer:allow\(([\w-]+)\)")
 
 # Analysis scope: first-party library + the binaries that publish results.
 DEFAULT_DIRS = ["src", "bench"]
-# Fail-point dominance applies where durable I/O lives.
-IO_SCOPED_DIRS = ("src/stream/", "src/common/", "src/data/")
+# Fail-point dominance applies where durable I/O lives — and in the serving
+# layer, whose socket calls are the daemon's I/O surface.
+IO_SCOPED_DIRS = ("src/stream/", "src/common/", "src/data/", "src/serve/")
 # The lock/fail-point primitives themselves are excluded from the rules
 # they implement (same convention as ast_lint.MUTEX_WRAPPER_FILES).
 PRIMITIVE_FILES = {
@@ -187,7 +189,7 @@ MANUAL_LOCK_RE = re.compile(r"\b([\w.>-]*\w)\s*\.\s*Lock\s*\(\s*\)")
 MANUAL_UNLOCK_RE = re.compile(r"\b([\w.>-]*\w)\s*\.\s*Unlock\s*\(\s*\)")
 ADOPT_LOCK_RE = re.compile(r"std::adopt_lock")
 FAIL_POINT_CALL_RE = re.compile(
-    r"\bCRH_FAIL_POINT\s*\(|\bFailPoints\b[^;\n]*\.\s*Hit\s*\(")
+    r"\bCRH_FAIL_POINT\s*\(|\bFailPoints\b[^;\n]*\.\s*Hit(?:Write)?\s*\(")
 FUNCTION_OBJ_RE = ast_lint.FUNCTION_OBJ_RE
 
 # --- failpoint-dominance configuration -----------------------------------
@@ -196,10 +198,14 @@ IO_CALL_RE = re.compile(
     r"fprintf|fscanf|fseek|ftell)\s*\("
     r"|\bstd::(ofstream|ifstream|fstream)\s+\w+\s*[({]"
     r"|\bstd::filesystem::(create_directories|create_directory|remove_all|"
-    r"remove|rename|resize_file|directory_iterator)\s*\(")
+    r"remove|rename|resize_file|directory_iterator)\s*\("
+    # The serving layer's I/O surface. poll/close/pipe are deliberately
+    # absent: they are control-plane plumbing whose failure modes the
+    # fail-point registry does not model.
+    r"|\b(socket|bind|listen|accept4|accept|recvmsg|recv|sendmsg|send)\s*\(")
 STDERR_ARG_RE = re.compile(r"\(\s*(?:stderr|stdout)\b")
 FAIL_SITE_RE = re.compile(
-    r"(?:CRH_FAIL_POINT|\.\s*Hit)\s*\(\s*\"([^\"]+)\"")
+    r"(?:CRH_FAIL_POINT|\.\s*Hit(?:Write)?)\s*\(\s*\"([^\"]+)\"")
 REGISTRY_FN_RE = re.compile(r"\w*FailPointSites$")
 STRING_LIT_RE = re.compile(r"\"([\w.]+)\"")
 
@@ -586,7 +592,8 @@ def extract_body(fn: FunctionModel, clean_lines: list[str],
                                       line[m.start():]):
                     continue
                 fn.io_sites.append(
-                    (lineno, (m.group(1) or m.group(2) or m.group(3))))
+                    (lineno,
+                     (m.group(1) or m.group(2) or m.group(3) or m.group(4))))
 
         # Column-ordered event walk: lock acquisitions, releases, calls.
         events = []
@@ -1645,6 +1652,33 @@ std::vector<std::string> SelfTestFailPointSites() {
 }
 }
 """,
+    # --- failpoint-dominance, serving layer: a bare recv() (positive) vs
+    # hit-then-recv with the site registered (negative) — the socket calls
+    # the daemon makes are I/O and must be sweepable like file I/O.
+    "src/serve/socket_pos.cc": """
+namespace crh {
+Status ReadRequest(int fd) {
+  char buffer[256];
+  const ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+  if (n < 0) return IOError("recv");
+  return OkStatus();
+}
+}
+""",
+    "src/serve/socket_neg.cc": """
+namespace crh {
+Status ReadRequestGuarded(int fd) {
+  CRH_RETURN_NOT_OK(FailPoints::Instance().Hit("selftest.serve_recv"));
+  char buffer[256];
+  const ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+  if (n < 0) return IOError("recv");
+  return OkStatus();
+}
+std::vector<std::string> SelfTestServeFailPointSites() {
+  return {"selftest.serve_recv"};
+}
+}
+""",
     "src/stream/io_unregistered.cc": """
 namespace crh {
 Status TouchUnregistered() {
@@ -1784,6 +1818,8 @@ SELF_TEST_EXPECTATIONS = [
     ("failpoint-dominance", "src/stream/io_pos.cc", "src/stream/io_neg.cc"),
     ("failpoint-dominance", "src/stream/io_unregistered.cc",
      "src/stream/io_neg.cc"),
+    ("failpoint-dominance", "src/serve/socket_pos.cc",
+     "src/serve/socket_neg.cc"),
     ("arch", "src/data/arch_pos.cc", "src/stream/arch_neg.cc"),
     ("arch", "src/tools/arch_private_pos.cc", "src/stream/arch_neg.cc"),
     ("global-state", "src/core/global_pos.cc", "src/core/global_neg.cc"),

@@ -1,7 +1,9 @@
 #include "common/fault_injection.h"
 
+#include <charconv>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <thread>
 
 #include "common/check.h"
@@ -39,7 +41,10 @@ FailPoints& FailPoints::Instance() {
 void FailPoints::RecomputeActiveLocked() {
   int active = recording_ ? 1 : 0;
   for (const auto& [site, state] : sites_) {
-    if (state.fail_remaining > 0 || !state.fail_hits.empty()) ++active;
+    if (state.fail_remaining > 0 || !state.fail_hits.empty() ||
+        !state.short_writes.empty() || !state.kill_hits.empty()) {
+      ++active;
+    }
   }
   active_.store(active, std::memory_order_release);
 }
@@ -56,8 +61,36 @@ void FailPoints::FailOnHit(const std::string& site, uint64_t hit) {
   CRH_CHECK_GE(hit, 1u);
   const MutexLock lock(&mu_);
   SiteState& state = sites_[site];
-  if (state.fail_hits.empty() && state.fail_remaining == 0) state.hits = 0;
+  if (state.fail_hits.empty() && state.fail_remaining == 0 &&
+      state.short_writes.empty() && state.kill_hits.empty()) {
+    state.hits = 0;
+  }
   state.fail_hits.insert(hit);
+  RecomputeActiveLocked();
+}
+
+void FailPoints::ShortWriteOnHit(const std::string& site, uint64_t hit,
+                                 uint64_t keep_bytes) {
+  CRH_CHECK_GE(hit, 1u);
+  const MutexLock lock(&mu_);
+  SiteState& state = sites_[site];
+  if (state.fail_hits.empty() && state.fail_remaining == 0 &&
+      state.short_writes.empty() && state.kill_hits.empty()) {
+    state.hits = 0;
+  }
+  state.short_writes[hit] = keep_bytes;
+  RecomputeActiveLocked();
+}
+
+void FailPoints::KillOnHit(const std::string& site, uint64_t hit) {
+  CRH_CHECK_GE(hit, 1u);
+  const MutexLock lock(&mu_);
+  SiteState& state = sites_[site];
+  if (state.fail_hits.empty() && state.fail_remaining == 0 &&
+      state.short_writes.empty() && state.kill_hits.empty()) {
+    state.hits = 0;
+  }
+  state.kill_hits.insert(hit);
   RecomputeActiveLocked();
 }
 
@@ -93,7 +126,15 @@ std::vector<std::pair<std::string, uint64_t>> FailPoints::RecordedHits() const {
   return hits;  // std::map iteration is already name-sorted
 }
 
-Status FailPoints::Hit(const std::string& site) {
+Status FailPoints::Hit(const std::string& site) { return HitImpl(site, nullptr); }
+
+WriteFault FailPoints::HitWrite(const std::string& site) {
+  WriteFault fault;
+  fault.status = HitImpl(site, &fault);
+  return fault;
+}
+
+Status FailPoints::HitImpl(const std::string& site, WriteFault* write_fault) {
   if (active_.load(std::memory_order_acquire) == 0) return Status::OK();
   const MutexLock lock(&mu_);
   auto it = sites_.find(site);
@@ -103,6 +144,20 @@ Status FailPoints::Hit(const std::string& site) {
   }
   SiteState& state = it->second;
   ++state.hits;
+  if (state.kill_hits.erase(state.hits) > 0) {
+    // A hard crash at this exact hit: SIGKILL skips destructors, stream
+    // buffers, and atexit — the strongest possible test of recovery.
+    std::raise(SIGKILL);
+  }
+  if (write_fault != nullptr) {
+    const auto trunc = state.short_writes.find(state.hits);
+    if (trunc != state.short_writes.end()) {
+      write_fault->truncate_to = trunc->second;
+      state.short_writes.erase(trunc);
+      RecomputeActiveLocked();
+      return Status::OK();  // silent: the caller reports success upstream
+    }
+  }
   bool fail = false;
   if (state.fail_remaining > 0) {
     --state.fail_remaining;
@@ -117,6 +172,69 @@ Status FailPoints::Hit(const std::string& site) {
                            std::to_string(hit_no));
   }
   return Status::OK();
+}
+
+namespace {
+
+bool ParseU64(const std::string& text, size_t begin, size_t end, uint64_t* out) {
+  if (begin >= end) return false;
+  const char* first = text.data() + begin;
+  const char* last = text.data() + end;
+  const auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+}  // namespace
+
+Status FailPoints::ArmFromSpec(const std::string& spec) {
+  const Status malformed = Status::InvalidArgument(
+      "fail-point spec must look like 'site@hit=fail|kill|trunc:bytes', got '" +
+      spec + "'");
+  const size_t at = spec.find('@');
+  if (at == std::string::npos || at == 0) return malformed;
+  const size_t eq = spec.find('=', at + 1);
+  if (eq == std::string::npos) return malformed;
+  uint64_t hit = 0;
+  if (!ParseU64(spec, at + 1, eq, &hit) || hit == 0) return malformed;
+  const std::string site = spec.substr(0, at);
+  const std::string action = spec.substr(eq + 1);
+  if (action == "fail") {
+    FailOnHit(site, hit);
+  } else if (action == "kill") {
+    KillOnHit(site, hit);
+  } else if (action.rfind("trunc:", 0) == 0) {
+    uint64_t keep_bytes = 0;
+    if (!ParseU64(spec, eq + 1 + 6, spec.size(), &keep_bytes)) return malformed;
+    ShortWriteOnHit(site, hit, keep_bytes);
+  } else {
+    return malformed;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Holder for the injectable retry sleep. Guarded by its own mutex so tests
+/// can swap the hook while retries are in flight on other threads.
+struct RetrySleeperState {
+  Mutex mu;
+  std::function<void(double)> fn CRH_GUARDED_BY(mu);
+};
+
+RetrySleeperState& GlobalRetrySleeper() {
+  CRH_GLOBAL_STATE_EXEMPT(
+      "retry sleep hook is process-global test infrastructure; production "
+      "code never installs one and the default is the real sleep_for");
+  static RetrySleeperState state;
+  return state;
+}
+
+}  // namespace
+
+void SetRetrySleeperForTest(std::function<void(double)> sleeper) {
+  RetrySleeperState& state = GlobalRetrySleeper();
+  const MutexLock lock(&state.mu);
+  state.fn = std::move(sleeper);
 }
 
 Status ValidateRetryPolicy(const RetryPolicy& policy) {
@@ -159,8 +277,18 @@ Status RetryWithBackoff(const RetryPolicy& policy, const std::string& what,
     if (attempt == policy.max_attempts) break;
     const double backoff_ms = RetryBackoffMs(policy, attempt, salt);
     if (backoff_ms > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(backoff_ms));
+      std::function<void(double)> sleeper;
+      {
+        RetrySleeperState& state = GlobalRetrySleeper();
+        const MutexLock lock(&state.mu);
+        sleeper = state.fn;
+      }
+      if (sleeper) {
+        sleeper(backoff_ms);
+      } else {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+      }
     }
   }
   return Status::IOError(what + " failed after " + std::to_string(policy.max_attempts) +

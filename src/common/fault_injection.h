@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
@@ -50,6 +51,17 @@ uint64_t Mix64(uint64_t x);
 
 /// Maps a 64-bit hash to a uniform double in [0, 1).
 double UnitUniformFromHash(uint64_t h);
+
+/// Outcome of consulting a write-capable fail-point site. Either the write
+/// fails outright (`status` non-OK, exactly like Hit()), or it must be
+/// *silently truncated*: write only the first `truncate_to` bytes yet report
+/// success to the caller. The silent mode models an ENOSPC / short-write /
+/// lying-disk tail loss that no return code surfaces — only a later read
+/// (CRC mismatch, truncated frame) can detect it.
+struct [[nodiscard]] WriteFault {
+  Status status = Status::OK();
+  std::optional<uint64_t> truncate_to;
+};
 
 /// Process-wide registry of named fail-point sites (singleton).
 ///
@@ -73,6 +85,20 @@ class FailPoints {
   /// Multiple calls accumulate distinct failing hits.
   void FailOnHit(const std::string& site, uint64_t hit) CRH_EXCLUDES(mu_);
 
+  /// Arms `site` so its `hit`-th hit from this arming (1-based) silently
+  /// truncates the write to `keep_bytes` bytes: HitWrite() reports success
+  /// but instructs the caller to persist only that prefix. Honored only by
+  /// sites consulted through HitWrite(); plain Hit() treats a short-write
+  /// schedule as a no-op.
+  void ShortWriteOnHit(const std::string& site, uint64_t hit,
+                       uint64_t keep_bytes) CRH_EXCLUDES(mu_);
+
+  /// Arms `site` so its `hit`-th hit from this arming (1-based) kills the
+  /// process with SIGKILL — no destructors, no stream flushes, no atexit —
+  /// emulating a hard crash at an exact, deterministic moment. The chaos
+  /// suite uses this to kill `crh_serve` mid-ingest and prove resume.
+  void KillOnHit(const std::string& site, uint64_t hit) CRH_EXCLUDES(mu_);
+
   /// Disarms one site (hit counters reset too).
   void Clear(const std::string& site) CRH_EXCLUDES(mu_);
 
@@ -93,6 +119,17 @@ class FailPoints {
   /// single atomic load.
   [[nodiscard]] Status Hit(const std::string& site) CRH_EXCLUDES(mu_);
 
+  /// Hit() for write-capable sites: additionally consults the short-write
+  /// schedule armed by ShortWriteOnHit(). Callers must honor a set
+  /// `truncate_to` even when `status` is OK.
+  [[nodiscard]] WriteFault HitWrite(const std::string& site) CRH_EXCLUDES(mu_);
+
+  /// Parses and arms one external fail-point spec of the form
+  /// `site@hit=fail`, `site@hit=kill`, or `site@hit=trunc:bytes` (hit is
+  /// 1-based from now). This is how the `crh_serve` daemon's `--fail-point`
+  /// flag arms the same deterministic schedules tests arm in-process.
+  [[nodiscard]] Status ArmFromSpec(const std::string& spec) CRH_EXCLUDES(mu_);
+
   FailPoints(const FailPoints&) = delete;
   FailPoints& operator=(const FailPoints&) = delete;
 
@@ -103,6 +140,8 @@ class FailPoints {
     uint64_t hits = 0;            ///< Hits seen since arming / recording start.
     uint64_t fail_remaining = 0;  ///< FailNext budget.
     std::set<uint64_t> fail_hits; ///< FailOnHit schedule (1-based hit numbers).
+    std::map<uint64_t, uint64_t> short_writes;  ///< hit -> keep_bytes.
+    std::set<uint64_t> kill_hits; ///< KillOnHit schedule (1-based hit numbers).
   };
 
   mutable Mutex mu_;
@@ -114,6 +153,8 @@ class FailPoints {
   std::atomic<int> active_{0};
 
   void RecomputeActiveLocked() CRH_REQUIRES(mu_);
+  [[nodiscard]] Status HitImpl(const std::string& site, WriteFault* write_fault)
+      CRH_EXCLUDES(mu_);
 };
 
 /// Checks a fail-point site and propagates the injected failure. Place
@@ -150,6 +191,14 @@ double RetryBackoffMs(const RetryPolicy& policy, int retry, uint64_t salt);
 /// jitter salt and in give-up messages.
 [[nodiscard]] Status RetryWithBackoff(const RetryPolicy& policy, const std::string& what,
                                       const std::function<Status()>& op);
+
+/// Replaces the real `sleep_for` that RetryWithBackoff uses between
+/// attempts. The hook receives the computed backoff in milliseconds; a test
+/// installs a virtual clock (record the value, return immediately) so
+/// multi-retry recovery and chaos schedules run in microseconds of wall
+/// time while exercising the exact same backoff arithmetic. Pass nullptr
+/// (or an empty function) to restore the real sleep. Thread-safe.
+void SetRetrySleeperForTest(std::function<void(double)> sleeper);
 
 }  // namespace crh
 

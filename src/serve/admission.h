@@ -1,0 +1,76 @@
+#ifndef CRH_SERVE_ADMISSION_H_
+#define CRH_SERVE_ADMISSION_H_
+
+/// \file admission.h
+/// Bounded ingest admission control for the serving daemon.
+///
+/// Overload policy (docs/ROBUSTNESS.md): the ingest queue holds at most
+/// `capacity` decoded chunks. Admission never blocks a connection thread —
+/// when the queue is full the chunk is *shed*: the client gets an explicit
+/// `overloaded` reply with a retry-after hint and the sequence number is
+/// not consumed, so a well-behaved client re-sends the same chunk later
+/// and nothing is lost or reordered. Queries are unaffected by ingest
+/// pressure: they answer from the last published epoch snapshot and never
+/// touch this queue. Shedding is deliberate load *rejection*, not
+/// buffering: an unbounded queue would turn a slow solver into unbounded
+/// memory growth and silently growing staleness.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "stream/chunks.h"
+
+namespace crh {
+
+/// One admitted chunk awaiting the ingest thread.
+struct PendingChunk {
+  uint64_t seq = 0;
+  DataChunk chunk;
+};
+
+/// MPSC bounded queue between connection handlers (producers) and the
+/// ingest thread (single consumer). Producers never block; the consumer
+/// blocks until an item arrives, the queue is paused off, or it is closed.
+class IngestQueue {
+ public:
+  explicit IngestQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Admits `item` unless the queue is full or closed; a full queue counts
+  /// one shed and returns false (the caller replies `overloaded`).
+  [[nodiscard]] bool TryPush(PendingChunk item) CRH_EXCLUDES(mu_);
+
+  /// Blocks until an item is available (and the queue is not paused) or
+  /// the queue is closed. After Close(), remaining items drain in order;
+  /// nullopt means closed-and-empty, the consumer's signal to finish.
+  std::optional<PendingChunk> PopBlocking() CRH_EXCLUDES(mu_);
+
+  /// Pausing stops the consumer (items keep queueing until full) — the
+  /// deterministic way to fill the queue in overload tests and to hold
+  /// ingest during administrative operations. Close() overrides pause so a
+  /// drain always completes.
+  void SetPaused(bool paused) CRH_EXCLUDES(mu_);
+
+  /// Rejects future pushes and lets PopBlocking drain what remains.
+  void Close() CRH_EXCLUDES(mu_);
+
+  size_t depth() const CRH_EXCLUDES(mu_);
+  size_t capacity() const { return capacity_; }
+  uint64_t shed_count() const CRH_EXCLUDES(mu_);
+  bool paused() const CRH_EXCLUDES(mu_);
+
+ private:
+  const size_t capacity_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<PendingChunk> items_ CRH_GUARDED_BY(mu_);
+  bool closed_ CRH_GUARDED_BY(mu_) = false;
+  bool paused_ CRH_GUARDED_BY(mu_) = false;
+  uint64_t shed_ CRH_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace crh
+
+#endif  // CRH_SERVE_ADMISSION_H_

@@ -1,0 +1,97 @@
+#include "serve/chunk_codec.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "data/csv.h"
+
+namespace crh {
+
+ChunkCodec::ChunkCodec(const Dataset& universe) : universe_(&universe) {
+  for (size_t i = 0; i < universe.num_objects(); ++i) {
+    object_index_[universe.object_id(i)] = i;
+  }
+  for (size_t k = 0; k < universe.num_sources(); ++k) {
+    source_index_[universe.source_id(k)] = k;
+    source_ids_.push_back(universe.source_id(k));
+  }
+}
+
+Result<DataChunk> ChunkCodec::Decode(const std::string& csv, int64_t window_start,
+                                     bool quarantine_bad_claims) const {
+  std::istringstream in(csv);
+  auto parsed = ReadObservationsCsv(universe_->schema(), in);
+  if (!parsed.ok()) return parsed.status();
+
+  // members[i] = (universe index, parsed index): ascending universe order,
+  // the order SplitByWindow emits, so iteration order — and therefore every
+  // reduction — matches the batch path bit for bit.
+  std::vector<std::pair<size_t, size_t>> members;
+  members.reserve(parsed->num_objects());
+  for (size_t i = 0; i < parsed->num_objects(); ++i) {
+    const auto it = object_index_.find(parsed->object_id(i));
+    if (it == object_index_.end()) {
+      return Status::InvalidArgument("ingested chunk names object '" +
+                                     parsed->object_id(i) +
+                                     "' absent from the universe");
+    }
+    members.emplace_back(it->second, i);
+  }
+  std::sort(members.begin(), members.end());
+
+  std::vector<size_t> source_map(parsed->num_sources());
+  for (size_t k = 0; k < parsed->num_sources(); ++k) {
+    const auto it = source_index_.find(parsed->source_id(k));
+    if (it == source_index_.end()) {
+      return Status::InvalidArgument("ingested chunk names source '" +
+                                     parsed->source_id(k) +
+                                     "' absent from the universe");
+    }
+    source_map[k] = it->second;
+  }
+
+  DataChunk chunk;
+  chunk.window_start = window_start;
+  std::vector<std::string> object_ids;
+  object_ids.reserve(members.size());
+  for (const auto& [universe_index, parsed_index] : members) {
+    (void)parsed_index;
+    chunk.parent_object.push_back(universe_index);
+    object_ids.push_back(universe_->object_id(universe_index));
+  }
+  chunk.data = Dataset(universe_->schema(), std::move(object_ids), source_ids_);
+  for (size_t m = 0; m < universe_->num_properties(); ++m) {
+    chunk.data.mutable_dict(m) = universe_->dict(m);
+  }
+
+  for (size_t k = 0; k < parsed->num_sources(); ++k) {
+    const size_t universe_source = source_map[k];
+    for (size_t local = 0; local < members.size(); ++local) {
+      const size_t parsed_index = members[local].second;
+      for (size_t m = 0; m < universe_->num_properties(); ++m) {
+        const Value v = parsed->observations(k).Get(parsed_index, m);
+        if (v.is_missing()) continue;
+        Value translated = v;
+        if (v.is_categorical()) {
+          // Re-intern the label id from the parsed-local dictionary into
+          // the universe dictionary.
+          const std::string& label = parsed->dict(m).label(v.category());
+          const CategoryId id = universe_->dict(m).Find(label);
+          if (id == kInvalidCategory && !quarantine_bad_claims) {
+            return Status::InvalidArgument(
+                "ingested chunk uses label '" + label + "' for property '" +
+                universe_->schema().property(m).name +
+                "' that the universe has never seen (enable quarantine to "
+                "shed such claims instead)");
+          }
+          translated = Value::Categorical(id);
+        }
+        chunk.data.SetObservation(universe_source, local, m, translated);
+      }
+    }
+  }
+  return chunk;
+}
+
+}  // namespace crh

@@ -1,0 +1,55 @@
+#ifndef CRH_SERVE_CHUNK_CODEC_H_
+#define CRH_SERVE_CHUNK_CODEC_H_
+
+/// \file chunk_codec.h
+/// Decoding ingested claim CSV into DataChunks over the universe dataset.
+///
+/// An ingest request carries one chunk's claims as observation CSV (the
+/// same `object_id,property,source_id,value` tuples data/csv.h reads and
+/// writes). The codec re-expresses them as a DataChunk in the universe's
+/// entry space — objects ordered by ascending universe index, the full
+/// universe source roster, universe dictionaries — which is exactly the
+/// shape SplitByWindow gives the batch driver. That shape equality is what
+/// makes a served stream bit-identical to a batch run over the same
+/// claims: the chunk ClaimIndex, the deviation sums and the truth passes
+/// all iterate in the same order either way.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "stream/chunks.h"
+
+namespace crh {
+
+/// Stateless decoder bound to one universe dataset (the id -> index maps
+/// are built once; Decode is const and thread-compatible).
+class ChunkCodec {
+ public:
+  /// `universe` must outlive the codec. Its object ids, source roster and
+  /// per-property dictionaries define the space chunks are decoded into.
+  explicit ChunkCodec(const Dataset& universe);
+
+  /// Parses `csv` and builds the chunk. Every object and source must exist
+  /// in the universe. Categorical/text labels are re-interned against the
+  /// universe dictionary; a label the universe has never seen is an error
+  /// unless `quarantine_bad_claims` is set, in which case the claim decodes
+  /// to the invalid-category sentinel and the solver's quarantine excludes
+  /// and counts it — mirroring how the batch path treats out-of-dictionary
+  /// claims.
+  [[nodiscard]] Result<DataChunk> Decode(const std::string& csv, int64_t window_start,
+                                         bool quarantine_bad_claims) const;
+
+ private:
+  const Dataset* universe_;
+  std::map<std::string, size_t> object_index_;
+  std::map<std::string, size_t> source_index_;
+  std::vector<std::string> source_ids_;
+};
+
+}  // namespace crh
+
+#endif  // CRH_SERVE_CHUNK_CODEC_H_

@@ -1,0 +1,108 @@
+#ifndef CRH_SERVE_PROTOCOL_H_
+#define CRH_SERVE_PROTOCOL_H_
+
+/// \file protocol.h
+/// The crh_serve wire protocol: newline-delimited flat JSON objects.
+///
+/// Each request is one line holding one JSON object; each reply is one
+/// line holding one JSON object with at least an "ok" field. The protocol
+/// deliberately supports only *flat* objects whose values are strings,
+/// numbers, booleans, null, or one-level arrays of those scalars (the shape
+/// weight/roster replies use) — because that is all truth/weight/status
+/// traffic needs, and a ~200-line bounds-checked parser is auditable in a
+/// way a vendored JSON library is not (no new dependencies, per the repo's
+/// rules).
+///
+/// Parsing never trusts a length before checking the remaining bytes, the
+/// same discipline as the checkpoint Cursor (stream/checkpoint.cc):
+/// arbitrary input yields InvalidArgument, never a crash or
+/// over-allocation. Doubles are printed with 17 significant digits, so a
+/// value that round-trips through the protocol compares bitwise equal —
+/// the serving chaos suite asserts byte-identity of queried truths and
+/// weights across kill/resume cycles through exactly this path.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace crh {
+
+/// One parsed JSON value: a scalar, or a flat array of scalars (one level,
+/// no arrays-of-arrays — the only aggregate the protocol emits).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  int64_t int_value = 0;
+  double double_value = 0;
+  std::string string_value;
+  /// Array elements (scalars only); meaningful only for kArray.
+  std::vector<JsonValue> items;
+};
+
+/// One parsed flat JSON object. Field lookups are by exact key; typed
+/// getters return InvalidArgument on a missing key or mismatched kind, so
+/// request handlers stay one CRH_RETURN_NOT_OK per field.
+class JsonObject {
+ public:
+  const JsonValue* Find(const std::string& key) const;
+  bool Has(const std::string& key) const { return Find(key) != nullptr; }
+
+  [[nodiscard]] Result<std::string> GetString(const std::string& key) const;
+  /// Accepts kInt only (exact integers).
+  [[nodiscard]] Result<int64_t> GetInt(const std::string& key) const;
+  /// GetInt plus a non-negativity check.
+  [[nodiscard]] Result<uint64_t> GetUint(const std::string& key) const;
+  /// Accepts kInt and kDouble.
+  [[nodiscard]] Result<double> GetDouble(const std::string& key) const;
+  /// A flat array whose elements are all numbers (kInt or kDouble).
+  [[nodiscard]] Result<std::vector<double>> GetDoubleArray(const std::string& key) const;
+  /// A flat array whose elements are all strings.
+  [[nodiscard]] Result<std::vector<std::string>> GetStringArray(
+      const std::string& key) const;
+
+  std::map<std::string, JsonValue> fields;
+};
+
+/// Parses one request line. Input beyond `max_bytes` is rejected before
+/// any work happens (the server's request-size limit).
+[[nodiscard]] Result<JsonObject> ParseJsonObject(std::string_view text,
+                                                 size_t max_bytes);
+
+/// Builds one flat JSON object line (no trailing newline). Keys are
+/// emitted in insertion order; values are escaped per RFC 8259.
+class JsonWriter {
+ public:
+  void AddString(const std::string& key, std::string_view value);
+  void AddInt(const std::string& key, int64_t value);
+  void AddUint(const std::string& key, uint64_t value);
+  /// 17 significant digits: exact double round-trip.
+  void AddDouble(const std::string& key, double value);
+  void AddBool(const std::string& key, bool value);
+  void AddNull(const std::string& key);
+  void AddDoubleArray(const std::string& key, const std::vector<double>& values);
+  void AddUintArray(const std::string& key, const std::vector<uint64_t>& values);
+  void AddStringArray(const std::string& key, const std::vector<std::string>& values);
+
+  std::string Finish() &&;
+
+ private:
+  void AddKey(const std::string& key);
+  std::string out_ = "{";
+  bool first_ = true;
+};
+
+/// Appends `value` JSON-escaped (quotes included) to `out`.
+void AppendJsonString(std::string* out, std::string_view value);
+
+/// Appends `value` formatted with 17 significant digits (round-trip exact;
+/// NaN and infinities — unrepresentable in JSON — are emitted as null).
+void AppendJsonDouble(std::string* out, double value);
+
+}  // namespace crh
+
+#endif  // CRH_SERVE_PROTOCOL_H_

@@ -4,15 +4,12 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <memory>
-#include <optional>
 #include <system_error>
 #include <utility>
 
 #include "common/check.h"
 #include "common/crc32.h"
-#include "common/thread_pool.h"
-#include "stream/delta_solve.h"
+#include "stream/stream_engine.h"
 
 namespace crh {
 
@@ -202,9 +199,18 @@ Status WriteFileAtomic(const std::string& tmp_path, const std::string& final_pat
     }
   }
   if (status.ok()) {
-    status = FailPoints::Instance().Hit("checkpoint.fwrite");
-    if (status.ok() && !bytes.empty() &&
-        std::fwrite(bytes.data(), 1, bytes.size(), file) != bytes.size()) {
+    // HitWrite (not Hit) so tests can also inject a *silent* short write:
+    // only a prefix reaches the disk yet every return code reports success,
+    // the rename lands, and nothing but the CRC on load can tell the tail
+    // was lost — the torn-tail case newest-first fallback must survive.
+    const WriteFault fault = FailPoints::Instance().HitWrite("checkpoint.fwrite");
+    status = fault.status;
+    const size_t to_write =
+        fault.truncate_to
+            ? std::min(static_cast<size_t>(*fault.truncate_to), bytes.size())
+            : bytes.size();
+    if (status.ok() && to_write > 0 &&
+        std::fwrite(bytes.data(), 1, to_write, file) != to_write) {
       status = Status::IOError("short write to '" + tmp_path + "'");
     }
   }
@@ -583,145 +589,29 @@ std::vector<std::string> StreamFailPointSites() {
 }
 
 // ---------------------------------------------------------------------------
-// Streaming drivers. RunIncrementalCrh and RunIncrementalCrhResilient share
-// this one chunk loop, so their results are bit-identical by construction;
+// Streaming drivers. RunIncrementalCrh, RunIncrementalCrhResilient and the
+// crh_serve daemon all drive the same StreamEngine (stream/stream_engine.h)
+// one chunk at a time, so their results are bit-identical by construction;
 // the plain driver is the resilient one with checkpointing disabled.
 
 Result<IncrementalCrhResult> RunIncrementalCrhResilient(
     const Dataset& data, const IncrementalCrhOptions& options,
     const StreamResilienceOptions& resilience) {
-  if (options.decay < 0 || options.decay > 1) {
-    return Status::InvalidArgument("decay must be in [0, 1]");
-  }
-  if (resilience.checkpoint_every < 1) {
-    return Status::InvalidArgument("checkpoint_every must be >= 1");
-  }
-  const bool checkpointing = !resilience.checkpoint_dir.empty();
-  if (resilience.resume && !checkpointing) {
-    return Status::InvalidArgument("resume requires a checkpoint directory");
-  }
-  CRH_RETURN_NOT_OK(ValidateRetryPolicy(resilience.retry));
-  const bool delta_active = options.delta_solve != DeltaSolveMode::kOff;
-  if (delta_active && options.base.supervision != nullptr) {
-    return Status::InvalidArgument(
-        "delta_solve maintains truths in the parent entry space and cannot apply the "
-        "chunk-shaped supervision clamp; use DeltaSolveMode::kOff with supervision");
-  }
+  auto engine = StreamEngine::Open(data, options, resilience);
+  if (!engine.ok()) return engine.status();
   auto chunks = SplitByWindow(data, options.window_size);
   if (!chunks.ok()) return chunks.status();
-
-  IncrementalCrhProcessor processor(data.num_sources(), options);
-  IncrementalCrhResult result;
-  result.truths = ValueTable(data.num_objects(), data.num_properties());
-
-  // Delta-maintained runs keep one cumulative claim store (and their own
-  // pool: the processor's is private to it) for the re-solve passes.
-  std::optional<DeltaTruthStore> store;
-  std::unique_ptr<ThreadPool> delta_pool;
-  if (delta_active) {
-    store.emplace(data.num_objects(), data.num_properties(), data.num_sources());
-    if (ThreadPool::ResolveNumThreads(options.base.num_threads) > 1) {
-      delta_pool = std::make_unique<ThreadPool>(options.base.num_threads);
-    }
+  if ((*engine)->chunks_resumed() > chunks->size()) {
+    return Status::FailedPrecondition("checkpoint covers more chunks than the dataset");
   }
-
-  const uint64_t fingerprint =
-      checkpointing ? CheckpointFingerprint(options, data.num_sources(), &data) : 0;
-  std::optional<CheckpointManager> manager;
-  if (checkpointing) {
-    CheckpointManagerOptions manager_options;
-    manager_options.dir = resilience.checkpoint_dir;
-    manager_options.retry = resilience.retry;
-    manager.emplace(std::move(manager_options));
+  // Replay every chunk from the start: the engine absorbs the ones its
+  // checkpoint already covers and solves the rest. The final chunk always
+  // forces a checkpoint (cadence-independent durability of the end state).
+  for (size_t c = 0; c < chunks->size(); ++c) {
+    const bool last = c + 1 == chunks->size();
+    CRH_RETURN_NOT_OK((*engine)->ApplyChunk((*chunks)[c], /*force_checkpoint=*/last));
   }
-
-  size_t first_chunk = 0;
-  if (resilience.resume) {
-    CheckpointLoadReport report;
-    auto loaded = manager->LoadLatest(fingerprint, &report);
-    if (loaded.ok()) {
-      CheckpointState state = std::move(loaded).ValueOrDie();
-      if (!state.has_driver_state) {
-        return Status::FailedPrecondition("checkpoint has no driver section to resume from");
-      }
-      if (state.truths.num_objects() != data.num_objects() ||
-          state.truths.num_properties() != data.num_properties()) {
-        return Status::FailedPrecondition(
-            "checkpoint truth table shape does not match the dataset");
-      }
-      if (state.processor.chunks_processed > chunks->size()) {
-        return Status::FailedPrecondition("checkpoint covers more chunks than the dataset");
-      }
-      CRH_RETURN_NOT_OK(processor.ImportState(state.processor));
-      result.truths = std::move(state.truths);
-      result.weight_history = std::move(state.weight_history);
-      result.chunk_starts = std::move(state.chunk_starts);
-      first_chunk = static_cast<size_t>(state.processor.chunks_processed);
-      result.chunks_resumed = state.processor.chunks_processed;
-      result.resumed_from_fallback = report.fell_back;
-    } else if (loaded.status().code() != StatusCode::kNotFound) {
-      return loaded.status();
-    }
-    // NotFound means a cold start: nothing to resume, process everything.
-  }
-
-  if (delta_active) {
-    // Rebuild the cumulative claim index for the chunks the checkpoint
-    // already covers: claims only — their weights and truths come from the
-    // checkpoint, whose fingerprint tag guarantees they were maintained
-    // under the delta invariant.
-    for (size_t c = 0; c < first_chunk; ++c) {
-      store->AppendChunk((*chunks)[c].data, (*chunks)[c].parent_object,
-                        options.quarantine_bad_claims);
-    }
-  }
-
-  std::vector<double> prev_weights;
-  for (size_t c = first_chunk; c < chunks->size(); ++c) {
-    CRH_FAIL_POINT("stream.process_chunk");
-    const DataChunk& chunk = (*chunks)[c];
-    // The weight snapshot before the refresh bounds the delta fan-out.
-    if (delta_active) prev_weights = processor.source_weights();
-    auto truths = processor.ProcessChunk(chunk.data);
-    if (!truths.ok()) return truths.status();
-    if (delta_active) {
-      // Maintain `truths == truth-update(claims so far, current weights)`:
-      // fold the chunk's claims in, then re-solve under the refreshed
-      // weights. The per-chunk truths ProcessChunk returned were computed
-      // under the pre-refresh weights and are superseded.
-      store->AppendChunk(chunk.data, chunk.parent_object, options.quarantine_bad_claims);
-      CRH_RETURN_NOT_OK(store->Resolve(data, prev_weights, processor.source_weights(),
-                                       options.base, delta_pool.get(), options.delta_solve,
-                                       &result.truths));
-    } else {
-      for (size_t local = 0; local < chunk.parent_object.size(); ++local) {
-        for (size_t m = 0; m < data.num_properties(); ++m) {
-          result.truths.Set(chunk.parent_object[local], m, truths->Get(local, m));
-        }
-      }
-    }
-    result.weight_history.push_back(processor.source_weights());
-    result.chunk_starts.push_back(chunk.window_start);
-    if (checkpointing) {
-      const bool last = c + 1 == chunks->size();
-      if (last || (c + 1 - first_chunk) % resilience.checkpoint_every == 0) {
-        CheckpointState state;
-        state.fingerprint = fingerprint;
-        state.processor = processor.ExportState();
-        state.has_driver_state = true;
-        state.truths = result.truths;
-        state.weight_history = result.weight_history;
-        state.chunk_starts = result.chunk_starts;
-        CRH_RETURN_NOT_OK(manager->Save(state));
-        ++result.checkpoints_written;
-      }
-    }
-  }
-  result.source_weights = processor.source_weights();
-  result.accumulated_deviations = processor.accumulated_deviations();
-  result.quarantined_per_source = processor.quarantined_per_source();
-  if (delta_active) result.delta_stats = store->stats();
-  return result;
+  return std::move(**engine).Finish();
 }
 
 Result<IncrementalCrhResult> RunIncrementalCrh(const Dataset& data,

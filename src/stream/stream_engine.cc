@@ -1,0 +1,163 @@
+#include "stream/stream_engine.h"
+
+#include <utility>
+
+#include "common/fault_injection.h"
+
+namespace crh {
+
+StreamEngine::StreamEngine(const Dataset& parent, const IncrementalCrhOptions& options,
+                           const StreamResilienceOptions& resilience)
+    : parent_(&parent),
+      options_(options),
+      resilience_(resilience),
+      processor_(parent.num_sources(), options),
+      truths_(parent.num_objects(), parent.num_properties()) {}
+
+Result<std::unique_ptr<StreamEngine>> StreamEngine::Open(
+    const Dataset& parent, const IncrementalCrhOptions& options,
+    const StreamResilienceOptions& resilience) {
+  if (options.decay < 0 || options.decay > 1) {
+    return Status::InvalidArgument("decay must be in [0, 1]");
+  }
+  if (resilience.checkpoint_every < 1) {
+    return Status::InvalidArgument("checkpoint_every must be >= 1");
+  }
+  const bool checkpointing = !resilience.checkpoint_dir.empty();
+  if (resilience.resume && !checkpointing) {
+    return Status::InvalidArgument("resume requires a checkpoint directory");
+  }
+  CRH_RETURN_NOT_OK(ValidateRetryPolicy(resilience.retry));
+  const bool delta_active = options.delta_solve != DeltaSolveMode::kOff;
+  if (delta_active && options.base.supervision != nullptr) {
+    return Status::InvalidArgument(
+        "delta_solve maintains truths in the parent entry space and cannot apply the "
+        "chunk-shaped supervision clamp; use DeltaSolveMode::kOff with supervision");
+  }
+
+  // The constructor is private so Open is the only way in; make_unique
+  // cannot reach it, hence the immediately-owned naked new.
+  std::unique_ptr<StreamEngine> engine(
+      new StreamEngine(parent, options, resilience));  // lint:allow(naked-new)
+  if (delta_active) {
+    engine->store_.emplace(parent.num_objects(), parent.num_properties(),
+                           parent.num_sources());
+    if (ThreadPool::ResolveNumThreads(options.base.num_threads) > 1) {
+      engine->delta_pool_ = std::make_unique<ThreadPool>(options.base.num_threads);
+    }
+  }
+  if (checkpointing) {
+    engine->fingerprint_ = CheckpointFingerprint(options, parent.num_sources(), &parent);
+    CheckpointManagerOptions manager_options;
+    manager_options.dir = resilience.checkpoint_dir;
+    manager_options.retry = resilience.retry;
+    engine->manager_.emplace(std::move(manager_options));
+  }
+
+  if (resilience.resume) {
+    CheckpointLoadReport report;
+    auto loaded = engine->manager_->LoadLatest(engine->fingerprint_, &report);
+    if (loaded.ok()) {
+      CheckpointState state = std::move(loaded).ValueOrDie();
+      if (!state.has_driver_state) {
+        return Status::FailedPrecondition("checkpoint has no driver section to resume from");
+      }
+      if (state.truths.num_objects() != parent.num_objects() ||
+          state.truths.num_properties() != parent.num_properties()) {
+        return Status::FailedPrecondition(
+            "checkpoint truth table shape does not match the dataset");
+      }
+      CRH_RETURN_NOT_OK(engine->processor_.ImportState(state.processor));
+      engine->truths_ = std::move(state.truths);
+      engine->weight_history_ = std::move(state.weight_history);
+      engine->chunk_starts_ = std::move(state.chunk_starts);
+      engine->resumed_ = state.processor.chunks_processed;
+      engine->last_checkpoint_chunks_ = engine->resumed_;
+      engine->resumed_from_fallback_ = report.fell_back;
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    }
+    // NotFound means a cold start: nothing to resume, process everything.
+  }
+  return engine;
+}
+
+Status StreamEngine::ApplyChunk(const DataChunk& chunk, bool force_checkpoint) {
+  if (applied_ < resumed_) {
+    // Replay: the restored checkpoint already covers this chunk. Its
+    // weights and truths came from the checkpoint (whose fingerprint tag
+    // guarantees they were maintained under the delta invariant); only the
+    // cumulative claim index needs the chunk's claims back.
+    if (store_) {
+      store_->AppendChunk(chunk.data, chunk.parent_object,
+                          options_.quarantine_bad_claims);
+    }
+    ++applied_;
+    return Status::OK();
+  }
+  CRH_FAIL_POINT("stream.process_chunk");
+  // The weight snapshot before the refresh bounds the delta fan-out.
+  if (store_) prev_weights_ = processor_.source_weights();
+  auto truths = processor_.ProcessChunk(chunk.data);
+  if (!truths.ok()) return truths.status();
+  if (store_) {
+    // Maintain `truths == truth-update(claims so far, current weights)`:
+    // fold the chunk's claims in, then re-solve under the refreshed
+    // weights. The per-chunk truths ProcessChunk returned were computed
+    // under the pre-refresh weights and are superseded.
+    store_->AppendChunk(chunk.data, chunk.parent_object,
+                        options_.quarantine_bad_claims);
+    CRH_RETURN_NOT_OK(store_->Resolve(*parent_, prev_weights_,
+                                      processor_.source_weights(), options_.base,
+                                      delta_pool_.get(), options_.delta_solve,
+                                      &truths_));
+  } else {
+    for (size_t local = 0; local < chunk.parent_object.size(); ++local) {
+      for (size_t m = 0; m < parent_->num_properties(); ++m) {
+        truths_.Set(chunk.parent_object[local], m, truths->Get(local, m));
+      }
+    }
+  }
+  weight_history_.push_back(processor_.source_weights());
+  chunk_starts_.push_back(chunk.window_start);
+  ++applied_;
+  if (manager_) {
+    const uint64_t since_open = applied_ - resumed_;
+    if (force_checkpoint || since_open % resilience_.checkpoint_every == 0) {
+      return WriteCheckpoint();
+    }
+  }
+  return Status::OK();
+}
+
+Status StreamEngine::WriteCheckpoint() {
+  if (!manager_) return Status::OK();
+  CheckpointState state;
+  state.fingerprint = fingerprint_;
+  state.processor = processor_.ExportState();
+  state.has_driver_state = true;
+  state.truths = truths_;
+  state.weight_history = weight_history_;
+  state.chunk_starts = chunk_starts_;
+  CRH_RETURN_NOT_OK(manager_->Save(state));
+  ++checkpoints_written_;
+  last_checkpoint_chunks_ = applied_;
+  return Status::OK();
+}
+
+IncrementalCrhResult StreamEngine::Finish() && {
+  IncrementalCrhResult result;
+  result.truths = std::move(truths_);
+  result.source_weights = processor_.source_weights();
+  result.accumulated_deviations = processor_.accumulated_deviations();
+  result.weight_history = std::move(weight_history_);
+  result.chunk_starts = std::move(chunk_starts_);
+  result.quarantined_per_source = processor_.quarantined_per_source();
+  result.chunks_resumed = resumed_;
+  result.checkpoints_written = checkpoints_written_;
+  result.resumed_from_fallback = resumed_from_fallback_;
+  if (store_) result.delta_stats = store_->stats();
+  return result;
+}
+
+}  // namespace crh

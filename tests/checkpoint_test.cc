@@ -610,6 +610,35 @@ TEST_F(CheckpointTest, ResumeFallsBackPastCorruptNewestCheckpoint) {
   ExpectResultsEqual(*baseline, *resumed);
 }
 
+TEST_F(CheckpointTest, ResumeFallsBackPastSilentlyTruncatedNewestCheckpoint) {
+  // The torn-tail case: an ENOSPC-style short write persists only a 7-byte
+  // prefix of the newest generation while every return code — fwrite,
+  // fflush, fclose, rename — reports success. The writing run finishes
+  // cleanly, so nothing could have surfaced the loss; only the CRC at load
+  // time can detect it, and resume must fall back newest-first to the
+  // previous intact generation instead of failing or starting cold.
+  const Dataset data = MakeStreamData(6, 12);
+  IncrementalCrhOptions options;
+  auto baseline = RunIncrementalCrh(data, options);
+  ASSERT_TRUE(baseline.ok());
+
+  StreamResilienceOptions resilience;
+  resilience.checkpoint_dir = FreshDir();
+  resilience.checkpoint_every = 2;  // generations land after chunks 2, 4, 6
+  FailPoints::Instance().ShortWriteOnHit("checkpoint.fwrite", 3, 7);
+  auto first = RunIncrementalCrhResilient(data, options, resilience);
+  FailPoints::Instance().ClearAll();
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  EXPECT_EQ(first->checkpoints_written, 3u);  // the loss was silent
+
+  resilience.resume = true;
+  auto resumed = RunIncrementalCrhResilient(data, options, resilience);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+  EXPECT_EQ(resumed->chunks_resumed, 4u);  // fell back to the chunk-4 generation
+  EXPECT_TRUE(resumed->resumed_from_fallback);
+  ExpectResultsEqual(*baseline, *resumed);
+}
+
 TEST_F(CheckpointTest, ResumeWithEmptyDirectoryIsAColdStart) {
   const Dataset data = MakeStreamData(4, 10);
   IncrementalCrhOptions options;

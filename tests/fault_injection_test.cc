@@ -179,6 +179,99 @@ TEST(RetryWithBackoffTest, MaxAttemptsOneMeansNoRetry) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST_F(FailPointsTest, ShortWriteTruncatesSilentlyAtTheArmedHit) {
+  FailPoints::Instance().ShortWriteOnHit("test.write", 2, 5);
+  const WriteFault first = FailPoints::Instance().HitWrite("test.write");
+  EXPECT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.truncate_to.has_value());
+  const WriteFault second = FailPoints::Instance().HitWrite("test.write");
+  // The insidious mode: status reports success, but only a prefix lands.
+  EXPECT_TRUE(second.status.ok());
+  ASSERT_TRUE(second.truncate_to.has_value());
+  EXPECT_EQ(*second.truncate_to, 5u);
+  const WriteFault third = FailPoints::Instance().HitWrite("test.write");
+  EXPECT_TRUE(third.status.ok());
+  EXPECT_FALSE(third.truncate_to.has_value());
+}
+
+TEST_F(FailPointsTest, PlainHitIgnoresShortWriteSchedules) {
+  // Hit() has no way to honor a truncation, so a short-write schedule on a
+  // non-write site must be a no-op rather than a spurious failure.
+  FailPoints::Instance().ShortWriteOnHit("test.plain", 1, 0);
+  EXPECT_TRUE(FailPoints::Instance().Hit("test.plain").ok());
+  EXPECT_TRUE(FailPoints::Instance().Hit("test.plain").ok());
+}
+
+TEST_F(FailPointsTest, HitWriteHonorsFailSchedulesToo) {
+  FailPoints::Instance().FailOnHit("test.write_fail", 2);
+  EXPECT_TRUE(FailPoints::Instance().HitWrite("test.write_fail").status.ok());
+  EXPECT_FALSE(FailPoints::Instance().HitWrite("test.write_fail").status.ok());
+  EXPECT_TRUE(FailPoints::Instance().HitWrite("test.write_fail").status.ok());
+}
+
+TEST_F(FailPointsTest, ArmFromSpecArmsFailAndTruncSchedules) {
+  ASSERT_TRUE(FailPoints::Instance().ArmFromSpec("test.spec@2=fail").ok());
+  EXPECT_TRUE(FailPoints::Instance().Hit("test.spec").ok());
+  EXPECT_FALSE(FailPoints::Instance().Hit("test.spec").ok());
+  EXPECT_TRUE(FailPoints::Instance().Hit("test.spec").ok());
+
+  ASSERT_TRUE(FailPoints::Instance().ArmFromSpec("test.trunc@1=trunc:9").ok());
+  const WriteFault fault = FailPoints::Instance().HitWrite("test.trunc");
+  EXPECT_TRUE(fault.status.ok());
+  ASSERT_TRUE(fault.truncate_to.has_value());
+  EXPECT_EQ(*fault.truncate_to, 9u);
+
+  // `kill` must parse (the chaos suite arms it in the daemon); hitting it
+  // here would SIGKILL the test runner, so parse-and-clear is the contract.
+  ASSERT_TRUE(FailPoints::Instance().ArmFromSpec("test.kill@3=kill").ok());
+  FailPoints::Instance().Clear("test.kill");
+}
+
+TEST_F(FailPointsTest, ArmFromSpecRejectsMalformedSpecs) {
+  for (const char* spec :
+       {"", "nosite", "site@=fail", "@1=fail", "site@1", "site@1=",
+        "site@1=bogus", "site@0=fail", "site@x=fail", "site@1=trunc",
+        "site@1=trunc:", "site@1=trunc:x"}) {
+    EXPECT_FALSE(FailPoints::Instance().ArmFromSpec(spec).ok()) << "'" << spec << "'";
+  }
+}
+
+TEST(RetryWithBackoffTest, InjectedSleeperSeesTheExactBackoffSchedule) {
+  // A virtual clock: record each computed backoff instead of sleeping, so
+  // multi-retry recovery runs in microseconds while exercising the same
+  // arithmetic the real sleeper would.
+  std::vector<double> slept;
+  SetRetrySleeperForTest([&](double ms) { slept.push_back(ms); });
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_backoff_ms = 2.0;
+  policy.max_backoff_ms = 4.0;
+  int calls = 0;
+  const Status status = RetryWithBackoff(policy, "sleepy-op", [&]() -> Status {
+    ++calls;
+    return Status::IOError("down");
+  });
+  SetRetrySleeperForTest(nullptr);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(calls, 4);
+  ASSERT_EQ(slept.size(), 3u);  // a sleep before each retry, none after give-up
+  for (size_t r = 0; r < slept.size(); ++r) {
+    const double base =
+        std::min(policy.base_backoff_ms * static_cast<double>(1 << r),
+                 policy.max_backoff_ms);
+    EXPECT_GE(slept[r], base) << "retry " << r + 1;
+    EXPECT_LT(slept[r], base * (1.0 + policy.jitter) + 1e-9) << "retry " << r + 1;
+  }
+
+  // Equal policies and operation names replay the identical schedule.
+  std::vector<double> again;
+  SetRetrySleeperForTest([&](double ms) { again.push_back(ms); });
+  (void)RetryWithBackoff(policy, "sleepy-op",
+                         [&]() -> Status { return Status::IOError("down"); });
+  SetRetrySleeperForTest(nullptr);
+  EXPECT_EQ(slept, again);
+}
+
 TEST_F(FailPointsTest, CsvIoIsFailPointInstrumented) {
   // Every declared CSV site actually fires, and an armed site surfaces as
   // a clean IOError from the file-path entry points.

@@ -1,0 +1,570 @@
+/// \file serve_chaos_test.cc
+/// The serving chaos suite: forks the real crh_serve daemon, SIGKILLs it at
+/// fail-point-chosen moments mid-ingest, restarts it with --resume, and
+/// proves the final served truths and weights are byte-identical to an
+/// uninterrupted run of the same chunk stream — at 1 and 4 solver threads.
+///
+/// The reference run drives a StreamEngine in-process over chunks decoded
+/// from the *same* CSV bytes the daemon receives, against a universe read
+/// back from the *same* CSV file the daemon loads, so the two pipelines are
+/// identical by construction and the only variable is the kill/resume
+/// cycling. Doubles cross the wire with 17 significant digits and are
+/// compared bit-for-bit after parsing.
+///
+/// The overload test is the other half of the robustness contract: with a
+/// tiny admission queue and ingest paused, sustained ingest pressure is
+/// shed with explicit retry-after replies while truth/status queries keep
+/// answering from the published epoch — no crash, no blocked reader.
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "datagen/noise.h"
+#include "serve/chunk_codec.h"
+#include "serve/protocol.h"
+#include "stream/chunks.h"
+#include "stream/stream_engine.h"
+#include "tools/cli.h"
+
+#ifndef CRH_SERVE_BINARY
+#error "CRH_SERVE_BINARY must point at the crh_serve executable"
+#endif
+
+namespace crh {
+namespace {
+
+constexpr const char* kSchemaSpec = "x:continuous,y:categorical";
+
+// ---------------------------------------------------------------------------
+// Fixture dataset: same shape as the serve unit tests — 6 daily windows of 8
+// objects, one continuous and one categorical property, 4 sources whose
+// noise levels separate cleanly.
+// ---------------------------------------------------------------------------
+
+Dataset MakeChaosTruth(int days, int per_day, uint64_t seed) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddContinuous("x", 0.0).ok());
+  EXPECT_TRUE(schema.AddCategorical("y").ok());
+  std::vector<std::string> objects;
+  std::vector<int64_t> timestamps;
+  for (int d = 0; d < days; ++d) {
+    for (int j = 0; j < per_day; ++j) {
+      objects.push_back("d" + std::to_string(d) + "_o" + std::to_string(j));
+      timestamps.push_back(d);
+    }
+  }
+  Dataset data(std::move(schema), std::move(objects), {});
+  for (const char* l : {"a", "b", "c", "d"}) data.mutable_dict(1).GetOrAdd(l);
+  Rng rng(seed);
+  ValueTable truth(data.num_objects(), 2);
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    truth.Set(i, 0, Value::Continuous(std::round(rng.Uniform(0, 100))));
+    truth.Set(i, 1, Value::Categorical(static_cast<CategoryId>(rng.UniformInt(0, 3))));
+  }
+  data.set_ground_truth(std::move(truth));
+  EXPECT_TRUE(data.set_timestamps(timestamps).ok());
+  return data;
+}
+
+Dataset MakeChaosDataset() {
+  NoiseOptions noise;
+  noise.gammas = {0.4, 0.8, 1.3, 1.8};
+  noise.seed = 4242;
+  auto noisy = MakeNoisyDataset(MakeChaosTruth(6, 8, 4242), noise);
+  EXPECT_TRUE(noisy.ok());
+  return std::move(noisy).ValueOrDie();
+}
+
+/// One chunk as it crosses the wire: the window it covers plus the exact
+/// CSV bytes both the daemon and the reference engine decode.
+struct ChunkWire {
+  int64_t window_start = 0;
+  std::string csv;
+};
+
+std::string IngestLine(uint64_t seq, const ChunkWire& chunk) {
+  JsonWriter writer;
+  writer.AddString("cmd", "ingest");
+  writer.AddUint("seq", seq);
+  writer.AddInt("window_start", chunk.window_start);
+  writer.AddString("csv", chunk.csv);
+  return std::move(writer).Finish();
+}
+
+bool BitEqual(double a, double b) {
+  uint64_t ab = 0;
+  uint64_t bb = 0;
+  static_assert(sizeof(ab) == sizeof(a));
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ab == bb;
+}
+
+// ---------------------------------------------------------------------------
+// Daemon process management
+// ---------------------------------------------------------------------------
+
+/// One crh_serve lifetime: fork/exec, then either reaped after the armed
+/// fail point SIGKILLs it or waited out after a graceful drain.
+class ServerProcess {
+ public:
+  ~ServerProcess() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      (void)WaitRaw();
+    }
+  }
+
+  bool Start(const std::vector<std::string>& args, const std::string& log_path) {
+    pid_ = ::fork();
+    if (pid_ < 0) return false;
+    if (pid_ == 0) {
+      const int log = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (log >= 0) {
+        ::dup2(log, STDOUT_FILENO);
+        ::dup2(log, STDERR_FILENO);
+        ::close(log);
+      }
+      std::vector<char*> argv;
+      argv.push_back(const_cast<char*>(CRH_SERVE_BINARY));
+      for (const std::string& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
+      argv.push_back(nullptr);
+      ::execv(CRH_SERVE_BINARY, argv.data());
+      ::_exit(127);
+    }
+    return true;
+  }
+
+  /// Blocks until the daemon exits; returns the raw waitpid status.
+  int WaitRaw() {
+    int status = 0;
+    while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+    }
+    pid_ = -1;
+    return status;
+  }
+
+ private:
+  pid_t pid_ = -1;
+};
+
+// ---------------------------------------------------------------------------
+// Protocol client
+// ---------------------------------------------------------------------------
+
+/// A line-framed protocol client. Every failure closes the connection and
+/// surfaces as a non-OK Result — the chaos driver interprets that as "the
+/// daemon just got killed".
+class LineClient {
+ public:
+  ~LineClient() { Close(); }
+
+  bool Connect(const std::string& path, int timeout_ms) {
+    Close();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      if (fd >= 0) {
+        struct sockaddr_un addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sun_family = AF_UNIX;
+        std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+        if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) ==
+            0) {
+          fd_ = fd;
+          return true;
+        }
+        ::close(fd);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    buffer_.clear();
+  }
+
+  [[nodiscard]] Result<JsonObject> Request(const std::string& line) {
+    if (fd_ < 0) return Status::IOError("not connected");
+    std::string framed = line;
+    framed.push_back('\n');
+    size_t offset = 0;
+    while (offset < framed.size()) {
+      const ssize_t n =
+          ::send(fd_, framed.data() + offset, framed.size() - offset, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Close();
+        return Status::IOError("send failed: " + std::string(std::strerror(errno)));
+      }
+      offset += static_cast<size_t>(n);
+    }
+    while (true) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        const std::string reply = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return ParseJsonObject(reply, 8u << 20);
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        Close();
+        return Status::IOError("connection lost");
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+// ---------------------------------------------------------------------------
+// Chaos scenario
+// ---------------------------------------------------------------------------
+
+/// Scratch directory for one scenario; unique per test and process so
+/// parallel ctest shards never collide.
+struct ScenarioPaths {
+  explicit ScenarioPaths(const std::string& tag) {
+    root = testing::TempDir() + "crh_chaos_" + tag + "_" + std::to_string(::getpid());
+    (void)::mkdir(root.c_str(), 0755);
+    checkpoint_dir = root + "/ckpt";
+    // --resume lists the directory even before the first checkpoint exists.
+    (void)::mkdir(checkpoint_dir.c_str(), 0755);
+    universe_csv = root + "/universe.csv";
+    socket_path = root + "/serve.sock";
+    log_path = root + "/daemon.log";
+  }
+  std::string root;
+  std::string checkpoint_dir;
+  std::string universe_csv;
+  std::string socket_path;
+  std::string log_path;
+};
+
+std::vector<std::string> DaemonArgs(const ScenarioPaths& paths, int threads,
+                                    const std::string& fail_point) {
+  std::vector<std::string> args = {
+      "--socket",         paths.socket_path,
+      "--schema",         kSchemaSpec,
+      "--universe",       paths.universe_csv,
+      "--checkpoint-dir", paths.checkpoint_dir,
+      "--resume",
+      "--threads",        std::to_string(threads),
+  };
+  if (!fail_point.empty()) {
+    args.push_back("--fail-point");
+    args.push_back(fail_point);
+  }
+  return args;
+}
+
+/// Replays the whole chunk stream from seq 0 (the at-least-once transport
+/// contract: resumed daemons absorb already-covered chunks as cheap
+/// replays) and waits for the solver to cover every chunk. Returns true
+/// when the daemon stayed alive throughout; false when the connection died
+/// mid-stream — the armed fail point fired.
+bool DriveStream(LineClient* client, const std::vector<ChunkWire>& chunks) {
+  for (uint64_t seq = 0; seq < chunks.size();) {
+    auto reply = client->Request(IngestLine(seq, chunks[static_cast<size_t>(seq)]));
+    if (!reply.ok()) return false;
+    auto error = reply->GetString("error");
+    if (error.ok() && *error == "overloaded") {
+      auto hint = reply->GetUint("retry_after_ms");
+      std::this_thread::sleep_for(std::chrono::milliseconds(hint.ok() ? *hint : 25));
+      continue;  // shed: the sequence number was not consumed, retry it
+    }
+    auto ok = reply->GetString("error");
+    EXPECT_FALSE(ok.ok()) << "unexpected ingest error: " << *ok;
+    ++seq;
+  }
+  for (int i = 0; i < 5000; ++i) {
+    auto status = client->Request(R"({"cmd":"status"})");
+    if (!status.ok()) return false;
+    auto solved = status->GetUint("chunks_solved");
+    if (solved.ok() && *solved >= chunks.size()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ADD_FAILURE() << "daemon alive but never finished solving";
+  return false;
+}
+
+/// Queries every truth cell and the weight roster over the wire and
+/// compares against the in-process reference engine, bit for bit.
+void VerifyServedStateMatchesReference(LineClient* client, const Dataset& universe,
+                                       const StreamEngine& reference) {
+  auto weights = client->Request(R"({"cmd":"weights"})");
+  ASSERT_TRUE(weights.ok()) << weights.status().ToString();
+  auto sources = weights->GetStringArray("sources");
+  auto values = weights->GetDoubleArray("weights");
+  ASSERT_TRUE(sources.ok());
+  ASSERT_TRUE(values.ok());
+  ASSERT_EQ(sources->size(), universe.num_sources());
+  ASSERT_EQ(values->size(), universe.num_sources());
+  for (size_t k = 0; k < universe.num_sources(); ++k) {
+    EXPECT_EQ((*sources)[k], universe.source_id(k));
+    EXPECT_TRUE(BitEqual((*values)[k], reference.source_weights()[k]))
+        << "weight of " << universe.source_id(k) << " diverged: served "
+        << (*values)[k] << " vs reference " << reference.source_weights()[k];
+  }
+
+  for (size_t i = 0; i < universe.num_objects(); ++i) {
+    for (size_t m = 0; m < universe.schema().num_properties(); ++m) {
+      JsonWriter request;
+      request.AddString("cmd", "truth");
+      request.AddString("object", universe.object_id(i));
+      request.AddString("property", universe.schema().property(m).name);
+      auto reply = client->Request(std::move(request).Finish());
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      const Value& expected = reference.truths().Get(i, m);
+      const JsonValue* value = reply->Find("value");
+      ASSERT_NE(value, nullptr);
+      if (expected.is_missing() ||
+          (expected.is_categorical() && expected.category() == kInvalidCategory)) {
+        EXPECT_EQ(value->kind, JsonValue::Kind::kNull)
+            << "cell (" << i << ", " << m << ")";
+      } else if (expected.is_continuous()) {
+        auto served = reply->GetDouble("value");
+        ASSERT_TRUE(served.ok());
+        EXPECT_TRUE(BitEqual(*served, expected.continuous()))
+            << "truth of (" << universe.object_id(i) << ", x) diverged: served "
+            << *served << " vs reference " << expected.continuous();
+      } else {
+        auto served = reply->GetString("value");
+        ASSERT_TRUE(served.ok());
+        EXPECT_EQ(*served, universe.dict(m).label(expected.category()))
+            << "cell (" << i << ", " << m << ")";
+      }
+    }
+  }
+}
+
+/// The capstone: three SIGKILLs at three different fail-point sites — one
+/// mid-solve, one mid-checkpoint-rename (leaving a torn newest generation
+/// for resume to fall back past), one mid-publish — then a clean final
+/// lifetime that must serve state byte-identical to the uninterrupted
+/// reference run.
+void RunKillResumeScenario(int threads, const std::string& tag) {
+  const ScenarioPaths paths(tag);
+  const Dataset full = MakeChaosDataset();
+  ASSERT_TRUE(WriteObservationsCsv(full, paths.universe_csv).ok());
+
+  // Both the daemon and the reference read the universe back from the same
+  // CSV bytes, so entity order and label interning agree by construction.
+  auto schema = cli::ParseSchemaSpec(kSchemaSpec);
+  ASSERT_TRUE(schema.ok());
+  auto universe = ReadObservationsCsv(*schema, paths.universe_csv);
+  ASSERT_TRUE(universe.ok()) << universe.status().ToString();
+
+  auto split = SplitByWindow(full, 1);
+  ASSERT_TRUE(split.ok());
+  std::vector<ChunkWire> chunks;
+  for (const DataChunk& chunk : *split) {
+    std::ostringstream out;
+    ASSERT_TRUE(WriteObservationsCsv(chunk.data, out).ok());
+    chunks.push_back(ChunkWire{chunk.window_start, out.str()});
+  }
+  ASSERT_GE(chunks.size(), 5u);
+
+  IncrementalCrhOptions options;
+  options.decay = 0.5;
+  options.window_size = 1;
+  options.base.num_threads = threads;
+
+  // The uninterrupted reference: same codec, same engine, same chunk bytes,
+  // no checkpointing, no kills.
+  const ChunkCodec codec(*universe);
+  auto reference = StreamEngine::Open(*universe, options, StreamResilienceOptions{});
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (const ChunkWire& wire : chunks) {
+    auto decoded = codec.Decode(wire.csv, wire.window_start, false);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_TRUE((*reference)->ApplyChunk(*decoded, false).ok());
+  }
+
+  // Three kills at three distinct fail-point-chosen moments. Hits count
+  // from daemon start: the second lifetime dies renaming its first
+  // post-resume checkpoint (torn newest generation), the third dies on its
+  // third epoch publication.
+  const std::vector<std::string> kill_specs = {
+      "stream.process_chunk@2=kill",
+      "checkpoint.rename@1=kill",
+      "serve.publish@3=kill",
+  };
+  for (const std::string& spec : kill_specs) {
+    ServerProcess daemon;
+    ASSERT_TRUE(daemon.Start(DaemonArgs(paths, threads, spec), paths.log_path));
+    LineClient client;
+    ASSERT_TRUE(client.Connect(paths.socket_path, 15000))
+        << "daemon with " << spec << " never came up";
+    EXPECT_FALSE(DriveStream(&client, chunks))
+        << "daemon survived armed kill spec " << spec;
+    const int status = daemon.WaitRaw();
+    EXPECT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+        << "expected SIGKILL from " << spec << ", raw status " << status;
+  }
+
+  // Final lifetime: no fail points. Resume, absorb the replayed stream,
+  // finish the remaining chunks, and serve the same bytes as the reference.
+  ServerProcess daemon;
+  ASSERT_TRUE(daemon.Start(DaemonArgs(paths, threads, ""), paths.log_path));
+  LineClient client;
+  ASSERT_TRUE(client.Connect(paths.socket_path, 15000));
+  ASSERT_TRUE(DriveStream(&client, chunks)) << "clean final run died";
+
+  auto status = client.Request(R"({"cmd":"status"})");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->GetUint("chunks_solved").ValueOrDie(), chunks.size());
+  // At least one checkpoint survived the kill storm: the final lifetime
+  // resumed instead of starting cold.
+  EXPECT_GT(status->GetUint("chunks_resumed").ValueOrDie(), 0u);
+
+  VerifyServedStateMatchesReference(&client, *universe, **reference);
+
+  auto drain = client.Request(R"({"cmd":"drain"})");
+  ASSERT_TRUE(drain.ok());
+  const int raw = daemon.WaitRaw();
+  EXPECT_TRUE(WIFEXITED(raw) && WEXITSTATUS(raw) == 0)
+      << "graceful drain should exit 0, raw status " << raw;
+}
+
+TEST(ServeChaosTest, KillResumeConvergesSingleThread) {
+  RunKillResumeScenario(1, "t1");
+}
+
+TEST(ServeChaosTest, KillResumeConvergesFourThreads) {
+  RunKillResumeScenario(4, "t4");
+}
+
+/// Sustained overload: with a one-slot admission queue and ingest paused,
+/// every further ingest is shed with an explicit retry hint while queries
+/// keep answering from the published epoch. Resuming ingest lets the shed
+/// sequence number through — the stream stays gapless.
+TEST(ServeChaosTest, OverloadShedsIngestWhileQueriesKeepAnswering) {
+  const ScenarioPaths paths("overload");
+  const Dataset full = MakeChaosDataset();
+  ASSERT_TRUE(WriteObservationsCsv(full, paths.universe_csv).ok());
+  auto schema = cli::ParseSchemaSpec(kSchemaSpec);
+  ASSERT_TRUE(schema.ok());
+  auto universe = ReadObservationsCsv(*schema, paths.universe_csv);
+  ASSERT_TRUE(universe.ok());
+  auto split = SplitByWindow(full, 1);
+  ASSERT_TRUE(split.ok());
+  std::vector<ChunkWire> chunks;
+  for (const DataChunk& chunk : *split) {
+    std::ostringstream out;
+    ASSERT_TRUE(WriteObservationsCsv(chunk.data, out).ok());
+    chunks.push_back(ChunkWire{chunk.window_start, out.str()});
+  }
+
+  ServerProcess daemon;
+  std::vector<std::string> args = {
+      "--socket",         paths.socket_path,
+      "--schema",         kSchemaSpec,
+      "--universe",       paths.universe_csv,
+      "--queue-capacity", "1",
+      "--retry-after-ms", "25",
+  };
+  ASSERT_TRUE(daemon.Start(args, paths.log_path));
+  LineClient client;
+  ASSERT_TRUE(client.Connect(paths.socket_path, 15000));
+
+  auto paused = client.Request(R"({"cmd":"pause_ingest"})");
+  ASSERT_TRUE(paused.ok());
+
+  // Fill the single queue slot, then keep the pressure on.
+  auto first = client.Request(IngestLine(0, chunks[0]));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->Has("error")) << "first chunk should be admitted";
+
+  int sheds = 0;
+  for (int burst = 0; burst < 25; ++burst) {
+    auto reply = client.Request(IngestLine(1, chunks[1]));
+    ASSERT_TRUE(reply.ok()) << "daemon died under overload";
+    auto error = reply->GetString("error");
+    ASSERT_TRUE(error.ok()) << "paused one-slot queue must shed";
+    EXPECT_EQ(*error, "overloaded");
+    EXPECT_EQ(reply->GetUint("retry_after_ms").ValueOrDie(), 25u);
+    ++sheds;
+    // Queries answer between every shed: readers never block on ingest.
+    auto status = client.Request(R"({"cmd":"status"})");
+    ASSERT_TRUE(status.ok());
+    EXPECT_TRUE(status->GetUint("epoch").ok());
+    EXPECT_EQ(status->GetUint("queue_depth").ValueOrDie(), 1u);
+    JsonWriter truth;
+    truth.AddString("cmd", "truth");
+    truth.AddString("object", universe->object_id(0));
+    truth.AddString("property", "x");
+    auto served = client.Request(std::move(truth).Finish());
+    ASSERT_TRUE(served.ok());
+    EXPECT_TRUE(served->Has("value"));
+  }
+  EXPECT_EQ(sheds, 25);
+  auto overloaded_status = client.Request(R"({"cmd":"status"})");
+  ASSERT_TRUE(overloaded_status.ok());
+  EXPECT_GE(overloaded_status->GetUint("shed").ValueOrDie(), 25u);
+  EXPECT_FALSE(overloaded_status->Has("error"));
+
+  // Release the pressure: the shed sequence number was never consumed, so
+  // the retried chunk is admitted as seq 1, not a duplicate.
+  auto resumed = client.Request(R"({"cmd":"resume_ingest"})");
+  ASSERT_TRUE(resumed.ok());
+  for (int attempt = 0;; ++attempt) {
+    ASSERT_LT(attempt, 400) << "seq 1 never admitted after resume";
+    auto reply = client.Request(IngestLine(1, chunks[1]));
+    ASSERT_TRUE(reply.ok());
+    auto error = reply->GetString("error");
+    if (!error.ok()) {
+      EXPECT_FALSE(reply->Has("duplicate")) << "shed seq must not be consumed";
+      break;
+    }
+    EXPECT_EQ(*error, "overloaded");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    auto status = client.Request(R"({"cmd":"status"})");
+    ASSERT_TRUE(status.ok());
+    if (status->GetUint("chunks_solved").ValueOrDie() >= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  auto drain = client.Request(R"({"cmd":"drain"})");
+  ASSERT_TRUE(drain.ok());
+  const int raw = daemon.WaitRaw();
+  EXPECT_TRUE(WIFEXITED(raw) && WEXITSTATUS(raw) == 0) << "raw status " << raw;
+}
+
+}  // namespace
+}  // namespace crh

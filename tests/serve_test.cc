@@ -1,0 +1,612 @@
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "data/csv.h"
+#include "datagen/noise.h"
+#include "serve/admission.h"
+#include "serve/chunk_codec.h"
+#include "serve/protocol.h"
+#include "serve/snapshot.h"
+#include "stream/chunks.h"
+#include "stream/checkpoint.h"
+
+namespace crh {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Protocol: flat JSON parse / write
+// ---------------------------------------------------------------------------
+
+constexpr size_t kMax = 1u << 20;
+
+TEST(ProtocolTest, ParsesFlatObject) {
+  auto obj = ParseJsonObject(
+      R"({"cmd":"ingest","seq":3,"rate":-1.5,"on":true,"off":false,"nil":null})", kMax);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(*obj->GetString("cmd"), "ingest");
+  EXPECT_EQ(*obj->GetInt("seq"), 3);
+  EXPECT_EQ(*obj->GetUint("seq"), 3u);
+  EXPECT_EQ(*obj->GetDouble("rate"), -1.5);
+  EXPECT_TRUE(obj->Find("on")->bool_value);
+  EXPECT_FALSE(obj->Find("off")->bool_value);
+  EXPECT_EQ(obj->Find("nil")->kind, JsonValue::Kind::kNull);
+}
+
+TEST(ProtocolTest, TypedGettersRejectMismatches) {
+  auto obj = ParseJsonObject(R"({"n":1.5,"s":"x","neg":-2})", kMax);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_FALSE(obj->GetInt("n").ok());      // kDouble is not an exact int
+  EXPECT_TRUE(obj->GetDouble("n").ok());
+  EXPECT_FALSE(obj->GetString("n").ok());
+  EXPECT_FALSE(obj->GetUint("neg").ok());   // negative
+  EXPECT_FALSE(obj->GetString("missing").ok());
+}
+
+TEST(ProtocolTest, StringEscapes) {
+  auto obj = ParseJsonObject(R"({"s":"a\"b\\c\nd\teAé"})", kMax);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(*obj->GetString("s"), "a\"b\\c\nd\teA\xc3\xa9");
+}
+
+TEST(ProtocolTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJsonObject("", kMax).ok());
+  EXPECT_FALSE(ParseJsonObject("[1,2]", kMax).ok());
+  EXPECT_FALSE(ParseJsonObject(R"({"a":{}})", kMax).ok());       // nested object
+  EXPECT_FALSE(ParseJsonObject(R"({"a":[[1]]})", kMax).ok());    // array of arrays
+  EXPECT_FALSE(ParseJsonObject(R"({"a":[{}]})", kMax).ok());     // object in array
+  EXPECT_FALSE(ParseJsonObject(R"({"a":[1)", kMax).ok());        // unterminated array
+  EXPECT_FALSE(ParseJsonObject(R"({"a":1,"a":2})", kMax).ok());  // duplicate key
+  EXPECT_FALSE(ParseJsonObject(R"({"a":1} x)", kMax).ok());      // trailing bytes
+  EXPECT_FALSE(ParseJsonObject(R"({"a":)", kMax).ok());          // truncated
+  EXPECT_FALSE(ParseJsonObject(R"({"a":nul})", kMax).ok());      // bad literal
+  EXPECT_FALSE(ParseJsonObject(R"({"s":"\ud800"})", kMax).ok()); // lone surrogate
+  EXPECT_FALSE(ParseJsonObject(R"({"a":1e999})", kMax).ok());    // non-finite
+}
+
+TEST(ProtocolTest, ParsesFlatArrays) {
+  auto obj = ParseJsonObject(R"({"w":[1,2.5,-3],"s":["a","b"],"e":[]})", kMax);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(*obj->GetDoubleArray("w"), (std::vector<double>{1.0, 2.5, -3.0}));
+  EXPECT_EQ(*obj->GetStringArray("s"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(obj->GetDoubleArray("e")->empty());
+  EXPECT_FALSE(obj->GetDoubleArray("s").ok());  // strings are not numbers
+}
+
+TEST(ProtocolTest, EnforcesSizeLimitBeforeParsing) {
+  const std::string big = R"({"s":")" + std::string(100, 'x') + "\"}";
+  EXPECT_FALSE(ParseJsonObject(big, 16).ok());
+  EXPECT_TRUE(ParseJsonObject(big, big.size()).ok());
+}
+
+TEST(ProtocolTest, WriterRoundTripsExactDoubles) {
+  const double value = 0.1 + 0.2;  // not representable prettily
+  JsonWriter writer;
+  writer.AddDouble("v", value);
+  writer.AddInt("i", -7);
+  writer.AddBool("b", true);
+  writer.AddString("s", "line\nbreak\"quote");
+  const std::string line = std::move(writer).Finish();
+  auto parsed = ParseJsonObject(line, kMax);
+  ASSERT_TRUE(parsed.ok()) << line;
+  // Bitwise: %.17g guarantees the exact double comes back.
+  EXPECT_EQ(*parsed->GetDouble("v"), value);
+  EXPECT_EQ(*parsed->GetInt("i"), -7);
+  EXPECT_EQ(*parsed->GetString("s"), "line\nbreak\"quote");
+}
+
+TEST(ProtocolTest, NegativeZeroKeepsItsSignBit) {
+  JsonWriter writer;
+  writer.AddDouble("v", -0.0);
+  auto parsed = ParseJsonObject(std::move(writer).Finish(), kMax);
+  ASSERT_TRUE(parsed.ok());
+  const double v = *parsed->GetDouble("v");
+  EXPECT_EQ(v, 0.0);
+  EXPECT_TRUE(std::signbit(v)) << "-0 must not collapse to +0 on the wire";
+}
+
+TEST(ProtocolTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter writer;
+  writer.AddDouble("v", std::numeric_limits<double>::quiet_NaN());
+  const std::string line = std::move(writer).Finish();
+  auto parsed = ParseJsonObject(line, kMax);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("v")->kind, JsonValue::Kind::kNull);
+}
+
+// ---------------------------------------------------------------------------
+// Admission queue
+// ---------------------------------------------------------------------------
+
+PendingChunk MakePending(uint64_t seq) {
+  PendingChunk p;
+  p.seq = seq;
+  return p;
+}
+
+TEST(IngestQueueTest, ShedsWhenFull) {
+  IngestQueue queue(2);
+  EXPECT_TRUE(queue.TryPush(MakePending(0)));
+  EXPECT_TRUE(queue.TryPush(MakePending(1)));
+  EXPECT_FALSE(queue.TryPush(MakePending(2)));
+  EXPECT_FALSE(queue.TryPush(MakePending(2)));
+  EXPECT_EQ(queue.shed_count(), 2u);
+  EXPECT_EQ(queue.depth(), 2u);
+}
+
+TEST(IngestQueueTest, CloseDrainsRemainingInOrderEvenWhenPaused) {
+  IngestQueue queue(4);
+  EXPECT_TRUE(queue.TryPush(MakePending(0)));
+  EXPECT_TRUE(queue.TryPush(MakePending(1)));
+  queue.SetPaused(true);
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(MakePending(2)));  // closed sheds
+  auto a = queue.PopBlocking();
+  auto b = queue.PopBlocking();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->seq, 0u);
+  EXPECT_EQ(b->seq, 1u);
+  EXPECT_FALSE(queue.PopBlocking().has_value());  // closed and empty
+}
+
+TEST(IngestQueueTest, PauseHoldsConsumerUntilResumed) {
+  IngestQueue queue(4);
+  queue.SetPaused(true);
+  EXPECT_TRUE(queue.TryPush(MakePending(7)));
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    auto item = queue.PopBlocking();
+    EXPECT_TRUE(item.has_value());
+    EXPECT_EQ(item->seq, 7u);
+    popped.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(popped.load());  // paused: the item must not flow
+  queue.SetPaused(false);
+  consumer.join();
+  EXPECT_TRUE(popped.load());
+}
+
+// ---------------------------------------------------------------------------
+// Shared fixtures: a small timestamped universe
+// ---------------------------------------------------------------------------
+
+Dataset MakeServeTruth(int days, int per_day, uint64_t seed) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddContinuous("x", 0.0).ok());
+  EXPECT_TRUE(schema.AddCategorical("y").ok());
+  std::vector<std::string> objects;
+  std::vector<int64_t> timestamps;
+  for (int d = 0; d < days; ++d) {
+    for (int j = 0; j < per_day; ++j) {
+      objects.push_back("d" + std::to_string(d) + "_o" + std::to_string(j));
+      timestamps.push_back(d);
+    }
+  }
+  Dataset data(std::move(schema), std::move(objects), {});
+  for (const char* l : {"a", "b", "c", "d"}) data.mutable_dict(1).GetOrAdd(l);
+  Rng rng(seed);
+  ValueTable truth(data.num_objects(), 2);
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    truth.Set(i, 0, Value::Continuous(std::round(rng.Uniform(0, 100))));
+    truth.Set(i, 1, Value::Categorical(static_cast<CategoryId>(rng.UniformInt(0, 3))));
+  }
+  data.set_ground_truth(std::move(truth));
+  EXPECT_TRUE(data.set_timestamps(timestamps).ok());
+  return data;
+}
+
+Dataset MakeServeDataset(int days = 6, int per_day = 8, uint64_t seed = 99) {
+  NoiseOptions noise;
+  noise.gammas = {0.4, 0.8, 1.3, 1.8};
+  noise.seed = seed;
+  auto noisy = MakeNoisyDataset(MakeServeTruth(days, per_day, seed), noise);
+  EXPECT_TRUE(noisy.ok());
+  return std::move(noisy).ValueOrDie();
+}
+
+std::string ChunkCsv(const DataChunk& chunk) {
+  std::ostringstream out;
+  EXPECT_TRUE(WriteObservationsCsv(chunk.data, out).ok());
+  return out.str();
+}
+
+std::string IngestLine(uint64_t seq, const DataChunk& chunk) {
+  JsonWriter writer;
+  writer.AddString("cmd", "ingest");
+  writer.AddUint("seq", seq);
+  writer.AddInt("window_start", chunk.window_start);
+  writer.AddString("csv", ChunkCsv(chunk));
+  return std::move(writer).Finish();
+}
+
+JsonObject Reply(CrhServer* server, const std::string& line) {
+  auto parsed = ParseJsonObject(server->HandleRequestLine(line), 8u << 20);
+  EXPECT_TRUE(parsed.ok());
+  return parsed.ok() ? *parsed : JsonObject{};
+}
+
+/// Polls status until the server has solved `chunks` chunks (the ingest
+/// thread runs asynchronously behind the admission queue).
+void AwaitChunksSolved(CrhServer* server, uint64_t chunks) {
+  for (int i = 0; i < 2000; ++i) {
+    auto status = Reply(server, R"({"cmd":"status"})");
+    auto solved = status.GetUint("chunks_solved");
+    if (solved.ok() && *solved >= chunks) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  FAIL() << "server never reached " << chunks << " solved chunks";
+}
+
+std::string UniqueSocketPath(const char* tag) {
+  return testing::TempDir() + "crh_" + tag + "_" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+// ---------------------------------------------------------------------------
+// ChunkCodec: decoded chunks match SplitByWindow's shape exactly
+// ---------------------------------------------------------------------------
+
+TEST(ChunkCodecTest, RoundTripsSplitByWindowChunks) {
+  const Dataset data = MakeServeDataset();
+  auto chunks = SplitByWindow(data, 1);
+  ASSERT_TRUE(chunks.ok());
+  const ChunkCodec codec(data);
+  for (const DataChunk& expected : *chunks) {
+    auto decoded = codec.Decode(ChunkCsv(expected), expected.window_start,
+                                /*quarantine_bad_claims=*/false);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->window_start, expected.window_start);
+    ASSERT_EQ(decoded->parent_object, expected.parent_object);
+    ASSERT_EQ(decoded->data.num_objects(), expected.data.num_objects());
+    ASSERT_EQ(decoded->data.num_sources(), expected.data.num_sources());
+    for (size_t k = 0; k < expected.data.num_sources(); ++k) {
+      EXPECT_EQ(decoded->data.source_id(k), expected.data.source_id(k));
+      for (size_t i = 0; i < expected.data.num_objects(); ++i) {
+        for (size_t m = 0; m < expected.data.schema().num_properties(); ++m) {
+          EXPECT_EQ(decoded->data.observations(k).Get(i, m),
+                    expected.data.observations(k).Get(i, m))
+              << "cell (" << k << ", " << i << ", " << m << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(ChunkCodecTest, RejectsUnknownEntities) {
+  const Dataset data = MakeServeDataset();
+  const ChunkCodec codec(data);
+  EXPECT_FALSE(
+      codec.Decode("object_id,property,source_id,value\nghost,x,src0,1\n", 0, false)
+          .ok());
+  EXPECT_FALSE(
+      codec.Decode("object_id,property,source_id,value\nd0_o0,x,ghost,1\n", 0, false)
+          .ok());
+}
+
+TEST(ChunkCodecTest, UnknownLabelQuarantinesOrFails) {
+  const Dataset data = MakeServeDataset();
+  const ChunkCodec codec(data);
+  const std::string csv = "object_id,property,source_id,value\nd0_o0,y," +
+                          data.source_id(0) + ",zzz\n";
+  EXPECT_FALSE(codec.Decode(csv, 0, /*quarantine_bad_claims=*/false).ok());
+  auto quarantined = codec.Decode(csv, 0, /*quarantine_bad_claims=*/true);
+  ASSERT_TRUE(quarantined.ok());
+  const Value v = quarantined->data.observations(0).Get(0, 1);
+  ASSERT_TRUE(v.is_categorical());
+  EXPECT_EQ(v.category(), kInvalidCategory);
+}
+
+// ---------------------------------------------------------------------------
+// CrhServer request handling (no sockets: HandleRequestLine is the protocol
+// surface; the socket path adds only framing)
+// ---------------------------------------------------------------------------
+
+class ServeHandlerTest : public testing::Test {
+ protected:
+  void SetUp() override { FailPoints::Instance().ClearAll(); }
+  void TearDown() override { FailPoints::Instance().ClearAll(); }
+
+  /// Starts an in-process server over the given universe.
+  std::unique_ptr<CrhServer> StartServer(const Dataset& universe,
+                                         ServeOptions serve,
+                                         IncrementalCrhOptions options = {}) {
+    if (serve.socket_path.empty()) {
+      serve.socket_path = UniqueSocketPath("handler");
+    }
+    auto server = std::make_unique<CrhServer>(universe, options,
+                                              StreamResilienceOptions{}, serve);
+    EXPECT_TRUE(server->Start().ok());
+    return server;
+  }
+
+  void DrainAndWait(CrhServer* server) {
+    server->RequestDrain();
+    EXPECT_TRUE(server->Wait().ok());
+  }
+};
+
+TEST_F(ServeHandlerTest, PingAndErrors) {
+  const Dataset data = MakeServeDataset();
+  auto server = StartServer(data, {});
+  EXPECT_TRUE(Reply(server.get(), R"({"cmd":"ping"})").Find("ok")->bool_value);
+  EXPECT_EQ(*Reply(server.get(), R"({"cmd":"warp"})").GetString("error"),
+            "unknown_command");
+  EXPECT_EQ(*Reply(server.get(), "not json").GetString("error"), "bad_request");
+  EXPECT_EQ(*Reply(server.get(), R"({"seq":1})").GetString("error"), "bad_request");
+  DrainAndWait(server.get());
+}
+
+TEST_F(ServeHandlerTest, ServesEpochZeroBeforeAnyIngest) {
+  const Dataset data = MakeServeDataset();
+  auto server = StartServer(data, {});
+  auto status = Reply(server.get(), R"({"cmd":"status"})");
+  EXPECT_TRUE(status.Find("ok")->bool_value);
+  EXPECT_EQ(*status.GetUint("epoch"), 0u);
+  EXPECT_EQ(*status.GetUint("chunks_solved"), 0u);
+  auto truth =
+      Reply(server.get(), R"({"cmd":"truth","object":"d0_o0","property":"x"})");
+  EXPECT_TRUE(truth.Find("ok")->bool_value);
+  EXPECT_EQ(truth.Find("value")->kind, JsonValue::Kind::kNull);  // nothing solved
+  EXPECT_EQ(*Reply(server.get(),
+                   R"({"cmd":"truth","object":"ghost","property":"x"})")
+                 .GetString("error"),
+            "not_found");
+  EXPECT_EQ(*Reply(server.get(),
+                   R"({"cmd":"truth","object":"d0_o0","property":"ghost"})")
+                 .GetString("error"),
+            "not_found");
+  DrainAndWait(server.get());
+}
+
+TEST_F(ServeHandlerTest, IngestedStreamMatchesBatchDriverBitwise) {
+  const Dataset data = MakeServeDataset();
+  IncrementalCrhOptions options;
+  options.delta_solve = DeltaSolveMode::kDelta;
+
+  auto reference = RunIncrementalCrhResilient(data, options, {});
+  ASSERT_TRUE(reference.ok());
+
+  auto chunks = SplitByWindow(data, options.window_size);
+  ASSERT_TRUE(chunks.ok());
+  auto server = StartServer(data, {}, options);
+  for (size_t c = 0; c < chunks->size(); ++c) {
+    auto reply = Reply(server.get(), IngestLine(c, (*chunks)[c]));
+    EXPECT_TRUE(reply.Find("ok")->bool_value) << server->HandleRequestLine(
+        IngestLine(c, (*chunks)[c]));
+  }
+  AwaitChunksSolved(server.get(), chunks->size());
+
+  // The published snapshot equals the batch run bit for bit.
+  const auto snapshot = server->publisher().Current();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->source_weights, reference->source_weights);
+  EXPECT_EQ(snapshot->accumulated_deviations, reference->accumulated_deviations);
+  ASSERT_EQ(snapshot->truths.num_objects(), reference->truths.num_objects());
+  for (size_t i = 0; i < reference->truths.num_objects(); ++i) {
+    for (size_t m = 0; m < reference->truths.num_properties(); ++m) {
+      EXPECT_EQ(snapshot->truths.Get(i, m), reference->truths.Get(i, m));
+    }
+  }
+
+  // And the protocol's %.17g rendering of a continuous truth round-trips to
+  // the exact same double.
+  auto truth =
+      Reply(server.get(), R"({"cmd":"truth","object":"d0_o0","property":"x"})");
+  ASSERT_TRUE(truth.Find("ok")->bool_value);
+  ASSERT_FALSE(reference->truths.Get(0, 0).is_missing());
+  EXPECT_EQ(*truth.GetDouble("value"), reference->truths.Get(0, 0).continuous());
+  DrainAndWait(server.get());
+}
+
+TEST_F(ServeHandlerTest, SequenceContract) {
+  const Dataset data = MakeServeDataset();
+  auto chunks = SplitByWindow(data, 1);
+  ASSERT_TRUE(chunks.ok());
+  auto server = StartServer(data, {});
+
+  // Future sequence: rejected with the expected number.
+  auto ahead = Reply(server.get(), IngestLine(3, (*chunks)[0]));
+  EXPECT_FALSE(ahead.Find("ok")->bool_value);
+  EXPECT_EQ(*ahead.GetString("error"), "out_of_order");
+  EXPECT_EQ(*ahead.GetUint("expected"), 0u);
+
+  EXPECT_TRUE(Reply(server.get(), IngestLine(0, (*chunks)[0])).Find("ok")->bool_value);
+  // Re-sending an admitted sequence is acknowledged as a duplicate, not
+  // re-applied (at-least-once delivery converges).
+  auto dup = Reply(server.get(), IngestLine(0, (*chunks)[0]));
+  EXPECT_TRUE(dup.Find("ok")->bool_value);
+  EXPECT_TRUE(dup.Find("duplicate")->bool_value);
+  AwaitChunksSolved(server.get(), 1);
+  DrainAndWait(server.get());
+}
+
+TEST_F(ServeHandlerTest, OverloadShedsIngestWhileQueriesKeepAnswering) {
+  const Dataset data = MakeServeDataset();
+  auto chunks = SplitByWindow(data, 1);
+  ASSERT_TRUE(chunks.ok());
+  ASSERT_GE(chunks->size(), 4u);
+  ServeOptions serve;
+  serve.ingest_queue_capacity = 2;
+  serve.shed_retry_after_ms = 75;
+  auto server = StartServer(data, serve);
+
+  // Pause the consumer: deterministic overload, no timing races.
+  EXPECT_TRUE(Reply(server.get(), R"({"cmd":"pause_ingest"})").Find("ok")->bool_value);
+  EXPECT_TRUE(Reply(server.get(), IngestLine(0, (*chunks)[0])).Find("ok")->bool_value);
+  EXPECT_TRUE(Reply(server.get(), IngestLine(1, (*chunks)[1])).Find("ok")->bool_value);
+  auto shed = Reply(server.get(), IngestLine(2, (*chunks)[2]));
+  EXPECT_FALSE(shed.Find("ok")->bool_value);
+  EXPECT_EQ(*shed.GetString("error"), "overloaded");
+  EXPECT_EQ(*shed.GetUint("retry_after_ms"), 75u);
+
+  // Queries are untouched by ingest pressure: they answer from the last
+  // published epoch.
+  auto truth =
+      Reply(server.get(), R"({"cmd":"truth","object":"d0_o0","property":"x"})");
+  EXPECT_TRUE(truth.Find("ok")->bool_value);
+  EXPECT_EQ(*truth.GetUint("epoch"), 0u);
+  auto status = Reply(server.get(), R"({"cmd":"status"})");
+  EXPECT_EQ(*status.GetUint("shed"), 1u);
+  EXPECT_EQ(*status.GetUint("queue_depth"), 2u);
+  EXPECT_TRUE(status.Find("ingest_paused")->bool_value);
+
+  // The shed sequence was not consumed: after resuming, the retried chunk
+  // is admitted as the next in line.
+  EXPECT_TRUE(Reply(server.get(), R"({"cmd":"resume_ingest"})").Find("ok")->bool_value);
+  AwaitChunksSolved(server.get(), 2);
+  auto retry = Reply(server.get(), IngestLine(2, (*chunks)[2]));
+  EXPECT_TRUE(retry.Find("ok")->bool_value);
+  AwaitChunksSolved(server.get(), 3);
+  DrainAndWait(server.get());
+}
+
+TEST_F(ServeHandlerTest, DrainRejectsFurtherIngest) {
+  const Dataset data = MakeServeDataset();
+  auto chunks = SplitByWindow(data, 1);
+  ASSERT_TRUE(chunks.ok());
+  auto server = StartServer(data, {});
+  auto drain = Reply(server.get(), R"({"cmd":"drain"})");
+  EXPECT_TRUE(drain.Find("ok")->bool_value);
+  EXPECT_TRUE(drain.Find("draining")->bool_value);
+  EXPECT_EQ(*Reply(server.get(), IngestLine(0, (*chunks)[0])).GetString("error"),
+            "draining");
+  EXPECT_TRUE(server->Wait().ok());
+}
+
+TEST_F(ServeHandlerTest, SourceConfidenceIsNormalizedWeight) {
+  const Dataset data = MakeServeDataset();
+  auto chunks = SplitByWindow(data, 1);
+  ASSERT_TRUE(chunks.ok());
+  auto server = StartServer(data, {});
+  EXPECT_TRUE(Reply(server.get(), IngestLine(0, (*chunks)[0])).Find("ok")->bool_value);
+  AwaitChunksSolved(server.get(), 1);
+  auto weights = Reply(server.get(), R"({"cmd":"weights"})");
+  ASSERT_TRUE(weights.Find("ok")->bool_value);
+  auto source = Reply(server.get(),
+                      R"({"cmd":"source","source":")" + data.source_id(0) + "\"}");
+  ASSERT_TRUE(source.Find("ok")->bool_value);
+  const auto snapshot = server->publisher().Current();
+  ASSERT_NE(snapshot, nullptr);
+  double total = 0;
+  for (double w : snapshot->source_weights) total += w;
+  EXPECT_EQ(*source.GetDouble("weight"), snapshot->source_weights[0]);
+  EXPECT_EQ(*source.GetDouble("confidence"), snapshot->source_weights[0] / total);
+  DrainAndWait(server.get());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: readers racing epoch swaps (tsan-labeled binary)
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotRaceTest, ReadersAlwaysSeeOneConsistentEpoch) {
+  // The writer publishes snapshots whose every field is a pure function of
+  // the epoch; readers assert the invariant, so any torn publish (a reader
+  // observing fields from two epochs) fails.
+  constexpr uint64_t kEpochs = 2000;
+  constexpr int kReaders = 4;
+  SnapshotPublisher publisher;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&publisher, &done] {
+      uint64_t last_seen = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const auto snapshot = publisher.Current();
+        if (snapshot == nullptr) continue;
+        ASSERT_EQ(snapshot->chunks_solved, snapshot->epoch + 1);
+        ASSERT_EQ(snapshot->source_weights.size(), 3u);
+        for (const double w : snapshot->source_weights) {
+          ASSERT_EQ(w, static_cast<double>(snapshot->epoch));
+        }
+        // Epochs are monotone for any single reader.
+        ASSERT_GE(snapshot->epoch, last_seen);
+        last_seen = snapshot->epoch;
+      }
+    });
+  }
+  for (uint64_t e = 0; e < kEpochs; ++e) {
+    auto snapshot = std::make_shared<ServeSnapshot>();
+    snapshot->epoch = e;
+    snapshot->chunks_solved = e + 1;
+    snapshot->source_weights.assign(3, static_cast<double>(e));
+    publisher.Publish(std::move(snapshot));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  const auto last = publisher.Current();
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->epoch, kEpochs - 1);
+}
+
+TEST(SnapshotRaceTest, QueriesRaceLiveIngestWithoutTearing) {
+  // Four query threads hammer the full request path while the ingest thread
+  // applies chunks and publishes epochs. Under tsan this proves the
+  // publish/read pair is race-free end to end; everywhere it proves no
+  // reader ever blocks on or observes a half-applied solve.
+  const Dataset data = MakeServeDataset(8, 6, 7);
+  auto chunks = SplitByWindow(data, 1);
+  ASSERT_TRUE(chunks.ok());
+  ServeOptions serve;
+  serve.socket_path = UniqueSocketPath("race");
+  CrhServer server(data, {}, StreamResilienceOptions{}, serve);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&server, &done, &data] {
+      uint64_t last_epoch = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        auto status = ParseJsonObject(
+            server.HandleRequestLine(R"({"cmd":"status"})"), 1u << 20);
+        ASSERT_TRUE(status.ok());
+        const uint64_t epoch = *status->GetUint("epoch");
+        ASSERT_GE(epoch, last_epoch);
+        last_epoch = epoch;
+        auto truth = ParseJsonObject(
+            server.HandleRequestLine(
+                R"({"cmd":"truth","object":"d0_o0","property":"x"})"),
+            1u << 20);
+        ASSERT_TRUE(truth.ok());
+        ASSERT_TRUE(truth->Find("ok")->bool_value);
+        auto weights = ParseJsonObject(
+            server.HandleRequestLine(R"({"cmd":"weights"})"), 1u << 20);
+        ASSERT_TRUE(weights.ok());
+        ASSERT_EQ(weights->Find("weights")->kind, JsonValue::Kind::kArray);
+        ASSERT_EQ(weights->Find("weights")->items.size(), data.num_sources());
+      }
+    });
+  }
+  for (size_t c = 0; c < chunks->size(); ++c) {
+    auto reply = ParseJsonObject(
+        server.HandleRequestLine(IngestLine(c, (*chunks)[c])), 8u << 20);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_TRUE(reply->Find("ok")->bool_value);
+  }
+  AwaitChunksSolved(&server, chunks->size());
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  server.RequestDrain();
+  EXPECT_TRUE(server.Wait().ok());
+}
+
+}  // namespace
+}  // namespace crh
