@@ -1,0 +1,149 @@
+/// \file protocol_fuzz.cc
+/// Fuzz harness for the wire-protocol JSON parser (serve/protocol.h).
+///
+/// Properties enforced on every input:
+///  * ParseJsonObject never crashes, hangs, over-allocates, or trips a
+///    sanitizer — arbitrary bytes come back as a clean Status, and the
+///    structural caps (kMaxProtocolFields / kMaxProtocolArrayItems /
+///    kMaxProtocolStringBytes) bound every container the parse grows.
+///  * The typed getters agree with the parsed kinds: GetString succeeds
+///    exactly on kString fields, GetInt on kInt, GetUint on non-negative
+///    kInt, and none of them crash on any accepted object.
+///  * Every representable field survives a JsonWriter round-trip: re-emit,
+///    reparse, and compare — bitwise for doubles (the %.17g contract the
+///    serving chaos suite leans on). A double whose shortest form prints
+///    as pure digits legally reparses as kInt; the comparison goes through
+///    GetDouble, which accepts both kinds, so the value still must match
+///    bit for bit.
+///
+/// The committed corpus (fuzz/corpus/protocol) holds real request/reply
+/// lines plus malformed and over-limit variants; regenerate it with
+/// scripts/make_protocol_corpus.py.
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "serve/protocol.h"
+
+namespace {
+
+using crh::JsonValue;
+
+bool AllNumeric(const JsonValue& value) {
+  for (const JsonValue& item : value.items) {
+    if (item.kind != JsonValue::Kind::kInt &&
+        item.kind != JsonValue::Kind::kDouble) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool AllStrings(const JsonValue& value) {
+  for (const JsonValue& item : value.items) {
+    if (item.kind != JsonValue::Kind::kString) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto parsed = crh::ParseJsonObject(text, size_t{1} << 20);
+  if (!parsed.ok()) return 0;
+
+  // Re-emit everything the writer can express; arrays holding bools,
+  // nulls, or mixed scalar kinds parse fine but have no writer method, so
+  // they are skipped (and accounted for below).
+  crh::JsonWriter writer;
+  size_t emitted = 0;
+  for (const auto& [key, value] : parsed->fields) {
+    CRH_CHECK_EQ(parsed->GetString(key).ok(),
+                 value.kind == JsonValue::Kind::kString);
+    CRH_CHECK_EQ(parsed->GetInt(key).ok(), value.kind == JsonValue::Kind::kInt);
+    CRH_CHECK_EQ(parsed->GetUint(key).ok(),
+                 value.kind == JsonValue::Kind::kInt && value.int_value >= 0);
+    CRH_CHECK_EQ(parsed->GetDouble(key).ok(),
+                 value.kind == JsonValue::Kind::kInt ||
+                     value.kind == JsonValue::Kind::kDouble);
+    switch (value.kind) {
+      case JsonValue::Kind::kNull:
+        writer.AddNull(key);
+        ++emitted;
+        break;
+      case JsonValue::Kind::kBool:
+        writer.AddBool(key, value.bool_value);
+        ++emitted;
+        break;
+      case JsonValue::Kind::kInt:
+        writer.AddInt(key, value.int_value);
+        ++emitted;
+        break;
+      case JsonValue::Kind::kDouble:
+        writer.AddDouble(key, value.double_value);
+        ++emitted;
+        break;
+      case JsonValue::Kind::kString:
+        writer.AddString(key, value.string_value);
+        ++emitted;
+        break;
+      case JsonValue::Kind::kArray:
+        if (AllNumeric(value)) {
+          writer.AddDoubleArray(key, *parsed->GetDoubleArray(key));
+          ++emitted;
+        } else if (AllStrings(value)) {
+          writer.AddStringArray(key, *parsed->GetStringArray(key));
+          ++emitted;
+        }
+        break;
+    }
+  }
+
+  // %.17g can stretch a terse input ("1e300") to its full 17-digit form,
+  // so the reparse budget is the emitted line itself, not the input size.
+  const std::string line = std::move(writer).Finish();
+  auto reparsed = crh::ParseJsonObject(line, line.size());
+  CRH_CHECK_MSG(reparsed.ok(), "writer output must reparse");
+  CRH_CHECK_EQ(reparsed->fields.size(), emitted);
+
+  for (const auto& [key, value] : parsed->fields) {
+    const JsonValue* back = reparsed->Find(key);
+    switch (value.kind) {
+      case JsonValue::Kind::kNull:
+        CRH_CHECK(back != nullptr && back->kind == JsonValue::Kind::kNull);
+        break;
+      case JsonValue::Kind::kBool:
+        CRH_CHECK(back != nullptr && back->kind == JsonValue::Kind::kBool);
+        CRH_CHECK_EQ(back->bool_value, value.bool_value);
+        break;
+      case JsonValue::Kind::kInt:
+        CRH_CHECK_EQ(*reparsed->GetInt(key), value.int_value);
+        break;
+      case JsonValue::Kind::kDouble:
+        // Bitwise: covers -0.0 (signbit preserved) and every finite double.
+        CRH_CHECK_EQ(*reparsed->GetDouble(key), value.double_value);
+        CRH_CHECK_EQ(std::signbit(*reparsed->GetDouble(key)),
+                     std::signbit(value.double_value));
+        break;
+      case JsonValue::Kind::kString:
+        CRH_CHECK(*reparsed->GetString(key) == value.string_value);
+        break;
+      case JsonValue::Kind::kArray:
+        if (AllNumeric(value)) {
+          CRH_CHECK(*reparsed->GetDoubleArray(key) ==
+                    *parsed->GetDoubleArray(key));
+        } else if (AllStrings(value)) {
+          CRH_CHECK(*reparsed->GetStringArray(key) ==
+                    *parsed->GetStringArray(key));
+        }
+        break;
+    }
+  }
+  return 0;
+}

@@ -3,9 +3,9 @@
 
 Where scripts/lint.py and scripts/ast_lint.py judge one line or one file at
 a time, this analyzer ingests compile_commands.json, builds a program model
-(function table + call graph) across every translation unit, and runs four
-interprocedural checks that the repo's bit-identity and crash-recovery
-guarantees depend on:
+(function table + call graph) across every translation unit, and runs nine
+interprocedural checks. Four guard the repo's bit-identity and
+crash-recovery guarantees:
 
   determinism-taint     Values derived from wall-clock time (`::now(`,
                         `time(`, `clock_gettime`), unseeded RNG (`rand(`,
@@ -38,6 +38,43 @@ guarantees depend on:
                         `*FailPointSites()` registry so fault-sweep tests
                         cover it. Writes to stderr/stdout are exempt
                         (crash reporting must not fault-inject).
+
+two reason about the serving daemon's attack surface (PR 9 turned the
+batch CLI into a socket server, so bytes now arrive from outside the
+process):
+
+  taint                 Byte-derived values are untrusted at their source
+                        — socket reads and protocol/chunk field decodes in
+                        src/serve (recv, ParseJsonObject, the JsonObject
+                        getters, ChunkCodec::Decode), CSV fields in
+                        src/data (SplitCsvLine, strtod/strtoll), and
+                        checkpoint payload reads in src/stream
+                        (DecodeCheckpoint, Cursor::Read*). Taint
+                        propagates through assignments and the cross-TU
+                        call graph (a function returning an unsanitized
+                        tainted value taints its callers' results) into
+                        sinks: allocation sizes (resize/reserve/new[]),
+                        container indexing and `.data() + offset`
+                        arithmetic, memcpy/memmove/memset lengths, and
+                        for-loop bounds. Every source→sink path must
+                        dominate through a sanitizer first: an `if`/
+                        CRH_CHECK/CRH_VERIFY_OR_RETURN range comparison
+                        naming the tainted value on an earlier (or the
+                        same) line, or the CRH_SANITIZED(expr, "why")
+                        escape hatch (src/common/taint.h). CRH_SANITIZED
+                        wrapping a value the analyzer does not track as
+                        tainted is itself a finding — the escape hatch
+                        may only bless real untrusted data.
+  snapshot-lifetime     No raw pointer, reference, or view derived from an
+                        epoch ServeSnapshot (src/serve/snapshot.h) may
+                        escape the scope of the owning shared_ptr: a
+                        view-returning function must not return
+                        `snap->...`/`snap.get()`, members must not store
+                        addresses derived from a snapshot, and lambdas
+                        must not capture a snapshot variable by
+                        reference. Copying values out, returning the
+                        shared_ptr itself, and by-value captures stay
+                        legal — they pin or outlive the epoch swap.
 
 plus three architecture-conformance checks (the layer contract lives in
 scripts/arch_layers.json; see docs/DESIGN.md for the diagram):
@@ -85,7 +122,7 @@ counts; a misbehaving libclang degrades loudly to the tokenizer.
 Usage: scripts/crh_analyzer.py [--compile-commands PATH] [--self-test]
          [--backend=auto|libclang|token] [--check=LIST] [--graph]
          [--graph-svg OUT.svg] [--sarif OUT.sarif] [--stats]
-         [--update-baseline] [--no-baseline] [paths...]
+         [--budget JSON] [--update-baseline] [--no-baseline] [paths...]
 """
 
 from __future__ import annotations
@@ -126,6 +163,7 @@ PRIMITIVE_FILES = {
     "src/common/determinism.h",
     "src/common/hot.h",
     "src/common/global_state.h",
+    "src/common/taint.h",
 }
 
 RULE_DOCS = {
@@ -137,6 +175,13 @@ RULE_DOCS = {
                   "fail-point/callback boundary",
     "failpoint-dominance": "raw I/O call not dominated by a registered "
                            "fail point, or fail-point site not registered",
+    "taint": "untrusted byte-derived value reaches an allocation size, "
+             "index, copy length, or loop bound without a dominating "
+             "bounds check (or CRH_SANITIZED is misused on trusted data)",
+    "snapshot-lifetime": "raw pointer/view derived from an epoch "
+                         "ServeSnapshot escapes the owning shared_ptr's "
+                         "scope (returned, stored in a member, or "
+                         "captured by reference)",
     "arch": "include or call edge violates the committed layer DAG "
             "(scripts/arch_layers.json), or a private header leaks",
     "global-state": "mutable global/static state in a library layer "
@@ -255,6 +300,100 @@ HOT_VIOLATION_RES = [
      "calls std::stable_sort (allocates)"),
 ]
 
+# --- taint (untrusted input) configuration ---------------------------------
+# Where externally-supplied bytes enter: the serving socket + protocol, the
+# CSV reader, and the checkpoint loader.
+UNTRUSTED_SCOPED_DIRS = ("src/serve/", "src/stream/", "src/data/")
+# Seed set of functions whose return value is untrusted (grown by a
+# fixpoint: any scoped function returning an unsanitized tainted value
+# joins it, so taint crosses TU boundaries through the call graph).
+UNTRUSTED_RETURNING = {
+    # raw socket ingress + C numeric parsing of external text
+    "recv", "recvmsg", "strtoll", "strtoull", "strtod",
+    # wire-protocol field decodes (serve/protocol.h)
+    "ParseJsonObject", "Find", "GetString", "GetInt", "GetUint",
+    "GetDouble", "GetDoubleArray", "GetStringArray",
+    # CSV fields (data/csv.h) and chunk/checkpoint payloads
+    "ReadObservationsCsv", "SplitCsvLine", "Decode", "DecodeCheckpoint",
+}
+# Checkpoint/payload cursor reads taint their out-parameter:
+# `cursor.ReadU64(&count)` makes `count` untrusted.
+UNTRUSTED_OUTPARAM_RE = re.compile(
+    r"\bRead(?:U8|U16|U32|U64|I8|I16|I32|I64|F32|F64|Varint)\w*"
+    r"\s*\(\s*&\s*([\w.]*\w)")
+# `var = ...Callee(...)`: taints `var` when Callee is untrusted-returning.
+UNTRUSTED_ASSIGN_RE = re.compile(r"\b([A-Za-z_]\w*)\s*=(?![=])")
+UNTRUSTED_CALLEE_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+# Sanitizers: a range comparison naming the tainted value on an `if` or a
+# CRH_CHECK/CRH_VERIFY_OR_RETURN line, or the CRH_SANITIZED escape hatch.
+# (`for`/`while` conditions are deliberately not sanitizers: a tainted
+# loop bound is the hazard, not the defense.)
+UNTRUSTED_GUARD_MACRO_RE = re.compile(
+    r"\bCRH_(?:CHECK|DCHECK|VERIFY_OR_RETURN|SANITIZED)\w*\s*\(")
+UNTRUSTED_IF_RE = re.compile(r"\bif\s*\(")
+RELATIONAL_RE = re.compile(r"[<>]=?|==|!=")
+SANITIZED_ARGS_RE = re.compile(r"\bCRH_SANITIZED\s*\(([^;]*)")
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+# Sinks: (description, regex whose group(1) holds the controlled operand,
+# last_arg_only). For memcpy/memmove/memset and two-arg append/assign only
+# the final top-level argument is the length — a tainted *source* operand
+# is not a sink. The for-loop pattern captures the full middle condition
+# field — `->` in the bound expression must not let backtracking truncate
+# it.
+UNTRUSTED_SINK_RES = [
+    ("an allocation size",
+     re.compile(r"(?:\.|->)\s*(?:resize|reserve)\s*\(([^;]*)"), False),
+    ("an array-new size",
+     re.compile(r"\bnew\s+[\w:]+(?:\s*<[^;\[]*>)?\s*\[([^\]]*)\]"), False),
+    ("a raw copy length",
+     re.compile(r"\b(?:memcpy|memmove|memset)\s*\(([^;]*)"), True),
+    ("a buffer length argument",
+     re.compile(r"(?:\.|->)\s*(?:append|assign)\s*\(([^;]*,[^;]*)"), True),
+    ("a container index",
+     re.compile(r"[\w\])]\s*\[([^\]]+)\]"), False),
+    ("pointer arithmetic off .data()",
+     re.compile(r"(?:\.|->)\s*data\s*\(\s*\)\s*\+\s*([^;,)]*)"), False),
+    ("a loop bound",
+     re.compile(r"\bfor\s*\([^;]*;([^;]*[<>][^;]*);"), False),
+]
+UNTRUSTED_RETURN_RE = re.compile(r"^\s*(?:co_)?return\b(.*)")
+
+
+def last_call_arg(argtext: str) -> str:
+    """Given the text following a call's `(`, returns its final top-level
+    argument (stopping at the call's own closing paren): the length
+    operand of memcpy/memmove/memset and append/assign."""
+    depth = 0
+    last_start = 0
+    end = len(argtext)
+    for i, ch in enumerate(argtext):
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            if depth == 0:
+                end = i
+                break
+            depth -= 1
+        elif ch == "," and depth == 0:
+            last_start = i + 1
+    return argtext[last_start:end]
+
+# --- snapshot-lifetime configuration ---------------------------------------
+SNAPSHOT_SCOPED_DIRS = ("src/serve/",)
+# A snapshot handle: a shared_ptr<const ServeSnapshot> declaration (local
+# or single-line-signature parameter) or an assignment from `.Current()`.
+# The atomic member `std::atomic<std::shared_ptr<...>> current_` does NOT
+# match: its `>>` never precedes an identifier.
+SNAPSHOT_DECL_RE = re.compile(
+    r"shared_ptr\s*<\s*(?:const\s+)?(?:crh::)?ServeSnapshot\s*>"
+    r"\s*&?\s+(\w+)\b")
+SNAPSHOT_CURRENT_RE = re.compile(
+    r"\b(\w+)\s*=\s*[^;=]*\.\s*Current\s*\(\s*\)")
+# A function whose declared return type is a pointer/reference/view.
+SNAPSHOT_VIEW_RETURN_RE = re.compile(
+    r"[*&]|\bstring_view\b|\b[Ss]pan\b")
+SNAPSHOT_MEMBER_STORE_RE = re.compile(r"\b\w+_\s*=(?![=])")
+
 CONTROL_KEYWORDS = {
     "if", "for", "while", "switch", "catch", "return", "sizeof", "do",
     "else", "new", "delete", "throw", "co_return", "co_await", "alignof",
@@ -307,6 +446,17 @@ class FunctionModel:
         self.registered_sites: set[str] = set()
         self.hot = False  # carries the CRH_HOT annotation
         self.hot_violations: list[tuple[int, str]] = []  # (line, what)
+        # Untrusted-input taint events (the `taint` check).
+        self.ut_sources: list[tuple[int, str, str]] = []  # (line, var, desc)
+        self.ut_assigns: list[tuple[int, str, str]] = []  # (line, var, callee)
+        self.ut_guards: list[tuple[int, frozenset]] = []  # (line, idents)
+        self.ut_sinks: list[tuple[int, str, frozenset]] = []
+        self.ut_returns: list[tuple[int, frozenset]] = []
+        self.ut_sanitized: list[tuple[int, frozenset]] = []
+        # Signature text (start..open lines, set by model_file) and escapes
+        # of epoch-snapshot-derived views (the `snapshot-lifetime` check).
+        self.head = ""
+        self.snap_escapes: list[tuple[int, str]] = []  # (line, what)
 
     def __repr__(self) -> str:  # debugging aid
         return f"<fn {self.qual_name} {self.rel}:{self.start_line}>"
@@ -573,6 +723,36 @@ def extract_body(fn: FunctionModel, clean_lines: list[str],
                 if pattern.search(line):
                     fn.hot_violations.append((lineno, desc))
 
+        # Untrusted-input taint events. Sources/assigns/sinks feed the
+        # per-function dataflow in untrusted_taint_state; guards are always
+        # recorded (they only ever suppress findings).
+        line_idents = frozenset(IDENT_RE.findall(line))
+        if UNTRUSTED_GUARD_MACRO_RE.search(line) or (
+                UNTRUSTED_IF_RE.search(line) and RELATIONAL_RE.search(line)):
+            fn.ut_guards.append((lineno, line_idents))
+        if "taint" not in allow:
+            for m in UNTRUSTED_OUTPARAM_RE.finditer(line):
+                fn.ut_sources.append(
+                    (lineno, m.group(1).split(".")[-1],
+                     "decoded from untrusted payload bytes"))
+            for m in UNTRUSTED_ASSIGN_RE.finditer(line):
+                rhs = line[m.end():].split(";", 1)[0]
+                for cm in UNTRUSTED_CALLEE_RE.finditer(rhs):
+                    fn.ut_assigns.append((lineno, m.group(1), cm.group(1)))
+            for m in SANITIZED_ARGS_RE.finditer(line):
+                fn.ut_sanitized.append(
+                    (lineno, frozenset(IDENT_RE.findall(m.group(1)))))
+            for desc, pattern, last_arg_only in UNTRUSTED_SINK_RES:
+                for m in pattern.finditer(line):
+                    operand = last_call_arg(m.group(1)) if last_arg_only \
+                        else m.group(1)
+                    fn.ut_sinks.append(
+                        (lineno, desc, frozenset(IDENT_RE.findall(operand))))
+            m = UNTRUSTED_RETURN_RE.match(line)
+            if m:
+                fn.ut_returns.append(
+                    (lineno, frozenset(IDENT_RE.findall(m.group(1)))))
+
         # Fail points (site literal must come from the raw line: the
         # cleaned text blanks string contents).
         if FAIL_POINT_CALL_RE.search(line):
@@ -656,6 +836,69 @@ def extract_body(fn: FunctionModel, clean_lines: list[str],
                 scoped_locks = [(d, n) for (d, n) in scoped_locks if d < depth]
 
 
+def scan_snapshot_escapes(fn: FunctionModel, clean_lines: list[str],
+                          raw_lines: list[str]) -> None:
+    """Populates fn.snap_escapes: uses of an epoch-snapshot handle that
+    outlive the owning shared_ptr's scope. Pass 1 finds the handles
+    (declarations and `.Current()` assignments, signature lines included);
+    pass 2 finds escapes: a view-returning function returning through the
+    handle, a member assignment storing an address derived from it, or a
+    by-reference lambda capture on a line that names it."""
+    handles: set[str] = set()
+    for lineno in range(fn.start_line, fn.end_line + 1):
+        if lineno - 1 >= len(clean_lines):
+            break
+        line = clean_lines[lineno - 1]
+        for m in SNAPSHOT_DECL_RE.finditer(line):
+            handles.add(m.group(1))
+        for m in SNAPSHOT_CURRENT_RE.finditer(line):
+            handles.add(m.group(1))
+    if not handles:
+        return
+    alt = "|".join(sorted(handles))
+    # `snap->...` or `snap.get()`: a raw view through the handle.
+    deref_re = re.compile(
+        r"\b(?:%s)\s*(?:->|\.\s*get\s*\()" % alt)
+    # An address derived from the handle: `&...snap`, `snap.get()`, or a
+    # `data()/c_str()/begin()` view reached through it. `&&` is logical,
+    # not address-of.
+    addr_re = re.compile(
+        r"(?<![&\w])&\s*[\w.\[\]()>-]*\b(?:%s)\b" % alt
+        + r"|\b(?:%s)\s*\.\s*get\s*\(" % alt
+        + r"|\b(?:%s)\s*->[\w.>\[\]()\s-]*?\b(?:data|c_str|begin)\s*\("
+        % alt)
+    lambda_ref_re = re.compile(r"\[\s*&[^\]]*\]\s*[({]")
+    mention_re = re.compile(r"\b(?:%s)\b" % alt)
+    returns_view = bool(
+        SNAPSHOT_VIEW_RETURN_RE.search(fn.head.split("(", 1)[0]))
+    for lineno in range(fn.start_line, fn.end_line + 1):
+        if lineno - 1 >= len(clean_lines):
+            break
+        line = clean_lines[lineno - 1]
+        raw_line = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+        if "snapshot-lifetime" in ALLOW_RE.findall(raw_line):
+            continue
+        if returns_view and UNTRUSTED_RETURN_RE.match(line) \
+                and deref_re.search(line):
+            fn.snap_escapes.append(
+                (lineno, "returns a pointer/reference/view derived from "
+                         "an epoch snapshot handle; the owning shared_ptr "
+                         "dies with this scope and the next Publish() "
+                         "frees the snapshot under the caller"))
+        if SNAPSHOT_MEMBER_STORE_RE.search(line) and addr_re.search(line):
+            fn.snap_escapes.append(
+                (lineno, "stores an address derived from an epoch snapshot "
+                         "handle into a member that outlives the handle's "
+                         "scope; store the shared_ptr itself (pinning the "
+                         "epoch) or copy the value out"))
+        if lambda_ref_re.search(line) and mention_re.search(line):
+            fn.snap_escapes.append(
+                (lineno, "captures an epoch snapshot handle by reference "
+                         "in a lambda; if the callback outlives the scope "
+                         "it reads a freed snapshot — capture the "
+                         "shared_ptr by value instead"))
+
+
 class ProgramModel:
     def __init__(self):
         self.functions: list[FunctionModel] = []
@@ -734,8 +977,11 @@ def model_file(model: ProgramModel, path: pathlib.Path,
         qual, name, start, end = span[:4]
         open_line = span[4] if len(span) > 4 else None
         fn = FunctionModel(qual, name, rel, start, end, open_line)
+        fn.head = " ".join(
+            ln.strip() for ln in clean_lines[fn.start_line - 1:fn.open_line])
         extract_body(fn, clean_lines, raw_lines, unordered_names,
                      function_objs)
+        scan_snapshot_escapes(fn, clean_lines, raw_lines)
         model.add(fn)
 
         # Mutable function-local statics (singletons). The enclosing
@@ -906,7 +1152,7 @@ def call_paths_to(model: ProgramModel, target: FunctionModel,
 
 
 # ---------------------------------------------------------------------------
-# The four checks.
+# The checks.
 
 
 def check_determinism_taint(model: ProgramModel,
@@ -1320,11 +1566,111 @@ def trace_hot_chain(model: ProgramModel, start: FunctionModel,
     return chain, cur
 
 
+def untrusted_taint_state(fn: FunctionModel, names: set[str]):
+    """Flow-sensitive (line-ordered) taint for one function body, given the
+    current set of untrusted-returning function names. Returns
+    (tainted: var -> (source line, description),
+     bad_sinks: [(sink line, kind, var, source line, description)],
+     returns_tainted: bool)."""
+    tainted: dict[str, tuple[int, str]] = {}
+    for line, var, desc in fn.ut_sources:
+        if var not in tainted or line < tainted[var][0]:
+            tainted[var] = (line, desc)
+    for line, var, callee in fn.ut_assigns:
+        if callee in names and (var not in tainted or line < tainted[var][0]):
+            tainted[var] = (line, f"untrusted bytes via {callee}()")
+    if not tainted:
+        return tainted, [], False
+
+    guard_lines: dict[str, list[int]] = {v: [] for v in tainted}
+    for gline, idents in fn.ut_guards:
+        for v in tainted:
+            if v in idents:
+                guard_lines[v].append(gline)
+
+    def sanitized(var: str, use_line: int) -> bool:
+        src = tainted[var][0]
+        return any(src <= g <= use_line for g in guard_lines[var])
+
+    bad_sinks: list[tuple[int, str, str, int, str]] = []
+    for sline, kind, idents in fn.ut_sinks:
+        for var in sorted(idents & tainted.keys()):
+            src, desc = tainted[var]
+            if sline >= src and not sanitized(var, sline):
+                bad_sinks.append((sline, kind, var, src, desc))
+                break  # one finding per sink site
+    returns_tainted = any(
+        var in idents and rline >= tainted[var][0]
+        and not sanitized(var, rline)
+        for rline, idents in fn.ut_returns for var in tainted)
+    return tainted, bad_sinks, returns_tainted
+
+
+def check_untrusted_taint(model: ProgramModel,
+                          findings: list[Finding]) -> None:
+    scoped = [fn for fn in model.functions
+              if fn.rel.startswith(UNTRUSTED_SCOPED_DIRS)
+              and fn.rel not in PRIMITIVE_FILES]
+    # Interprocedural fixpoint: a scoped function that returns a tainted
+    # value without sanitizing it taints every `x = Fn(...)` assignment
+    # from its callers, across TUs.
+    names = set(UNTRUSTED_RETURNING)
+    changed = True
+    while changed:
+        changed = False
+        for fn in scoped:
+            if fn.name in names:
+                continue
+            if untrusted_taint_state(fn, names)[2]:
+                names.add(fn.name)
+                changed = True
+
+    for fn in model.functions:
+        if fn.rel in PRIMITIVE_FILES:
+            continue
+        in_scope = fn.rel.startswith(UNTRUSTED_SCOPED_DIRS)
+        tainted, bad_sinks, _ = untrusted_taint_state(fn, names)
+        if in_scope:
+            for sline, kind, var, src, desc in bad_sinks:
+                findings.append(Finding(
+                    fn.rel, sline, "taint",
+                    f"`{var}` ({desc}, line {src}) reaches {kind} in "
+                    f"{fn.qual_name} without a dominating bounds check; "
+                    "guard it with an if/CRH_CHECK/CRH_VERIFY_OR_RETURN "
+                    "range comparison first, or wrap the use in "
+                    "CRH_SANITIZED(expr, \"why\") (src/common/taint.h)"))
+        # CRH_SANITIZED misuse is flagged everywhere: the escape hatch may
+        # only bless values the analyzer tracks as untrusted.
+        for sline, idents in fn.ut_sanitized:
+            if not (idents & tainted.keys()):
+                findings.append(Finding(
+                    fn.rel, sline, "taint",
+                    f"CRH_SANITIZED in {fn.qual_name} wraps a value the "
+                    "analyzer does not track as untrusted; the escape "
+                    "hatch exists to bless a real source->sink path — "
+                    "remove it, or name the tainted variable in the "
+                    "wrapped expression"))
+
+
+def check_snapshot_lifetime(model: ProgramModel,
+                            findings: list[Finding]) -> None:
+    for fn in model.functions:
+        if not fn.rel.startswith(SNAPSHOT_SCOPED_DIRS) or \
+                fn.rel in PRIMITIVE_FILES:
+            continue
+        for lineno, what in fn.snap_escapes:
+            findings.append(Finding(
+                fn.rel, lineno, "snapshot-lifetime",
+                f"{fn.qual_name} {what}"))
+
+
 ALL_CHECKS = {
     "determinism-taint": check_determinism_taint,
     "status-path": check_status_paths,
     "lock-order": check_lock_order,
     "failpoint-dominance": check_failpoint_dominance,
+    "taint": check_untrusted_taint,
+    "snapshot-lifetime": check_snapshot_lifetime,
     "arch": check_arch,
     "global-state": check_global_state,
     "hot": check_hot,
@@ -1808,6 +2154,158 @@ CRH_HOT double HotGatherArena(const double* xs, size_t n, MiniArena* arena) {
 }
 }
 """,
+    # --- taint: a checkpoint count decoded from payload bytes sizes an
+    # allocation unguarded (positive) vs the remaining-bytes guard and a
+    # justified CRH_SANITIZED (negative).
+    "src/stream/ut_taint_pos.cc": """
+namespace crh {
+Status LoadFrame(Cursor& cursor, std::vector<double>* out) {
+  uint64_t count = 0;
+  CRH_RETURN_NOT_OK(cursor.ReadU64(&count));
+  out->resize(count);
+  return OkStatus();
+}
+}
+""",
+    "src/stream/ut_taint_neg.cc": """
+namespace crh {
+Status LoadFrameGuarded(Cursor& cursor, std::vector<double>* out) {
+  uint64_t count = 0;
+  CRH_RETURN_NOT_OK(cursor.ReadU64(&count));
+  if (count > cursor.remaining() / 8) return Truncated("count");
+  out->resize(count);
+  return OkStatus();
+}
+Status LoadFrameSanitized(Cursor& cursor, std::vector<double>* out) {
+  uint64_t n = 0;
+  CRH_RETURN_NOT_OK(cursor.ReadU64(&n));
+  out->resize(CRH_SANITIZED(n, "frame replayed from a CRC-verified image"));
+  return OkStatus();
+}
+}
+""",
+    # --- taint, interprocedural: a helper returns a decoded length
+    # unsanitized, so its caller's allocation in another TU fires
+    # (positive); the checked twin sanitizes before returning, killing the
+    # propagation (negative).
+    "src/serve/ut_flow_pos.cc": """
+namespace crh {
+uint64_t DecodeLen(Cursor& cursor) {
+  uint64_t len = 0;
+  (void)cursor.ReadU64(&len);
+  return len;
+}
+}
+""",
+    "src/serve/ut_flow_caller_pos.cc": """
+namespace crh {
+void BuildReply(Cursor& cursor, std::string* out) {
+  const uint64_t n = DecodeLen(cursor);
+  out->reserve(n);
+}
+}
+""",
+    "src/serve/ut_flow_neg.cc": """
+namespace crh {
+uint64_t DecodeLenChecked(Cursor& cursor) {
+  uint64_t len = 0;
+  (void)cursor.ReadU64(&len);
+  if (len > kMaxFrameBytes) return 0;
+  return len;
+}
+void BuildReplyChecked(Cursor& cursor, std::string* out) {
+  const uint64_t n = DecodeLenChecked(cursor);
+  out->reserve(n);
+}
+}
+""",
+    # --- taint, protocol surface: a JSON field drives a loop bound and an
+    # index unguarded (positive) vs a size comparison first (negative).
+    "src/serve/ut_proto_pos.cc": """
+namespace crh {
+std::string DumpWeights(const JsonObject& request,
+                        const std::vector<double>& weights) {
+  auto count = request.GetUint("count");
+  std::string out;
+  for (size_t i = 0; i < *count; ++i) {
+    out += std::to_string(weights[i]);
+  }
+  return out;
+}
+}
+""",
+    "src/serve/ut_proto_neg.cc": """
+namespace crh {
+std::string DumpWeightsChecked(const JsonObject& request,
+                               const std::vector<double>& weights) {
+  auto count = request.GetUint("count");
+  if (*count > weights.size()) return std::string();
+  std::string out;
+  for (size_t i = 0; i < *count; ++i) {
+    out += std::to_string(weights[i]);
+  }
+  return out;
+}
+}
+""",
+    # --- taint, escape-hatch misuse: CRH_SANITIZED on a value the
+    # analyzer never tainted must itself be a finding (the legitimate use
+    # lives in ut_taint_neg.cc above).
+    "src/serve/ut_sanitized_misuse_pos.cc": """
+namespace crh {
+size_t StampLimit(size_t configured_cap) {
+  return CRH_SANITIZED(configured_cap, "cap comes from trusted config");
+}
+}
+""",
+    # --- snapshot-lifetime: a view return, a member-stored raw pointer,
+    # and a by-reference lambda capture all outlive the owning shared_ptr
+    # (positive) vs value copies, pinning, and by-value capture (negative).
+    "src/serve/snap_pos.cc": """
+namespace crh {
+class LeakyViews {
+ public:
+  const ValueTable& LeakTruths() {
+    auto snapshot = publisher_.Current();
+    return snapshot->truths;
+  }
+  void CacheRawPointer() {
+    auto snapshot = publisher_.Current();
+    cached_ = &snapshot->truths;
+  }
+  void DeferByReference() {
+    auto snapshot = publisher_.Current();
+    deferred_ = [&snapshot] { return snapshot->epoch; };
+  }
+  SnapshotPublisher publisher_;
+  const ValueTable* cached_ = nullptr;
+  std::function<uint64_t()> deferred_;
+};
+}
+""",
+    "src/serve/snap_neg.cc": """
+namespace crh {
+class SafeViews {
+ public:
+  uint64_t Epoch() {
+    const std::shared_ptr<const ServeSnapshot> snapshot =
+        publisher_.Current();
+    if (snapshot == nullptr) return 0;
+    return snapshot->epoch;
+  }
+  std::shared_ptr<const ServeSnapshot> Pin() {
+    auto snapshot = publisher_.Current();
+    return snapshot;
+  }
+  void DeferByValue() {
+    auto snapshot = publisher_.Current();
+    deferred_ = [snapshot] { return snapshot->epoch; };
+  }
+  SnapshotPublisher publisher_;
+  std::function<uint64_t()> deferred_;
+};
+}
+""",
 }
 
 # rule -> (file that must fire, file that must stay quiet)
@@ -1825,13 +2323,68 @@ SELF_TEST_EXPECTATIONS = [
     ("global-state", "src/core/global_pos.cc", "src/core/global_neg.cc"),
     ("hot", "src/core/hot_pos.cc", "src/core/hot_neg.cc"),
     ("hot", "src/core/hot_arena_pos.cc", "src/core/hot_arena_neg.cc"),
+    ("taint", "src/stream/ut_taint_pos.cc", "src/stream/ut_taint_neg.cc"),
+    ("taint", "src/serve/ut_flow_caller_pos.cc", "src/serve/ut_flow_neg.cc"),
+    ("taint", "src/serve/ut_proto_pos.cc", "src/serve/ut_proto_neg.cc"),
+    ("taint", "src/serve/ut_sanitized_misuse_pos.cc",
+     "src/stream/ut_taint_neg.cc"),
+    ("snapshot-lifetime", "src/serve/snap_pos.cc", "src/serve/snap_neg.cc"),
 ]
+
+
+def parse_check_arg(raw: str):
+    """Parses a --check=LIST value. Returns (checks, None) on success or
+    (None, one-line error naming every valid check) on an unknown name."""
+    checks = {c.strip() for c in raw.split(",") if c.strip()}
+    unknown = sorted(checks - set(ALL_CHECKS))
+    if unknown:
+        return None, (
+            f"crh_analyzer: unknown check(s): {', '.join(unknown)}; "
+            f"valid checks: {', '.join(sorted(ALL_CHECKS))}")
+    return checks, None
+
+
+def check_budget_file(path: str, timings: dict[str, float]) -> list[str]:
+    """Compares per-check wall times against the committed budget (ms).
+    A check with no budget entry, or one exceeding its budget by >50%,
+    is a failure message."""
+    try:
+        budgets = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"crh_analyzer: unreadable budget file {path}: {exc}"]
+    problems: list[str] = []
+    for name in sorted(timings):
+        ms = timings[name] * 1000.0
+        budget = budgets.get(name)
+        if not isinstance(budget, (int, float)):
+            problems.append(
+                f"crh_analyzer: check '{name}' has no committed wall-time "
+                f"budget in {path}; add one so CI tracks its cost")
+        elif ms > budget * 1.5:
+            problems.append(
+                f"crh_analyzer: check '{name}' took {ms:.0f}ms, more than "
+                f"1.5x its {budget:.0f}ms budget in {path}; speed the check "
+                "up or commit a justified new budget")
+    return problems
 
 
 def run_self_test(build_model, checks=None) -> list[str]:
     import tempfile
 
     failures: list[str] = []
+    # --check argument parsing is part of the gated surface: a typo must
+    # fail fast with the full valid-check list, and a valid list must
+    # survive whitespace.
+    ok_checks, err = parse_check_arg(" hot , arch ")
+    if err is not None or ok_checks != {"hot", "arch"}:
+        failures.append(f"parse_check_arg mangled a valid list: {err!r}")
+    bad, err = parse_check_arg("definitely-not-a-check")
+    if bad is not None or not err or "\n" in err \
+            or "definitely-not-a-check" not in err \
+            or any(name not in err for name in ALL_CHECKS):
+        failures.append(
+            "parse_check_arg must reject an unknown check with a one-line "
+            f"error naming every valid check, got: {err!r}")
     with tempfile.TemporaryDirectory(prefix="crh_analyzer_selftest_") as tmp:
         tmpdir = pathlib.Path(tmp)
         files = []
@@ -1910,6 +2463,10 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--stats", action="store_true",
                         help="print model size and wall time (for the CI "
                              "job summary)")
+    parser.add_argument("--budget", default=None, metavar="JSON",
+                        help="per-check wall-time budget file "
+                             "(scripts/analyzer_budget.json); a check "
+                             "exceeding its budget by >50%% fails the run")
     parser.add_argument("--no-baseline", action="store_true")
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline to the current finding "
@@ -1919,11 +2476,9 @@ def main(argv: list[str]) -> int:
 
     checks = None
     if opts.check:
-        checks = {c.strip() for c in opts.check.split(",") if c.strip()}
-        unknown = sorted(checks - set(ALL_CHECKS))
-        if unknown:
-            print(f"crh_analyzer: unknown check(s): {', '.join(unknown)} "
-                  f"(known: {', '.join(ALL_CHECKS)})", file=sys.stderr)
+        checks, err = parse_check_arg(opts.check)
+        if err is not None:
+            print(err, file=sys.stderr)
             return 2
 
     if opts.graph or opts.graph_svg:
@@ -2032,6 +2587,10 @@ def main(argv: list[str]) -> int:
             per_check = ", ".join(f"{name} {timings[name] * 1000:.0f}ms"
                                   for name in timings)
             print(f"crh_analyzer: check wall-times: {per_check}")
+    budget_problems = check_budget_file(opts.budget, timings) \
+        if opts.budget else []
+    for msg in budget_problems:
+        print(msg, file=sys.stderr)
     if new:
         print(f"\ncrh_analyzer ({backend_name}): {len(new)} finding(s) not "
               f"in {BASELINE.name}.", file=sys.stderr)
@@ -2044,6 +2603,8 @@ def main(argv: list[str]) -> int:
                   f"{entry}", file=sys.stderr)
         print(f"crh_analyzer: delete fixed entries from {BASELINE.name} or "
               "run --update-baseline.", file=sys.stderr)
+        return 1
+    if budget_problems:
         return 1
     print(f"crh_analyzer ({backend_name}): clean ({len(files)} files, "
           f"{len(model.functions)} functions).")

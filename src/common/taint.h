@@ -1,0 +1,62 @@
+#ifndef CRH_COMMON_TAINT_H_
+#define CRH_COMMON_TAINT_H_
+
+/// \file taint.h
+/// The escape hatch for the whole-program untrusted-input taint analysis
+/// (scripts/crh_analyzer.py --check=taint).
+///
+/// The serving daemon consumes bytes from outside the process: socket
+/// reads, wire-protocol fields, ingested chunk CSV, checkpoint payloads.
+/// The analyzer marks values derived from those sources as untrusted and
+/// rejects any flow into an allocation size, container index, copy
+/// length, or loop bound that is not dominated by a range check on the
+/// tainted value (an `if`/CRH_CHECK/CRH_VERIFY_OR_RETURN comparison on an
+/// earlier line).
+///
+/// A use that is *provably* safe without a syntactic range check — say, a
+/// count already clamped by construction, or a value validated by a
+/// checksum covering the whole payload — declares so at the use site:
+///
+///   out->resize(CRH_SANITIZED(count, "count <= capacity by Reserve()"));
+///
+/// The annotation is a sanitizer: the analyzer treats the wrapped value
+/// as bounds-checked from this line on, so the author is vouching that
+/// the value cannot drive an out-of-range access. Misuse fails loudly
+/// twice over: the reason must be a non-empty string literal (enforced
+/// below via literal concatenation inside a template parameter — see
+/// tests/negative_compile/sanitized_*.cc), and wrapping a value the
+/// analyzer does not track as untrusted is itself a `taint` finding
+/// (blessing trusted data is noise that hides real escapes).
+
+namespace crh {
+namespace taint_internal {
+
+/// Carrier for the non-empty-literal check. CRH_SANITIZED must work in
+/// expression position (unlike the statement-only CRH_DETERMINISM_EXEMPT),
+/// so the static_assert lives in a class template instantiated with the
+/// literal check as its argument.
+template <bool kNonEmptyReason>
+struct SanitizedReason {
+  static_assert(kNonEmptyReason,
+                "CRH_SANITIZED requires a non-empty string literal "
+                "explaining why the untrusted value cannot drive an "
+                "out-of-range access");
+
+  template <typename T>
+  static constexpr T&& Pass(T&& value) noexcept {
+    return static_cast<T&&>(value);
+  }
+};
+
+}  // namespace taint_internal
+}  // namespace crh
+
+/// Marks `expr` as a reviewed untrusted-input sanitization point.
+/// `reason` must be a non-empty string literal: `reason ""` only compiles
+/// when `reason` is itself a literal (concatenation), and sizeof > 1
+/// rejects the empty string. Expands to `expr` unchanged at runtime.
+#define CRH_SANITIZED(expr, reason)                                          \
+  (::crh::taint_internal::SanitizedReason<(sizeof(reason "") > 1)>::Pass(    \
+      expr))
+
+#endif  // CRH_COMMON_TAINT_H_

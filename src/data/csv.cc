@@ -140,6 +140,17 @@ Status WriteObservationsCsv(const Dataset& data, std::ostream& out) {
       for (size_t m = 0; m < data.num_properties(); ++m) {
         const Value& v = data.observations(k).Get(i, m);
         if (v.is_missing()) continue;
+        // A quarantined claim carries the invalid-category sentinel, which
+        // names no dictionary label: the CSV format cannot represent it,
+        // and indexing the dictionary with it would read out of bounds.
+        if (!v.is_continuous() && v.category() == kInvalidCategory) {
+          return Status::InvalidArgument(
+              "object '" + data.object_id(i) + "' property '" +
+              data.schema().property(m).name + "' from source '" +
+              data.source_id(k) +
+              "' holds a quarantined (invalid-category) claim, which "
+              "observation CSV cannot represent");
+        }
         out << QuoteCsvField(data.object_id(i)) << ','
             << QuoteCsvField(data.schema().property(m).name) << ','
             << QuoteCsvField(data.source_id(k)) << ',' << FormatValue(data, m, v)

@@ -20,9 +20,27 @@ ChunkCodec::ChunkCodec(const Dataset& universe) : universe_(&universe) {
 
 Result<DataChunk> ChunkCodec::Decode(const std::string& csv, int64_t window_start,
                                      bool quarantine_bad_claims) const {
+  if (csv.size() > kMaxChunkCsvBytes) {
+    return Status::OutOfRange(
+        "ingested chunk CSV is " + std::to_string(csv.size()) +
+        " bytes; the limit is " + std::to_string(kMaxChunkCsvBytes));
+  }
   std::istringstream in(csv);
   auto parsed = ReadObservationsCsv(universe_->schema(), in);
   if (!parsed.ok()) return parsed.status();
+  // The parsed counts come from untrusted bytes: bound them by the
+  // universe before they size anything. A chunk is always a subset of the
+  // universe's entry space, so exceeding either count is malformed input,
+  // not scale.
+  if (parsed->num_objects() > object_index_.size() ||
+      parsed->num_sources() > source_index_.size()) {
+    return Status::OutOfRange(
+        "ingested chunk names " + std::to_string(parsed->num_objects()) +
+        " objects / " + std::to_string(parsed->num_sources()) +
+        " sources, more than the universe holds (" +
+        std::to_string(object_index_.size()) + " / " +
+        std::to_string(source_index_.size()) + ")");
+  }
 
   // members[i] = (universe index, parsed index): ascending universe order,
   // the order SplitByWindow emits, so iteration order — and therefore every

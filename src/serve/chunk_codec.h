@@ -25,6 +25,11 @@
 
 namespace crh {
 
+/// Hard cap on the CSV payload of one ingested chunk. Matches the serving
+/// default for a whole request line (ServeOptions::max_request_bytes); a
+/// larger chunk is rejected with kOutOfRange before any parsing work.
+inline constexpr size_t kMaxChunkCsvBytes = 8u << 20;
+
 /// Stateless decoder bound to one universe dataset (the id -> index maps
 /// are built once; Decode is const and thread-compatible).
 class ChunkCodec {
@@ -33,8 +38,11 @@ class ChunkCodec {
   /// per-property dictionaries define the space chunks are decoded into.
   explicit ChunkCodec(const Dataset& universe);
 
-  /// Parses `csv` and builds the chunk. Every object and source must exist
-  /// in the universe. Categorical/text labels are re-interned against the
+  /// Parses `csv` and builds the chunk. The payload must fit
+  /// kMaxChunkCsvBytes and may not name more objects or sources than the
+  /// universe holds (both kOutOfRange — the CSV is untrusted bytes, so its
+  /// counts are bounds-checked before they size anything). Every object
+  /// and source must exist in the universe. Categorical/text labels are re-interned against the
   /// universe dictionary; a label the universe has never seen is an error
   /// unless `quarantine_bad_claims` is set, in which case the claim decodes
   /// to the invalid-category sentinel and the solver's quarantine excludes

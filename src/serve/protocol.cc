@@ -14,6 +14,11 @@ Status Malformed(const std::string& what) {
   return Status::InvalidArgument("malformed request: " + what);
 }
 
+Status OverLimit(const std::string& what, size_t limit) {
+  return Status::OutOfRange("request " + what + " exceeds the limit of " +
+                            std::to_string(limit));
+}
+
 /// Recursive-descent-free parser over a bounded string_view. Every read
 /// checks the remaining byte count first, like the checkpoint Cursor.
 class JsonCursor {
@@ -52,6 +57,9 @@ class JsonCursor {
       }
       if (c != '\\') {
         out->push_back(c);
+        if (out->size() > kMaxProtocolStringBytes) {
+          return OverLimit("string", kMaxProtocolStringBytes);
+        }
         continue;
       }
       if (AtEnd()) return Malformed("dangling escape");
@@ -101,6 +109,9 @@ class JsonCursor {
         }
         default:
           return Malformed("unknown escape");
+      }
+      if (out->size() > kMaxProtocolStringBytes) {
+        return OverLimit("string", kMaxProtocolStringBytes);
       }
     }
   }
@@ -199,6 +210,9 @@ class JsonCursor {
       SkipSpace();
       JsonValue element;
       CRH_RETURN_NOT_OK(ParseScalar(&element));
+      if (out->items.size() == kMaxProtocolArrayItems) {
+        return OverLimit("array", kMaxProtocolArrayItems);
+      }
       out->items.push_back(std::move(element));
       SkipSpace();
       if (AtEnd()) return Malformed("unterminated array");
@@ -319,6 +333,9 @@ Result<JsonObject> ParseJsonObject(std::string_view text, size_t max_bytes) {
       CRH_RETURN_NOT_OK(cursor.ParseValue(&value));
       if (!object.fields.emplace(std::move(key), std::move(value)).second) {
         return Malformed("duplicate key");
+      }
+      if (object.fields.size() > kMaxProtocolFields) {
+        return OverLimit("object field count", kMaxProtocolFields);
       }
       cursor.SkipSpace();
       if (cursor.AtEnd()) return Malformed("unterminated object");

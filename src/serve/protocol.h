@@ -31,6 +31,16 @@
 
 namespace crh {
 
+/// Structural limits on one request, enforced during the parse on top of
+/// the caller's whole-line `max_bytes` cap. Each violation is a typed
+/// kOutOfRange (distinct from kInvalidArgument malformed-syntax errors),
+/// so handlers and tests can tell "too big" from "garbage". The string cap
+/// matches ServeOptions::max_request_bytes — an ingest request's "csv"
+/// field may span the whole line; nothing legitimate is bigger.
+inline constexpr size_t kMaxProtocolFields = 64;
+inline constexpr size_t kMaxProtocolArrayItems = size_t{1} << 16;
+inline constexpr size_t kMaxProtocolStringBytes = size_t{8} << 20;
+
 /// One parsed JSON value: a scalar, or a flat array of scalars (one level,
 /// no arrays-of-arrays — the only aggregate the protocol emits).
 struct JsonValue {

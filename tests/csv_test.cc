@@ -32,6 +32,19 @@ class CsvTest : public ::testing::Test {
   }
 };
 
+TEST_F(CsvTest, WriterRejectsQuarantinedClaims) {
+  // A quarantined claim carries the invalid-category sentinel, which names
+  // no dictionary label. The writer must reject it with a typed error —
+  // the chunk_codec fuzzer originally caught an out-of-bounds dictionary
+  // read on exactly this input.
+  Dataset data = MakeSample();
+  data.SetObservation(1, 1, 1, Value::Categorical(kInvalidCategory));
+  std::ostringstream out;
+  const Status status = WriteObservationsCsv(data, out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
 TEST_F(CsvTest, RoundTripObservations) {
   Dataset data = MakeSample();
   const std::string path = TempPath("roundtrip.csv");

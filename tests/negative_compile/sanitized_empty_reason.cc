@@ -1,0 +1,17 @@
+/// \file sanitized_empty_reason.cc
+/// Must NOT compile: CRH_SANITIZED with an empty reason string. The reason
+/// is the reviewable claim that an untrusted value cannot drive an
+/// out-of-range access; an empty one vouches for nothing, so the
+/// sizeof(reason "") > 1 template argument trips the static_assert.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/taint.h"
+
+int main() {
+  std::size_t count = 4;
+  std::vector<int> buffer;
+  buffer.resize(CRH_SANITIZED(count, ""));
+  return static_cast<int>(buffer.size());
+}

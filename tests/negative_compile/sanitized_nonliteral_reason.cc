@@ -1,0 +1,18 @@
+/// \file sanitized_nonliteral_reason.cc
+/// Must NOT compile: CRH_SANITIZED whose reason is a variable rather than
+/// a string literal. The justification must be readable at the annotation
+/// site; `reason ""` only concatenates when `reason` is itself a literal,
+/// so a const char* (or any expression) fails to parse.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/taint.h"
+
+int main() {
+  std::size_t count = 4;
+  const char* why = "bounded upstream";
+  std::vector<int> buffer;
+  buffer.resize(CRH_SANITIZED(count, why));
+  return static_cast<int>(buffer.size());
+}

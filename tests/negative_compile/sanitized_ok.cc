@@ -1,0 +1,27 @@
+/// \file sanitized_ok.cc
+/// Positive control for the CRH_SANITIZED contract: a well-formed
+/// annotation — non-empty string literal reason, expression position
+/// wrapping the value it vouches for — must compile cleanly and leave the
+/// value (and its value category) untouched. If this breaks, the two
+/// rejection cases (sanitized_empty_reason.cc,
+/// sanitized_nonliteral_reason.cc) prove nothing.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/taint.h"
+
+namespace {
+
+std::size_t Clamp(std::size_t count) {
+  std::vector<int> buffer;
+  buffer.resize(CRH_SANITIZED(count, "count <= 8 by the caller's contract"));
+  // Expression position must preserve lvalue-ness: taking the address of a
+  // wrapped lvalue is legal.
+  const std::size_t* alias = &CRH_SANITIZED(count, "same value, same object");
+  return buffer.size() + (alias == &count ? 0 : 1);
+}
+
+}  // namespace
+
+int main() { return Clamp(4) == 4 ? 0 : 1; }

@@ -93,6 +93,60 @@ TEST(ProtocolTest, EnforcesSizeLimitBeforeParsing) {
   EXPECT_TRUE(ParseJsonObject(big, big.size()).ok());
 }
 
+// The structural caps are typed kOutOfRange (distinct from the
+// kInvalidArgument malformed-syntax errors), asserted exactly at and one
+// past each limit.
+
+TEST(ProtocolTest, FieldCountBoundary) {
+  const auto build = [](size_t fields) {
+    std::string text = "{";
+    for (size_t i = 0; i < fields; ++i) {
+      if (i > 0) text.push_back(',');
+      text += "\"k" + std::to_string(i) + "\":1";
+    }
+    text.push_back('}');
+    return text;
+  };
+  EXPECT_TRUE(ParseJsonObject(build(kMaxProtocolFields), kMax).ok());
+  auto over = ParseJsonObject(build(kMaxProtocolFields + 1), kMax);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ProtocolTest, ArrayItemCountBoundary) {
+  const auto build = [](size_t items) {
+    std::string text = "{\"a\":[";
+    for (size_t i = 0; i < items; ++i) {
+      if (i > 0) text.push_back(',');
+      text.push_back('1');
+    }
+    text += "]}";
+    return text;
+  };
+  const std::string at_limit = build(kMaxProtocolArrayItems);
+  auto parsed = ParseJsonObject(at_limit, at_limit.size());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetDoubleArray("a")->size(), kMaxProtocolArrayItems);
+  const std::string over_limit = build(kMaxProtocolArrayItems + 1);
+  auto over = ParseJsonObject(over_limit, over_limit.size());
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ProtocolTest, StringByteBoundary) {
+  const auto build = [](size_t bytes) {
+    return "{\"s\":\"" + std::string(bytes, 'x') + "\"}";
+  };
+  const std::string at_limit = build(kMaxProtocolStringBytes);
+  auto parsed = ParseJsonObject(at_limit, at_limit.size());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetString("s")->size(), kMaxProtocolStringBytes);
+  const std::string over_limit = build(kMaxProtocolStringBytes + 1);
+  auto over = ParseJsonObject(over_limit, over_limit.size());
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfRange);
+}
+
 TEST(ProtocolTest, WriterRoundTripsExactDoubles) {
   const double value = 0.1 + 0.2;  // not representable prettily
   JsonWriter writer;
@@ -310,6 +364,39 @@ TEST(ChunkCodecTest, UnknownLabelQuarantinesOrFails) {
   const Value v = quarantined->data.observations(0).Get(0, 1);
   ASSERT_TRUE(v.is_categorical());
   EXPECT_EQ(v.category(), kInvalidCategory);
+}
+
+TEST(ChunkCodecTest, CsvSizeBoundary) {
+  const Dataset data = MakeServeDataset();
+  const ChunkCodec codec(data);
+  // At the limit: a valid one-claim chunk padded with blank lines (which
+  // the CSV reader skips) to exactly kMaxChunkCsvBytes still decodes.
+  std::string csv = "object_id,property,source_id,value\nd0_o0,x," +
+                    data.source_id(0) + ",1\n";
+  csv.resize(kMaxChunkCsvBytes, '\n');
+  EXPECT_TRUE(codec.Decode(csv, 0, /*quarantine_bad_claims=*/false).ok());
+  // One byte over is rejected with kOutOfRange before any parsing work.
+  csv.push_back('\n');
+  auto over = codec.Decode(csv, 0, /*quarantine_bad_claims=*/false);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ChunkCodecTest, RejectsChunksBiggerThanTheUniverse) {
+  const Dataset data = MakeServeDataset();
+  const ChunkCodec codec(data);
+  std::string csv = "object_id,property,source_id,value\n";
+  for (size_t i = 0; i < data.num_objects(); ++i) {
+    csv += data.object_id(i) + ",x," + data.source_id(0) + ",1\n";
+  }
+  // Naming every universe object is exactly at the limit.
+  EXPECT_TRUE(codec.Decode(csv, 0, /*quarantine_bad_claims=*/false).ok());
+  // One extra distinct object pushes the parsed counts past the universe:
+  // kOutOfRange from the bounds check, before any per-entity lookup runs.
+  csv += "one_object_too_many,x," + data.source_id(0) + ",1\n";
+  auto over = codec.Decode(csv, 0, /*quarantine_bad_claims=*/false);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfRange);
 }
 
 // ---------------------------------------------------------------------------
